@@ -1,0 +1,162 @@
+// AB1 — ablation of a §III-B design choice: symbolic transaction-ID
+// tracking ("a single assertion can be used to reason about all lines of a
+// cache if a symbolic signal is used to index") versus explicitly
+// enumerating one assertion per ID value.
+//
+// Both formulations are checked on the (fixed) NoC buffer. The symbolic
+// form uses AutoSVA's generated FT (one tracker); the enumerated form
+// instantiates the tracking counter once per concrete ID. The table
+// reports property counts, monitor state bits, and engine effort.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "formal/engine.hpp"
+#include "rtlir/elaborate.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace autosva;
+
+namespace {
+
+// Hand-written per-ID property module (what a designer would write without
+// symbolic variables): the tracking logic replicated for each of 4 IDs.
+const char* kEnumeratedProp = R"(
+module noc_buffer_enum_prop (
+  input wire clk_i,
+  input wire rst_ni,
+  input wire noc1buffer_req_val_i,
+  input wire noc1buffer_req_rdy_o,
+  input wire [1:0] noc1buffer_req_mshrid_i,
+  input wire noc1buffer_enc_val_o,
+  input wire noc1buffer_enc_rdy_i,
+  input wire [1:0] noc1buffer_enc_mshrid_o
+);
+  default clocking cb @(posedge clk_i); endclocking
+  default disable iff (!rst_ni);
+
+  wire req_hsk = noc1buffer_req_val_i && noc1buffer_req_rdy_o;
+  wire enc_hsk = noc1buffer_enc_val_o && noc1buffer_enc_rdy_i;
+
+  reg [3:0] sampled0;
+  wire set0 = req_hsk && noc1buffer_req_mshrid_i == 2'd0;
+  wire rsp0 = enc_hsk && noc1buffer_enc_mshrid_o == 2'd0;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) sampled0 <= '0;
+    else if (set0 || rsp0) sampled0 <= sampled0 + set0 - rsp0;
+  end
+  as__evresp0: assert property (set0 |-> s_eventually (rsp0));
+  as__hadreq0: assert property (rsp0 |-> set0 || sampled0 > 0);
+  am__maxout0: assume property (sampled0 >= 4'd8 |-> !set0);
+
+  reg [3:0] sampled1;
+  wire set1 = req_hsk && noc1buffer_req_mshrid_i == 2'd1;
+  wire rsp1 = enc_hsk && noc1buffer_enc_mshrid_o == 2'd1;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) sampled1 <= '0;
+    else if (set1 || rsp1) sampled1 <= sampled1 + set1 - rsp1;
+  end
+  as__evresp1: assert property (set1 |-> s_eventually (rsp1));
+  as__hadreq1: assert property (rsp1 |-> set1 || sampled1 > 0);
+  am__maxout1: assume property (sampled1 >= 4'd8 |-> !set1);
+
+  reg [3:0] sampled2;
+  wire set2 = req_hsk && noc1buffer_req_mshrid_i == 2'd2;
+  wire rsp2 = enc_hsk && noc1buffer_enc_mshrid_o == 2'd2;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) sampled2 <= '0;
+    else if (set2 || rsp2) sampled2 <= sampled2 + set2 - rsp2;
+  end
+  as__evresp2: assert property (set2 |-> s_eventually (rsp2));
+  as__hadreq2: assert property (rsp2 |-> set2 || sampled2 > 0);
+  am__maxout2: assume property (sampled2 >= 4'd8 |-> !set2);
+
+  reg [3:0] sampled3;
+  wire set3 = req_hsk && noc1buffer_req_mshrid_i == 2'd3;
+  wire rsp3 = enc_hsk && noc1buffer_enc_mshrid_o == 2'd3;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) sampled3 <= '0;
+    else if (set3 || rsp3) sampled3 <= sampled3 + set3 - rsp3;
+  end
+  as__evresp3: assert property (set3 |-> s_eventually (rsp3));
+  as__hadreq3: assert property (rsp3 |-> set3 || sampled3 > 0);
+  am__maxout3: assume property (sampled3 >= 4'd8 |-> !set3);
+
+  // Drain fairness (same as the generated FT's enc-side assumption).
+  am__enc_fair: assume property (noc1buffer_enc_val_o |->
+                                 s_eventually (noc1buffer_enc_rdy_i));
+endmodule
+
+bind noc_buffer noc_buffer_enum_prop enum_prop_i (.*);
+)";
+
+struct Row {
+    std::string name;
+    int properties = 0;
+    int stateBits = 0;
+    double seconds = 0;
+    uint64_t satCalls = 0;
+    bool allProven = false;
+};
+
+} // namespace
+
+int main() {
+    bench::banner("AB1: symbolic transaction-ID tracking vs per-ID enumeration");
+
+    const auto& info = designs::design("noc_buffer");
+    util::DiagEngine diags;
+
+    Row symbolic;
+    {
+        core::AutoSvaOptions genOpts;
+        genOpts.includeCovers = false;
+        genOpts.includeXprop = false;
+        core::FormalTestbench ft = core::generateFT(info.rtl, genOpts, diags);
+        core::VerifyOptions vopts;
+        vopts.paramOverrides["BUG"] = 0;
+        auto design = core::elaborateWithFT({info.rtl}, ft, vopts, diags);
+        util::Stopwatch sw;
+        formal::Engine engine(*design);
+        auto results = engine.checkAll();
+        symbolic = {"symbolic (generated)", ft.numProperties(), design->stateBits(),
+                    sw.seconds(), engine.stats().satCalls, true};
+        for (const auto& r : results)
+            if (r.status == formal::Status::Failed || r.status == formal::Status::Unknown)
+                symbolic.allProven = false;
+    }
+
+    Row enumerated;
+    {
+        ir::ElabOptions elabOpts;
+        elabOpts.paramOverrides["BUG"] = 0;
+        elabOpts.tieOffs["rst_ni"] = 1;
+        auto design =
+            ir::elaborateSources({info.rtl, kEnumeratedProp}, "noc_buffer", diags, elabOpts);
+        util::Stopwatch sw;
+        formal::Engine engine(*design);
+        auto results = engine.checkAll();
+        enumerated = {"enumerated (per-ID)", 13, design->stateBits(), sw.seconds(),
+                      engine.stats().satCalls, true};
+        for (const auto& r : results)
+            if (r.status == formal::Status::Failed || r.status == formal::Status::Unknown)
+                enumerated.allProven = false;
+    }
+
+    util::TextTable table({"formulation", "properties", "monitor+DUT state bits", "engine time",
+                           "SAT queries", "all proven"});
+    for (const Row* row : {&symbolic, &enumerated}) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.2fs", row->seconds);
+        table.addRow({row->name, std::to_string(row->properties),
+                      std::to_string(row->stateBits), buf, std::to_string(row->satCalls),
+                      row->allProven ? "yes" : "NO"});
+    }
+    std::cout << table.str();
+    std::cout << "\nThe symbolic form needs one tracker regardless of the ID-space size;\n"
+                 "the enumerated form replicates monitor state and properties per ID\n"
+                 "(4x here, 2^W in general), which is why AutoSVA emits symbolic indices\n"
+                 "(§III-B: \"written to be most efficient for FV tools to run\").\n";
+    return symbolic.allProven && enumerated.allProven ? 0 : 1;
+}

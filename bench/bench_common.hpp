@@ -1,0 +1,54 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/autosva.hpp"
+#include "designs/designs.hpp"
+
+namespace autosva::bench {
+
+struct DesignRun {
+    core::FormalTestbench ft;
+    sva::VerificationReport report;
+};
+
+/// Generates the FT for a registered design and verifies it with the
+/// built-in engine.
+inline formal::EngineOptions defaultBenchEngine() {
+    formal::EngineOptions opts;
+    // Every seeded bug shows within ~10 cycles and lassos close within ~15
+    // frames; a shallow BMC keeps the harness fast while PDR provides the
+    // unbounded proofs.
+    opts.bmcDepth = 15;
+    return opts;
+}
+
+inline DesignRun runDesign(const std::string& name, uint64_t bug,
+                           bool withExtension = true,
+                           const std::vector<const core::FormalTestbench*>& subFts = {},
+                           formal::EngineOptions engineOpts = defaultBenchEngine()) {
+    const auto& info = designs::design(name);
+    util::DiagEngine diags;
+    core::AutoSvaOptions genOpts;
+    DesignRun run{core::generateFT(info.rtl, genOpts, diags), {}};
+
+    core::VerifyOptions vopts;
+    vopts.engine = engineOpts;
+    if (bug != 0 || !withExtension) vopts.engine.pdrMaxQueries = 30000;
+    if (info.hasBugParam) vopts.paramOverrides["BUG"] = bug;
+    if (withExtension && !info.extensionSva.empty())
+        vopts.extraSources.push_back(info.extensionSva);
+    vopts.submoduleFts = subFts;
+    run.report = core::verify(designs::rtlSources(info), run.ft, vopts, diags);
+    return run;
+}
+
+inline void banner(const std::string& title) {
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace autosva::bench

@@ -1,0 +1,55 @@
+// Regenerates the paper's Fig. 2: the modeling code and properties AutoSVA
+// produces for the LSU load interface from the Fig. 3 annotations.
+//
+// Prints the generated property file for the ariane_lsu design and checks
+// (programmatically) that each artifact class from Fig. 2 is present:
+// the outstanding-transaction counter, the symbolic transaction id and its
+// stability assumption, the request-stability assumption, the
+// handshake-or-drop and eventual-response liveness assertions, the
+// response-had-a-request safety assertion, and the request cover.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace autosva;
+
+int main() {
+    bench::banner("Fig. 2: generated formal testbench for the LSU load interface");
+
+    const auto& info = designs::design("ariane_lsu");
+    util::DiagEngine diags;
+    core::AutoSvaOptions opts;
+    core::FormalTestbench ft = core::generateFT(info.rtl, opts, diags);
+
+    std::cout << ft.propertyFile << "\n";
+    std::cout << "--- bind file ---\n" << ft.bindFile << "\n";
+
+    struct Artifact {
+        const char* what;
+        const char* needle;
+    };
+    const Artifact artifacts[] = {
+        {"transaction counter (Fig. 2 'counting transaction')", "lsu_load_sampled"},
+        {"symbolic transaction id", "symb_lsu_load_transid"},
+        {"symbolic stability assumption", "am__lsu_load_symb_transid_stable"},
+        {"request stability assumption", "am__lsu_load_lsu_req_stability"},
+        {"handshake-or-drop liveness", "as__lsu_load_lsu_req_hsk_or_drop"},
+        {"eventual response liveness", "as__lsu_load_eventual_response"},
+        {"response-had-a-request safety", "as__lsu_load_had_a_request"},
+        {"request cover", "co__lsu_load_request_happens"},
+    };
+
+    int present = 0;
+    std::cout << "--- Fig. 2 artifact checklist ---\n";
+    for (const auto& a : artifacts) {
+        bool found = ft.propertyFile.find(a.needle) != std::string::npos;
+        std::cout << (found ? "  [ok]      " : "  [MISSING] ") << a.what << " (" << a.needle
+                  << ")\n";
+        if (found) ++present;
+    }
+    std::cout << "\n" << present << "/" << std::size(artifacts)
+              << " Fig. 2 artifact classes regenerated; " << ft.numProperties()
+              << " properties from " << ft.annotationLines << " annotation lines, in "
+              << ft.generationSeconds * 1e3 << " ms (paper: under a second)\n";
+    return present == std::size(artifacts) ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// Regenerates the paper's Fig. 7 / §IV "Applying the AutoSVA language to
+// RTL modules" case studies — how the one transaction abstraction covers
+// different interface styles:
+//   * single ongoing transaction (no transid)         — dtlb_ptw
+//   * multiple outstanding transactions (transid)     — mem_engine_noc
+//   * no ack signal / ack derived from other signals  — dtlb_ptw's active
+//   * implicit definitions from the naming convention — echo-style ports
+// Also quantifies AB3 (implicit vs explicit annotations): annotation LoC
+// needed for the same property set.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace autosva;
+
+namespace {
+
+core::FormalTestbench gen(const std::string& rtl) {
+    util::DiagEngine diags;
+    core::AutoSvaOptions opts;
+    return core::generateFT(rtl, opts, diags);
+}
+
+// Fully convention-named interface: zero attribute annotations needed.
+const char* kImplicitRtl = R"(
+module conv (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  t: req -in> res
+  */
+  input  wire       req_val,
+  output wire       req_ack,
+  input  wire [1:0] req_transid,
+  input  wire [3:0] req_data,
+  output wire       res_val,
+  output wire [1:0] res_transid,
+  output wire [3:0] res_data
+);
+  assign req_ack = 1'b0;
+  assign res_val = 1'b0;
+  assign res_transid = '0;
+  assign res_data = '0;
+endmodule
+)";
+
+// The same interface with nonconforming names: every attribute explicit.
+const char* kExplicitRtl = R"(
+module expl (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  t: req -in> res
+  req_val = in_valid
+  req_ack = in_ready
+  [1:0] req_transid = in_tag
+  [3:0] req_data = in_payload
+  res_val = out_valid
+  [1:0] res_transid = out_tag
+  [3:0] res_data = out_payload
+  */
+  input  wire       in_valid,
+  output wire       in_ready,
+  input  wire [1:0] in_tag,
+  input  wire [3:0] in_payload,
+  output wire       out_valid,
+  output wire [1:0] out_tag,
+  output wire [3:0] out_payload
+);
+  assign in_ready = 1'b0;
+  assign out_valid = 1'b0;
+  assign out_tag = '0;
+  assign out_payload = '0;
+endmodule
+)";
+
+} // namespace
+
+int main() {
+    bench::banner("Fig. 7: interface styles covered by the transaction abstraction");
+
+    util::TextTable table({"style", "example", "annot LoC", "props", "tracked by"});
+
+    {
+        auto ft = gen(designs::design("ariane_ptw").rtl);
+        table.addRow({"single ongoing txn + derived ack", "dtlb_ptw (PTW)",
+                      std::to_string(ft.annotationLines), std::to_string(ft.numProperties()),
+                      "no transid: counter only"});
+    }
+    {
+        auto ft = gen(designs::design("noc_buffer").rtl);
+        table.addRow({"multiple outstanding txns", "mem_engine_noc (NoC buffer)",
+                      std::to_string(ft.annotationLines), std::to_string(ft.numProperties()),
+                      "symbolic transid"});
+    }
+    {
+        auto ft = gen(designs::design("ariane_lsu").rtl);
+        table.addRow({"unique transaction ids", "lsu_load (LSU)",
+                      std::to_string(ft.annotationLines), std::to_string(ft.numProperties()),
+                      "symbolic transid + uniqueness"});
+    }
+
+    auto implicitFt = gen(kImplicitRtl);
+    auto explicitFt = gen(kExplicitRtl);
+    table.addRow({"implicit (naming convention)", "conv", std::to_string(implicitFt.annotationLines),
+                  std::to_string(implicitFt.numProperties()), "ports auto-detected"});
+    table.addRow({"explicit (renamed signals)", "expl", std::to_string(explicitFt.annotationLines),
+                  std::to_string(explicitFt.numProperties()), "per-attribute mapping"});
+
+    std::cout << table.str();
+
+    std::cout << "\nAB3 ablation (implicit vs explicit): the naming convention reduces the\n"
+              << "annotation effort from " << explicitFt.annotationLines << " to "
+              << implicitFt.annotationLines << " line(s) for an identical property set ("
+              << implicitFt.numProperties() << " vs " << explicitFt.numProperties()
+              << " properties).\n"
+              << "The paper's Mem Engine FT needed just 3 lines because its interfaces\n"
+              << "matched the convention (\"val and ack attributes match interface names\").\n";
+    return implicitFt.numProperties() == explicitFt.numProperties() ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Benchmarks the §III-C claim: "AutoSVA generates FTs in under a second".
+// google-benchmark over the full generation pipeline (parse + scan +
+// transaction build + property/bind/tool-file generation) for every
+// registered design, plus the individual stages for the largest one.
+#include <benchmark/benchmark.h>
+
+#include "core/autosva.hpp"
+#include "core/interface_scan.hpp"
+#include "core/language.hpp"
+#include "designs/designs.hpp"
+#include "verilog/parser.hpp"
+
+using namespace autosva;
+
+namespace {
+
+void BM_GenerateFT(benchmark::State& state, const std::string& designName) {
+    const auto& info = designs::design(designName);
+    for (auto _ : state) {
+        util::DiagEngine diags;
+        core::AutoSvaOptions opts;
+        auto ft = core::generateFT(info.rtl, opts, diags);
+        benchmark::DoNotOptimize(ft.propertyFile.data());
+    }
+}
+
+void BM_ParseRtl(benchmark::State& state) {
+    const auto& info = designs::design("ariane_mmu");
+    for (auto _ : state) {
+        auto file = verilog::Parser::parseSource(info.rtl, "dut.sv");
+        benchmark::DoNotOptimize(file.modules.data());
+    }
+}
+
+void BM_ParseAnnotations(benchmark::State& state) {
+    const auto& info = designs::design("ariane_mmu");
+    for (auto _ : state) {
+        util::DiagEngine diags;
+        auto set = core::parseAnnotations(info.rtl, "dut.sv", diags);
+        benchmark::DoNotOptimize(set.transactions.data());
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_GenerateFT, ptw, std::string("ariane_ptw"));
+BENCHMARK_CAPTURE(BM_GenerateFT, tlb, std::string("ariane_tlb"));
+BENCHMARK_CAPTURE(BM_GenerateFT, mmu, std::string("ariane_mmu"));
+BENCHMARK_CAPTURE(BM_GenerateFT, lsu, std::string("ariane_lsu"));
+BENCHMARK_CAPTURE(BM_GenerateFT, icache, std::string("ariane_icache"));
+BENCHMARK_CAPTURE(BM_GenerateFT, noc_buffer, std::string("noc_buffer"));
+BENCHMARK_CAPTURE(BM_GenerateFT, l15, std::string("l15_noc_wrapper"));
+BENCHMARK_CAPTURE(BM_GenerateFT, mem_engine, std::string("mem_engine"));
+BENCHMARK(BM_ParseRtl);
+BENCHMARK(BM_ParseAnnotations);
+
+BENCHMARK_MAIN();

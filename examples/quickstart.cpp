@@ -1,0 +1,108 @@
+// Quickstart: annotate a module, generate a formal testbench, verify it.
+//
+// The DUT is a small valid/ready FIFO. One AUTOSVA comment block in the
+// interface section is all the designer writes; the framework generates
+// the property module (liveness + safety + covers), a bind file, tool
+// scripts for JasperGold / SymbiYosys, and — in this reproduction — runs
+// the built-in model checker to a verdict.
+#include <iostream>
+
+#include "core/autosva.hpp"
+
+namespace {
+
+const char* kFifoRtl = R"(
+module fifo #(
+  parameter W = 4,
+  parameter DEPTH = 2
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+
+  /*AUTOSVA
+  fifo_txn: in -in> out
+  [W-1:0] in_data = in_data_i
+  [W-1:0] out_data = out_data_o
+  */
+  input  wire         in_val,
+  output wire         in_ack,
+  input  wire [W-1:0] in_data_i,
+  output wire         out_val,
+  input  wire         out_ack,
+  output wire [W-1:0] out_data_o
+);
+  reg [W-1:0] mem [0:DEPTH-1];
+  reg         wr_q;
+  reg         rd_q;
+  reg  [1:0]  count_q;
+
+  assign in_ack  = count_q < DEPTH;
+  assign out_val = count_q != 2'd0;
+  assign out_data_o = mem[rd_q];
+
+  wire wr_hsk = in_val && in_ack;
+  wire rd_hsk = out_val && out_ack;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      wr_q <= 1'b0;
+      rd_q <= 1'b0;
+      count_q <= 2'd0;
+      mem[0] <= '0;
+      mem[1] <= '0;
+    end else begin
+      if (wr_hsk) begin
+        mem[wr_q] <= in_data_i;
+        wr_q <= !wr_q;
+      end
+      if (rd_hsk) begin
+        rd_q <= !rd_q;
+      end
+      if (wr_hsk && !rd_hsk) begin
+        count_q <= count_q + 2'd1;
+      end else if (!wr_hsk && rd_hsk) begin
+        count_q <= count_q - 2'd1;
+      end
+    end
+  end
+endmodule
+)";
+
+} // namespace
+
+int main() {
+    using namespace autosva;
+
+    std::cout << "== AutoSVA quickstart ==\n\n";
+    std::cout << "1. The designer annotates the interface (3 annotation lines):\n\n"
+              << "     fifo_txn: in -in> out\n"
+              << "     [W-1:0] in_data = in_data_i\n"
+              << "     [W-1:0] out_data = out_data_o\n\n";
+
+    // Generate the formal testbench.
+    util::DiagEngine diags;
+    core::AutoSvaOptions opts;
+    core::FormalTestbench ft = core::generateFT(kFifoRtl, opts, diags);
+
+    std::cout << "2. AutoSVA generates " << ft.numProperties() << " properties ("
+              << ft.numAssertions() << " assertions, " << ft.numAssumptions()
+              << " assumptions, " << ft.numCovers() << " covers) in "
+              << ft.generationSeconds * 1e3 << " ms:\n\n";
+    for (const auto& p : ft.properties) std::cout << "     " << p.label << "\n";
+
+    std::cout << "\n3. Generated artifacts: property module ("
+              << ft.propertyFile.size() << " bytes), bind file, JasperGold TCL ("
+              << ft.jasperTcl.size() << " bytes), SymbiYosys .sby ("
+              << ft.sbyFile.size() << " bytes).\n";
+
+    // Verify with the built-in engine.
+    std::cout << "\n4. Running the built-in formal engine...\n\n";
+    core::VerifyOptions vopts;
+    sva::VerificationReport report = core::verify({kFifoRtl}, ft, vopts, diags);
+    std::cout << report.str();
+
+    std::cout << "\nA FIFO written correctly proves out of the box: every pushed word is\n"
+                 "eventually popped with its data intact, and no pop happens that was\n"
+                 "never pushed.\n";
+    return report.allProven() ? 0 : 1;
+}

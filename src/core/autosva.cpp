@@ -1,0 +1,130 @@
+#include "core/autosva.hpp"
+
+#include "core/interface_scan.hpp"
+#include "core/toolgen.hpp"
+#include "rtlir/elaborate.hpp"
+#include "util/stopwatch.hpp"
+#include "verilog/parser.hpp"
+
+namespace autosva::core {
+
+int FormalTestbench::numAssertions() const {
+    int n = 0;
+    for (const auto& p : properties)
+        if (p.isAssert && !p.isXprop) ++n;
+    return n;
+}
+int FormalTestbench::numAssumptions() const {
+    int n = 0;
+    for (const auto& p : properties)
+        if (!p.isAssert && !p.isCover) ++n;
+    return n;
+}
+int FormalTestbench::numCovers() const {
+    int n = 0;
+    for (const auto& p : properties)
+        if (p.isCover) ++n;
+    return n;
+}
+int FormalTestbench::numLiveness() const {
+    int n = 0;
+    for (const auto& p : properties)
+        if (p.isLiveness) ++n;
+    return n;
+}
+
+FormalTestbench generateFT(const std::string& rtlSource, const AutoSvaOptions& opts,
+                           util::DiagEngine& diags) {
+    util::Stopwatch sw;
+
+    // Step 1: parse the RTL and scan the interface declaration section.
+    verilog::SourceFile file = verilog::Parser::parseSource(rtlSource, "dut.sv");
+    ScanOptions scanOpts;
+    scanOpts.moduleName = opts.dutName;
+    scanOpts.clockName = opts.clockName;
+    scanOpts.resetName = opts.resetName;
+    DutInterface dut = scanInterface(file, scanOpts, diags);
+
+    // Step 2: parse annotations and build transaction objects.
+    AnnotationSet annotations = parseAnnotations(rtlSource, "dut.sv", diags);
+    buildTransactions(annotations.transactions, dut, diags);
+
+    // Steps 3+4: signal + property generation.
+    PropGenOptions genOpts;
+    genOpts.assertInputs = opts.assertInputs;
+    genOpts.includeXprop = opts.includeXprop;
+    genOpts.includeCovers = opts.includeCovers;
+    genOpts.maxOutstanding = opts.maxOutstanding;
+    PropGenResult gen = generateProperties(dut, annotations.transactions, genOpts);
+
+    // Step 5: FV tool setup.
+    ToolGenInput toolIn;
+    toolIn.dutName = dut.moduleName;
+    toolIn.propertyModuleName = gen.propertyModuleName;
+    toolIn.clockName = dut.clockName;
+    toolIn.resetName = dut.resetName;
+    toolIn.resetActiveLow = dut.resetActiveLow;
+    toolIn.rtlFiles = {dut.moduleName + ".sv"};
+    toolIn.propertyFileName = gen.propertyModuleName + ".sv";
+    toolIn.bindFileName = dut.moduleName + "_bind.svh";
+
+    FormalTestbench ft;
+    ft.dutName = dut.moduleName;
+    ft.propertyModuleName = gen.propertyModuleName;
+    ft.propertyFile = std::move(gen.propertyFile);
+    ft.bindFile = std::move(gen.bindFile);
+    ft.jasperTcl = generateJasperTcl(toolIn);
+    ft.sbyFile = generateSbyFile(toolIn);
+    ft.properties = std::move(gen.properties);
+    ft.annotationLines = annotations.annotationLines;
+    ft.generationSeconds = sw.seconds();
+    return ft;
+}
+
+std::unique_ptr<ir::Design> elaborateWithFT(const std::vector<std::string>& rtlSources,
+                                            const FormalTestbench& ft, const VerifyOptions& opts,
+                                            util::DiagEngine& diags, bool tieReset) {
+    std::vector<std::string> sources = rtlSources;
+    for (const auto& extra : opts.extraSources) sources.push_back(extra);
+    sources.push_back(ft.propertyFile);
+    sources.push_back(ft.bindFile);
+    for (const FormalTestbench* sub : opts.submoduleFts) {
+        sources.push_back(sub->propertyFile);
+        sources.push_back(sub->bindFile);
+    }
+
+    // Re-scan the DUT interface for clock/reset names (cheap).
+    verilog::SourceFile dutFile = verilog::Parser::parseSource(rtlSources.at(0), "dut.sv");
+    ScanOptions scanOpts;
+    scanOpts.moduleName = ft.dutName;
+    DutInterface dut = scanInterface(dutFile, scanOpts, diags);
+
+    ir::ElabOptions elabOpts;
+    elabOpts.paramOverrides = opts.paramOverrides;
+    if (tieReset)
+        elabOpts.tieOffs[dut.resetName] = dut.resetActiveLow ? 1u : 0u;
+
+    return ir::elaborateSources(sources, ft.dutName, diags, elabOpts);
+}
+
+sva::VerificationReport verify(const std::vector<std::string>& rtlSources,
+                               const FormalTestbench& ft, const VerifyOptions& opts,
+                               util::DiagEngine& diags) {
+    auto design = elaborateWithFT(rtlSources, ft, opts, diags, /*tieReset=*/true);
+    formal::Engine engine(*design, opts.engine);
+    sva::VerificationReport report;
+    report.dutName = ft.dutName;
+    report.results = engine.checkAll();
+    report.totalSeconds = engine.stats().totalSeconds;
+    return report;
+}
+
+sva::VerificationReport generateAndVerify(const std::string& rtlSource,
+                                          const AutoSvaOptions& genOpts,
+                                          const VerifyOptions& verifyOpts,
+                                          util::DiagEngine& diags) {
+    FormalTestbench ft = generateFT(rtlSource, genOpts, diags);
+    return verify({rtlSource}, ft, verifyOpts, diags);
+}
+
+} // namespace autosva::core

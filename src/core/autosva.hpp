@@ -1,0 +1,91 @@
+// AutoSVA facade: the public entry points of the framework.
+//
+//   generateFT()  — annotated RTL text -> complete formal testbench
+//                   (property module, bind file, JasperGold TCL, SymbiYosys
+//                   .sby, statistics). This is the paper's contribution:
+//                   "AutoSVA generates FTs in under a second".
+//
+//   verify()      — run a generated testbench end-to-end with the built-in
+//                   model checker (BMC + k-induction + PDR + liveness-to-
+//                   safety) and return a per-property report. Substitutes
+//                   for the JasperGold runs in the paper's evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/language.hpp"
+#include "core/propgen.hpp"
+#include "formal/engine.hpp"
+#include "sva/report.hpp"
+
+namespace autosva::core {
+
+struct AutoSvaOptions {
+    std::string dutName;    ///< Empty: first module in the source.
+    std::string clockName;  ///< Empty: auto-detect.
+    std::string resetName;  ///< Empty: auto-detect.
+    bool assertInputs = false; ///< "-AS": assumptions become assertions.
+    bool includeXprop = true;
+    bool includeCovers = true;
+    int maxOutstanding = 8;
+};
+
+/// A complete generated formal testbench.
+struct FormalTestbench {
+    std::string dutName;
+    std::string propertyModuleName;
+    std::string propertyFile;
+    std::string bindFile;
+    std::string jasperTcl;
+    std::string sbyFile;
+
+    std::vector<GeneratedProperty> properties;
+    int annotationLines = 0;
+    double generationSeconds = 0.0;
+
+    [[nodiscard]] int numProperties() const { return static_cast<int>(properties.size()); }
+    [[nodiscard]] int numAssertions() const;
+    [[nodiscard]] int numAssumptions() const;
+    [[nodiscard]] int numCovers() const;
+    [[nodiscard]] int numLiveness() const;
+};
+
+/// Generates a formal testbench from annotated RTL. Throws
+/// util::FrontendError on malformed annotations. Diagnostics (lints,
+/// warnings) accumulate in `diags`.
+[[nodiscard]] FormalTestbench generateFT(const std::string& rtlSource,
+                                         const AutoSvaOptions& opts, util::DiagEngine& diags);
+
+struct VerifyOptions {
+    formal::EngineOptions engine;
+    /// Additional RTL sources (submodule definitions used by the DUT).
+    std::vector<std::string> extraSources;
+    /// Linked submodule testbenches (the paper's "-AM" flow): their property
+    /// modules are bound to the submodule instances inside the DUT.
+    std::vector<const FormalTestbench*> submoduleFts;
+    /// Extra top-level parameter overrides.
+    std::unordered_map<std::string, uint64_t> paramOverrides;
+};
+
+/// Verifies `ft` against the DUT using the built-in engine. `rtlSources`
+/// must contain the DUT module (and any submodules it instantiates).
+[[nodiscard]] sva::VerificationReport verify(const std::vector<std::string>& rtlSources,
+                                             const FormalTestbench& ft,
+                                             const VerifyOptions& opts, util::DiagEngine& diags);
+
+/// One-call convenience: generate + verify.
+[[nodiscard]] sva::VerificationReport generateAndVerify(const std::string& rtlSource,
+                                                        const AutoSvaOptions& genOpts,
+                                                        const VerifyOptions& verifyOpts,
+                                                        util::DiagEngine& diags);
+
+/// Builds the elaborated design (DUT + bound property modules) that verify()
+/// checks — exposed for simulation reuse (§III-B property checking in
+/// simulation) and for tests.
+[[nodiscard]] std::unique_ptr<ir::Design> elaborateWithFT(
+    const std::vector<std::string>& rtlSources, const FormalTestbench& ft,
+    const VerifyOptions& opts, util::DiagEngine& diags, bool tieReset = true);
+
+} // namespace autosva::core

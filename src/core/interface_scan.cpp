@@ -1,0 +1,110 @@
+#include "core/interface_scan.hpp"
+
+#include <array>
+
+namespace autosva::core {
+
+using util::FrontendError;
+
+namespace {
+
+bool isClockName(const std::string& name) {
+    static const std::array<const char*, 5> names = {"clk", "clk_i", "clock", "clock_i", "clk_in"};
+    for (const char* n : names)
+        if (name == n) return true;
+    return false;
+}
+
+/// Returns active-low flag if the name is a recognized reset; nullopt else.
+std::optional<bool> resetPolarity(const std::string& name) {
+    static const std::array<const char*, 6> low = {"rst_ni", "rst_n", "rstn", "reset_n",
+                                                   "resetn", "rst_l"};
+    static const std::array<const char*, 4> high = {"rst", "rst_i", "reset", "reset_i"};
+    for (const char* n : low)
+        if (name == n) return true;
+    for (const char* n : high)
+        if (name == n) return false;
+    return std::nullopt;
+}
+
+} // namespace
+
+DutInterface scanInterface(const verilog::SourceFile& file, const ScanOptions& opts,
+                           util::DiagEngine& diags) {
+    const verilog::Module* mod = nullptr;
+    if (opts.moduleName.empty()) {
+        if (file.modules.empty()) throw FrontendError({}, "no module found in source");
+        mod = file.modules.front().get();
+    } else {
+        mod = file.findModule(opts.moduleName);
+        if (!mod) throw FrontendError({}, "module '" + opts.moduleName + "' not found");
+    }
+
+    DutInterface dut;
+    dut.moduleName = mod->name;
+
+    for (const auto& p : mod->params) {
+        ParamInfo info;
+        info.name = p.name;
+        info.defaultText = verilog::exprToString(*p.value);
+        dut.params.push_back(std::move(info));
+    }
+    // Evaluate parameter defaults iteratively (params may reference earlier
+    // ones).
+    for (size_t i = 0; i < mod->params.size(); ++i) {
+        int w = evalWidth(dut.params[i].defaultText, dut); // w = value + 1
+        if (w > 0) {
+            dut.params[i].value = static_cast<uint64_t>(w) - 1;
+            dut.params[i].known = true;
+        }
+    }
+
+    for (const auto& port : mod->ports) {
+        PortInfo info;
+        info.name = port.name;
+        info.isInput = port.dir == verilog::PortDir::Input;
+        if (port.packed) info.widthMsb = verilog::exprToString(*port.packed->msb);
+        info.widthBits = evalWidth(info.widthMsb, dut);
+        dut.ports.push_back(std::move(info));
+    }
+
+    // Clock detection.
+    dut.clockName = opts.clockName;
+    if (dut.clockName.empty()) {
+        for (const auto& p : dut.ports)
+            if (p.isInput && isClockName(p.name)) {
+                dut.clockName = p.name;
+                break;
+            }
+    }
+    if (dut.clockName.empty())
+        throw FrontendError(mod->loc, "could not identify a clock port in module '" + mod->name +
+                                          "' (use ScanOptions::clockName)");
+
+    // Reset detection.
+    dut.resetName = opts.resetName;
+    if (!dut.resetName.empty()) {
+        auto pol = resetPolarity(dut.resetName);
+        dut.resetActiveLow = pol.value_or(dut.resetName.ends_with("_n") ||
+                                          dut.resetName.ends_with("_ni"));
+    } else {
+        for (const auto& p : dut.ports) {
+            if (!p.isInput) continue;
+            auto pol = resetPolarity(p.name);
+            if (pol) {
+                dut.resetName = p.name;
+                dut.resetActiveLow = *pol;
+                break;
+            }
+        }
+    }
+    if (dut.resetName.empty())
+        throw FrontendError(mod->loc, "could not identify a reset port in module '" + mod->name +
+                                          "' (use ScanOptions::resetName)");
+
+    if (dut.ports.size() < 2)
+        diags.warning(mod->loc, "module '" + mod->name + "' has very few ports");
+    return dut;
+}
+
+} // namespace autosva::core

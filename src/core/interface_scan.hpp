@@ -1,0 +1,24 @@
+// Extraction of the DUT interface (ports, parameters, clock/reset) from the
+// module declaration section — AutoSVA's parser step (1).
+#pragma once
+
+#include <string>
+
+#include "core/transaction.hpp"
+#include "util/diagnostics.hpp"
+#include "verilog/ast.hpp"
+
+namespace autosva::core {
+
+struct ScanOptions {
+    std::string moduleName; ///< Empty: first module in the file.
+    std::string clockName;  ///< Empty: auto-detect (clk, clk_i, clock, ...).
+    std::string resetName;  ///< Empty: auto-detect (rst_ni, rst_n, reset, ...).
+};
+
+/// Scans the DUT module header. Throws util::FrontendError if the module or
+/// a clock/reset cannot be identified.
+[[nodiscard]] DutInterface scanInterface(const verilog::SourceFile& file,
+                                         const ScanOptions& opts, util::DiagEngine& diags);
+
+} // namespace autosva::core

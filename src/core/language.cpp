@@ -1,0 +1,218 @@
+#include "core/language.hpp"
+
+#include "util/strings.hpp"
+#include "verilog/parser.hpp"
+
+namespace autosva::core {
+
+using util::FrontendError;
+using util::SourceLoc;
+
+namespace {
+
+struct RawLine {
+    std::string text;
+    int lineNo; // 1-based in the RTL buffer.
+};
+
+/// Extracts annotation lines: bodies of /*AUTOSVA ... */ regions plus
+/// `//AUTOSVA <line>` one-liners.
+std::vector<RawLine> extractAnnotationLines(const std::string& rtlText) {
+    std::vector<RawLine> out;
+    auto lines = util::splitLines(rtlText);
+    bool inRegion = false;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        std::string_view line = util::trim(lines[i]);
+        int no = static_cast<int>(i) + 1;
+        if (!inRegion) {
+            if (line.rfind("/*AUTOSVA", 0) == 0) {
+                std::string_view rest = util::trim(line.substr(9));
+                if (rest.size() >= 2 && rest.substr(rest.size() - 2) == "*/") {
+                    rest = util::trim(rest.substr(0, rest.size() - 2));
+                    if (!rest.empty()) out.push_back({std::string(rest), no});
+                } else {
+                    inRegion = true;
+                    if (!rest.empty()) out.push_back({std::string(rest), no});
+                }
+            } else if (line.rfind("//AUTOSVA", 0) == 0) {
+                std::string_view rest = util::trim(line.substr(9));
+                if (!rest.empty()) out.push_back({std::string(rest), no});
+            }
+        } else {
+            if (line.find("*/") != std::string_view::npos) {
+                std::string_view body = util::trim(line.substr(0, line.find("*/")));
+                if (!body.empty()) out.push_back({std::string(body), no});
+                inRegion = false;
+            } else {
+                if (!line.empty()) out.push_back({std::string(line), no});
+            }
+        }
+    }
+    return out;
+}
+
+/// Splits "name_suffix" into (ifaceName, Attr) by longest-suffix match,
+/// given the set of declared interface names.
+struct FieldRef {
+    std::string iface;
+    sva::Attr attr;
+};
+
+std::optional<FieldRef> resolveField(const std::string& field,
+                                     const std::vector<Transaction>& transactions) {
+    // Try every declared interface name as a prefix.
+    for (const auto& t : transactions) {
+        for (const auto* iface : {&t.req, &t.resp}) {
+            const std::string& name = iface->name;
+            if (field.size() <= name.size() + 1) continue;
+            if (field.rfind(name + "_", 0) != 0) continue;
+            std::string suffix = field.substr(name.size() + 1);
+            auto attr = sva::attrFromSuffix(suffix);
+            if (attr) return FieldRef{name, *attr};
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+AnnotationSet parseAnnotations(const std::string& rtlText, const std::string& bufferName,
+                               util::DiagEngine& diags) {
+    AnnotationSet set;
+    auto rawLines = extractAnnotationLines(rtlText);
+    set.annotationLines = static_cast<int>(rawLines.size());
+
+    auto locOf = [&](int lineNo) {
+        return SourceLoc{bufferName, static_cast<uint32_t>(lineNo), 1};
+    };
+
+    // Pass 1: transaction declarations `name: P -in> Q`.
+    std::vector<const RawLine*> attrLines;
+    for (const auto& raw : rawLines) {
+        std::string_view line = util::trim(raw.text);
+        size_t colon = line.find(':');
+        size_t eq = line.find('=');
+        bool isDecl = colon != std::string_view::npos &&
+                      (eq == std::string_view::npos || colon < eq) &&
+                      (line.find("-in>") != std::string_view::npos ||
+                       line.find("-out>") != std::string_view::npos);
+        if (!isDecl) {
+            attrLines.push_back(&raw);
+            continue;
+        }
+        Transaction t;
+        t.line = raw.lineNo;
+        t.name = std::string(util::trim(line.substr(0, colon)));
+        if (!util::isIdentifier(t.name))
+            throw FrontendError(locOf(raw.lineNo), "bad transaction name '" + t.name + "'");
+        std::string_view rel = util::trim(line.substr(colon + 1));
+        size_t arrow = rel.find("-in>");
+        size_t arrowLen = 4;
+        t.incoming = true;
+        if (arrow == std::string_view::npos) {
+            arrow = rel.find("-out>");
+            arrowLen = 5;
+            t.incoming = false;
+        }
+        if (arrow == std::string_view::npos)
+            throw FrontendError(locOf(raw.lineNo), "expected '-in>' or '-out>' relation");
+        t.req.name = std::string(util::trim(rel.substr(0, arrow)));
+        t.resp.name = std::string(util::trim(rel.substr(arrow + arrowLen)));
+        if (!util::isIdentifier(t.req.name) || !util::isIdentifier(t.resp.name))
+            throw FrontendError(locOf(raw.lineNo),
+                                "bad interface names in relation '" + std::string(rel) + "'");
+        set.transactions.push_back(std::move(t));
+    }
+
+    // Pass 2: attribute definitions.
+    for (const RawLine* raw : attrLines) {
+        std::string_view line = util::trim(raw->text);
+        if (line.empty()) continue;
+
+        // `input SIG` / `output SIG`: implicit-definition hints; the port
+        // scan discovers these automatically, so just validate the field.
+        bool isDirHint = false;
+        for (const char* kw : {"input ", "output "}) {
+            if (line.rfind(kw, 0) == 0) {
+                isDirHint = true;
+                line = util::trim(line.substr(std::string_view(kw).size()));
+                break;
+            }
+        }
+
+        // Optional width `[msb:0]`.
+        std::string widthMsb;
+        if (!line.empty() && line.front() == '[') {
+            size_t close = line.find(']');
+            if (close == std::string_view::npos)
+                throw FrontendError(locOf(raw->lineNo), "unterminated width in annotation");
+            std::string_view range = line.substr(1, close - 1);
+            size_t colon = range.rfind(':');
+            if (colon == std::string_view::npos || util::trim(range.substr(colon + 1)) != "0")
+                throw FrontendError(locOf(raw->lineNo),
+                                    "annotation widths must have the form [msb:0]");
+            widthMsb = std::string(util::trim(range.substr(0, colon)));
+            line = util::trim(line.substr(close + 1));
+        }
+
+        std::string field;
+        std::string rhs;
+        if (isDirHint) {
+            field = std::string(util::trim(line));
+            rhs = field; // Signal is its own definition.
+        } else {
+            size_t eq = line.find('=');
+            if (eq == std::string_view::npos)
+                throw FrontendError(locOf(raw->lineNo),
+                                    "expected '=' in annotation '" + std::string(line) + "'");
+            field = std::string(util::trim(line.substr(0, eq)));
+            rhs = std::string(util::trim(line.substr(eq + 1)));
+            if (rhs.empty())
+                throw FrontendError(locOf(raw->lineNo), "empty expression in annotation");
+        }
+        if (!util::isIdentifier(field))
+            throw FrontendError(locOf(raw->lineNo), "bad field name '" + field + "'");
+
+        auto ref = resolveField(field, set.transactions);
+        if (!ref)
+            throw FrontendError(locOf(raw->lineNo),
+                                "field '" + field +
+                                    "' does not match any declared interface and legal suffix");
+
+        // Validate the expression parses as Verilog.
+        try {
+            (void)verilog::Parser::parseExpression(rhs, bufferName);
+        } catch (const FrontendError& err) {
+            throw FrontendError(locOf(raw->lineNo),
+                                "bad expression in annotation: " + std::string(err.what()));
+        }
+
+        AttrDef def;
+        def.attr = ref->attr;
+        def.iface = ref->iface;
+        def.rhs = rhs;
+        def.widthMsb = widthMsb;
+        def.implicit = false;
+        def.line = raw->lineNo;
+
+        bool placed = false;
+        for (auto& t : set.transactions) {
+            for (auto* iface : {&t.req, &t.resp}) {
+                if (iface->name != ref->iface) continue;
+                if (iface->has(ref->attr)) {
+                    diags.warning(locOf(raw->lineNo),
+                                  "duplicate definition of '" + field + "' ignored");
+                } else {
+                    iface->attrs.emplace(ref->attr, def);
+                }
+                placed = true;
+            }
+        }
+        if (!placed)
+            throw FrontendError(locOf(raw->lineNo), "internal: unplaced attribute " + field);
+    }
+
+    return set;
+}
+
+} // namespace autosva::core

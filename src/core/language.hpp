@@ -1,0 +1,45 @@
+// Parser for the AutoSVA annotation language (paper Table I).
+//
+// Annotations live in comments in the interface-declaration section of the
+// RTL file, either inside a multi-line region:
+//
+//   /*AUTOSVA
+//   lsu_load: lsu_req -in> lsu_res
+//   lsu_req_val = lsu_valid_i && fu_data_i_fu == LOAD
+//   [TRANS_ID_BITS-1:0] lsu_req_transid = fu_data_i_trans_id
+//   */
+//
+// or on single lines prefixed with `//AUTOSVA`. Grammar (Table I):
+//
+//   TRANSACTION ::= TNAME: RELATION
+//   RELATION    ::= P -in> Q | P -out> Q
+//   ATTRIB      ::= SIG = ASSIGN | input SIG | output SIG
+//   SIG         ::= [STR:0] FIELD | FIELD
+//   FIELD       ::= P SUFFIX | Q SUFFIX
+//   SUFFIX      ::= val|ack|transid|transid_unique|active|stable|data
+//
+// `rdy` is accepted as a synonym for `ack` (the paper uses both spellings).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/transaction.hpp"
+#include "util/diagnostics.hpp"
+
+namespace autosva::core {
+
+struct AnnotationSet {
+    std::vector<Transaction> transactions;
+    /// Lines of annotations written by the designer (the paper's
+    /// engineering-effort metric: "110 LoC of annotations").
+    int annotationLines = 0;
+};
+
+/// Scans `rtlText` for AutoSVA annotations and parses them. Unattributable
+/// or malformed lines raise util::FrontendError with the source line.
+[[nodiscard]] AnnotationSet parseAnnotations(const std::string& rtlText,
+                                             const std::string& bufferName,
+                                             util::DiagEngine& diags);
+
+} // namespace autosva::core

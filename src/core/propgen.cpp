@@ -1,0 +1,316 @@
+#include "core/propgen.hpp"
+
+#include <set>
+
+namespace autosva::core {
+
+namespace {
+
+/// Incremental text builder for the property module.
+class Emitter {
+public:
+    void line(const std::string& text = "") {
+        out_ += text;
+        out_ += '\n';
+    }
+    [[nodiscard]] std::string str() const { return out_; }
+
+private:
+    std::string out_;
+};
+
+struct Ctx {
+    const DutInterface& dut;
+    const PropGenOptions& opts;
+    PropGenResult& result;
+    Emitter& em;
+    std::set<std::string> emittedWires;
+
+    [[nodiscard]] std::string resetGuard() const {
+        return dut.resetActiveLow ? "!" + dut.resetName : dut.resetName;
+    }
+    [[nodiscard]] std::string ffHeader() const {
+        // always_ff @(posedge clk or negedge rst_n) / (... or posedge rst)
+        return "always_ff @(posedge " + dut.clockName + " or " +
+               (dut.resetActiveLow ? "negedge " : "posedge ") + dut.resetName + ") begin";
+    }
+
+    /// Emits one property with the right directive, recording stats.
+    void prop(const std::string& label, bool asserted, bool cover, bool liveness, bool xprop,
+              sva::Attr attr, const std::string& transaction, const std::string& body) {
+        bool finalAssert = asserted || (opts.assertInputs && !cover);
+        std::string prefix = cover ? "co" : (xprop ? "xp" : (finalAssert ? "as" : "am"));
+        std::string directive = cover ? "cover" : (finalAssert ? "assert" : "assume");
+        std::string fullLabel = prefix + "__" + label;
+        em.line("  " + fullLabel + ": " + directive + " property (" + body + ");");
+        GeneratedProperty gp;
+        gp.label = fullLabel;
+        gp.sourceAttr = attr;
+        gp.transaction = transaction;
+        gp.isAssert = finalAssert && !cover;
+        gp.isCover = cover;
+        gp.isLiveness = liveness;
+        gp.isXprop = xprop;
+        result.properties.push_back(std::move(gp));
+    }
+};
+
+/// Name of the generated wire for an attribute (suffix `_m` avoids clashing
+/// with same-named DUT ports for implicit definitions).
+std::string attrWire(const InterfaceDesc& iface, Attr attr) {
+    return iface.name + "_" + sva::attrName(attr) + "_m";
+}
+
+void emitAttrWires(Ctx& ctx, const InterfaceDesc& iface) {
+    for (const auto& [attr, def] : iface.attrs) {
+        std::string wire = attrWire(iface, attr);
+        if (!ctx.emittedWires.insert(wire).second) continue; // Shared interface.
+        std::string width = def.widthMsb.empty() ? "" : "[" + def.widthMsb + ":0] ";
+        ctx.em.line("  wire " + width + wire + " = (" + def.rhs + ");");
+    }
+}
+
+std::string hskExpr(const InterfaceDesc& iface) {
+    std::string val = attrWire(iface, Attr::Val);
+    if (iface.has(Attr::Ack)) return val + " && " + attrWire(iface, Attr::Ack);
+    return val;
+}
+
+void emitTransaction(Ctx& ctx, const Transaction& t) {
+    Emitter& em = ctx.em;
+    const std::string& T = t.name;
+    const bool incoming = t.incoming;
+
+    em.line();
+    em.line("  // ------------------------------------------------------------------");
+    em.line("  // Transaction " + T + ": " + t.req.name + (incoming ? " -in> " : " -out> ") +
+            t.resp.name);
+    em.line("  // ------------------------------------------------------------------");
+
+    emitAttrWires(ctx, t.req);
+    emitAttrWires(ctx, t.resp);
+
+    // Handshake wires.
+    em.line("  wire " + T + "_req_hsk = " + hskExpr(t.req) + ";");
+    em.line("  wire " + T + "_res_hsk = " + hskExpr(t.resp) + ";");
+
+    // Transaction-tracking condition: symbolic transaction ID filtering when
+    // transid is defined (one assertion reasons over every ID).
+    std::string setExpr = T + "_req_hsk";
+    std::string respExpr = T + "_res_hsk";
+    if (t.tracksTransid()) {
+        const AttrDef* reqId = t.req.get(Attr::Transid);
+        std::string width = reqId->widthMsb.empty() ? "" : "[" + reqId->widthMsb + ":0] ";
+        em.line("  // Symbolic (rigid) transaction ID: tracks any single ID.");
+        em.line("  logic " + width + "symb_" + T + "_transid;");
+        ctx.prop(T + "_symb_transid_stable", /*asserted=*/false, false, false, false,
+                 Attr::Transid, T, "$stable(symb_" + T + "_transid)");
+        setExpr += " && (" + attrWire(t.req, Attr::Transid) + " == symb_" + T + "_transid)";
+        respExpr += " && (" + attrWire(t.resp, Attr::Transid) + " == symb_" + T + "_transid)";
+    }
+    em.line("  wire " + T + "_set = " + setExpr + ";");
+    em.line("  wire " + T + "_response = " + respExpr + ";");
+
+    // Outstanding-transaction counter.
+    em.line("  reg [OUTSTANDING_W-1:0] " + T + "_sampled;");
+    em.line("  " + ctx.ffHeader());
+    em.line("    if (" + ctx.resetGuard() + ") begin");
+    em.line("      " + T + "_sampled <= '0;");
+    em.line("    end else if (" + T + "_set || " + T + "_response) begin");
+    em.line("      " + T + "_sampled <= " + T + "_sampled + " + T + "_set - " + T +
+            "_response;");
+    em.line("    end");
+    em.line("  end");
+
+    // ---- Properties (Table II) ----
+
+    // val*: liveness (every request eventually answered) + no orphan
+    // responses. Asserted when the DUT is the responder (incoming).
+    ctx.prop(T + "_eventual_response", incoming, false, true, false, Attr::Val, T,
+             T + "_set |-> s_eventually (" + T + "_response)");
+    ctx.prop(T + "_had_a_request", incoming, false, false, false, Attr::Val, T,
+             T + "_response |-> " + T + "_set || " + T + "_sampled > 0");
+
+    // Environment bound on outstanding transactions (sizes the counter; the
+    // requester must respect it).
+    ctx.prop(T + "_max_outstanding", !incoming, false, false, false, Attr::Val, T,
+             T + "_sampled >= MAX_OUTSTANDING |-> !" + T + "_set");
+
+    // ack*: eventual handshake-or-drop on each interface that has an ack.
+    // A request may only be dropped if no stable signal is defined.
+    for (const auto* iface : {&t.req, &t.resp}) {
+        if (!iface->has(Attr::Ack)) continue;
+        bool ackDriverIsDut = (iface == &t.req) == incoming;
+        std::string val = attrWire(*iface, Attr::Val);
+        std::string ack = attrWire(*iface, Attr::Ack);
+        std::string target =
+            iface->has(Attr::Stable) ? ack : "!" + val + " || " + ack;
+        ctx.prop(T + "_" + iface->name + "_hsk_or_drop", ackDriverIsDut, false, true, false,
+                 Attr::Ack, T, val + " |-> s_eventually (" + target + ")");
+    }
+
+    // stable: payload held while valid and not acknowledged. Assumed for
+    // environment-driven interfaces, asserted for DUT-driven ones.
+    for (const auto* iface : {&t.req, &t.resp}) {
+        if (!iface->has(Attr::Stable)) continue;
+        bool valDriverIsDut = (iface == &t.req) ? !incoming : incoming;
+        std::string val = attrWire(*iface, Attr::Val);
+        std::string guard = val;
+        if (iface->has(Attr::Ack)) guard += " && !" + attrWire(*iface, Attr::Ack);
+        ctx.prop(T + "_" + iface->name + "_stability", valDriverIsDut, false, false, false,
+                 Attr::Stable, T,
+                 guard + " |=> $stable(" + attrWire(*iface, Attr::Stable) + ")");
+    }
+
+    // active: asserted whenever the transaction is ongoing.
+    for (const auto* iface : {&t.req, &t.resp}) {
+        if (!iface->has(Attr::Active)) continue;
+        ctx.prop(T + "_" + iface->name + "_active", true, false, false, false, Attr::Active, T,
+                 T + "_sampled > 0 |-> " + attrWire(*iface, Attr::Active));
+    }
+
+    // transid_unique: no two outstanding transactions share an ID. With the
+    // symbolic filter, this is exactly "no new set while one is in flight".
+    if (t.req.has(Attr::TransidUnique) ||
+        (t.tracksTransid() && t.resp.has(Attr::TransidUnique))) {
+        ctx.prop(T + "_transid_unique", !incoming, false, false, false, Attr::TransidUnique, T,
+                 T + "_set |-> " + T + "_sampled == 0");
+    }
+
+    // data: response payload equals the request payload sampled at issue.
+    if (t.tracksData()) {
+        const AttrDef* reqData = t.req.get(Attr::Data);
+        std::string width = reqData->widthMsb.empty() ? "" : "[" + reqData->widthMsb + ":0] ";
+        std::string reqD = attrWire(t.req, Attr::Data);
+        std::string respD = attrWire(t.resp, Attr::Data);
+        em.line("  reg " + width + T + "_data_sampled;");
+        em.line("  " + ctx.ffHeader());
+        em.line("    if (" + ctx.resetGuard() + ") begin");
+        em.line("      " + T + "_data_sampled <= '0;");
+        em.line("    end else if (" + T + "_set) begin");
+        em.line("      " + T + "_data_sampled <= " + reqD + ";");
+        em.line("    end");
+        em.line("  end");
+        // Guarded to at most one outstanding transaction: with several in
+        // flight and no ID tracking, the sample register holds the newest
+        // request while the response may serve an older one. With transid
+        // tracking (symbolic filtering + uniqueness) the guard is trivially
+        // true and the check is exact.
+        ctx.prop(T + "_data_integrity", incoming, false, false, false, Attr::Data, T,
+                 T + "_response && " + T + "_sampled <= 1 |-> " + respD + " == (" + T +
+                     "_sampled == 0 ? " + reqD + " : " + T + "_data_sampled)");
+    }
+
+    // Covers: the request path is exercisable.
+    if (ctx.opts.includeCovers) {
+        ctx.prop(T + "_request_happens", false, true, false, false, Attr::Val, T,
+                 T + "_sampled > 0");
+        ctx.prop(T + "_response_happens", false, true, false, false, Attr::Val, T,
+                 T + "_response");
+    }
+
+    // X-propagation: when val is high, no other attribute may be X
+    // (simulation-only; formal tools are 2-state).
+    if (ctx.opts.includeXprop) {
+        for (const auto* iface : {&t.req, &t.resp}) {
+            std::vector<std::string> sigs;
+            for (const auto& [attr, def] : iface->attrs) {
+                if (attr == Attr::Val) continue;
+                sigs.push_back(attrWire(*iface, attr));
+            }
+            if (sigs.empty()) continue;
+            std::string concat = "{";
+            for (size_t i = 0; i < sigs.size(); ++i)
+                concat += (i ? ", " : "") + sigs[i];
+            concat += "}";
+            ctx.prop(T + "_" + iface->name + "_xprop", true, false, false, true, Attr::Val, T,
+                     attrWire(*iface, Attr::Val) + " |-> !$isunknown(" + concat + ")");
+        }
+    }
+}
+
+} // namespace
+
+int PropGenResult::countAsserts() const {
+    int n = 0;
+    for (const auto& p : properties)
+        if (p.isAssert && !p.isXprop) ++n;
+    return n;
+}
+int PropGenResult::countAssumes() const {
+    int n = 0;
+    for (const auto& p : properties)
+        if (!p.isAssert && !p.isCover) ++n;
+    return n;
+}
+int PropGenResult::countCovers() const {
+    int n = 0;
+    for (const auto& p : properties)
+        if (p.isCover) ++n;
+    return n;
+}
+int PropGenResult::countLiveness() const {
+    int n = 0;
+    for (const auto& p : properties)
+        if (p.isLiveness) ++n;
+    return n;
+}
+int PropGenResult::countXprop() const {
+    int n = 0;
+    for (const auto& p : properties)
+        if (p.isXprop) ++n;
+    return n;
+}
+
+PropGenResult generateProperties(const DutInterface& dut,
+                                 const std::vector<Transaction>& transactions,
+                                 const PropGenOptions& opts) {
+    PropGenResult result;
+    result.propertyModuleName = dut.moduleName + "_prop";
+
+    Emitter em;
+    Ctx ctx{dut, opts, result, em, {}};
+
+    em.line("// Formal testbench for module '" + dut.moduleName + "'.");
+    em.line("// Auto-generated by autosva-cpp; regenerate rather than editing.");
+    em.line("module " + result.propertyModuleName);
+
+    // Parameters: MAX_OUTSTANDING + a copy of the DUT parameters so width
+    // expressions keep working.
+    em.line("#(");
+    std::string paramLines = "  parameter MAX_OUTSTANDING = " +
+                             std::to_string(opts.maxOutstanding);
+    for (const auto& p : dut.params)
+        paramLines += ",\n  parameter " + p.name + " = " + p.defaultText;
+    em.line(paramLines);
+    em.line(") (");
+
+    // Ports: every DUT port, as an input.
+    std::string portLines;
+    for (size_t i = 0; i < dut.ports.size(); ++i) {
+        const auto& port = dut.ports[i];
+        std::string width = port.widthMsb.empty() ? "" : "[" + port.widthMsb + ":0] ";
+        portLines += "  input wire " + width + port.name;
+        if (i + 1 < dut.ports.size()) portLines += ",\n";
+    }
+    em.line(portLines);
+    em.line(");");
+    em.line();
+    em.line("  localparam OUTSTANDING_W = $clog2(MAX_OUTSTANDING) + 1;");
+    em.line();
+    em.line("  default clocking cb @(posedge " + dut.clockName + "); endclocking");
+    em.line("  default disable iff (" + ctx.resetGuard() + ");");
+
+    for (const auto& t : transactions) emitTransaction(ctx, t);
+
+    em.line();
+    em.line("endmodule");
+    result.propertyFile = em.str();
+
+    result.bindFile = "// Bind file for module '" + dut.moduleName + "'.\n" +
+                      "bind " + dut.moduleName + " " + result.propertyModuleName + " " +
+                      dut.moduleName + "_prop_i (.*);\n";
+    return result;
+}
+
+} // namespace autosva::core

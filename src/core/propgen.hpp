@@ -1,0 +1,55 @@
+// Property-file generation: AutoSVA steps (3) signal generator and
+// (4) property generator. Produces the SystemVerilog property module,
+// the bind file, and generation statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/transaction.hpp"
+
+namespace autosva::core {
+
+struct PropGenOptions {
+    /// Flip all assumptions into assertions (the paper's ASSERT_INPUTS /
+    /// "-AS" submodule mode).
+    bool assertInputs = false;
+    /// Emit X-propagation assertions (checked in simulation only).
+    bool includeXprop = true;
+    /// Emit handshake/response cover properties.
+    bool includeCovers = true;
+    /// Bound on simultaneously outstanding transactions (counter sizing and
+    /// the max-outstanding environment constraint).
+    int maxOutstanding = 8;
+};
+
+struct GeneratedProperty {
+    std::string label;
+    sva::Attr sourceAttr;      ///< Table II attribute that produced it.
+    std::string transaction;
+    bool isAssert = false;
+    bool isCover = false;
+    bool isLiveness = false;
+    bool isXprop = false;
+};
+
+struct PropGenResult {
+    std::string propertyModuleName;
+    std::string propertyFile; ///< SystemVerilog text.
+    std::string bindFile;     ///< SystemVerilog bind directive.
+    std::vector<GeneratedProperty> properties;
+
+    [[nodiscard]] int numProperties() const { return static_cast<int>(properties.size()); }
+    [[nodiscard]] int countAsserts() const;
+    [[nodiscard]] int countAssumes() const;
+    [[nodiscard]] int countCovers() const;
+    [[nodiscard]] int countLiveness() const;
+    [[nodiscard]] int countXprop() const;
+};
+
+/// Generates the formal testbench text for the DUT + transactions.
+[[nodiscard]] PropGenResult generateProperties(const DutInterface& dut,
+                                               const std::vector<Transaction>& transactions,
+                                               const PropGenOptions& opts);
+
+} // namespace autosva::core

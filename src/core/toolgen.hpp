@@ -1,0 +1,28 @@
+// FV tool setup generation — AutoSVA step (5). Emits ready-to-run
+// JasperGold TCL and SymbiYosys .sby scripts for the generated testbench
+// (for use with external tools), mirroring the original tool's backends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/transaction.hpp"
+
+namespace autosva::core {
+
+struct ToolGenInput {
+    std::string dutName;
+    std::string propertyModuleName;
+    std::string clockName;
+    std::string resetName;
+    bool resetActiveLow = true;
+    /// File names as they would be written to disk.
+    std::vector<std::string> rtlFiles;
+    std::string propertyFileName;
+    std::string bindFileName;
+};
+
+[[nodiscard]] std::string generateJasperTcl(const ToolGenInput& input);
+[[nodiscard]] std::string generateSbyFile(const ToolGenInput& input, int depth = 25);
+
+} // namespace autosva::core

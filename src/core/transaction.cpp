@@ -1,0 +1,198 @@
+#include "core/transaction.hpp"
+
+#include <unordered_set>
+
+#include "verilog/parser.hpp"
+
+namespace autosva::core {
+
+using util::FrontendError;
+
+namespace {
+
+/// Tiny constant evaluator over parameter values for width expressions.
+std::optional<uint64_t> evalConstExpr(const verilog::Expr& e, const DutInterface& dut) {
+    using verilog::Expr;
+    switch (e.kind) {
+    case Expr::Kind::Number:
+        return e.intValue;
+    case Expr::Kind::Ident: {
+        const ParamInfo* p = dut.findParam(e.name);
+        if (p && p->known) return p->value;
+        return std::nullopt;
+    }
+    case Expr::Kind::Unary: {
+        auto a = evalConstExpr(*e.operands[0], dut);
+        if (!a) return std::nullopt;
+        switch (e.unaryOp) {
+        case verilog::UnaryOp::Plus: return *a;
+        case verilog::UnaryOp::Minus: return static_cast<uint64_t>(-static_cast<int64_t>(*a));
+        case verilog::UnaryOp::LogicNot: return *a == 0 ? 1 : 0;
+        case verilog::UnaryOp::BitNot: return ~*a;
+        default: return std::nullopt;
+        }
+    }
+    case Expr::Kind::Binary: {
+        auto a = evalConstExpr(*e.operands[0], dut);
+        auto b = evalConstExpr(*e.operands[1], dut);
+        if (!a || !b) return std::nullopt;
+        using BO = verilog::BinaryOp;
+        switch (e.binaryOp) {
+        case BO::Add: return *a + *b;
+        case BO::Sub: return *a - *b;
+        case BO::Mul: return *a * *b;
+        case BO::Div: return *b ? *a / *b : std::optional<uint64_t>{};
+        case BO::Mod: return *b ? *a % *b : std::optional<uint64_t>{};
+        case BO::Shl: return *a << *b;
+        case BO::Shr: return *a >> *b;
+        default: return std::nullopt;
+        }
+    }
+    case Expr::Kind::Call: {
+        if (e.name == "$clog2" && e.operands.size() == 1) {
+            auto a = evalConstExpr(*e.operands[0], dut);
+            if (!a) return std::nullopt;
+            uint64_t v = *a;
+            if (v <= 1) return 0;
+            uint64_t bits = 0, x = v - 1;
+            while (x) {
+                ++bits;
+                x >>= 1;
+            }
+            return bits;
+        }
+        return std::nullopt;
+    }
+    default:
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+int evalWidth(const std::string& msbText, const DutInterface& dut) {
+    if (msbText.empty()) return 1;
+    try {
+        auto expr = verilog::Parser::parseExpression(msbText, "<width>");
+        auto v = evalConstExpr(*expr, dut);
+        if (!v) return -1;
+        return static_cast<int>(*v) + 1;
+    } catch (const FrontendError&) {
+        return -1;
+    }
+}
+
+namespace {
+
+void addImplicitAttrs(InterfaceDesc& iface, const DutInterface& dut) {
+    const std::string prefix = iface.name + "_";
+    for (const auto& port : dut.ports) {
+        if (port.name.rfind(prefix, 0) != 0) continue;
+        std::string suffix = port.name.substr(prefix.size());
+        auto attr = sva::attrFromSuffix(suffix);
+        if (!attr) continue;
+        if (iface.has(*attr)) continue; // Explicit definition wins.
+        AttrDef def;
+        def.attr = *attr;
+        def.iface = iface.name;
+        def.rhs = port.name;
+        def.widthMsb = port.widthMsb;
+        def.implicit = true;
+        iface.attrs.emplace(*attr, std::move(def));
+    }
+}
+
+void checkSymmetricAttr(const Transaction& t, Attr attr, const DutInterface& dut,
+                        util::DiagEngine& diags) {
+    bool onReq = t.req.has(attr);
+    bool onResp = t.resp.has(attr);
+    if (onReq != onResp) {
+        throw FrontendError({}, "transaction '" + t.name + "': attribute '" +
+                                    sva::attrName(attr) +
+                                    "' must be defined on both interfaces (" +
+                                    (onReq ? t.req.name : t.resp.name) + " only)");
+    }
+    if (!onReq) return;
+    int wr = evalWidth(t.req.get(attr)->widthMsb, dut);
+    int ws = evalWidth(t.resp.get(attr)->widthMsb, dut);
+    if (wr > 0 && ws > 0 && wr != ws) {
+        throw FrontendError({}, "transaction '" + t.name + "': mismatched '" +
+                                    sva::attrName(attr) + "' widths (" + std::to_string(wr) +
+                                    " vs " + std::to_string(ws) + ")");
+    }
+    if ((wr < 0 || ws < 0) && t.req.get(attr)->widthMsb != t.resp.get(attr)->widthMsb) {
+        diags.warning({}, "transaction '" + t.name + "': cannot prove '" +
+                              sva::attrName(attr) + "' widths equal (\"" +
+                              t.req.get(attr)->widthMsb + "\" vs \"" +
+                              t.resp.get(attr)->widthMsb + "\")");
+    }
+}
+
+} // namespace
+
+void buildTransactions(std::vector<Transaction>& transactions, const DutInterface& dut,
+                       util::DiagEngine& diags) {
+    std::unordered_set<std::string> names;
+    for (auto& t : transactions) {
+        if (!names.insert(t.name).second)
+            throw FrontendError({}, "duplicate transaction name '" + t.name + "'");
+        if (t.req.name == t.resp.name)
+            throw FrontendError({}, "transaction '" + t.name +
+                                        "': request and response interfaces must differ");
+
+        addImplicitAttrs(t.req, dut);
+        addImplicitAttrs(t.resp, dut);
+
+        // `transid_unique` both marks uniqueness and provides the tracking
+        // ID itself (the request side commonly annotates only it).
+        for (auto* iface : {&t.req, &t.resp}) {
+            if (iface->has(Attr::TransidUnique) && !iface->has(Attr::Transid)) {
+                AttrDef alias = *iface->get(Attr::TransidUnique);
+                alias.attr = Attr::Transid;
+                iface->attrs.emplace(Attr::Transid, std::move(alias));
+            }
+        }
+
+        if (!t.req.has(Attr::Val))
+            throw FrontendError({}, "transaction '" + t.name + "': interface '" + t.req.name +
+                                        "' has no 'val' attribute (explicit or implicit)");
+        if (!t.resp.has(Attr::Val))
+            throw FrontendError({}, "transaction '" + t.name + "': interface '" + t.resp.name +
+                                        "' has no 'val' attribute (explicit or implicit)");
+
+        checkSymmetricAttr(t, Attr::Transid, dut, diags);
+        checkSymmetricAttr(t, Attr::Data, dut, diags);
+
+        if (t.tracksData() && !t.tracksTransid() && t.req.has(Attr::TransidUnique))
+            diags.note({}, "transaction '" + t.name +
+                               "': data integrity without transid tracks a single "
+                               "outstanding transaction");
+
+        for (const auto* iface : {&t.req, &t.resp}) {
+            if (iface->has(Attr::Stable) && !iface->has(Attr::Ack)) {
+                diags.warning({}, "transaction '" + t.name + "': interface '" + iface->name +
+                                      "' defines 'stable' without 'ack'; stability is checked "
+                                      "against val only");
+            }
+        }
+
+        // Direction lint: for incoming transactions the request val should be
+        // a DUT input and the response val a DUT output (mirrored for
+        // outgoing). Only checkable for implicit (port-backed) attributes.
+        auto lintDir = [&](const InterfaceDesc& iface, bool expectInput) {
+            const AttrDef* val = iface.get(Attr::Val);
+            if (!val || !val->implicit) return;
+            const PortInfo* port = dut.findPort(val->rhs);
+            if (port && port->isInput != expectInput) {
+                diags.warning({}, "transaction '" + t.name + "': '" + val->rhs + "' is an " +
+                                      (port->isInput ? "input" : "output") + " but the " +
+                                      (t.incoming ? "-in>" : "-out>") +
+                                      " relation suggests otherwise");
+            }
+        };
+        lintDir(t.req, t.incoming);
+        lintDir(t.resp, !t.incoming);
+    }
+}
+
+} // namespace autosva::core

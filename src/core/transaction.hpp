@@ -1,0 +1,107 @@
+// Transaction model: the unified abstraction AutoSVA builds from interface
+// annotations (paper §III-A). A transaction connects two interfaces P and Q
+// with a temporal implication (incoming "-in>" or outgoing "-out>"), each
+// carrying attribute signals (val/ack/transid/... per Table I).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sva/catalog.hpp"
+#include "util/diagnostics.hpp"
+
+namespace autosva::core {
+
+using sva::Attr;
+
+/// One attribute definition: explicit (annotation `P_attr = expr`) or
+/// implicit (an RTL port following the naming convention).
+struct AttrDef {
+    Attr attr = Attr::Val;
+    std::string iface;      ///< Interface prefix (the P or Q name).
+    std::string rhs;        ///< Expression text; for implicit defs, the port name.
+    std::string widthMsb;   ///< MSB expression text of `[msb:0]`; empty = 1 bit.
+    bool implicit = false;
+    int line = 0; ///< Annotation line (0 for implicit).
+};
+
+struct InterfaceDesc {
+    std::string name;
+    std::map<Attr, AttrDef> attrs;
+
+    [[nodiscard]] bool has(Attr attr) const { return attrs.count(attr) != 0; }
+    [[nodiscard]] const AttrDef* get(Attr attr) const {
+        auto it = attrs.find(attr);
+        return it == attrs.end() ? nullptr : &it->second;
+    }
+};
+
+struct Transaction {
+    std::string name;
+    bool incoming = true; ///< -in>: DUT receives request P, must produce Q.
+    InterfaceDesc req;    ///< P
+    InterfaceDesc resp;   ///< Q
+    int line = 0;
+
+    [[nodiscard]] bool tracksTransid() const {
+        return req.has(Attr::Transid) && resp.has(Attr::Transid);
+    }
+    [[nodiscard]] bool tracksData() const {
+        return req.has(Attr::Data) && resp.has(Attr::Data);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// DUT interface description (from the module declaration section)
+// ---------------------------------------------------------------------------
+
+struct PortInfo {
+    std::string name;
+    bool isInput = true;
+    std::string widthMsb; ///< MSB expression text; empty = 1 bit.
+    int widthBits = 1;    ///< Evaluated width; -1 if unknown (parametric).
+};
+
+struct ParamInfo {
+    std::string name;
+    std::string defaultText;
+    uint64_t value = 0;
+    bool known = false;
+};
+
+struct DutInterface {
+    std::string moduleName;
+    std::vector<PortInfo> ports;
+    std::vector<ParamInfo> params;
+    std::string clockName;
+    std::string resetName;
+    bool resetActiveLow = true;
+
+    [[nodiscard]] const PortInfo* findPort(const std::string& name) const {
+        for (const auto& p : ports)
+            if (p.name == name) return &p;
+        return nullptr;
+    }
+    [[nodiscard]] const ParamInfo* findParam(const std::string& name) const {
+        for (const auto& p : params)
+            if (p.name == name) return &p;
+        return nullptr;
+    }
+};
+
+/// Completes transactions against the DUT interface:
+///  - adds implicit attribute definitions from ports matching `P_<suffix>`
+///  - validates the paper's error conditions (transid/data on one side only,
+///    mismatched widths, missing val, stable without ack)
+/// Throws util::FrontendError on hard errors; lints go to `diags`.
+void buildTransactions(std::vector<Transaction>& transactions, const DutInterface& dut,
+                       util::DiagEngine& diags);
+
+/// Evaluates a width expression (e.g. "TRANS_ID_BITS-1") against the DUT
+/// parameters; returns -1 if not statically evaluable. The result is the
+/// bit count (msb+1).
+[[nodiscard]] int evalWidth(const std::string& msbText, const DutInterface& dut);
+
+} // namespace autosva::core

@@ -1,0 +1,157 @@
+// A5 — L1 instruction cache (Ariane-style, simplified).
+//
+// Direct-mapped, two lines, refill over a memory port. A `kill_i` input
+// (branch redirect) may arrive at any time. Paper result: "Hit known bug
+// (issue #474)". BUG=1 seeds it: a kill that lands while a refill is in
+// flight aborts the fetch without ever producing a response — the liveness
+// assertion catches the dropped handshake. BUG=0 completes every accepted
+// fetch (killed ones respond with the kill flag set).
+#include "designs/designs.hpp"
+
+namespace autosva::designs {
+
+const char* const kArianeIcacheRtl = R"(
+module ariane_icache #(
+  parameter ADDR_W = 4,
+  parameter DATA_W = 4,
+  parameter BUG    = 0
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+
+  /*AUTOSVA
+  fetch: fetch_req -in> fetch_res
+  fetch_req_val = fetch_req_val_i
+  fetch_req_ack = fetch_req_rdy_o
+  [ADDR_W-1:0] fetch_req_data = fetch_req_addr_i
+  fetch_res_val = fetch_res_val_o
+  [ADDR_W-1:0] fetch_res_data = fetch_res_addr_o
+
+  icache_mem: mem_req -out> mem_res
+  mem_req_val = mem_req_val_o
+  mem_req_ack = mem_req_gnt_i
+  mem_res_val = mem_res_val_i
+  */
+
+  // Fetch request from the frontend.
+  input  wire              fetch_req_val_i,
+  output wire              fetch_req_rdy_o,
+  input  wire [ADDR_W-1:0] fetch_req_addr_i,
+  // Fetch response (data + echo of the address for integrity checking).
+  output wire              fetch_res_val_o,
+  output wire [DATA_W-1:0] fetch_res_data_o,
+  output wire [ADDR_W-1:0] fetch_res_addr_o,
+  output wire              fetch_res_killed_o,
+  // Branch redirect.
+  input  wire              kill_i,
+  // Memory (refill) port.
+  output wire              mem_req_val_o,
+  input  wire              mem_req_gnt_i,
+  output wire [ADDR_W-1:0] mem_req_addr_o,
+  input  wire              mem_res_val_i,
+  input  wire [DATA_W-1:0] mem_res_data_i
+);
+
+  localparam S_IDLE   = 2'd0;
+  localparam S_LOOKUP = 2'd1;
+  localparam S_MISS   = 2'd2;
+  localparam S_WAIT   = 2'd3;
+
+  reg [1:0]        state_q;
+  reg [ADDR_W-1:0] addr_q;
+  reg              killed_q;
+
+  // Two direct-mapped lines, indexed by addr[0].
+  reg [1:0]        valid_q;
+  reg [ADDR_W-1:0] tag_q  [0:1];
+  reg [DATA_W-1:0] data_q [0:1];
+
+  wire idx = addr_q[0];
+  wire hit = valid_q[idx] && tag_q[idx] == addr_q;
+
+  assign fetch_req_rdy_o = state_q == S_IDLE;
+  wire fetch_hsk = fetch_req_val_i && fetch_req_rdy_o;
+
+  assign mem_req_val_o  = state_q == S_MISS;
+  assign mem_req_addr_o = addr_q;
+  wire mem_hsk = mem_req_val_o && mem_req_gnt_i;
+  // The memory may answer in the grant cycle or later.
+  wire refill_done = mem_res_val_i && (state_q == S_WAIT || mem_hsk);
+
+  wire lookup_resp = state_q == S_LOOKUP && (hit || killed_q || kill_i);
+  assign fetch_res_val_o    = lookup_resp || refill_done;
+  assign fetch_res_data_o   = refill_done ? mem_res_data_i : data_q[idx];
+  assign fetch_res_addr_o   = addr_q;
+  assign fetch_res_killed_o = killed_q || kill_i;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      state_q  <= S_IDLE;
+      addr_q   <= '0;
+      killed_q <= 1'b0;
+      valid_q  <= '0;
+    end else begin
+      case (state_q)
+        S_IDLE: begin
+          if (fetch_hsk) begin
+            state_q  <= S_LOOKUP;
+            addr_q   <= fetch_req_addr_i;
+            killed_q <= kill_i;
+          end
+        end
+        S_LOOKUP: begin
+          if (kill_i || killed_q) begin
+            // Killed fetches respond immediately (flagged) and retire.
+            state_q  <= S_IDLE;
+            killed_q <= 1'b1;
+          end else if (hit) begin
+            state_q <= S_IDLE;
+          end else begin
+            state_q <= S_MISS;
+          end
+        end
+        S_MISS: begin
+          if (kill_i) begin
+            // BUG (issue #474): a kill during the refill abandons the fetch
+            // without a response. The fix completes the handshake.
+            if (BUG != 0) begin
+              state_q <= S_IDLE;
+            end else begin
+              killed_q <= 1'b1;
+            end
+          end
+          if (mem_hsk) begin
+            if (mem_res_val_i && !(kill_i && BUG != 0)) begin
+              state_q <= S_IDLE; // Same-cycle refill.
+              valid_q[idx] <= 1'b1;
+              tag_q[idx]   <= addr_q;
+              data_q[idx]  <= mem_res_data_i;
+            end else begin
+              state_q <= S_WAIT;
+            end
+          end
+        end
+        S_WAIT: begin
+          if (kill_i && BUG != 0) begin
+            state_q <= S_IDLE; // BUG: drops both the fetch and the refill.
+          end else if (mem_res_val_i) begin
+            state_q <= S_IDLE;
+            valid_q[idx] <= 1'b1;
+            tag_q[idx]   <= addr_q;
+            data_q[idx]  <= mem_res_data_i;
+            if (kill_i) begin
+              killed_q <= 1'b1;
+            end
+          end else if (kill_i) begin
+            killed_q <= 1'b1;
+          end
+        end
+        default: state_q <= S_IDLE;
+      endcase
+    end
+  end
+
+endmodule
+)";
+
+} // namespace autosva::designs

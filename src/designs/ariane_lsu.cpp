@@ -1,0 +1,138 @@
+// A4 — Load unit of the Load-Store Unit (Ariane-style, simplified).
+//
+// Loads carry a transaction ID (the paper's Fig. 2/3 example interface).
+// Requests are queued, issued to the D-cache in order, and answered with
+// the same trans ID. Paper result: "Hit known bug (issue #538)" — an
+// ongoing load is killed by an exception caused by a later operation, so
+// its response never appears. BUG=1 seeds that behaviour (a flush clears
+// the whole queue, dropping in-flight loads); BUG=0 is the repaired design:
+// flushed loads are marked killed but still complete their handshake
+// (flagged as exceptions), and an already-issued memory access is never
+// abandoned.
+#include "designs/designs.hpp"
+
+namespace autosva::designs {
+
+const char* const kArianeLsuRtl = R"(
+module ariane_lsu #(
+  parameter ID_W   = 2,
+  parameter DEPTH  = 2,
+  parameter BUG    = 0
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+
+  /*AUTOSVA
+  lsu_load: lsu_req -in> lsu_res
+  lsu_req_val = lsu_req_val_i
+  lsu_req_ack = lsu_req_rdy_o
+  [ID_W-1:0] lsu_req_transid_unique = lsu_req_transid_i
+  [ID_W-1:0] lsu_req_stable = lsu_req_transid_i
+  lsu_res_val = lsu_res_val_o
+  [ID_W-1:0] lsu_res_transid = lsu_res_transid_o
+
+  lsu_dcache: dreq -out> dres
+  dreq_val = dreq_val_o
+  dreq_ack = dreq_gnt_i
+  dres_val = dres_val_i
+  */
+
+  // Load request (from issue stage).
+  input  wire            lsu_req_val_i,
+  output wire            lsu_req_rdy_o,
+  input  wire [ID_W-1:0] lsu_req_transid_i,
+  // Load response (writeback).
+  output wire            lsu_res_val_o,
+  output wire [ID_W-1:0] lsu_res_transid_o,
+  output wire            lsu_res_exception_o,
+  // Exception/flush caused by a later operation.
+  input  wire            flush_i,
+  // D-cache port.
+  output wire            dreq_val_o,
+  input  wire            dreq_gnt_i,
+  input  wire            dres_val_i
+);
+
+  // In-order load queue: FIFO of transaction IDs with per-entry kill marks.
+  reg [ID_W-1:0] queue_q  [0:DEPTH-1];
+  reg            killed_q [0:DEPTH-1];
+  reg [1:0]      count_q;
+  reg            head_issued_q; // Head's memory access granted.
+
+  assign lsu_req_rdy_o = count_q < DEPTH;
+  wire req_hsk = lsu_req_val_i && lsu_req_rdy_o;
+
+  wire head_valid = count_q != 2'd0;
+  // Issue the head to memory unless it was killed before being issued.
+  assign dreq_val_o = head_valid && !head_issued_q && !killed_q[0];
+  wire dreq_hsk = dreq_val_o && dreq_gnt_i;
+
+  // Retirement:
+  //  * mem_done  — the D-cache answered (possibly in the grant cycle);
+  //                an issued-but-killed load still waits for this.
+  //  * kill_done — a killed load that never reached memory retires
+  //                immediately with the exception flag.
+  wire mem_done  = head_valid && dres_val_i && (head_issued_q || dreq_hsk);
+  wire kill_done = head_valid && killed_q[0] && !head_issued_q && !dreq_hsk;
+  assign lsu_res_val_o       = mem_done || kill_done;
+  assign lsu_res_transid_o   = queue_q[0];
+  assign lsu_res_exception_o = killed_q[0];
+
+  wire pop = lsu_res_val_o;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      count_q <= 2'd0;
+      head_issued_q <= 1'b0;
+      killed_q[0] <= 1'b0;
+      killed_q[1] <= 1'b0;
+      queue_q[0] <= '0;
+      queue_q[1] <= '0;
+    end else begin
+      if (BUG != 0 && flush_i) begin
+        // BUG (issue #538): the exception of a later operation clears the
+        // whole queue — in-flight loads never respond.
+        count_q <= 2'd0;
+        head_issued_q <= 1'b0;
+        killed_q[0] <= 1'b0;
+        killed_q[1] <= 1'b0;
+      end else begin
+        // Fixed design: a flush marks queued loads as killed; they still
+        // complete their handshakes.
+        if (flush_i) begin
+          killed_q[0] <= killed_q[0] || count_q > 2'd0;
+          killed_q[1] <= killed_q[1] || count_q > 2'd1;
+        end
+        if (req_hsk && pop) begin
+          queue_q[0]  <= count_q > 2'd1 ? queue_q[1] : lsu_req_transid_i;
+          killed_q[0] <= count_q > 2'd1 ? (killed_q[1] || flush_i) : flush_i;
+          queue_q[1]  <= lsu_req_transid_i;
+          killed_q[1] <= flush_i;
+          head_issued_q <= 1'b0;
+        end else if (req_hsk) begin
+          queue_q[count_q] <= lsu_req_transid_i;
+          if (count_q == 2'd0) begin
+            killed_q[0] <= flush_i;
+          end else begin
+            killed_q[1] <= flush_i;
+          end
+          count_q <= count_q + 2'd1;
+        end else if (pop) begin
+          queue_q[0]  <= queue_q[1];
+          killed_q[0] <= killed_q[1] || (flush_i && count_q > 2'd1);
+          killed_q[1] <= 1'b0;
+          count_q <= count_q - 2'd1;
+          head_issued_q <= 1'b0;
+        end
+        // Mark the head issued unless it retires in this same cycle.
+        if (dreq_hsk && !pop) begin
+          head_issued_q <= 1'b1;
+        end
+      end
+    end
+  end
+
+endmodule
+)";
+
+} // namespace autosva::designs

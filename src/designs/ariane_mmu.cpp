@@ -1,0 +1,260 @@
+// A3 — Memory Management Unit (Ariane-style, simplified).
+//
+// Wraps embedded single-entry micro-DTLB/ITLBs plus an ariane_ptw instance.
+// Two request channels: lsu (data translation, with a misaligned-access
+// fast path) and fetch (instruction translation).
+//
+// Seeded bugs, matching the paper's §IV narrative:
+//  * BUG=1 — "Bug1, ghost response": a misaligned LSU request is answered
+//    immediately with an exception, but the TLB miss still activates the
+//    PTW; when the walk page-faults the MMU raises a *second* response.
+//    Found as a safety CEX (response without a request) in ~5 cycles.
+//    The fix (BUG=0) masks the walk request with the misaligned flag.
+//  * Arbitration fairness: instruction walks yield to any LSU activity
+//    (naive static priority), so an environment that issues back-to-back
+//    LSU requests starves the fetch channel — the paper's "interesting CEX"
+//    that "cannot happen in practice since one instruction cannot do many
+//    DTLB lookups". kArianeMmuFairnessSva carries the assumption that
+//    removes it (an FT extension bound to the MMU).
+#include "designs/designs.hpp"
+
+namespace autosva::designs {
+
+const char* const kArianeMmuRtl = R"(
+module ariane_mmu #(
+  parameter VADDR_W = 3,
+  parameter PADDR_W = 3,
+  parameter BUG = 0
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+
+  /*AUTOSVA
+  lsu_mmu: lsu_req -in> lsu_res
+  lsu_req_val = lsu_req_val_i
+  lsu_req_ack = lsu_req_rdy_o
+  [VADDR_W:0] lsu_req_stable = {lsu_req_vaddr_i, lsu_req_misaligned_i}
+  lsu_res_val = lsu_res_val_o
+
+  fetch_mmu: fetch_req -in> fetch_res
+  fetch_req_val = fetch_req_val_i
+  fetch_req_ack = fetch_req_rdy_o
+  [VADDR_W-1:0] fetch_req_stable = fetch_req_vaddr_i
+  fetch_res_val = fetch_res_val_o
+
+  mmu_dcache: mmu_req -out> mmu_res
+  mmu_req_val = dreq_val_o
+  mmu_req_ack = dreq_gnt_i
+  mmu_res_val = dres_val_i
+  */
+
+  // LSU translation channel.
+  input  wire               lsu_req_val_i,
+  output wire               lsu_req_rdy_o,
+  input  wire [VADDR_W-1:0] lsu_req_vaddr_i,
+  input  wire               lsu_req_misaligned_i,
+  output wire               lsu_res_val_o,
+  output wire               lsu_res_exception_o,
+  output wire [PADDR_W-1:0] lsu_res_paddr_o,
+  // Fetch translation channel.
+  input  wire               fetch_req_val_i,
+  output wire               fetch_req_rdy_o,
+  input  wire [VADDR_W-1:0] fetch_req_vaddr_i,
+  output wire               fetch_res_val_o,
+  output wire               fetch_res_exception_o,
+  output wire [PADDR_W-1:0] fetch_res_paddr_o,
+  // D-cache port (used by the PTW).
+  output wire               dreq_val_o,
+  input  wire               dreq_gnt_i,
+  input  wire               dres_val_i,
+  input  wire [PADDR_W-1:0] dres_data_i,
+  input  wire               dres_fault_i
+);
+
+  // ---------------- Embedded DTLB (1-entry micro-TLB) ----------------
+  reg               d_valid_q;
+  reg [VADDR_W-1:0] d_tag_q;
+  reg [PADDR_W-1:0] d_data_q;
+
+  // ---------------- Embedded ITLB (1-entry micro-TLB) ----------------
+  reg               i_valid_q;
+  reg [VADDR_W-1:0] i_tag_q;
+  reg [PADDR_W-1:0] i_data_q;
+
+  // ---------------- LSU (data) channel ----------------
+  reg               d_busy_q;
+  reg               d_mis_q;
+  reg [VADDR_W-1:0] d_vaddr_q;
+  reg               d_walk_pend_q;
+  reg               d_started_q;
+  reg               d_serving_q;
+
+  assign lsu_req_rdy_o = !d_busy_q;
+  wire d_hsk = lsu_req_val_i && lsu_req_rdy_o;
+
+  wire dtlb_hit = d_valid_q && d_tag_q == d_vaddr_q;
+
+  // ---------------- Fetch (instruction) channel ----------------
+  reg               i_busy_q;
+  reg [VADDR_W-1:0] i_vaddr_q;
+  reg               i_walk_pend_q;
+  reg               i_started_q;
+  reg               i_serving_q;
+
+  assign fetch_req_rdy_o = !i_busy_q;
+  wire i_hsk = fetch_req_val_i && fetch_req_rdy_o;
+
+  wire itlb_hit = i_valid_q && i_tag_q == i_vaddr_q;
+
+  // ---------------- PTW instance + walk arbitration ----------------
+  wire ptw_update_valid;
+  wire [PADDR_W-1:0] ptw_update_paddr;
+  wire [VADDR_W-1:0] ptw_update_vaddr;
+  wire ptw_error;
+  wire ptw_active;
+
+  wire d_walk_req = d_walk_pend_q && !d_started_q;
+  wire i_walk_req = i_walk_pend_q && !i_started_q;
+  // Naive arbitration: data walks have static priority, and instruction
+  // walks additionally yield to any LSU activity (the fairness hazard).
+  wire i_grantable = i_walk_req && !lsu_req_val_i;
+  wire walk_any = d_walk_req || i_grantable;
+  wire [VADDR_W-1:0] walk_vaddr = d_walk_req ? d_vaddr_q : i_vaddr_q;
+  wire walk_hsk = walk_any && !ptw_active;
+
+  ariane_ptw #(.VADDR_W(VADDR_W), .PADDR_W(PADDR_W)) ptw_i (
+    .clk_i              (clk_i),
+    .rst_ni             (rst_ni),
+    .dtlb_miss_i        (walk_any),
+    .dtlb_vaddr_i       (walk_vaddr),
+    .ptw_update_valid_o (ptw_update_valid),
+    .ptw_update_paddr_o (ptw_update_paddr),
+    .ptw_update_vaddr_o (ptw_update_vaddr),
+    .ptw_error_o        (ptw_error),
+    .ptw_active_o       (ptw_active),
+    .dreq_val_o         (dreq_val_o),
+    .dreq_gnt_i         (dreq_gnt_i),
+    .dres_val_i         (dres_val_i),
+    .dres_data_i        (dres_data_i),
+    .dres_fault_i       (dres_fault_i)
+  );
+
+  // ---------------- Responses ----------------
+  wire d_resp_mis = d_busy_q && d_mis_q;
+  wire d_resp_hit = d_busy_q && !d_mis_q && dtlb_hit;
+  wire d_resp_err = d_serving_q && ptw_error;
+  assign lsu_res_val_o       = d_resp_mis || d_resp_hit || d_resp_err;
+  assign lsu_res_exception_o = d_resp_mis || d_resp_err;
+  assign lsu_res_paddr_o     = d_data_q;
+
+  wire i_resp_hit = i_busy_q && itlb_hit;
+  wire i_resp_err = i_serving_q && ptw_error;
+  assign fetch_res_val_o       = i_resp_hit || i_resp_err;
+  assign fetch_res_exception_o = i_resp_err;
+  assign fetch_res_paddr_o     = i_data_q;
+
+  // The walk is only started for well-formed (aligned) requests in the
+  // fixed design; BUG=1 removes the mask — the ghost-response bug.
+  wire d_mis_gate = (BUG != 0) ? 1'b0 : d_mis_q;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      d_busy_q <= 1'b0;
+      d_mis_q <= 1'b0;
+      d_vaddr_q <= '0;
+      d_walk_pend_q <= 1'b0;
+      d_started_q <= 1'b0;
+      d_serving_q <= 1'b0;
+      d_valid_q <= 1'b0;
+      d_tag_q <= '0;
+      d_data_q <= '0;
+      i_busy_q <= 1'b0;
+      i_vaddr_q <= '0;
+      i_walk_pend_q <= 1'b0;
+      i_started_q <= 1'b0;
+      i_serving_q <= 1'b0;
+      i_valid_q <= 1'b0;
+      i_tag_q <= '0;
+      i_data_q <= '0;
+    end else begin
+      // LSU channel bookkeeping.
+      if (d_hsk) begin
+        d_busy_q  <= 1'b1;
+        d_mis_q   <= lsu_req_misaligned_i;
+        d_vaddr_q <= lsu_req_vaddr_i;
+      end else if (lsu_res_val_o) begin
+        d_busy_q <= 1'b0;
+      end
+      if (d_busy_q && !dtlb_hit && !d_mis_gate && !d_walk_pend_q && !d_serving_q) begin
+        d_walk_pend_q <= 1'b1;
+      end
+      if (walk_hsk && d_walk_req) begin
+        d_started_q <= 1'b1;
+        d_serving_q <= 1'b1;
+      end
+      if (d_serving_q && (ptw_update_valid || ptw_error)) begin
+        d_walk_pend_q <= 1'b0;
+        d_started_q <= 1'b0;
+        d_serving_q <= 1'b0;
+      end
+      // DTLB fill.
+      if (d_serving_q && ptw_update_valid) begin
+        d_valid_q <= 1'b1;
+        d_tag_q   <= ptw_update_vaddr;
+        d_data_q  <= ptw_update_paddr;
+      end
+
+      // Fetch channel bookkeeping.
+      if (i_hsk) begin
+        i_busy_q  <= 1'b1;
+        i_vaddr_q <= fetch_req_vaddr_i;
+      end else if (fetch_res_val_o) begin
+        i_busy_q <= 1'b0;
+      end
+      if (i_busy_q && !itlb_hit && !i_walk_pend_q && !i_serving_q) begin
+        i_walk_pend_q <= 1'b1;
+      end
+      if (walk_hsk && !d_walk_req) begin
+        i_started_q <= 1'b1;
+        i_serving_q <= 1'b1;
+      end
+      if (i_serving_q && (ptw_update_valid || ptw_error)) begin
+        i_walk_pend_q <= 1'b0;
+        i_started_q <= 1'b0;
+        i_serving_q <= 1'b0;
+      end
+      // ITLB fill.
+      if (i_serving_q && ptw_update_valid) begin
+        i_valid_q <= 1'b1;
+        i_tag_q   <= ptw_update_vaddr;
+        i_data_q  <= ptw_update_paddr;
+      end
+    end
+  end
+
+endmodule
+)";
+
+// FT extension (paper §IV): the assumption added after the arbitration-
+// fairness CEX — "one instruction cannot do many DTLB lookups" — modeled as
+// "the LSU does not issue back-to-back requests".
+const char* const kArianeMmuFairnessSva = R"(
+module ariane_mmu_fair_env (
+  input wire clk_i,
+  input wire rst_ni,
+  input wire lsu_req_val_i
+);
+  default clocking cb @(posedge clk_i); endclocking
+  default disable iff (!rst_ni);
+  // "One instruction cannot do many DTLB lookups": LSU requests are not
+  // back-to-back, and the LSU channel is idle infinitely often (the
+  // fairness form of the same fact, which liveness engines exploit
+  // directly).
+  am__lsu_no_back_to_back: assume property (lsu_req_val_i |=> !lsu_req_val_i);
+  am__lsu_eventually_idle: assume property (s_eventually (!lsu_req_val_i));
+endmodule
+
+bind ariane_mmu ariane_mmu_fair_env fair_env_i (.*);
+)";
+
+} // namespace autosva::designs

@@ -1,0 +1,126 @@
+// A1 — Page Table Walker (Ariane-style, simplified).
+//
+// Two-level walk FSM: a DTLB miss starts a walk; each level issues a
+// D-cache request and waits for the response; the final level produces a
+// TLB update (or a page-fault error). Paper result: 100% liveness/safety
+// proof. Annotations follow the paper's Fig. 7 (dtlb_ptw incoming,
+// ptw_dcache outgoing).
+#include "designs/designs.hpp"
+
+namespace autosva::designs {
+
+const char* const kArianePtwRtl = R"(
+module ariane_ptw #(
+  parameter VADDR_W = 4,
+  parameter PADDR_W = 4
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+
+  /*AUTOSVA
+  dtlb_ptw: dtlb -in> ptw_update
+  dtlb_val = dtlb_miss_i
+  dtlb_ack = !ptw_active_o
+  dtlb_active = ptw_active_o
+  [VADDR_W-1:0] dtlb_stable = dtlb_vaddr_i
+  [VADDR_W-1:0] dtlb_data = dtlb_vaddr_i
+  ptw_update_val = ptw_update_valid_o || ptw_error_o
+  [VADDR_W-1:0] ptw_update_data = ptw_update_vaddr_o
+
+  ptw_dcache: ptw_req -out> dcache_res
+  ptw_req_val = dreq_val_o
+  ptw_req_ack = dreq_gnt_i
+  dcache_res_val = dres_val_i
+  */
+
+  // DTLB-miss request interface.
+  input  wire               dtlb_miss_i,
+  input  wire [VADDR_W-1:0] dtlb_vaddr_i,
+  // Walk result: TLB update or page-fault error.
+  output wire               ptw_update_valid_o,
+  output wire [PADDR_W-1:0] ptw_update_paddr_o,
+  output wire [VADDR_W-1:0] ptw_update_vaddr_o,
+  output wire               ptw_error_o,
+  output wire               ptw_active_o,
+  // D-cache request port (one access per walk level).
+  output wire               dreq_val_o,
+  input  wire               dreq_gnt_i,
+  input  wire               dres_val_i,
+  input  wire [PADDR_W-1:0] dres_data_i,
+  input  wire               dres_fault_i
+);
+
+  localparam S_IDLE = 2'd0;
+  localparam S_REQ  = 2'd1;
+  localparam S_WAIT = 2'd2;
+
+  reg [1:0]         state_q;
+  reg               level_q;   // 0 = first level, 1 = leaf level.
+  reg [VADDR_W-1:0] vaddr_q;
+  reg [PADDR_W-1:0] pte_q;
+
+  assign ptw_active_o = state_q != S_IDLE;
+  wire start_walk = dtlb_miss_i && !ptw_active_o;
+
+  assign dreq_val_o = state_q == S_REQ;
+  // The D-cache may answer in the same cycle it grants the request
+  // (combinational hit) or any number of cycles later.
+  wire resp_now = dres_val_i &&
+                  (state_q == S_WAIT || (state_q == S_REQ && dreq_gnt_i));
+  wire walk_done  = resp_now && !dres_fault_i && level_q;
+  wire walk_fault = resp_now && dres_fault_i;
+
+  assign ptw_update_valid_o = walk_done;
+  assign ptw_error_o        = walk_fault;
+  assign ptw_update_paddr_o = pte_q;
+  assign ptw_update_vaddr_o = vaddr_q;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      state_q <= S_IDLE;
+      level_q <= 1'b0;
+      vaddr_q <= '0;
+      pte_q   <= '0;
+    end else begin
+      case (state_q)
+        S_IDLE: begin
+          if (start_walk) begin
+            state_q <= S_REQ;
+            level_q <= 1'b0;
+            vaddr_q <= dtlb_vaddr_i;
+          end
+        end
+        S_REQ: begin
+          if (dreq_gnt_i) begin
+            if (resp_now) begin
+              pte_q <= dres_data_i;
+              if (dres_fault_i || level_q) begin
+                state_q <= S_IDLE;
+              end else begin
+                level_q <= 1'b1; // Same-cycle answer: issue the next level.
+              end
+            end else begin
+              state_q <= S_WAIT;
+            end
+          end
+        end
+        S_WAIT: begin
+          if (resp_now) begin
+            pte_q <= dres_data_i;
+            if (dres_fault_i || level_q) begin
+              state_q <= S_IDLE; // Fault or leaf reached: walk finished.
+            end else begin
+              state_q <= S_REQ;  // Next level.
+              level_q <= 1'b1;
+            end
+          end
+        end
+        default: state_q <= S_IDLE;
+      endcase
+    end
+  end
+
+endmodule
+)";
+
+} // namespace autosva::designs

@@ -1,0 +1,96 @@
+// A2 — Translation Lookaside Buffer (Ariane-style, simplified).
+//
+// Fully-associative TLB with a registered one-cycle lookup, an update port
+// (fill from the PTW) and a flush input. Round-robin replacement. Paper
+// result: 100% liveness/safety proof. The lookup transaction carries the
+// virtual address as `data` so the generated FT checks the response answers
+// the address that was asked (data integrity).
+#include "designs/designs.hpp"
+
+namespace autosva::designs {
+
+const char* const kArianeTlbRtl = R"(
+module ariane_tlb #(
+  parameter VADDR_W = 4,
+  parameter PADDR_W = 4,
+  parameter ENTRIES = 2
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+
+  /*AUTOSVA
+  tlb_lookup: lu -in> lu_res
+  lu_val = lu_req_i
+  lu_ack = lu_rdy_o
+  [VADDR_W-1:0] lu_stable = lu_vaddr_i
+  [VADDR_W-1:0] lu_data = lu_vaddr_i
+  lu_res_val = lu_res_val_o
+  [VADDR_W-1:0] lu_res_data = lu_res_vaddr_o
+  */
+
+  // Lookup request.
+  input  wire               lu_req_i,
+  output wire               lu_rdy_o,
+  input  wire [VADDR_W-1:0] lu_vaddr_i,
+  // Lookup response (one cycle later): hit flag + translation.
+  output wire               lu_res_val_o,
+  output wire               lu_res_hit_o,
+  output wire [PADDR_W-1:0] lu_res_paddr_o,
+  output wire [VADDR_W-1:0] lu_res_vaddr_o,
+  // Fill port (from the PTW).
+  input  wire               up_val_i,
+  input  wire [VADDR_W-1:0] up_vaddr_i,
+  input  wire [PADDR_W-1:0] up_paddr_i,
+  // Flush (e.g. sfence.vma).
+  input  wire               flush_i
+);
+
+  reg               busy_q;
+  reg [VADDR_W-1:0] vaddr_q;
+
+  reg [ENTRIES-1:0] valid_q;
+  reg [VADDR_W-1:0] tag_q  [0:ENTRIES-1];
+  reg [PADDR_W-1:0] data_q [0:ENTRIES-1];
+  reg               repl_q; // Round-robin replacement pointer (2 entries).
+
+  assign lu_rdy_o = !busy_q;
+  wire lu_hsk = lu_req_i && lu_rdy_o;
+
+  // Associative match on the registered address.
+  wire hit0 = valid_q[0] && tag_q[0] == vaddr_q;
+  wire hit1 = valid_q[1] && tag_q[1] == vaddr_q;
+
+  assign lu_res_val_o   = busy_q;
+  assign lu_res_hit_o   = hit0 || hit1;
+  assign lu_res_paddr_o = hit0 ? data_q[0] : data_q[1];
+  assign lu_res_vaddr_o = vaddr_q;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q  <= 1'b0;
+      vaddr_q <= '0;
+      valid_q <= '0;
+      repl_q  <= 1'b0;
+    end else begin
+      if (lu_hsk) begin
+        busy_q  <= 1'b1;
+        vaddr_q <= lu_vaddr_i;
+      end else begin
+        busy_q <= 1'b0;
+      end
+
+      if (flush_i) begin
+        valid_q <= '0;
+      end else if (up_val_i) begin
+        valid_q[repl_q]  <= 1'b1;
+        tag_q[repl_q]    <= up_vaddr_i;
+        data_q[repl_q]   <= up_paddr_i;
+        repl_q           <= !repl_q;
+      end
+    end
+  end
+
+endmodule
+)";
+
+} // namespace autosva::designs

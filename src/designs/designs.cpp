@@ -1,0 +1,58 @@
+#include "designs/designs.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace autosva::designs {
+
+const std::vector<DesignInfo>& allDesigns() {
+    static const std::vector<DesignInfo> registry = [] {
+        std::vector<DesignInfo> d;
+        d.push_back({"A1", "ariane_ptw", "Page Table Walker (two-level walk FSM)",
+                     "100% liveness/safety properties proof", kArianePtwRtl, {}, false, ""});
+        d.push_back({"A2", "ariane_tlb", "Translation Lookaside Buffer (2-entry, 1-cycle lookup)",
+                     "100% liveness/safety properties proof", kArianeTlbRtl, {}, false, ""});
+        d.push_back({"A3", "ariane_mmu",
+                     "Memory Management Unit (DTLB+ITLB+PTW, misaligned fast path)",
+                     "Bug found and fixed -> 100% proof", kArianeMmuRtl,
+                     {"ariane_ptw"}, true, kArianeMmuFairnessSva});
+        d.push_back({"A4", "ariane_lsu", "Load Store Unit load channel (trans-ID queue)",
+                     "Hit known bug (issue #538)", kArianeLsuRtl, {}, true, ""});
+        d.push_back({"A5", "ariane_icache", "L1 instruction cache (write-back, kill input)",
+                     "Hit known bug (issue #474)", kArianeIcacheRtl, {}, true, ""});
+        d.push_back({"O1", "noc_buffer", "NoC1 encoder buffer (MSHR-tagged FIFO)",
+                     "Bug found and fixed -> 100% proof", kNocBufferRtl, {}, true, ""});
+        d.push_back({"O2", "l15_noc_wrapper", "L1.5 private cache NoC slice (miss path)",
+                     "NoC Buffer proof, other CEXs", kL15NocWrapperRtl, {"noc_buffer"}, false,
+                     ""});
+        d.push_back({"ME", "mem_engine", "Mem Engine (burst producer reusing the NoC buffer)",
+                     "Deadlock found and fixed -> proof (TDD flow)", kMemEngineRtl,
+                     {"noc_buffer"}, true, ""});
+        return d;
+    }();
+    return registry;
+}
+
+const DesignInfo& design(const std::string& name) {
+    for (const auto& d : allDesigns())
+        if (d.name == name) return d;
+    throw std::out_of_range("unknown design '" + name + "'");
+}
+
+std::vector<std::string> rtlSources(const DesignInfo& info) {
+    std::vector<std::string> sources{info.rtl};
+    std::unordered_set<std::string> seen{info.name};
+    // Transitive dependency collection (depth-first).
+    std::vector<std::string> worklist(info.deps.begin(), info.deps.end());
+    while (!worklist.empty()) {
+        std::string name = worklist.back();
+        worklist.pop_back();
+        if (!seen.insert(name).second) continue;
+        const DesignInfo& dep = design(name);
+        sources.push_back(dep.rtl);
+        for (const auto& sub : dep.deps) worklist.push_back(sub);
+    }
+    return sources;
+}
+
+} // namespace autosva::designs

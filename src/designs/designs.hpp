@@ -1,0 +1,44 @@
+// Registry of the RTL modules evaluated in the paper (Table III), recreated
+// as compact, behaviourally faithful SystemVerilog models with AutoSVA
+// annotations in their interface sections. Where the paper found a bug, the
+// model seeds the same bug behind a `BUG` parameter so both the failing and
+// the fixed configuration can be checked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autosva::designs {
+
+struct DesignInfo {
+    std::string id;          ///< Paper row id: A1..A5, O1, O2, ME.
+    std::string name;        ///< Module name (also the registry key).
+    std::string description;
+    std::string paperResult; ///< The outcome column of Table III.
+    std::string rtl;         ///< Annotated SystemVerilog source.
+    std::vector<std::string> deps; ///< Other designs whose RTL must be compiled too.
+    bool hasBugParam = false; ///< `BUG` parameter seeds the paper's bug when 1.
+    /// Extra handwritten SVA source (FT extension) needed for the final
+    /// proof, e.g. the MMU arbitration-fairness assumption of §IV.
+    std::string extensionSva;
+};
+
+[[nodiscard]] const std::vector<DesignInfo>& allDesigns();
+[[nodiscard]] const DesignInfo& design(const std::string& name);
+
+/// Collects the RTL sources for a design: its own module first, then all
+/// (transitive) dependencies.
+[[nodiscard]] std::vector<std::string> rtlSources(const DesignInfo& info);
+
+// Individual sources (defined in the per-module .cpp files).
+extern const char* const kArianePtwRtl;
+extern const char* const kArianeTlbRtl;
+extern const char* const kArianeMmuRtl;
+extern const char* const kArianeMmuFairnessSva;
+extern const char* const kArianeLsuRtl;
+extern const char* const kArianeIcacheRtl;
+extern const char* const kNocBufferRtl;
+extern const char* const kL15NocWrapperRtl;
+extern const char* const kMemEngineRtl;
+
+} // namespace autosva::designs

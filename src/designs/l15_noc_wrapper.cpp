@@ -1,0 +1,101 @@
+// O2 — L1.5 private-cache NoC slice (OpenPiton-style, simplified).
+//
+// The miss path of an L1.5 slice: a core request allocates an MSHR, goes
+// out to the NoC1 through the (fixed) noc_buffer instance, and completes
+// when a NoC2 response with the right message type returns. Paper result:
+// "NoC Buffer proof, other CEXs" — the bound noc_buffer FT proves, while
+// the cache-level liveness shows counterexamples because the NoC2 message
+// types are under-constrained (the environment may forever send message
+// types the fill logic ignores). The paper leaves those CEXs as the
+// starting point for designer-added assumptions.
+#include "designs/designs.hpp"
+
+namespace autosva::designs {
+
+const char* const kL15NocWrapperRtl = R"(
+module l15_noc_wrapper #(
+  parameter MSHR_W = 2,
+  parameter ADDR_W = 4
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+
+  /*AUTOSVA
+  l15_core: l15_req -in> l15_res
+  l15_req_val = l15_req_val_i
+  l15_req_ack = l15_req_rdy_o
+  [MSHR_W-1:0] l15_req_transid = l15_req_mshrid_i
+  l15_res_val = l15_res_val_o
+  [MSHR_W-1:0] l15_res_transid = l15_res_mshrid_o
+
+  l15_noc1: noc1 -out> noc2
+  noc1_val = noc1_val_o
+  noc1_ack = noc1_rdy_i
+  noc2_val = noc2_val_i
+  */
+
+  // Core-side miss requests (MSHR-tagged).
+  input  wire              l15_req_val_i,
+  output wire              l15_req_rdy_o,
+  input  wire [MSHR_W-1:0] l15_req_mshrid_i,
+  input  wire [ADDR_W-1:0] l15_req_addr_i,
+  output wire              l15_res_val_o,
+  output wire [MSHR_W-1:0] l15_res_mshrid_o,
+  // NoC1 output channel (through the encoder buffer).
+  output wire              noc1_val_o,
+  input  wire              noc1_rdy_i,
+  output wire [MSHR_W-1:0] noc1_mshrid_o,
+  // NoC2 response channel. msgtype is under-constrained: only DATA_ACK
+  // (2'b01) fills; the environment is free to send anything.
+  input  wire              noc2_val_i,
+  input  wire [MSHR_W-1:0] noc2_mshrid_i,
+  input  wire [1:0]        noc2_msgtype_i
+);
+
+  localparam MSG_DATA_ACK = 2'b01;
+
+  // One-deep MSHR file per ID (4 IDs with MSHR_W = 2).
+  reg [3:0] mshr_valid_q;
+
+  wire [MSHR_W-1:0] req_id = l15_req_mshrid_i;
+  // Accept a request when its MSHR is free and the buffer can take it.
+  wire buf_rdy;
+  assign l15_req_rdy_o = !mshr_valid_q[req_id] && buf_rdy;
+  wire req_hsk = l15_req_val_i && l15_req_rdy_o;
+
+  // NoC1 encoder buffer instance (paper fix applied: BUG = 0).
+  noc_buffer #(.MSHR_W(MSHR_W), .DEPTH(2), .BUG(0)) noc1buffer_i (
+    .clk_i                   (clk_i),
+    .rst_ni                  (rst_ni),
+    .noc1buffer_req_val_i    (l15_req_val_i && !mshr_valid_q[req_id]),
+    .noc1buffer_req_rdy_o    (buf_rdy),
+    .noc1buffer_req_mshrid_i (l15_req_mshrid_i),
+    .noc1buffer_enc_val_o    (noc1_val_o),
+    .noc1buffer_enc_rdy_i    (noc1_rdy_i),
+    .noc1buffer_enc_mshrid_o (noc1_mshrid_o)
+  );
+
+  // Fill: only DATA_ACK responses complete an MSHR; other message types are
+  // dropped by this simplified slice (the under-constraint the paper
+  // describes — nothing forces the environment to eventually send one).
+  wire fill = noc2_val_i && noc2_msgtype_i == MSG_DATA_ACK && mshr_valid_q[noc2_mshrid_i];
+  assign l15_res_val_o    = fill;
+  assign l15_res_mshrid_o = noc2_mshrid_i;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      mshr_valid_q <= 4'b0;
+    end else begin
+      if (req_hsk) begin
+        mshr_valid_q[req_id] <= 1'b1;
+      end
+      if (fill) begin
+        mshr_valid_q[noc2_mshrid_i] <= 1'b0;
+      end
+    end
+  end
+
+endmodule
+)";
+
+} // namespace autosva::designs

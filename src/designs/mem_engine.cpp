@@ -1,0 +1,96 @@
+// ME — Mem Engine (the paper's early-stage unit, §IV "Bug2").
+//
+// A new unit that connects to OpenPiton's NoC1 by reusing the encoder
+// buffer. Each command triggers a burst of four tagged requests — more
+// than the buffer's two entries. With the original buffer (BUG=1), the
+// burst overflows it, a queued entry is silently overwritten, the drain
+// counter never completes, and the command never finishes: the deadlock
+// the paper found from the very first liveness CEX. With the fixed buffer
+// (BUG=0, "not-full" ack) everything proves.
+//
+// This is the paper's Test-Driven-Development showcase: the FT existed
+// before the unit was finished, and the CEX appeared with 3 lines of
+// annotations on the buffer.
+#include "designs/designs.hpp"
+
+namespace autosva::designs {
+
+const char* const kMemEngineRtl = R"(
+module mem_engine #(
+  parameter MSHR_W = 2,
+  parameter BURST  = 4,
+  parameter BUG    = 0
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+
+  /*AUTOSVA
+  me_cmd: cmd -in> done
+  cmd_val = cmd_val_i
+  cmd_ack = cmd_rdy_o
+  done_val = done_val_o
+  */
+
+  // Command interface: one command = one burst of BURST requests.
+  input  wire              cmd_val_i,
+  output wire              cmd_rdy_o,
+  output wire              done_val_o,
+  // NoC1 encoder channel (driven through the reused buffer).
+  output wire              enc_val_o,
+  input  wire              enc_rdy_i,
+  output wire [MSHR_W-1:0] enc_mshrid_o
+);
+
+  reg       active_q;
+  reg [2:0] sent_q;
+  reg [2:0] drained_q;
+
+  assign cmd_rdy_o = !active_q;
+  wire cmd_hsk = cmd_val_i && cmd_rdy_o;
+
+  // Push the burst into the buffer as fast as it accepts.
+  wire buf_rdy;
+  wire push_val = active_q && sent_q < BURST;
+  wire push_hsk = push_val && buf_rdy;
+
+  noc_buffer #(.MSHR_W(MSHR_W), .DEPTH(2), .BUG(BUG)) noc1buffer_i (
+    .clk_i                   (clk_i),
+    .rst_ni                  (rst_ni),
+    .noc1buffer_req_val_i    (push_val),
+    .noc1buffer_req_rdy_o    (buf_rdy),
+    .noc1buffer_req_mshrid_i (sent_q[1:0]),
+    .noc1buffer_enc_val_o    (enc_val_o),
+    .noc1buffer_enc_rdy_i    (enc_rdy_i),
+    .noc1buffer_enc_mshrid_o (enc_mshrid_o)
+  );
+
+  wire drain_hsk = enc_val_o && enc_rdy_i;
+  assign done_val_o = active_q && drained_q == BURST;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      active_q  <= 1'b0;
+      sent_q    <= 3'd0;
+      drained_q <= 3'd0;
+    end else begin
+      if (cmd_hsk) begin
+        active_q  <= 1'b1;
+        sent_q    <= 3'd0;
+        drained_q <= 3'd0;
+      end else if (done_val_o) begin
+        active_q <= 1'b0;
+      end else begin
+        if (push_hsk) begin
+          sent_q <= sent_q + 3'd1;
+        end
+        if (drain_hsk) begin
+          drained_q <= drained_q + 3'd1;
+        end
+      end
+    end
+  end
+
+endmodule
+)";
+
+} // namespace autosva::designs

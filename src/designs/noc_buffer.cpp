@@ -1,0 +1,90 @@
+// O1 — OpenPiton NoC1-encoder buffer (simplified).
+//
+// A small FIFO that queues MSHR-tagged requests towards the NoC1 encoder —
+// the module whose reuse in Mem Engine exposed the paper's Bug2 deadlock.
+// BUG=1 reproduces the original behaviour: the buffer *assumes* the
+// producer never exceeds its capacity (ready is unconditionally high), so
+// an over-eager producer overwrites a queued entry, which then never
+// reaches the encoder — the first liveness CEX in the paper's §IV. BUG=0
+// applies the paper's fix: a "not-full" condition on the ack signal.
+// The annotations mirror the paper's Fig. 7 (3 lines of code).
+#include "designs/designs.hpp"
+
+namespace autosva::designs {
+
+const char* const kNocBufferRtl = R"(
+module noc_buffer #(
+  parameter MSHR_W = 2,
+  parameter DEPTH  = 2,
+  parameter BUG    = 0
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+
+  /*AUTOSVA
+  mem_engine_noc: noc1buffer_req -in> noc1buffer_enc
+  [MSHR_W-1:0] noc1buffer_req_transid = noc1buffer_req_mshrid_i
+  [MSHR_W-1:0] noc1buffer_enc_transid = noc1buffer_enc_mshrid_o
+  noc1buffer_req_val = noc1buffer_req_val_i
+  noc1buffer_req_ack = noc1buffer_req_rdy_o
+  noc1buffer_enc_val = noc1buffer_enc_val_o
+  noc1buffer_enc_ack = noc1buffer_enc_rdy_i
+  */
+
+  // Producer side (Mem Engine / L1.5 miss unit).
+  input  wire              noc1buffer_req_val_i,
+  output wire              noc1buffer_req_rdy_o,
+  input  wire [MSHR_W-1:0] noc1buffer_req_mshrid_i,
+  // Consumer side (NoC1 encoder).
+  output wire              noc1buffer_enc_val_o,
+  input  wire              noc1buffer_enc_rdy_i,
+  output wire [MSHR_W-1:0] noc1buffer_enc_mshrid_o
+);
+
+  reg [MSHR_W-1:0] fifo_q [0:DEPTH-1];
+  reg              wr_q;
+  reg              rd_q;
+  reg [1:0]        count_q;
+
+  wire full  = count_q == DEPTH;
+  wire empty = count_q == 2'd0;
+
+  // BUG: the buffer trusts the producer to respect its capacity.
+  assign noc1buffer_req_rdy_o = (BUG != 0) ? 1'b1 : !full;
+  wire wr_hsk = noc1buffer_req_val_i && noc1buffer_req_rdy_o;
+
+  assign noc1buffer_enc_val_o    = !empty;
+  assign noc1buffer_enc_mshrid_o = fifo_q[rd_q];
+  wire rd_hsk = noc1buffer_enc_val_o && noc1buffer_enc_rdy_i;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      wr_q <= 1'b0;
+      rd_q <= 1'b0;
+      count_q <= 2'd0;
+      fifo_q[0] <= '0;
+      fifo_q[1] <= '0;
+    end else begin
+      if (wr_hsk) begin
+        // On overflow (BUG only) this overwrites the oldest queued entry,
+        // which is then lost forever.
+        fifo_q[wr_q] <= noc1buffer_req_mshrid_i;
+        wr_q <= !wr_q;
+      end
+      if (wr_hsk && !rd_hsk) begin
+        if (!full) begin
+          count_q <= count_q + 2'd1;
+        end
+      end else if (!wr_hsk && rd_hsk) begin
+        count_q <= count_q - 2'd1;
+      end
+      if (rd_hsk) begin
+        rd_q <= !rd_q;
+      end
+    end
+  end
+
+endmodule
+)";
+
+} // namespace autosva::designs

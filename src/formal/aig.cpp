@@ -1,0 +1,82 @@
+#include "formal/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autosva::formal {
+
+Aig::Aig() {
+    // Var 0: constant false.
+    newVar(VarKind::Const);
+}
+
+uint32_t Aig::newVar(VarKind kind) {
+    kinds_.push_back(kind);
+    fanin0_.push_back(kAigFalse);
+    fanin1_.push_back(kAigFalse);
+    next_.push_back(kAigFalse);
+    init_.push_back(0);
+    names_.emplace_back();
+    return static_cast<uint32_t>(kinds_.size() - 1);
+}
+
+AigLit Aig::mkInput(std::string name) {
+    uint32_t var = newVar(VarKind::Input);
+    names_[var] = std::move(name);
+    inputs_.push_back(var);
+    return aigMkLit(var);
+}
+
+AigLit Aig::mkLatch(int init, std::string name) {
+    uint32_t var = newVar(VarKind::Latch);
+    init_[var] = init;
+    names_[var] = std::move(name);
+    latches_.push_back(var);
+    return aigMkLit(var);
+}
+
+void Aig::setLatchNext(AigLit latchLit, AigLit next) {
+    assert(!aigSign(latchLit) && kinds_[aigVar(latchLit)] == VarKind::Latch);
+    next_[aigVar(latchLit)] = next;
+}
+
+AigLit Aig::mkAnd(AigLit a, AigLit b) {
+    if (a > b) std::swap(a, b);
+    if (a == kAigFalse) return kAigFalse;
+    if (a == kAigTrue) return b;
+    if (a == b) return a;
+    if (a == aigNot(b)) return kAigFalse;
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    auto it = strash_.find(key);
+    if (it != strash_.end()) return aigMkLit(it->second);
+    uint32_t var = newVar(VarKind::And);
+    fanin0_[var] = a;
+    fanin1_[var] = b;
+    strash_.emplace(key, var);
+    ++numAnds_;
+    return aigMkLit(var);
+}
+
+AigLit Aig::mkXor(AigLit a, AigLit b) {
+    // a^b = (a|b) & !(a&b)
+    return mkAnd(mkOr(a, b), aigNot(mkAnd(a, b)));
+}
+
+AigLit Aig::mkMux(AigLit sel, AigLit t, AigLit e) {
+    if (t == e) return t;
+    return mkOr(mkAnd(sel, t), mkAnd(aigNot(sel), e));
+}
+
+AigLit Aig::mkAndN(const std::vector<AigLit>& lits) {
+    AigLit acc = kAigTrue;
+    for (AigLit l : lits) acc = mkAnd(acc, l);
+    return acc;
+}
+
+AigLit Aig::mkOrN(const std::vector<AigLit>& lits) {
+    AigLit acc = kAigFalse;
+    for (AigLit l : lits) acc = mkOr(acc, l);
+    return acc;
+}
+
+} // namespace autosva::formal

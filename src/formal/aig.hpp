@@ -1,0 +1,70 @@
+// And-Inverter Graph with latches — the bit-level representation used by
+// the model checking engines. Structural hashing and constant folding are
+// applied on construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace autosva::formal {
+
+/// AIG literal: 2*var + sign. Var 0 is the constant-false var, so:
+inline constexpr uint32_t kAigFalse = 0;
+inline constexpr uint32_t kAigTrue = 1;
+
+using AigLit = uint32_t;
+
+[[nodiscard]] constexpr AigLit aigMkLit(uint32_t var, bool negated = false) {
+    return var * 2 + (negated ? 1u : 0u);
+}
+[[nodiscard]] constexpr uint32_t aigVar(AigLit lit) { return lit >> 1; }
+[[nodiscard]] constexpr bool aigSign(AigLit lit) { return (lit & 1u) != 0; }
+[[nodiscard]] constexpr AigLit aigNot(AigLit lit) { return lit ^ 1u; }
+
+class Aig {
+public:
+    enum class VarKind : uint8_t { Const, Input, Latch, And };
+
+    Aig();
+
+    [[nodiscard]] AigLit mkInput(std::string name = {});
+    /// @param init 0/1 for a fixed initial value, -1 for symbolic.
+    [[nodiscard]] AigLit mkLatch(int init, std::string name = {});
+    void setLatchNext(AigLit latchLit, AigLit next);
+
+    [[nodiscard]] AigLit mkAnd(AigLit a, AigLit b);
+    [[nodiscard]] AigLit mkOr(AigLit a, AigLit b) { return aigNot(mkAnd(aigNot(a), aigNot(b))); }
+    [[nodiscard]] AigLit mkXor(AigLit a, AigLit b);
+    [[nodiscard]] AigLit mkMux(AigLit sel, AigLit t, AigLit e);
+    [[nodiscard]] AigLit mkAndN(const std::vector<AigLit>& lits);
+    [[nodiscard]] AigLit mkOrN(const std::vector<AigLit>& lits);
+
+    [[nodiscard]] size_t numVars() const { return kinds_.size(); }
+    [[nodiscard]] VarKind kind(uint32_t var) const { return kinds_[var]; }
+    [[nodiscard]] AigLit fanin0(uint32_t var) const { return fanin0_[var]; }
+    [[nodiscard]] AigLit fanin1(uint32_t var) const { return fanin1_[var]; }
+    [[nodiscard]] AigLit latchNext(uint32_t var) const { return next_[var]; }
+    [[nodiscard]] int latchInit(uint32_t var) const { return init_[var]; }
+    [[nodiscard]] const std::string& varName(uint32_t var) const { return names_[var]; }
+
+    [[nodiscard]] const std::vector<uint32_t>& inputs() const { return inputs_; }
+    [[nodiscard]] const std::vector<uint32_t>& latches() const { return latches_; }
+    [[nodiscard]] size_t numAnds() const { return numAnds_; }
+
+private:
+    uint32_t newVar(VarKind kind);
+
+    std::vector<VarKind> kinds_;
+    std::vector<AigLit> fanin0_, fanin1_;
+    std::vector<AigLit> next_;
+    std::vector<int> init_;
+    std::vector<std::string> names_;
+    std::vector<uint32_t> inputs_;
+    std::vector<uint32_t> latches_;
+    std::unordered_map<uint64_t, uint32_t> strash_;
+    size_t numAnds_ = 0;
+};
+
+} // namespace autosva::formal

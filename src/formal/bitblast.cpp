@@ -1,0 +1,281 @@
+#include "formal/bitblast.hpp"
+
+#include <cassert>
+
+#include "util/diagnostics.hpp"
+
+namespace autosva::formal {
+
+using ir::Design;
+using ir::Node;
+using ir::NodeId;
+using ir::Op;
+
+namespace {
+
+struct Blaster {
+    const Design& design;
+    BitBlast out;
+
+    explicit Blaster(const Design& d) : design(d) {}
+
+    Aig& aig() { return out.aig; }
+
+    std::vector<AigLit>& bitsOf(NodeId id) { return out.bits[id]; }
+
+    static std::vector<AigLit> constBits(uint64_t value, int width) {
+        std::vector<AigLit> bits(static_cast<size_t>(width));
+        for (int i = 0; i < width; ++i)
+            bits[static_cast<size_t>(i)] = ((value >> i) & 1) ? kAigTrue : kAigFalse;
+        return bits;
+    }
+
+    // Ripple-carry addition; returns sum bits (carry-out dropped).
+    std::vector<AigLit> adder(const std::vector<AigLit>& a, const std::vector<AigLit>& b,
+                              AigLit carryIn) {
+        std::vector<AigLit> sum(a.size());
+        AigLit c = carryIn;
+        for (size_t i = 0; i < a.size(); ++i) {
+            AigLit axb = aig().mkXor(a[i], b[i]);
+            sum[i] = aig().mkXor(axb, c);
+            c = aig().mkOr(aig().mkAnd(a[i], b[i]), aig().mkAnd(c, axb));
+        }
+        return sum;
+    }
+
+    AigLit ult(const std::vector<AigLit>& a, const std::vector<AigLit>& b) {
+        AigLit lt = kAigFalse;
+        for (size_t i = 0; i < a.size(); ++i) {
+            AigLit eq = aigNot(aig().mkXor(a[i], b[i]));
+            lt = aig().mkOr(aig().mkAnd(aigNot(a[i]), b[i]), aig().mkAnd(eq, lt));
+        }
+        return lt;
+    }
+
+    AigLit equal(const std::vector<AigLit>& a, const std::vector<AigLit>& b) {
+        AigLit eq = kAigTrue;
+        for (size_t i = 0; i < a.size(); ++i)
+            eq = aig().mkAnd(eq, aigNot(aig().mkXor(a[i], b[i])));
+        return eq;
+    }
+
+    std::vector<AigLit> shifter(const std::vector<AigLit>& a, const std::vector<AigLit>& amount,
+                                bool left) {
+        std::vector<AigLit> cur = a;
+        int w = static_cast<int>(a.size());
+        // Amount bits whose weight reaches/exceeds the width zero the result.
+        AigLit oversize = kAigFalse;
+        for (size_t k = 0; k < amount.size(); ++k) {
+            uint64_t sh = k < 63 ? (uint64_t{1} << k) : ~uint64_t{0};
+            if (sh >= static_cast<uint64_t>(w)) {
+                oversize = aig().mkOr(oversize, amount[k]);
+                continue;
+            }
+            std::vector<AigLit> shifted(cur.size(), kAigFalse);
+            for (int i = 0; i < w; ++i) {
+                int64_t src = left ? i - static_cast<int64_t>(sh) : i + static_cast<int64_t>(sh);
+                if (src >= 0 && src < w)
+                    shifted[static_cast<size_t>(i)] = cur[static_cast<size_t>(src)];
+            }
+            std::vector<AigLit> nextBits(cur.size());
+            for (int i = 0; i < w; ++i)
+                nextBits[static_cast<size_t>(i)] =
+                    aig().mkMux(amount[k], shifted[static_cast<size_t>(i)], cur[static_cast<size_t>(i)]);
+            cur = std::move(nextBits);
+        }
+        if (oversize != kAigFalse) {
+            for (auto& b : cur) b = aig().mkAnd(b, aigNot(oversize));
+        }
+        return cur;
+    }
+
+    void blastNode(NodeId id) {
+        const Node& n = design.node(id);
+        int w = n.width;
+        auto in = [&](size_t i) -> const std::vector<AigLit>& { return out.bits.at(n.ops[i]); };
+        std::vector<AigLit> bits;
+
+        switch (n.op) {
+        case Op::Const:
+            bits = constBits(n.cval, w);
+            break;
+        case Op::Input: {
+            std::vector<uint32_t> vars;
+            bits.reserve(static_cast<size_t>(w));
+            for (int i = 0; i < w; ++i) {
+                AigLit l = aig().mkInput(n.name + "[" + std::to_string(i) + "]");
+                vars.push_back(aigVar(l));
+                bits.push_back(l);
+            }
+            out.inputVars[id] = std::move(vars);
+            break;
+        }
+        case Op::Reg:
+            bits = out.bits.at(id); // Latches pre-created.
+            break;
+        case Op::Buf:
+            bits = in(0);
+            break;
+        case Op::Not: {
+            bits = in(0);
+            for (auto& b : bits) b = aigNot(b);
+            break;
+        }
+        case Op::And:
+        case Op::Or:
+        case Op::Xor: {
+            const auto& a = in(0);
+            const auto& b = in(1);
+            bits.resize(static_cast<size_t>(w));
+            for (int i = 0; i < w; ++i) {
+                size_t si = static_cast<size_t>(i);
+                if (n.op == Op::And)
+                    bits[si] = aig().mkAnd(a[si], b[si]);
+                else if (n.op == Op::Or)
+                    bits[si] = aig().mkOr(a[si], b[si]);
+                else
+                    bits[si] = aig().mkXor(a[si], b[si]);
+            }
+            break;
+        }
+        case Op::Add:
+            bits = adder(in(0), in(1), kAigFalse);
+            break;
+        case Op::Sub: {
+            std::vector<AigLit> nb = in(1);
+            for (auto& b : nb) b = aigNot(b);
+            bits = adder(in(0), nb, kAigTrue);
+            break;
+        }
+        case Op::Mul: {
+            const auto& a = in(0);
+            const auto& b = in(1);
+            bits = constBits(0, w);
+            for (int i = 0; i < w; ++i) {
+                // Partial product: (a << i) masked by b[i].
+                std::vector<AigLit> pp(static_cast<size_t>(w), kAigFalse);
+                for (int j = 0; j + i < w; ++j)
+                    pp[static_cast<size_t>(j + i)] =
+                        aig().mkAnd(a[static_cast<size_t>(j)], b[static_cast<size_t>(i)]);
+                bits = adder(bits, pp, kAigFalse);
+            }
+            break;
+        }
+        case Op::Div:
+        case Op::Mod:
+            throw util::FrontendError({}, "bit-blasting non-constant division is not supported");
+        case Op::Eq:
+            bits = {equal(in(0), in(1))};
+            break;
+        case Op::Ne:
+            bits = {aigNot(equal(in(0), in(1)))};
+            break;
+        case Op::Ult:
+            bits = {ult(in(0), in(1))};
+            break;
+        case Op::Ule:
+            bits = {aigNot(ult(in(1), in(0)))};
+            break;
+        case Op::Shl:
+        case Op::Shr: {
+            const auto& amount = in(1);
+            // Amounts >= width force zero; cover by using enough stages.
+            bits = shifter(in(0), amount, n.op == Op::Shl);
+            // If any amount bit at position >= log2(64*2) is set, result is 0.
+            break;
+        }
+        case Op::Mux: {
+            AigLit sel = in(0)[0];
+            const auto& t = in(1);
+            const auto& e = in(2);
+            bits.resize(static_cast<size_t>(w));
+            for (int i = 0; i < w; ++i)
+                bits[static_cast<size_t>(i)] =
+                    aig().mkMux(sel, t[static_cast<size_t>(i)], e[static_cast<size_t>(i)]);
+            break;
+        }
+        case Op::Concat: {
+            // Operands are MSB-first; bits are LSB-first.
+            for (auto it = n.ops.rbegin(); it != n.ops.rend(); ++it) {
+                const auto& part = out.bits.at(*it);
+                bits.insert(bits.end(), part.begin(), part.end());
+            }
+            break;
+        }
+        case Op::Slice: {
+            const auto& a = in(0);
+            for (int i = 0; i < w; ++i) bits.push_back(a[static_cast<size_t>(n.lo + i)]);
+            break;
+        }
+        case Op::ZExt: {
+            bits = in(0);
+            bits.resize(static_cast<size_t>(w), kAigFalse);
+            break;
+        }
+        case Op::RedAnd: {
+            AigLit acc = kAigTrue;
+            for (AigLit b : in(0)) acc = aig().mkAnd(acc, b);
+            bits = {acc};
+            break;
+        }
+        case Op::RedOr: {
+            AigLit acc = kAigFalse;
+            for (AigLit b : in(0)) acc = aig().mkOr(acc, b);
+            bits = {acc};
+            break;
+        }
+        case Op::RedXor: {
+            AigLit acc = kAigFalse;
+            for (AigLit b : in(0)) acc = aig().mkXor(acc, b);
+            bits = {acc};
+            break;
+        }
+        case Op::IsUnknown:
+            bits = {kAigFalse}; // Formal is 2-state.
+            break;
+        }
+
+        assert(static_cast<int>(bits.size()) == w);
+        out.bits[id] = std::move(bits);
+    }
+};
+
+} // namespace
+
+BitBlast bitblast(const Design& design) {
+    Blaster blaster(design);
+
+    // Pre-create latches for all registers (they may appear in feedback).
+    for (NodeId r : design.regs()) {
+        const Node& n = design.node(r);
+        std::vector<AigLit> bits;
+        std::vector<uint32_t> vars;
+        for (int i = 0; i < n.width; ++i) {
+            int init = n.hasInit ? static_cast<int>((n.initValue >> i) & 1) : -1;
+            AigLit l = blaster.aig().mkLatch(init, n.name + "[" + std::to_string(i) + "]");
+            vars.push_back(aigVar(l));
+            bits.push_back(l);
+        }
+        blaster.out.bits[r] = std::move(bits);
+        blaster.out.latchVars[r] = std::move(vars);
+    }
+
+    for (NodeId id : design.topoOrder()) {
+        if (design.node(id).op == Op::Reg) continue; // Already created.
+        blaster.blastNode(id);
+    }
+
+    // Wire latch next-state functions.
+    for (NodeId r : design.regs()) {
+        const Node& n = design.node(r);
+        const auto& stateBits = blaster.out.bits.at(r);
+        const auto& nextBits = blaster.out.bits.at(n.next);
+        for (int i = 0; i < n.width; ++i)
+            blaster.aig().setLatchNext(stateBits[static_cast<size_t>(i)],
+                                       nextBits[static_cast<size_t>(i)]);
+    }
+
+    return std::move(blaster.out);
+}
+
+} // namespace autosva::formal

@@ -1,0 +1,32 @@
+// Word-level Design -> bit-level AIG translation.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "formal/aig.hpp"
+#include "rtlir/design.hpp"
+
+namespace autosva::formal {
+
+/// Result of bit-blasting: the AIG plus maps back to the word-level design
+/// (needed for counterexample trace extraction).
+struct BitBlast {
+    Aig aig;
+    /// Per design node: AIG literals, LSB first.
+    std::unordered_map<ir::NodeId, std::vector<AigLit>> bits;
+    /// Design input node -> AIG input vars (LSB first).
+    std::unordered_map<ir::NodeId, std::vector<uint32_t>> inputVars;
+    /// Design register node -> AIG latch vars (LSB first).
+    std::unordered_map<ir::NodeId, std::vector<uint32_t>> latchVars;
+
+    [[nodiscard]] AigLit bit(ir::NodeId node, int i) const { return bits.at(node)[static_cast<size_t>(i)]; }
+    /// 1-bit node convenience accessor.
+    [[nodiscard]] AigLit lit(ir::NodeId node) const { return bits.at(node)[0]; }
+};
+
+/// Throws util::FrontendError on unsupported constructs (non-constant
+/// division).
+[[nodiscard]] BitBlast bitblast(const ir::Design& design);
+
+} // namespace autosva::formal

@@ -1,0 +1,39 @@
+// Interoperability exports:
+//  - AIGER 1.9 (ASCII "aag") of a design's transition system + obligations,
+//    consumable by external model checkers (ABC, nuXmv, aigbmc, ...)
+//  - DIMACS CNF of a BMC instance, consumable by any SAT solver.
+#pragma once
+
+#include <string>
+
+#include "formal/aig.hpp"
+#include "rtlir/design.hpp"
+
+namespace autosva::formal {
+
+/// Renders the AIG in ASCII AIGER (aag) format. Latch initial values use
+/// the AIGER 1.9 reset syntax (0 / 1 / self for uninitialized). `bads`
+/// lists obligation literals exported as bad-state properties; `constraints`
+/// as invariant constraints; `justice` properties are emitted as a single
+/// justice set per literal; `fairness` as fairness constraints.
+struct AigerObligations {
+    std::vector<AigLit> bads;
+    std::vector<AigLit> constraints;
+    std::vector<AigLit> justice;
+    std::vector<AigLit> fairness;
+};
+
+[[nodiscard]] std::string toAiger(const Aig& aig, const AigerObligations& obligations,
+                                  const std::string& comment = {});
+
+/// Convenience: bit-blasts `design` and exports it with all of its
+/// (non-xprop) obligations mapped to AIGER sections.
+[[nodiscard]] std::string designToAiger(const ir::Design& design);
+
+/// DIMACS CNF of the BMC instance "`bad` reachable within `depth` steps
+/// from the initial states" (satisfiable iff a counterexample of length
+/// <= depth exists).
+[[nodiscard]] std::string bmcToDimacs(const Aig& aig, AigLit bad,
+                                      const std::vector<AigLit>& constraints, int depth);
+
+} // namespace autosva::formal

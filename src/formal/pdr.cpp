@@ -1,0 +1,315 @@
+#include "formal/pdr.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "formal/sat.hpp"
+#include "formal/unroll.hpp"
+
+namespace autosva::formal {
+
+namespace {
+
+/// A cube over latch state: sorted (latchVar, value) pairs. Blocking a cube
+/// adds the clause "not all of these values simultaneously".
+using Cube = std::vector<std::pair<uint32_t, bool>>;
+
+/// One SAT context per frame: the transition relation (frame 0 = current
+/// state, frame 1 resolves to next-state functions) plus the frame's
+/// learned clauses over current-state latch literals.
+struct FrameSolver {
+    std::unique_ptr<SatSolver> solver;
+    std::unique_ptr<Unroller> un;
+
+    explicit FrameSolver(const Aig& aig) {
+        solver = std::make_unique<SatSolver>();
+        un = std::make_unique<Unroller>(aig, *solver, Unroller::Init::Free);
+    }
+
+    SatLit now(AigLit l) { return un->lit(0, l); }
+    SatLit next(uint32_t latchVar) { return un->lit(1, aigMkLit(latchVar)); }
+};
+
+struct PdrContext {
+    const Aig& aig;
+    AigLit bad;
+    const std::vector<AigLit>& constraints;
+    const PdrOptions& opts;
+    uint64_t queries = 0;
+
+    std::vector<std::unique_ptr<FrameSolver>> solvers; // Index = frame.
+    std::vector<std::vector<Cube>> frames;             // Learned cubes per frame.
+
+    PdrContext(const Aig& a, AigLit b, const std::vector<AigLit>& cons, const PdrOptions& o)
+        : aig(a), bad(b), constraints(cons), opts(o) {}
+
+    FrameSolver& frameSolver(size_t i) {
+        while (solvers.size() <= i) {
+            auto fs = std::make_unique<FrameSolver>(aig);
+            // Constraints hold in the current state of every frame.
+            for (AigLit c : constraints) fs->solver->addUnit(fs->now(c));
+            if (solvers.empty()) {
+                // Frame 0 additionally encodes the initial states.
+                for (uint32_t lv : aig.latches()) {
+                    int init = aig.latchInit(lv);
+                    if (init < 0) continue;
+                    SatLit l = fs->now(aigMkLit(lv));
+                    fs->solver->addUnit(init ? l : satNeg(l));
+                }
+            }
+            // Replay learned clauses: a clause stored at frame j holds at all
+            // frames <= j, so the solver for frame `idx` carries every cube
+            // from frames idx and above.
+            size_t idx = solvers.size();
+            solvers.push_back(std::move(fs));
+            for (size_t j = idx; j < frames.size(); ++j)
+                for (const Cube& c : frames[j]) addBlockedClauseToSolver(idx, c);
+        }
+        return *solvers[i];
+    }
+
+    void ensureFrameStorage(size_t i) {
+        while (frames.size() <= i) frames.emplace_back();
+    }
+
+    void addBlockedClauseToSolver(size_t frameIdx, const Cube& cube) {
+        FrameSolver& fs = *solvers[frameIdx];
+        std::vector<SatLit> clause;
+        clause.reserve(cube.size());
+        for (auto [var, val] : cube) {
+            SatLit l = fs.now(aigMkLit(var));
+            clause.push_back(val ? satNeg(l) : l);
+        }
+        fs.solver->addClause(std::move(clause));
+    }
+
+    /// Blocks `cube` at all frames 0..frameIdx.
+    void addBlockedCube(size_t frameIdx, const Cube& cube) {
+        ensureFrameStorage(frameIdx);
+        frames[frameIdx].push_back(cube);
+        for (size_t i = 0; i <= frameIdx && i < solvers.size(); ++i)
+            addBlockedClauseToSolver(i, cube);
+    }
+
+    /// Does the cube contain the initial states? (A cube intersects Init iff
+    /// none of its literals contradicts a defined init value.)
+    [[nodiscard]] bool intersectsInit(const Cube& cube) const {
+        for (auto [var, val] : cube) {
+            int init = aig.latchInit(var);
+            if (init >= 0 && (init != 0) != val) return false;
+        }
+        return true;
+    }
+
+    /// SAT query: F_frame /\ not(cube) /\ T /\ cube'. Returns true if UNSAT
+    /// (cube is inductive relative to the frame); on SAT fills
+    /// `predecessor` with the full current-state cube of the model; on
+    /// UNSAT fills `coreCube` (if given) with the subset of cube literals
+    /// whose primed assumptions appear in the unsat core.
+    bool consecution(size_t frameIdx, const Cube& cube, Cube* predecessor,
+                     Cube* coreCube = nullptr) {
+        ++queries;
+        FrameSolver& fs = frameSolver(frameIdx);
+        std::vector<SatLit> assumptions;
+        // not(cube) via a temporary activation literal.
+        SatLit act = mkSatLit(fs.solver->newVar());
+        std::vector<SatLit> notCube{satNeg(act)};
+        for (auto [var, val] : cube) {
+            SatLit l = fs.now(aigMkLit(var));
+            notCube.push_back(val ? satNeg(l) : l);
+        }
+        fs.solver->addClause(std::move(notCube));
+        assumptions.push_back(act);
+        // cube' on the next-state functions.
+        std::vector<SatLit> primedLits;
+        for (auto [var, val] : cube) {
+            SatLit l = fs.next(var);
+            primedLits.push_back(val ? l : satNeg(l));
+            assumptions.push_back(primedLits.back());
+        }
+        SatResult r = fs.solver->solve(assumptions);
+        bool unsat = r == SatResult::Unsat;
+        if (!unsat && predecessor) {
+            predecessor->clear();
+            for (uint32_t lv : aig.latches()) {
+                SatLit l = fs.now(aigMkLit(lv));
+                predecessor->emplace_back(lv, fs.solver->modelValue(satVar(l)) != satSign(l));
+            }
+        }
+        if (unsat && coreCube) {
+            coreCube->clear();
+            const auto& core = fs.solver->conflictCore();
+            auto inCore = [&](SatLit l) {
+                for (SatLit c : core)
+                    if (c == l) return true;
+                return false;
+            };
+            for (size_t i = 0; i < cube.size(); ++i)
+                if (inCore(primedLits[i])) coreCube->push_back(cube[i]);
+            // The shrunk cube must still exclude the initial states: if it
+            // now intersects Init, restore one distinguishing literal.
+            if (intersectsInit(*coreCube)) {
+                for (size_t i = 0; i < cube.size(); ++i) {
+                    auto [var, val] = cube[i];
+                    int init = aig.latchInit(var);
+                    if (init >= 0 && (init != 0) != val) {
+                        coreCube->push_back(cube[i]);
+                        break;
+                    }
+                }
+            }
+            if (coreCube->empty()) *coreCube = cube;
+            std::sort(coreCube->begin(), coreCube->end());
+        }
+        fs.solver->addUnit(satNeg(act)); // Retire the temporary clause.
+        return unsat;
+    }
+
+    /// Is `bad` reachable within F_frame?
+    bool badState(size_t frameIdx, Cube* state) {
+        ++queries;
+        FrameSolver& fs = frameSolver(frameIdx);
+        SatLit b = fs.now(bad);
+        SatResult r = fs.solver->solve({b});
+        if (r != SatResult::Sat) return false;
+        state->clear();
+        for (uint32_t lv : aig.latches()) {
+            SatLit l = fs.now(aigMkLit(lv));
+            state->emplace_back(lv, fs.solver->modelValue(satVar(l)) != satSign(l));
+        }
+        return true;
+    }
+
+    /// Shrinks a blocked cube: first via unsat cores (cheap, large steps),
+    /// then literal dropping on the remainder, always keeping the cube
+    /// inductive relative to F_{frameIdx} and disjoint from Init.
+    Cube generalize(size_t frameIdx, Cube cube) {
+        // Core-based shrinking: the caller guarantees `cube` is inductive.
+        // A core-shrunk cube is a candidate only — weakening not(cube) can
+        // break inductiveness — so validate before adopting (fixpoint in
+        // practice after 1-2 rounds).
+        for (int round = 0; round < 4; ++round) {
+            Cube shrunk;
+            if (!consecution(frameIdx, cube, nullptr, &shrunk)) break;
+            if (shrunk.size() >= cube.size()) break;
+            if (intersectsInit(shrunk)) break;
+            if (!consecution(frameIdx, shrunk, nullptr)) break; // Not inductive: keep cube.
+            cube = std::move(shrunk);
+        }
+        // Greedy literal dropping on the (now small) cube.
+        for (size_t i = 0; i < cube.size() && cube.size() > 1;) {
+            Cube candidate = cube;
+            candidate.erase(candidate.begin() + static_cast<long>(i));
+            if (!intersectsInit(candidate) && consecution(frameIdx, candidate, nullptr)) {
+                cube = std::move(candidate);
+            } else {
+                ++i;
+            }
+        }
+        return cube;
+    }
+};
+
+} // namespace
+
+PdrResult pdrCheck(const Aig& aig, AigLit bad, const std::vector<AigLit>& constraints,
+                   const PdrOptions& opts) {
+    PdrContext ctx(aig, bad, constraints, opts);
+    PdrResult result;
+
+    // Level 0: is bad reachable in the initial state itself?
+    {
+        Cube state;
+        SatSolver s0;
+        Unroller u0(aig, s0, Unroller::Init::Reset);
+        std::vector<SatLit> assumptions{u0.lit(0, bad)};
+        for (AigLit c : constraints) s0.addUnit(u0.lit(0, c));
+        if (s0.solve(assumptions) == SatResult::Sat) {
+            result.kind = PdrResult::Kind::Cex;
+            result.depth = 0;
+            result.queries = ctx.queries;
+            return result;
+        }
+    }
+
+    // Proof obligations: (frame, cube, depth-from-bad) — recursive blocking.
+    struct Obligation {
+        size_t frame;
+        Cube cube;
+        int depth;
+    };
+
+    for (size_t k = 1; static_cast<int>(k) <= opts.maxFrames; ++k) {
+        ctx.ensureFrameStorage(k);
+        // Block all bad states reachable within F_k.
+        Cube badCube;
+        while (ctx.badState(k, &badCube)) {
+            if (ctx.queries > opts.maxQueries) {
+                result.kind = PdrResult::Kind::Unknown;
+                result.queries = ctx.queries;
+                return result;
+            }
+            std::vector<Obligation> obligations;
+            obligations.push_back({k, badCube, 0});
+            while (!obligations.empty()) {
+                if (ctx.queries > opts.maxQueries) {
+                    result.kind = PdrResult::Kind::Unknown;
+                    result.queries = ctx.queries;
+                    return result;
+                }
+                Obligation ob = obligations.back();
+                if (ob.frame == 0) {
+                    // Reached the initial frame: counterexample.
+                    result.kind = PdrResult::Kind::Cex;
+                    result.depth = ob.depth + static_cast<int>(k); // Upper bound on length.
+                    result.queries = ctx.queries;
+                    return result;
+                }
+                if (ctx.intersectsInit(ob.cube)) {
+                    result.kind = PdrResult::Kind::Cex;
+                    result.depth = ob.depth + static_cast<int>(ob.frame);
+                    result.queries = ctx.queries;
+                    return result;
+                }
+                Cube predecessor;
+                if (ctx.consecution(ob.frame - 1, ob.cube, &predecessor)) {
+                    Cube generalized = ctx.generalize(ob.frame - 1, ob.cube);
+                    ctx.addBlockedCube(ob.frame, generalized);
+                    obligations.pop_back();
+                } else {
+                    obligations.push_back({ob.frame - 1, std::move(predecessor), ob.depth + 1});
+                }
+            }
+        }
+
+        // Propagation: push clauses forward; a frame whose clauses all moved
+        // up equals its successor, closing the inductive invariant.
+        for (size_t i = 1; i < k; ++i) {
+            auto& cubes = ctx.frames[i];
+            for (size_t ci = 0; ci < cubes.size();) {
+                if (ctx.consecution(i, cubes[ci], nullptr)) {
+                    Cube moved = std::move(cubes[ci]);
+                    cubes.erase(cubes.begin() + static_cast<long>(ci));
+                    ctx.frames[i + 1].push_back(moved);
+                    if (i + 1 < ctx.solvers.size()) ctx.addBlockedClauseToSolver(i + 1, moved);
+                    continue;
+                }
+                ++ci;
+            }
+            if (cubes.empty()) {
+                result.kind = PdrResult::Kind::Proven;
+                result.depth = static_cast<int>(i);
+                result.queries = ctx.queries;
+                return result;
+            }
+        }
+    }
+
+    result.kind = PdrResult::Kind::Unknown;
+    result.depth = opts.maxFrames;
+    result.queries = ctx.queries;
+    return result;
+}
+
+} // namespace autosva::formal

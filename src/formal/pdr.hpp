@@ -1,0 +1,38 @@
+// Property Directed Reachability (IC3/PDR) — the unbounded safety prover.
+//
+// BMC finds counterexamples and k-induction proves shallow properties, but
+// the liveness-to-safety obligations AutoSVA generates need reachability
+// reasoning (a lasso through an unreachable state defeats plain induction).
+// PDR incrementally learns inductive lemmas (blocked cubes) per frame until
+// an inductive invariant excluding `bad` emerges — the same class of engine
+// (IC3) that JasperGold uses for unbounded proofs in the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "formal/aig.hpp"
+
+namespace autosva::formal {
+
+struct PdrOptions {
+    int maxFrames = 60;
+    uint64_t maxQueries = 200000; ///< Safety valve on total SAT queries.
+};
+
+struct PdrResult {
+    enum class Kind { Proven, Cex, Unknown };
+    Kind kind = Kind::Unknown;
+    /// Proven: frame where the invariant closed. Cex: trace length bound
+    /// (number of steps from the initial state to `bad`).
+    int depth = -1;
+    uint64_t queries = 0;
+};
+
+/// Decides reachability of `bad` (a combinational AIG literal) from the
+/// initial states, under per-cycle `constraints`.
+[[nodiscard]] PdrResult pdrCheck(const Aig& aig, AigLit bad,
+                                 const std::vector<AigLit>& constraints,
+                                 const PdrOptions& opts = {});
+
+} // namespace autosva::formal

@@ -1,0 +1,54 @@
+#include "formal/replay.hpp"
+
+#include "util/table.hpp"
+
+namespace autosva::formal {
+
+std::vector<sim::TraceCycle> replayTrace(const ir::Design& design, const CexTrace& trace) {
+    sim::Simulator simulator(design, sim::Simulator::XMode::TwoState);
+    simulator.reset();
+    simulator.enableTrace(true);
+
+    // Apply initial register state.
+    for (ir::NodeId reg : design.regs()) {
+        auto it = trace.initialRegs.find(design.node(reg).name);
+        if (it != trace.initialRegs.end()) simulator.setRegState(reg, it->second);
+    }
+    // Drive inputs frame by frame.
+    for (const auto& frame : trace.inputs) {
+        for (ir::NodeId input : design.inputs()) {
+            auto it = frame.find(design.node(input).name);
+            simulator.setInput(input, it != frame.end() ? it->second : 0);
+        }
+        simulator.step();
+    }
+    return simulator.trace();
+}
+
+std::string formatTrace(const ir::Design& design, const CexTrace& trace,
+                        const std::vector<std::string>& signalNames) {
+    auto cycles = replayTrace(design, trace);
+    std::vector<std::string> header{"cycle"};
+    for (const auto& name : signalNames) header.push_back(name);
+    util::TextTable table(std::move(header));
+    for (size_t t = 0; t < cycles.size(); ++t) {
+        std::vector<std::string> row;
+        std::string cyc = std::to_string(t);
+        if (trace.loopStart >= 0 && static_cast<size_t>(trace.loopStart) == t) cyc += " (loop)";
+        row.push_back(cyc);
+        for (const auto& name : signalNames) {
+            auto it = cycles[t].signals.find(name);
+            if (it == cycles[t].signals.end()) {
+                row.emplace_back("?");
+            } else if (it->second.x) {
+                row.emplace_back("x");
+            } else {
+                row.push_back(std::to_string(it->second.val));
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    return table.str();
+}
+
+} // namespace autosva::formal

@@ -1,0 +1,22 @@
+// Replays a formal counterexample trace on the cycle simulator to obtain
+// full waveforms (every named signal per cycle), e.g. for VCD dumping.
+#pragma once
+
+#include <vector>
+
+#include "formal/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace autosva::formal {
+
+/// Replays `trace` on `design` with two-state semantics matching the formal
+/// engine. Returns one TraceCycle per frame.
+[[nodiscard]] std::vector<sim::TraceCycle> replayTrace(const ir::Design& design,
+                                                       const CexTrace& trace);
+
+/// Renders a compact human-readable table of selected signals over the
+/// trace (used by example programs and failure reports).
+[[nodiscard]] std::string formatTrace(const ir::Design& design, const CexTrace& trace,
+                                      const std::vector<std::string>& signalNames);
+
+} // namespace autosva::formal

@@ -1,0 +1,518 @@
+#include "formal/sat.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace autosva::formal {
+
+namespace {
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+} // namespace
+
+SatSolver::SatSolver() = default;
+
+int SatSolver::newVar() {
+    int v = static_cast<int>(assigns_.size());
+    assigns_.push_back(kUndef);
+    model_.push_back(kUndef);
+    phase_.push_back(kFalse);
+    levels_.push_back(0);
+    reasons_.push_back(kCRefUndef);
+    activity_.push_back(0.0);
+    seen_.push_back(0);
+    heapPos_.push_back(-1);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heapInsert(v);
+    return v;
+}
+
+void SatSolver::attachClause(CRef cref) {
+    const Clause& c = clauses_[cref];
+    assert(c.lits.size() >= 2);
+    watches_[satNeg(c.lits[0])].push_back({cref, c.lits[1]});
+    watches_[satNeg(c.lits[1])].push_back({cref, c.lits[0]});
+}
+
+void SatSolver::addClause(std::vector<SatLit> lits) {
+    if (!ok_) return;
+    assert(decisionLevel() == 0);
+    // Simplify under the level-0 assignment; remove duplicates & tautologies.
+    std::sort(lits.begin(), lits.end());
+    std::vector<SatLit> out;
+    SatLit prev = -1;
+    for (SatLit l : lits) {
+        if (l == prev) continue;
+        if (prev >= 0 && satVar(l) == satVar(prev)) return; // Tautology (l, ~l).
+        uint8_t v = litValue(l);
+        if (v == kTrue) return;      // Satisfied already.
+        if (v == kFalse) continue;   // Falsified literal dropped.
+        out.push_back(l);
+        prev = l;
+    }
+    if (out.empty()) {
+        ok_ = false;
+        return;
+    }
+    if (out.size() == 1) {
+        if (!enqueue(out[0], kCRefUndef)) {
+            ok_ = false;
+            return;
+        }
+        if (propagate() != kCRefUndef) ok_ = false;
+        return;
+    }
+    Clause c;
+    c.lits = std::move(out);
+    clauses_.push_back(std::move(c));
+    attachClause(static_cast<CRef>(clauses_.size() - 1));
+}
+
+bool SatSolver::enqueue(SatLit l, CRef reason) {
+    uint8_t v = litValue(l);
+    if (v != kUndef) return v == kTrue;
+    int var = satVar(l);
+    assigns_[var] = satSign(l) ? kFalse : kTrue;
+    levels_[var] = decisionLevel();
+    reasons_[var] = reason;
+    trail_.push_back(l);
+    return true;
+}
+
+SatSolver::CRef SatSolver::propagate() {
+    while (qhead_ < trail_.size()) {
+        SatLit p = trail_[qhead_++];
+        ++propagations_;
+        auto& ws = watches_[p];
+        size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            Watcher w = ws[i];
+            if (litValue(w.blocker) == kTrue) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            Clause& c = clauses_[w.cref];
+            // Ensure the false literal is lits[1].
+            SatLit falseLit = satNeg(p);
+            if (c.lits[0] == falseLit) std::swap(c.lits[0], c.lits[1]);
+            assert(c.lits[1] == falseLit);
+            ++i;
+            if (litValue(c.lits[0]) == kTrue) {
+                ws[j++] = {w.cref, c.lits[0]};
+                continue;
+            }
+            // Find a new literal to watch.
+            bool found = false;
+            for (size_t k = 2; k < c.lits.size(); ++k) {
+                if (litValue(c.lits[k]) != kFalse) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[satNeg(c.lits[1])].push_back({w.cref, c.lits[0]});
+                    found = true;
+                    break;
+                }
+            }
+            if (found) continue;
+            // Unit or conflicting.
+            ws[j++] = {w.cref, c.lits[0]};
+            if (litValue(c.lits[0]) == kFalse) {
+                // Conflict: copy remaining watchers and return.
+                while (i < ws.size()) ws[j++] = ws[i++];
+                ws.resize(j);
+                qhead_ = trail_.size();
+                return w.cref;
+            }
+            enqueue(c.lits[0], w.cref);
+        }
+        ws.resize(j);
+    }
+    return kCRefUndef;
+}
+
+void SatSolver::bumpVarActivity(int var) {
+    activity_[var] += varInc_;
+    if (activity_[var] > kRescaleLimit) {
+        for (double& a : activity_) a *= 1e-100;
+        varInc_ *= 1e-100;
+    }
+    heapUpdate(var);
+}
+
+void SatSolver::heapSiftUp(size_t i) {
+    int var = heap_[i];
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (activity_[heap_[parent]] >= activity_[var]) break;
+        heap_[i] = heap_[parent];
+        heapPos_[heap_[i]] = static_cast<int>(i);
+        i = parent;
+    }
+    heap_[i] = var;
+    heapPos_[var] = static_cast<int>(i);
+}
+
+void SatSolver::heapSiftDown(size_t i) {
+    int var = heap_[i];
+    for (;;) {
+        size_t left = 2 * i + 1;
+        if (left >= heap_.size()) break;
+        size_t best = left;
+        size_t right = left + 1;
+        if (right < heap_.size() && activity_[heap_[right]] > activity_[heap_[left]]) best = right;
+        if (activity_[heap_[best]] <= activity_[var]) break;
+        heap_[i] = heap_[best];
+        heapPos_[heap_[i]] = static_cast<int>(i);
+        i = best;
+    }
+    heap_[i] = var;
+    heapPos_[var] = static_cast<int>(i);
+}
+
+void SatSolver::heapInsert(int var) {
+    if (heapPos_[var] >= 0) return;
+    heap_.push_back(var);
+    heapPos_[var] = static_cast<int>(heap_.size() - 1);
+    heapSiftUp(heap_.size() - 1);
+}
+
+void SatSolver::heapUpdate(int var) {
+    if (heapPos_[var] >= 0) heapSiftUp(static_cast<size_t>(heapPos_[var]));
+}
+
+int SatSolver::heapPopMax() {
+    int var = heap_[0];
+    heapPos_[var] = -1;
+    int last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        heapPos_[last] = 0;
+        heapSiftDown(0);
+    }
+    return var;
+}
+
+void SatSolver::bumpClauseActivity(Clause& c) {
+    c.activity += clauseInc_;
+    if (c.activity > kRescaleLimit) {
+        for (CRef cr : learnts_) clauses_[cr].activity *= 1e-100;
+        clauseInc_ *= 1e-100;
+    }
+}
+
+void SatSolver::decayActivities() {
+    varInc_ /= kVarDecay;
+    clauseInc_ /= kClauseDecay;
+}
+
+void SatSolver::analyze(CRef conflict, std::vector<SatLit>& learnt, int& backtrackLevel,
+                        int& lbd) {
+    learnt.clear();
+    learnt.push_back(0); // Placeholder for the asserting literal.
+    int counter = 0;
+    SatLit p = -1;
+    size_t index = trail_.size();
+
+    CRef reason = conflict;
+    do {
+        assert(reason != kCRefUndef);
+        Clause& c = clauses_[reason];
+        if (c.learnt) bumpClauseActivity(c);
+        for (size_t k = (p == -1 ? 0 : 1); k < c.lits.size(); ++k) {
+            SatLit q = c.lits[k];
+            int var = satVar(q);
+            if (!seen_[var] && levels_[var] > 0) {
+                seen_[var] = 1;
+                bumpVarActivity(var);
+                if (levels_[var] >= decisionLevel())
+                    ++counter;
+                else
+                    learnt.push_back(q);
+            }
+        }
+        // Pick the next literal to resolve on.
+        while (!seen_[satVar(trail_[--index])]) {
+        }
+        p = trail_[index];
+        seen_[satVar(p)] = 0;
+        reason = reasons_[satVar(p)];
+        --counter;
+    } while (counter > 0);
+    learnt[0] = satNeg(p);
+
+    // Conflict-clause minimization (self-subsumption, local).
+    std::vector<SatLit> minimized;
+    minimized.push_back(learnt[0]);
+    for (size_t i = 1; i < learnt.size(); ++i) {
+        SatLit q = learnt[i];
+        CRef r = reasons_[satVar(q)];
+        bool redundant = false;
+        if (r != kCRefUndef) {
+            redundant = true;
+            for (SatLit rl : clauses_[r].lits) {
+                if (satVar(rl) == satVar(q)) continue;
+                if (!seen_[satVar(rl)] && levels_[satVar(rl)] > 0) {
+                    redundant = false;
+                    break;
+                }
+            }
+        }
+        if (!redundant) minimized.push_back(q);
+    }
+    for (size_t i = 1; i < learnt.size(); ++i) seen_[satVar(learnt[i])] = 0;
+    learnt = std::move(minimized);
+
+    // Compute backtrack level & LBD.
+    backtrackLevel = 0;
+    if (learnt.size() > 1) {
+        size_t maxIdx = 1;
+        for (size_t i = 2; i < learnt.size(); ++i)
+            if (levels_[satVar(learnt[i])] > levels_[satVar(learnt[maxIdx])]) maxIdx = i;
+        std::swap(learnt[1], learnt[maxIdx]);
+        backtrackLevel = levels_[satVar(learnt[1])];
+    }
+    std::vector<int> lbdLevels;
+    for (SatLit l : learnt) lbdLevels.push_back(levels_[satVar(l)]);
+    std::sort(lbdLevels.begin(), lbdLevels.end());
+    lbd = static_cast<int>(std::unique(lbdLevels.begin(), lbdLevels.end()) - lbdLevels.begin());
+}
+
+void SatSolver::cancelUntil(int level) {
+    if (decisionLevel() <= level) return;
+    for (size_t i = trail_.size(); i > static_cast<size_t>(trailLims_[level]);) {
+        --i;
+        int var = satVar(trail_[i]);
+        phase_[var] = assigns_[var];
+        assigns_[var] = kUndef;
+        reasons_[var] = kCRefUndef;
+        heapInsert(var);
+    }
+    trail_.resize(static_cast<size_t>(trailLims_[level]));
+    trailLims_.resize(static_cast<size_t>(level));
+    qhead_ = trail_.size();
+}
+
+void SatSolver::analyzeFinal(CRef conflict, SatLit failedAssumption) {
+    conflictCore_.clear();
+    if (decisionLevel() == 0) return;
+    std::vector<uint8_t>& seen = seen_;
+    auto markClause = [&](CRef cr) {
+        for (SatLit l : clauses_[cr].lits) {
+            int var = satVar(l);
+            if (levels_[var] > 0) seen[var] = 1;
+        }
+    };
+    if (conflict != kCRefUndef) {
+        markClause(conflict);
+    } else {
+        // A propagated literal contradicts `failedAssumption`: start from
+        // the chain that forced its negation.
+        int var = satVar(failedAssumption);
+        seen[var] = 1;
+        conflictCore_.push_back(failedAssumption);
+    }
+    for (size_t i = trail_.size(); i-- > static_cast<size_t>(trailLims_.empty() ? 0 : trailLims_[0]);) {
+        int var = satVar(trail_[i]);
+        if (!seen[var]) continue;
+        seen[var] = 0;
+        CRef reason = reasons_[var];
+        if (reason == kCRefUndef) {
+            // A decision at assumption time: part of the core.
+            conflictCore_.push_back(trail_[i]);
+        } else {
+            markClause(reason);
+            seen[var] = 0;
+        }
+    }
+    // Clear any leftover marks below the first decision level.
+    for (SatLit l : conflictCore_) seen[satVar(l)] = 0;
+}
+
+SatLit SatSolver::pickBranchLit() {
+    while (!heap_.empty()) {
+        int var = heapPopMax();
+        if (assigns_[var] == kUndef) return mkSatLit(var, phase_[var] == kFalse);
+    }
+    return -1;
+}
+
+uint64_t SatSolver::luby(uint64_t i) {
+    // Luby sequence: 1,1,2,1,1,2,4,...
+    uint64_t k = 1;
+    while ((uint64_t{1} << k) - 1 < i + 1) ++k;
+    while ((uint64_t{1} << (k - 1)) - 1 != i) {
+        i = i - ((uint64_t{1} << (k - 1)) - 1);
+        k = 1;
+        while ((uint64_t{1} << k) - 1 < i + 1) ++k;
+    }
+    return uint64_t{1} << (k - 1);
+}
+
+void SatSolver::reduceDB() {
+    std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
+        const Clause& ca = clauses_[a];
+        const Clause& cb = clauses_[b];
+        if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
+        return ca.activity < cb.activity;
+    });
+    size_t target = learnts_.size() / 2;
+    std::vector<CRef> kept;
+    for (size_t i = 0; i < learnts_.size(); ++i) {
+        CRef cr = learnts_[i];
+        Clause& c = clauses_[cr];
+        bool locked = false;
+        // Keep clauses that are reasons for current assignments.
+        for (SatLit l : c.lits) {
+            if (reasons_[satVar(l)] == cr && litValue(l) == kTrue) {
+                locked = true;
+                break;
+            }
+        }
+        if (i < target && !locked && c.lbd > 2) {
+            // Detach.
+            for (int w = 0; w < 2; ++w) {
+                auto& ws = watches_[satNeg(c.lits[static_cast<size_t>(w)])];
+                for (size_t k = 0; k < ws.size(); ++k) {
+                    if (ws[k].cref == cr) {
+                        ws[k] = ws.back();
+                        ws.pop_back();
+                        break;
+                    }
+                }
+            }
+            c.deleted = true;
+            c.lits.clear();
+            c.lits.shrink_to_fit();
+        } else {
+            kept.push_back(cr);
+        }
+    }
+    learnts_ = std::move(kept);
+}
+
+SatResult SatSolver::solve(const std::vector<SatLit>& assumptions) {
+    if (!ok_) return SatResult::Unsat;
+    cancelUntil(0);
+
+    if (propagate() != kCRefUndef) {
+        ok_ = false;
+        return SatResult::Unsat;
+    }
+
+    uint64_t conflictsAtStart = conflicts_;
+    uint64_t restartCount = 0;
+    uint64_t restartLimit = 64 * luby(restartCount);
+    uint64_t conflictsSinceRestart = 0;
+
+    std::vector<SatLit> learnt;
+
+    for (;;) {
+        CRef conflict = propagate();
+        if (conflict != kCRefUndef) {
+            ++conflicts_;
+            ++conflictsSinceRestart;
+            if (decisionLevel() == 0) {
+                ok_ = false;
+                return SatResult::Unsat;
+            }
+            // Conflict below the assumption level means UNSAT under
+            // assumptions.
+            if (decisionLevel() <= static_cast<int>(assumptions.size())) {
+                // Check whether all decisions so far were assumptions.
+                bool allAssumptions = true;
+                for (int lvl = 1; lvl <= decisionLevel(); ++lvl) {
+                    size_t start = static_cast<size_t>(trailLims_[static_cast<size_t>(lvl - 1)]);
+                    size_t end = lvl < decisionLevel()
+                                     ? static_cast<size_t>(trailLims_[static_cast<size_t>(lvl)])
+                                     : trail_.size();
+                    if (start >= end) continue; // Empty level (satisfied assumption).
+                    SatLit dec = trail_[start];
+                    bool isAssumption = false;
+                    for (SatLit a : assumptions)
+                        if (a == dec) isAssumption = true;
+                    if (!isAssumption) {
+                        allAssumptions = false;
+                        break;
+                    }
+                }
+                if (allAssumptions) {
+                    analyzeFinal(conflict, -1);
+                    cancelUntil(0);
+                    return SatResult::Unsat;
+                }
+            }
+            int backtrackLevel = 0;
+            int lbd = 0;
+            analyze(conflict, learnt, backtrackLevel, lbd);
+            // Never backtrack past the assumptions.
+            cancelUntil(backtrackLevel);
+            if (learnt.size() == 1) {
+                if (decisionLevel() != 0) cancelUntil(0);
+                if (!enqueue(learnt[0], kCRefUndef)) {
+                    ok_ = false;
+                    return SatResult::Unsat;
+                }
+            } else {
+                Clause c;
+                c.lits = learnt;
+                c.learnt = true;
+                c.lbd = lbd;
+                clauses_.push_back(std::move(c));
+                CRef cr = static_cast<CRef>(clauses_.size() - 1);
+                learnts_.push_back(cr);
+                attachClause(cr);
+                bumpClauseActivity(clauses_[cr]);
+                enqueue(learnt[0], cr);
+            }
+            decayActivities();
+            if (conflictBudget_ && conflicts_ - conflictsAtStart > conflictBudget_) {
+                cancelUntil(0);
+                return SatResult::Unknown;
+            }
+            if (learnts_.size() > maxLearnts_) {
+                reduceDB();
+                maxLearnts_ = maxLearnts_ + maxLearnts_ / 3;
+            }
+            if (conflictsSinceRestart >= restartLimit) {
+                conflictsSinceRestart = 0;
+                restartLimit = 64 * luby(++restartCount);
+                cancelUntil(0);
+            }
+            continue;
+        }
+
+        // Decide: assumptions first.
+        SatLit next = -1;
+        while (decisionLevel() < static_cast<int>(assumptions.size())) {
+            SatLit a = assumptions[static_cast<size_t>(decisionLevel())];
+            uint8_t v = litValue(a);
+            if (v == kTrue) {
+                trailLims_.push_back(static_cast<int>(trail_.size())); // Empty level.
+                continue;
+            }
+            if (v == kFalse) {
+                analyzeFinal(kCRefUndef, a);
+                cancelUntil(0);
+                return SatResult::Unsat;
+            }
+            next = a;
+            break;
+        }
+        if (next == -1) {
+            next = pickBranchLit();
+            if (next == -1) {
+                // Full model found.
+                model_.assign(assigns_.begin(), assigns_.end());
+                cancelUntil(0);
+                return SatResult::Sat;
+            }
+            ++decisions_;
+        }
+        trailLims_.push_back(static_cast<int>(trail_.size()));
+        enqueue(next, kCRefUndef);
+    }
+}
+
+} // namespace autosva::formal

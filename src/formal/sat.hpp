@@ -1,0 +1,130 @@
+// From-scratch CDCL SAT solver: two-watched literals, 1UIP conflict
+// learning, VSIDS decision heuristic with phase saving, Luby restarts and
+// LBD-based learnt-clause reduction. Supports incremental solving under
+// assumptions, which the BMC / k-induction engines rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace autosva::formal {
+
+/// Literals are encoded MiniSAT-style: lit = 2*var + sign (sign 1 = negated).
+using SatLit = int;
+
+[[nodiscard]] constexpr SatLit mkSatLit(int var, bool negated = false) {
+    return var * 2 + (negated ? 1 : 0);
+}
+[[nodiscard]] constexpr int satVar(SatLit lit) { return lit >> 1; }
+[[nodiscard]] constexpr bool satSign(SatLit lit) { return (lit & 1) != 0; }
+[[nodiscard]] constexpr SatLit satNeg(SatLit lit) { return lit ^ 1; }
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+class SatSolver {
+public:
+    SatSolver();
+
+    /// Creates a new variable and returns its index.
+    int newVar();
+    [[nodiscard]] int numVars() const { return static_cast<int>(assigns_.size()); }
+
+    /// Adds a clause (empty clause makes the instance trivially UNSAT).
+    void addClause(std::vector<SatLit> lits);
+    void addUnit(SatLit l) { addClause({l}); }
+    void addBinary(SatLit a, SatLit b) { addClause({a, b}); }
+    void addTernary(SatLit a, SatLit b, SatLit c) { addClause({a, b, c}); }
+
+    /// Solves under the given assumptions.
+    [[nodiscard]] SatResult solve(const std::vector<SatLit>& assumptions = {});
+
+    /// Model access after Sat: true iff variable is assigned true.
+    [[nodiscard]] bool modelValue(int var) const { return model_[var] == 1; }
+
+    /// After an Unsat result under assumptions: the subset of assumption
+    /// literals involved in the refutation (an unsat core over assumptions).
+    [[nodiscard]] const std::vector<SatLit>& conflictCore() const { return conflictCore_; }
+
+    // Statistics.
+    [[nodiscard]] uint64_t conflicts() const { return conflicts_; }
+    [[nodiscard]] uint64_t decisions() const { return decisions_; }
+    [[nodiscard]] uint64_t propagations() const { return propagations_; }
+
+    /// Optional conflict budget per solve() call (0 = unlimited).
+    void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
+
+private:
+    using CRef = int32_t;
+    static constexpr CRef kCRefUndef = -1;
+
+    struct Clause {
+        std::vector<SatLit> lits;
+        double activity = 0.0;
+        int lbd = 0;
+        bool learnt = false;
+        bool deleted = false;
+    };
+
+    struct Watcher {
+        CRef cref;
+        SatLit blocker;
+    };
+
+    enum : uint8_t { kTrue = 1, kFalse = 0, kUndef = 2 };
+
+    [[nodiscard]] uint8_t litValue(SatLit l) const {
+        uint8_t v = assigns_[satVar(l)];
+        if (v == kUndef) return kUndef;
+        return satSign(l) ? (v ^ 1) : v;
+    }
+
+    void attachClause(CRef cref);
+    bool enqueue(SatLit l, CRef reason);
+    CRef propagate();
+    void analyzeFinal(CRef conflict, SatLit failedAssumption);
+    void analyze(CRef conflict, std::vector<SatLit>& learnt, int& backtrackLevel, int& lbd);
+    void cancelUntil(int level);
+    SatLit pickBranchLit();
+    void bumpVarActivity(int var);
+    void bumpClauseActivity(Clause& c);
+    void decayActivities();
+    void reduceDB();
+    [[nodiscard]] int decisionLevel() const { return static_cast<int>(trailLims_.size()); }
+    [[nodiscard]] static uint64_t luby(uint64_t i);
+
+    bool ok_ = true;
+    std::vector<Clause> clauses_;
+    std::vector<CRef> learnts_;
+    std::vector<std::vector<Watcher>> watches_; // Indexed by literal.
+    std::vector<uint8_t> assigns_;
+    std::vector<uint8_t> model_;
+    std::vector<uint8_t> phase_;
+    std::vector<int> levels_;
+    std::vector<CRef> reasons_;
+    std::vector<SatLit> trail_;
+    std::vector<int> trailLims_;
+    size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    double varInc_ = 1.0;
+    double clauseInc_ = 1.0;
+    // Indexed max-heap over variable activity (MiniSAT's order_heap).
+    std::vector<int> heap_;
+    std::vector<int> heapPos_; // var -> heap index, -1 if absent.
+    void heapInsert(int var);
+    void heapUpdate(int var);
+    int heapPopMax();
+    void heapSiftUp(size_t i);
+    void heapSiftDown(size_t i);
+    std::vector<uint8_t> seen_;
+
+    std::vector<SatLit> conflictCore_;
+    uint64_t conflicts_ = 0;
+    uint64_t decisions_ = 0;
+    uint64_t propagations_ = 0;
+    uint64_t conflictBudget_ = 0;
+    size_t maxLearnts_ = 4000;
+};
+
+} // namespace autosva::formal

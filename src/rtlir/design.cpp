@@ -1,0 +1,376 @@
+#include "rtlir/design.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/diagnostics.hpp"
+
+namespace autosva::ir {
+
+using util::FrontendError;
+
+NodeId Design::add(Node n) {
+    nodes_.push_back(std::move(n));
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Design::mkConst(int width, uint64_t value) {
+    assert(width >= 1 && width <= 64);
+    Node n;
+    n.op = Op::Const;
+    n.width = width;
+    n.cval = value & maskForWidth(width);
+    return add(n);
+}
+
+NodeId Design::mkInput(const std::string& name, int width) {
+    Node n;
+    n.op = Op::Input;
+    n.width = width;
+    n.name = name;
+    NodeId id = add(n);
+    inputs_.push_back(id);
+    return id;
+}
+
+NodeId Design::mkReg(const std::string& name, int width) {
+    Node n;
+    n.op = Op::Reg;
+    n.width = width;
+    n.name = name;
+    NodeId id = add(n);
+    regs_.push_back(id);
+    return id;
+}
+
+void Design::setRegNext(NodeId reg, NodeId next) {
+    assert(nodes_[reg].op == Op::Reg);
+    assert(nodes_[next].width == nodes_[reg].width);
+    nodes_[reg].next = next;
+}
+
+void Design::setRegInit(NodeId reg, uint64_t value) {
+    assert(nodes_[reg].op == Op::Reg);
+    nodes_[reg].initValue = value & maskForWidth(nodes_[reg].width);
+    nodes_[reg].hasInit = true;
+}
+
+NodeId Design::mkBuf(const std::string& name, int width) {
+    Node n;
+    n.op = Op::Buf;
+    n.width = width;
+    n.name = name;
+    return add(n);
+}
+
+void Design::setBufInput(NodeId buf, NodeId value) {
+    assert(nodes_[buf].op == Op::Buf);
+    assert(nodes_[value].width == nodes_[buf].width);
+    nodes_[buf].ops.assign(1, value);
+}
+
+void Design::convertBufToInput(NodeId buf) {
+    assert(nodes_[buf].op == Op::Buf && nodes_[buf].ops.empty());
+    nodes_[buf].op = Op::Input;
+    inputs_.push_back(buf);
+}
+
+void Design::convertBufToConst(NodeId buf, uint64_t value) {
+    assert(nodes_[buf].op == Op::Buf && nodes_[buf].ops.empty());
+    nodes_[buf].op = Op::Const;
+    nodes_[buf].cval = value & maskForWidth(nodes_[buf].width);
+}
+
+NodeId Design::binary(Op op, NodeId a, NodeId b, int width) {
+    Node n;
+    n.op = op;
+    n.width = width;
+    n.ops = {a, b};
+    return add(n);
+}
+
+NodeId Design::mkNot(NodeId a) {
+    if (isConst(a)) return mkConst(width(a), ~constValue(a));
+    Node n;
+    n.op = Op::Not;
+    n.width = width(a);
+    n.ops = {a};
+    return add(n);
+}
+
+NodeId Design::mkAnd(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (isConst(a) && isConst(b)) return mkConst(width(a), constValue(a) & constValue(b));
+    if (isConst(a) && constValue(a) == 0) return mkConst(width(a), 0);
+    if (isConst(b) && constValue(b) == 0) return mkConst(width(a), 0);
+    if (isConst(a) && constValue(a) == maskForWidth(width(a))) return b;
+    if (isConst(b) && constValue(b) == maskForWidth(width(b))) return a;
+    return binary(Op::And, a, b, width(a));
+}
+
+NodeId Design::mkOr(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (isConst(a) && isConst(b)) return mkConst(width(a), constValue(a) | constValue(b));
+    if (isConst(a) && constValue(a) == 0) return b;
+    if (isConst(b) && constValue(b) == 0) return a;
+    if (isConst(a) && constValue(a) == maskForWidth(width(a))) return a;
+    if (isConst(b) && constValue(b) == maskForWidth(width(b))) return b;
+    return binary(Op::Or, a, b, width(a));
+}
+
+NodeId Design::mkXor(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (isConst(a) && isConst(b)) return mkConst(width(a), constValue(a) ^ constValue(b));
+    if (isConst(a) && constValue(a) == 0) return b;
+    if (isConst(b) && constValue(b) == 0) return a;
+    return binary(Op::Xor, a, b, width(a));
+}
+
+NodeId Design::mkAdd(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (isConst(a) && isConst(b)) return mkConst(width(a), constValue(a) + constValue(b));
+    if (isConst(a) && constValue(a) == 0) return b;
+    if (isConst(b) && constValue(b) == 0) return a;
+    return binary(Op::Add, a, b, width(a));
+}
+
+NodeId Design::mkSub(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (isConst(a) && isConst(b)) return mkConst(width(a), constValue(a) - constValue(b));
+    if (isConst(b) && constValue(b) == 0) return a;
+    return binary(Op::Sub, a, b, width(a));
+}
+
+NodeId Design::mkMul(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (isConst(a) && isConst(b)) return mkConst(width(a), constValue(a) * constValue(b));
+    if (isConst(a) && constValue(a) == 1) return b;
+    if (isConst(b) && constValue(b) == 1) return a;
+    if ((isConst(a) && constValue(a) == 0) || (isConst(b) && constValue(b) == 0))
+        return mkConst(width(a), 0);
+    return binary(Op::Mul, a, b, width(a));
+}
+
+NodeId Design::mkDiv(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (!isConst(b))
+        throw FrontendError({}, "division by a non-constant is not supported");
+    uint64_t d = constValue(b);
+    if (d == 0) throw FrontendError({}, "division by zero");
+    if (isConst(a)) return mkConst(width(a), constValue(a) / d);
+    if (d == 1) return a;
+    if ((d & (d - 1)) == 0) { // Power of two -> shift.
+        int sh = 0;
+        while ((uint64_t{1} << sh) != d) ++sh;
+        return mkShr(a, mkConst(7, static_cast<uint64_t>(sh)));
+    }
+    return binary(Op::Div, a, b, width(a));
+}
+
+NodeId Design::mkMod(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (!isConst(b))
+        throw FrontendError({}, "modulo by a non-constant is not supported");
+    uint64_t d = constValue(b);
+    if (d == 0) throw FrontendError({}, "modulo by zero");
+    if (isConst(a)) return mkConst(width(a), constValue(a) % d);
+    if ((d & (d - 1)) == 0) { // Power of two -> mask.
+        return mkAnd(a, mkConst(width(a), d - 1));
+    }
+    return binary(Op::Mod, a, b, width(a));
+}
+
+NodeId Design::mkEq(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (isConst(a) && isConst(b)) return mkConst(1, constValue(a) == constValue(b) ? 1 : 0);
+    if (a == b) return mkConst(1, 1);
+    return binary(Op::Eq, a, b, 1);
+}
+
+NodeId Design::mkNe(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (isConst(a) && isConst(b)) return mkConst(1, constValue(a) != constValue(b) ? 1 : 0);
+    if (a == b) return mkConst(1, 0);
+    return binary(Op::Ne, a, b, 1);
+}
+
+NodeId Design::mkUlt(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (isConst(a) && isConst(b)) return mkConst(1, constValue(a) < constValue(b) ? 1 : 0);
+    return binary(Op::Ult, a, b, 1);
+}
+
+NodeId Design::mkUle(NodeId a, NodeId b) {
+    assert(width(a) == width(b));
+    if (isConst(a) && isConst(b)) return mkConst(1, constValue(a) <= constValue(b) ? 1 : 0);
+    return binary(Op::Ule, a, b, 1);
+}
+
+NodeId Design::mkShl(NodeId a, NodeId amount) {
+    if (isConst(a) && isConst(amount)) {
+        uint64_t sh = constValue(amount);
+        return mkConst(width(a), sh >= 64 ? 0 : constValue(a) << sh);
+    }
+    return binary(Op::Shl, a, amount, width(a));
+}
+
+NodeId Design::mkShr(NodeId a, NodeId amount) {
+    if (isConst(a) && isConst(amount)) {
+        uint64_t sh = constValue(amount);
+        return mkConst(width(a), sh >= 64 ? 0 : constValue(a) >> sh);
+    }
+    return binary(Op::Shr, a, amount, width(a));
+}
+
+NodeId Design::mkMux(NodeId sel, NodeId thenVal, NodeId elseVal) {
+    assert(width(sel) == 1);
+    assert(width(thenVal) == width(elseVal));
+    if (isConst(sel)) return constValue(sel) ? thenVal : elseVal;
+    if (thenVal == elseVal) return thenVal;
+    Node n;
+    n.op = Op::Mux;
+    n.width = width(thenVal);
+    n.ops = {sel, thenVal, elseVal};
+    return add(n);
+}
+
+NodeId Design::mkConcat(const std::vector<NodeId>& partsMsbFirst) {
+    assert(!partsMsbFirst.empty());
+    if (partsMsbFirst.size() == 1) return partsMsbFirst[0];
+    int total = 0;
+    bool allConst = true;
+    for (NodeId p : partsMsbFirst) {
+        total += width(p);
+        allConst = allConst && isConst(p);
+    }
+    if (total > 64) throw FrontendError({}, "concatenation wider than 64 bits");
+    if (allConst) {
+        uint64_t v = 0;
+        for (NodeId p : partsMsbFirst) {
+            v = (v << width(p)) | constValue(p);
+        }
+        return mkConst(total, v);
+    }
+    Node n;
+    n.op = Op::Concat;
+    n.width = total;
+    n.ops = partsMsbFirst;
+    return add(n);
+}
+
+NodeId Design::mkSlice(NodeId a, int lo, int w) {
+    assert(lo >= 0 && w >= 1 && lo + w <= width(a));
+    if (lo == 0 && w == width(a)) return a;
+    if (isConst(a)) return mkConst(w, constValue(a) >> lo);
+    Node n;
+    n.op = Op::Slice;
+    n.width = w;
+    n.lo = lo;
+    n.ops = {a};
+    return add(n);
+}
+
+NodeId Design::mkZExt(NodeId a, int w) {
+    assert(w >= width(a));
+    if (w == width(a)) return a;
+    if (isConst(a)) return mkConst(w, constValue(a));
+    Node n;
+    n.op = Op::ZExt;
+    n.width = w;
+    n.ops = {a};
+    return add(n);
+}
+
+NodeId Design::mkRedAnd(NodeId a) {
+    if (width(a) == 1) return a;
+    if (isConst(a)) return mkConst(1, constValue(a) == maskForWidth(width(a)) ? 1 : 0);
+    Node n;
+    n.op = Op::RedAnd;
+    n.width = 1;
+    n.ops = {a};
+    return add(n);
+}
+
+NodeId Design::mkRedOr(NodeId a) {
+    if (width(a) == 1) return a;
+    if (isConst(a)) return mkConst(1, constValue(a) != 0 ? 1 : 0);
+    Node n;
+    n.op = Op::RedOr;
+    n.width = 1;
+    n.ops = {a};
+    return add(n);
+}
+
+NodeId Design::mkRedXor(NodeId a) {
+    if (isConst(a)) return mkConst(1, static_cast<uint64_t>(__builtin_parityll(constValue(a))));
+    if (width(a) == 1) return a;
+    Node n;
+    n.op = Op::RedXor;
+    n.width = 1;
+    n.ops = {a};
+    return add(n);
+}
+
+NodeId Design::mkIsUnknown(NodeId a) {
+    Node n;
+    n.op = Op::IsUnknown;
+    n.width = 1;
+    n.ops = {a};
+    return add(n);
+}
+
+NodeId Design::mkBool(NodeId a) { return width(a) == 1 ? a : mkRedOr(a); }
+
+NodeId Design::mkResize(NodeId a, int w) {
+    if (width(a) == w) return a;
+    if (width(a) < w) return mkZExt(a, w);
+    return mkSlice(a, 0, w);
+}
+
+std::vector<NodeId> Design::topoOrder() const {
+    enum class Mark : uint8_t { White, Grey, Black };
+    std::vector<Mark> marks(nodes_.size(), Mark::White);
+    std::vector<NodeId> order;
+    order.reserve(nodes_.size());
+
+    // Iterative DFS; registers are sources (their `next` edge is sequential).
+    std::vector<std::pair<NodeId, size_t>> stack;
+    auto visit = [&](NodeId root) {
+        if (marks[root] != Mark::White) return;
+        stack.emplace_back(root, 0);
+        marks[root] = Mark::Grey;
+        while (!stack.empty()) {
+            auto& [id, childIdx] = stack.back();
+            const Node& n = nodes_[id];
+            bool sequential = n.op == Op::Reg;
+            if (sequential || childIdx >= n.ops.size()) {
+                marks[id] = Mark::Black;
+                order.push_back(id);
+                stack.pop_back();
+                continue;
+            }
+            NodeId child = n.ops[childIdx++];
+            if (marks[child] == Mark::Grey) {
+                throw FrontendError({}, "combinational cycle through signal '" +
+                                            (nodes_[child].name.empty() ? std::to_string(child)
+                                                                        : nodes_[child].name) +
+                                            "'");
+            }
+            if (marks[child] == Mark::White) {
+                marks[child] = Mark::Grey;
+                stack.emplace_back(child, 0);
+            }
+        }
+    };
+
+    for (NodeId id = 0; id < nodes_.size(); ++id) visit(id);
+    return order;
+}
+
+int Design::stateBits() const {
+    int bits = 0;
+    for (NodeId r : regs_) bits += nodes_[r].width;
+    return bits;
+}
+
+} // namespace autosva::ir

@@ -1,0 +1,162 @@
+// Word-level RTL intermediate representation: a flat sea-of-nodes netlist
+// with registers, produced by the elaborator and consumed by the simulator
+// and the formal bit-blaster. All signals are unsigned and at most 64 bits.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/source_loc.hpp"
+
+namespace autosva::ir {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+enum class Op : uint8_t {
+    Const,  ///< Literal; value in `cval`.
+    Input,  ///< Free primary input (or formal cut point / symbolic variable).
+    Reg,    ///< State element; `next()` and optional init value.
+    Buf,    ///< Named forwarding node (signal placeholder during elaboration).
+
+    Not, And, Or, Xor,          // Bitwise, equal widths.
+    Add, Sub, Mul,              // Unsigned arithmetic, result width = max input.
+    Div, Mod,                   // Constant divisor only (checked at build).
+    Eq, Ne, Ult, Ule,           // 1-bit results.
+    Shl, Shr,                   // Left operand width; dynamic amount allowed.
+    Mux,                        // operands: sel(1-bit), thenVal, elseVal.
+    Concat,                     // operands MSB-first.
+    Slice,                      // operands[0][lo +: width].
+    ZExt,                       // zero extension to `width`.
+    RedAnd, RedOr, RedXor,      // 1-bit reductions.
+    IsUnknown,                  // 1-bit; 0 in formal, X-plane in simulation.
+};
+
+struct Node {
+    Op op = Op::Const;
+    int width = 1;
+    uint64_t cval = 0;   ///< Const value.
+    int lo = 0;          ///< Slice low bit.
+    std::vector<NodeId> ops;
+    std::string name;    ///< Input/Reg/Buf name (flattened hierarchical).
+
+    // Reg-only fields.
+    NodeId next = kInvalidNode;
+    uint64_t initValue = 0;
+    bool hasInit = false; ///< False = symbolic initial state.
+};
+
+/// A verification obligation attached to the design by assertion lowering.
+struct Obligation {
+    enum class Kind {
+        SafetyBad,   ///< 1-bit net; assertion fails when it becomes 1.
+        Constraint,  ///< 1-bit net; assumed to hold (be 1) in every cycle.
+        Justice,     ///< 1-bit net; asserted to hold infinitely often.
+        Fairness,    ///< 1-bit net; assumed to hold infinitely often.
+        Cover,       ///< 1-bit net; reachability target.
+    };
+    Kind kind = Kind::SafetyBad;
+    std::string name;
+    NodeId net = kInvalidNode;
+    bool xprop = false; ///< X-propagation check (skipped by formal engines).
+    util::SourceLoc loc;
+};
+
+/// Flat elaborated design. Construction goes through the mk* helpers which
+/// perform local constant folding and width checking.
+class Design {
+public:
+    [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id]; }
+    [[nodiscard]] Node& node(NodeId id) { return nodes_[id]; }
+    [[nodiscard]] size_t numNodes() const { return nodes_.size(); }
+
+    [[nodiscard]] const std::vector<NodeId>& inputs() const { return inputs_; }
+    [[nodiscard]] const std::vector<NodeId>& regs() const { return regs_; }
+    [[nodiscard]] const std::vector<Obligation>& obligations() const { return obligations_; }
+    [[nodiscard]] std::vector<Obligation>& obligations() { return obligations_; }
+
+    /// Named signal table (flattened names -> node). Used for trace display,
+    /// wildcard binds, and tests.
+    [[nodiscard]] const std::unordered_map<std::string, NodeId>& signals() const {
+        return signals_;
+    }
+    void nameSignal(const std::string& name, NodeId id) { signals_[name] = id; }
+    [[nodiscard]] NodeId findSignal(const std::string& name) const {
+        auto it = signals_.find(name);
+        return it == signals_.end() ? kInvalidNode : it->second;
+    }
+
+    // -- Node constructors (with local folding) ----------------------------
+    NodeId mkConst(int width, uint64_t value);
+    NodeId mkInput(const std::string& name, int width);
+    NodeId mkReg(const std::string& name, int width);
+    void setRegNext(NodeId reg, NodeId next);
+    void setRegInit(NodeId reg, uint64_t value);
+    NodeId mkBuf(const std::string& name, int width);
+    void setBufInput(NodeId buf, NodeId value);
+    /// Finalization helpers: an undriven Buf becomes a free input (formal
+    /// cut point / symbolic variable) or a tied-off constant.
+    void convertBufToInput(NodeId buf);
+    void convertBufToConst(NodeId buf, uint64_t value);
+
+    NodeId mkNot(NodeId a);
+    NodeId mkAnd(NodeId a, NodeId b);
+    NodeId mkOr(NodeId a, NodeId b);
+    NodeId mkXor(NodeId a, NodeId b);
+    NodeId mkAdd(NodeId a, NodeId b);
+    NodeId mkSub(NodeId a, NodeId b);
+    NodeId mkMul(NodeId a, NodeId b);
+    NodeId mkDiv(NodeId a, NodeId b);
+    NodeId mkMod(NodeId a, NodeId b);
+    NodeId mkEq(NodeId a, NodeId b);
+    NodeId mkNe(NodeId a, NodeId b);
+    NodeId mkUlt(NodeId a, NodeId b);
+    NodeId mkUle(NodeId a, NodeId b);
+    NodeId mkShl(NodeId a, NodeId amount);
+    NodeId mkShr(NodeId a, NodeId amount);
+    NodeId mkMux(NodeId sel, NodeId thenVal, NodeId elseVal);
+    NodeId mkConcat(const std::vector<NodeId>& partsMsbFirst);
+    NodeId mkSlice(NodeId a, int lo, int width);
+    NodeId mkZExt(NodeId a, int width);
+    NodeId mkRedAnd(NodeId a);
+    NodeId mkRedOr(NodeId a);
+    NodeId mkRedXor(NodeId a);
+    NodeId mkIsUnknown(NodeId a);
+
+    /// Reduce to 1 bit (identity for 1-bit nets, RedOr otherwise).
+    NodeId mkBool(NodeId a);
+    /// Zero-extend or truncate to exactly `width`.
+    NodeId mkResize(NodeId a, int width);
+
+    void addObligation(Obligation ob) { obligations_.push_back(std::move(ob)); }
+
+    [[nodiscard]] int width(NodeId id) const { return nodes_[id].width; }
+    [[nodiscard]] bool isConst(NodeId id) const { return nodes_[id].op == Op::Const; }
+    [[nodiscard]] uint64_t constValue(NodeId id) const { return nodes_[id].cval; }
+
+    /// Topological order over combinational edges (Reg next-edges excluded).
+    /// Throws util::FrontendError on a combinational cycle.
+    [[nodiscard]] std::vector<NodeId> topoOrder() const;
+
+    /// Total state bits (sum of register widths).
+    [[nodiscard]] int stateBits() const;
+
+private:
+    NodeId add(Node n);
+    NodeId binary(Op op, NodeId a, NodeId b, int width);
+
+    std::vector<Node> nodes_;
+    std::vector<NodeId> inputs_;
+    std::vector<NodeId> regs_;
+    std::vector<Obligation> obligations_;
+    std::unordered_map<std::string, NodeId> signals_;
+};
+
+[[nodiscard]] inline uint64_t maskForWidth(int width) {
+    return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+}
+
+} // namespace autosva::ir

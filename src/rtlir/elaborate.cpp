@@ -1,0 +1,1118 @@
+#include "rtlir/elaborate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "verilog/parser.hpp"
+
+namespace autosva::ir {
+
+using util::FrontendError;
+using util::SourceLoc;
+namespace vl = autosva::verilog;
+
+namespace {
+
+[[nodiscard]] int bitsFor(uint64_t value) {
+    int bits = 1;
+    while (value >> bits) ++bits;
+    return bits;
+}
+
+[[nodiscard]] int clog2(uint64_t value) {
+    if (value <= 1) return 0;
+    int bits = 0;
+    uint64_t v = value - 1;
+    while (v) {
+        ++bits;
+        v >>= 1;
+    }
+    return bits;
+}
+
+struct Entry {
+    enum class Kind { Signal, Param, Memory };
+    Kind kind = Kind::Signal;
+    NodeId buf = kInvalidNode;      // Signal.
+    uint64_t paramValue = 0;        // Param.
+    std::vector<NodeId> elements;   // Memory element bufs.
+    int width = 1;                  // Signal / element width.
+};
+
+struct Scope {
+    std::string prefix;
+    const vl::Module* mod = nullptr;
+    std::unordered_map<std::string, Entry> entries;
+
+    [[nodiscard]] const Entry* find(const std::string& name) const {
+        auto it = entries.find(name);
+        return it == entries.end() ? nullptr : &it->second;
+    }
+};
+
+struct DriverPart {
+    int lo = 0;
+    int width = 0;
+    NodeId value = kInvalidNode;
+    SourceLoc loc;
+};
+
+/// Values pending procedural assignment, keyed by signal name or memory
+/// element key ("name@idx").
+using AssignMap = std::map<std::string, NodeId>;
+
+/// Constant substitutions used to re-evaluate always_ff bodies with the
+/// reset active, extracting register initial values.
+using Overlay = std::unordered_map<std::string, uint64_t>;
+
+[[nodiscard]] std::string memKey(const std::string& name, int index) {
+    return name + "@" + std::to_string(index);
+}
+
+/// Decomposed property shape supported by the monitor compiler.
+struct PropShape {
+    const vl::Expr* ante = nullptr; // Null = no antecedent (always-checked).
+    int delay = 0;                  // Cycles between antecedent and consequent.
+    bool eventually = false;
+    const vl::Expr* cons = nullptr;
+};
+
+} // namespace
+
+struct Elaborator::Impl {
+    Impl(std::vector<const vl::SourceFile*> files, util::DiagEngine& diags)
+        : files_(std::move(files)), diags_(diags) {
+        for (const auto* f : files_) {
+            for (const auto& m : f->modules) {
+                if (!moduleMap_.emplace(m->name, m.get()).second)
+                    throw FrontendError(m->loc, "duplicate module '" + m->name + "'");
+            }
+            for (const auto& b : f->binds) binds_.push_back(&b);
+        }
+    }
+
+    std::unique_ptr<Design> run(const std::string& topName, const ElabOptions& opts) {
+        opts_ = &opts;
+        design_ = std::make_unique<Design>();
+        const vl::Module* top = findModule(topName, {});
+        std::unordered_map<std::string, uint64_t> overrides = opts.paramOverrides;
+        elabModule(*top, "", overrides);
+        finalize();
+        return std::move(design_);
+    }
+
+    // -- Module lookup ------------------------------------------------------
+
+    const vl::Module* findModule(const std::string& name, SourceLoc loc) {
+        auto it = moduleMap_.find(name);
+        if (it == moduleMap_.end())
+            throw FrontendError(loc, "unknown module '" + name + "'");
+        return it->second;
+    }
+
+    // -- Scope construction --------------------------------------------------
+
+    std::unique_ptr<Scope> elabModule(const vl::Module& mod, const std::string& prefix,
+                                      const std::unordered_map<std::string, uint64_t>& overrides) {
+        auto scope = std::make_unique<Scope>();
+        scope->prefix = prefix;
+        scope->mod = &mod;
+
+        // Header parameters (with overrides).
+        for (const auto& p : mod.params) {
+            Entry e;
+            e.kind = Entry::Kind::Param;
+            auto it = overrides.find(p.name);
+            e.paramValue = it != overrides.end() ? it->second : evalConst(*scope, *p.value);
+            scope->entries.emplace(p.name, std::move(e));
+        }
+
+        // Ports.
+        for (const auto& port : mod.ports) declareSignalOrMemory(*scope, port.name, port.packed,
+                                                                 std::nullopt, port.loc);
+
+        // First pass: body params and net declarations (in order).
+        for (const auto& item : mod.items) {
+            if (item.kind == vl::ModuleItem::Kind::Param) {
+                const auto& p = *item.param;
+                if (scope->find(p.name))
+                    throw FrontendError(p.loc, "duplicate declaration of '" + p.name + "'");
+                Entry e;
+                e.kind = Entry::Kind::Param;
+                auto it = overrides.find(p.name);
+                e.paramValue = (!p.isLocal && it != overrides.end())
+                                   ? it->second
+                                   : evalConst(*scope, *p.value);
+                scope->entries.emplace(p.name, std::move(e));
+            } else if (item.kind == vl::ModuleItem::Kind::Net) {
+                const auto& n = *item.net;
+                declareSignalOrMemory(*scope, n.name, n.packed, n.unpacked ? std::optional(
+                    std::pair{n.unpacked->msb.get(), n.unpacked->lsb.get()}) : std::nullopt, n.loc);
+                if (n.init) {
+                    const Entry* e = scope->find(n.name);
+                    addDriverPart(e->buf, 0, e->width,
+                                  resize(evalExpr(*scope, *n.init, nullptr, nullptr), e->width),
+                                  n.loc);
+                }
+            }
+        }
+
+        // Second pass: behavioral items.
+        for (const auto& item : mod.items) {
+            switch (item.kind) {
+            case vl::ModuleItem::Kind::Param:
+            case vl::ModuleItem::Kind::Net:
+                break;
+            case vl::ModuleItem::Kind::ContAssign: {
+                const auto& a = *item.contAssign;
+                NodeId rhs = evalExpr(*scope, *a.rhs, nullptr, nullptr);
+                assignLValue(*scope, *a.lhs, rhs, a.loc);
+                break;
+            }
+            case vl::ModuleItem::Kind::Always:
+                elabAlways(*scope, *item.always);
+                break;
+            case vl::ModuleItem::Kind::Instance:
+                elabInstance(*scope, *item.instance);
+                break;
+            case vl::ModuleItem::Kind::Assertion:
+                lowerAssertion(*scope, *item.assertion);
+                break;
+            case vl::ModuleItem::Kind::GenFor:
+                throw FrontendError({}, "generate blocks are not supported");
+            }
+        }
+
+        // Bind directives targeting this module.
+        for (const auto* bind : binds_) {
+            if (bind->targetModule != mod.name) continue;
+            vl::Instance pseudo;
+            pseudo.moduleName = bind->boundModule;
+            pseudo.instName = bind->instName;
+            pseudo.wildcardPorts = bind->wildcardPorts;
+            pseudo.loc = bind->loc;
+            for (const auto& conn : bind->portAssigns) {
+                vl::NamedConnection c;
+                c.name = conn.name;
+                c.expr = conn.expr ? vl::cloneExpr(*conn.expr) : nullptr;
+                c.loc = conn.loc;
+                pseudo.portAssigns.push_back(std::move(c));
+            }
+            elabInstance(*scope, pseudo);
+        }
+        return scope;
+    }
+
+    void declareSignalOrMemory(Scope& scope, const std::string& name,
+                               const std::optional<vl::Range>& packed,
+                               std::optional<std::pair<const vl::Expr*, const vl::Expr*>> unpacked,
+                               SourceLoc loc) {
+        if (scope.find(name))
+            throw FrontendError(loc, "duplicate declaration of '" + name + "'");
+        int width = 1;
+        if (packed) {
+            uint64_t msb = evalConst(scope, *packed->msb);
+            uint64_t lsb = evalConst(scope, *packed->lsb);
+            if (lsb != 0) throw FrontendError(loc, "packed ranges must be [N:0]");
+            if (msb >= 64) throw FrontendError(loc, "signals wider than 64 bits are not supported");
+            width = static_cast<int>(msb) + 1;
+        }
+        Entry e;
+        e.width = width;
+        if (unpacked) {
+            uint64_t lo = evalConst(scope, *unpacked->first);
+            uint64_t hi = evalConst(scope, *unpacked->second);
+            if (lo > hi) std::swap(lo, hi);
+            if (lo != 0) throw FrontendError(loc, "unpacked ranges must start at 0");
+            uint64_t depth = hi + 1;
+            if (depth > static_cast<uint64_t>(opts_->maxMemoryDepth))
+                throw FrontendError(loc, "memory deeper than supported bound");
+            e.kind = Entry::Kind::Memory;
+            for (uint64_t i = 0; i < depth; ++i) {
+                std::string elemName = scope.prefix + name + "[" + std::to_string(i) + "]";
+                NodeId buf = design_->mkBuf(elemName, width);
+                design_->nameSignal(elemName, buf);
+                e.elements.push_back(buf);
+            }
+        } else {
+            e.kind = Entry::Kind::Signal;
+            e.buf = design_->mkBuf(scope.prefix + name, width);
+            design_->nameSignal(scope.prefix + name, e.buf);
+        }
+        scope.entries.emplace(name, std::move(e));
+    }
+
+    // -- Constant evaluation --------------------------------------------------
+
+    uint64_t evalConst(Scope& scope, const vl::Expr& e) {
+        NodeId n = evalExpr(scope, e, nullptr, nullptr);
+        if (!design_->isConst(n))
+            throw FrontendError(e.loc, "expression must be constant");
+        return design_->constValue(n);
+    }
+
+    // -- Expression evaluation -------------------------------------------------
+
+    NodeId resize(NodeId n, int width) { return widen(n, width); }
+
+    /// Reads the current value of a plain signal for read-modify-write and
+    /// branch-merge purposes; prefers a pending procedural value.
+    NodeId currentValue(const Entry& e, const std::string& key, const AssignMap* map) {
+        if (map) {
+            auto it = map->find(key);
+            if (it != map->end()) return it->second;
+        }
+        return e.buf;
+    }
+    NodeId currentElement(const Entry& e, const std::string& name, int idx, const AssignMap* map) {
+        if (map) {
+            auto it = map->find(memKey(name, idx));
+            if (it != map->end()) return it->second;
+        }
+        return e.elements[static_cast<size_t>(idx)];
+    }
+
+    NodeId evalExpr(Scope& scope, const vl::Expr& e, const AssignMap* updates,
+                    const Overlay* overlay) {
+        auto& d = *design_;
+        switch (e.kind) {
+        case vl::Expr::Kind::Number: {
+            if (e.isUnbasedUnsized) {
+                // Width adapts at resize(); remember all-ones via maximal value.
+                NodeId c = d.mkConst(1, e.intValue);
+                unbasedOnes_.insert(c);
+                return e.intValue ? c : d.mkConst(1, 0);
+            }
+            // Unsized literals are 32-bit integers per the LRM (wider if the
+            // value needs it); sized literals keep their declared width.
+            int width = e.numWidth > 0 ? e.numWidth : std::max(32, bitsFor(e.intValue));
+            return d.mkConst(width, e.intValue);
+        }
+        case vl::Expr::Kind::Ident: {
+            const Entry* entry = scope.find(e.name);
+            if (!entry) throw FrontendError(e.loc, "unknown identifier '" + e.name + "'");
+            if (overlay) {
+                auto it = overlay->find(e.name);
+                if (it != overlay->end()) return d.mkConst(entry->width, it->second);
+            }
+            switch (entry->kind) {
+            case Entry::Kind::Param:
+                return d.mkConst(std::max(32, bitsFor(entry->paramValue)), entry->paramValue);
+            case Entry::Kind::Signal:
+                return currentValue(*entry, e.name, updates);
+            case Entry::Kind::Memory:
+                throw FrontendError(e.loc, "memory '" + e.name + "' requires an index");
+            }
+            break;
+        }
+        case vl::Expr::Kind::Unary: {
+            NodeId a = evalExpr(scope, *e.operands[0], updates, overlay);
+            switch (e.unaryOp) {
+            case vl::UnaryOp::Plus: return a;
+            case vl::UnaryOp::Minus: return d.mkSub(d.mkConst(d.width(a), 0), a);
+            case vl::UnaryOp::LogicNot: return d.mkNot(d.mkBool(a));
+            case vl::UnaryOp::BitNot: return d.mkNot(a);
+            case vl::UnaryOp::RedAnd: return d.mkRedAnd(a);
+            case vl::UnaryOp::RedOr: return d.mkRedOr(a);
+            case vl::UnaryOp::RedXor: return d.mkRedXor(a);
+            case vl::UnaryOp::RedNand: return d.mkNot(d.mkRedAnd(a));
+            case vl::UnaryOp::RedNor: return d.mkNot(d.mkRedOr(a));
+            case vl::UnaryOp::RedXnor: return d.mkNot(d.mkRedXor(a));
+            }
+            break;
+        }
+        case vl::Expr::Kind::Binary: {
+            NodeId a = evalExpr(scope, *e.operands[0], updates, overlay);
+            NodeId b = evalExpr(scope, *e.operands[1], updates, overlay);
+            using BO = vl::BinaryOp;
+            if (e.binaryOp == BO::LogicAnd) return d.mkAnd(d.mkBool(a), d.mkBool(b));
+            if (e.binaryOp == BO::LogicOr) return d.mkOr(d.mkBool(a), d.mkBool(b));
+            if (e.binaryOp == BO::Shl || e.binaryOp == BO::Shr) {
+                return e.binaryOp == BO::Shl ? d.mkShl(a, b) : d.mkShr(a, b);
+            }
+            int w = std::max(d.width(a), d.width(b));
+            a = widen(a, w);
+            b = widen(b, w);
+            switch (e.binaryOp) {
+            case BO::Add: return d.mkAdd(a, b);
+            case BO::Sub: return d.mkSub(a, b);
+            case BO::Mul: return d.mkMul(a, b);
+            case BO::Div: return d.mkDiv(a, b);
+            case BO::Mod: return d.mkMod(a, b);
+            case BO::And: return d.mkAnd(a, b);
+            case BO::Or: return d.mkOr(a, b);
+            case BO::Xor: return d.mkXor(a, b);
+            case BO::Xnor: return d.mkNot(d.mkXor(a, b));
+            case BO::Eq: return d.mkEq(a, b);
+            case BO::Ne: return d.mkNe(a, b);
+            case BO::Lt: return d.mkUlt(a, b);
+            case BO::Le: return d.mkUle(a, b);
+            case BO::Gt: return d.mkUlt(b, a);
+            case BO::Ge: return d.mkUle(b, a);
+            default: break;
+            }
+            break;
+        }
+        case vl::Expr::Kind::Ternary: {
+            NodeId c = d.mkBool(evalExpr(scope, *e.operands[0], updates, overlay));
+            NodeId t = evalExpr(scope, *e.operands[1], updates, overlay);
+            NodeId f = evalExpr(scope, *e.operands[2], updates, overlay);
+            int w = std::max(d.width(t), d.width(f));
+            return d.mkMux(c, widen(t, w), widen(f, w));
+        }
+        case vl::Expr::Kind::Index: {
+            const vl::Expr& base = *e.operands[0];
+            if (base.kind == vl::Expr::Kind::Ident) {
+                const Entry* entry = scope.find(base.name);
+                if (entry && entry->kind == Entry::Kind::Memory) {
+                    NodeId idx = evalExpr(scope, *e.operands[1], updates, overlay);
+                    if (d.isConst(idx)) {
+                        uint64_t i = d.constValue(idx);
+                        if (i >= entry->elements.size())
+                            throw FrontendError(e.loc, "memory index out of range");
+                        return currentElement(*entry, base.name, static_cast<int>(i), updates);
+                    }
+                    NodeId result = currentElement(*entry, base.name, 0, updates);
+                    for (size_t i = 1; i < entry->elements.size(); ++i) {
+                        NodeId hit = d.mkEq(widen(idx, std::max(d.width(idx), bitsFor(i))),
+                                            d.mkConst(std::max(d.width(idx), bitsFor(i)), i));
+                        result = d.mkMux(hit, currentElement(*entry, base.name,
+                                                             static_cast<int>(i), updates),
+                                         result);
+                    }
+                    return result;
+                }
+            }
+            NodeId baseVal = evalExpr(scope, base, updates, overlay);
+            NodeId idx = evalExpr(scope, *e.operands[1], updates, overlay);
+            if (d.isConst(idx)) {
+                uint64_t i = d.constValue(idx);
+                if (i >= static_cast<uint64_t>(d.width(baseVal)))
+                    throw FrontendError(e.loc, "bit index out of range");
+                return d.mkSlice(baseVal, static_cast<int>(i), 1);
+            }
+            return d.mkSlice(d.mkShr(baseVal, idx), 0, 1);
+        }
+        case vl::Expr::Kind::Range: {
+            NodeId baseVal = evalExpr(scope, *e.operands[0], updates, overlay);
+            uint64_t msb = evalConst(scope, *e.operands[1]);
+            uint64_t lsb = evalConst(scope, *e.operands[2]);
+            if (msb < lsb || msb >= static_cast<uint64_t>(d.width(baseVal)))
+                throw FrontendError(e.loc, "part select out of range");
+            return d.mkSlice(baseVal, static_cast<int>(lsb), static_cast<int>(msb - lsb + 1));
+        }
+        case vl::Expr::Kind::Concat: {
+            std::vector<NodeId> parts;
+            parts.reserve(e.operands.size());
+            for (const auto& op : e.operands)
+                parts.push_back(evalExpr(scope, *op, updates, overlay));
+            return d.mkConcat(parts);
+        }
+        case vl::Expr::Kind::Replicate: {
+            uint64_t count = evalConst(scope, *e.operands[0]);
+            if (count == 0 || count > 64) throw FrontendError(e.loc, "bad replication count");
+            NodeId body = evalExpr(scope, *e.operands[1], updates, overlay);
+            std::vector<NodeId> parts(count, body);
+            return d.mkConcat(parts);
+        }
+        case vl::Expr::Kind::Call:
+            return evalCall(scope, e, updates, overlay);
+        }
+        throw FrontendError(e.loc, "unsupported expression");
+    }
+
+    /// Zero-extends, honouring '1 literals (which stretch to all-ones).
+    NodeId widen(NodeId n, int width) {
+        if (unbasedOnes_.count(n) && design_->width(n) < width)
+            return design_->mkConst(width, maskForWidth(width));
+        return design_->mkResize(n, width);
+    }
+
+    NodeId pastValid() {
+        if (pastValid_ == kInvalidNode) {
+            pastValid_ = design_->mkReg("__past_valid", 1);
+            design_->setRegInit(pastValid_, 0);
+            design_->setRegNext(pastValid_, design_->mkConst(1, 1));
+        }
+        return pastValid_;
+    }
+
+    NodeId pastOf(NodeId n, int cycles) {
+        NodeId cur = n;
+        for (int i = 0; i < cycles; ++i) {
+            NodeId reg = design_->mkReg("__past" + std::to_string(pastCounter_++), design_->width(cur));
+            design_->setRegInit(reg, 0);
+            design_->setRegNext(reg, cur);
+            cur = reg;
+        }
+        return cur;
+    }
+
+    NodeId evalCall(Scope& scope, const vl::Expr& e, const AssignMap* updates,
+                    const Overlay* overlay) {
+        auto& d = *design_;
+        auto arg = [&](size_t i) { return evalExpr(scope, *e.operands[i], updates, overlay); };
+        if (e.name == "$past") {
+            int n = e.operands.size() > 1 ? static_cast<int>(evalConst(scope, *e.operands[1])) : 1;
+            return pastOf(arg(0), n);
+        }
+        if (e.name == "$stable") {
+            NodeId x = arg(0);
+            NodeId same = d.mkEq(x, pastOf(x, 1));
+            return d.mkOr(d.mkNot(pastValid()), same);
+        }
+        if (e.name == "$changed") {
+            NodeId x = arg(0);
+            NodeId diff = d.mkNe(x, pastOf(x, 1));
+            return d.mkAnd(pastValid(), diff);
+        }
+        if (e.name == "$rose" || e.name == "$fell") {
+            NodeId x = d.mkSlice(arg(0), 0, 1);
+            NodeId prev = pastOf(x, 1);
+            NodeId edge = e.name == "$rose" ? d.mkAnd(d.mkNot(prev), x)
+                                            : d.mkAnd(prev, d.mkNot(x));
+            return d.mkAnd(pastValid(), edge);
+        }
+        if (e.name == "$countones") {
+            NodeId x = arg(0);
+            int w = d.width(x);
+            int rw = clog2(static_cast<uint64_t>(w)) + 1;
+            NodeId sum = d.mkConst(rw, 0);
+            for (int i = 0; i < w; ++i)
+                sum = d.mkAdd(sum, d.mkZExt(d.mkSlice(x, i, 1), rw));
+            return sum;
+        }
+        if (e.name == "$onehot" || e.name == "$onehot0") {
+            NodeId x = arg(0);
+            int w = d.width(x);
+            int rw = clog2(static_cast<uint64_t>(w)) + 1;
+            NodeId sum = d.mkConst(rw, 0);
+            for (int i = 0; i < w; ++i)
+                sum = d.mkAdd(sum, d.mkZExt(d.mkSlice(x, i, 1), rw));
+            NodeId limit = d.mkConst(rw, 1);
+            return e.name == "$onehot" ? d.mkEq(sum, limit) : d.mkUle(sum, limit);
+        }
+        if (e.name == "$isunknown") return d.mkIsUnknown(arg(0));
+        if (e.name == "$clog2") {
+            uint64_t v = evalConst(scope, *e.operands[0]);
+            return d.mkConst(7, static_cast<uint64_t>(clog2(v)));
+        }
+        if (e.name == "$bits") {
+            NodeId x = arg(0);
+            return d.mkConst(7, static_cast<uint64_t>(d.width(x)));
+        }
+        if (e.name == "$signed" || e.name == "$unsigned") return arg(0);
+        if (e.name == "$partselect_up") {
+            NodeId base = arg(0);
+            NodeId idx = arg(1);
+            uint64_t w = evalConst(scope, *e.operands[2]);
+            if (d.isConst(idx))
+                return d.mkSlice(base, static_cast<int>(d.constValue(idx)), static_cast<int>(w));
+            return d.mkSlice(d.mkShr(base, idx), 0, static_cast<int>(w));
+        }
+        throw FrontendError(e.loc, "unsupported system function '" + e.name + "'");
+    }
+
+    // -- Drivers ----------------------------------------------------------------
+
+    void addDriverPart(NodeId buf, int lo, int width, NodeId value, SourceLoc loc) {
+        drivers_[buf].push_back({lo, width, value, std::move(loc)});
+    }
+
+    /// Continuous-assignment / port-connection lvalues.
+    void assignLValue(Scope& scope, const vl::Expr& lhs, NodeId value, SourceLoc loc) {
+        auto& d = *design_;
+        switch (lhs.kind) {
+        case vl::Expr::Kind::Ident: {
+            const Entry* entry = scope.find(lhs.name);
+            if (!entry) throw FrontendError(lhs.loc, "unknown identifier '" + lhs.name + "'");
+            if (entry->kind != Entry::Kind::Signal)
+                throw FrontendError(lhs.loc, "cannot continuously assign '" + lhs.name + "'");
+            addDriverPart(entry->buf, 0, entry->width, resize(value, entry->width), loc);
+            return;
+        }
+        case vl::Expr::Kind::Index: {
+            const vl::Expr& base = *lhs.operands[0];
+            if (base.kind != vl::Expr::Kind::Ident)
+                throw FrontendError(lhs.loc, "unsupported lvalue");
+            const Entry* entry = scope.find(base.name);
+            if (!entry) throw FrontendError(lhs.loc, "unknown identifier '" + base.name + "'");
+            uint64_t idx = evalConst(scope, *lhs.operands[1]);
+            if (entry->kind == Entry::Kind::Memory)
+                throw FrontendError(lhs.loc, "memories can only be written in always blocks");
+            if (idx >= static_cast<uint64_t>(entry->width))
+                throw FrontendError(lhs.loc, "bit index out of range");
+            addDriverPart(entry->buf, static_cast<int>(idx), 1, resize(value, 1), loc);
+            return;
+        }
+        case vl::Expr::Kind::Range: {
+            const vl::Expr& base = *lhs.operands[0];
+            if (base.kind != vl::Expr::Kind::Ident)
+                throw FrontendError(lhs.loc, "unsupported lvalue");
+            const Entry* entry = scope.find(base.name);
+            if (!entry || entry->kind != Entry::Kind::Signal)
+                throw FrontendError(lhs.loc, "unsupported lvalue");
+            uint64_t msb = evalConst(scope, *lhs.operands[1]);
+            uint64_t lsb = evalConst(scope, *lhs.operands[2]);
+            if (msb < lsb || msb >= static_cast<uint64_t>(entry->width))
+                throw FrontendError(lhs.loc, "part select out of range");
+            int w = static_cast<int>(msb - lsb + 1);
+            addDriverPart(entry->buf, static_cast<int>(lsb), w, resize(value, w), loc);
+            return;
+        }
+        case vl::Expr::Kind::Concat: {
+            // {a, b, c} = value — split MSB-first.
+            int total = 0;
+            std::vector<int> widths;
+            for (const auto& part : lhs.operands) {
+                int w = lvalueWidth(scope, *part);
+                widths.push_back(w);
+                total += w;
+            }
+            NodeId wide = resize(value, total);
+            int hi = total;
+            for (size_t i = 0; i < lhs.operands.size(); ++i) {
+                int w = widths[i];
+                hi -= w;
+                assignLValue(scope, *lhs.operands[i], d.mkSlice(wide, hi, w), loc);
+            }
+            return;
+        }
+        default:
+            throw FrontendError(lhs.loc, "unsupported lvalue expression");
+        }
+    }
+
+    int lvalueWidth(Scope& scope, const vl::Expr& lhs) {
+        switch (lhs.kind) {
+        case vl::Expr::Kind::Ident: {
+            const Entry* entry = scope.find(lhs.name);
+            if (!entry) throw FrontendError(lhs.loc, "unknown identifier '" + lhs.name + "'");
+            return entry->width;
+        }
+        case vl::Expr::Kind::Index:
+            return 1;
+        case vl::Expr::Kind::Range: {
+            uint64_t msb = evalConst(scope, *lhs.operands[1]);
+            uint64_t lsb = evalConst(scope, *lhs.operands[2]);
+            return static_cast<int>(msb - lsb + 1);
+        }
+        case vl::Expr::Kind::Concat: {
+            int total = 0;
+            for (const auto& part : lhs.operands) total += lvalueWidth(scope, *part);
+            return total;
+        }
+        default:
+            throw FrontendError(lhs.loc, "unsupported lvalue expression");
+        }
+    }
+
+    // -- Procedural lowering -------------------------------------------------
+
+    void execStmt(Scope& scope, const vl::Stmt& stmt, AssignMap& map, bool readsSeeUpdates,
+                  const Overlay* overlay) {
+        switch (stmt.kind) {
+        case vl::Stmt::Kind::Null:
+            return;
+        case vl::Stmt::Kind::Block:
+            for (const auto& s : stmt.stmts) execStmt(scope, *s, map, readsSeeUpdates, overlay);
+            return;
+        case vl::Stmt::Kind::Assign: {
+            NodeId value =
+                evalExpr(scope, *stmt.rhs, readsSeeUpdates ? &map : nullptr, overlay);
+            assignProcedural(scope, *stmt.lhs, value, map, overlay, readsSeeUpdates);
+            return;
+        }
+        case vl::Stmt::Kind::If: {
+            NodeId cond = design_->mkBool(
+                evalExpr(scope, *stmt.cond, readsSeeUpdates ? &map : nullptr, overlay));
+            AssignMap thenMap = map;
+            if (stmt.thenStmt) execStmt(scope, *stmt.thenStmt, thenMap, readsSeeUpdates, overlay);
+            AssignMap elseMap = map;
+            if (stmt.elseStmt) execStmt(scope, *stmt.elseStmt, elseMap, readsSeeUpdates, overlay);
+            mergeMaps(scope, map, cond, thenMap, elseMap);
+            return;
+        }
+        case vl::Stmt::Kind::Case: {
+            execCase(scope, stmt, 0, map, readsSeeUpdates, overlay);
+            return;
+        }
+        }
+    }
+
+    void execCase(Scope& scope, const vl::Stmt& stmt, size_t itemIdx, AssignMap& map,
+                  bool readsSeeUpdates, const Overlay* overlay) {
+        if (itemIdx >= stmt.caseItems.size()) return;
+        const auto& item = stmt.caseItems[itemIdx];
+        if (item.labels.empty()) { // default
+            if (item.body) execStmt(scope, *item.body, map, readsSeeUpdates, overlay);
+            return;
+        }
+        NodeId subject =
+            evalExpr(scope, *stmt.subject, readsSeeUpdates ? &map : nullptr, overlay);
+        NodeId cond = design_->mkConst(1, 0);
+        for (const auto& label : item.labels) {
+            if (label->hasUnknownBits)
+                throw FrontendError(label->loc, "casez wildcard labels are not supported");
+            NodeId lab = evalExpr(scope, *label, readsSeeUpdates ? &map : nullptr, overlay);
+            int w = std::max(design_->width(subject), design_->width(lab));
+            cond = design_->mkOr(cond, design_->mkEq(widen(subject, w), widen(lab, w)));
+        }
+        AssignMap thenMap = map;
+        if (item.body) execStmt(scope, *item.body, thenMap, readsSeeUpdates, overlay);
+        AssignMap elseMap = map;
+        execCase(scope, stmt, itemIdx + 1, elseMap, readsSeeUpdates, overlay);
+        mergeMaps(scope, map, cond, thenMap, elseMap);
+    }
+
+    void mergeMaps(Scope& scope, AssignMap& out, NodeId cond, const AssignMap& thenMap,
+                   const AssignMap& elseMap) {
+        auto baseValue = [&](const std::string& key) -> NodeId {
+            auto it = out.find(key);
+            if (it != out.end()) return it->second;
+            return lookupKeyBase(scope, key);
+        };
+        AssignMap merged = out;
+        for (const auto& [key, tv] : thenMap) {
+            auto eIt = elseMap.find(key);
+            NodeId ev = eIt != elseMap.end() ? eIt->second : baseValue(key);
+            merged[key] = design_->mkMux(cond, tv, ev);
+        }
+        for (const auto& [key, ev] : elseMap) {
+            if (thenMap.count(key)) continue;
+            NodeId tv = baseValue(key);
+            merged[key] = design_->mkMux(cond, tv, ev);
+        }
+        out = std::move(merged);
+    }
+
+    NodeId lookupKeyBase(Scope& scope, const std::string& key) {
+        auto at = key.find('@');
+        if (at == std::string::npos) {
+            const Entry* e = scope.find(key);
+            assert(e && e->kind == Entry::Kind::Signal);
+            return e->buf;
+        }
+        std::string name = key.substr(0, at);
+        int idx = std::stoi(key.substr(at + 1));
+        const Entry* e = scope.find(name);
+        assert(e && e->kind == Entry::Kind::Memory);
+        return e->elements[static_cast<size_t>(idx)];
+    }
+
+    void assignProcedural(Scope& scope, const vl::Expr& lhs, NodeId value, AssignMap& map,
+                          const Overlay* overlay, bool readsSeeUpdates) {
+        auto& d = *design_;
+        switch (lhs.kind) {
+        case vl::Expr::Kind::Ident: {
+            const Entry* entry = scope.find(lhs.name);
+            if (!entry) throw FrontendError(lhs.loc, "unknown identifier '" + lhs.name + "'");
+            if (entry->kind != Entry::Kind::Signal)
+                throw FrontendError(lhs.loc, "invalid assignment target '" + lhs.name + "'");
+            map[lhs.name] = resize(value, entry->width);
+            return;
+        }
+        case vl::Expr::Kind::Index: {
+            const vl::Expr& base = *lhs.operands[0];
+            if (base.kind != vl::Expr::Kind::Ident)
+                throw FrontendError(lhs.loc, "unsupported lvalue");
+            const Entry* entry = scope.find(base.name);
+            if (!entry) throw FrontendError(lhs.loc, "unknown identifier '" + base.name + "'");
+            NodeId idx = evalExpr(scope, *lhs.operands[1], readsSeeUpdates ? &map : nullptr,
+                                  overlay);
+            if (entry->kind == Entry::Kind::Memory) {
+                if (d.isConst(idx)) {
+                    uint64_t i = d.constValue(idx);
+                    if (i >= entry->elements.size())
+                        throw FrontendError(lhs.loc, "memory index out of range");
+                    map[memKey(base.name, static_cast<int>(i))] = resize(value, entry->width);
+                    return;
+                }
+                for (size_t i = 0; i < entry->elements.size(); ++i) {
+                    int cw = std::max(d.width(idx), bitsFor(i));
+                    NodeId hit = d.mkEq(widen(idx, cw), d.mkConst(cw, i));
+                    std::string key = memKey(base.name, static_cast<int>(i));
+                    NodeId cur = map.count(key) ? map[key]
+                                                : entry->elements[i];
+                    map[key] = d.mkMux(hit, resize(value, entry->width), cur);
+                }
+                return;
+            }
+            // Bit insert into a vector signal (read-modify-write).
+            NodeId cur = map.count(base.name) ? map[base.name] : entry->buf;
+            int w = entry->width;
+            if (d.isConst(idx)) {
+                uint64_t i = d.constValue(idx);
+                if (i >= static_cast<uint64_t>(w))
+                    throw FrontendError(lhs.loc, "bit index out of range");
+                std::vector<NodeId> parts;
+                if (i + 1 < static_cast<uint64_t>(w))
+                    parts.push_back(d.mkSlice(cur, static_cast<int>(i) + 1,
+                                              w - static_cast<int>(i) - 1));
+                parts.push_back(resize(value, 1));
+                if (i > 0) parts.push_back(d.mkSlice(cur, 0, static_cast<int>(i)));
+                map[base.name] = d.mkConcat(parts);
+            } else {
+                NodeId one = d.mkShl(d.mkConst(w, 1), idx);
+                NodeId cleared = d.mkAnd(cur, d.mkNot(one));
+                NodeId bit = d.mkMux(d.mkBool(resize(value, 1)), one, d.mkConst(w, 0));
+                map[base.name] = d.mkOr(cleared, bit);
+            }
+            return;
+        }
+        case vl::Expr::Kind::Range: {
+            const vl::Expr& base = *lhs.operands[0];
+            if (base.kind != vl::Expr::Kind::Ident)
+                throw FrontendError(lhs.loc, "unsupported lvalue");
+            const Entry* entry = scope.find(base.name);
+            if (!entry || entry->kind != Entry::Kind::Signal)
+                throw FrontendError(lhs.loc, "unsupported lvalue");
+            uint64_t msb = evalConst(scope, *lhs.operands[1]);
+            uint64_t lsb = evalConst(scope, *lhs.operands[2]);
+            if (msb < lsb || msb >= static_cast<uint64_t>(entry->width))
+                throw FrontendError(lhs.loc, "part select out of range");
+            NodeId cur = map.count(base.name) ? map[base.name] : entry->buf;
+            int w = entry->width;
+            int pw = static_cast<int>(msb - lsb + 1);
+            std::vector<NodeId> parts;
+            if (msb + 1 < static_cast<uint64_t>(w))
+                parts.push_back(d.mkSlice(cur, static_cast<int>(msb) + 1,
+                                          w - static_cast<int>(msb) - 1));
+            parts.push_back(resize(value, pw));
+            if (lsb > 0) parts.push_back(d.mkSlice(cur, 0, static_cast<int>(lsb)));
+            map[base.name] = d.mkConcat(parts);
+            return;
+        }
+        case vl::Expr::Kind::Concat: {
+            int total = 0;
+            std::vector<int> widths;
+            for (const auto& part : lhs.operands) {
+                int w = lvalueWidth(scope, *part);
+                widths.push_back(w);
+                total += w;
+            }
+            NodeId wide = resize(value, total);
+            int hi = total;
+            for (size_t i = 0; i < lhs.operands.size(); ++i) {
+                int w = widths[i];
+                hi -= w;
+                assignProcedural(scope, *lhs.operands[i], d.mkSlice(wide, hi, w), map, overlay,
+                                 readsSeeUpdates);
+            }
+            return;
+        }
+        default:
+            throw FrontendError(lhs.loc, "unsupported lvalue expression");
+        }
+    }
+
+    void elabAlways(Scope& scope, const vl::AlwaysBlock& blk) {
+        if (blk.kind == vl::AlwaysBlock::Kind::Comb) {
+            AssignMap map;
+            execStmt(scope, *blk.body, map, /*readsSeeUpdates=*/true, nullptr);
+            for (const auto& [key, value] : map) {
+                NodeId target = lookupKeyBase(scope, key);
+                addDriverPart(target, 0, design_->width(target), value, blk.loc);
+            }
+            return;
+        }
+        if (blk.kind == vl::AlwaysBlock::Kind::Latch)
+            throw FrontendError(blk.loc, "latches are not supported");
+
+        // always_ff: compute next-state expressions (reads see old values).
+        AssignMap nextMap;
+        execStmt(scope, *blk.body, nextMap, /*readsSeeUpdates=*/false, nullptr);
+
+        // Reset-value extraction: re-execute with the reset signal pinned
+        // active; constant results become register initial values.
+        AssignMap resetMap;
+        bool haveReset = blk.asyncResetSignal.has_value();
+        if (haveReset) {
+            Overlay ov;
+            ov[*blk.asyncResetSignal] = blk.asyncResetNegedge ? 0u : 1u;
+            execStmt(scope, *blk.body, resetMap, /*readsSeeUpdates=*/false, &ov);
+        }
+
+        for (const auto& [key, next] : nextMap) {
+            NodeId target = lookupKeyBase(scope, key);
+            const Node& tn = design_->node(target);
+            std::string regName = tn.name; // Already prefixed (buf names are flat).
+            NodeId reg = design_->mkReg(regName + "$q", tn.width);
+            design_->setRegNext(reg, design_->mkResize(next, tn.width));
+            if (haveReset) {
+                auto it = resetMap.find(key);
+                if (it != resetMap.end() && design_->isConst(it->second))
+                    design_->setRegInit(reg, design_->constValue(it->second));
+            }
+            addDriverPart(target, 0, tn.width, reg, blk.loc);
+        }
+    }
+
+    // -- Instances ---------------------------------------------------------------
+
+    void elabInstance(Scope& scope, const vl::Instance& inst) {
+        const vl::Module* child = findModule(inst.moduleName, inst.loc);
+
+        // Parameter overrides, evaluated in the parent scope.
+        std::unordered_map<std::string, uint64_t> overrides;
+        size_t positional = 0;
+        for (const auto& pa : inst.paramAssigns) {
+            if (!pa.expr) continue;
+            uint64_t value = evalConst(scope, *pa.expr);
+            if (!pa.name.empty()) {
+                overrides[pa.name] = value;
+            } else {
+                if (positional >= child->params.size())
+                    throw FrontendError(pa.loc, "too many positional parameters");
+                overrides[child->params[positional++].name] = value;
+            }
+        }
+
+        std::string childPrefix = scope.prefix + inst.instName + ".";
+        std::unique_ptr<Scope> childScope = elabModule(*child, childPrefix, overrides);
+
+        // Port connections.
+        auto connect = [&](const vl::Port& port, const vl::Expr* outerExpr, SourceLoc loc) {
+            const Entry* entry = childScope->find(port.name);
+            assert(entry);
+            if (port.dir == vl::PortDir::Input) {
+                if (!outerExpr) return; // Unconnected input stays a free cut point.
+                NodeId outer = evalExpr(scope, *outerExpr, nullptr, nullptr);
+                if (design_->width(outer) < entry->width) outer = widen(outer, entry->width);
+                addDriverPart(entry->buf, 0, entry->width,
+                              design_->mkResize(outer, entry->width), loc);
+            } else if (port.dir == vl::PortDir::Output) {
+                if (!outerExpr) return; // Unconnected output: dangling.
+                assignLValue(scope, *outerExpr, entry->buf, loc);
+            } else {
+                throw FrontendError(loc, "inout ports are not supported");
+            }
+        };
+
+        std::unordered_map<std::string, const vl::Port*> portMap;
+        for (const auto& p : child->ports) portMap[p.name] = &p;
+
+        std::vector<bool> connected(child->ports.size(), false);
+        size_t posIdx = 0;
+        for (const auto& conn : inst.portAssigns) {
+            const vl::Port* port = nullptr;
+            size_t portIdx = 0;
+            if (!conn.name.empty()) {
+                auto it = portMap.find(conn.name);
+                if (it == portMap.end())
+                    throw FrontendError(conn.loc, "module '" + child->name + "' has no port '" +
+                                                      conn.name + "'");
+                port = it->second;
+                portIdx = static_cast<size_t>(port - child->ports.data());
+            } else {
+                if (posIdx >= child->ports.size())
+                    throw FrontendError(conn.loc, "too many positional connections");
+                port = &child->ports[posIdx];
+                portIdx = posIdx;
+                ++posIdx;
+            }
+            connected[portIdx] = true;
+            connect(*port, conn.expr.get(), conn.loc);
+        }
+        if (inst.wildcardPorts) {
+            for (size_t i = 0; i < child->ports.size(); ++i) {
+                if (connected[i]) continue;
+                const vl::Port& port = child->ports[i];
+                const Entry* outer = scope.find(port.name);
+                if (!outer) {
+                    if (port.dir == vl::PortDir::Input)
+                        continue; // Free cut point (e.g. nothing to bind).
+                    continue;
+                }
+                auto ident = vl::makeIdent(port.name, inst.loc);
+                connect(port, ident.get(), inst.loc);
+                connected[i] = true;
+            }
+        }
+    }
+
+    // -- Assertions ----------------------------------------------------------------
+
+    PropShape decompose(const vl::PropExpr& p) {
+        PropShape shape;
+        const vl::PropExpr* cur = &p;
+        if (cur->kind == vl::PropExpr::Kind::Implication) {
+            shape.ante = cur->boolean.get();
+            shape.delay = cur->overlapping ? 0 : 1;
+            cur = cur->rhsProp.get();
+        }
+        while (cur->kind == vl::PropExpr::Kind::Next) {
+            shape.delay += cur->delay;
+            cur = cur->rhsProp.get();
+        }
+        if (cur->kind == vl::PropExpr::Kind::Eventually) {
+            shape.eventually = true;
+            cur = cur->rhsProp.get();
+        }
+        while (cur->kind == vl::PropExpr::Kind::Next) {
+            shape.delay += cur->delay;
+            cur = cur->rhsProp.get();
+        }
+        if (cur->kind != vl::PropExpr::Kind::Boolean)
+            throw FrontendError(cur->loc, "unsupported property shape");
+        shape.cons = cur->boolean.get();
+        return shape;
+    }
+
+    void lowerAssertion(Scope& scope, const vl::AssertionItem& item) {
+        auto& d = *design_;
+        PropShape shape = decompose(*item.prop);
+
+        NodeId dis = d.mkConst(1, 0);
+        if (item.disableExpr)
+            dis = d.mkBool(evalExpr(scope, *item.disableExpr, nullptr, nullptr));
+        else if (scope.mod->defaultDisable)
+            dis = d.mkBool(evalExpr(scope, *scope.mod->defaultDisable, nullptr, nullptr));
+
+        NodeId ante = shape.ante ? d.mkBool(evalExpr(scope, *shape.ante, nullptr, nullptr))
+                                 : d.mkConst(1, 1);
+        NodeId cons = d.mkBool(evalExpr(scope, *shape.cons, nullptr, nullptr));
+
+        // Delay pipeline for non-overlapping / ##N implications.
+        for (int i = 0; i < shape.delay; ++i) {
+            NodeId reg = d.mkReg("__dly" + std::to_string(pastCounter_++), 1);
+            d.setRegInit(reg, 0);
+            d.setRegNext(reg, d.mkAnd(ante, d.mkNot(dis)));
+            ante = reg;
+        }
+
+        std::string name = scope.prefix +
+                           (item.label.empty() ? "prop" + std::to_string(propCounter_++)
+                                               : item.label);
+        bool xprop = item.label.rfind("xp__", 0) == 0;
+
+        Obligation ob;
+        ob.name = name;
+        ob.loc = item.loc;
+        ob.xprop = xprop;
+
+        bool isAssume =
+            item.kind == vl::AssertionKind::Assume || item.kind == vl::AssertionKind::Restrict;
+
+        if (item.kind == vl::AssertionKind::Cover) {
+            ob.kind = Obligation::Kind::Cover;
+            ob.net = d.mkAnd(d.mkAnd(ante, cons), d.mkNot(dis));
+            d.addObligation(std::move(ob));
+            return;
+        }
+
+        if (!shape.eventually) {
+            if (isAssume) {
+                ob.kind = Obligation::Kind::Constraint;
+                ob.net = d.mkOr(d.mkOr(d.mkNot(ante), cons), dis);
+            } else {
+                ob.kind = Obligation::Kind::SafetyBad;
+                ob.net = d.mkAnd(d.mkAnd(ante, d.mkNot(cons)), d.mkNot(dis));
+            }
+            d.addObligation(std::move(ob));
+            return;
+        }
+
+        // Liveness: pending-obligation monitor.
+        // pendingNext = ((pending || ante) && !cons) && !dis
+        NodeId pending = d.mkReg(name + "$pending", 1);
+        d.setRegInit(pending, 0);
+        NodeId pendingNext =
+            d.mkAnd(d.mkAnd(d.mkOr(pending, ante), d.mkNot(cons)), d.mkNot(dis));
+        d.setRegNext(pending, pendingNext);
+        ob.kind = isAssume ? Obligation::Kind::Fairness : Obligation::Kind::Justice;
+        ob.net = d.mkNot(pendingNext);
+        d.addObligation(std::move(ob));
+    }
+
+    // -- Finalization -----------------------------------------------------------
+
+    void finalize() {
+        auto& d = *design_;
+        // Resolve collected driver parts into Buf inputs.
+        for (auto& [buf, parts] : drivers_) {
+            std::sort(parts.begin(), parts.end(),
+                      [](const DriverPart& a, const DriverPart& b) { return a.lo < b.lo; });
+            int width = d.width(buf);
+            // Overlap / multiple-driver check.
+            for (size_t i = 1; i < parts.size(); ++i) {
+                if (parts[i].lo < parts[i - 1].lo + parts[i - 1].width)
+                    throw FrontendError(parts[i].loc,
+                                        "multiple drivers for signal '" + d.node(buf).name + "'");
+            }
+            if (parts.size() == 1 && parts[0].lo == 0 && parts[0].width == width) {
+                d.setBufInput(buf, parts[0].value);
+                continue;
+            }
+            // Compose with zero-fill for undriven gaps (warned).
+            std::vector<NodeId> pieces; // MSB-first.
+            int cursor = width;
+            for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+                int hi = it->lo + it->width;
+                if (hi < cursor) {
+                    pieces.push_back(d.mkConst(cursor - hi, 0));
+                    diags_.warning(it->loc, "bits [" + std::to_string(cursor - 1) + ":" +
+                                                std::to_string(hi) + "] of '" + d.node(buf).name +
+                                                "' are undriven; tied to 0");
+                }
+                pieces.push_back(it->value);
+                cursor = it->lo;
+            }
+            if (cursor > 0) {
+                pieces.push_back(d.mkConst(cursor, 0));
+                diags_.warning({}, "low bits of '" + d.node(buf).name + "' undriven; tied to 0");
+            }
+            d.setBufInput(buf, d.mkConcat(pieces));
+        }
+
+        // Remaining undriven bufs: tie-offs or free inputs.
+        for (NodeId id = 0; id < d.numNodes(); ++id) {
+            const Node& n = d.node(id);
+            if (n.op != Op::Buf || !n.ops.empty()) continue;
+            auto it = opts_->tieOffs.find(n.name);
+            if (it != opts_->tieOffs.end()) {
+                d.convertBufToConst(id, it->second);
+            } else {
+                d.convertBufToInput(id);
+            }
+        }
+    }
+
+    std::vector<const vl::SourceFile*> files_;
+    util::DiagEngine& diags_;
+    std::unordered_map<std::string, const vl::Module*> moduleMap_;
+    std::vector<const vl::BindDirective*> binds_;
+    const ElabOptions* opts_ = nullptr;
+    std::unique_ptr<Design> design_;
+    std::unordered_map<NodeId, std::vector<DriverPart>> drivers_;
+    std::set<NodeId> unbasedOnes_;
+    NodeId pastValid_ = kInvalidNode;
+    int pastCounter_ = 0;
+    int propCounter_ = 0;
+};
+
+Elaborator::Elaborator(std::vector<const vl::SourceFile*> files, util::DiagEngine& diags)
+    : files_(std::move(files)), diags_(diags) {}
+
+std::unique_ptr<Design> Elaborator::elaborate(const std::string& topName,
+                                              const ElabOptions& opts) {
+    Impl impl(files_, diags_);
+    return impl.run(topName, opts);
+}
+
+std::unique_ptr<Design> elaborateSources(const std::vector<std::string>& sourceTexts,
+                                         const std::string& topName, util::DiagEngine& diags,
+                                         const ElabOptions& opts) {
+    std::vector<vl::SourceFile> files;
+    files.reserve(sourceTexts.size());
+    for (size_t i = 0; i < sourceTexts.size(); ++i)
+        files.push_back(vl::Parser::parseSource(sourceTexts[i], "source" + std::to_string(i)));
+    std::vector<const vl::SourceFile*> filePtrs;
+    for (const auto& f : files) filePtrs.push_back(&f);
+    Elaborator elab(filePtrs, diags);
+    return elab.elaborate(topName, opts);
+}
+
+} // namespace autosva::ir

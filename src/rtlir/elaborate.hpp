@@ -1,0 +1,57 @@
+// Elaboration: SystemVerilog AST -> flat word-level Design.
+//
+// Responsibilities:
+//  - parameter evaluation and overriding
+//  - hierarchical flattening (instances get `inst.` name prefixes)
+//  - procedural lowering (always_comb / always_ff) via symbolic execution
+//  - unpacked arrays -> register banks with mux trees
+//  - `bind` directives (property modules instantiated in the target scope)
+//  - SVA assertion lowering to monitor logic + verification obligations
+//
+// Formal conventions (documented in DESIGN.md):
+//  - single clock; async resets are modeled synchronously
+//  - registers whose reset branch yields a constant get that value as the
+//    initial state; others start symbolically
+//  - undriven signals become free inputs (formal cut points); this is how
+//    AutoSVA symbolic variables work
+//  - tieOffs lets callers pin an input (e.g. rst_ni = 1 while checking).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtlir/design.hpp"
+#include "util/diagnostics.hpp"
+#include "verilog/ast.hpp"
+
+namespace autosva::ir {
+
+struct ElabOptions {
+    std::unordered_map<std::string, uint64_t> paramOverrides; ///< Top-level params.
+    std::unordered_map<std::string, uint64_t> tieOffs;        ///< Input name -> constant.
+    /// Maximum elements in an unpacked array (register-bank expansion bound).
+    int maxMemoryDepth = 64;
+};
+
+class Elaborator {
+public:
+    Elaborator(std::vector<const verilog::SourceFile*> files, util::DiagEngine& diags);
+
+    /// Elaborates `topName` into a flat Design. Throws util::FrontendError.
+    [[nodiscard]] std::unique_ptr<Design> elaborate(const std::string& topName,
+                                                    const ElabOptions& opts = {});
+
+private:
+    struct Impl;
+    std::vector<const verilog::SourceFile*> files_;
+    util::DiagEngine& diags_;
+};
+
+/// Convenience wrapper: parse sources and elaborate in one call.
+[[nodiscard]] std::unique_ptr<Design> elaborateSources(
+    const std::vector<std::string>& sourceTexts, const std::string& topName,
+    util::DiagEngine& diags, const ElabOptions& opts = {});
+
+} // namespace autosva::ir

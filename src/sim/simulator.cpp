@@ -1,0 +1,305 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+#include "util/diagnostics.hpp"
+
+namespace autosva::sim {
+
+using ir::Design;
+using ir::maskForWidth;
+using ir::Node;
+using ir::NodeId;
+using ir::Op;
+
+Simulator::Simulator(const Design& design, XMode mode)
+    : design_(design), mode_(mode), order_(design.topoOrder()) {
+    values_.resize(design.numNodes());
+    regState_.resize(design.numNodes());
+    inputState_.resize(design.numNodes());
+    reset();
+}
+
+Value4 Simulator::makeUnknown(int width) const {
+    Value4 v;
+    if (mode_ == XMode::FourState) v.x = maskForWidth(width);
+    return v;
+}
+
+void Simulator::reset() {
+    cycle_ = 0;
+    violations_.clear();
+    covered_.clear();
+    coverSeen_.clear();
+    trace_.clear();
+    for (NodeId r : design_.regs()) {
+        const Node& n = design_.node(r);
+        if (n.hasInit)
+            regState_[r] = {n.initValue, 0};
+        else
+            regState_[r] = makeUnknown(n.width);
+    }
+    for (NodeId i : design_.inputs()) inputState_[i] = makeUnknown(design_.node(i).width);
+}
+
+void Simulator::setInput(NodeId input, uint64_t value) {
+    const Node& n = design_.node(input);
+    assert(n.op == Op::Input);
+    inputState_[input] = {value & maskForWidth(n.width), 0};
+}
+
+void Simulator::setInput(const std::string& name, uint64_t value) {
+    NodeId id = design_.findSignal(name);
+    if (id == ir::kInvalidNode)
+        throw util::FrontendError({}, "unknown signal '" + name + "'");
+    // The named node may be a Buf that was converted to Input at finalize.
+    if (design_.node(id).op != Op::Input)
+        throw util::FrontendError({}, "signal '" + name + "' is not an input");
+    setInput(id, value);
+}
+
+void Simulator::setRegState(NodeId reg, uint64_t value) {
+    const Node& n = design_.node(reg);
+    assert(n.op == Op::Reg);
+    regState_[reg] = {value & maskForWidth(n.width), 0};
+}
+
+void Simulator::randomizeInputs(std::mt19937_64& rng) {
+    for (NodeId i : design_.inputs()) setInput(i, rng());
+}
+
+Value4 Simulator::value(const std::string& signalName) const {
+    NodeId id = design_.findSignal(signalName);
+    if (id == ir::kInvalidNode)
+        throw util::FrontendError({}, "unknown signal '" + signalName + "'");
+    return values_[id];
+}
+
+void Simulator::evalNode(NodeId id) {
+    const Node& n = design_.node(id);
+    uint64_t mask = maskForWidth(n.width);
+    auto in = [&](size_t i) { return values_[n.ops[i]]; };
+    Value4 out;
+
+    switch (n.op) {
+    case Op::Const: out = {n.cval, 0}; break;
+    case Op::Input: out = inputState_[id]; break;
+    case Op::Reg: out = regState_[id]; break;
+    case Op::Buf: out = in(0); break;
+    case Op::Not: {
+        Value4 a = in(0);
+        out.x = a.x;
+        out.val = ~a.val & mask & ~a.x;
+        break;
+    }
+    case Op::And: {
+        Value4 a = in(0), b = in(1);
+        uint64_t known0 = (~a.val & ~a.x) | (~b.val & ~b.x);
+        out.x = (a.x | b.x) & ~known0 & mask;
+        out.val = a.val & b.val & ~out.x;
+        break;
+    }
+    case Op::Or: {
+        Value4 a = in(0), b = in(1);
+        uint64_t known1 = (a.val & ~a.x) | (b.val & ~b.x);
+        out.x = (a.x | b.x) & ~known1 & mask;
+        out.val = ((a.val | b.val) | known1) & ~out.x & mask;
+        break;
+    }
+    case Op::Xor: {
+        Value4 a = in(0), b = in(1);
+        out.x = (a.x | b.x) & mask;
+        out.val = (a.val ^ b.val) & ~out.x & mask;
+        break;
+    }
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Mod: {
+        Value4 a = in(0), b = in(1);
+        if (a.x || b.x) {
+            out = {0, mask};
+            break;
+        }
+        switch (n.op) {
+        case Op::Add: out.val = (a.val + b.val) & mask; break;
+        case Op::Sub: out.val = (a.val - b.val) & mask; break;
+        case Op::Mul: out.val = (a.val * b.val) & mask; break;
+        case Op::Div: out.val = b.val ? (a.val / b.val) & mask : 0; break;
+        case Op::Mod: out.val = b.val ? (a.val % b.val) & mask : 0; break;
+        default: break;
+        }
+        break;
+    }
+    case Op::Eq:
+    case Op::Ne:
+    case Op::Ult:
+    case Op::Ule: {
+        Value4 a = in(0), b = in(1);
+        if (a.x || b.x) {
+            out = {0, 1};
+            break;
+        }
+        bool r = false;
+        switch (n.op) {
+        case Op::Eq: r = a.val == b.val; break;
+        case Op::Ne: r = a.val != b.val; break;
+        case Op::Ult: r = a.val < b.val; break;
+        case Op::Ule: r = a.val <= b.val; break;
+        default: break;
+        }
+        out.val = r ? 1 : 0;
+        break;
+    }
+    case Op::Shl:
+    case Op::Shr: {
+        Value4 a = in(0), b = in(1);
+        if (b.x) {
+            out = {0, mask};
+            break;
+        }
+        uint64_t sh = b.val;
+        if (sh >= 64) {
+            out = {0, 0};
+        } else if (n.op == Op::Shl) {
+            out.val = (a.val << sh) & mask;
+            out.x = (a.x << sh) & mask;
+        } else {
+            out.val = (a.val >> sh) & mask;
+            out.x = (a.x >> sh) & mask;
+        }
+        out.val &= ~out.x;
+        break;
+    }
+    case Op::Mux: {
+        Value4 s = in(0), a = in(1), b = in(2);
+        if (s.x) {
+            out = {0, mask};
+        } else {
+            out = s.val ? a : b;
+        }
+        break;
+    }
+    case Op::Concat: {
+        out = {0, 0};
+        for (NodeId opId : n.ops) {
+            const Node& part = design_.node(opId);
+            Value4 pv = values_[opId];
+            out.val = (out.val << part.width) | pv.val;
+            out.x = (out.x << part.width) | pv.x;
+        }
+        out.val &= mask;
+        out.x &= mask;
+        out.val &= ~out.x;
+        break;
+    }
+    case Op::Slice: {
+        Value4 a = in(0);
+        out.val = (a.val >> n.lo) & mask;
+        out.x = (a.x >> n.lo) & mask;
+        out.val &= ~out.x;
+        break;
+    }
+    case Op::ZExt: {
+        out = in(0);
+        break;
+    }
+    case Op::RedAnd: {
+        Value4 a = in(0);
+        uint64_t w = maskForWidth(design_.node(n.ops[0]).width);
+        uint64_t known0 = ~a.val & ~a.x & w;
+        if (known0)
+            out = {0, 0};
+        else if (a.x)
+            out = {0, 1};
+        else
+            out = {1, 0};
+        break;
+    }
+    case Op::RedOr: {
+        Value4 a = in(0);
+        uint64_t known1 = a.val & ~a.x;
+        if (known1)
+            out = {1, 0};
+        else if (a.x)
+            out = {0, 1};
+        else
+            out = {0, 0};
+        break;
+    }
+    case Op::RedXor: {
+        Value4 a = in(0);
+        if (a.x)
+            out = {0, 1};
+        else
+            out = {static_cast<uint64_t>(__builtin_parityll(a.val)), 0};
+        break;
+    }
+    case Op::IsUnknown: {
+        Value4 a = in(0);
+        out = {a.x != 0 ? uint64_t{1} : uint64_t{0}, 0};
+        break;
+    }
+    }
+
+    if (mode_ == XMode::TwoState) {
+        out.val &= ~out.x;
+        out.x = 0;
+    }
+    values_[id] = out;
+}
+
+void Simulator::evalComb() {
+    for (NodeId id : order_) evalNode(id);
+}
+
+void Simulator::checkObligations() {
+    for (const auto& ob : design_.obligations()) {
+        if (ob.xprop && mode_ != XMode::FourState) continue;
+        Value4 v = values_[ob.net];
+        switch (ob.kind) {
+        case ir::Obligation::Kind::SafetyBad:
+            // Violated when definitely 1; an X here in xprop mode also flags.
+            if ((v.val & 1) != 0 || (ob.xprop && v.x))
+                violations_.push_back({ob.name, ob.kind, cycle_});
+            break;
+        case ir::Obligation::Kind::Constraint:
+            if (v.x == 0 && (v.val & 1) == 0)
+                violations_.push_back({ob.name, ob.kind, cycle_});
+            break;
+        case ir::Obligation::Kind::Cover:
+            if ((v.val & 1) != 0 && !coverSeen_[ob.name]) {
+                coverSeen_[ob.name] = true;
+                covered_.push_back(ob.name);
+            }
+            break;
+        case ir::Obligation::Kind::Justice:
+        case ir::Obligation::Kind::Fairness:
+            break; // Liveness is not decidable in finite simulation.
+        }
+    }
+}
+
+void Simulator::captureTrace() {
+    TraceCycle tc;
+    for (const auto& [name, id] : design_.signals()) tc.signals.emplace(name, values_[id]);
+    trace_.push_back(std::move(tc));
+}
+
+void Simulator::step() {
+    evalComb();
+    if (checking_) checkObligations();
+    if (tracing_) captureTrace();
+    // Commit register next-state.
+    std::vector<std::pair<NodeId, Value4>> updates;
+    updates.reserve(design_.regs().size());
+    for (NodeId r : design_.regs()) {
+        const Node& n = design_.node(r);
+        updates.emplace_back(r, values_[n.next]);
+    }
+    for (auto& [r, v] : updates) regState_[r] = v;
+    ++cycle_;
+}
+
+} // namespace autosva::sim

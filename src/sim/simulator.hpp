@@ -1,0 +1,104 @@
+// Cycle-based 4-state simulator over the RTL IR.
+//
+// Each net carries a (value, xmask) pair; a set xmask bit means the bit is
+// unknown (X). X propagation is pessimistic per-op. The simulator is used
+// for: random smoke testing of designs, checking generated safety and
+// X-propagation assertions during simulation (the paper's "property reuse"
+// flow, §III-B), and replaying formal counterexample traces onto named
+// signals for VCD dumping.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtlir/design.hpp"
+
+namespace autosva::sim {
+
+struct Value4 {
+    uint64_t val = 0;
+    uint64_t x = 0; ///< Set bit = unknown.
+
+    [[nodiscard]] bool isFullyKnown() const { return x == 0; }
+};
+
+/// One cycle of a recorded waveform: values of all nodes of interest.
+struct TraceCycle {
+    std::unordered_map<std::string, Value4> signals;
+};
+
+/// A violation observed while simulating with assertion checking enabled.
+struct SimViolation {
+    std::string obligationName;
+    ir::Obligation::Kind kind;
+    uint64_t cycle = 0;
+};
+
+class Simulator {
+public:
+    enum class XMode {
+        FourState, ///< Uninitialized state and undriven inputs start as X.
+        TwoState,  ///< Everything unknown is forced to 0 (formal semantics).
+    };
+
+    explicit Simulator(const ir::Design& design, XMode mode = XMode::FourState);
+
+    /// Resets simulation state: registers take their initial values (X/0 if
+    /// symbolic), inputs become X/0, cycle counter restarts.
+    void reset();
+
+    // -- Stimulus ------------------------------------------------------------
+    void setInput(ir::NodeId input, uint64_t value);
+    /// By signal name; throws if unknown.
+    void setInput(const std::string& name, uint64_t value);
+    /// Forces a register's current state (used for CEX replay).
+    void setRegState(ir::NodeId reg, uint64_t value);
+    /// Drives every input with uniform random values.
+    void randomizeInputs(std::mt19937_64& rng);
+
+    // -- Evaluation ----------------------------------------------------------
+    /// Evaluates combinational logic for the current cycle (idempotent).
+    void evalComb();
+    /// Evaluates, checks obligations, then advances registers one cycle.
+    void step();
+
+    [[nodiscard]] Value4 value(ir::NodeId id) const { return values_[id]; }
+    [[nodiscard]] Value4 value(const std::string& signalName) const;
+    [[nodiscard]] uint64_t cycle() const { return cycle_; }
+
+    // -- Assertion checking ----------------------------------------------------
+    /// Enables obligation checking during step(); X-prop obligations are
+    /// checked only in FourState mode.
+    void enableChecking(bool enable) { checking_ = enable; }
+    [[nodiscard]] const std::vector<SimViolation>& violations() const { return violations_; }
+    [[nodiscard]] const std::vector<std::string>& coveredObligations() const { return covered_; }
+
+    // -- Waveform capture --------------------------------------------------------
+    void enableTrace(bool enable) { tracing_ = enable; }
+    [[nodiscard]] const std::vector<TraceCycle>& trace() const { return trace_; }
+
+private:
+    void evalNode(ir::NodeId id);
+    void checkObligations();
+    void captureTrace();
+    [[nodiscard]] Value4 makeUnknown(int width) const;
+
+    const ir::Design& design_;
+    XMode mode_;
+    std::vector<ir::NodeId> order_;
+    std::vector<Value4> values_;    ///< Per-node current values.
+    std::vector<Value4> regState_;  ///< Dense per-node register state (indexed by NodeId).
+    std::vector<Value4> inputState_;
+    uint64_t cycle_ = 0;
+    bool checking_ = false;
+    bool tracing_ = false;
+    std::vector<SimViolation> violations_;
+    std::vector<std::string> covered_;
+    std::unordered_map<std::string, bool> coverSeen_;
+    std::vector<TraceCycle> trace_;
+};
+
+} // namespace autosva::sim

@@ -1,0 +1,73 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace autosva::sim {
+
+namespace {
+
+std::string idCode(size_t index) {
+    // Printable VCD identifier codes: base-94 over '!'..'~'.
+    std::string code;
+    do {
+        code += static_cast<char>('!' + index % 94);
+        index /= 94;
+    } while (index > 0);
+    return code;
+}
+
+std::string bitString(Value4 v, int width) {
+    std::string bits;
+    bits.reserve(static_cast<size_t>(width));
+    for (int i = width - 1; i >= 0; --i) {
+        if ((v.x >> i) & 1)
+            bits += 'x';
+        else
+            bits += static_cast<char>('0' + ((v.val >> i) & 1));
+    }
+    return bits;
+}
+
+} // namespace
+
+std::string traceToVcd(const ir::Design& design, const std::vector<TraceCycle>& trace,
+                       const std::string& topName) {
+    // Stable order for deterministic output.
+    std::map<std::string, ir::NodeId> ordered(design.signals().begin(), design.signals().end());
+
+    std::string out;
+    out += "$date autosva $end\n$version autosva-cpp $end\n$timescale 1ns $end\n";
+    out += "$scope module " + topName + " $end\n";
+    std::map<std::string, std::pair<std::string, int>> codes; // name -> (code, width)
+    size_t index = 0;
+    for (const auto& [name, id] : ordered) {
+        int width = design.node(id).width;
+        std::string code = idCode(index++);
+        codes[name] = {code, width};
+        std::string safeName = name;
+        std::replace(safeName.begin(), safeName.end(), ' ', '_');
+        out += "$var wire " + std::to_string(width) + " " + code + " " + safeName + " $end\n";
+    }
+    out += "$upscope $end\n$enddefinitions $end\n";
+
+    std::map<std::string, std::string> last;
+    for (size_t t = 0; t < trace.size(); ++t) {
+        out += "#" + std::to_string(t * 10) + "\n";
+        for (const auto& [name, cw] : codes) {
+            auto it = trace[t].signals.find(name);
+            if (it == trace[t].signals.end()) continue;
+            std::string bits = bitString(it->second, cw.second);
+            auto lastIt = last.find(name);
+            if (lastIt != last.end() && lastIt->second == bits) continue;
+            last[name] = bits;
+            if (cw.second == 1)
+                out += bits + cw.first + "\n";
+            else
+                out += "b" + bits + " " + cw.first + "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace autosva::sim

@@ -1,0 +1,18 @@
+// Minimal VCD (Value Change Dump) writer for simulator traces and formal
+// counterexample replays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace autosva::sim {
+
+/// Renders a recorded trace as VCD text. Signal names containing '.' are
+/// split into hierarchical scopes.
+[[nodiscard]] std::string traceToVcd(const ir::Design& design,
+                                     const std::vector<TraceCycle>& trace,
+                                     const std::string& topName = "top");
+
+} // namespace autosva::sim

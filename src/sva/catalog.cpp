@@ -1,0 +1,64 @@
+#include "sva/catalog.hpp"
+
+namespace autosva::sva {
+
+const char* attrName(Attr attr) {
+    switch (attr) {
+    case Attr::Val: return "val";
+    case Attr::Ack: return "ack";
+    case Attr::Transid: return "transid";
+    case Attr::TransidUnique: return "transid_unique";
+    case Attr::Active: return "active";
+    case Attr::Stable: return "stable";
+    case Attr::Data: return "data";
+    }
+    return "?";
+}
+
+std::optional<Attr> attrFromSuffix(std::string_view suffix) {
+    if (suffix == "val") return Attr::Val;
+    if (suffix == "ack" || suffix == "rdy") return Attr::Ack;
+    if (suffix == "transid_unique") return Attr::TransidUnique;
+    if (suffix == "transid") return Attr::Transid;
+    if (suffix == "active") return Attr::Active;
+    if (suffix == "stable") return Attr::Stable;
+    if (suffix == "data") return Attr::Data;
+    return std::nullopt;
+}
+
+const std::vector<PropertyRule>& propertyRules() {
+    static const std::vector<PropertyRule> rules = {
+        {Attr::Val, "eventual_response",
+         "If P is valid, then eventually Q will be valid", Orientation::Starred, true},
+        {Attr::Val, "had_a_request",
+         "for each Q valid, there is a P valid", Orientation::Starred, false},
+        {Attr::Ack, "hsk_or_drop",
+         "If P is valid, eventually P is ack'ed or P is dropped (if its stable "
+         "signal is not defined)",
+         Orientation::Starred, true},
+        {Attr::Stable, "stability",
+         "If P is valid and not ack'ed, then it is stable next cycle", Orientation::Opposite,
+         false},
+        {Attr::Active, "active",
+         "This signal is asserted while transaction is ongoing", Orientation::AlwaysAssert,
+         false},
+        {Attr::Transid, "transid_integrity",
+         "Each Q will have the same transaction ID as P", Orientation::Starred, false},
+        {Attr::TransidUnique, "transid_unique",
+         "There can only be 1 ongoing transaction per ID", Orientation::Opposite, false},
+        {Attr::Data, "data_integrity",
+         "Each Q will have the same data as P", Orientation::Starred, false},
+    };
+    return rules;
+}
+
+bool isAsserted(Orientation orientation, bool incoming) {
+    switch (orientation) {
+    case Orientation::Starred: return incoming;
+    case Orientation::Opposite: return !incoming;
+    case Orientation::AlwaysAssert: return true;
+    }
+    return true;
+}
+
+} // namespace autosva::sva

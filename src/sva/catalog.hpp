@@ -1,0 +1,55 @@
+// The AutoSVA property catalog: a data rendering of the paper's Table II
+// ("Properties generated for each transaction attribute") plus the
+// assert/assume orientation rules of §III-B. The generator consumes these
+// rules; tests validate the generated testbenches against them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autosva::sva {
+
+/// Transaction attribute suffixes of the AutoSVA language (Table I).
+enum class Attr {
+    Val,
+    Ack,
+    Transid,
+    TransidUnique,
+    Active,
+    Stable,
+    Data,
+};
+
+[[nodiscard]] const char* attrName(Attr attr);
+
+/// Parses a suffix (with `rdy` accepted as a synonym for `ack`, matching
+/// the paper's Fig. 3 usage). Longest-match: `transid_unique` wins over
+/// `transid`.
+[[nodiscard]] std::optional<Attr> attrFromSuffix(std::string_view suffix);
+
+/// How a generated property's directive is chosen from transaction
+/// direction (Table II footnote and §III-B):
+///  - Starred attributes (val, ack, transid, data) are *asserted* on
+///    incoming transactions and *assumed* on outgoing ones.
+///  - stable and transid_unique are the opposite.
+///  - active is always asserted.
+enum class Orientation { Starred, Opposite, AlwaysAssert };
+
+struct PropertyRule {
+    Attr attr;
+    const char* propertyName;   ///< Suffix used in generated labels.
+    const char* description;    ///< Table II wording.
+    Orientation orientation;
+    bool liveness;              ///< Uses s_eventually.
+};
+
+/// All Table II rules in order.
+[[nodiscard]] const std::vector<PropertyRule>& propertyRules();
+
+/// Resolves the directive for a rule instance: returns true if the property
+/// must be an assertion (else an assumption).
+[[nodiscard]] bool isAsserted(Orientation orientation, bool incoming);
+
+} // namespace autosva::sva

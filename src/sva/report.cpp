@@ -1,0 +1,98 @@
+#include "sva/report.hpp"
+
+#include <cmath>
+
+#include "util/table.hpp"
+
+namespace autosva::sva {
+
+using formal::PropertyResult;
+using formal::Status;
+
+size_t VerificationReport::count(Status status) const {
+    size_t n = 0;
+    for (const auto& r : results)
+        if (r.status == status) ++n;
+    return n;
+}
+
+size_t VerificationReport::totalChecked() const {
+    return results.size() - count(Status::Skipped);
+}
+
+double VerificationReport::proofRate() const {
+    size_t proven = 0, judged = 0;
+    for (const auto& r : results) {
+        if (r.kind != ir::Obligation::Kind::SafetyBad &&
+            r.kind != ir::Obligation::Kind::Justice)
+            continue;
+        if (r.status == Status::Skipped) continue;
+        ++judged;
+        if (r.status == Status::Proven) ++proven;
+    }
+    if (judged == 0) return 1.0;
+    return static_cast<double>(proven) / static_cast<double>(judged);
+}
+
+bool VerificationReport::allProven() const {
+    for (const auto& r : results) {
+        if (r.kind != ir::Obligation::Kind::SafetyBad &&
+            r.kind != ir::Obligation::Kind::Justice)
+            continue;
+        if (r.status == Status::Skipped) continue;
+        if (r.status != Status::Proven) return false;
+    }
+    return true;
+}
+
+const PropertyResult* VerificationReport::firstFailure() const {
+    for (const auto& r : results)
+        if (r.status == Status::Failed) return &r;
+    return nullptr;
+}
+
+const PropertyResult* VerificationReport::find(const std::string& name) const {
+    for (const auto& r : results)
+        if (r.name == name) return &r;
+    // Accept hierarchy-suffix matches (bound property modules carry an
+    // instance prefix such as "dut_prop_i.").
+    for (const auto& r : results) {
+        if (r.name.size() > name.size() &&
+            r.name.compare(r.name.size() - name.size(), name.size(), name) == 0 &&
+            r.name[r.name.size() - name.size() - 1] == '.')
+            return &r;
+    }
+    return nullptr;
+}
+
+std::string VerificationReport::outcomeSummary() const {
+    if (anyFailed()) {
+        const PropertyResult* f = firstFailure();
+        return "Bug found: " + f->name + " (CEX at " + std::to_string(f->depth) + " cycles)";
+    }
+    if (allProven()) return "100% liveness/safety properties proof";
+    size_t unknown = count(Status::Unknown);
+    return std::to_string(static_cast<int>(std::round(proofRate() * 100))) +
+           "% proof, " + std::to_string(unknown) + " unresolved";
+}
+
+std::string VerificationReport::str() const {
+    util::TextTable table({"property", "kind", "status", "depth", "time(s)"});
+    for (const auto& r : results) {
+        const char* kind = "safety";
+        switch (r.kind) {
+        case ir::Obligation::Kind::SafetyBad: kind = "safety"; break;
+        case ir::Obligation::Kind::Justice: kind = "liveness"; break;
+        case ir::Obligation::Kind::Cover: kind = "cover"; break;
+        case ir::Obligation::Kind::Constraint: kind = "assume"; break;
+        case ir::Obligation::Kind::Fairness: kind = "fairness"; break;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f", r.seconds);
+        table.addRow({r.name, kind, formal::statusName(r.status),
+                      r.depth >= 0 ? std::to_string(r.depth) : "-", buf});
+    }
+    return "DUT: " + dutName + "\n" + table.str() + "Outcome: " + outcomeSummary() + "\n";
+}
+
+} // namespace autosva::sva

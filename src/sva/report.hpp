@@ -1,0 +1,40 @@
+// Aggregation and rendering of per-property model-checking results into
+// the verification reports the paper's evaluation tables are built from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "formal/engine.hpp"
+
+namespace autosva::sva {
+
+/// Summary of one formal-testbench run on a DUT.
+struct VerificationReport {
+    std::string dutName;
+    std::vector<formal::PropertyResult> results;
+    double totalSeconds = 0.0;
+
+    // -- Aggregates --------------------------------------------------------
+    [[nodiscard]] size_t count(formal::Status status) const;
+    [[nodiscard]] size_t totalChecked() const; ///< Excludes Skipped.
+    [[nodiscard]] size_t numProven() const { return count(formal::Status::Proven); }
+    [[nodiscard]] size_t numFailed() const { return count(formal::Status::Failed); }
+    /// Proof rate over assert-type obligations (proven / (proven+failed+unknown)).
+    [[nodiscard]] double proofRate() const;
+    [[nodiscard]] bool allProven() const;
+    [[nodiscard]] bool anyFailed() const { return numFailed() > 0; }
+
+    /// First failing result, if any.
+    [[nodiscard]] const formal::PropertyResult* firstFailure() const;
+    [[nodiscard]] const formal::PropertyResult* find(const std::string& name) const;
+
+    /// One-line outcome in the style of the paper's Table III
+    /// ("100% liveness/safety properties proof", "Bug found", ...).
+    [[nodiscard]] std::string outcomeSummary() const;
+
+    /// Full per-property table.
+    [[nodiscard]] std::string str() const;
+};
+
+} // namespace autosva::sva

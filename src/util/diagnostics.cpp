@@ -1,0 +1,42 @@
+#include "util/diagnostics.hpp"
+
+namespace autosva::util {
+
+namespace {
+const char* severityName(Severity sev) {
+    switch (sev) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    }
+    return "?";
+}
+} // namespace
+
+std::string Diagnostic::str() const {
+    return loc.str() + ": " + severityName(severity) + ": " + message;
+}
+
+bool DiagEngine::hasErrors() const {
+    for (const auto& d : diags_)
+        if (d.severity == Severity::Error) return true;
+    return false;
+}
+
+size_t DiagEngine::count(Severity sev) const {
+    size_t n = 0;
+    for (const auto& d : diags_)
+        if (d.severity == sev) ++n;
+    return n;
+}
+
+std::string DiagEngine::str() const {
+    std::string out;
+    for (const auto& d : diags_) {
+        out += d.str();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace autosva::util

@@ -1,0 +1,63 @@
+// Diagnostic collection and the fatal-error exception used by all parsers
+// and the elaborator.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/source_loc.hpp"
+
+namespace autosva::util {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Thrown on unrecoverable frontend errors (lexing, parsing, elaboration).
+/// Carries the source location so callers can render a precise message.
+class FrontendError : public std::runtime_error {
+public:
+    FrontendError(SourceLoc loc, const std::string& message)
+        : std::runtime_error(loc.str() + ": error: " + message), loc_(std::move(loc)) {}
+
+    [[nodiscard]] const SourceLoc& loc() const { return loc_; }
+
+private:
+    SourceLoc loc_;
+};
+
+/// Accumulates non-fatal diagnostics (warnings from the annotation parser,
+/// lint notes from elaboration) so tools can report them in bulk.
+class DiagEngine {
+public:
+    void report(Severity sev, SourceLoc loc, std::string message) {
+        diags_.push_back({sev, std::move(loc), std::move(message)});
+    }
+    void warning(SourceLoc loc, std::string message) {
+        report(Severity::Warning, std::move(loc), std::move(message));
+    }
+    void note(SourceLoc loc, std::string message) {
+        report(Severity::Note, std::move(loc), std::move(message));
+    }
+    void error(SourceLoc loc, std::string message) {
+        report(Severity::Error, std::move(loc), std::move(message));
+    }
+
+    [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+    [[nodiscard]] bool hasErrors() const;
+    [[nodiscard]] size_t count(Severity sev) const;
+    [[nodiscard]] std::string str() const;
+    void clear() { diags_.clear(); }
+
+private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace autosva::util

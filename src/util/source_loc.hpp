@@ -1,0 +1,25 @@
+// Source locations for diagnostics across the Verilog frontend and the
+// AutoSVA annotation parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace autosva::util {
+
+/// A position inside a named source buffer. Lines and columns are 1-based;
+/// a value of 0 means "unknown".
+struct SourceLoc {
+    std::string file;   ///< Buffer name (file path or synthetic name).
+    uint32_t line = 0;
+    uint32_t col = 0;
+
+    [[nodiscard]] bool valid() const { return line != 0; }
+
+    [[nodiscard]] std::string str() const {
+        if (!valid()) return file.empty() ? "<unknown>" : file;
+        return file + ":" + std::to_string(line) + ":" + std::to_string(col);
+    }
+};
+
+} // namespace autosva::util

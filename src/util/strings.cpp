@@ -1,0 +1,112 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace autosva::util {
+
+namespace {
+bool isSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+} // namespace
+
+std::string_view trimLeft(std::string_view s) {
+    size_t i = 0;
+    while (i < s.size() && isSpace(s[i])) ++i;
+    return s.substr(i);
+}
+
+std::string_view trimRight(std::string_view s) {
+    size_t n = s.size();
+    while (n > 0 && isSpace(s[n - 1])) --n;
+    return s.substr(0, n);
+}
+
+std::string_view trim(std::string_view s) { return trimRight(trimLeft(s)); }
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> splitLines(std::string_view s) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size()) {
+            if (start < i || (!out.empty() && start == i)) out.emplace_back(s.substr(start, i - start));
+            break;
+        }
+        if (s[i] == '\n') {
+            size_t end = i;
+            if (end > start && s[end - 1] == '\r') --end;
+            out.emplace_back(s.substr(start, end - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string toLower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+std::string toUpper(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    return out;
+}
+
+bool isIdentifier(std::string_view s) {
+    if (s.empty()) return false;
+    auto head = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+    };
+    auto body = [&](char c) {
+        return head(c) || std::isdigit(static_cast<unsigned char>(c)) || c == '$';
+    };
+    if (!head(s[0])) return false;
+    return std::all_of(s.begin() + 1, s.end(), body);
+}
+
+std::string replaceAll(std::string s, std::string_view from, std::string_view to) {
+    if (from.empty()) return s;
+    size_t pos = 0;
+    while ((pos = s.find(from, pos)) != std::string::npos) {
+        s.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return s;
+}
+
+std::string indent(std::string_view text, int spaces) {
+    const std::string pad(static_cast<size_t>(spaces), ' ');
+    std::string out;
+    for (const auto& line : splitLines(text)) {
+        if (!line.empty()) out += pad;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace autosva::util

@@ -1,0 +1,33 @@
+// Small string helpers shared by the frontend, generator, and report code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autosva::util {
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::string_view trimLeft(std::string_view s);
+[[nodiscard]] std::string_view trimRight(std::string_view s);
+
+/// Split on a single character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split into lines, handling both \n and \r\n; keeps empty lines.
+[[nodiscard]] std::vector<std::string> splitLines(std::string_view s);
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+[[nodiscard]] std::string toLower(std::string_view s);
+[[nodiscard]] std::string toUpper(std::string_view s);
+
+[[nodiscard]] bool isIdentifier(std::string_view s);
+
+/// Replace all occurrences of `from` with `to`.
+[[nodiscard]] std::string replaceAll(std::string s, std::string_view from, std::string_view to);
+
+/// Indent every non-empty line with `spaces` spaces.
+[[nodiscard]] std::string indent(std::string_view text, int spaces);
+
+} // namespace autosva::util

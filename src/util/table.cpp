@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace autosva::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+    Row r;
+    r.cells = std::move(cells);
+    r.separatorBefore = pendingSeparator_;
+    pendingSeparator_ = false;
+    rows_.push_back(std::move(r));
+}
+
+void TextTable::addSeparator() { pendingSeparator_ = true; }
+
+std::string TextTable::str() const {
+    std::vector<size_t> widths(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string>& cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i >= widths.size()) widths.resize(i + 1, 0);
+            widths[i] = std::max(widths[i], cells[i].size());
+        }
+    };
+    grow(header_);
+    for (const auto& r : rows_) grow(r.cells);
+
+    auto renderLine = [&](const std::vector<std::string>& cells) {
+        std::string line = "|";
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            cell.resize(widths[i], ' ');
+            line += " " + cell + " |";
+        }
+        line += '\n';
+        return line;
+    };
+    auto renderSep = [&]() {
+        std::string line = "+";
+        for (size_t w : widths) line += std::string(w + 2, '-') + "+";
+        line += '\n';
+        return line;
+    };
+
+    std::string out = renderSep();
+    out += renderLine(header_);
+    out += renderSep();
+    for (const auto& r : rows_) {
+        if (r.separatorBefore) out += renderSep();
+        out += renderLine(r.cells);
+    }
+    out += renderSep();
+    return out;
+}
+
+} // namespace autosva::util

@@ -1,0 +1,32 @@
+// Aligned text-table rendering for bench/report output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autosva::util {
+
+/// Builds plain-text tables with aligned columns, used by the benchmark
+/// harnesses to print the rows of the paper's tables.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+    /// Inserts a horizontal separator line before the next row.
+    void addSeparator();
+
+    [[nodiscard]] std::string str() const;
+    [[nodiscard]] size_t rowCount() const { return rows_.size(); }
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool separatorBefore = false;
+    };
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+    bool pendingSeparator_ = false;
+};
+
+} // namespace autosva::util

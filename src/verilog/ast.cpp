@@ -1,0 +1,124 @@
+#include "verilog/ast.hpp"
+
+namespace autosva::verilog {
+
+ExprPtr makeNumber(uint64_t value, int width, util::SourceLoc loc) {
+    auto e = std::make_unique<Expr>(Expr::Kind::Number);
+    e->intValue = value;
+    e->numWidth = width;
+    e->loc = std::move(loc);
+    return e;
+}
+
+ExprPtr makeIdent(std::string name, util::SourceLoc loc) {
+    auto e = std::make_unique<Expr>(Expr::Kind::Ident);
+    e->name = std::move(name);
+    e->loc = std::move(loc);
+    return e;
+}
+
+ExprPtr cloneExpr(const Expr& e) {
+    auto out = std::make_unique<Expr>(e.kind);
+    out->loc = e.loc;
+    out->intValue = e.intValue;
+    out->numWidth = e.numWidth;
+    out->isUnbasedUnsized = e.isUnbasedUnsized;
+    out->hasUnknownBits = e.hasUnknownBits;
+    out->name = e.name;
+    out->unaryOp = e.unaryOp;
+    out->binaryOp = e.binaryOp;
+    out->operands.reserve(e.operands.size());
+    for (const auto& op : e.operands) out->operands.push_back(cloneExpr(*op));
+    return out;
+}
+
+namespace {
+
+const char* unaryOpText(UnaryOp op) {
+    switch (op) {
+    case UnaryOp::Plus: return "+";
+    case UnaryOp::Minus: return "-";
+    case UnaryOp::LogicNot: return "!";
+    case UnaryOp::BitNot: return "~";
+    case UnaryOp::RedAnd: return "&";
+    case UnaryOp::RedOr: return "|";
+    case UnaryOp::RedXor: return "^";
+    case UnaryOp::RedNand: return "~&";
+    case UnaryOp::RedNor: return "~|";
+    case UnaryOp::RedXnor: return "~^";
+    }
+    return "?";
+}
+
+const char* binaryOpText(BinaryOp op) {
+    switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Mod: return "%";
+    case BinaryOp::And: return "&";
+    case BinaryOp::Or: return "|";
+    case BinaryOp::Xor: return "^";
+    case BinaryOp::Xnor: return "~^";
+    case BinaryOp::LogicAnd: return "&&";
+    case BinaryOp::LogicOr: return "||";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string exprToString(const Expr& e) {
+    switch (e.kind) {
+    case Expr::Kind::Number:
+        if (e.isUnbasedUnsized) return e.intValue ? "'1" : "'0";
+        if (e.numWidth > 0)
+            return std::to_string(e.numWidth) + "'d" + std::to_string(e.intValue);
+        return std::to_string(e.intValue);
+    case Expr::Kind::Ident:
+        return e.name;
+    case Expr::Kind::Unary:
+        return std::string(unaryOpText(e.unaryOp)) + "(" + exprToString(*e.operands[0]) + ")";
+    case Expr::Kind::Binary:
+        return "(" + exprToString(*e.operands[0]) + " " + binaryOpText(e.binaryOp) + " " +
+               exprToString(*e.operands[1]) + ")";
+    case Expr::Kind::Ternary:
+        return "(" + exprToString(*e.operands[0]) + " ? " + exprToString(*e.operands[1]) + " : " +
+               exprToString(*e.operands[2]) + ")";
+    case Expr::Kind::Index:
+        return exprToString(*e.operands[0]) + "[" + exprToString(*e.operands[1]) + "]";
+    case Expr::Kind::Range:
+        return exprToString(*e.operands[0]) + "[" + exprToString(*e.operands[1]) + ":" +
+               exprToString(*e.operands[2]) + "]";
+    case Expr::Kind::Concat: {
+        std::string out = "{";
+        for (size_t i = 0; i < e.operands.size(); ++i) {
+            if (i) out += ", ";
+            out += exprToString(*e.operands[i]);
+        }
+        return out + "}";
+    }
+    case Expr::Kind::Replicate:
+        return "{" + exprToString(*e.operands[0]) + "{" + exprToString(*e.operands[1]) + "}}";
+    case Expr::Kind::Call: {
+        std::string out = e.name + "(";
+        for (size_t i = 0; i < e.operands.size(); ++i) {
+            if (i) out += ", ";
+            out += exprToString(*e.operands[i]);
+        }
+        return out + ")";
+    }
+    }
+    return "?";
+}
+
+} // namespace autosva::verilog

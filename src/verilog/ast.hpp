@@ -1,0 +1,273 @@
+// Abstract syntax tree for the SystemVerilog subset, including the SVA
+// property layer consumed by the sva monitor compiler.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/source_loc.hpp"
+
+namespace autosva::verilog {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class UnaryOp { Plus, Minus, LogicNot, BitNot, RedAnd, RedOr, RedXor, RedNand, RedNor, RedXnor };
+
+enum class BinaryOp {
+    Add, Sub, Mul, Div, Mod,
+    And, Or, Xor, Xnor,
+    LogicAnd, LogicOr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    Shl, Shr,
+};
+
+struct Expr {
+    enum class Kind {
+        Number, Ident, Unary, Binary, Ternary,
+        Index,      // base[index] — bit select or array element
+        Range,      // base[msb:lsb] — constant part select
+        Concat,     // {a, b, ...}
+        Replicate,  // {N{expr}}
+        Call,       // $stable(x), $past(x), $countones(x), ...
+    };
+
+    Kind kind;
+    util::SourceLoc loc;
+
+    // Number.
+    uint64_t intValue = 0;
+    int numWidth = 0;              // 0 = unsized
+    bool isUnbasedUnsized = false; // '0 / '1
+    bool hasUnknownBits = false;
+
+    // Ident / Call.
+    std::string name;
+
+    // Operators.
+    UnaryOp unaryOp{};
+    BinaryOp binaryOp{};
+
+    // Children: operands / concat elements / call arguments.
+    std::vector<std::unique_ptr<Expr>> operands;
+
+    explicit Expr(Kind k) : kind(k) {}
+
+    [[nodiscard]] bool isKind(Kind k) const { return kind == k; }
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+[[nodiscard]] ExprPtr makeNumber(uint64_t value, int width, util::SourceLoc loc = {});
+[[nodiscard]] ExprPtr makeIdent(std::string name, util::SourceLoc loc = {});
+[[nodiscard]] ExprPtr cloneExpr(const Expr& e);
+
+/// Renders an expression back to (normalized) Verilog text — used by the
+/// property generator and tests.
+[[nodiscard]] std::string exprToString(const Expr& e);
+
+// ---------------------------------------------------------------------------
+// Statements (procedural)
+// ---------------------------------------------------------------------------
+
+struct Stmt {
+    enum class Kind { Block, If, Case, Assign, Null };
+
+    Kind kind;
+    util::SourceLoc loc;
+
+    // Block.
+    std::vector<std::unique_ptr<Stmt>> stmts;
+
+    // If.
+    ExprPtr cond;
+    std::unique_ptr<Stmt> thenStmt;
+    std::unique_ptr<Stmt> elseStmt;
+
+    // Case.
+    ExprPtr subject;
+    struct CaseItem {
+        std::vector<ExprPtr> labels; // Empty = default.
+        std::unique_ptr<Stmt> body;
+    };
+    std::vector<CaseItem> caseItems;
+    bool isCasez = false;
+
+    // Assign.
+    ExprPtr lhs;
+    ExprPtr rhs;
+    bool nonBlocking = false;
+
+    explicit Stmt(Kind k) : kind(k) {}
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// ---------------------------------------------------------------------------
+// SVA property layer
+// ---------------------------------------------------------------------------
+
+struct PropExpr {
+    enum class Kind {
+        Boolean,       // plain boolean expression over signals
+        Implication,   // antecedent |-> / |=> consequent
+        Eventually,    // s_eventually p (p must be boolean in this subset)
+        Next,          // ##N p
+        Not,           // not p
+    };
+
+    Kind kind;
+    util::SourceLoc loc;
+
+    ExprPtr boolean;                   // Boolean / Implication antecedent.
+    std::unique_ptr<PropExpr> lhsProp; // (unused for Boolean)
+    std::unique_ptr<PropExpr> rhsProp;
+    bool overlapping = true;           // |-> vs |=>
+    int delay = 0;                     // Next
+
+    explicit PropExpr(Kind k) : kind(k) {}
+};
+
+using PropExprPtr = std::unique_ptr<PropExpr>;
+
+enum class AssertionKind { Assert, Assume, Cover, Restrict };
+
+// ---------------------------------------------------------------------------
+// Module items
+// ---------------------------------------------------------------------------
+
+enum class PortDir { Input, Output, Inout };
+enum class NetKind { Wire, Reg, Logic };
+
+struct Range {
+    ExprPtr msb;
+    ExprPtr lsb;
+};
+
+struct Port {
+    PortDir dir = PortDir::Input;
+    NetKind netKind = NetKind::Wire;
+    std::optional<Range> packed;
+    std::string name;
+    util::SourceLoc loc;
+};
+
+struct ParamDecl {
+    std::string name;
+    ExprPtr value;
+    bool isLocal = false;
+    std::optional<Range> packed; // Optional declared width (ignored for eval).
+    util::SourceLoc loc;
+};
+
+struct NetDecl {
+    NetKind kind = NetKind::Wire;
+    std::optional<Range> packed;
+    std::string name;
+    std::optional<Range> unpacked; // Memory: name [0:DEPTH-1]
+    ExprPtr init;                  // Optional `wire x = expr` shorthand.
+    util::SourceLoc loc;
+};
+
+struct ContAssign {
+    ExprPtr lhs;
+    ExprPtr rhs;
+    util::SourceLoc loc;
+};
+
+struct AlwaysBlock {
+    enum class Kind { Comb, FF, Latch };
+    Kind kind = Kind::Comb;
+    std::string clockSignal;          // FF only.
+    bool clockPosedge = true;
+    std::optional<std::string> asyncResetSignal; // FF with async reset.
+    bool asyncResetNegedge = true;
+    StmtPtr body;
+    util::SourceLoc loc;
+};
+
+struct NamedConnection {
+    std::string name; // Port/parameter name; empty for positional.
+    ExprPtr expr;     // May be null for `.name()` (unconnected).
+    util::SourceLoc loc;
+};
+
+struct Instance {
+    std::string moduleName;
+    std::string instName;
+    std::vector<NamedConnection> paramAssigns;
+    std::vector<NamedConnection> portAssigns;
+    bool wildcardPorts = false; // `.*`
+    util::SourceLoc loc;
+};
+
+struct AssertionItem {
+    AssertionKind kind = AssertionKind::Assert;
+    std::string label;
+    PropExprPtr prop;
+    // Optional per-property clock/disable (falls back to module defaults).
+    std::optional<std::string> clockSignal;
+    ExprPtr disableExpr;
+    util::SourceLoc loc;
+};
+
+struct Module;
+
+struct GenerateFor {
+    std::string genvar;
+    uint64_t start = 0;
+    uint64_t limit = 0; // Exclusive upper bound after normalization.
+    uint64_t step = 1;
+    std::vector<struct ModuleItem> items; // Body instantiated per iteration.
+};
+
+struct ModuleItem {
+    enum class Kind { Param, Net, ContAssign, Always, Instance, Assertion, GenFor };
+    Kind kind;
+
+    std::unique_ptr<ParamDecl> param;
+    std::unique_ptr<NetDecl> net;
+    std::unique_ptr<ContAssign> contAssign;
+    std::unique_ptr<AlwaysBlock> always;
+    std::unique_ptr<Instance> instance;
+    std::unique_ptr<AssertionItem> assertion;
+    std::unique_ptr<GenerateFor> genFor;
+
+    explicit ModuleItem(Kind k) : kind(k) {}
+};
+
+struct Module {
+    std::string name;
+    std::vector<ParamDecl> params; // Header parameters.
+    std::vector<Port> ports;
+    std::vector<ModuleItem> items;
+    // Module-level SVA defaults.
+    std::optional<std::string> defaultClock;
+    ExprPtr defaultDisable;
+    util::SourceLoc loc;
+};
+
+struct BindDirective {
+    std::string targetModule;
+    std::string boundModule;
+    std::string instName;
+    std::vector<NamedConnection> portAssigns;
+    bool wildcardPorts = false;
+    util::SourceLoc loc;
+};
+
+struct SourceFile {
+    std::vector<std::unique_ptr<Module>> modules;
+    std::vector<BindDirective> binds;
+
+    [[nodiscard]] const Module* findModule(std::string_view name) const {
+        for (const auto& m : modules)
+            if (m->name == name) return m.get();
+        return nullptr;
+    }
+};
+
+} // namespace autosva::verilog

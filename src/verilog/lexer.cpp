@@ -1,0 +1,443 @@
+#include "verilog/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/diagnostics.hpp"
+
+namespace autosva::verilog {
+
+using util::FrontendError;
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywordMap() {
+    static const std::unordered_map<std::string_view, TokenKind> map = {
+        {"module", TokenKind::KwModule},
+        {"endmodule", TokenKind::KwEndmodule},
+        {"input", TokenKind::KwInput},
+        {"output", TokenKind::KwOutput},
+        {"inout", TokenKind::KwInout},
+        {"wire", TokenKind::KwWire},
+        {"reg", TokenKind::KwReg},
+        {"logic", TokenKind::KwLogic},
+        {"integer", TokenKind::KwInteger},
+        {"genvar", TokenKind::KwGenvar},
+        {"parameter", TokenKind::KwParameter},
+        {"localparam", TokenKind::KwLocalparam},
+        {"assign", TokenKind::KwAssign},
+        {"always", TokenKind::KwAlways},
+        {"always_ff", TokenKind::KwAlwaysFF},
+        {"always_comb", TokenKind::KwAlwaysComb},
+        {"always_latch", TokenKind::KwAlwaysLatch},
+        {"posedge", TokenKind::KwPosedge},
+        {"negedge", TokenKind::KwNegedge},
+        {"or", TokenKind::KwOr},
+        {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},
+        {"case", TokenKind::KwCase},
+        {"casez", TokenKind::KwCasez},
+        {"casex", TokenKind::KwCasex},
+        {"endcase", TokenKind::KwEndcase},
+        {"default", TokenKind::KwDefault},
+        {"begin", TokenKind::KwBegin},
+        {"end", TokenKind::KwEnd},
+        {"signed", TokenKind::KwSigned},
+        {"unsigned", TokenKind::KwUnsigned},
+        {"assert", TokenKind::KwAssert},
+        {"assume", TokenKind::KwAssume},
+        {"cover", TokenKind::KwCover},
+        {"restrict", TokenKind::KwRestrict},
+        {"property", TokenKind::KwProperty},
+        {"clocking", TokenKind::KwClocking},
+        {"endclocking", TokenKind::KwEndclocking},
+        {"disable", TokenKind::KwDisable},
+        {"iff", TokenKind::KwIff},
+        {"s_eventually", TokenKind::KwSEventually},
+        {"s_until", TokenKind::KwSUntil},
+        {"not", TokenKind::KwNot},
+        {"bind", TokenKind::KwBind},
+        {"initial", TokenKind::KwInitial},
+        {"generate", TokenKind::KwGenerate},
+        {"endgenerate", TokenKind::KwEndgenerate},
+        {"for", TokenKind::KwFor},
+        {"function", TokenKind::KwFunction},
+        {"endfunction", TokenKind::KwEndfunction},
+    };
+    return map;
+}
+
+[[nodiscard]] int baseRadix(char c) {
+    switch (std::tolower(static_cast<unsigned char>(c))) {
+    case 'b': return 2;
+    case 'o': return 8;
+    case 'd': return 10;
+    case 'h': return 16;
+    default: return 0;
+    }
+}
+
+[[nodiscard]] int digitValue(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+Lexer::Lexer(std::string_view text, std::string bufferName)
+    : text_(text), bufferName_(std::move(bufferName)) {}
+
+char Lexer::advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+    while (!atEnd()) {
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!atEnd() && peek() != '\n') advance();
+        } else if (c == '/' && peek(1) == '*') {
+            auto start = here();
+            advance();
+            advance();
+            while (!atEnd() && !(peek() == '*' && peek(1) == '/')) advance();
+            if (atEnd()) throw FrontendError(start, "unterminated block comment");
+            advance();
+            advance();
+        } else if (c == '`') {
+            // Compiler directives (`define-free subset): skip to end of line.
+            while (!atEnd() && peek() != '\n') advance();
+        } else {
+            break;
+        }
+    }
+}
+
+std::vector<Token> Lexer::lexAll() {
+    std::vector<Token> tokens;
+    for (;;) {
+        Token tok = next();
+        bool done = tok.is(TokenKind::EndOfFile);
+        tokens.push_back(std::move(tok));
+        if (done) return tokens;
+    }
+}
+
+Token Lexer::lexIdentifier() {
+    Token tok;
+    tok.loc = here();
+    std::string text;
+    if (peek() == '\\') { // Escaped identifier: up to whitespace.
+        advance();
+        while (!atEnd() && !std::isspace(static_cast<unsigned char>(peek()))) text += advance();
+        tok.kind = TokenKind::Identifier;
+        tok.text = std::move(text);
+        return tok;
+    }
+    while (!atEnd()) {
+        char c = peek();
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$')
+            text += advance();
+        else
+            break;
+    }
+    auto it = keywordMap().find(text);
+    tok.kind = it != keywordMap().end() ? it->second : TokenKind::Identifier;
+    tok.text = std::move(text);
+    return tok;
+}
+
+Token Lexer::lexBasedTail(Token tok, uint64_t width) {
+    // Caller consumed the apostrophe; we are at the (optional) sign char / base.
+    if (peek() == 's' || peek() == 'S') advance();
+    char baseChar = peek();
+    int radix = baseRadix(baseChar);
+    if (radix == 0) {
+        // Unbased unsized literal: '0 / '1 / 'x / 'z.
+        char c = peek();
+        if (c == '0' || c == '1') {
+            advance();
+            tok.kind = TokenKind::Number;
+            tok.intValue = static_cast<uint64_t>(c - '0');
+            tok.isUnbasedUnsized = true;
+            return tok;
+        }
+        if (c == 'x' || c == 'X' || c == 'z' || c == 'Z') {
+            advance();
+            tok.kind = TokenKind::Number;
+            tok.intValue = 0;
+            tok.isUnbasedUnsized = true;
+            tok.hasUnknownBits = true;
+            return tok;
+        }
+        throw FrontendError(tok.loc, "malformed based literal");
+    }
+    advance(); // Consume base char.
+    uint64_t value = 0;
+    bool sawDigit = false;
+    while (!atEnd()) {
+        char c = peek();
+        if (c == '_') {
+            advance();
+            continue;
+        }
+        if (c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?') {
+            advance();
+            sawDigit = true;
+            tok.hasUnknownBits = true;
+            value = value * static_cast<uint64_t>(radix); // x/z digits read as 0.
+            continue;
+        }
+        int d = digitValue(c);
+        if (d < 0 || d >= radix) break;
+        advance();
+        sawDigit = true;
+        value = value * static_cast<uint64_t>(radix) + static_cast<uint64_t>(d);
+    }
+    if (!sawDigit) throw FrontendError(tok.loc, "based literal has no digits");
+    tok.kind = TokenKind::Number;
+    tok.intValue = value;
+    tok.numWidth = static_cast<int>(width);
+    if (width > 0 && width < 64) tok.intValue &= (uint64_t{1} << width) - 1;
+    return tok;
+}
+
+Token Lexer::lexNumber() {
+    Token tok;
+    tok.loc = here();
+    uint64_t value = 0;
+    while (!atEnd()) {
+        char c = peek();
+        if (c == '_') {
+            advance();
+            continue;
+        }
+        if (!std::isdigit(static_cast<unsigned char>(c))) break;
+        advance();
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    // Allow whitespace between size and base per the LRM: "8 'hFF".
+    size_t save = pos_;
+    uint32_t saveLine = line_, saveCol = col_;
+    while (!atEnd() && (peek() == ' ' || peek() == '\t')) advance();
+    if (peek() == '\'' && peek(1) != '{') {
+        advance();
+        return lexBasedTail(tok, value);
+    }
+    pos_ = save;
+    line_ = saveLine;
+    col_ = saveCol;
+    tok.kind = TokenKind::Number;
+    tok.intValue = value;
+    tok.numWidth = 0;
+    return tok;
+}
+
+Token Lexer::lexString() {
+    Token tok;
+    tok.loc = here();
+    advance(); // Opening quote.
+    std::string text;
+    while (!atEnd() && peek() != '"') {
+        char c = advance();
+        if (c == '\\' && !atEnd()) {
+            char e = advance();
+            switch (e) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            default: text += e; break;
+            }
+        } else {
+            text += c;
+        }
+    }
+    if (atEnd()) throw FrontendError(tok.loc, "unterminated string literal");
+    advance(); // Closing quote.
+    tok.kind = TokenKind::String;
+    tok.text = std::move(text);
+    return tok;
+}
+
+Token Lexer::next() {
+    skipWhitespaceAndComments();
+    Token tok;
+    tok.loc = here();
+    if (atEnd()) {
+        tok.kind = TokenKind::EndOfFile;
+        return tok;
+    }
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '\\') return lexIdentifier();
+    if (c == '$') {
+        advance();
+        Token id = lexIdentifier();
+        id.kind = TokenKind::SystemIdent;
+        id.text = "$" + id.text;
+        id.loc = tok.loc;
+        return id;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return lexNumber();
+    if (c == '\'') {
+        advance();
+        return lexBasedTail(tok, 0);
+    }
+    if (c == '"') return lexString();
+
+    advance();
+    auto two = [&](char second, TokenKind twoKind, TokenKind oneKind) {
+        if (peek() == second) {
+            advance();
+            tok.kind = twoKind;
+        } else {
+            tok.kind = oneKind;
+        }
+        return tok;
+    };
+
+    switch (c) {
+    case '(': tok.kind = TokenKind::LParen; return tok;
+    case ')': tok.kind = TokenKind::RParen; return tok;
+    case '[': tok.kind = TokenKind::LBracket; return tok;
+    case ']': tok.kind = TokenKind::RBracket; return tok;
+    case '{': tok.kind = TokenKind::LBrace; return tok;
+    case '}': tok.kind = TokenKind::RBrace; return tok;
+    case ';': tok.kind = TokenKind::Semi; return tok;
+    case ':': tok.kind = TokenKind::Colon; return tok;
+    case ',': tok.kind = TokenKind::Comma; return tok;
+    case '.': tok.kind = TokenKind::Dot; return tok;
+    case '@': tok.kind = TokenKind::At; return tok;
+    case '?': tok.kind = TokenKind::Question; return tok;
+    case '#': return two('#', TokenKind::HashHash, TokenKind::Hash);
+    case '+':
+        if (peek() == ':') {
+            advance();
+            tok.kind = TokenKind::PlusColon;
+            return tok;
+        }
+        tok.kind = TokenKind::Plus;
+        return tok;
+    case '-': tok.kind = TokenKind::Minus; return tok;
+    case '*': tok.kind = TokenKind::Star; return tok;
+    case '/': tok.kind = TokenKind::Slash; return tok;
+    case '%': tok.kind = TokenKind::Percent; return tok;
+    case '~':
+        if (peek() == '^') {
+            advance();
+            tok.kind = TokenKind::TildeCaret;
+            return tok;
+        }
+        tok.kind = TokenKind::Tilde;
+        return tok;
+    case '^':
+        if (peek() == '~') {
+            advance();
+            tok.kind = TokenKind::TildeCaret;
+            return tok;
+        }
+        tok.kind = TokenKind::Caret;
+        return tok;
+    case '&': return two('&', TokenKind::AmpAmp, TokenKind::Amp);
+    case '|':
+        if (peek() == '|') {
+            advance();
+            tok.kind = TokenKind::PipePipe;
+            return tok;
+        }
+        if (peek() == '-' && peek(1) == '>') {
+            advance();
+            advance();
+            tok.kind = TokenKind::OverlapImpl;
+            return tok;
+        }
+        if (peek() == '=' && peek(1) == '>') {
+            advance();
+            advance();
+            tok.kind = TokenKind::NonOverlapImpl;
+            return tok;
+        }
+        tok.kind = TokenKind::Pipe;
+        return tok;
+    case '=':
+        if (peek() == '=') {
+            advance();
+            if (peek() == '=') advance(); // === treated as ==.
+            tok.kind = TokenKind::EqEq;
+            return tok;
+        }
+        tok.kind = TokenKind::Eq;
+        return tok;
+    case '!':
+        if (peek() == '=') {
+            advance();
+            if (peek() == '=') advance(); // !== treated as !=.
+            tok.kind = TokenKind::BangEq;
+            return tok;
+        }
+        tok.kind = TokenKind::Bang;
+        return tok;
+    case '<':
+        if (peek() == '=') {
+            advance();
+            tok.kind = TokenKind::LtEq;
+        } else if (peek() == '<') {
+            advance();
+            if (peek() == '<') advance(); // <<< treated as << (unsigned subset).
+            tok.kind = TokenKind::LtLt;
+        } else {
+            tok.kind = TokenKind::Lt;
+        }
+        return tok;
+    case '>':
+        if (peek() == '=') {
+            advance();
+            tok.kind = TokenKind::GtEq;
+        } else if (peek() == '>') {
+            advance();
+            if (peek() == '>') advance(); // >>> treated as >> (unsigned subset).
+            tok.kind = TokenKind::GtGt;
+        } else {
+            tok.kind = TokenKind::Gt;
+        }
+        return tok;
+    default:
+        throw FrontendError(tok.loc, std::string("unexpected character '") + c + "'");
+    }
+}
+
+const char* tokenKindName(TokenKind kind) {
+    switch (kind) {
+    case TokenKind::EndOfFile: return "end of file";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::SystemIdent: return "system identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::String: return "string";
+    case TokenKind::KwModule: return "'module'";
+    case TokenKind::KwEndmodule: return "'endmodule'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::Semi: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Eq: return "'='";
+    case TokenKind::OverlapImpl: return "'|->'";
+    case TokenKind::NonOverlapImpl: return "'|=>'";
+    default: return "token";
+    }
+}
+
+} // namespace autosva::verilog

@@ -1,0 +1,46 @@
+// Lexer for the SystemVerilog subset. Comments are skipped here; AutoSVA
+// annotations (which live inside comments) are extracted separately by
+// core/annotations from the raw source text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verilog/token.hpp"
+
+namespace autosva::verilog {
+
+class Lexer {
+public:
+    /// @param bufferName used in source locations of the produced tokens.
+    Lexer(std::string_view text, std::string bufferName);
+
+    /// Lexes the entire buffer. The last token is always EndOfFile.
+    /// Throws util::FrontendError on malformed input.
+    [[nodiscard]] std::vector<Token> lexAll();
+
+private:
+    [[nodiscard]] Token next();
+    [[nodiscard]] Token lexNumber();
+    [[nodiscard]] Token lexBasedTail(Token tok, uint64_t width);
+    [[nodiscard]] Token lexIdentifier();
+    [[nodiscard]] Token lexString();
+    void skipWhitespaceAndComments();
+
+    [[nodiscard]] char peek(size_t off = 0) const {
+        size_t i = pos_ + off;
+        return i < text_.size() ? text_[i] : '\0';
+    }
+    char advance();
+    [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+    [[nodiscard]] util::SourceLoc here() const { return {bufferName_, line_, col_}; }
+
+    std::string_view text_;
+    std::string bufferName_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t col_ = 1;
+};
+
+} // namespace autosva::verilog

@@ -1,0 +1,831 @@
+#include "verilog/parser.hpp"
+
+#include "util/diagnostics.hpp"
+#include "verilog/lexer.hpp"
+
+namespace autosva::verilog {
+
+using util::FrontendError;
+
+Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+SourceFile Parser::parseSource(std::string_view text, std::string bufferName) {
+    Lexer lexer(text, std::move(bufferName));
+    Parser parser(lexer.lexAll());
+    return parser.parseFile();
+}
+
+ExprPtr Parser::parseExpression(std::string_view text, std::string bufferName) {
+    Lexer lexer(text, std::move(bufferName));
+    Parser parser(lexer.lexAll());
+    ExprPtr e = parser.parseExpr();
+    if (!parser.at(TokenKind::EndOfFile)) parser.error("trailing tokens after expression");
+    return e;
+}
+
+const Token& Parser::peek(size_t off) const {
+    size_t i = cursor_ + off;
+    if (i >= tokens_.size()) i = tokens_.size() - 1; // EOF token.
+    return tokens_[i];
+}
+
+const Token& Parser::consume() {
+    const Token& tok = tokens_[cursor_];
+    if (cursor_ + 1 < tokens_.size()) ++cursor_;
+    return tok;
+}
+
+bool Parser::accept(TokenKind kind) {
+    if (at(kind)) {
+        consume();
+        return true;
+    }
+    return false;
+}
+
+const Token& Parser::expect(TokenKind kind, const char* what) {
+    if (!at(kind))
+        throw FrontendError(peek().loc, std::string("expected ") + what + " but found " +
+                                            tokenKindName(peek().kind) +
+                                            (peek().text.empty() ? "" : " '" + peek().text + "'"));
+    return consume();
+}
+
+void Parser::error(const std::string& message) const { throw FrontendError(peek().loc, message); }
+
+// ---------------------------------------------------------------------------
+// File / module structure
+// ---------------------------------------------------------------------------
+
+SourceFile Parser::parseFile() {
+    SourceFile file;
+    while (!at(TokenKind::EndOfFile)) {
+        if (at(TokenKind::KwModule)) {
+            file.modules.push_back(parseModule());
+        } else if (at(TokenKind::KwBind)) {
+            file.binds.push_back(parseBind());
+        } else {
+            error("expected 'module' or 'bind' at top level");
+        }
+    }
+    return file;
+}
+
+std::unique_ptr<Module> Parser::parseModule() {
+    auto mod = std::make_unique<Module>();
+    mod->loc = peek().loc;
+    expect(TokenKind::KwModule, "'module'");
+    mod->name = expect(TokenKind::Identifier, "module name").text;
+
+    if (accept(TokenKind::Hash)) {
+        expect(TokenKind::LParen, "'(' after '#'");
+        parseHeaderParams(*mod);
+        expect(TokenKind::RParen, "')' closing parameter list");
+    }
+    if (accept(TokenKind::LParen)) {
+        if (!at(TokenKind::RParen)) parsePortList(*mod);
+        expect(TokenKind::RParen, "')' closing port list");
+    }
+    expect(TokenKind::Semi, "';' after module header");
+    parseModuleItems(*mod);
+    expect(TokenKind::KwEndmodule, "'endmodule'");
+    accept(TokenKind::Colon) && (expect(TokenKind::Identifier, "module name"), true);
+    return mod;
+}
+
+void Parser::parseHeaderParams(Module& mod) {
+    for (;;) {
+        accept(TokenKind::KwParameter) || accept(TokenKind::KwLocalparam);
+        accept(TokenKind::KwInteger); // `parameter integer N = ...`
+        std::optional<Range> packed = tryParseRange();
+        ParamDecl p;
+        p.packed = std::move(packed);
+        p.loc = peek().loc;
+        p.name = expect(TokenKind::Identifier, "parameter name").text;
+        expect(TokenKind::Eq, "'=' in parameter");
+        p.value = parseExpr();
+        mod.params.push_back(std::move(p));
+        if (!accept(TokenKind::Comma)) break;
+    }
+}
+
+void Parser::parsePortList(Module& mod) {
+    PortDir dir = PortDir::Input;
+    NetKind kind = NetKind::Wire;
+    std::optional<Range> packed;
+    for (;;) {
+        bool sawDir = false;
+        if (accept(TokenKind::KwInput)) {
+            dir = PortDir::Input;
+            sawDir = true;
+        } else if (accept(TokenKind::KwOutput)) {
+            dir = PortDir::Output;
+            sawDir = true;
+        } else if (accept(TokenKind::KwInout)) {
+            dir = PortDir::Inout;
+            sawDir = true;
+        }
+        bool sawKind = false;
+        if (accept(TokenKind::KwWire)) {
+            kind = NetKind::Wire;
+            sawKind = true;
+        } else if (accept(TokenKind::KwReg)) {
+            kind = NetKind::Reg;
+            sawKind = true;
+        } else if (accept(TokenKind::KwLogic)) {
+            kind = NetKind::Logic;
+            sawKind = true;
+        }
+        accept(TokenKind::KwSigned) || accept(TokenKind::KwUnsigned);
+        if (sawDir || sawKind || at(TokenKind::LBracket)) {
+            if (sawDir && !sawKind) kind = NetKind::Wire;
+            packed = tryParseRange();
+        }
+        Port port;
+        port.dir = dir;
+        port.netKind = kind;
+        port.loc = peek().loc;
+        if (packed) port.packed = Range{cloneExpr(*packed->msb), cloneExpr(*packed->lsb)};
+        port.name = expect(TokenKind::Identifier, "port name").text;
+        mod.ports.push_back(std::move(port));
+        if (!accept(TokenKind::Comma)) break;
+    }
+}
+
+std::optional<Range> Parser::tryParseRange() {
+    if (!at(TokenKind::LBracket)) return std::nullopt;
+    consume();
+    Range r;
+    r.msb = parseExpr();
+    expect(TokenKind::Colon, "':' in range");
+    r.lsb = parseExpr();
+    expect(TokenKind::RBracket, "']' closing range");
+    return r;
+}
+
+void Parser::parseModuleItems(Module& mod) {
+    while (!at(TokenKind::KwEndmodule) && !at(TokenKind::EndOfFile)) {
+        switch (peek().kind) {
+        case TokenKind::KwParameter:
+            consume();
+            parseParamDecl(mod, /*isLocal=*/false);
+            break;
+        case TokenKind::KwLocalparam:
+            consume();
+            parseParamDecl(mod, /*isLocal=*/true);
+            break;
+        case TokenKind::KwWire:
+            consume();
+            parseNetDecl(mod.items, NetKind::Wire);
+            break;
+        case TokenKind::KwReg:
+            consume();
+            parseNetDecl(mod.items, NetKind::Reg);
+            break;
+        case TokenKind::KwLogic:
+            consume();
+            parseNetDecl(mod.items, NetKind::Logic);
+            break;
+        case TokenKind::KwAssign:
+            mod.items.push_back(parseContAssign());
+            break;
+        case TokenKind::KwAlways:
+        case TokenKind::KwAlwaysFF:
+        case TokenKind::KwAlwaysComb:
+            mod.items.push_back(parseAlways(consume().kind));
+            break;
+        case TokenKind::KwAssert:
+        case TokenKind::KwAssume:
+        case TokenKind::KwCover:
+        case TokenKind::KwRestrict:
+            mod.items.push_back(parseAssertion(""));
+            break;
+        case TokenKind::KwDefault:
+            // `default clocking ...` or `default disable iff (...)`.
+            consume();
+            if (at(TokenKind::KwClocking)) {
+                parseDefaultClocking(mod);
+            } else if (at(TokenKind::KwDisable)) {
+                parseDefaultDisable(mod);
+            } else {
+                error("expected 'clocking' or 'disable' after 'default'");
+            }
+            break;
+        case TokenKind::KwGenvar:
+            consume();
+            expect(TokenKind::Identifier, "genvar name");
+            while (accept(TokenKind::Comma)) expect(TokenKind::Identifier, "genvar name");
+            expect(TokenKind::Semi, "';'");
+            break;
+        case TokenKind::Identifier: {
+            // Either `label: assert ...` or a module instance.
+            if (peek(1).is(TokenKind::Colon)) {
+                std::string label = consume().text;
+                consume(); // ':'
+                mod.items.push_back(parseAssertion(std::move(label)));
+            } else {
+                mod.items.push_back(parseInstance());
+            }
+            break;
+        }
+        default:
+            error("unsupported module item");
+        }
+    }
+}
+
+void Parser::parseParamDecl(Module& mod, bool isLocal) {
+    accept(TokenKind::KwInteger);
+    std::optional<Range> packed = tryParseRange();
+    for (;;) {
+        ModuleItem item(ModuleItem::Kind::Param);
+        auto p = std::make_unique<ParamDecl>();
+        p->isLocal = isLocal;
+        p->loc = peek().loc;
+        if (packed) p->packed = Range{cloneExpr(*packed->msb), cloneExpr(*packed->lsb)};
+        p->name = expect(TokenKind::Identifier, "parameter name").text;
+        expect(TokenKind::Eq, "'=' in parameter");
+        p->value = parseExpr();
+        item.param = std::move(p);
+        mod.items.push_back(std::move(item));
+        if (!accept(TokenKind::Comma)) break;
+    }
+    expect(TokenKind::Semi, "';' after parameter declaration");
+}
+
+void Parser::parseNetDecl(std::vector<ModuleItem>& items, NetKind kind) {
+    accept(TokenKind::KwSigned) || accept(TokenKind::KwUnsigned);
+    std::optional<Range> packed = tryParseRange();
+    for (;;) {
+        ModuleItem item(ModuleItem::Kind::Net);
+        auto n = std::make_unique<NetDecl>();
+        n->kind = kind;
+        n->loc = peek().loc;
+        if (packed) n->packed = Range{cloneExpr(*packed->msb), cloneExpr(*packed->lsb)};
+        n->name = expect(TokenKind::Identifier, "net name").text;
+        n->unpacked = tryParseRange();
+        if (accept(TokenKind::Eq)) n->init = parseExpr();
+        item.net = std::move(n);
+        items.push_back(std::move(item));
+        if (!accept(TokenKind::Comma)) break;
+    }
+    expect(TokenKind::Semi, "';' after net declaration");
+}
+
+ModuleItem Parser::parseContAssign() {
+    expect(TokenKind::KwAssign, "'assign'");
+    ModuleItem item(ModuleItem::Kind::ContAssign);
+    auto a = std::make_unique<ContAssign>();
+    a->loc = peek().loc;
+    a->lhs = parseExpr();
+    expect(TokenKind::Eq, "'=' in continuous assignment");
+    a->rhs = parseExpr();
+    expect(TokenKind::Semi, "';' after assignment");
+    item.contAssign = std::move(a);
+    return item;
+}
+
+ModuleItem Parser::parseAlways(TokenKind introducer) {
+    ModuleItem item(ModuleItem::Kind::Always);
+    auto blk = std::make_unique<AlwaysBlock>();
+    blk->loc = peek().loc;
+
+    bool needsSensitivity = introducer == TokenKind::KwAlways || introducer == TokenKind::KwAlwaysFF;
+    blk->kind = AlwaysBlock::Kind::Comb;
+    if (needsSensitivity) {
+        expect(TokenKind::At, "'@' after always");
+        if (accept(TokenKind::Star)) {
+            blk->kind = AlwaysBlock::Kind::Comb;
+        } else {
+            expect(TokenKind::LParen, "'(' in sensitivity list");
+            if (accept(TokenKind::Star)) {
+                blk->kind = AlwaysBlock::Kind::Comb;
+            } else {
+                blk->kind = AlwaysBlock::Kind::FF;
+                bool posedge = true;
+                if (accept(TokenKind::KwPosedge))
+                    posedge = true;
+                else if (accept(TokenKind::KwNegedge))
+                    posedge = false;
+                else
+                    error("expected edge in sensitivity list");
+                blk->clockPosedge = posedge;
+                blk->clockSignal = expect(TokenKind::Identifier, "clock signal").text;
+                if (accept(TokenKind::KwOr) || accept(TokenKind::Comma)) {
+                    bool rstNegedge = true;
+                    if (accept(TokenKind::KwNegedge))
+                        rstNegedge = true;
+                    else if (accept(TokenKind::KwPosedge))
+                        rstNegedge = false;
+                    else
+                        error("expected edge for reset in sensitivity list");
+                    blk->asyncResetNegedge = rstNegedge;
+                    blk->asyncResetSignal = expect(TokenKind::Identifier, "reset signal").text;
+                }
+            }
+            expect(TokenKind::RParen, "')' closing sensitivity list");
+        }
+    }
+    blk->body = parseStmt();
+    item.always = std::move(blk);
+    return item;
+}
+
+ModuleItem Parser::parseInstance() {
+    ModuleItem item(ModuleItem::Kind::Instance);
+    auto inst = std::make_unique<Instance>();
+    inst->loc = peek().loc;
+    inst->moduleName = expect(TokenKind::Identifier, "module name").text;
+    if (accept(TokenKind::Hash)) {
+        expect(TokenKind::LParen, "'(' after '#'");
+        for (;;) {
+            NamedConnection conn;
+            conn.loc = peek().loc;
+            if (accept(TokenKind::Dot)) {
+                conn.name = expect(TokenKind::Identifier, "parameter name").text;
+                expect(TokenKind::LParen, "'('");
+                if (!at(TokenKind::RParen)) conn.expr = parseExpr();
+                expect(TokenKind::RParen, "')'");
+            } else {
+                conn.expr = parseExpr(); // Positional.
+            }
+            inst->paramAssigns.push_back(std::move(conn));
+            if (!accept(TokenKind::Comma)) break;
+        }
+        expect(TokenKind::RParen, "')' closing parameter assignment");
+    }
+    inst->instName = expect(TokenKind::Identifier, "instance name").text;
+    expect(TokenKind::LParen, "'(' opening port connections");
+    if (!at(TokenKind::RParen)) {
+        for (;;) {
+            if (accept(TokenKind::Dot)) {
+                if (accept(TokenKind::Star)) {
+                    inst->wildcardPorts = true;
+                } else {
+                    NamedConnection conn;
+                    conn.loc = peek().loc;
+                    conn.name = expect(TokenKind::Identifier, "port name").text;
+                    expect(TokenKind::LParen, "'('");
+                    if (!at(TokenKind::RParen)) conn.expr = parseExpr();
+                    expect(TokenKind::RParen, "')'");
+                    inst->portAssigns.push_back(std::move(conn));
+                }
+            } else {
+                NamedConnection conn;
+                conn.loc = peek().loc;
+                conn.expr = parseExpr(); // Positional.
+                inst->portAssigns.push_back(std::move(conn));
+            }
+            if (!accept(TokenKind::Comma)) break;
+        }
+    }
+    expect(TokenKind::RParen, "')' closing port connections");
+    expect(TokenKind::Semi, "';' after instance");
+    item.instance = std::move(inst);
+    return item;
+}
+
+ModuleItem Parser::parseAssertion(std::string label) {
+    ModuleItem item(ModuleItem::Kind::Assertion);
+    auto a = std::make_unique<AssertionItem>();
+    a->label = std::move(label);
+    a->loc = peek().loc;
+    switch (consume().kind) {
+    case TokenKind::KwAssert: a->kind = AssertionKind::Assert; break;
+    case TokenKind::KwAssume: a->kind = AssertionKind::Assume; break;
+    case TokenKind::KwCover: a->kind = AssertionKind::Cover; break;
+    case TokenKind::KwRestrict: a->kind = AssertionKind::Restrict; break;
+    default: error("expected assertion kind");
+    }
+    expect(TokenKind::KwProperty, "'property'");
+    expect(TokenKind::LParen, "'(' opening property");
+    if (accept(TokenKind::At)) {
+        expect(TokenKind::LParen, "'(' after '@'");
+        accept(TokenKind::KwPosedge) || accept(TokenKind::KwNegedge);
+        a->clockSignal = expect(TokenKind::Identifier, "clock signal").text;
+        expect(TokenKind::RParen, "')'");
+    }
+    if (accept(TokenKind::KwDisable)) {
+        expect(TokenKind::KwIff, "'iff'");
+        expect(TokenKind::LParen, "'(' after 'disable iff'");
+        a->disableExpr = parseExpr();
+        expect(TokenKind::RParen, "')'");
+    }
+    a->prop = parsePropExpr();
+    expect(TokenKind::RParen, "')' closing property");
+    expect(TokenKind::Semi, "';' after assertion");
+    item.assertion = std::move(a);
+    return item;
+}
+
+void Parser::parseDefaultClocking(Module& mod) {
+    expect(TokenKind::KwClocking, "'clocking'");
+    // `default clocking cb @(posedge clk); endclocking` or
+    // `default clocking @(posedge clk);`
+    if (at(TokenKind::Identifier)) consume(); // Clocking block name.
+    expect(TokenKind::At, "'@'");
+    expect(TokenKind::LParen, "'('");
+    accept(TokenKind::KwPosedge) || accept(TokenKind::KwNegedge);
+    mod.defaultClock = expect(TokenKind::Identifier, "clock signal").text;
+    expect(TokenKind::RParen, "')'");
+    expect(TokenKind::Semi, "';'");
+    if (accept(TokenKind::KwEndclocking)) {
+        // Optional `endclocking` with no body.
+    }
+}
+
+void Parser::parseDefaultDisable(Module& mod) {
+    expect(TokenKind::KwDisable, "'disable'");
+    expect(TokenKind::KwIff, "'iff'");
+    expect(TokenKind::LParen, "'('");
+    mod.defaultDisable = parseExpr();
+    expect(TokenKind::RParen, "')'");
+    expect(TokenKind::Semi, "';'");
+}
+
+BindDirective Parser::parseBind() {
+    BindDirective bind;
+    bind.loc = peek().loc;
+    expect(TokenKind::KwBind, "'bind'");
+    bind.targetModule = expect(TokenKind::Identifier, "target module name").text;
+    bind.boundModule = expect(TokenKind::Identifier, "bound module name").text;
+    bind.instName = expect(TokenKind::Identifier, "instance name").text;
+    expect(TokenKind::LParen, "'(' opening bind connections");
+    if (!at(TokenKind::RParen)) {
+        for (;;) {
+            expect(TokenKind::Dot, "'.' in bind connection");
+            if (accept(TokenKind::Star)) {
+                bind.wildcardPorts = true;
+            } else {
+                NamedConnection conn;
+                conn.loc = peek().loc;
+                conn.name = expect(TokenKind::Identifier, "port name").text;
+                expect(TokenKind::LParen, "'('");
+                if (!at(TokenKind::RParen)) conn.expr = parseExpr();
+                expect(TokenKind::RParen, "')'");
+                bind.portAssigns.push_back(std::move(conn));
+            }
+            if (!accept(TokenKind::Comma)) break;
+        }
+    }
+    expect(TokenKind::RParen, "')' closing bind connections");
+    expect(TokenKind::Semi, "';' after bind");
+    return bind;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parseStmt() {
+    if (accept(TokenKind::KwBegin)) {
+        accept(TokenKind::Colon) && (expect(TokenKind::Identifier, "block label"), true);
+        auto blk = std::make_unique<Stmt>(Stmt::Kind::Block);
+        blk->loc = peek().loc;
+        while (!at(TokenKind::KwEnd) && !at(TokenKind::EndOfFile)) blk->stmts.push_back(parseStmt());
+        expect(TokenKind::KwEnd, "'end'");
+        accept(TokenKind::Colon) && (expect(TokenKind::Identifier, "block label"), true);
+        return blk;
+    }
+    if (accept(TokenKind::KwIf)) {
+        auto s = std::make_unique<Stmt>(Stmt::Kind::If);
+        s->loc = peek().loc;
+        expect(TokenKind::LParen, "'(' after 'if'");
+        s->cond = parseExpr();
+        expect(TokenKind::RParen, "')' closing condition");
+        s->thenStmt = parseStmt();
+        if (accept(TokenKind::KwElse)) s->elseStmt = parseStmt();
+        return s;
+    }
+    if (at(TokenKind::KwCase) || at(TokenKind::KwCasez) || at(TokenKind::KwCasex)) {
+        bool isCasez = !at(TokenKind::KwCase);
+        consume();
+        return parseCase(isCasez);
+    }
+    if (accept(TokenKind::Semi)) {
+        return std::make_unique<Stmt>(Stmt::Kind::Null);
+    }
+    // Assignment: lhs (= | <=) rhs ;
+    // The LHS must be parsed as an lvalue (primary/select/concat), not a
+    // full expression: otherwise `q <= 1'b0` lexes `<=` as less-or-equal.
+    auto s = std::make_unique<Stmt>(Stmt::Kind::Assign);
+    s->loc = peek().loc;
+    s->lhs = parsePostfix(parsePrimary());
+    if (accept(TokenKind::LtEq)) {
+        s->nonBlocking = true;
+    } else {
+        expect(TokenKind::Eq, "'=' or '<=' in assignment");
+        s->nonBlocking = false;
+    }
+    s->rhs = parseExpr();
+    expect(TokenKind::Semi, "';' after assignment");
+    return s;
+}
+
+StmtPtr Parser::parseCase(bool isCasez) {
+    auto s = std::make_unique<Stmt>(Stmt::Kind::Case);
+    s->loc = peek().loc;
+    s->isCasez = isCasez;
+    expect(TokenKind::LParen, "'(' after 'case'");
+    s->subject = parseExpr();
+    expect(TokenKind::RParen, "')' closing case subject");
+    while (!at(TokenKind::KwEndcase) && !at(TokenKind::EndOfFile)) {
+        Stmt::CaseItem item;
+        if (accept(TokenKind::KwDefault)) {
+            accept(TokenKind::Colon);
+        } else {
+            for (;;) {
+                item.labels.push_back(parseExpr());
+                if (!accept(TokenKind::Comma)) break;
+            }
+            expect(TokenKind::Colon, "':' after case labels");
+        }
+        item.body = parseStmt();
+        s->caseItems.push_back(std::move(item));
+    }
+    expect(TokenKind::KwEndcase, "'endcase'");
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// SVA properties
+// ---------------------------------------------------------------------------
+
+PropExprPtr Parser::parsePropExpr() {
+    if (accept(TokenKind::KwSEventually)) {
+        auto p = std::make_unique<PropExpr>(PropExpr::Kind::Eventually);
+        p->loc = peek().loc;
+        bool paren = accept(TokenKind::LParen);
+        p->rhsProp = parsePropExpr();
+        if (paren) expect(TokenKind::RParen, "')' closing s_eventually");
+        return p;
+    }
+    if (accept(TokenKind::KwNot)) {
+        auto p = std::make_unique<PropExpr>(PropExpr::Kind::Not);
+        p->loc = peek().loc;
+        p->rhsProp = parsePropExpr();
+        return p;
+    }
+    if (at(TokenKind::HashHash)) {
+        consume();
+        auto p = std::make_unique<PropExpr>(PropExpr::Kind::Next);
+        p->loc = peek().loc;
+        p->delay = static_cast<int>(expect(TokenKind::Number, "delay count").intValue);
+        p->rhsProp = parsePropExpr();
+        return p;
+    }
+
+    // Boolean expression, possibly the antecedent of an implication. Handle
+    // the paren ambiguity `(a |-> b)` vs `(a && b) |-> c` by backtracking.
+    size_t snapshot = cursor_;
+    ExprPtr boolean;
+    try {
+        boolean = parseExpr();
+    } catch (const FrontendError&) {
+        cursor_ = snapshot;
+        expect(TokenKind::LParen, "'(' opening property");
+        auto inner = parsePropExpr();
+        expect(TokenKind::RParen, "')' closing property");
+        return inner;
+    }
+
+    if (at(TokenKind::OverlapImpl) || at(TokenKind::NonOverlapImpl)) {
+        bool overlapping = consume().kind == TokenKind::OverlapImpl;
+        auto p = std::make_unique<PropExpr>(PropExpr::Kind::Implication);
+        p->loc = boolean->loc;
+        p->boolean = std::move(boolean);
+        p->overlapping = overlapping;
+        p->rhsProp = parsePropExpr();
+        return p;
+    }
+    auto p = std::make_unique<PropExpr>(PropExpr::Kind::Boolean);
+    p->loc = boolean->loc;
+    p->boolean = std::move(boolean);
+    return p;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Binary operator precedence (higher binds tighter), and mapping from
+/// tokens; returns -1 for non-operators.
+int binaryPrec(TokenKind kind) {
+    switch (kind) {
+    case TokenKind::PipePipe: return 1;
+    case TokenKind::AmpAmp: return 2;
+    case TokenKind::Pipe: return 3;
+    case TokenKind::Caret:
+    case TokenKind::TildeCaret: return 4;
+    case TokenKind::Amp: return 5;
+    case TokenKind::EqEq:
+    case TokenKind::BangEq: return 6;
+    case TokenKind::Lt:
+    case TokenKind::LtEq:
+    case TokenKind::Gt:
+    case TokenKind::GtEq: return 7;
+    case TokenKind::LtLt:
+    case TokenKind::GtGt: return 8;
+    case TokenKind::Plus:
+    case TokenKind::Minus: return 9;
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent: return 10;
+    default: return -1;
+    }
+}
+
+BinaryOp binaryOpFor(TokenKind kind) {
+    switch (kind) {
+    case TokenKind::PipePipe: return BinaryOp::LogicOr;
+    case TokenKind::AmpAmp: return BinaryOp::LogicAnd;
+    case TokenKind::Pipe: return BinaryOp::Or;
+    case TokenKind::Caret: return BinaryOp::Xor;
+    case TokenKind::TildeCaret: return BinaryOp::Xnor;
+    case TokenKind::Amp: return BinaryOp::And;
+    case TokenKind::EqEq: return BinaryOp::Eq;
+    case TokenKind::BangEq: return BinaryOp::Ne;
+    case TokenKind::Lt: return BinaryOp::Lt;
+    case TokenKind::LtEq: return BinaryOp::Le;
+    case TokenKind::Gt: return BinaryOp::Gt;
+    case TokenKind::GtEq: return BinaryOp::Ge;
+    case TokenKind::LtLt: return BinaryOp::Shl;
+    case TokenKind::GtGt: return BinaryOp::Shr;
+    case TokenKind::Plus: return BinaryOp::Add;
+    case TokenKind::Minus: return BinaryOp::Sub;
+    case TokenKind::Star: return BinaryOp::Mul;
+    case TokenKind::Slash: return BinaryOp::Div;
+    case TokenKind::Percent: return BinaryOp::Mod;
+    default: return BinaryOp::Add;
+    }
+}
+
+} // namespace
+
+ExprPtr Parser::parseExpr() { return parseTernary(); }
+
+ExprPtr Parser::parseTernary() {
+    ExprPtr cond = parseBinary(1);
+    if (!accept(TokenKind::Question)) return cond;
+    auto e = std::make_unique<Expr>(Expr::Kind::Ternary);
+    e->loc = cond->loc;
+    ExprPtr thenExpr = parseTernary();
+    expect(TokenKind::Colon, "':' in ternary");
+    ExprPtr elseExpr = parseTernary();
+    e->operands.push_back(std::move(cond));
+    e->operands.push_back(std::move(thenExpr));
+    e->operands.push_back(std::move(elseExpr));
+    return e;
+}
+
+ExprPtr Parser::parseBinary(int minPrec) {
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+        int prec = binaryPrec(peek().kind);
+        if (prec < minPrec) return lhs;
+        TokenKind opKind = consume().kind;
+        ExprPtr rhs = parseBinary(prec + 1);
+        auto e = std::make_unique<Expr>(Expr::Kind::Binary);
+        e->loc = lhs->loc;
+        e->binaryOp = binaryOpFor(opKind);
+        e->operands.push_back(std::move(lhs));
+        e->operands.push_back(std::move(rhs));
+        lhs = std::move(e);
+    }
+}
+
+ExprPtr Parser::parseUnary() {
+    auto makeUnary = [&](UnaryOp op) {
+        auto e = std::make_unique<Expr>(Expr::Kind::Unary);
+        e->loc = peek().loc;
+        e->unaryOp = op;
+        e->operands.push_back(parseUnary());
+        return e;
+    };
+    switch (peek().kind) {
+    case TokenKind::Plus: consume(); return makeUnary(UnaryOp::Plus);
+    case TokenKind::Minus: consume(); return makeUnary(UnaryOp::Minus);
+    case TokenKind::Bang: consume(); return makeUnary(UnaryOp::LogicNot);
+    case TokenKind::Tilde:
+        consume();
+        if (accept(TokenKind::Amp)) return makeUnary(UnaryOp::RedNand);
+        if (accept(TokenKind::Pipe)) return makeUnary(UnaryOp::RedNor);
+        return makeUnary(UnaryOp::BitNot);
+    case TokenKind::TildeCaret: consume(); return makeUnary(UnaryOp::RedXnor);
+    case TokenKind::Amp: consume(); return makeUnary(UnaryOp::RedAnd);
+    case TokenKind::Pipe: consume(); return makeUnary(UnaryOp::RedOr);
+    case TokenKind::Caret: consume(); return makeUnary(UnaryOp::RedXor);
+    default: return parsePostfix(parsePrimary());
+    }
+}
+
+ExprPtr Parser::parsePrimary() {
+    const Token& tok = peek();
+    switch (tok.kind) {
+    case TokenKind::Number: {
+        consume();
+        auto e = std::make_unique<Expr>(Expr::Kind::Number);
+        e->loc = tok.loc;
+        e->intValue = tok.intValue;
+        e->numWidth = tok.numWidth;
+        e->isUnbasedUnsized = tok.isUnbasedUnsized;
+        e->hasUnknownBits = tok.hasUnknownBits;
+        return e;
+    }
+    case TokenKind::Identifier: {
+        consume();
+        auto e = makeIdent(tok.text, tok.loc);
+        return e;
+    }
+    case TokenKind::SystemIdent: {
+        consume();
+        auto e = std::make_unique<Expr>(Expr::Kind::Call);
+        e->loc = tok.loc;
+        e->name = tok.text;
+        if (accept(TokenKind::LParen)) {
+            if (!at(TokenKind::RParen)) {
+                for (;;) {
+                    e->operands.push_back(parseExpr());
+                    if (!accept(TokenKind::Comma)) break;
+                }
+            }
+            expect(TokenKind::RParen, "')' closing call");
+        }
+        return e;
+    }
+    case TokenKind::LParen: {
+        consume();
+        ExprPtr inner = parseExpr();
+        expect(TokenKind::RParen, "')' closing parenthesized expression");
+        return inner;
+    }
+    case TokenKind::LBrace: {
+        consume();
+        ExprPtr first = parseExpr();
+        if (at(TokenKind::LBrace)) {
+            // Replication {N{expr}}.
+            consume();
+            auto e = std::make_unique<Expr>(Expr::Kind::Replicate);
+            e->loc = tok.loc;
+            ExprPtr body = parseExpr();
+            expect(TokenKind::RBrace, "'}' closing replication body");
+            expect(TokenKind::RBrace, "'}' closing replication");
+            e->operands.push_back(std::move(first));
+            e->operands.push_back(std::move(body));
+            return e;
+        }
+        auto e = std::make_unique<Expr>(Expr::Kind::Concat);
+        e->loc = tok.loc;
+        e->operands.push_back(std::move(first));
+        while (accept(TokenKind::Comma)) e->operands.push_back(parseExpr());
+        expect(TokenKind::RBrace, "'}' closing concatenation");
+        return e;
+    }
+    default:
+        throw FrontendError(tok.loc, std::string("expected expression but found ") +
+                                         tokenKindName(tok.kind));
+    }
+}
+
+ExprPtr Parser::parsePostfix(ExprPtr base) {
+    for (;;) {
+        if (at(TokenKind::LBracket)) {
+            consume();
+            ExprPtr first = parseExpr();
+            if (accept(TokenKind::Colon)) {
+                auto e = std::make_unique<Expr>(Expr::Kind::Range);
+                e->loc = base->loc;
+                ExprPtr lsb = parseExpr();
+                expect(TokenKind::RBracket, "']' closing part select");
+                e->operands.push_back(std::move(base));
+                e->operands.push_back(std::move(first));
+                e->operands.push_back(std::move(lsb));
+                base = std::move(e);
+            } else if (accept(TokenKind::PlusColon)) {
+                // a[i +: W] — normalized later by the elaborator.
+                auto e = std::make_unique<Expr>(Expr::Kind::Call);
+                e->loc = base->loc;
+                e->name = "$partselect_up";
+                ExprPtr width = parseExpr();
+                expect(TokenKind::RBracket, "']' closing indexed part select");
+                e->operands.push_back(std::move(base));
+                e->operands.push_back(std::move(first));
+                e->operands.push_back(std::move(width));
+                base = std::move(e);
+            } else {
+                auto e = std::make_unique<Expr>(Expr::Kind::Index);
+                e->loc = base->loc;
+                expect(TokenKind::RBracket, "']' closing bit select");
+                e->operands.push_back(std::move(base));
+                e->operands.push_back(std::move(first));
+                base = std::move(e);
+            }
+        } else {
+            return base;
+        }
+    }
+}
+
+} // namespace autosva::verilog

@@ -1,0 +1,69 @@
+// Recursive-descent parser for the SystemVerilog subset (module structure,
+// procedural statements, expressions, SVA assertions, bind directives).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verilog/ast.hpp"
+#include "verilog/token.hpp"
+
+namespace autosva::verilog {
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens);
+
+    /// Parses a whole compilation unit. Throws util::FrontendError.
+    [[nodiscard]] SourceFile parseFile();
+
+    /// Convenience: lex + parse a source buffer.
+    [[nodiscard]] static SourceFile parseSource(std::string_view text, std::string bufferName);
+
+    /// Parses a standalone expression (used by the AutoSVA annotation parser
+    /// for the right-hand sides of attribute definitions).
+    [[nodiscard]] static ExprPtr parseExpression(std::string_view text, std::string bufferName);
+
+private:
+    // Token stream helpers.
+    [[nodiscard]] const Token& peek(size_t off = 0) const;
+    [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+    const Token& consume();
+    const Token& expect(TokenKind kind, const char* what);
+    bool accept(TokenKind kind);
+    [[noreturn]] void error(const std::string& message) const;
+
+    // Grammar productions.
+    std::unique_ptr<Module> parseModule();
+    void parseHeaderParams(Module& mod);
+    void parsePortList(Module& mod);
+    void parseModuleItems(Module& mod);
+    void parseParamDecl(Module& mod, bool isLocal);
+    void parseNetDecl(std::vector<ModuleItem>& items, NetKind kind);
+    ModuleItem parseContAssign();
+    ModuleItem parseAlways(TokenKind introducer);
+    ModuleItem parseInstance();
+    ModuleItem parseAssertion(std::string label);
+    void parseDefaultClocking(Module& mod);
+    void parseDefaultDisable(Module& mod);
+    BindDirective parseBind();
+
+    std::optional<Range> tryParseRange();
+    StmtPtr parseStmt();
+    StmtPtr parseCase(bool isCasez);
+
+    PropExprPtr parsePropExpr();
+
+    ExprPtr parseExpr();
+    ExprPtr parseTernary();
+    ExprPtr parseBinary(int minPrec);
+    ExprPtr parseUnary();
+    ExprPtr parsePrimary();
+    ExprPtr parsePostfix(ExprPtr base);
+
+    std::vector<Token> tokens_;
+    size_t cursor_ = 0;
+};
+
+} // namespace autosva::verilog

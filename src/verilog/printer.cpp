@@ -1,0 +1,231 @@
+#include "verilog/printer.hpp"
+
+namespace autosva::verilog {
+
+namespace {
+
+std::string pad(int indent) { return std::string(static_cast<size_t>(indent), ' '); }
+
+std::string printRange(const std::optional<Range>& range) {
+    if (!range) return "";
+    return "[" + exprToString(*range->msb) + ":" + exprToString(*range->lsb) + "] ";
+}
+
+const char* netKindName(NetKind kind) {
+    switch (kind) {
+    case NetKind::Wire: return "wire";
+    case NetKind::Reg: return "reg";
+    case NetKind::Logic: return "logic";
+    }
+    return "wire";
+}
+
+const char* dirName(PortDir dir) {
+    switch (dir) {
+    case PortDir::Input: return "input";
+    case PortDir::Output: return "output";
+    case PortDir::Inout: return "inout";
+    }
+    return "input";
+}
+
+} // namespace
+
+std::string printPropExpr(const PropExpr& prop) {
+    switch (prop.kind) {
+    case PropExpr::Kind::Boolean:
+        return exprToString(*prop.boolean);
+    case PropExpr::Kind::Implication:
+        return exprToString(*prop.boolean) + (prop.overlapping ? " |-> " : " |=> ") +
+               printPropExpr(*prop.rhsProp);
+    case PropExpr::Kind::Eventually:
+        return "s_eventually (" + printPropExpr(*prop.rhsProp) + ")";
+    case PropExpr::Kind::Next:
+        return "##" + std::to_string(prop.delay) + " " + printPropExpr(*prop.rhsProp);
+    case PropExpr::Kind::Not:
+        return "not (" + printPropExpr(*prop.rhsProp) + ")";
+    }
+    return "?";
+}
+
+std::string printStmt(const Stmt& stmt, int indent) {
+    switch (stmt.kind) {
+    case Stmt::Kind::Null:
+        return pad(indent) + ";\n";
+    case Stmt::Kind::Block: {
+        std::string out = pad(indent) + "begin\n";
+        for (const auto& s : stmt.stmts) out += printStmt(*s, indent + 2);
+        out += pad(indent) + "end\n";
+        return out;
+    }
+    case Stmt::Kind::Assign:
+        return pad(indent) + exprToString(*stmt.lhs) + (stmt.nonBlocking ? " <= " : " = ") +
+               exprToString(*stmt.rhs) + ";\n";
+    case Stmt::Kind::If: {
+        std::string out = pad(indent) + "if (" + exprToString(*stmt.cond) + ")\n";
+        out += stmt.thenStmt ? printStmt(*stmt.thenStmt, indent + 2) : pad(indent + 2) + ";\n";
+        if (stmt.elseStmt) {
+            out += pad(indent) + "else\n";
+            out += printStmt(*stmt.elseStmt, indent + 2);
+        }
+        return out;
+    }
+    case Stmt::Kind::Case: {
+        std::string out = pad(indent) + (stmt.isCasez ? "casez (" : "case (") +
+                          exprToString(*stmt.subject) + ")\n";
+        for (const auto& item : stmt.caseItems) {
+            if (item.labels.empty()) {
+                out += pad(indent + 2) + "default:\n";
+            } else {
+                std::string labels;
+                for (size_t i = 0; i < item.labels.size(); ++i) {
+                    if (i) labels += ", ";
+                    labels += exprToString(*item.labels[i]);
+                }
+                out += pad(indent + 2) + labels + ":\n";
+            }
+            out += item.body ? printStmt(*item.body, indent + 4) : pad(indent + 4) + ";\n";
+        }
+        out += pad(indent) + "endcase\n";
+        return out;
+    }
+    }
+    return "";
+}
+
+std::string printModule(const Module& mod) {
+    std::string out = "module " + mod.name;
+    if (!mod.params.empty()) {
+        out += " #(\n";
+        for (size_t i = 0; i < mod.params.size(); ++i) {
+            out += "  parameter " + printRange(mod.params[i].packed) + mod.params[i].name +
+                   " = " + exprToString(*mod.params[i].value);
+            out += i + 1 < mod.params.size() ? ",\n" : "\n";
+        }
+        out += ")";
+    }
+    if (!mod.ports.empty()) {
+        out += " (\n";
+        for (size_t i = 0; i < mod.ports.size(); ++i) {
+            const Port& p = mod.ports[i];
+            out += std::string("  ") + dirName(p.dir) + " " + netKindName(p.netKind) + " " +
+                   printRange(p.packed) + p.name;
+            out += i + 1 < mod.ports.size() ? ",\n" : "\n";
+        }
+        out += ")";
+    }
+    out += ";\n";
+
+    if (mod.defaultClock)
+        out += "  default clocking cb @(posedge " + *mod.defaultClock + "); endclocking\n";
+    if (mod.defaultDisable)
+        out += "  default disable iff (" + exprToString(*mod.defaultDisable) + ");\n";
+
+    for (const auto& item : mod.items) {
+        switch (item.kind) {
+        case ModuleItem::Kind::Param:
+            out += std::string("  ") + (item.param->isLocal ? "localparam " : "parameter ") +
+                   item.param->name + " = " + exprToString(*item.param->value) + ";\n";
+            break;
+        case ModuleItem::Kind::Net: {
+            const NetDecl& n = *item.net;
+            out += std::string("  ") + netKindName(n.kind) + " " + printRange(n.packed) + n.name;
+            if (n.unpacked)
+                out += " [" + exprToString(*n.unpacked->msb) + ":" +
+                       exprToString(*n.unpacked->lsb) + "]";
+            if (n.init) out += " = " + exprToString(*n.init);
+            out += ";\n";
+            break;
+        }
+        case ModuleItem::Kind::ContAssign:
+            out += "  assign " + exprToString(*item.contAssign->lhs) + " = " +
+                   exprToString(*item.contAssign->rhs) + ";\n";
+            break;
+        case ModuleItem::Kind::Always: {
+            const AlwaysBlock& blk = *item.always;
+            if (blk.kind == AlwaysBlock::Kind::Comb) {
+                out += "  always_comb\n";
+            } else {
+                out += "  always_ff @(" + std::string(blk.clockPosedge ? "posedge " : "negedge ") +
+                       blk.clockSignal;
+                if (blk.asyncResetSignal)
+                    out += std::string(" or ") + (blk.asyncResetNegedge ? "negedge " : "posedge ") +
+                           *blk.asyncResetSignal;
+                out += ")\n";
+            }
+            out += printStmt(*blk.body, 2);
+            break;
+        }
+        case ModuleItem::Kind::Instance: {
+            const Instance& inst = *item.instance;
+            out += "  " + inst.moduleName;
+            if (!inst.paramAssigns.empty()) {
+                out += " #(";
+                for (size_t i = 0; i < inst.paramAssigns.size(); ++i) {
+                    if (i) out += ", ";
+                    const auto& pa = inst.paramAssigns[i];
+                    if (!pa.name.empty())
+                        out += "." + pa.name + "(" + (pa.expr ? exprToString(*pa.expr) : "") + ")";
+                    else if (pa.expr)
+                        out += exprToString(*pa.expr);
+                }
+                out += ")";
+            }
+            out += " " + inst.instName + " (";
+            for (size_t i = 0; i < inst.portAssigns.size(); ++i) {
+                if (i) out += ", ";
+                const auto& pa = inst.portAssigns[i];
+                if (!pa.name.empty())
+                    out += "." + pa.name + "(" + (pa.expr ? exprToString(*pa.expr) : "") + ")";
+                else if (pa.expr)
+                    out += exprToString(*pa.expr);
+            }
+            if (inst.wildcardPorts) out += inst.portAssigns.empty() ? ".*" : ", .*";
+            out += ");\n";
+            break;
+        }
+        case ModuleItem::Kind::Assertion: {
+            const AssertionItem& a = *item.assertion;
+            out += "  ";
+            if (!a.label.empty()) out += a.label + ": ";
+            switch (a.kind) {
+            case AssertionKind::Assert: out += "assert"; break;
+            case AssertionKind::Assume: out += "assume"; break;
+            case AssertionKind::Cover: out += "cover"; break;
+            case AssertionKind::Restrict: out += "restrict"; break;
+            }
+            out += " property (";
+            if (a.clockSignal) out += "@(posedge " + *a.clockSignal + ") ";
+            if (a.disableExpr) out += "disable iff (" + exprToString(*a.disableExpr) + ") ";
+            out += printPropExpr(*a.prop) + ");\n";
+            break;
+        }
+        case ModuleItem::Kind::GenFor:
+            break; // Not supported by the frontend subset.
+        }
+    }
+    out += "endmodule\n";
+    return out;
+}
+
+std::string printSourceFile(const SourceFile& file) {
+    std::string out;
+    for (const auto& mod : file.modules) {
+        out += printModule(*mod);
+        out += "\n";
+    }
+    for (const auto& bind : file.binds) {
+        out += "bind " + bind.targetModule + " " + bind.boundModule + " " + bind.instName + " (";
+        for (size_t i = 0; i < bind.portAssigns.size(); ++i) {
+            if (i) out += ", ";
+            out += "." + bind.portAssigns[i].name + "(" +
+                   (bind.portAssigns[i].expr ? exprToString(*bind.portAssigns[i].expr) : "") +
+                   ")";
+        }
+        if (bind.wildcardPorts) out += bind.portAssigns.empty() ? ".*" : ", .*";
+        out += ");\n";
+    }
+    return out;
+}
+
+} // namespace autosva::verilog

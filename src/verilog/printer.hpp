@@ -1,0 +1,16 @@
+// AST -> normalized SystemVerilog text. Used for golden tests (round-trip
+// parse -> print -> parse) and for dumping elaborately-generated modules.
+#pragma once
+
+#include <string>
+
+#include "verilog/ast.hpp"
+
+namespace autosva::verilog {
+
+[[nodiscard]] std::string printModule(const Module& mod);
+[[nodiscard]] std::string printSourceFile(const SourceFile& file);
+[[nodiscard]] std::string printStmt(const Stmt& stmt, int indent);
+[[nodiscard]] std::string printPropExpr(const PropExpr& prop);
+
+} // namespace autosva::verilog

@@ -1,0 +1,57 @@
+// Token definitions for the SystemVerilog-subset lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/source_loc.hpp"
+
+namespace autosva::verilog {
+
+enum class TokenKind {
+    EndOfFile,
+    Identifier,
+    SystemIdent, // $stable, $past, ...
+    Number,
+    String,
+
+    // Keywords.
+    KwModule, KwEndmodule, KwInput, KwOutput, KwInout,
+    KwWire, KwReg, KwLogic, KwInteger, KwGenvar,
+    KwParameter, KwLocalparam, KwAssign,
+    KwAlways, KwAlwaysFF, KwAlwaysComb, KwAlwaysLatch,
+    KwPosedge, KwNegedge, KwOr, KwIf, KwElse,
+    KwCase, KwCasez, KwCasex, KwEndcase, KwDefault,
+    KwBegin, KwEnd, KwSigned, KwUnsigned,
+    KwAssert, KwAssume, KwCover, KwRestrict, KwProperty,
+    KwClocking, KwEndclocking, KwDisable, KwIff,
+    KwSEventually, KwSUntil, KwNot, KwBind, KwInitial,
+    KwGenerate, KwEndgenerate, KwFor, KwFunction, KwEndfunction,
+
+    // Punctuation / operators.
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Semi, Colon, Comma, Dot, Hash, HashHash, At, Question,
+    Plus, Minus, Star, Slash, Percent,
+    Bang, Tilde, Amp, Pipe, Caret, TildeCaret,
+    AmpAmp, PipePipe,
+    EqEq, BangEq, Lt, LtEq, Gt, GtEq, LtLt, GtGt,
+    Eq, PlusColon,
+    OverlapImpl,    // |->
+    NonOverlapImpl, // |=>
+};
+
+[[nodiscard]] const char* tokenKindName(TokenKind kind);
+
+struct Token {
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;           ///< Identifier/system-ident/string spelling.
+    uint64_t intValue = 0;      ///< For Number tokens.
+    int numWidth = 0;           ///< Declared width of a based literal; 0 = unsized.
+    bool isUnbasedUnsized = false; ///< '0 / '1 literal (stretches to context width).
+    bool hasUnknownBits = false;   ///< Literal contained x/z digits.
+    util::SourceLoc loc;
+
+    [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+};
+
+} // namespace autosva::verilog

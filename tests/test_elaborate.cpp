@@ -1,0 +1,304 @@
+// Elaborator unit tests: IR construction, procedural lowering, hierarchy,
+// memories, binds, and assertion lowering.
+#include <gtest/gtest.h>
+
+#include "rtlir/elaborate.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace autosva;
+using ir::Design;
+
+std::unique_ptr<Design> elab(const std::string& src, const std::string& top,
+                             ir::ElabOptions opts = {}) {
+    util::DiagEngine diags;
+    return ir::elaborateSources({src}, top, diags, opts);
+}
+
+TEST(Elaborate, PortsBecomeInputsAndNamedSignals) {
+    auto d = elab("module m (input wire [3:0] a, output wire [3:0] y); assign y = a; endmodule",
+                  "m");
+    ir::NodeId a = d->findSignal("a");
+    ASSERT_NE(a, ir::kInvalidNode);
+    EXPECT_EQ(d->node(a).op, ir::Op::Input);
+    EXPECT_EQ(d->node(a).width, 4);
+    ir::NodeId y = d->findSignal("y");
+    ASSERT_NE(y, ir::kInvalidNode);
+    EXPECT_EQ(d->node(y).op, ir::Op::Buf);
+}
+
+TEST(Elaborate, ParameterArithmetic) {
+    auto d = elab(R"(
+module m #(parameter W = 4, parameter D = W * 2) (
+  input wire [W-1:0] a,
+  output wire [D-1:0] y
+);
+  assign y = {a, a};
+endmodule)",
+                  "m");
+    EXPECT_EQ(d->node(d->findSignal("y")).width, 8);
+}
+
+TEST(Elaborate, ParameterOverride) {
+    ir::ElabOptions opts;
+    opts.paramOverrides["W"] = 6;
+    auto d = elab("module m #(parameter W = 4) (input wire [W-1:0] a); endmodule", "m", opts);
+    EXPECT_EQ(d->node(d->findSignal("a")).width, 6);
+}
+
+TEST(Elaborate, RegistersWithAsyncResetGetInitValues) {
+    auto d = elab(R"(
+module m (input wire clk, input wire rst_n, input wire d, output reg q);
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 1'b1;
+    else q <= d;
+  end
+endmodule)",
+                  "m");
+    ASSERT_EQ(d->regs().size(), 1u);
+    const auto& reg = d->node(d->regs()[0]);
+    EXPECT_TRUE(reg.hasInit);
+    EXPECT_EQ(reg.initValue, 1u);
+}
+
+TEST(Elaborate, RegistersWithoutResetAreSymbolic) {
+    auto d = elab(R"(
+module m (input wire clk, input wire d, output reg q);
+  always_ff @(posedge clk) q <= d;
+endmodule)",
+                  "m");
+    ASSERT_EQ(d->regs().size(), 1u);
+    EXPECT_FALSE(d->node(d->regs()[0]).hasInit);
+}
+
+TEST(Elaborate, CombIfLowersToMux) {
+    auto d = elab(R"(
+module m (input wire s, input wire [1:0] a, input wire [1:0] b, output reg [1:0] y);
+  always_comb begin
+    y = a;
+    if (s) y = b;
+  end
+endmodule)",
+                  "m");
+    // Simulate to validate behaviour.
+    sim::Simulator simulator(*d, sim::Simulator::XMode::TwoState);
+    simulator.setInput("s", 1);
+    simulator.setInput("a", 1);
+    simulator.setInput("b", 2);
+    simulator.evalComb();
+    EXPECT_EQ(simulator.value("y").val, 2u);
+    simulator.setInput("s", 0);
+    simulator.evalComb();
+    EXPECT_EQ(simulator.value("y").val, 1u);
+}
+
+TEST(Elaborate, CaseWithPriority) {
+    auto d = elab(R"(
+module m (input wire [1:0] s, output reg [3:0] y);
+  always_comb begin
+    case (s)
+      2'd0: y = 4'h1;
+      2'd1: y = 4'h2;
+      default: y = 4'hF;
+    endcase
+  end
+endmodule)",
+                  "m");
+    sim::Simulator simulator(*d, sim::Simulator::XMode::TwoState);
+    for (uint64_t s = 0; s < 4; ++s) {
+        simulator.setInput("s", s);
+        simulator.evalComb();
+        uint64_t expect = s == 0 ? 1 : (s == 1 ? 2 : 0xF);
+        EXPECT_EQ(simulator.value("y").val, expect) << "s=" << s;
+    }
+}
+
+TEST(Elaborate, HierarchyFlattensWithPrefixes) {
+    auto d = elab(R"(
+module leaf (input wire a, output wire y);
+  assign y = !a;
+endmodule
+module top (input wire x, output wire z);
+  wire mid;
+  leaf l1 (.a(x), .y(mid));
+  leaf l2 (.a(mid), .y(z));
+endmodule)",
+                  "top");
+    EXPECT_NE(d->findSignal("l1.y"), ir::kInvalidNode);
+    EXPECT_NE(d->findSignal("l2.a"), ir::kInvalidNode);
+    sim::Simulator simulator(*d, sim::Simulator::XMode::TwoState);
+    simulator.setInput("x", 1);
+    simulator.evalComb();
+    EXPECT_EQ(simulator.value("z").val, 1u); // Double inversion.
+}
+
+TEST(Elaborate, InstanceParameterOverride) {
+    auto d = elab(R"(
+module leaf #(parameter W = 2) (input wire [W-1:0] a, output wire [W-1:0] y);
+  assign y = ~a;
+endmodule
+module top (input wire [4:0] x, output wire [4:0] z);
+  leaf #(.W(5)) l (.a(x), .y(z));
+endmodule)",
+                  "top");
+    EXPECT_EQ(d->node(d->findSignal("l.a")).width, 5);
+}
+
+TEST(Elaborate, MemoryBecomesRegisterBank) {
+    auto d = elab(R"(
+module m (input wire clk, input wire we, input wire [1:0] waddr,
+          input wire [7:0] wdata, input wire [1:0] raddr, output wire [7:0] rdata);
+  reg [7:0] mem [0:3];
+  always_ff @(posedge clk) begin
+    if (we) mem[waddr] <= wdata;
+  end
+  assign rdata = mem[raddr];
+endmodule)",
+                  "m");
+    EXPECT_EQ(d->regs().size(), 4u);
+    // Behavioural check: write then read back.
+    sim::Simulator simulator(*d, sim::Simulator::XMode::TwoState);
+    simulator.setInput("we", 1);
+    simulator.setInput("waddr", 2);
+    simulator.setInput("wdata", 0xAB);
+    simulator.step();
+    simulator.setInput("we", 0);
+    simulator.setInput("raddr", 2);
+    simulator.evalComb();
+    EXPECT_EQ(simulator.value("rdata").val, 0xABu);
+}
+
+TEST(Elaborate, UndrivenSignalBecomesFreeInput) {
+    auto d = elab(R"(
+module m (input wire clk, output wire y);
+  wire free_symb;
+  assign y = free_symb;
+endmodule)",
+                  "m");
+    ir::NodeId symb = d->findSignal("free_symb");
+    EXPECT_EQ(d->node(symb).op, ir::Op::Input);
+}
+
+TEST(Elaborate, TieOffPinsInput) {
+    ir::ElabOptions opts;
+    opts.tieOffs["rst_ni"] = 1;
+    auto d = elab("module m (input wire rst_ni, output wire y); assign y = rst_ni; endmodule",
+                  "m", opts);
+    EXPECT_EQ(d->node(d->findSignal("rst_ni")).op, ir::Op::Const);
+    EXPECT_EQ(d->node(d->findSignal("rst_ni")).cval, 1u);
+}
+
+TEST(Elaborate, PartSelectAssignMergesDrivers) {
+    auto d = elab(R"(
+module m (input wire [3:0] a, input wire [3:0] b, output wire [7:0] y);
+  assign y[7:4] = a;
+  assign y[3:0] = b;
+endmodule)",
+                  "m");
+    sim::Simulator simulator(*d, sim::Simulator::XMode::TwoState);
+    simulator.setInput("a", 0x5);
+    simulator.setInput("b", 0xA);
+    simulator.evalComb();
+    EXPECT_EQ(simulator.value("y").val, 0x5Au);
+}
+
+TEST(Elaborate, MultipleDriversRejected) {
+    EXPECT_THROW(elab(R"(
+module m (input wire a, output wire y);
+  assign y = a;
+  assign y = !a;
+endmodule)",
+                      "m"),
+                 util::FrontendError);
+}
+
+TEST(Elaborate, CombinationalCycleRejected) {
+    auto d = elab(R"(
+module m (output wire y);
+  wire a;
+  assign a = !y;
+  assign y = !a;
+endmodule)",
+                  "m");
+    EXPECT_THROW(d->topoOrder(), util::FrontendError);
+}
+
+TEST(Elaborate, AssertionLoweringProducesObligations) {
+    auto d = elab(R"(
+module m (input wire clk_i, input wire rst_ni, input wire a, input wire b);
+  default clocking cb @(posedge clk_i); endclocking
+  default disable iff (!rst_ni);
+  as__safety: assert property (a |-> b);
+  as__live: assert property (a |-> s_eventually (b));
+  am__env: assume property (b |=> !b);
+  co__reach: cover property (a && b);
+endmodule)",
+                  "m");
+    ASSERT_EQ(d->obligations().size(), 4u);
+    EXPECT_EQ(d->obligations()[0].kind, ir::Obligation::Kind::SafetyBad);
+    EXPECT_EQ(d->obligations()[1].kind, ir::Obligation::Kind::Justice);
+    EXPECT_EQ(d->obligations()[2].kind, ir::Obligation::Kind::Constraint);
+    EXPECT_EQ(d->obligations()[3].kind, ir::Obligation::Kind::Cover);
+}
+
+TEST(Elaborate, XpropLabelMarksObligation) {
+    auto d = elab(R"(
+module m (input wire clk_i, input wire rst_ni, input wire a, input wire [3:0] v);
+  xp__check: assert property (a |-> !$isunknown(v));
+endmodule)",
+                  "m");
+    ASSERT_EQ(d->obligations().size(), 1u);
+    EXPECT_TRUE(d->obligations()[0].xprop);
+}
+
+TEST(Elaborate, BindInjectsPropertyModule) {
+    util::DiagEngine diags;
+    auto d = ir::elaborateSources(
+        {R"(module dut (input wire clk_i, input wire rst_ni, input wire v); endmodule)",
+         R"(module dut_prop (input wire clk_i, input wire rst_ni, input wire v);
+              co__seen: cover property (v);
+            endmodule)",
+         R"(bind dut dut_prop prop_i (.*);)"},
+        "dut", diags);
+    ASSERT_EQ(d->obligations().size(), 1u);
+    EXPECT_EQ(d->obligations()[0].name, "prop_i.co__seen");
+}
+
+TEST(Elaborate, WidthMismatchResizesInAssign) {
+    auto d = elab("module m (input wire [7:0] a, output wire [3:0] y); assign y = a; endmodule",
+                  "m");
+    sim::Simulator simulator(*d, sim::Simulator::XMode::TwoState);
+    simulator.setInput("a", 0xF5);
+    simulator.evalComb();
+    EXPECT_EQ(simulator.value("y").val, 0x5u);
+}
+
+TEST(Elaborate, UnbasedOnesStretch) {
+    auto d = elab("module m (output wire [5:0] y); assign y = '1; endmodule", "m");
+    sim::Simulator simulator(*d, sim::Simulator::XMode::TwoState);
+    simulator.evalComb();
+    EXPECT_EQ(simulator.value("y").val, 0x3Fu);
+}
+
+TEST(Elaborate, DynamicBitSelectReadAndWrite) {
+    auto d = elab(R"(
+module m (input wire clk, input wire [2:0] idx, input wire bitv, input wire [7:0] base,
+          output reg [7:0] y, output wire sel);
+  always_comb begin
+    y = base;
+    y[idx] = bitv;
+  end
+  assign sel = base[idx];
+endmodule)",
+                  "m");
+    sim::Simulator simulator(*d, sim::Simulator::XMode::TwoState);
+    simulator.setInput("base", 0x0F);
+    simulator.setInput("idx", 5);
+    simulator.setInput("bitv", 1);
+    simulator.evalComb();
+    EXPECT_EQ(simulator.value("y").val, 0x2Fu);
+    EXPECT_EQ(simulator.value("sel").val, 0u);
+}
+
+} // namespace

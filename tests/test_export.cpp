@@ -1,0 +1,132 @@
+// AIGER / DIMACS export tests: well-formedness and semantic spot checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "formal/bitblast.hpp"
+#include "formal/export.hpp"
+#include "rtlir/elaborate.hpp"
+
+namespace {
+
+using namespace autosva;
+using namespace autosva::formal;
+
+std::unique_ptr<ir::Design> elab(const std::string& src) {
+    util::DiagEngine diags;
+    ir::ElabOptions opts;
+    opts.tieOffs["rst_ni"] = 1;
+    return ir::elaborateSources({src}, "m", diags, opts);
+}
+
+const char* kCounterRtl = R"(
+module m (input wire clk_i, input wire rst_ni, input wire en);
+  reg [2:0] q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) q <= 3'd0;
+    else if (en) q <= q + 3'd1;
+  end
+  as__bound: assert property (q != 3'd7);
+  am__slow: assume property (en |=> !en);
+  as__live: assert property (en |-> s_eventually (q != 3'd0));
+  co__mid: cover property (q == 3'd3);
+endmodule
+)";
+
+TEST(Export, AigerHeaderShapeAndCounts) {
+    auto design = elab(kCounterRtl);
+    std::string aiger = designToAiger(*design);
+    std::istringstream in(aiger);
+    std::string magic;
+    int maxVar, inputs, latches, outputs, ands, bads, constrs, justice, fair;
+    in >> magic >> maxVar >> inputs >> latches >> outputs >> ands >> bads >> constrs >>
+        justice >> fair;
+    EXPECT_EQ(magic, "aag");
+    EXPECT_EQ(outputs, 0);
+    EXPECT_GE(inputs, 2);       // en + tied inputs may fold; at least en & something.
+    EXPECT_GE(latches, 3 + 2);  // Counter bits + monitor registers.
+    EXPECT_EQ(bads, 2);         // as__bound + the cover (exported as bad).
+    EXPECT_EQ(constrs, 1);      // am__slow.
+    EXPECT_EQ(justice, 1);      // as__live.
+    EXPECT_EQ(fair, 0);
+    EXPECT_GT(ands, 0);
+    EXPECT_GE(maxVar, inputs + latches + ands);
+    // Symbol table mentions the counter bits.
+    EXPECT_NE(aiger.find("q$q[0]"), std::string::npos);
+    // Comment section names the properties.
+    EXPECT_NE(aiger.find("as__bound"), std::string::npos);
+}
+
+TEST(Export, AigerLatchLinesWellFormed) {
+    auto design = elab(kCounterRtl);
+    formal::BitBlast bb = bitblast(*design);
+    AigerObligations ob;
+    std::string aiger = toAiger(bb.aig, ob);
+    std::istringstream in(aiger);
+    std::string header;
+    std::getline(in, header);
+    int maxVar, inputs, latches;
+    sscanf(header.c_str(), "aag %d %d %d", &maxVar, &inputs, &latches);
+    // Skip input lines; then each latch line must have 2 or 3 fields with
+    // even current-state literal.
+    std::string line;
+    for (int i = 0; i < inputs; ++i) std::getline(in, line);
+    for (int i = 0; i < latches; ++i) {
+        std::getline(in, line);
+        std::istringstream ls(line);
+        long cur = -1, next = -1;
+        ls >> cur >> next;
+        EXPECT_GE(cur, 2);
+        EXPECT_EQ(cur % 2, 0) << line; // Latch definitions are positive literals.
+        EXPECT_GE(next, 0) << line;
+    }
+}
+
+TEST(Export, DimacsSatisfiabilityMatchesBmc) {
+    // The counter reaches 7 only if en is allowed to stay high; with the
+    // am__slow constraint (en every other cycle), 7 needs >= 14 steps.
+    auto design = elab(kCounterRtl);
+    formal::BitBlast bb = bitblast(*design);
+    AigLit bad = kAigFalse;
+    std::vector<AigLit> constraints;
+    for (const auto& o : design->obligations()) {
+        if (o.name == "as__bound") bad = bb.lit(o.net);
+        if (o.kind == ir::Obligation::Kind::Constraint) constraints.push_back(bb.lit(o.net));
+    }
+    ASSERT_NE(bad, kAigFalse);
+
+    std::string shallow = bmcToDimacs(bb.aig, bad, constraints, 6);
+    std::string deep = bmcToDimacs(bb.aig, bad, constraints, 20);
+
+    // Header sanity.
+    EXPECT_EQ(shallow.find("c autosva-cpp"), 0u);
+    EXPECT_NE(shallow.find("p cnf "), std::string::npos);
+    // Deep instance has strictly more clauses.
+    auto clauseCount = [](const std::string& dimacs) {
+        size_t p = dimacs.find("p cnf ");
+        int vars = 0, clauses = 0;
+        sscanf(dimacs.c_str() + p, "p cnf %d %d", &vars, &clauses);
+        return clauses;
+    };
+    EXPECT_GT(clauseCount(deep), clauseCount(shallow));
+    // Every clause line ends with 0.
+    std::istringstream in(shallow);
+    std::string line;
+    bool afterHeader = false;
+    while (std::getline(in, line)) {
+        if (line.rfind("p cnf", 0) == 0) {
+            afterHeader = true;
+            continue;
+        }
+        if (!afterHeader || line.empty() || line[0] == 'c') continue;
+        EXPECT_EQ(line.substr(line.size() - 1), "0") << line;
+    }
+}
+
+TEST(Export, CoverExportedAsBad) {
+    auto design = elab(kCounterRtl);
+    std::string aiger = designToAiger(*design);
+    EXPECT_NE(aiger.find("cover:co__mid"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+// Cross-module integration tests beyond the Table III rows:
+//  - parameterized full-pipeline sweeps (TEST_P) across ID widths
+//  - CEX replay consistency between the formal engine and the simulator
+//  - random simulation of the registered designs with assertion checking
+//  - determinism of generation
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/autosva.hpp"
+#include "designs/designs.hpp"
+#include "formal/replay.hpp"
+#include "sim/vcd.hpp"
+
+namespace {
+
+using namespace autosva;
+
+// ---------------------------------------------------------------------------
+// Parameterized pipeline sweep: a skid-buffer-like unit at several widths.
+// ---------------------------------------------------------------------------
+
+std::string echoRtl(int idw) {
+    std::string w = std::to_string(idw);
+    return R"(
+module echo #(
+  parameter ID_W = )" + w + R"(
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  txn: req -in> res
+  */
+  input  wire            req_val,
+  output wire            req_ack,
+  input  wire [ID_W-1:0] req_transid,
+  output wire            res_val,
+  output wire [ID_W-1:0] res_transid
+);
+  reg busy;
+  reg [ID_W-1:0] id_q;
+  assign req_ack = !busy;
+  wire hsk = req_val && req_ack;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy <= 1'b0;
+      id_q <= '0;
+    end else begin
+      if (hsk) begin
+        busy <= 1'b1;
+        id_q <= req_transid;
+      end else begin
+        busy <= 1'b0;
+      end
+    end
+  end
+  assign res_val = busy;
+  assign res_transid = id_q;
+endmodule
+)";
+}
+
+class WidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthSweep, EchoProvesAtEveryWidth) {
+    util::DiagEngine diags;
+    std::string rtl = echoRtl(GetParam());
+    core::FormalTestbench ft = core::generateFT(rtl, {}, diags);
+    auto report = core::verify({rtl}, ft, {}, diags);
+    SCOPED_TRACE(report.str());
+    EXPECT_TRUE(report.allProven()) << "ID_W=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(IdWidths, WidthSweep, ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// CEX replay: the violation reported by the engine must be observable when
+// the trace is replayed cycle-by-cycle on the simulator.
+// ---------------------------------------------------------------------------
+
+TEST(Integration, NocBufferDeadlockTraceReplays) {
+    const auto& info = designs::design("noc_buffer");
+    util::DiagEngine diags;
+    core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+    core::VerifyOptions vopts;
+    vopts.paramOverrides["BUG"] = 1;
+    auto report = core::verify(designs::rtlSources(info), ft, vopts, diags);
+    const auto* live = report.find("as__mem_engine_noc_eventual_response");
+    ASSERT_NE(live, nullptr);
+    ASSERT_EQ(live->status, formal::Status::Failed);
+    ASSERT_GE(live->trace.loopStart, 0);
+
+    auto design = core::elaborateWithFT(designs::rtlSources(info), ft, vopts, diags);
+    auto cycles = formal::replayTrace(*design, live->trace);
+    ASSERT_EQ(static_cast<int>(cycles.size()), live->trace.length());
+    // A VCD can be produced from the replay.
+    std::string vcd = sim::traceToVcd(*design, cycles, "noc_buffer");
+    EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Random simulation of the fixed designs with the generated properties
+// bound: no safety violations may occur (liveness is not simulated).
+// ---------------------------------------------------------------------------
+
+class DesignSim : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DesignSim, FixedDesignCleanUnderRandomStimulus) {
+    const auto& info = designs::design(GetParam());
+    util::DiagEngine diags;
+    core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+    core::VerifyOptions vopts;
+    if (info.hasBugParam) vopts.paramOverrides["BUG"] = 0;
+    auto design = core::elaborateWithFT(designs::rtlSources(info), ft, vopts, diags,
+                                        /*tieReset=*/false);
+    sim::Simulator simulator(*design, sim::Simulator::XMode::TwoState);
+    simulator.enableChecking(true);
+    std::mt19937_64 rng(2021);
+    // Symbolic tracking variables are rigid only under their stability
+    // assumption; a well-formed testbench (like the paper's VCS binding)
+    // holds them constant, so the driver must too.
+    std::vector<ir::NodeId> symbolics;
+    for (ir::NodeId input : design->inputs())
+        if (design->node(input).name.find("symb_") != std::string::npos)
+            symbolics.push_back(input);
+    for (int i = 0; i < 1500; ++i) {
+        simulator.randomizeInputs(rng);
+        for (ir::NodeId symb : symbolics) simulator.setInput(symb, 1);
+        simulator.setInput("rst_ni", i == 0 ? 0 : 1);
+        simulator.step();
+    }
+    std::string violations;
+    for (const auto& v : simulator.violations()) {
+        // Constraint violations are environment misbehaviour — the random
+        // driver does not respect assumptions, so only assertion failures
+        // (SafetyBad) count against the design.
+        if (v.kind == ir::Obligation::Kind::SafetyBad)
+            violations += v.obligationName + "@" + std::to_string(v.cycle) + " ";
+    }
+    EXPECT_TRUE(violations.empty()) << violations;
+}
+
+// Only designs whose environment assumptions an unconstrained random driver
+// cannot break qualify: modules with *outgoing* transactions (PTW, I$, L1.5)
+// count environment responses, and random spurious responses violate the
+// had-a-request assumption their outstanding-counter assertions rely on.
+// Those are exercised with proper constrained stimulus in
+// examples/simulation_reuse instead.
+INSTANTIATE_TEST_SUITE_P(AllDesigns, DesignSim,
+                         ::testing::Values("ariane_tlb", "mem_engine"));
+
+// ---------------------------------------------------------------------------
+// Determinism: generating twice yields byte-identical artifacts.
+// ---------------------------------------------------------------------------
+
+TEST(Integration, GenerationIsDeterministic) {
+    const auto& info = designs::design("ariane_lsu");
+    util::DiagEngine diags;
+    auto ft1 = core::generateFT(info.rtl, {}, diags);
+    auto ft2 = core::generateFT(info.rtl, {}, diags);
+    EXPECT_EQ(ft1.propertyFile, ft2.propertyFile);
+    EXPECT_EQ(ft1.bindFile, ft2.bindFile);
+    EXPECT_EQ(ft1.jasperTcl, ft2.jasperTcl);
+    EXPECT_EQ(ft1.sbyFile, ft2.sbyFile);
+}
+
+// ---------------------------------------------------------------------------
+// ASSERT_INPUTS (-AS) round trip through the full pipeline: with every
+// assumption flipped to an assertion, the echo DUT must *fail* the
+// transid-unique assertion (its environment may reuse IDs).
+// ---------------------------------------------------------------------------
+
+TEST(Integration, AssertInputsFlipsVerdicts) {
+    const char* rtl = R"(
+module dut (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  t: req -in> res
+  [1:0] req_transid_unique = req_id
+  [1:0] res_transid = res_id
+  */
+  input  wire       req_val,
+  output wire       req_ack,
+  input  wire [1:0] req_id,
+  output wire       res_val,
+  output wire [1:0] res_id
+);
+  assign req_ack = 1'b1;
+  reg v_q;
+  reg [1:0] id_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      v_q <= 1'b0;
+      id_q <= '0;
+    end else begin
+      v_q <= req_val;
+      id_q <= req_id;
+    end
+  end
+  assign res_val = v_q;
+  assign res_id = id_q;
+endmodule
+)";
+    util::DiagEngine diags;
+    core::AutoSvaOptions opts;
+    opts.assertInputs = true;
+    core::FormalTestbench ft = core::generateFT(rtl, opts, diags);
+    auto report = core::verify({rtl}, ft, {}, diags);
+    const auto* unique = report.find("as__t_transid_unique");
+    ASSERT_NE(unique, nullptr);
+    // With ack always high and a free environment, two requests with the
+    // same ID can be outstanding: the (now asserted) uniqueness fails.
+    EXPECT_EQ(unique->status, formal::Status::Failed);
+}
+
+} // namespace

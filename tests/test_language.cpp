@@ -1,0 +1,312 @@
+// Annotation-language tests (paper Table I): region extraction, transaction
+// declarations, attribute parsing, implicit definitions, error conditions.
+#include <gtest/gtest.h>
+
+#include "core/interface_scan.hpp"
+#include "core/language.hpp"
+#include "verilog/parser.hpp"
+
+namespace {
+
+using namespace autosva;
+using core::AnnotationSet;
+using util::FrontendError;
+
+AnnotationSet parseAnn(const std::string& text) {
+    util::DiagEngine diags;
+    return core::parseAnnotations(text, "t.sv", diags);
+}
+
+TEST(Language, BlockRegionParsed) {
+    auto set = parseAnn(R"(
+module m();
+/*AUTOSVA
+txn: req -in> res
+*/
+endmodule)");
+    ASSERT_EQ(set.transactions.size(), 1u);
+    EXPECT_EQ(set.transactions[0].name, "txn");
+    EXPECT_EQ(set.transactions[0].req.name, "req");
+    EXPECT_EQ(set.transactions[0].resp.name, "res");
+    EXPECT_TRUE(set.transactions[0].incoming);
+    EXPECT_EQ(set.annotationLines, 1);
+}
+
+TEST(Language, LineCommentForm) {
+    auto set = parseAnn("//AUTOSVA txn: a -out> b\n");
+    ASSERT_EQ(set.transactions.size(), 1u);
+    EXPECT_FALSE(set.transactions[0].incoming);
+}
+
+TEST(Language, OutgoingRelation) {
+    auto set = parseAnn("/*AUTOSVA\nptw_dcache: ptw_req -out> dcache_res\n*/");
+    EXPECT_FALSE(set.transactions[0].incoming);
+    EXPECT_EQ(set.transactions[0].req.name, "ptw_req");
+    EXPECT_EQ(set.transactions[0].resp.name, "dcache_res");
+}
+
+TEST(Language, ExplicitAttributesWithWidths) {
+    auto set = parseAnn(R"(/*AUTOSVA
+lsu_load: lsu_req -in> lsu_res
+lsu_req_val = lsu_valid_i && issue
+lsu_req_rdy = lsu_ready_o
+[TRANS_ID_BITS-1:0] lsu_req_transid = trans_id_i
+[TRANS_ID_BITS-1:0] lsu_res_transid = trans_id_o
+*/)");
+    const auto& t = set.transactions[0];
+    ASSERT_TRUE(t.req.has(core::Attr::Val));
+    EXPECT_EQ(t.req.get(core::Attr::Val)->rhs, "lsu_valid_i && issue");
+    // `rdy` is accepted as a synonym for ack (paper Fig. 3).
+    ASSERT_TRUE(t.req.has(core::Attr::Ack));
+    ASSERT_TRUE(t.req.has(core::Attr::Transid));
+    EXPECT_EQ(t.req.get(core::Attr::Transid)->widthMsb, "TRANS_ID_BITS-1");
+    ASSERT_TRUE(t.resp.has(core::Attr::Transid));
+    EXPECT_EQ(set.annotationLines, 5);
+}
+
+TEST(Language, TransidUniqueLongestMatch) {
+    auto set = parseAnn(R"(/*AUTOSVA
+t: p -in> q
+[3:0] p_transid_unique = id_i
+*/)");
+    EXPECT_TRUE(set.transactions[0].req.has(core::Attr::TransidUnique));
+    EXPECT_FALSE(set.transactions[0].req.has(core::Attr::Transid));
+}
+
+TEST(Language, MultipleTransactions) {
+    auto set = parseAnn(R"(/*AUTOSVA
+a_txn: a_req -in> a_res
+b_txn: b_req -out> b_res
+a_req_val = x
+b_req_val = y
+*/)");
+    ASSERT_EQ(set.transactions.size(), 2u);
+    EXPECT_TRUE(set.transactions[0].req.has(core::Attr::Val));
+    EXPECT_TRUE(set.transactions[1].req.has(core::Attr::Val));
+}
+
+TEST(Language, PaperFig7Annotations) {
+    // Verbatim shape of the paper's Fig. 7 dtlb_ptw example.
+    auto set = parseAnn(R"(/*AUTOSVA
+dtlb_ptw: dtlb -in> ptw_update
+dtlb_active = ptw_active_o
+dtlb_val = enable_translation & dtlb_access_i & dtlb_hit_i
+dtlb_ack = !ptw_active_o
+[VLEN-1:0] dtlb_stable = dtlb_vaddr_i
+[VLEN-1:0] dtlb_data = dtlb_vaddr_i
+ptw_update_val = ptw_update_valid | ptw_error_o
+[VLEN-1:0] ptw_update_data = update_vaddr_o
+*/)");
+    const auto& t = set.transactions[0];
+    EXPECT_EQ(t.name, "dtlb_ptw");
+    EXPECT_TRUE(t.req.has(core::Attr::Active));
+    EXPECT_TRUE(t.req.has(core::Attr::Stable));
+    EXPECT_TRUE(t.req.has(core::Attr::Data));
+    EXPECT_TRUE(t.resp.has(core::Attr::Data));
+    EXPECT_EQ(set.annotationLines, 8);
+}
+
+TEST(Language, ErrorOnBadRelation) {
+    EXPECT_THROW(parseAnn("/*AUTOSVA\ntxn: a -sideways> b\n*/"), FrontendError);
+}
+
+TEST(Language, ErrorOnUnknownField) {
+    EXPECT_THROW(parseAnn(R"(/*AUTOSVA
+txn: a -in> b
+c_val = x
+*/)"),
+                 FrontendError);
+}
+
+TEST(Language, ErrorOnBadSuffix) {
+    EXPECT_THROW(parseAnn(R"(/*AUTOSVA
+txn: a -in> b
+a_bogus = x
+*/)"),
+                 FrontendError);
+}
+
+TEST(Language, ErrorOnMalformedExpression) {
+    EXPECT_THROW(parseAnn(R"(/*AUTOSVA
+txn: a -in> b
+a_val = x &&
+*/)"),
+                 FrontendError);
+}
+
+TEST(Language, ErrorOnBadWidthForm) {
+    EXPECT_THROW(parseAnn(R"(/*AUTOSVA
+txn: a -in> b
+[7:4] a_data = x
+*/)"),
+                 FrontendError);
+}
+
+TEST(Language, DuplicateAttributeWarnsNotThrows) {
+    util::DiagEngine diags;
+    auto set = core::parseAnnotations(R"(/*AUTOSVA
+txn: a -in> b
+a_val = x
+a_val = y
+*/)",
+                                      "t.sv", diags);
+    EXPECT_EQ(set.transactions[0].req.get(core::Attr::Val)->rhs, "x");
+    EXPECT_EQ(diags.count(util::Severity::Warning), 1u);
+}
+
+TEST(Language, InputOutputHintLines) {
+    auto set = parseAnn(R"(/*AUTOSVA
+txn: a -in> b
+input a_val
+output [3:0] b_transid
+*/)");
+    EXPECT_TRUE(set.transactions[0].req.has(core::Attr::Val));
+    EXPECT_TRUE(set.transactions[0].resp.has(core::Attr::Transid));
+    EXPECT_EQ(set.transactions[0].resp.get(core::Attr::Transid)->rhs, "b_transid");
+}
+
+// --- Implicit definitions + validation against the DUT interface ---------
+
+TEST(Language, ImplicitAttrsFromPorts) {
+    const char* rtl = R"(
+module m (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  txn: req -in> res
+  */
+  input  wire       req_val,
+  output wire       req_ack,
+  input  wire [3:0] req_transid,
+  output wire       res_val,
+  output wire [3:0] res_transid
+);
+endmodule)";
+    util::DiagEngine diags;
+    auto file = verilog::Parser::parseSource(rtl, "t.sv");
+    auto dut = core::scanInterface(file, {}, diags);
+    auto set = core::parseAnnotations(rtl, "t.sv", diags);
+    core::buildTransactions(set.transactions, dut, diags);
+    const auto& t = set.transactions[0];
+    EXPECT_TRUE(t.req.has(core::Attr::Val));
+    EXPECT_TRUE(t.req.get(core::Attr::Val)->implicit);
+    EXPECT_TRUE(t.req.has(core::Attr::Ack));
+    EXPECT_TRUE(t.tracksTransid());
+    EXPECT_EQ(t.req.get(core::Attr::Transid)->widthMsb, "3");
+}
+
+TEST(Language, TransidOnOneSideRejected) {
+    const char* rtl = R"(
+module m (
+  input wire clk_i, input wire rst_ni,
+  /*AUTOSVA
+  txn: req -in> res
+  [3:0] req_transid = id
+  */
+  input wire req_val, output wire res_val, input wire [3:0] id
+);
+endmodule)";
+    util::DiagEngine diags;
+    auto file = verilog::Parser::parseSource(rtl, "t.sv");
+    auto dut = core::scanInterface(file, {}, diags);
+    auto set = core::parseAnnotations(rtl, "t.sv", diags);
+    EXPECT_THROW(core::buildTransactions(set.transactions, dut, diags), FrontendError);
+}
+
+TEST(Language, MismatchedWidthsRejected) {
+    const char* rtl = R"(
+module m (
+  input wire clk_i, input wire rst_ni,
+  /*AUTOSVA
+  txn: req -in> res
+  [3:0] req_transid = a
+  [2:0] res_transid = b
+  */
+  input wire req_val, output wire res_val,
+  input wire [3:0] a, output wire [2:0] b
+);
+endmodule)";
+    util::DiagEngine diags;
+    auto file = verilog::Parser::parseSource(rtl, "t.sv");
+    auto dut = core::scanInterface(file, {}, diags);
+    auto set = core::parseAnnotations(rtl, "t.sv", diags);
+    EXPECT_THROW(core::buildTransactions(set.transactions, dut, diags), FrontendError);
+}
+
+TEST(Language, MissingValRejected) {
+    const char* rtl = R"(
+module m (
+  input wire clk_i, input wire rst_ni,
+  /*AUTOSVA
+  txn: req -in> res
+  */
+  input wire req_valid_typo, output wire res_val
+);
+endmodule)";
+    util::DiagEngine diags;
+    auto file = verilog::Parser::parseSource(rtl, "t.sv");
+    auto dut = core::scanInterface(file, {}, diags);
+    auto set = core::parseAnnotations(rtl, "t.sv", diags);
+    EXPECT_THROW(core::buildTransactions(set.transactions, dut, diags), FrontendError);
+}
+
+TEST(Language, DirectionLintWarnsOnSwappedRelation) {
+    const char* rtl = R"(
+module m (
+  input wire clk_i, input wire rst_ni,
+  /*AUTOSVA
+  txn: req -out> res
+  */
+  input wire req_val, output wire res_val
+);
+endmodule)";
+    util::DiagEngine diags;
+    auto file = verilog::Parser::parseSource(rtl, "t.sv");
+    auto dut = core::scanInterface(file, {}, diags);
+    auto set = core::parseAnnotations(rtl, "t.sv", diags);
+    core::buildTransactions(set.transactions, dut, diags);
+    EXPECT_GE(diags.count(util::Severity::Warning), 1u);
+}
+
+// --- Interface scanning ----------------------------------------------------
+
+TEST(InterfaceScan, ClockResetDetection) {
+    util::DiagEngine diags;
+    auto file = verilog::Parser::parseSource(
+        "module m (input wire clk_i, input wire rst_ni, input wire x); endmodule", "t.sv");
+    auto dut = core::scanInterface(file, {}, diags);
+    EXPECT_EQ(dut.clockName, "clk_i");
+    EXPECT_EQ(dut.resetName, "rst_ni");
+    EXPECT_TRUE(dut.resetActiveLow);
+}
+
+TEST(InterfaceScan, ActiveHighReset) {
+    util::DiagEngine diags;
+    auto file = verilog::Parser::parseSource(
+        "module m (input wire clock, input wire reset, input wire x); endmodule", "t.sv");
+    auto dut = core::scanInterface(file, {}, diags);
+    EXPECT_EQ(dut.resetName, "reset");
+    EXPECT_FALSE(dut.resetActiveLow);
+}
+
+TEST(InterfaceScan, MissingClockThrows) {
+    util::DiagEngine diags;
+    auto file = verilog::Parser::parseSource("module m (input wire x); endmodule", "t.sv");
+    EXPECT_THROW(core::scanInterface(file, {}, diags), FrontendError);
+}
+
+TEST(InterfaceScan, ParametricWidthEvaluation) {
+    util::DiagEngine diags;
+    auto file = verilog::Parser::parseSource(
+        R"(module m #(parameter W = 4, parameter D = $clog2(W) + 1)
+              (input wire clk, input wire rst_n, input wire [W-1:0] a,
+               input wire [D-1:0] b); endmodule)",
+        "t.sv");
+    auto dut = core::scanInterface(file, {}, diags);
+    EXPECT_EQ(dut.findPort("a")->widthBits, 4);
+    EXPECT_EQ(dut.findPort("b")->widthBits, 3);
+    EXPECT_EQ(core::evalWidth("W*2-1", dut), 8);
+    EXPECT_EQ(core::evalWidth("UNKNOWN-1", dut), -1);
+}
+
+} // namespace

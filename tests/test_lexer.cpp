@@ -1,0 +1,164 @@
+// Lexer unit tests: literals, operators, comments, error handling.
+#include <gtest/gtest.h>
+
+#include "util/diagnostics.hpp"
+#include "verilog/lexer.hpp"
+
+namespace {
+
+using namespace autosva::verilog;
+
+std::vector<Token> lex(std::string_view text) {
+    Lexer lexer(text, "test.sv");
+    return lexer.lexAll();
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+    auto tokens = lex("");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_TRUE(tokens[0].is(TokenKind::EndOfFile));
+}
+
+TEST(Lexer, Identifiers) {
+    auto tokens = lex("foo _bar baz_123 a$b");
+    ASSERT_EQ(tokens.size(), 5u);
+    EXPECT_EQ(tokens[0].text, "foo");
+    EXPECT_EQ(tokens[1].text, "_bar");
+    EXPECT_EQ(tokens[2].text, "baz_123");
+    EXPECT_EQ(tokens[3].text, "a$b");
+}
+
+TEST(Lexer, Keywords) {
+    auto tokens = lex("module endmodule always_ff posedge s_eventually bind");
+    EXPECT_TRUE(tokens[0].is(TokenKind::KwModule));
+    EXPECT_TRUE(tokens[1].is(TokenKind::KwEndmodule));
+    EXPECT_TRUE(tokens[2].is(TokenKind::KwAlwaysFF));
+    EXPECT_TRUE(tokens[3].is(TokenKind::KwPosedge));
+    EXPECT_TRUE(tokens[4].is(TokenKind::KwSEventually));
+    EXPECT_TRUE(tokens[5].is(TokenKind::KwBind));
+}
+
+TEST(Lexer, DecimalNumbers) {
+    auto tokens = lex("0 42 1_000");
+    EXPECT_EQ(tokens[0].intValue, 0u);
+    EXPECT_EQ(tokens[1].intValue, 42u);
+    EXPECT_EQ(tokens[2].intValue, 1000u);
+    EXPECT_EQ(tokens[1].numWidth, 0); // Unsized.
+}
+
+TEST(Lexer, BasedLiterals) {
+    auto tokens = lex("8'hFF 4'b1010 16'd123 3'o7 'hB");
+    EXPECT_EQ(tokens[0].intValue, 0xFFu);
+    EXPECT_EQ(tokens[0].numWidth, 8);
+    EXPECT_EQ(tokens[1].intValue, 0b1010u);
+    EXPECT_EQ(tokens[1].numWidth, 4);
+    EXPECT_EQ(tokens[2].intValue, 123u);
+    EXPECT_EQ(tokens[3].intValue, 7u);
+    EXPECT_EQ(tokens[4].intValue, 0xBu);
+    EXPECT_EQ(tokens[4].numWidth, 0);
+}
+
+TEST(Lexer, BasedLiteralTruncatesToWidth) {
+    auto tokens = lex("4'hFF");
+    EXPECT_EQ(tokens[0].intValue, 0xFu);
+}
+
+TEST(Lexer, UnbasedUnsized) {
+    auto tokens = lex("'0 '1 'x");
+    EXPECT_TRUE(tokens[0].isUnbasedUnsized);
+    EXPECT_EQ(tokens[0].intValue, 0u);
+    EXPECT_TRUE(tokens[1].isUnbasedUnsized);
+    EXPECT_EQ(tokens[1].intValue, 1u);
+    EXPECT_TRUE(tokens[2].hasUnknownBits);
+}
+
+TEST(Lexer, UnknownDigitsFlagged) {
+    auto tokens = lex("4'b10xz");
+    EXPECT_TRUE(tokens[0].hasUnknownBits);
+}
+
+TEST(Lexer, SizeWithSpaceBeforeBase) {
+    auto tokens = lex("8 'hAB");
+    EXPECT_EQ(tokens[0].numWidth, 8);
+    EXPECT_EQ(tokens[0].intValue, 0xABu);
+}
+
+TEST(Lexer, Operators) {
+    auto tokens = lex("|-> |=> ## == != <= >= << >> && || ~^ +:");
+    EXPECT_TRUE(tokens[0].is(TokenKind::OverlapImpl));
+    EXPECT_TRUE(tokens[1].is(TokenKind::NonOverlapImpl));
+    EXPECT_TRUE(tokens[2].is(TokenKind::HashHash));
+    EXPECT_TRUE(tokens[3].is(TokenKind::EqEq));
+    EXPECT_TRUE(tokens[4].is(TokenKind::BangEq));
+    EXPECT_TRUE(tokens[5].is(TokenKind::LtEq));
+    EXPECT_TRUE(tokens[6].is(TokenKind::GtEq));
+    EXPECT_TRUE(tokens[7].is(TokenKind::LtLt));
+    EXPECT_TRUE(tokens[8].is(TokenKind::GtGt));
+    EXPECT_TRUE(tokens[9].is(TokenKind::AmpAmp));
+    EXPECT_TRUE(tokens[10].is(TokenKind::PipePipe));
+    EXPECT_TRUE(tokens[11].is(TokenKind::TildeCaret));
+    EXPECT_TRUE(tokens[12].is(TokenKind::PlusColon));
+}
+
+TEST(Lexer, TripleOperatorsCollapse) {
+    auto tokens = lex("<<< >>> === !==");
+    EXPECT_TRUE(tokens[0].is(TokenKind::LtLt));
+    EXPECT_TRUE(tokens[1].is(TokenKind::GtGt));
+    EXPECT_TRUE(tokens[2].is(TokenKind::EqEq));
+    EXPECT_TRUE(tokens[3].is(TokenKind::BangEq));
+}
+
+TEST(Lexer, SystemIdentifiers) {
+    auto tokens = lex("$stable $past $clog2");
+    EXPECT_TRUE(tokens[0].is(TokenKind::SystemIdent));
+    EXPECT_EQ(tokens[0].text, "$stable");
+    EXPECT_EQ(tokens[2].text, "$clog2");
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+    auto tokens = lex("a // line comment\nb /* block */ c");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+    EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(Lexer, MultiLineBlockComment) {
+    auto tokens = lex("x /* spans\nmultiple\nlines */ y");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[1].text, "y");
+    EXPECT_EQ(tokens[1].loc.line, 3u);
+}
+
+TEST(Lexer, DirectiveLinesSkipped) {
+    auto tokens = lex("`define FOO 1\nbar");
+    EXPECT_EQ(tokens[0].text, "bar");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+    auto tokens = lex("a\n  b");
+    EXPECT_EQ(tokens[0].loc.line, 1u);
+    EXPECT_EQ(tokens[0].loc.col, 1u);
+    EXPECT_EQ(tokens[1].loc.line, 2u);
+    EXPECT_EQ(tokens[1].loc.col, 3u);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+    EXPECT_THROW(lex("a /* never closed"), autosva::util::FrontendError);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+    EXPECT_THROW(lex("\"never closed"), autosva::util::FrontendError);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+    EXPECT_THROW(lex("a \x01 b"), autosva::util::FrontendError);
+}
+
+TEST(Lexer, StringLiterals) {
+    auto tokens = lex(R"("hello\nworld")");
+    EXPECT_TRUE(tokens[0].is(TokenKind::String));
+    EXPECT_EQ(tokens[0].text, "hello\nworld");
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+// Parser unit tests: module structure, expressions, statements, SVA layer.
+#include <gtest/gtest.h>
+
+#include "util/diagnostics.hpp"
+#include "verilog/parser.hpp"
+
+namespace {
+
+using namespace autosva::verilog;
+using autosva::util::FrontendError;
+
+SourceFile parse(std::string_view text) { return Parser::parseSource(text, "test.sv"); }
+
+TEST(Parser, EmptyModule) {
+    auto file = parse("module m; endmodule");
+    ASSERT_EQ(file.modules.size(), 1u);
+    EXPECT_EQ(file.modules[0]->name, "m");
+    EXPECT_TRUE(file.modules[0]->ports.empty());
+}
+
+TEST(Parser, HeaderParameters) {
+    auto file = parse("module m #(parameter W = 8, parameter D = W * 2) (); endmodule");
+    const auto& mod = *file.modules[0];
+    ASSERT_EQ(mod.params.size(), 2u);
+    EXPECT_EQ(mod.params[0].name, "W");
+    EXPECT_EQ(mod.params[1].name, "D");
+    EXPECT_EQ(exprToString(*mod.params[1].value), "(W * 2)");
+}
+
+TEST(Parser, AnsiPorts) {
+    auto file = parse(R"(
+module m (
+  input  wire clk,
+  input  wire [7:0] a, b,
+  output reg  [3:0] q,
+  output wire valid
+);
+endmodule)");
+    const auto& mod = *file.modules[0];
+    ASSERT_EQ(mod.ports.size(), 5u);
+    EXPECT_EQ(mod.ports[0].name, "clk");
+    EXPECT_EQ(mod.ports[0].dir, PortDir::Input);
+    EXPECT_FALSE(mod.ports[0].packed.has_value());
+    // Carried-over direction and range for `b`.
+    EXPECT_EQ(mod.ports[2].name, "b");
+    EXPECT_EQ(mod.ports[2].dir, PortDir::Input);
+    ASSERT_TRUE(mod.ports[2].packed.has_value());
+    EXPECT_EQ(mod.ports[3].dir, PortDir::Output);
+    EXPECT_EQ(mod.ports[3].netKind, NetKind::Reg);
+    // New direction resets the range.
+    EXPECT_FALSE(mod.ports[4].packed.has_value());
+}
+
+TEST(Parser, ExpressionPrecedence) {
+    auto e = Parser::parseExpression("a + b * c == d || e && f", "t");
+    // || is lowest: (a+b*c == d) || (e && f)
+    ASSERT_EQ(e->kind, Expr::Kind::Binary);
+    EXPECT_EQ(e->binaryOp, BinaryOp::LogicOr);
+    EXPECT_EQ(exprToString(*e), "(((a + (b * c)) == d) || (e && f))");
+}
+
+TEST(Parser, TernaryRightAssociative) {
+    auto e = Parser::parseExpression("a ? b : c ? d : e", "t");
+    EXPECT_EQ(exprToString(*e), "(a ? b : (c ? d : e))");
+}
+
+TEST(Parser, ConcatAndReplicate) {
+    auto e = Parser::parseExpression("{a, 2'b01, {4{b}}}", "t");
+    ASSERT_EQ(e->kind, Expr::Kind::Concat);
+    ASSERT_EQ(e->operands.size(), 3u);
+    EXPECT_EQ(e->operands[2]->kind, Expr::Kind::Replicate);
+}
+
+TEST(Parser, BitAndPartSelect) {
+    auto e1 = Parser::parseExpression("mem[idx]", "t");
+    EXPECT_EQ(e1->kind, Expr::Kind::Index);
+    auto e2 = Parser::parseExpression("bus[7:4]", "t");
+    EXPECT_EQ(e2->kind, Expr::Kind::Range);
+    auto e3 = Parser::parseExpression("bus[i +: 4]", "t");
+    EXPECT_EQ(e3->kind, Expr::Kind::Call);
+    EXPECT_EQ(e3->name, "$partselect_up");
+}
+
+TEST(Parser, ReductionOperators) {
+    auto e = Parser::parseExpression("&a | ^b", "t");
+    EXPECT_EQ(exprToString(*e), "(&(a) | ^(b))");
+}
+
+TEST(Parser, SystemCalls) {
+    auto e = Parser::parseExpression("$past(x, 2) == $stable(y)", "t");
+    EXPECT_EQ(exprToString(*e), "($past(x, 2) == $stable(y))");
+}
+
+TEST(Parser, ContinuousAssign) {
+    auto file = parse("module m (output wire o, input wire a); assign o = !a; endmodule");
+    const auto& items = file.modules[0]->items;
+    ASSERT_EQ(items.size(), 1u);
+    EXPECT_EQ(items[0].kind, ModuleItem::Kind::ContAssign);
+}
+
+TEST(Parser, AlwaysFfWithAsyncReset) {
+    auto file = parse(R"(
+module m (input wire clk, input wire rst_n, input wire d, output reg q);
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 1'b0;
+    else q <= d;
+  end
+endmodule)");
+    const auto& items = file.modules[0]->items;
+    ASSERT_EQ(items.size(), 1u);
+    const auto& blk = *items[0].always;
+    EXPECT_EQ(blk.kind, AlwaysBlock::Kind::FF);
+    EXPECT_EQ(blk.clockSignal, "clk");
+    ASSERT_TRUE(blk.asyncResetSignal.has_value());
+    EXPECT_EQ(*blk.asyncResetSignal, "rst_n");
+    EXPECT_TRUE(blk.asyncResetNegedge);
+}
+
+TEST(Parser, AlwaysCombStarForms) {
+    auto file = parse(R"(
+module m (input wire a, output reg y1, output reg y2);
+  always @(*) y1 = a;
+  always_comb y2 = !a;
+endmodule)");
+    EXPECT_EQ(file.modules[0]->items[0].always->kind, AlwaysBlock::Kind::Comb);
+    EXPECT_EQ(file.modules[0]->items[1].always->kind, AlwaysBlock::Kind::Comb);
+}
+
+TEST(Parser, CaseStatement) {
+    auto file = parse(R"(
+module m (input wire [1:0] s, output reg [3:0] y);
+  always_comb begin
+    case (s)
+      2'd0: y = 4'h1;
+      2'd1, 2'd2: y = 4'h2;
+      default: y = 4'h0;
+    endcase
+  end
+endmodule)");
+    const auto& body = *file.modules[0]->items[0].always->body;
+    ASSERT_EQ(body.stmts.size(), 1u);
+    const auto& cs = *body.stmts[0];
+    EXPECT_EQ(cs.kind, Stmt::Kind::Case);
+    ASSERT_EQ(cs.caseItems.size(), 3u);
+    EXPECT_EQ(cs.caseItems[1].labels.size(), 2u);
+    EXPECT_TRUE(cs.caseItems[2].labels.empty());
+}
+
+TEST(Parser, NonBlockingVsBlocking) {
+    auto file = parse(R"(
+module m (input wire clk, input wire d, output reg q1, output reg q2);
+  always_ff @(posedge clk) begin
+    q1 <= d;
+  end
+  always_comb begin
+    q2 = d;
+  end
+endmodule)");
+    const auto& ff = *file.modules[0]->items[0].always->body;
+    EXPECT_TRUE(ff.stmts[0]->nonBlocking);
+    const auto& comb = *file.modules[0]->items[1].always->body;
+    EXPECT_FALSE(comb.stmts[0]->nonBlocking);
+}
+
+TEST(Parser, Instance) {
+    auto file = parse(R"(
+module m (input wire clk);
+  sub #(.W(8), .D(2)) sub_i (.clk(clk), .q(), .*);
+endmodule)");
+    const auto& inst = *file.modules[0]->items[0].instance;
+    EXPECT_EQ(inst.moduleName, "sub");
+    EXPECT_EQ(inst.instName, "sub_i");
+    ASSERT_EQ(inst.paramAssigns.size(), 2u);
+    EXPECT_EQ(inst.paramAssigns[0].name, "W");
+    EXPECT_TRUE(inst.wildcardPorts);
+    ASSERT_EQ(inst.portAssigns.size(), 2u);
+    EXPECT_EQ(inst.portAssigns[1].expr, nullptr); // .q() unconnected.
+}
+
+TEST(Parser, AssertionWithLabel) {
+    auto file = parse(R"(
+module m (input wire clk, input wire a, input wire b);
+  as__check: assert property (a |-> s_eventually (b));
+endmodule)");
+    const auto& a = *file.modules[0]->items[0].assertion;
+    EXPECT_EQ(a.kind, AssertionKind::Assert);
+    EXPECT_EQ(a.label, "as__check");
+    ASSERT_EQ(a.prop->kind, PropExpr::Kind::Implication);
+    EXPECT_TRUE(a.prop->overlapping);
+    EXPECT_EQ(a.prop->rhsProp->kind, PropExpr::Kind::Eventually);
+}
+
+TEST(Parser, AssumeAndCover) {
+    auto file = parse(R"(
+module m (input wire clk, input wire a);
+  am__x: assume property (a |=> !a);
+  co__y: cover property (a);
+endmodule)");
+    EXPECT_EQ(file.modules[0]->items[0].assertion->kind, AssertionKind::Assume);
+    EXPECT_FALSE(file.modules[0]->items[0].assertion->prop->overlapping);
+    EXPECT_EQ(file.modules[0]->items[1].assertion->kind, AssertionKind::Cover);
+}
+
+TEST(Parser, DefaultClockingAndDisable) {
+    auto file = parse(R"(
+module m (input wire clk_i, input wire rst_ni, input wire a);
+  default clocking cb @(posedge clk_i); endclocking
+  default disable iff (!rst_ni);
+  p1: assert property (a);
+endmodule)");
+    const auto& mod = *file.modules[0];
+    ASSERT_TRUE(mod.defaultClock.has_value());
+    EXPECT_EQ(*mod.defaultClock, "clk_i");
+    ASSERT_NE(mod.defaultDisable, nullptr);
+}
+
+TEST(Parser, ParenthesizedImplicationProperty) {
+    auto file = parse(R"(
+module m (input wire clk, input wire a, input wire b);
+  p: assert property ((a && b) |-> ##1 b);
+endmodule)");
+    const auto& prop = *file.modules[0]->items[0].assertion->prop;
+    ASSERT_EQ(prop.kind, PropExpr::Kind::Implication);
+    EXPECT_EQ(prop.rhsProp->kind, PropExpr::Kind::Next);
+    EXPECT_EQ(prop.rhsProp->delay, 1);
+}
+
+TEST(Parser, BindDirective) {
+    auto file = parse(R"(
+module m (input wire clk); endmodule
+bind m m_prop prop_i (.*);
+)");
+    ASSERT_EQ(file.binds.size(), 1u);
+    EXPECT_EQ(file.binds[0].targetModule, "m");
+    EXPECT_EQ(file.binds[0].boundModule, "m_prop");
+    EXPECT_TRUE(file.binds[0].wildcardPorts);
+}
+
+TEST(Parser, MemoryDeclaration) {
+    auto file = parse(R"(
+module m (input wire clk);
+  reg [7:0] mem [0:3];
+endmodule)");
+    const auto& net = *file.modules[0]->items[0].net;
+    EXPECT_EQ(net.name, "mem");
+    ASSERT_TRUE(net.unpacked.has_value());
+}
+
+TEST(Parser, ErrorOnGarbage) {
+    EXPECT_THROW(parse("module m; garbage grammar here"), FrontendError);
+    EXPECT_THROW(parse("module m (input wire a; endmodule"), FrontendError);
+    EXPECT_THROW(Parser::parseExpression("a +", "t"), FrontendError);
+    EXPECT_THROW(Parser::parseExpression("a b", "t"), FrontendError);
+}
+
+TEST(Parser, WireWithInitializer) {
+    auto file = parse("module m (input wire a, input wire b); wire x = a && b; endmodule");
+    const auto& net = *file.modules[0]->items[0].net;
+    EXPECT_EQ(net.name, "x");
+    ASSERT_NE(net.init, nullptr);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+// VerificationReport aggregation tests.
+#include <gtest/gtest.h>
+
+#include "sva/report.hpp"
+
+namespace {
+
+using namespace autosva;
+using formal::PropertyResult;
+using formal::Status;
+using Kind = ir::Obligation::Kind;
+
+PropertyResult make(const std::string& name, Kind kind, Status status, int depth = 1) {
+    PropertyResult r;
+    r.name = name;
+    r.kind = kind;
+    r.status = status;
+    r.depth = depth;
+    return r;
+}
+
+TEST(Report, AllProvenSummary) {
+    sva::VerificationReport report;
+    report.dutName = "dut";
+    report.results.push_back(make("as__a", Kind::SafetyBad, Status::Proven));
+    report.results.push_back(make("as__b", Kind::Justice, Status::Proven));
+    report.results.push_back(make("co__c", Kind::Cover, Status::Covered));
+    report.results.push_back(make("am__d", Kind::Constraint, Status::Skipped));
+    EXPECT_TRUE(report.allProven());
+    EXPECT_FALSE(report.anyFailed());
+    EXPECT_DOUBLE_EQ(report.proofRate(), 1.0);
+    EXPECT_EQ(report.outcomeSummary(), "100% liveness/safety properties proof");
+}
+
+TEST(Report, FailureSummaryNamesFirstFailure) {
+    sva::VerificationReport report;
+    report.results.push_back(make("as__ok", Kind::SafetyBad, Status::Proven));
+    report.results.push_back(make("as__bad", Kind::Justice, Status::Failed, 5));
+    EXPECT_TRUE(report.anyFailed());
+    ASSERT_NE(report.firstFailure(), nullptr);
+    EXPECT_EQ(report.firstFailure()->name, "as__bad");
+    EXPECT_NE(report.outcomeSummary().find("as__bad"), std::string::npos);
+    EXPECT_NE(report.outcomeSummary().find("5 cycles"), std::string::npos);
+}
+
+TEST(Report, ProofRateCountsOnlyCheckedAsserts) {
+    sva::VerificationReport report;
+    report.results.push_back(make("as__p", Kind::SafetyBad, Status::Proven));
+    report.results.push_back(make("as__u", Kind::Justice, Status::Unknown));
+    report.results.push_back(make("co__c", Kind::Cover, Status::Covered));   // Not counted.
+    report.results.push_back(make("xp__x", Kind::SafetyBad, Status::Skipped)); // Not counted.
+    EXPECT_DOUBLE_EQ(report.proofRate(), 0.5);
+    EXPECT_FALSE(report.allProven());
+    EXPECT_EQ(report.totalChecked(), 3u);
+}
+
+TEST(Report, FindMatchesSuffixAfterHierarchy) {
+    sva::VerificationReport report;
+    report.results.push_back(make("dut_prop_i.as__x", Kind::SafetyBad, Status::Proven));
+    EXPECT_NE(report.find("as__x"), nullptr);
+    EXPECT_NE(report.find("dut_prop_i.as__x"), nullptr);
+    EXPECT_EQ(report.find("s__x"), nullptr); // No partial-token match.
+    EXPECT_EQ(report.find("as__y"), nullptr);
+}
+
+TEST(Report, TableRenderingContainsEveryProperty) {
+    sva::VerificationReport report;
+    report.dutName = "m";
+    report.results.push_back(make("as__one", Kind::SafetyBad, Status::Proven));
+    report.results.push_back(make("co__two", Kind::Cover, Status::Unreachable));
+    std::string s = report.str();
+    EXPECT_NE(s.find("as__one"), std::string::npos);
+    EXPECT_NE(s.find("co__two"), std::string::npos);
+    EXPECT_NE(s.find("unreachable"), std::string::npos);
+    EXPECT_NE(s.find("DUT: m"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+// SAT solver unit tests: satisfiable/unsatisfiable instances, assumptions,
+// incremental use, and pigeonhole stress.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "formal/sat.hpp"
+
+namespace {
+
+using namespace autosva::formal;
+
+TEST(Sat, TrivialSat) {
+    SatSolver s;
+    int a = s.newVar();
+    s.addUnit(mkSatLit(a));
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(Sat, TrivialUnsat) {
+    SatSolver s;
+    int a = s.newVar();
+    s.addUnit(mkSatLit(a));
+    s.addUnit(satNeg(mkSatLit(a)));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, EmptyClauseUnsat) {
+    SatSolver s;
+    s.addClause({});
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, SimpleImplicationChain) {
+    SatSolver s;
+    const int n = 20;
+    std::vector<int> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(s.newVar());
+    for (int i = 0; i + 1 < n; ++i)
+        s.addBinary(satNeg(mkSatLit(vars[i])), mkSatLit(vars[i + 1]));
+    s.addUnit(mkSatLit(vars[0]));
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    for (int i = 0; i < n; ++i) EXPECT_TRUE(s.modelValue(vars[i]));
+}
+
+TEST(Sat, XorChainParity) {
+    // x0 ^ x1 ^ x2 = 1 via Tseitin-style clauses; forcing all false is UNSAT.
+    SatSolver s;
+    int x0 = s.newVar(), x1 = s.newVar(), x2 = s.newVar();
+    // Encode "odd number of x0,x1,x2 true":
+    s.addTernary(mkSatLit(x0), mkSatLit(x1), mkSatLit(x2));
+    s.addTernary(mkSatLit(x0), satNeg(mkSatLit(x1)), satNeg(mkSatLit(x2)));
+    s.addTernary(satNeg(mkSatLit(x0)), mkSatLit(x1), satNeg(mkSatLit(x2)));
+    s.addTernary(satNeg(mkSatLit(x0)), satNeg(mkSatLit(x1)), mkSatLit(x2));
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    int ones = s.modelValue(x0) + s.modelValue(x1) + s.modelValue(x2);
+    EXPECT_EQ(ones % 2, 1);
+}
+
+TEST(Sat, AssumptionsSatAndUnsat) {
+    SatSolver s;
+    int a = s.newVar(), b = s.newVar();
+    s.addBinary(satNeg(mkSatLit(a)), mkSatLit(b)); // a -> b
+    EXPECT_EQ(s.solve({mkSatLit(a)}), SatResult::Sat);
+    EXPECT_TRUE(s.modelValue(b));
+    // Assume a and !b: contradiction.
+    EXPECT_EQ(s.solve({mkSatLit(a), satNeg(mkSatLit(b))}), SatResult::Unsat);
+    // Solver unchanged: still satisfiable without assumptions.
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(Sat, IncrementalClauseAddition) {
+    SatSolver s;
+    int a = s.newVar(), b = s.newVar();
+    s.addBinary(mkSatLit(a), mkSatLit(b));
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    s.addUnit(satNeg(mkSatLit(a)));
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_TRUE(s.modelValue(b));
+    s.addUnit(satNeg(mkSatLit(b)));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, ContradictoryAssumptionPair) {
+    SatSolver s;
+    int a = s.newVar();
+    EXPECT_EQ(s.solve({mkSatLit(a), satNeg(mkSatLit(a))}), SatResult::Unsat);
+}
+
+TEST(Sat, PigeonholeUnsat) {
+    // PHP(4,3): 4 pigeons in 3 holes — classic small UNSAT instance that
+    // requires real conflict learning.
+    SatSolver s;
+    const int pigeons = 4, holes = 3;
+    std::vector<std::vector<int>> v(pigeons, std::vector<int>(holes));
+    for (auto& row : v)
+        for (auto& cell : row) cell = s.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<SatLit> atLeastOne;
+        for (int h = 0; h < holes; ++h) atLeastOne.push_back(mkSatLit(v[p][h]));
+        s.addClause(atLeastOne);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addBinary(satNeg(mkSatLit(v[p1][h])), satNeg(mkSatLit(v[p2][h])));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+    EXPECT_GT(s.conflicts(), 0u);
+}
+
+TEST(Sat, RandomThreeSatSatisfiableInstancesModelCheck) {
+    // Random planted 3-SAT: generate a random assignment, emit clauses
+    // satisfied by it; solver must find *some* model; verify it.
+    std::mt19937_64 rng(42);
+    for (int iter = 0; iter < 10; ++iter) {
+        SatSolver s;
+        const int n = 30, m = 100;
+        std::vector<int> vars;
+        std::vector<bool> planted;
+        for (int i = 0; i < n; ++i) {
+            vars.push_back(s.newVar());
+            planted.push_back(rng() & 1);
+        }
+        std::vector<std::vector<SatLit>> clauses;
+        for (int c = 0; c < m; ++c) {
+            std::vector<SatLit> clause;
+            bool satisfied = false;
+            for (int k = 0; k < 3; ++k) {
+                int var = static_cast<int>(rng() % n);
+                bool neg = rng() & 1;
+                if (planted[var] != neg) satisfied = true;
+                clause.push_back(mkSatLit(vars[var], neg));
+            }
+            if (!satisfied) clause[0] = mkSatLit(satVar(clause[0]), !planted[satVar(clause[0])]);
+            clauses.push_back(clause);
+            s.addClause(clause);
+        }
+        ASSERT_EQ(s.solve(), SatResult::Sat);
+        for (const auto& clause : clauses) {
+            bool sat = false;
+            for (SatLit l : clauses.back().empty() ? clause : clause)
+                if (s.modelValue(satVar(l)) != satSign(l)) sat = true;
+            EXPECT_TRUE(sat);
+        }
+    }
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown) {
+    // A hard instance with a tiny budget must bail out with Unknown.
+    SatSolver s;
+    s.setConflictBudget(1);
+    const int pigeons = 7, holes = 6;
+    std::vector<std::vector<int>> v(pigeons, std::vector<int>(holes));
+    for (auto& row : v)
+        for (auto& cell : row) cell = s.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<SatLit> clause;
+        for (int h = 0; h < holes; ++h) clause.push_back(mkSatLit(v[p][h]));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addBinary(satNeg(mkSatLit(v[p1][h])), satNeg(mkSatLit(v[p2][h])));
+    EXPECT_EQ(s.solve(), SatResult::Unknown);
+}
+
+} // namespace

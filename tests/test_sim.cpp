@@ -1,0 +1,244 @@
+// Simulator unit tests: 4-state semantics, X propagation, register
+// behaviour, obligation checking in simulation, VCD output.
+#include <gtest/gtest.h>
+
+#include "rtlir/elaborate.hpp"
+#include "sim/simulator.hpp"
+#include "sim/vcd.hpp"
+
+namespace {
+
+using namespace autosva;
+using sim::Simulator;
+
+std::unique_ptr<ir::Design> elab(const std::string& src, const std::string& top) {
+    util::DiagEngine diags;
+    return ir::elaborateSources({src}, top, diags, {});
+}
+
+TEST(Sim, CounterCounts) {
+    auto d = elab(R"(
+module counter (input wire clk, input wire rst_n, input wire en, output reg [3:0] q);
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 4'd0;
+    else if (en) q <= q + 4'd1;
+  end
+endmodule)",
+                  "counter");
+    Simulator s(*d, Simulator::XMode::TwoState);
+    s.setInput("rst_n", 1);
+    s.setInput("en", 1);
+    for (int i = 0; i < 5; ++i) s.step();
+    s.evalComb();
+    EXPECT_EQ(s.value("q").val, 5u);
+    s.setInput("en", 0);
+    s.step();
+    s.evalComb();
+    EXPECT_EQ(s.value("q").val, 5u);
+}
+
+TEST(Sim, CounterWraps) {
+    auto d = elab(R"(
+module counter (input wire clk, input wire rst_n, output reg [1:0] q);
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 2'd0;
+    else q <= q + 2'd1;
+  end
+endmodule)",
+                  "counter");
+    Simulator s(*d, Simulator::XMode::TwoState);
+    s.setInput("rst_n", 1);
+    for (int i = 0; i < 6; ++i) s.step();
+    s.evalComb();
+    EXPECT_EQ(s.value("q").val, 2u); // 6 mod 4.
+}
+
+TEST(Sim, UninitializedRegIsXInFourState) {
+    auto d = elab(R"(
+module m (input wire clk, input wire d, output reg q);
+  always_ff @(posedge clk) q <= d;
+endmodule)",
+                  "m");
+    Simulator s(*d, Simulator::XMode::FourState);
+    s.evalComb();
+    EXPECT_NE(s.value("q").x, 0u); // Unknown before first clock.
+    s.setInput("d", 1);
+    s.step();
+    s.evalComb();
+    EXPECT_EQ(s.value("q").x, 0u);
+    EXPECT_EQ(s.value("q").val, 1u);
+}
+
+TEST(Sim, XPropagationThroughGates) {
+    auto d = elab(R"(
+module m (input wire a, input wire b, output wire y_and, output wire y_or);
+  assign y_and = a && b;
+  assign y_or = a || b;
+endmodule)",
+                  "m");
+    Simulator s(*d, Simulator::XMode::FourState);
+    // a = X (never driven), b = 0: AND is known 0, OR is X.
+    s.setInput("b", 0);
+    s.evalComb();
+    EXPECT_EQ(s.value("y_and").val, 0u);
+    EXPECT_EQ(s.value("y_and").x, 0u);
+    EXPECT_NE(s.value("y_or").x, 0u);
+    // b = 1: OR is known 1, AND is X.
+    s.setInput("b", 1);
+    s.evalComb();
+    EXPECT_EQ(s.value("y_or").val, 1u);
+    EXPECT_EQ(s.value("y_or").x, 0u);
+    EXPECT_NE(s.value("y_and").x, 0u);
+}
+
+TEST(Sim, IsUnknownSeesXPlane) {
+    auto d = elab(R"(
+module m (input wire clk, input wire v, output wire unk);
+  wire undriven;
+  assign unk = $isunknown(undriven);
+endmodule)",
+                  "m");
+    Simulator s(*d, Simulator::XMode::FourState);
+    s.evalComb();
+    EXPECT_EQ(s.value("unk").val, 1u); // Free signal starts X.
+    ir::NodeId und = d->findSignal("undriven");
+    s.setInput(und, 0);
+    s.evalComb();
+    EXPECT_EQ(s.value("unk").val, 0u);
+}
+
+TEST(Sim, SafetyViolationDetected) {
+    auto d = elab(R"(
+module m (input wire clk_i, input wire rst_ni, input wire a, input wire b);
+  as__follows: assert property (a |-> b);
+endmodule)",
+                  "m");
+    Simulator s(*d, Simulator::XMode::TwoState);
+    s.enableChecking(true);
+    s.setInput("rst_ni", 1);
+    s.setInput("a", 1);
+    s.setInput("b", 1);
+    s.step();
+    EXPECT_TRUE(s.violations().empty());
+    s.setInput("b", 0);
+    s.step();
+    ASSERT_EQ(s.violations().size(), 1u);
+    EXPECT_EQ(s.violations()[0].obligationName, "as__follows");
+    EXPECT_EQ(s.violations()[0].cycle, 1u);
+}
+
+TEST(Sim, DisabledDuringResetNoViolation) {
+    auto d = elab(R"(
+module m (input wire clk_i, input wire rst_ni, input wire a, input wire b);
+  default disable iff (!rst_ni);
+  as__follows: assert property (a |-> b);
+endmodule)",
+                  "m");
+    Simulator s(*d, Simulator::XMode::TwoState);
+    s.enableChecking(true);
+    s.setInput("rst_ni", 0); // In reset: property disabled.
+    s.setInput("a", 1);
+    s.setInput("b", 0);
+    s.step();
+    EXPECT_TRUE(s.violations().empty());
+}
+
+TEST(Sim, CoverRecordedOnce) {
+    auto d = elab(R"(
+module m (input wire clk_i, input wire rst_ni, input wire a);
+  co__seen: cover property (a);
+endmodule)",
+                  "m");
+    Simulator s(*d, Simulator::XMode::TwoState);
+    s.enableChecking(true);
+    s.setInput("rst_ni", 1);
+    s.setInput("a", 1);
+    s.step();
+    s.step();
+    ASSERT_EQ(s.coveredObligations().size(), 1u);
+    EXPECT_EQ(s.coveredObligations()[0], "co__seen");
+}
+
+TEST(Sim, XpropAssertionFiresOnUnknownAttribute) {
+    auto d = elab(R"(
+module m (input wire clk_i, input wire rst_ni, input wire v, input wire [3:0] payload);
+  xp__payload: assert property (v |-> !$isunknown(payload));
+endmodule)",
+                  "m");
+    Simulator s(*d, Simulator::XMode::FourState);
+    s.enableChecking(true);
+    s.setInput("rst_ni", 1);
+    s.setInput("v", 1); // payload left undriven -> X.
+    s.step();
+    ASSERT_EQ(s.violations().size(), 1u);
+    EXPECT_EQ(s.violations()[0].obligationName, "xp__payload");
+    // Driving the payload clears the violation source.
+    s.setInput("payload", 7);
+    s.step();
+    EXPECT_EQ(s.violations().size(), 1u);
+}
+
+TEST(Sim, StablePastRegisterSemantics) {
+    auto d = elab(R"(
+module m (input wire clk_i, input wire rst_ni, input wire [3:0] v, output wire st);
+  assign st = $stable(v);
+endmodule)",
+                  "m");
+    Simulator s(*d, Simulator::XMode::TwoState);
+    s.setInput("rst_ni", 1);
+    s.setInput("v", 5);
+    s.evalComb();
+    EXPECT_EQ(s.value("st").val, 1u); // past_valid gating: true at cycle 0.
+    s.step();
+    s.evalComb();
+    EXPECT_EQ(s.value("st").val, 1u); // Value unchanged across the edge.
+    s.setInput("v", 6);
+    s.evalComb();
+    EXPECT_EQ(s.value("st").val, 0u); // 6 now vs 5 sampled at the last edge.
+    s.step();
+    s.evalComb();
+    EXPECT_EQ(s.value("st").val, 1u); // 6 was sampled; stable again.
+}
+
+TEST(Sim, RandomSimulationRunsWithoutViolationsOnGoodDesign) {
+    auto d = elab(R"(
+module m (input wire clk_i, input wire rst_ni, input wire [3:0] a, output reg [3:0] q);
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) q <= 4'd0;
+    else q <= a;
+  end
+  as__tautology: assert property (q == q);
+endmodule)",
+                  "m");
+    Simulator s(*d, Simulator::XMode::TwoState);
+    s.enableChecking(true);
+    std::mt19937_64 rng(1234);
+    for (int i = 0; i < 100; ++i) {
+        s.randomizeInputs(rng);
+        s.setInput("rst_ni", 1);
+        s.step();
+    }
+    EXPECT_TRUE(s.violations().empty());
+}
+
+TEST(Sim, VcdOutputWellFormed) {
+    auto d = elab(R"(
+module m (input wire clk, input wire rst_n, output reg [3:0] q);
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 4'd0;
+    else q <= q + 4'd1;
+  end
+endmodule)",
+                  "m");
+    Simulator s(*d, Simulator::XMode::TwoState);
+    s.enableTrace(true);
+    s.setInput("rst_n", 1);
+    for (int i = 0; i < 4; ++i) s.step();
+    std::string vcd = sim::traceToVcd(*d, s.trace(), "m");
+    EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 4"), std::string::npos);
+    EXPECT_NE(vcd.find("#0"), std::string::npos);
+    EXPECT_NE(vcd.find("#30"), std::string::npos);
+}
+
+} // namespace

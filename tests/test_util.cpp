@@ -1,0 +1,112 @@
+// util library tests: strings, diagnostics, tables.
+#include <gtest/gtest.h>
+
+#include "util/diagnostics.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace autosva::util;
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t\n x \r\n"), "x");
+    EXPECT_EQ(trimLeft("  x "), "x ");
+    EXPECT_EQ(trimRight(" x  "), " x");
+}
+
+TEST(Strings, Split) {
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, SplitLines) {
+    auto lines = splitLines("a\nb\r\nc");
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[1], "b");
+    EXPECT_EQ(lines[2], "c");
+    EXPECT_TRUE(splitLines("").empty() || splitLines("")[0].empty());
+}
+
+TEST(Strings, JoinAndReplace) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(replaceAll("aXbXc", "X", "--"), "a--b--c");
+    EXPECT_EQ(replaceAll("aaa", "a", "aa"), "aaaaaa");
+}
+
+TEST(Strings, IsIdentifier) {
+    EXPECT_TRUE(isIdentifier("foo_bar1"));
+    EXPECT_TRUE(isIdentifier("_x"));
+    EXPECT_FALSE(isIdentifier("1abc"));
+    EXPECT_FALSE(isIdentifier("a-b"));
+    EXPECT_FALSE(isIdentifier(""));
+}
+
+TEST(Strings, CaseConversion) {
+    EXPECT_EQ(toLower("AbC"), "abc");
+    EXPECT_EQ(toUpper("AbC"), "ABC");
+}
+
+TEST(Strings, Indent) {
+    EXPECT_EQ(indent("a\nb", 2), "  a\n  b\n");
+    EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b\n");
+}
+
+TEST(Diagnostics, CollectAndQuery) {
+    DiagEngine diags;
+    EXPECT_FALSE(diags.hasErrors());
+    diags.warning({"f.sv", 3, 1}, "w1");
+    diags.error({"f.sv", 5, 2}, "e1");
+    diags.note({}, "n1");
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_EQ(diags.count(Severity::Warning), 1u);
+    EXPECT_EQ(diags.count(Severity::Error), 1u);
+    EXPECT_EQ(diags.count(Severity::Note), 1u);
+    EXPECT_NE(diags.str().find("f.sv:5:2: error: e1"), std::string::npos);
+    diags.clear();
+    EXPECT_FALSE(diags.hasErrors());
+}
+
+TEST(Diagnostics, FrontendErrorCarriesLocation) {
+    FrontendError err({"x.sv", 10, 4}, "boom");
+    EXPECT_EQ(err.loc().line, 10u);
+    EXPECT_NE(std::string(err.what()).find("x.sv:10:4"), std::string::npos);
+}
+
+TEST(SourceLoc, Formatting) {
+    EXPECT_EQ(SourceLoc{}.str(), "<unknown>");
+    EXPECT_EQ((SourceLoc{"a.sv", 1, 2}).str(), "a.sv:1:2");
+    EXPECT_FALSE(SourceLoc{}.valid());
+}
+
+TEST(TextTable, AlignsColumns) {
+    TextTable t({"name", "v"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+    EXPECT_NE(s.find("| longer | 22 |"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, SeparatorAndRaggedRows) {
+    TextTable t({"a", "b"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2", "3"});
+    std::string s = t.str();
+    // 4 separator lines: top, after header, requested, bottom.
+    size_t count = 0;
+    for (const auto& line : splitLines(s))
+        if (!line.empty() && line[0] == '+') ++count;
+    EXPECT_EQ(count, 4u);
+}
+
+} // namespace

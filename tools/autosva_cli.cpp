@@ -1,0 +1,237 @@
+// The `autosva` command-line tool — the user experience of the original
+// Python script: point it at an annotated RTL file, get a ready-to-run
+// formal testbench, optionally run the built-in engine on the spot.
+//
+//   autosva gen  <dut.sv> [-o OUTDIR] [--tool jasper|sby|all] [--assert-inputs]
+//   autosva run  <dut.sv> [extra.sv ...] [--bug N] [--depth N] [--no-liveness]
+//   autosva sim  <dut.sv> [--cycles N] [--seed N] [--vcd FILE]
+//   autosva list                     # registered paper designs
+//   autosva run-design <name> [...]  # verify a registered design
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+
+#include "core/autosva.hpp"
+#include "designs/designs.hpp"
+#include "formal/replay.hpp"
+#include "sim/vcd.hpp"
+
+namespace {
+
+using namespace autosva;
+namespace fs = std::filesystem;
+
+[[noreturn]] void usage() {
+    std::cerr <<
+        R"(autosva — generate and run formal testbenches from RTL annotations
+
+usage:
+  autosva gen  <dut.sv> [-o OUTDIR] [--tool jasper|sby|all] [--assert-inputs]
+               [--no-xprop] [--max-outstanding N] [--dut NAME]
+  autosva run  <dut.sv> [extra.sv ...] [--param NAME=VALUE] [--depth N]
+               [--no-liveness] [--no-covers]
+  autosva sim  <dut.sv> [--cycles N] [--seed N] [--vcd FILE]
+  autosva list
+  autosva run-design <name> [--bug 0|1] [--depth N]
+)";
+    std::exit(2);
+}
+
+std::string readFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "error: cannot open '" << path << "'\n";
+        std::exit(1);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void writeFile(const fs::path& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+    std::cout << "  wrote " << path.string() << " (" << content.size() << " bytes)\n";
+}
+
+struct Args {
+    std::vector<std::string> positional;
+    std::unordered_map<std::string, std::string> options;
+    std::vector<std::pair<std::string, uint64_t>> params;
+
+    [[nodiscard]] bool has(const std::string& name) const { return options.count(name) != 0; }
+    [[nodiscard]] std::string get(const std::string& name, const std::string& dflt) const {
+        auto it = options.find(name);
+        return it == options.end() ? dflt : it->second;
+    }
+    [[nodiscard]] long getInt(const std::string& name, long dflt) const {
+        auto it = options.find(name);
+        return it == options.end() ? dflt : std::stol(it->second);
+    }
+};
+
+Args parseArgs(int argc, char** argv, int start) {
+    Args args;
+    static const char* valueOpts[] = {"-o", "--tool", "--max-outstanding", "--dut",   "--depth",
+                                      "--cycles", "--seed", "--vcd", "--bug", "--param"};
+    for (int i = start; i < argc; ++i) {
+        std::string a = argv[i];
+        bool takesValue = false;
+        for (const char* opt : valueOpts) takesValue = takesValue || a == opt;
+        if (takesValue) {
+            if (i + 1 >= argc) usage();
+            std::string value = argv[++i];
+            if (a == "--param") {
+                auto eq = value.find('=');
+                if (eq == std::string::npos) usage();
+                args.params.emplace_back(value.substr(0, eq),
+                                         std::stoull(value.substr(eq + 1)));
+            } else {
+                args.options[a] = value;
+            }
+        } else if (a.rfind("--", 0) == 0) {
+            args.options[a] = "1";
+        } else {
+            args.positional.push_back(a);
+        }
+    }
+    return args;
+}
+
+core::FormalTestbench generate(const std::string& rtl, const Args& args,
+                               util::DiagEngine& diags) {
+    core::AutoSvaOptions opts;
+    opts.dutName = args.get("--dut", "");
+    opts.assertInputs = args.has("--assert-inputs");
+    opts.includeXprop = !args.has("--no-xprop");
+    opts.maxOutstanding = static_cast<int>(args.getInt("--max-outstanding", 8));
+    return core::generateFT(rtl, opts, diags);
+}
+
+int cmdGen(const Args& args) {
+    if (args.positional.empty()) usage();
+    std::string rtl = readFile(args.positional[0]);
+    util::DiagEngine diags;
+    core::FormalTestbench ft = generate(rtl, args, diags);
+    std::cerr << diags.str();
+
+    fs::path outDir = args.get("-o", ft.dutName + "_ft");
+    fs::create_directories(outDir);
+    std::cout << "Generated " << ft.numProperties() << " properties ("
+              << ft.numAssertions() << " asserts, " << ft.numAssumptions() << " assumes, "
+              << ft.numCovers() << " covers) from " << ft.annotationLines
+              << " annotation lines in " << ft.generationSeconds * 1e3 << " ms\n";
+    writeFile(outDir / (ft.propertyModuleName + ".sv"), ft.propertyFile);
+    writeFile(outDir / (ft.dutName + "_bind.svh"), ft.bindFile);
+    std::string tool = args.get("--tool", "all");
+    if (tool == "jasper" || tool == "all") writeFile(outDir / "jasper.tcl", ft.jasperTcl);
+    if (tool == "sby" || tool == "all") writeFile(outDir / (ft.dutName + ".sby"), ft.sbyFile);
+    return 0;
+}
+
+int runReport(const std::vector<std::string>& sources, const core::FormalTestbench& ft,
+              const Args& args) {
+    util::DiagEngine diags;
+    core::VerifyOptions vopts;
+    vopts.engine.bmcDepth = static_cast<int>(args.getInt("--depth", 25));
+    vopts.engine.useLivenessToSafety = !args.has("--no-liveness");
+    vopts.engine.checkCovers = !args.has("--no-covers");
+    for (const auto& [name, value] : args.params) vopts.paramOverrides[name] = value;
+    auto report = core::verify(sources, ft, vopts, diags);
+    std::cout << report.str();
+    // Print the first failing trace, if any.
+    if (const auto* failure = report.firstFailure()) {
+        auto design = core::elaborateWithFT(sources, ft, vopts, diags);
+        std::vector<std::string> signals;
+        for (ir::NodeId input : design->inputs()) {
+            const std::string& name = design->node(input).name;
+            if (name.find('.') == std::string::npos && name.rfind("__", 0) != 0)
+                signals.push_back(name);
+        }
+        std::cout << "\nFirst counterexample (" << failure->name << "):\n"
+                  << formal::formatTrace(*design, failure->trace, signals);
+    }
+    return report.anyFailed() ? 1 : 0;
+}
+
+int cmdRun(const Args& args) {
+    if (args.positional.empty()) usage();
+    std::vector<std::string> sources;
+    for (const auto& path : args.positional) sources.push_back(readFile(path));
+    util::DiagEngine diags;
+    core::FormalTestbench ft = generate(sources[0], args, diags);
+    std::cerr << diags.str();
+    return runReport(sources, ft, args);
+}
+
+int cmdSim(const Args& args) {
+    if (args.positional.empty()) usage();
+    std::string rtl = readFile(args.positional[0]);
+    util::DiagEngine diags;
+    core::FormalTestbench ft = generate(rtl, args, diags);
+    auto design = core::elaborateWithFT({rtl}, ft, {}, diags, /*tieReset=*/false);
+
+    sim::Simulator simulator(*design, sim::Simulator::XMode::FourState);
+    simulator.enableChecking(true);
+    simulator.enableTrace(args.has("--vcd"));
+    std::mt19937_64 rng(static_cast<uint64_t>(args.getInt("--seed", 1)));
+    long cycles = args.getInt("--cycles", 1000);
+    for (long i = 0; i < cycles; ++i) {
+        simulator.randomizeInputs(rng);
+        simulator.setInput("rst_ni", i == 0 ? 0 : 1);
+        simulator.step();
+    }
+    std::cout << "Simulated " << cycles << " cycles: " << simulator.violations().size()
+              << " assertion violations, " << simulator.coveredObligations().size()
+              << " covers hit\n";
+    for (const auto& v : simulator.violations())
+        std::cout << "  violation @" << v.cycle << ": " << v.obligationName << "\n";
+    if (args.has("--vcd")) {
+        std::ofstream out(args.get("--vcd", "trace.vcd"));
+        out << sim::traceToVcd(*design, simulator.trace(), ft.dutName);
+        std::cout << "  VCD written to " << args.get("--vcd", "trace.vcd") << "\n";
+    }
+    return simulator.violations().empty() ? 0 : 1;
+}
+
+int cmdList() {
+    for (const auto& d : designs::allDesigns())
+        std::cout << d.id << "  " << d.name << " — " << d.description << "\n      paper: "
+                  << d.paperResult << (d.hasBugParam ? "  [BUG param]" : "") << "\n";
+    return 0;
+}
+
+int cmdRunDesign(const Args& args) {
+    if (args.positional.empty()) usage();
+    const auto& info = designs::design(args.positional[0]);
+    util::DiagEngine diags;
+    core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+    Args runArgs = args;
+    if (info.hasBugParam)
+        runArgs.params.emplace_back("BUG", static_cast<uint64_t>(args.getInt("--bug", 0)));
+    std::vector<std::string> sources = designs::rtlSources(info);
+    if (!info.extensionSva.empty()) sources.push_back(info.extensionSva);
+    return runReport(sources, ft, runArgs);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) usage();
+    std::string cmd = argv[1];
+    try {
+        Args args = parseArgs(argc, argv, 2);
+        if (cmd == "gen") return cmdGen(args);
+        if (cmd == "run") return cmdRun(args);
+        if (cmd == "sim") return cmdSim(args);
+        if (cmd == "list") return cmdList();
+        if (cmd == "run-design") return cmdRunDesign(args);
+        usage();
+    } catch (const util::FrontendError& err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+}
