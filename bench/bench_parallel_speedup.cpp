@@ -1,0 +1,95 @@
+// Parallel-discharge speedup: wall-clock of the obligation scheduler at 1
+// vs N workers on the Ariane MMU and LSU property sets, with a verdict
+// cross-check (per-property statuses, depths, and ordering must be
+// byte-identical — the scheduler's determinism contract).
+//
+// Run:  bench_parallel_speedup [workers] [rounds]
+// Exit: non-zero if any multi-worker run diverges from the sequential one.
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/autosva.hpp"
+#include "designs/designs.hpp"
+#include "rtlir/elaborate.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace autosva;
+
+std::string fingerprint(const std::vector<formal::PropertyResult>& results) {
+    std::ostringstream out;
+    for (const auto& r : results)
+        out << r.name << '|' << formal::statusName(r.status) << '|' << r.depth << '\n';
+    return out.str();
+}
+
+struct Measurement {
+    double seconds = 0.0;
+    std::string verdicts;
+};
+
+/// Elaborates the design+FT once per call and times only checkAll() — the
+/// part the scheduler parallelizes. `rounds` > 1 takes the fastest run.
+Measurement measure(const std::string& designName, int jobs, int rounds) {
+    const auto& info = designs::design(designName);
+    util::DiagEngine diags;
+    core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+    core::VerifyOptions vopts;
+    vopts.engine = bench::defaultBenchEngine();
+    vopts.engine.pdrMaxQueries = 30000; // Bound the tail: this is a throughput bench.
+    vopts.engine.jobs = jobs;
+    if (!info.extensionSva.empty()) vopts.extraSources.push_back(info.extensionSva);
+    auto design =
+        core::elaborateWithFT(designs::rtlSources(info), ft, vopts, diags, /*tieReset=*/true);
+
+    Measurement m;
+    m.seconds = 1e30;
+    for (int round = 0; round < rounds; ++round) {
+        formal::Engine engine(*design, vopts.engine);
+        util::Stopwatch sw;
+        auto results = engine.checkAll();
+        m.seconds = std::min(m.seconds, sw.seconds());
+        m.verdicts = fingerprint(results);
+    }
+    return m;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+    int rounds = argc > 2 ? std::atoi(argv[2]) : 1;
+    if (workers < 2 || rounds < 1) {
+        std::cerr << "usage: bench_parallel_speedup [workers>=2] [rounds>=1]\n";
+        return 2;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+
+    bench::banner("Parallel obligation-discharge speedup (1 vs " + std::to_string(workers) +
+                  " workers)");
+    std::cout << "hardware threads: " << hw << "\n";
+    if (hw < static_cast<unsigned>(workers))
+        std::cout << "NOTE: fewer hardware threads than workers — speedup is "
+                     "bounded by the hardware, expect ~1.0x on this machine\n";
+    std::cout << "\n";
+
+    bool identical = true;
+    for (const std::string& name : {std::string("ariane_mmu"), std::string("ariane_lsu")}) {
+        Measurement seq = measure(name, 1, rounds);
+        Measurement par = measure(name, workers, rounds);
+        bool same = seq.verdicts == par.verdicts;
+        identical = identical && same;
+        std::printf("%-14s  1 worker: %7.2fs   %d workers: %7.2fs   speedup: %.2fx   "
+                    "verdicts: %s\n",
+                    name.c_str(), seq.seconds, workers, par.seconds,
+                    seq.seconds / par.seconds, same ? "identical" : "DIVERGED");
+    }
+    if (!identical) {
+        std::cout << "\nFAIL: multi-worker verdicts diverged from sequential\n";
+        return 1;
+    }
+    return 0;
+}

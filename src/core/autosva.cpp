@@ -124,7 +124,9 @@ sva::VerificationReport generateAndVerify(const std::string& rtlSource,
                                           const VerifyOptions& verifyOpts,
                                           util::DiagEngine& diags) {
     FormalTestbench ft = generateFT(rtlSource, genOpts, diags);
-    return verify({rtlSource}, ft, verifyOpts, diags);
+    VerifyOptions vopts = verifyOpts;
+    if (vopts.engine.jobs <= 1 && genOpts.jobs > 1) vopts.engine.jobs = genOpts.jobs;
+    return verify({rtlSource}, ft, vopts, diags);
 }
 
 } // namespace autosva::core

@@ -30,6 +30,11 @@ struct AutoSvaOptions {
     bool includeXprop = true;
     bool includeCovers = true;
     int maxOutstanding = 8;
+    /// Worker-thread count for property discharge when this options object
+    /// drives an end-to-end generateAndVerify() run and the VerifyOptions
+    /// leave engine.jobs at its default (<= 1). A VerifyOptions::engine.jobs
+    /// value > 1 takes precedence over this field.
+    int jobs = 1;
 };
 
 /// A complete generated formal testbench.

@@ -1,13 +1,5 @@
 #include "formal/engine.hpp"
 
-#include <algorithm>
-#include <cassert>
-
-#include "formal/pdr.hpp"
-#include "formal/sat.hpp"
-#include "formal/unroll.hpp"
-#include "util/stopwatch.hpp"
-
 namespace autosva::formal {
 
 const char* statusName(Status s) {
@@ -20,355 +12,6 @@ const char* statusName(Status s) {
     case Status::Skipped: return "skipped";
     }
     return "?";
-}
-
-// ---------------------------------------------------------------------------
-// Engine
-// ---------------------------------------------------------------------------
-
-Engine::Engine(const ir::Design& design, EngineOptions opts)
-    : design_(design), opts_(opts), bb_(bitblast(design)) {
-    opts_.maxInductionK = std::min(opts_.maxInductionK, opts_.bmcDepth);
-    for (const auto& ob : design.obligations()) {
-        if (ob.xprop) continue;
-        if (ob.kind == ir::Obligation::Kind::Constraint)
-            constraints_.push_back(bb_.lit(ob.net));
-        else if (ob.kind == ir::Obligation::Kind::Fairness)
-            fairness_.push_back(bb_.lit(ob.net));
-    }
-}
-
-void Engine::buildLivenessAig() {
-    if (liveBuilt_) return;
-    liveBuilt_ = true;
-    liveAig_ = bb_.aig; // Copy preserves var numbering; original lits stay valid.
-    Aig& a = liveAig_;
-
-    saveOracle_ = a.mkInput("__l2s_save");
-    AigLit saved = a.mkLatch(0, "__l2s_saved");
-    AigLit saveNow = a.mkAnd(saveOracle_, aigNot(saved));
-    AigLit savedNext = a.mkOr(saved, saveNow);
-    a.setLatchNext(saved, savedNext);
-
-    // Shadow copy of every original latch, captured at the save point.
-    std::vector<uint32_t> originalLatches = bb_.aig.latches();
-    AigLit stateEq = kAigTrue;
-    for (uint32_t lv : originalLatches) {
-        AigLit latch = aigMkLit(lv);
-        AigLit shadow = a.mkLatch(-1, "__l2s_shadow_" + std::to_string(lv));
-        a.setLatchNext(shadow, a.mkMux(saveNow, latch, shadow));
-        stateEq = a.mkAnd(stateEq, aigNot(a.mkXor(latch, shadow)));
-    }
-    AigLit loopClosed = a.mkAnd(saved, stateEq);
-
-    // Fairness trackers: each assumed-fair signal must occur inside the loop.
-    AigLit fairAll = kAigTrue;
-    for (AigLit f : fairness_) {
-        AigLit seen = a.mkLatch(0, "__l2s_fair");
-        a.setLatchNext(seen, a.mkAnd(savedNext, a.mkOr(seen, f)));
-        fairAll = a.mkAnd(fairAll, seen);
-    }
-
-    // Per-justice-obligation "seen" trackers and bad nets.
-    for (const auto& ob : design_.obligations()) {
-        if (ob.xprop || ob.kind != ir::Obligation::Kind::Justice) continue;
-        AigLit j = bb_.lit(ob.net);
-        AigLit seen = a.mkLatch(0, "__l2s_just_" + ob.name);
-        a.setLatchNext(seen, a.mkAnd(savedNext, a.mkOr(seen, j)));
-        // Violation: loop closed, all fairness seen, justice never seen.
-        liveBads_[&ob] = a.mkAnd(a.mkAnd(loopClosed, fairAll), aigNot(seen));
-        liveSeen_[&ob] = seen;
-    }
-}
-
-CexTrace Engine::extractTrace(const Aig& aig, Unroller& un, SatSolver& solver, int frames,
-                              AigLit saveOracle) {
-    CexTrace trace;
-    // Initial register values.
-    for (const auto& [node, vars] : bb_.latchVars) {
-        uint64_t value = 0;
-        for (size_t i = 0; i < vars.size(); ++i) {
-            SatLit l = un.peek(0, aigMkLit(vars[i]));
-            bool bit = false;
-            if (l != Unroller::kUnset) bit = satSign(l) ? !solver.modelValue(satVar(l))
-                                                        : solver.modelValue(satVar(l));
-            if (bit) value |= uint64_t{1} << i;
-        }
-        trace.initialRegs[design_.node(node).name] = value;
-    }
-    // Inputs per frame.
-    for (int f = 0; f <= frames; ++f) {
-        std::unordered_map<std::string, uint64_t> frame;
-        for (const auto& [node, vars] : bb_.inputVars) {
-            uint64_t value = 0;
-            for (size_t i = 0; i < vars.size(); ++i) {
-                SatLit l = un.peek(f, aigMkLit(vars[i]));
-                bool bit = false;
-                if (l != Unroller::kUnset)
-                    bit = satSign(l) ? !solver.modelValue(satVar(l))
-                                     : solver.modelValue(satVar(l));
-                if (bit) value |= uint64_t{1} << i;
-            }
-            frame[design_.node(node).name] = value;
-        }
-        trace.inputs.push_back(std::move(frame));
-    }
-    // Liveness lasso: locate the save point.
-    if (saveOracle != kAigFalse) {
-        for (int f = 0; f <= frames; ++f) {
-            SatLit l = un.peek(f, saveOracle);
-            if (l == Unroller::kUnset) continue;
-            bool bit = satSign(l) ? !solver.modelValue(satVar(l)) : solver.modelValue(satVar(l));
-            if (bit) {
-                trace.loopStart = f;
-                break;
-            }
-        }
-    }
-    (void)aig;
-    return trace;
-}
-
-void Engine::runGroup(const Aig& aig, const std::vector<AigLit>& constraints,
-                      std::vector<Job*>& jobs, bool coverMode) {
-    if (jobs.empty()) return;
-
-    // ---- Phase 1: shared BMC from the initial state. ----
-    {
-        SatSolver solver;
-        solver.setConflictBudget(opts_.conflictBudget);
-        Unroller un(aig, solver, Unroller::Init::Reset);
-        size_t unresolved = jobs.size();
-        for (int k = 0; k <= opts_.bmcDepth && unresolved > 0; ++k) {
-            for (AigLit c : constraints) solver.addUnit(un.lit(k, c));
-            for (Job* job : jobs) {
-                if (job->result.status != Status::Unknown) continue;
-                util::Stopwatch sw;
-                SatLit bad = un.lit(k, job->bad);
-                SatResult r = solver.solve({bad});
-                ++stats_.satCalls;
-                job->result.seconds += sw.seconds();
-                if (r == SatResult::Sat) {
-                    job->result.status = coverMode ? Status::Covered : Status::Failed;
-                    job->result.depth = k;
-                    job->result.trace = extractTrace(aig, un, solver, k,
-                                                     job->onLiveAig ? saveOracle_ : kAigFalse);
-                    --unresolved;
-                } else if (r == SatResult::Unsat) {
-                    solver.addUnit(satNeg(bad)); // Strengthen deeper frames.
-                } else {
-                    // Budget exhausted: leave Unknown, stop refining this job.
-                    job->result.depth = k;
-                    --unresolved;
-                }
-            }
-        }
-        stats_.conflicts += solver.conflicts();
-        stats_.propagations += solver.propagations();
-    }
-
-    // ---- Phase 2: k-induction for still-unknown jobs. ----
-    bool anyOpen = std::any_of(jobs.begin(), jobs.end(), [](Job* j) {
-        return j->result.status == Status::Unknown;
-    });
-    if (!anyOpen) return;
-
-    for (int k = 1; k <= opts_.maxInductionK; ++k) {
-        SatSolver solver;
-        solver.setConflictBudget(opts_.conflictBudget);
-        Unroller un(aig, solver, Unroller::Init::Free);
-        // Constraints hold in all frames 0..k.
-        for (int f = 0; f <= k; ++f)
-            for (AigLit c : constraints) solver.addUnit(un.lit(f, c));
-        // Simple-path: all states pairwise distinct (makes induction complete).
-        const auto& latches = aig.latches();
-        for (int i = 0; i <= k; ++i) {
-            for (int j = i + 1; j <= k; ++j) {
-                std::vector<SatLit> diff;
-                diff.reserve(latches.size());
-                for (uint32_t lv : latches) {
-                    SatLit a = un.lit(i, aigMkLit(lv));
-                    SatLit b = un.lit(j, aigMkLit(lv));
-                    SatLit d = mkSatLit(solver.newVar());
-                    // d <-> a xor b
-                    solver.addTernary(satNeg(d), a, b);
-                    solver.addTernary(satNeg(d), satNeg(a), satNeg(b));
-                    solver.addTernary(d, satNeg(a), b);
-                    solver.addTernary(d, a, satNeg(b));
-                    diff.push_back(d);
-                }
-                solver.addClause(std::move(diff));
-            }
-        }
-        bool progress = false;
-        for (Job* job : jobs) {
-            if (job->result.status != Status::Unknown) continue;
-            util::Stopwatch sw;
-            std::vector<SatLit> assumptions;
-            for (int f = 0; f < k; ++f) assumptions.push_back(satNeg(un.lit(f, job->bad)));
-            assumptions.push_back(un.lit(k, job->bad));
-            SatResult r = solver.solve(assumptions);
-            ++stats_.satCalls;
-            job->result.seconds += sw.seconds();
-            if (r == SatResult::Unsat) {
-                job->result.status = coverMode ? Status::Unreachable : Status::Proven;
-                job->result.depth = k;
-                progress = true;
-            }
-        }
-        stats_.conflicts += solver.conflicts();
-        stats_.propagations += solver.propagations();
-        bool open = std::any_of(jobs.begin(), jobs.end(), [](Job* j) {
-            return j->result.status == Status::Unknown;
-        });
-        if (!open) break;
-        (void)progress;
-    }
-    // ---- Phase 3: PDR for anything k-induction could not prove. ----
-    // Liveness jobs chain lemmas: once a justice obligation is proven, every
-    // legal lasso must contain it, so its loop-scope "seen" tracker becomes a
-    // fairness fact for the remaining (later) obligations. The order is
-    // fixed, so the reasoning stays acyclic and sound.
-    AigLit provenSeen = kAigTrue;
-    Aig* mutableAig = jobs.front()->onLiveAig ? &liveAig_ : nullptr;
-    for (Job* job : jobs) {
-        if (!opts_.usePdr) break;
-        if (job->result.status != Status::Unknown) continue;
-        util::Stopwatch sw;
-        PdrOptions pdrOpts;
-        pdrOpts.maxFrames = opts_.pdrMaxFrames;
-        pdrOpts.maxQueries = opts_.pdrMaxQueries;
-        AigLit effectiveBad = job->bad;
-        if (mutableAig && provenSeen != kAigTrue)
-            effectiveBad = mutableAig->mkAnd(effectiveBad, provenSeen);
-        PdrResult pr = pdrCheck(aig, effectiveBad, constraints, pdrOpts);
-        job->result.seconds += sw.seconds();
-        stats_.satCalls += pr.queries;
-        switch (pr.kind) {
-        case PdrResult::Kind::Proven:
-            job->result.status = coverMode ? Status::Unreachable : Status::Proven;
-            job->result.depth = pr.depth;
-            if (mutableAig) {
-                auto it = liveSeen_.find(job->ob);
-                if (it != liveSeen_.end())
-                    provenSeen = mutableAig->mkAnd(provenSeen, it->second);
-            }
-            break;
-        case PdrResult::Kind::Cex: {
-            // Deep counterexample (beyond the BMC bound): re-run a targeted
-            // BMC at the depth bound PDR reported to extract the trace.
-            SatSolver solver;
-            Unroller un(aig, solver, Unroller::Init::Reset);
-            bool found = false;
-            for (int k = 0; k <= pr.depth + 2 && !found; ++k) {
-                for (AigLit c : constraints) solver.addUnit(un.lit(k, c));
-                SatLit bad = un.lit(k, job->bad);
-                if (solver.solve({bad}) == SatResult::Sat) {
-                    job->result.status = coverMode ? Status::Covered : Status::Failed;
-                    job->result.depth = k;
-                    job->result.trace = extractTrace(aig, un, solver, k,
-                                                     job->onLiveAig ? saveOracle_ : kAigFalse);
-                    found = true;
-                } else {
-                    solver.addUnit(satNeg(bad));
-                }
-            }
-            if (!found) job->result.depth = pr.depth; // Stays Unknown.
-            break;
-        }
-        case PdrResult::Kind::Unknown:
-            job->result.depth = pr.depth;
-            break;
-        }
-    }
-
-    // Anything left records the bound we reached.
-    for (Job* job : jobs) {
-        if (job->result.status == Status::Unknown && job->result.depth < 0)
-            job->result.depth = opts_.bmcDepth;
-    }
-}
-
-std::vector<PropertyResult> Engine::checkAll() {
-    util::Stopwatch total;
-    std::vector<Job> jobs;
-    jobs.reserve(design_.obligations().size());
-
-    bool needLive = false;
-    for (const auto& ob : design_.obligations()) {
-        Job job;
-        job.ob = &ob;
-        job.result.name = ob.name;
-        job.result.kind = ob.kind;
-        switch (ob.kind) {
-        case ir::Obligation::Kind::SafetyBad:
-            if (ob.xprop) {
-                job.result.status = Status::Skipped;
-            } else {
-                job.bad = bb_.lit(ob.net);
-            }
-            break;
-        case ir::Obligation::Kind::Justice:
-            if (opts_.useLivenessToSafety) {
-                needLive = true;
-                job.onLiveAig = true;
-            } else {
-                job.result.status = Status::Skipped;
-            }
-            break;
-        case ir::Obligation::Kind::Cover:
-            if (opts_.checkCovers) {
-                job.bad = bb_.lit(ob.net);
-            } else {
-                job.result.status = Status::Skipped;
-            }
-            break;
-        case ir::Obligation::Kind::Constraint:
-        case ir::Obligation::Kind::Fairness:
-            job.result.status = Status::Skipped; // Used as environment, not checked.
-            break;
-        }
-        jobs.push_back(std::move(job));
-    }
-
-    if (needLive) {
-        buildLivenessAig();
-        for (auto& job : jobs) {
-            if (job.onLiveAig && job.result.status == Status::Unknown)
-                job.bad = liveBads_.at(job.ob);
-        }
-    }
-
-    std::vector<Job*> safetyJobs, liveJobs, coverJobs;
-    for (auto& job : jobs) {
-        if (job.result.status != Status::Unknown) continue;
-        switch (job.ob->kind) {
-        case ir::Obligation::Kind::SafetyBad: safetyJobs.push_back(&job); break;
-        case ir::Obligation::Kind::Justice: liveJobs.push_back(&job); break;
-        case ir::Obligation::Kind::Cover: coverJobs.push_back(&job); break;
-        default: break;
-        }
-    }
-
-    runGroup(bb_.aig, constraints_, safetyJobs, /*coverMode=*/false);
-
-    // Proven safety assertions are invariants of the reachable states; feed
-    // them to the liveness group as constraints. This prunes the unreachable
-    // lasso states that otherwise dominate the liveness proofs (the same
-    // lemma-reuse commercial engines apply).
-    std::vector<AigLit> liveConstraints = constraints_;
-    for (const Job* job : safetyJobs) {
-        if (job->result.status == Status::Proven && !job->onLiveAig)
-            liveConstraints.push_back(aigNot(job->bad));
-    }
-    if (!liveJobs.empty()) runGroup(liveAig_, liveConstraints, liveJobs, /*coverMode=*/false);
-    runGroup(bb_.aig, constraints_, coverJobs, /*coverMode=*/true);
-
-    stats_.totalSeconds = total.seconds();
-    std::vector<PropertyResult> results;
-    results.reserve(jobs.size());
-    for (auto& job : jobs) results.push_back(std::move(job.result));
-    return results;
 }
 
 } // namespace autosva::formal

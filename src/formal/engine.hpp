@@ -1,112 +1,45 @@
-// Model-checking engine driver.
+// Model-checking engine facade.
 //
-// Per design: bit-blast once, then discharge every obligation:
-//  - safety asserts:  shared-context BMC (counterexamples) then k-induction
-//                     with simple-path constraints (proofs)
+// Per design: bit-blast once, then discharge every obligation through the
+// parallel obligation scheduler (see scheduler.hpp):
+//  - safety asserts:  BMC (counterexamples), then k-induction with
+//                     simple-path constraints, then PDR (proofs)
 //  - liveness asserts: liveness-to-safety transformation (shadow state,
 //                     Biere/Artho/Schuppan) honouring fairness assumptions,
-//                     then the same BMC / k-induction pipeline -> lasso
-//                     counterexamples or proofs
-//  - covers:          BMC reachability; k-induction can conclude Unreachable
+//                     then the same pipeline -> lasso counterexamples or
+//                     proofs
+//  - covers:          BMC reachability; induction/PDR conclude Unreachable
 //  - assumes:         safety assumes become frame constraints; liveness
 //                     assumes become fairness constraints
+//
+// EngineOptions::jobs picks the worker-thread count; results are
+// deterministic (obligation declaration order, identical verdicts and
+// depths) for any value.
 #pragma once
 
-#include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "formal/aig.hpp"
 #include "formal/bitblast.hpp"
+#include "formal/result.hpp"
+#include "formal/scheduler.hpp"
 #include "rtlir/design.hpp"
 
 namespace autosva::formal {
 
-/// Counterexample in terms of the word-level design: initial register
-/// state plus input values per frame. Replayable on the simulator.
-struct CexTrace {
-    std::unordered_map<std::string, uint64_t> initialRegs;
-    std::vector<std::unordered_map<std::string, uint64_t>> inputs;
-    int loopStart = -1; ///< >= 0 for liveness lassos: frame where the loop begins.
-
-    [[nodiscard]] int length() const { return static_cast<int>(inputs.size()); }
-};
-
-enum class Status {
-    Proven,      ///< Assertion holds (k-induction converged).
-    Failed,      ///< Counterexample found.
-    Covered,     ///< Cover target reached.
-    Unreachable, ///< Cover target proven unreachable.
-    Unknown,     ///< Bounds exhausted without a verdict.
-    Skipped,     ///< Not applicable to formal (e.g. X-propagation checks).
-};
-
-[[nodiscard]] const char* statusName(Status s);
-
-struct PropertyResult {
-    std::string name;
-    ir::Obligation::Kind kind = ir::Obligation::Kind::SafetyBad;
-    Status status = Status::Unknown;
-    int depth = -1;      ///< CEX length / induction k / cover depth / bound.
-    double seconds = 0.0;
-    CexTrace trace;      ///< Valid when Failed or Covered.
-
-    [[nodiscard]] bool isFailure() const { return status == Status::Failed; }
-};
-
-struct EngineOptions {
-    int bmcDepth = 25;          ///< Max BMC unrolling depth.
-    int maxInductionK = 4;      ///< Max k for quick induction proofs (<= bmcDepth).
-    int pdrMaxFrames = 60;      ///< PDR frame bound for unbounded proofs.
-    uint64_t pdrMaxQueries = 1000000; ///< PDR SAT-query budget per property.
-    uint64_t conflictBudget = 0; ///< Per-solve conflict cap (0 = unlimited).
-    bool checkCovers = true;
-    bool useLivenessToSafety = true; ///< false: liveness reported Unknown.
-    bool usePdr = true;              ///< false: induction only (ablation).
-};
-
-struct EngineStats {
-    uint64_t satCalls = 0;
-    uint64_t conflicts = 0;
-    uint64_t propagations = 0;
-    double totalSeconds = 0.0;
-};
-
 class Engine {
 public:
-    explicit Engine(const ir::Design& design, EngineOptions opts = {});
+    explicit Engine(const ir::Design& design, EngineOptions opts = {})
+        : scheduler_(design, opts) {}
 
-    /// Checks every obligation of the design and returns per-property results.
-    [[nodiscard]] std::vector<PropertyResult> checkAll();
+    /// Checks every obligation of the design and returns per-property
+    /// results in obligation declaration order.
+    [[nodiscard]] std::vector<PropertyResult> checkAll() { return scheduler_.run(); }
 
-    [[nodiscard]] const EngineStats& stats() const { return stats_; }
-    [[nodiscard]] const BitBlast& blasted() const { return bb_; }
+    [[nodiscard]] const EngineStats& stats() const { return scheduler_.stats(); }
+    [[nodiscard]] const BitBlast& blasted() const { return scheduler_.blasted(); }
 
 private:
-    struct Job {
-        const ir::Obligation* ob;
-        AigLit bad;    ///< In the AIG named by `onLiveAig`.
-        bool onLiveAig = false;
-        PropertyResult result;
-    };
-
-    void buildLivenessAig();
-    void runGroup(const Aig& aig, const std::vector<AigLit>& constraints,
-                  std::vector<Job*>& jobs, bool coverMode);
-    CexTrace extractTrace(const Aig& aig, class Unroller& un, class SatSolver& solver,
-                          int frames, AigLit saveOracle);
-
-    const ir::Design& design_;
-    EngineOptions opts_;
-    BitBlast bb_;
-    std::vector<AigLit> constraints_;
-    std::vector<AigLit> fairness_;
-    Aig liveAig_;               ///< l2s-transformed copy (shares var ids with bb_.aig).
-    AigLit saveOracle_ = kAigFalse;
-    std::unordered_map<const ir::Obligation*, AigLit> liveBads_;
-    std::unordered_map<const ir::Obligation*, AigLit> liveSeen_;
-    bool liveBuilt_ = false;
-    EngineStats stats_;
+    ObligationScheduler scheduler_;
 };
 
 } // namespace autosva::formal

@@ -4,7 +4,7 @@
 
 #include <vector>
 
-#include "formal/engine.hpp"
+#include "formal/result.hpp"
 #include "sim/simulator.hpp"
 
 namespace autosva::formal {

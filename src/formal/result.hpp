@@ -1,0 +1,66 @@
+// Shared result types of the formal layer: per-property verdicts,
+// counterexample traces, engine options and counters. Split out of
+// engine.hpp so the scheduler / strategy units and the report sink can
+// depend on them without pulling in the engine facade.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtlir/design.hpp"
+
+namespace autosva::formal {
+
+/// Counterexample in terms of the word-level design: initial register
+/// state plus input values per frame. Replayable on the simulator.
+struct CexTrace {
+    std::unordered_map<std::string, uint64_t> initialRegs;
+    std::vector<std::unordered_map<std::string, uint64_t>> inputs;
+    int loopStart = -1; ///< >= 0 for liveness lassos: frame where the loop begins.
+
+    [[nodiscard]] int length() const { return static_cast<int>(inputs.size()); }
+};
+
+enum class Status {
+    Proven,      ///< Assertion holds (k-induction converged).
+    Failed,      ///< Counterexample found.
+    Covered,     ///< Cover target reached.
+    Unreachable, ///< Cover target proven unreachable.
+    Unknown,     ///< Bounds exhausted without a verdict.
+    Skipped,     ///< Not applicable to formal (e.g. X-propagation checks).
+};
+
+[[nodiscard]] const char* statusName(Status s);
+
+struct PropertyResult {
+    std::string name;
+    ir::Obligation::Kind kind = ir::Obligation::Kind::SafetyBad;
+    Status status = Status::Unknown;
+    int depth = -1;      ///< CEX length / induction k / cover depth / bound.
+    double seconds = 0.0;
+    CexTrace trace;      ///< Valid when Failed or Covered.
+
+    [[nodiscard]] bool isFailure() const { return status == Status::Failed; }
+};
+
+struct EngineOptions {
+    int bmcDepth = 25;          ///< Max BMC unrolling depth.
+    int maxInductionK = 4;      ///< Max k for quick induction proofs (<= bmcDepth).
+    int pdrMaxFrames = 60;      ///< PDR frame bound for unbounded proofs.
+    uint64_t pdrMaxQueries = 1000000; ///< PDR SAT-query budget per property.
+    uint64_t conflictBudget = 0; ///< Per-solve conflict cap (0 = unlimited).
+    int jobs = 1;               ///< Worker threads for property discharge (<= 1: sequential).
+    bool checkCovers = true;
+    bool useLivenessToSafety = true; ///< false: liveness reported Unknown.
+    bool usePdr = true;              ///< false: induction only (ablation).
+};
+
+struct EngineStats {
+    uint64_t satCalls = 0;
+    uint64_t conflicts = 0;
+    uint64_t propagations = 0;
+    double totalSeconds = 0.0;
+};
+
+} // namespace autosva::formal

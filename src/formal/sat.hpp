@@ -22,6 +22,12 @@ using SatLit = int;
 
 enum class SatResult { Sat, Unsat, Unknown };
 
+class SatSolver;
+
+/// Sign-decoded model value of a literal after a Sat result: true iff the
+/// literal (not just its variable) is satisfied by the model.
+[[nodiscard]] bool modelBit(const SatSolver& solver, SatLit lit);
+
 class SatSolver {
 public:
     SatSolver();
@@ -126,5 +132,10 @@ private:
     uint64_t conflictBudget_ = 0;
     size_t maxLearnts_ = 4000;
 };
+
+inline bool modelBit(const SatSolver& solver, SatLit lit) {
+    bool value = solver.modelValue(satVar(lit));
+    return satSign(lit) ? !value : value;
+}
 
 } // namespace autosva::formal

@@ -1,0 +1,250 @@
+#include "formal/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "sva/report.hpp"
+#include "util/stopwatch.hpp"
+
+namespace autosva::formal {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Work-stealing task queues
+// ---------------------------------------------------------------------------
+// Task indices are dealt round-robin across per-worker deques. A worker pops
+// from the back of its own deque (LIFO keeps its cache warm) and steals from
+// the front of its neighbours' (FIFO minimizes contention on the owner's
+// end). SAT solving dominates per-task cost by orders of magnitude, so a
+// mutex per deque is plenty.
+class WorkStealingQueues {
+public:
+    WorkStealingQueues(int workers, size_t numTasks) : deques_(static_cast<size_t>(workers)) {
+        for (size_t t = 0; t < numTasks; ++t)
+            deques_[t % deques_.size()].items.push_back(t);
+    }
+
+    bool pop(int worker, size_t& out) {
+        Deque& d = deques_[static_cast<size_t>(worker)];
+        std::lock_guard<std::mutex> lock(d.mutex);
+        if (d.items.empty()) return false;
+        out = d.items.back();
+        d.items.pop_back();
+        return true;
+    }
+
+    bool steal(int worker, size_t& out) {
+        const int n = static_cast<int>(deques_.size());
+        for (int i = 1; i < n; ++i) {
+            Deque& d = deques_[static_cast<size_t>((worker + i) % n)];
+            std::lock_guard<std::mutex> lock(d.mutex);
+            if (d.items.empty()) continue;
+            out = d.items.front();
+            d.items.pop_front();
+            return true;
+        }
+        return false;
+    }
+
+private:
+    struct Deque {
+        std::mutex mutex;
+        std::deque<size_t> items;
+    };
+    std::vector<Deque> deques_;
+};
+
+/// Runs body(0..numTasks-1) on `workers` threads (inline when <= 1, which
+/// reproduces strict sequential declaration order). Blocks until every task
+/// finished; the first exception thrown by a task is rethrown here.
+void parallelFor(int workers, size_t numTasks, const std::function<void(size_t)>& body) {
+    if (numTasks == 0) return;
+    workers = std::min(std::max(workers, 1), static_cast<int>(numTasks));
+    if (workers <= 1) {
+        for (size_t t = 0; t < numTasks; ++t) body(t);
+        return;
+    }
+    WorkStealingQueues queues(workers, numTasks);
+    std::mutex errMutex;
+    std::exception_ptr firstError;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+            size_t t = 0;
+            while (queues.pop(w, t) || queues.steal(w, t)) {
+                try {
+                    body(t);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errMutex);
+                    if (!firstError) firstError = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    if (firstError) std::rethrow_exception(firstError);
+}
+
+void finalizeDepth(ObligationJob& job, const EngineOptions& opts) {
+    if (job.result.status == Status::Unknown && job.result.depth < 0)
+        job.result.depth = opts.bmcDepth;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ObligationScheduler
+// ---------------------------------------------------------------------------
+
+ObligationScheduler::ObligationScheduler(const ir::Design& design, EngineOptions opts)
+    : design_(design), opts_(opts), bb_(bitblast(design)),
+      bmc_(makeBmcStrategy()), induction_(makeInductionStrategy()), pdr_(makePdrStrategy()) {
+    opts_.maxInductionK = std::min(opts_.maxInductionK, opts_.bmcDepth);
+    for (const auto& ob : design.obligations()) {
+        if (ob.xprop) continue;
+        if (ob.kind == ir::Obligation::Kind::Constraint)
+            constraints_.push_back(bb_.lit(ob.net));
+        else if (ob.kind == ir::Obligation::Kind::Fairness)
+            fairness_.push_back(bb_.lit(ob.net));
+    }
+}
+
+ObligationScheduler::~ObligationScheduler() = default;
+
+void ObligationScheduler::discharge(const ProofContext& ctx, ObligationJob& job,
+                                    bool withPdr) const {
+    if (job.result.status == Status::Unknown) bmc_->run(ctx, job);
+    if (job.result.status == Status::Unknown) induction_->run(ctx, job);
+    if (withPdr && job.result.status == Status::Unknown) pdr_->run(ctx, job);
+}
+
+std::vector<PropertyResult> ObligationScheduler::run() {
+    util::Stopwatch total;
+    const auto& obligations = design_.obligations();
+    std::vector<ObligationJob> jobs(obligations.size());
+    sva::ResultSink sink(obligations.size());
+
+    bool needLive = false;
+    for (size_t i = 0; i < obligations.size(); ++i) {
+        const auto& ob = obligations[i];
+        ObligationJob& job = jobs[i];
+        job.ob = &ob;
+        job.index = i;
+        job.result.name = ob.name;
+        job.result.kind = ob.kind;
+        switch (ob.kind) {
+        case ir::Obligation::Kind::SafetyBad:
+            if (ob.xprop) {
+                job.result.status = Status::Skipped;
+            } else {
+                job.bad = bb_.lit(ob.net);
+                job.pdrBad = job.bad;
+            }
+            break;
+        case ir::Obligation::Kind::Justice:
+            if (opts_.useLivenessToSafety) {
+                needLive = true;
+                job.onLiveAig = true;
+            } else {
+                job.result.status = Status::Skipped;
+            }
+            break;
+        case ir::Obligation::Kind::Cover:
+            if (opts_.checkCovers) {
+                job.bad = bb_.lit(ob.net);
+                job.pdrBad = job.bad;
+                job.coverMode = true;
+            } else {
+                job.result.status = Status::Skipped;
+            }
+            break;
+        case ir::Obligation::Kind::Constraint:
+        case ir::Obligation::Kind::Fairness:
+            job.result.status = Status::Skipped; // Used as environment, not checked.
+            break;
+        }
+        if (job.result.status == Status::Skipped) sink.publish(i, job.result);
+    }
+
+    if (needLive) {
+        live_ = std::make_unique<LivenessTransform>(design_, bb_, fairness_);
+        for (auto& job : jobs) {
+            if (job.onLiveAig && job.result.status == Status::Unknown) {
+                job.bad = live_->bad(job.ob);
+                job.pdrBad = job.bad;
+            }
+        }
+    }
+
+    std::vector<ObligationJob*> safetyJobs, liveJobs, phaseA;
+    for (auto& job : jobs) {
+        if (job.result.status != Status::Unknown) continue;
+        switch (job.ob->kind) {
+        case ir::Obligation::Kind::SafetyBad: safetyJobs.push_back(&job); phaseA.push_back(&job); break;
+        case ir::Obligation::Kind::Justice: liveJobs.push_back(&job); break;
+        case ir::Obligation::Kind::Cover: phaseA.push_back(&job); break;
+        default: break;
+        }
+    }
+
+    // ---- Phase A: safety assertions and covers, full pipeline per job, in
+    // parallel. Jobs are mutually independent on the immutable base AIG.
+    ProofContext baseCtx{design_, bb_, bb_.aig, constraints_, opts_, kAigFalse, &shared_};
+    parallelFor(opts_.jobs, phaseA.size(), [&](size_t t) {
+        ObligationJob& job = *phaseA[t];
+        discharge(baseCtx, job, /*withPdr=*/true);
+        finalizeDepth(job, opts_);
+        sink.publish(job.index, job.result);
+    });
+
+    // ---- Phase B: liveness. Proven safety assertions are invariants of the
+    // reachable states; feed them to the liveness jobs as constraints. This
+    // prunes the unreachable lasso states that otherwise dominate the
+    // liveness proofs (the same lemma reuse commercial engines apply). The
+    // barrier after phase A makes the constraint set — hence the results —
+    // independent of worker timing.
+    if (!liveJobs.empty()) {
+        std::vector<AigLit> liveConstraints = constraints_;
+        for (const ObligationJob* job : safetyJobs) {
+            if (job->result.status == Status::Proven && !job->onLiveAig)
+                liveConstraints.push_back(aigNot(job->bad));
+        }
+        ProofContext liveCtx{design_,  bb_,   live_->aig(), liveConstraints,
+                             opts_,    live_->saveOracle(), &shared_};
+        parallelFor(opts_.jobs, liveJobs.size(), [&](size_t t) {
+            discharge(liveCtx, *liveJobs[t], /*withPdr=*/false);
+        });
+
+        // Sequential PDR with lemma chaining, in declaration order: once a
+        // justice obligation is proven, every legal lasso must contain it,
+        // so its in-loop "seen" tracker becomes a fairness fact for the
+        // remaining (later) obligations. The fixed order keeps the
+        // reasoning acyclic and sound — and the output deterministic. This
+        // is the only place the live AIG is mutated, and no worker threads
+        // are running here.
+        AigLit provenSeen = kAigTrue;
+        for (ObligationJob* job : liveJobs) {
+            if (opts_.usePdr && job->result.status == Status::Unknown) {
+                job->pdrBad = provenSeen != kAigTrue
+                                  ? live_->mutableAig().mkAnd(job->bad, provenSeen)
+                                  : job->bad;
+                pdr_->run(liveCtx, *job);
+                if (job->result.status == Status::Proven)
+                    provenSeen = live_->mutableAig().mkAnd(provenSeen, live_->seen(job->ob));
+            }
+            finalizeDepth(*job, opts_);
+            sink.publish(job->index, job->result);
+        }
+    }
+
+    stats_ = shared_.snapshot(total.seconds());
+    return sink.drain();
+}
+
+} // namespace autosva::formal

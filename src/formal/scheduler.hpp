@@ -1,0 +1,60 @@
+// Parallel obligation scheduler: the orchestration layer of the model
+// checker.
+//
+// Every proof obligation of a design becomes an ObligationJob that flows
+// through a strategy pipeline (BMC -> k-induction -> PDR). Jobs are
+// discharged by a pool of worker threads fed from work-stealing queues;
+// each worker builds its own SatSolver / Unroller contexts, while the
+// bit-blast result and AIGs are shared immutably. Results are published to
+// a thread-safe sink keyed by obligation declaration index, so the final
+// report is deterministic — byte-identical statuses, depths, and ordering —
+// regardless of worker count.
+//
+// Cross-property couplings are preserved by phase barriers instead of
+// timing: safety invariants proven in phase A are fed to the liveness
+// phase as constraints, and the liveness PDR lemma chain runs sequentially
+// in declaration order (it strengthens later obligations with the "seen"
+// trackers of earlier proven ones, which keeps the reasoning acyclic).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "formal/bitblast.hpp"
+#include "formal/result.hpp"
+#include "formal/strategy.hpp"
+#include "rtlir/design.hpp"
+
+namespace autosva::formal {
+
+class ObligationScheduler {
+public:
+    explicit ObligationScheduler(const ir::Design& design, EngineOptions opts = {});
+    ~ObligationScheduler();
+
+    /// Discharges every obligation of the design. Results are in obligation
+    /// declaration order for any opts.jobs value.
+    [[nodiscard]] std::vector<PropertyResult> run();
+
+    [[nodiscard]] const EngineStats& stats() const { return stats_; }
+    [[nodiscard]] const BitBlast& blasted() const { return bb_; }
+    [[nodiscard]] const EngineOptions& options() const { return opts_; }
+
+private:
+    /// Runs the BMC -> k-induction (-> PDR) pipeline on one job.
+    void discharge(const ProofContext& ctx, ObligationJob& job, bool withPdr) const;
+
+    const ir::Design& design_;
+    EngineOptions opts_;
+    BitBlast bb_;
+    std::vector<AigLit> constraints_;
+    std::vector<AigLit> fairness_;
+    std::unique_ptr<LivenessTransform> live_;
+    std::unique_ptr<ProofStrategy> bmc_;
+    std::unique_ptr<ProofStrategy> induction_;
+    std::unique_ptr<ProofStrategy> pdr_;
+    SharedStats shared_;
+    EngineStats stats_;
+};
+
+} // namespace autosva::formal

@@ -1,0 +1,127 @@
+// Pluggable proof strategies for the obligation scheduler.
+//
+// A ProofStrategy is one algorithm for discharging a single proof
+// obligation (BMC counterexample search, k-induction, PDR). The scheduler
+// runs a pipeline of strategies over every obligation; each strategy only
+// acts on jobs whose status is still Unknown. Strategies are stateless (or
+// internally synchronized): one instance is shared by every worker thread,
+// and each invocation builds its own SatSolver / Unroller, reading only the
+// immutable structures referenced by the ProofContext. That makes each
+// strategy independently testable and the pipeline safe to parallelize.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "formal/aig.hpp"
+#include "formal/bitblast.hpp"
+#include "formal/result.hpp"
+#include "rtlir/design.hpp"
+
+namespace autosva::formal {
+
+class SatSolver;
+class Unroller;
+
+/// Engine counters with thread-safe accumulation across workers.
+struct SharedStats {
+    std::atomic<uint64_t> satCalls{0};
+    std::atomic<uint64_t> conflicts{0};
+    std::atomic<uint64_t> propagations{0};
+
+    [[nodiscard]] EngineStats snapshot(double totalSeconds) const {
+        EngineStats s;
+        s.satCalls = satCalls.load(std::memory_order_relaxed);
+        s.conflicts = conflicts.load(std::memory_order_relaxed);
+        s.propagations = propagations.load(std::memory_order_relaxed);
+        s.totalSeconds = totalSeconds;
+        return s;
+    }
+};
+
+/// One proof obligation flowing through the scheduler, with its job-local
+/// result slot. Exactly one worker owns a job at any time, so strategies
+/// mutate `result` without synchronization.
+struct ObligationJob {
+    const ir::Obligation* ob = nullptr;
+    size_t index = 0;       ///< Obligation declaration index — the determinism key.
+    AigLit bad = kAigFalse; ///< In the AIG named by `onLiveAig`.
+    /// Bad literal PDR proves; usually == bad, but liveness lemma chaining
+    /// strengthens it with already-proven justice trackers. Counterexample
+    /// search always targets the original `bad`.
+    AigLit pdrBad = kAigFalse;
+    bool onLiveAig = false;
+    bool coverMode = false; ///< Sat = Covered / proven-unreachable semantics.
+    PropertyResult result;
+};
+
+/// Everything a strategy may read while discharging a job. All referenced
+/// structures are immutable for the duration of a parallel phase.
+struct ProofContext {
+    const ir::Design& design;
+    const BitBlast& bb;
+    const Aig& aig;                         ///< Base or l2s AIG for this job.
+    const std::vector<AigLit>& constraints; ///< Hold in every frame.
+    const EngineOptions& opts;
+    AigLit saveOracle = kAigFalse;          ///< l2s save input (live AIG only).
+    SharedStats* stats = nullptr;
+};
+
+class ProofStrategy {
+public:
+    virtual ~ProofStrategy() = default;
+    [[nodiscard]] virtual const char* name() const = 0;
+    /// Attempts to resolve `job` (expected status: Unknown). May leave the
+    /// status Unknown; must set depth/trace when it concludes.
+    virtual void run(const ProofContext& ctx, ObligationJob& job) const = 0;
+};
+
+/// Bounded model checking from the initial state: finds shortest
+/// counterexamples / cover witnesses up to opts.bmcDepth.
+[[nodiscard]] std::unique_ptr<ProofStrategy> makeBmcStrategy();
+
+/// k-induction with simple-path constraints: proves shallow invariants up
+/// to opts.maxInductionK.
+[[nodiscard]] std::unique_ptr<ProofStrategy> makeInductionStrategy();
+
+/// IC3/PDR unbounded reachability, with a targeted BMC re-run to extract
+/// deep counterexample traces.
+[[nodiscard]] std::unique_ptr<ProofStrategy> makePdrStrategy();
+
+/// Word-level counterexample extraction from a satisfied unrolling:
+/// initial registers, per-frame inputs, and (for lassos) the save point.
+[[nodiscard]] CexTrace extractCexTrace(const ProofContext& ctx, Unroller& un,
+                                       SatSolver& solver, int frames);
+
+/// Liveness-to-safety transformation (Biere/Artho/Schuppan): extends a copy
+/// of the base AIG with a save oracle, shadow state, loop-closure detection,
+/// fairness trackers and per-justice-obligation "seen" trackers. Justice
+/// obligations become safety bad nets checkable by the strategies above.
+/// The transformed AIG shares variable numbering with the base AIG, so base
+/// literals (e.g. proven safety invariants) remain valid on it.
+class LivenessTransform {
+public:
+    LivenessTransform(const ir::Design& design, const BitBlast& bb,
+                      const std::vector<AigLit>& fairness);
+
+    [[nodiscard]] const Aig& aig() const { return aig_; }
+    /// Mutable access for sequential lemma chaining only — never call while
+    /// workers read the AIG.
+    [[nodiscard]] Aig& mutableAig() { return aig_; }
+    [[nodiscard]] AigLit saveOracle() const { return saveOracle_; }
+    /// Bad net of a justice obligation: loop closed, fairness seen, justice
+    /// never seen inside the loop.
+    [[nodiscard]] AigLit bad(const ir::Obligation* ob) const { return bads_.at(ob); }
+    /// In-loop "justice seen" tracker (lemma source once proven).
+    [[nodiscard]] AigLit seen(const ir::Obligation* ob) const { return seens_.at(ob); }
+
+private:
+    Aig aig_;
+    AigLit saveOracle_ = kAigFalse;
+    std::unordered_map<const ir::Obligation*, AigLit> bads_;
+    std::unordered_map<const ir::Obligation*, AigLit> seens_;
+};
+
+} // namespace autosva::formal

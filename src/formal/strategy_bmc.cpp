@@ -1,0 +1,93 @@
+// Bounded model checking strategy: unrolls from the reset state and asks
+// for the bad net frame by frame, so the first Sat answer is a shortest
+// counterexample (or cover witness). Also hosts the word-level trace
+// extraction shared with the PDR strategy's deep-counterexample re-run.
+#include "formal/sat.hpp"
+#include "formal/strategy.hpp"
+#include "formal/unroll.hpp"
+#include "util/stopwatch.hpp"
+
+namespace autosva::formal {
+
+CexTrace extractCexTrace(const ProofContext& ctx, Unroller& un, SatSolver& solver,
+                         int frames) {
+    CexTrace trace;
+    // Initial register values.
+    for (const auto& [node, vars] : ctx.bb.latchVars) {
+        uint64_t value = 0;
+        for (size_t i = 0; i < vars.size(); ++i) {
+            SatLit l = un.peek(0, aigMkLit(vars[i]));
+            if (l != Unroller::kUnset && modelBit(solver, l)) value |= uint64_t{1} << i;
+        }
+        trace.initialRegs[ctx.design.node(node).name] = value;
+    }
+    // Inputs per frame.
+    for (int f = 0; f <= frames; ++f) {
+        std::unordered_map<std::string, uint64_t> frame;
+        for (const auto& [node, vars] : ctx.bb.inputVars) {
+            uint64_t value = 0;
+            for (size_t i = 0; i < vars.size(); ++i) {
+                SatLit l = un.peek(f, aigMkLit(vars[i]));
+                if (l != Unroller::kUnset && modelBit(solver, l)) value |= uint64_t{1} << i;
+            }
+            frame[ctx.design.node(node).name] = value;
+        }
+        trace.inputs.push_back(std::move(frame));
+    }
+    // Liveness lasso: locate the save point.
+    if (ctx.saveOracle != kAigFalse) {
+        for (int f = 0; f <= frames; ++f) {
+            SatLit l = un.peek(f, ctx.saveOracle);
+            if (l == Unroller::kUnset) continue;
+            if (modelBit(solver, l)) {
+                trace.loopStart = f;
+                break;
+            }
+        }
+    }
+    return trace;
+}
+
+namespace {
+
+class BmcStrategy final : public ProofStrategy {
+public:
+    [[nodiscard]] const char* name() const override { return "bmc"; }
+
+    void run(const ProofContext& ctx, ObligationJob& job) const override {
+        SatSolver solver;
+        solver.setConflictBudget(ctx.opts.conflictBudget);
+        Unroller un(ctx.aig, solver, Unroller::Init::Reset);
+        for (int k = 0; k <= ctx.opts.bmcDepth; ++k) {
+            for (AigLit c : ctx.constraints) solver.addUnit(un.lit(k, c));
+            util::Stopwatch sw;
+            SatLit bad = un.lit(k, job.bad);
+            SatResult r = solver.solve({bad});
+            if (ctx.stats) ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
+            job.result.seconds += sw.seconds();
+            if (r == SatResult::Sat) {
+                job.result.status = job.coverMode ? Status::Covered : Status::Failed;
+                job.result.depth = k;
+                job.result.trace = extractCexTrace(ctx, un, solver, k);
+                break;
+            }
+            if (r == SatResult::Unsat) {
+                solver.addUnit(satNeg(bad)); // Strengthen deeper frames.
+            } else {
+                // Budget exhausted: leave Unknown, stop refining.
+                job.result.depth = k;
+                break;
+            }
+        }
+        if (ctx.stats) {
+            ctx.stats->conflicts.fetch_add(solver.conflicts(), std::memory_order_relaxed);
+            ctx.stats->propagations.fetch_add(solver.propagations(), std::memory_order_relaxed);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<ProofStrategy> makeBmcStrategy() { return std::make_unique<BmcStrategy>(); }
+
+} // namespace autosva::formal

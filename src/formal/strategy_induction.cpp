@@ -1,0 +1,72 @@
+// k-induction strategy with simple-path constraints: assume the property
+// holds in frames 0..k-1 of a free-running (unconstrained-initial-state)
+// unrolling whose states are pairwise distinct, and ask whether it can fail
+// at frame k. Unsat at any k proves the property for all depths.
+#include "formal/sat.hpp"
+#include "formal/strategy.hpp"
+#include "formal/unroll.hpp"
+#include "util/stopwatch.hpp"
+
+namespace autosva::formal {
+namespace {
+
+class InductionStrategy final : public ProofStrategy {
+public:
+    [[nodiscard]] const char* name() const override { return "k-induction"; }
+
+    void run(const ProofContext& ctx, ObligationJob& job) const override {
+        for (int k = 1; k <= ctx.opts.maxInductionK; ++k) {
+            SatSolver solver;
+            solver.setConflictBudget(ctx.opts.conflictBudget);
+            Unroller un(ctx.aig, solver, Unroller::Init::Free);
+            // Constraints hold in all frames 0..k.
+            for (int f = 0; f <= k; ++f)
+                for (AigLit c : ctx.constraints) solver.addUnit(un.lit(f, c));
+            // Simple-path: all states pairwise distinct (makes induction complete).
+            const auto& latches = ctx.aig.latches();
+            for (int i = 0; i <= k; ++i) {
+                for (int j = i + 1; j <= k; ++j) {
+                    std::vector<SatLit> diff;
+                    diff.reserve(latches.size());
+                    for (uint32_t lv : latches) {
+                        SatLit a = un.lit(i, aigMkLit(lv));
+                        SatLit b = un.lit(j, aigMkLit(lv));
+                        SatLit d = mkSatLit(solver.newVar());
+                        // d <-> a xor b
+                        solver.addTernary(satNeg(d), a, b);
+                        solver.addTernary(satNeg(d), satNeg(a), satNeg(b));
+                        solver.addTernary(d, satNeg(a), b);
+                        solver.addTernary(d, a, satNeg(b));
+                        diff.push_back(d);
+                    }
+                    solver.addClause(std::move(diff));
+                }
+            }
+            util::Stopwatch sw;
+            std::vector<SatLit> assumptions;
+            for (int f = 0; f < k; ++f) assumptions.push_back(satNeg(un.lit(f, job.bad)));
+            assumptions.push_back(un.lit(k, job.bad));
+            SatResult r = solver.solve(assumptions);
+            if (ctx.stats) {
+                ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
+                ctx.stats->conflicts.fetch_add(solver.conflicts(), std::memory_order_relaxed);
+                ctx.stats->propagations.fetch_add(solver.propagations(),
+                                                  std::memory_order_relaxed);
+            }
+            job.result.seconds += sw.seconds();
+            if (r == SatResult::Unsat) {
+                job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;
+                job.result.depth = k;
+                return;
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<ProofStrategy> makeInductionStrategy() {
+    return std::make_unique<InductionStrategy>();
+}
+
+} // namespace autosva::formal

@@ -1,0 +1,66 @@
+// PDR/IC3 strategy: unbounded reachability for everything BMC and
+// k-induction leave open. Proves `job.pdrBad` (which liveness lemma
+// chaining may have strengthened relative to `job.bad`); when PDR reports
+// a reachable bad state instead, re-runs a targeted BMC at the reported
+// depth bound to extract a word-level trace of the original `bad`.
+#include "formal/pdr.hpp"
+#include "formal/sat.hpp"
+#include "formal/strategy.hpp"
+#include "formal/unroll.hpp"
+#include "util/stopwatch.hpp"
+
+namespace autosva::formal {
+namespace {
+
+class PdrStrategy final : public ProofStrategy {
+public:
+    [[nodiscard]] const char* name() const override { return "pdr"; }
+
+    void run(const ProofContext& ctx, ObligationJob& job) const override {
+        if (!ctx.opts.usePdr) return;
+        util::Stopwatch sw;
+        PdrOptions pdrOpts;
+        pdrOpts.maxFrames = ctx.opts.pdrMaxFrames;
+        pdrOpts.maxQueries = ctx.opts.pdrMaxQueries;
+        AigLit effectiveBad = job.pdrBad != kAigFalse ? job.pdrBad : job.bad;
+        PdrResult pr = pdrCheck(ctx.aig, effectiveBad, ctx.constraints, pdrOpts);
+        job.result.seconds += sw.seconds();
+        if (ctx.stats) ctx.stats->satCalls.fetch_add(pr.queries, std::memory_order_relaxed);
+        switch (pr.kind) {
+        case PdrResult::Kind::Proven:
+            job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;
+            job.result.depth = pr.depth;
+            break;
+        case PdrResult::Kind::Cex: {
+            // Deep counterexample (beyond the BMC bound): re-run a targeted
+            // BMC at the depth bound PDR reported to extract the trace.
+            SatSolver solver;
+            Unroller un(ctx.aig, solver, Unroller::Init::Reset);
+            bool found = false;
+            for (int k = 0; k <= pr.depth + 2 && !found; ++k) {
+                for (AigLit c : ctx.constraints) solver.addUnit(un.lit(k, c));
+                SatLit bad = un.lit(k, job.bad);
+                if (solver.solve({bad}) == SatResult::Sat) {
+                    job.result.status = job.coverMode ? Status::Covered : Status::Failed;
+                    job.result.depth = k;
+                    job.result.trace = extractCexTrace(ctx, un, solver, k);
+                    found = true;
+                } else {
+                    solver.addUnit(satNeg(bad));
+                }
+            }
+            if (!found) job.result.depth = pr.depth; // Stays Unknown.
+            break;
+        }
+        case PdrResult::Kind::Unknown:
+            job.result.depth = pr.depth;
+            break;
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<ProofStrategy> makePdrStrategy() { return std::make_unique<PdrStrategy>(); }
+
+} // namespace autosva::formal

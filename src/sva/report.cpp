@@ -1,6 +1,7 @@
 #include "sva/report.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "util/table.hpp"
 
@@ -8,6 +9,41 @@ namespace autosva::sva {
 
 using formal::PropertyResult;
 using formal::Status;
+
+// ---------------------------------------------------------------------------
+// ResultSink
+// ---------------------------------------------------------------------------
+
+ResultSink::ResultSink(size_t slots) : results_(slots), filled_(slots, 0) {}
+
+void ResultSink::publish(size_t index, PropertyResult result) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index >= results_.size()) throw std::logic_error("ResultSink: index out of range");
+    if (filled_[index]) throw std::logic_error("ResultSink: slot published twice");
+    results_[index] = std::move(result);
+    filled_[index] = 1;
+    ++published_;
+}
+
+size_t ResultSink::slots() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.size();
+}
+
+size_t ResultSink::published() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return published_;
+}
+
+std::vector<PropertyResult> ResultSink::drain() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (published_ != results_.size())
+        throw std::logic_error("ResultSink: drain() before every slot was published");
+    // The sink is spent after drain(): zero slots, further publishes throw.
+    published_ = 0;
+    filled_.clear();
+    return std::move(results_);
+}
 
 size_t VerificationReport::count(Status status) const {
     size_t n = 0;

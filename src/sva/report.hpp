@@ -1,13 +1,43 @@
 // Aggregation and rendering of per-property model-checking results into
 // the verification reports the paper's evaluation tables are built from.
+// Also hosts the thread-safe ResultSink the parallel obligation scheduler
+// publishes into.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
-#include "formal/engine.hpp"
+#include "formal/result.hpp"
 
 namespace autosva::sva {
+
+/// Thread-safe collection point for per-property results, keyed by
+/// obligation declaration index. Worker threads publish in completion
+/// order; drain() returns declaration order, so the final report is
+/// deterministic regardless of worker count or scheduling.
+class ResultSink {
+public:
+    explicit ResultSink(size_t slots);
+
+    /// Publishes the result for declaration index `index`. Thread-safe;
+    /// each index must be published exactly once.
+    void publish(size_t index, formal::PropertyResult result);
+
+    [[nodiscard]] size_t slots() const;
+    [[nodiscard]] size_t published() const;
+
+    /// Declaration-ordered results. Call once, after every slot has been
+    /// published; throws std::logic_error on unpublished slots. The sink is
+    /// spent afterwards (zero slots).
+    [[nodiscard]] std::vector<formal::PropertyResult> drain();
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<formal::PropertyResult> results_;
+    std::vector<char> filled_;
+    size_t published_ = 0;
+};
 
 /// Summary of one formal-testbench run on a DUT.
 struct VerificationReport {

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <random>
 #include <sstream>
+#include <thread>
 
 #include "core/autosva.hpp"
 #include "designs/designs.hpp"
@@ -32,10 +33,15 @@ usage:
   autosva gen  <dut.sv> [-o OUTDIR] [--tool jasper|sby|all] [--assert-inputs]
                [--no-xprop] [--max-outstanding N] [--dut NAME]
   autosva run  <dut.sv> [extra.sv ...] [--param NAME=VALUE] [--depth N]
-               [--no-liveness] [--no-covers]
+               [--jobs N] [--no-liveness] [--no-covers]
   autosva sim  <dut.sv> [--cycles N] [--seed N] [--vcd FILE]
   autosva list
-  autosva run-design <name> [--bug 0|1] [--depth N]
+  autosva run-design <name> [--bug 0|1] [--depth N] [--jobs N]
+
+options:
+  --jobs N   worker threads for property discharge (default 1; 0 = one per
+             hardware thread). Per-property verdicts, depths, and report
+             ordering are identical for every value of N.
 )";
     std::exit(2);
 }
@@ -69,14 +75,26 @@ struct Args {
     }
     [[nodiscard]] long getInt(const std::string& name, long dflt) const {
         auto it = options.find(name);
-        return it == options.end() ? dflt : std::stol(it->second);
+        if (it == options.end()) return dflt;
+        try {
+            size_t pos = 0;
+            long value = std::stol(it->second, &pos);
+            if (pos != it->second.size()) throw std::invalid_argument(it->second);
+            return value;
+        } catch (const std::exception&) {
+            std::cerr << "error: " << name << " expects an integer, got '" << it->second
+                      << "'\n";
+            std::exit(2);
+        }
     }
 };
 
 Args parseArgs(int argc, char** argv, int start) {
     Args args;
-    static const char* valueOpts[] = {"-o", "--tool", "--max-outstanding", "--dut",   "--depth",
-                                      "--cycles", "--seed", "--vcd", "--bug", "--param"};
+    static const char* valueOpts[] = {"-o",       "--tool", "--max-outstanding",
+                                      "--dut",    "--depth", "--jobs",
+                                      "--cycles", "--seed",  "--vcd",
+                                      "--bug",    "--param"};
     for (int i = start; i < argc; ++i) {
         std::string a = argv[i];
         bool takesValue = false;
@@ -137,6 +155,9 @@ int runReport(const std::vector<std::string>& sources, const core::FormalTestben
     util::DiagEngine diags;
     core::VerifyOptions vopts;
     vopts.engine.bmcDepth = static_cast<int>(args.getInt("--depth", 25));
+    vopts.engine.jobs = static_cast<int>(args.getInt("--jobs", 1));
+    if (vopts.engine.jobs == 0)
+        vopts.engine.jobs = static_cast<int>(std::thread::hardware_concurrency());
     vopts.engine.useLivenessToSafety = !args.has("--no-liveness");
     vopts.engine.checkCovers = !args.has("--no-covers");
     for (const auto& [name, value] : args.params) vopts.paramOverrides[name] = value;
