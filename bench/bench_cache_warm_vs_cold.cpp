@@ -1,0 +1,115 @@
+// Proof-cache effectiveness: cold run (empty cache) vs warm rerun on the
+// Ariane MMU and LSU property sets, reporting the warm hit rate and the
+// wall-clock ratio, with a three-way verdict cross-check against a
+// cache-disabled run (the soundness contract: the cache may only change
+// how fast a verdict arrives, never which verdict).
+//
+// Run:  bench_cache_warm_vs_cold [rounds]
+// Exit: non-zero if any verdict diverges, or if the warm rerun misses the
+//       cache for any obligation (the 100%-hit contract for unchanged RTL).
+#include <filesystem>
+#include <iostream>
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "core/autosva.hpp"
+#include "designs/designs.hpp"
+#include "formal/engine.hpp"
+#include "rtlir/elaborate.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace autosva;
+
+struct Measurement {
+    double seconds = 0.0;
+    std::string canonical;
+    formal::EngineStats stats;
+};
+
+/// One Engine run over a pre-elaborated design; `rounds` > 1 keeps the
+/// fastest wall clock (the canonical verdicts must not vary). The timer
+/// covers Engine construction too, so the warm numbers honestly include
+/// opening and loading the on-disk proof log.
+Measurement measure(const ir::Design& design, formal::EngineOptions opts, int rounds) {
+    Measurement m;
+    m.seconds = 1e30;
+    for (int round = 0; round < rounds; ++round) {
+        util::Stopwatch sw;
+        formal::Engine engine(design, opts);
+        sva::VerificationReport report;
+        report.results = engine.checkAll();
+        m.seconds = std::min(m.seconds, sw.seconds());
+        m.canonical = report.canonical();
+        m.stats = engine.stats();
+    }
+    return m;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    int rounds = argc > 1 ? std::atoi(argv[1]) : 1;
+    if (rounds < 1) {
+        std::cerr << "usage: bench_cache_warm_vs_cold [rounds>=1]\n";
+        return 2;
+    }
+    namespace fs = std::filesystem;
+    const fs::path cacheRoot =
+        fs::temp_directory_path() / ("autosva_bench_cache_" + std::to_string(getpid()));
+
+    bench::banner("Proof cache: cold vs warm verification");
+    bool ok = true;
+    for (const std::string& name : {std::string("ariane_mmu"), std::string("ariane_lsu")}) {
+        const auto& info = designs::design(name);
+        util::DiagEngine diags;
+        core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+        core::VerifyOptions vopts;
+        vopts.engine = bench::defaultBenchEngine();
+        vopts.engine.pdrMaxQueries = 30000; // Bound the tail: throughput bench.
+        if (!info.extensionSva.empty()) vopts.extraSources.push_back(info.extensionSva);
+        auto design = core::elaborateWithFT(designs::rtlSources(info), ft, vopts, diags,
+                                            /*tieReset=*/true);
+
+        const std::string dir = (cacheRoot / name).string();
+        formal::EngineOptions disabled = vopts.engine;
+        formal::EngineOptions cached = vopts.engine;
+        cached.cacheDir = dir;
+
+        Measurement base = measure(*design, disabled, rounds);
+        Measurement cold = measure(*design, cached, 1); // Populates the cache.
+        Measurement warm = measure(*design, cached, rounds);
+
+        bool identical = base.canonical == cold.canonical && cold.canonical == warm.canonical;
+        bool allHit = warm.stats.cacheLookups > 0 &&
+                      warm.stats.cacheHits == warm.stats.cacheLookups;
+        bool noWarmSat = warm.stats.satCalls == 0;
+        ok = ok && identical && allHit && noWarmSat;
+
+        double hitRate = warm.stats.cacheLookups == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(warm.stats.cacheHits) /
+                                   static_cast<double>(warm.stats.cacheLookups);
+        std::printf("%-12s  no-cache: %7.2fs   cold: %7.2fs   warm: %7.2fs   "
+                    "speedup(warm vs no-cache): %6.1fx\n",
+                    name.c_str(), base.seconds, cold.seconds, warm.seconds,
+                    base.seconds / warm.seconds);
+        std::printf("%-12s  warm hits: %llu/%llu (%.1f%%)   warm SAT calls: %llu   "
+                    "verdicts: %s\n",
+                    "", static_cast<unsigned long long>(warm.stats.cacheHits),
+                    static_cast<unsigned long long>(warm.stats.cacheLookups), hitRate,
+                    static_cast<unsigned long long>(warm.stats.satCalls),
+                    identical ? (allHit && noWarmSat ? "identical, SAT-free warm rerun"
+                                                     : "identical")
+                              : "DIVERGED");
+    }
+
+    std::error_code ec;
+    fs::remove_all(cacheRoot, ec);
+    if (!ok) {
+        std::cout << "\nFAIL: cached verdicts diverged or warm rerun missed the cache\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,32 @@
+// Little-endian byte encoding shared by the artifact serializer and the
+// store's record framing — one definition so the wire format cannot drift
+// between the two layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace autosva::cache {
+
+inline void putU32(std::string& out, uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void putU64(std::string& out, uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/// Callers must have bounds-checked that 4 / 8 bytes are readable.
+[[nodiscard]] inline uint32_t readU32(const char* p) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t{static_cast<unsigned char>(p[i])} << (8 * i);
+    return v;
+}
+
+[[nodiscard]] inline uint64_t readU64(const char* p) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t{static_cast<unsigned char>(p[i])} << (8 * i);
+    return v;
+}
+
+} // namespace autosva::cache

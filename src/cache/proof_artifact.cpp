@@ -1,0 +1,161 @@
+#include "cache/proof_artifact.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "cache/bytes.hpp"
+
+namespace autosva::cache {
+
+namespace {
+
+// Hard ceilings for the decoder: a corrupt length field must not turn into
+// a multi-gigabyte allocation before the bounds check catches it.
+constexpr size_t kMaxStrings = 1u << 20;
+constexpr size_t kMaxStringLen = 1u << 16;
+
+void putStr(std::string& out, const std::string& s) {
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out.append(s);
+}
+
+void putValueMap(std::string& out, const std::unordered_map<std::string, uint64_t>& values) {
+    std::map<std::string, uint64_t> sorted(values.begin(), values.end());
+    putU32(out, static_cast<uint32_t>(sorted.size()));
+    for (const auto& [name, value] : sorted) {
+        putStr(out, name);
+        putU64(out, value);
+    }
+}
+
+/// Cursor with failure latching: every get* returns a safe default once
+/// any read ran past the end; callers check ok() at the end.
+struct Reader {
+    std::string_view data;
+    size_t pos = 0;
+    bool failed = false;
+
+    [[nodiscard]] bool ok() const { return !failed && pos == data.size(); }
+
+    uint64_t getU64() {
+        if (failed || data.size() - pos < 8) {
+            failed = true;
+            return 0;
+        }
+        uint64_t v = readU64(data.data() + pos);
+        pos += 8;
+        return v;
+    }
+
+    uint32_t getU32() {
+        if (failed || data.size() - pos < 4) {
+            failed = true;
+            return 0;
+        }
+        uint32_t v = readU32(data.data() + pos);
+        pos += 4;
+        return v;
+    }
+
+    std::string getStr() {
+        uint32_t len = getU32();
+        if (failed || len > kMaxStringLen || data.size() - pos < len) {
+            failed = true;
+            return {};
+        }
+        std::string s(data.substr(pos, len));
+        pos += len;
+        return s;
+    }
+
+    std::unordered_map<std::string, uint64_t> getValueMap() {
+        std::unordered_map<std::string, uint64_t> values;
+        uint32_t count = getU32();
+        if (failed || count > kMaxStrings) {
+            failed = true;
+            return values;
+        }
+        for (uint32_t i = 0; i < count && !failed; ++i) {
+            std::string name = getStr();
+            uint64_t value = getU64();
+            values.emplace(std::move(name), value);
+        }
+        return values;
+    }
+};
+
+[[nodiscard]] bool validStatus(uint32_t s) {
+    switch (static_cast<formal::Status>(s)) {
+    case formal::Status::Proven:
+    case formal::Status::Failed:
+    case formal::Status::Covered:
+    case formal::Status::Unreachable:
+    case formal::Status::Unknown:
+    case formal::Status::Skipped:
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string ProofArtifact::serialize() const {
+    std::string out;
+    putU64(out, structKey);
+    putU32(out, static_cast<uint32_t>(status));
+    putU32(out, static_cast<uint32_t>(depth));
+    // Trace.
+    putU32(out, static_cast<uint32_t>(trace.loopStart));
+    putValueMap(out, trace.initialRegs);
+    putU32(out, static_cast<uint32_t>(trace.inputs.size()));
+    for (const auto& frame : trace.inputs) putValueMap(out, frame);
+    // Lemmas.
+    putU32(out, static_cast<uint32_t>(lemmas.size()));
+    for (const auto& cube : lemmas) {
+        putU32(out, static_cast<uint32_t>(cube.lits.size()));
+        for (const auto& [name, value] : cube.lits) {
+            putStr(out, name);
+            out.push_back(value ? 1 : 0);
+        }
+    }
+    return out;
+}
+
+std::optional<ProofArtifact> ProofArtifact::deserialize(std::string_view data) {
+    Reader in{data};
+    ProofArtifact art;
+    art.structKey = in.getU64();
+    uint32_t status = in.getU32();
+    art.depth = static_cast<int>(in.getU32());
+    art.trace.loopStart = static_cast<int>(in.getU32());
+    art.trace.initialRegs = in.getValueMap();
+    uint32_t frames = in.getU32();
+    if (in.failed || frames > kMaxStrings) return std::nullopt;
+    art.trace.inputs.reserve(frames);
+    for (uint32_t f = 0; f < frames && !in.failed; ++f)
+        art.trace.inputs.push_back(in.getValueMap());
+    uint32_t numLemmas = in.getU32();
+    if (in.failed || numLemmas > kMaxStrings) return std::nullopt;
+    art.lemmas.reserve(numLemmas);
+    for (uint32_t c = 0; c < numLemmas && !in.failed; ++c) {
+        uint32_t numLits = in.getU32();
+        if (in.failed || numLits > kMaxStrings) return std::nullopt;
+        NamedCube cube;
+        cube.lits.reserve(numLits);
+        for (uint32_t l = 0; l < numLits && !in.failed; ++l) {
+            std::string name = in.getStr();
+            if (in.failed || in.pos >= in.data.size()) {
+                in.failed = true;
+                break;
+            }
+            bool value = in.data[in.pos++] != 0;
+            cube.lits.emplace_back(std::move(name), value);
+        }
+        art.lemmas.push_back(std::move(cube));
+    }
+    if (!in.ok() || !validStatus(status)) return std::nullopt;
+    art.status = static_cast<formal::Status>(status);
+    return art;
+}
+
+} // namespace autosva::cache

@@ -1,0 +1,43 @@
+// The value side of the proof cache: everything worth keeping from a
+// discharged obligation. Besides the verdict itself, artifacts carry the
+// evidence that makes a later run cheap or re-checkable:
+//   - falsification traces (word-level, replayable on the simulator),
+//   - the PDR inductive invariant as clauses over *named* latches, so the
+//     lemmas can be re-targeted onto a re-bit-blasted AIG after an RTL
+//     edit (they are only ever reused as candidates and re-validated by
+//     induction, so soundness never rests on the cache).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formal/result.hpp"
+
+namespace autosva::cache {
+
+/// One blocked cube of a PDR invariant, over latch names: "not all of
+/// these latches simultaneously hold these values".
+struct NamedCube {
+    std::vector<std::pair<std::string, bool>> lits;
+};
+
+struct ProofArtifact {
+    uint64_t structKey = 0; ///< Obligation-identity key (near-miss index).
+    formal::Status status = formal::Status::Unknown;
+    int depth = -1;
+    formal::CexTrace trace;       ///< Populated for Failed / Covered.
+    std::vector<NamedCube> lemmas; ///< Populated for PDR-proven obligations.
+
+    /// Compact little-endian binary encoding (deterministic: map contents
+    /// are sorted by name).
+    [[nodiscard]] std::string serialize() const;
+
+    /// Bounds-checked decode; nullopt on any malformed input — a garbled
+    /// cache entry must degrade to a cache miss, never to a wrong verdict.
+    [[nodiscard]] static std::optional<ProofArtifact> deserialize(std::string_view data);
+};
+
+} // namespace autosva::cache

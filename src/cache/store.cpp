@@ -1,0 +1,185 @@
+#include "cache/store.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "cache/bytes.hpp"
+
+namespace autosva::cache {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'A', 'S', 'V', 'A', 'P', 'C', '0', '1'};
+constexpr uint32_t kRecordMagic = 0xA57AC4E1;
+constexpr uint32_t kMaxPayload = 64u << 20; ///< Sanity bound per record.
+
+} // namespace
+
+ProofCache::ProofCache(std::string dir) : dir_(std::move(dir)) {
+    if (dir_.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    logPath_ = (std::filesystem::path(dir_) / "proofs.bin").string();
+    load();
+    uintmax_t size = std::filesystem::file_size(logPath_, ec);
+    if (ec) size = 0;
+    if (size == 0) {
+        out_.open(logPath_, std::ios::binary | std::ios::app);
+        if (out_) {
+            out_.write(kFileMagic, sizeof kFileMagic);
+            out_.flush();
+            persistent_ = out_.good();
+        }
+    } else if (headerTrusted_) {
+        // Self-heal a torn tail (crash mid-append, racing writers): drop
+        // the bytes past the last well-framed record so future appends are
+        // readable again instead of piling up behind dead data.
+        if (scanEnd_ < size) std::filesystem::resize_file(logPath_, scanEnd_, ec);
+        if (!ec) {
+            out_.open(logPath_, std::ios::binary | std::ios::app);
+            persistent_ = static_cast<bool>(out_);
+        }
+    }
+    // Untrusted header: some foreign file sits at our log path. Appending
+    // records nothing could ever load (and truncating is not ours to do) —
+    // run memory-only.
+}
+
+std::string ProofCache::defaultDir() {
+    if (const char* env = std::getenv("AUTOSVA_CACHE_DIR"); env && *env) return env;
+    if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg)
+        return (std::filesystem::path(xdg) / "autosva").string();
+    if (const char* home = std::getenv("HOME"); home && *home)
+        return (std::filesystem::path(home) / ".cache" / "autosva").string();
+    return {};
+}
+
+void ProofCache::load() {
+    std::ifstream in(logPath_, std::ios::binary | std::ios::ate);
+    if (!in) return;
+    std::streamoff size = in.tellg();
+    if (size < 0) return;
+    // Single sized read — the log is reloaded at every Engine construction,
+    // so avoid the stringstream double-buffer.
+    std::string bytes(static_cast<size_t>(size), '\0');
+    in.seekg(0);
+    if (size > 0 && !in.read(bytes.data(), size)) return;
+    if (bytes.size() < sizeof kFileMagic ||
+        std::char_traits<char>::compare(bytes.data(), kFileMagic, sizeof kFileMagic) != 0) {
+        // Unrecognized or truncated header: some foreign file sits at our
+        // path. Load nothing and leave headerTrusted_ false — the ctor
+        // then runs memory-only rather than clobber or append to it.
+        if (!bytes.empty()) ++stats_.loadErrors;
+        return;
+    }
+    headerTrusted_ = true;
+    // Record: magic u32 | fpHi u64 | fpLo u64 | payloadLen u32 | payloadHash
+    // u64 | payload. A framing anomaly ends the scan: without trustworthy
+    // length fields there is no safe way to resync. scanEnd_ marks the last
+    // well-framed boundary so the ctor can trim the dead tail.
+    constexpr size_t kHeader = 4 + 8 + 8 + 4 + 8;
+    size_t pos = sizeof kFileMagic;
+    scanEnd_ = pos;
+    while (pos + kHeader <= bytes.size()) {
+        const char* p = bytes.data() + pos;
+        if (readU32(p) != kRecordMagic) {
+            ++stats_.loadErrors;
+            return;
+        }
+        Fingerprint fp{readU64(p + 4), readU64(p + 12)};
+        uint32_t len = readU32(p + 20);
+        uint64_t payloadHash = readU64(p + 24);
+        if (len > kMaxPayload || pos + kHeader + len > bytes.size()) {
+            ++stats_.loadErrors;
+            return;
+        }
+        std::string_view payload(bytes.data() + pos + kHeader, len);
+        pos += kHeader + len;
+        scanEnd_ = pos;
+        if (hash64(payload.data(), payload.size()) != payloadHash) {
+            ++stats_.loadErrors;
+            continue; // Lengths were consistent: resume at the next record.
+        }
+        std::optional<ProofArtifact> art = ProofArtifact::deserialize(payload);
+        if (!art) {
+            ++stats_.loadErrors;
+            continue;
+        }
+        ++stats_.entriesLoaded;
+        byStruct_[art->structKey] = fp; // Later records win, like snapshot_.
+        snapshot_[fp] = std::move(*art);
+    }
+    if (pos != bytes.size()) ++stats_.loadErrors; // Truncated trailing record.
+}
+
+// snapshot_ and byStruct_ are immutable after construction, so lookups only
+// need the lock for the stats counters — the (potentially large) artifact
+// copy happens outside it, off other workers' probe path.
+
+std::optional<ProofArtifact> ProofCache::lookup(const Fingerprint& fp) {
+    auto it = snapshot_.find(fp);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.lookups;
+        if (it != snapshot_.end()) ++stats_.hits;
+    }
+    if (it == snapshot_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::optional<ProofArtifact> ProofCache::lookupNear(uint64_t structKey) {
+    auto it = byStruct_.find(structKey);
+    auto entry = it == byStruct_.end() ? snapshot_.end() : snapshot_.find(it->second);
+    if (entry == snapshot_.end()) return std::nullopt;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.nearHits;
+    }
+    return entry->second;
+}
+
+void ProofCache::store(const Fingerprint& fp, const ProofArtifact& artifact) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Skip rewriting what the log already has (same key => same content
+        // by construction) and what this run already appended.
+        if (snapshot_.count(fp) != 0 || !storedThisRun_.emplace(fp, 0).second) return;
+        ++stats_.stores;
+        if (!persistent_) return;
+    }
+    // Serialize outside the lock: workers must not queue their lookups
+    // behind another worker's (potentially large) trace encoding.
+    std::string payload = artifact.serialize();
+    // Never append what load() would treat as a framing anomaly — an
+    // oversized record would get the log truncated at its offset on the
+    // next open, taking every later record with it.
+    if (payload.size() > kMaxPayload) return;
+    std::string record;
+    record.reserve(32 + payload.size());
+    putU32(record, kRecordMagic);
+    putU64(record, fp.hi);
+    putU64(record, fp.lo);
+    putU32(record, static_cast<uint32_t>(payload.size()));
+    putU64(record, hash64(payload.data(), payload.size()));
+    record += payload;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!persistent_) return;
+    // One buffered write per record keeps concurrent-process interleaving
+    // unlikely (not impossible — the checksum scan degrades gracefully).
+    out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+    out_.flush();
+    if (!out_) persistent_ = false;
+}
+
+void ProofCache::noteSeeded(uint64_t cubes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.seededLemmas += cubes;
+}
+
+CacheStats ProofCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace autosva::cache

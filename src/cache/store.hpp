@@ -1,0 +1,85 @@
+// Persistent proof store: the two-tier home of cached artifacts.
+//
+// On open, the on-disk log (`<dir>/proofs.bin`) is scanned into an
+// in-memory map — that snapshot serves every lookup of the run, so results
+// cannot depend on which worker recorded what first. Stores append a
+// checksummed record to the log (last record for a fingerprint wins on the
+// next load) and never block correctness: any I/O failure just downgrades
+// the cache to memory-only, and any malformed or truncated record is
+// dropped at load time. The store is internally synchronized; workers call
+// it concurrently.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cache/fingerprint.hpp"
+#include "cache/proof_artifact.hpp"
+
+namespace autosva::cache {
+
+struct CacheStats {
+    uint64_t lookups = 0;     ///< Exact-fingerprint probes.
+    uint64_t hits = 0;        ///< Probes answered from the store.
+    uint64_t stores = 0;      ///< Artifacts recorded this run.
+    uint64_t nearHits = 0;    ///< Near-miss probes that yielded lemma seeds.
+    uint64_t seededLemmas = 0; ///< Candidate lemma cubes handed to PDR.
+    uint64_t entriesLoaded = 0; ///< Valid records read at open.
+    uint64_t loadErrors = 0;  ///< Corrupt/truncated records skipped at open.
+
+    [[nodiscard]] uint64_t misses() const { return lookups - hits; }
+};
+
+class ProofCache {
+public:
+    /// Opens (creating the directory if needed) and loads the log. A
+    /// directory that cannot be created or written leaves the cache
+    /// memory-only for this run; it never throws.
+    explicit ProofCache(std::string dir);
+
+    /// Default on-disk location: $AUTOSVA_CACHE_DIR, else
+    /// $XDG_CACHE_HOME/autosva, else $HOME/.cache/autosva, else "" (no
+    /// resolvable home: caller should treat as disabled).
+    [[nodiscard]] static std::string defaultDir();
+
+    [[nodiscard]] const std::string& dir() const { return dir_; }
+    /// False when the log could not be opened for appending (memory-only).
+    [[nodiscard]] bool persistent() const { return persistent_; }
+
+    /// Exact lookup against the open-time snapshot. Entries stored during
+    /// this run are deliberately not visible, so intra-run scheduling order
+    /// cannot leak into results.
+    [[nodiscard]] std::optional<ProofArtifact> lookup(const Fingerprint& fp);
+
+    /// Near-miss lookup by obligation identity: returns the artifact of
+    /// the same property from a prior run whose exact fingerprint no
+    /// longer matches (i.e. the RTL changed inside its cone). Source of
+    /// candidate lemmas only — callers must re-validate anything they use.
+    [[nodiscard]] std::optional<ProofArtifact> lookupNear(uint64_t structKey);
+
+    void store(const Fingerprint& fp, const ProofArtifact& artifact);
+
+    void noteSeeded(uint64_t cubes);
+
+    [[nodiscard]] CacheStats stats() const;
+
+private:
+    void load();
+
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::string logPath_;
+    bool persistent_ = false;
+    bool headerTrusted_ = false; ///< Log file carries our magic.
+    size_t scanEnd_ = 0;         ///< Last well-framed byte offset at load.
+    std::ofstream out_;
+    std::unordered_map<Fingerprint, ProofArtifact, FingerprintHash> snapshot_;
+    std::unordered_map<uint64_t, Fingerprint> byStruct_;
+    std::unordered_map<Fingerprint, char, FingerprintHash> storedThisRun_;
+    CacheStats stats_;
+};
+
+} // namespace autosva::cache

@@ -116,6 +116,9 @@ sva::VerificationReport verify(const std::vector<std::string>& rtlSources,
     report.dutName = ft.dutName;
     report.results = engine.checkAll();
     report.totalSeconds = engine.stats().totalSeconds;
+    report.cacheLookups = engine.stats().cacheLookups;
+    report.cacheHits = engine.stats().cacheHits;
+    report.cacheSeededLemmas = engine.stats().cacheSeededLemmas;
     return report;
 }
 
@@ -126,6 +129,8 @@ sva::VerificationReport generateAndVerify(const std::string& rtlSource,
     FormalTestbench ft = generateFT(rtlSource, genOpts, diags);
     VerifyOptions vopts = verifyOpts;
     if (vopts.engine.jobs <= 1 && genOpts.jobs > 1) vopts.engine.jobs = genOpts.jobs;
+    if (vopts.engine.cacheDir.empty() && !genOpts.cacheDir.empty())
+        vopts.engine.cacheDir = genOpts.cacheDir;
     return verify({rtlSource}, ft, vopts, diags);
 }
 

@@ -35,6 +35,10 @@ struct AutoSvaOptions {
     /// leave engine.jobs at its default (<= 1). A VerifyOptions::engine.jobs
     /// value > 1 takes precedence over this field.
     int jobs = 1;
+    /// Persistent proof-cache directory for generateAndVerify() runs when
+    /// the VerifyOptions leave engine.cacheDir empty (empty: no cache). See
+    /// formal::EngineOptions::cacheDir.
+    std::string cacheDir;
 };
 
 /// A complete generated formal testbench.

@@ -11,9 +11,7 @@ namespace autosva::formal {
 
 namespace {
 
-/// A cube over latch state: sorted (latchVar, value) pairs. Blocking a cube
-/// adds the clause "not all of these values simultaneously".
-using Cube = std::vector<std::pair<uint32_t, bool>>;
+using Cube = PdrCube;
 
 /// One SAT context per frame: the transition relation (frame 0 = current
 /// state, frame 1 resolves to next-state functions) plus the frame's
@@ -40,6 +38,7 @@ struct PdrContext {
 
     std::vector<std::unique_ptr<FrameSolver>> solvers; // Index = frame.
     std::vector<std::vector<Cube>> frames;             // Learned cubes per frame.
+    std::vector<Cube> invariantCubes; // Validated seeds: hold at every frame.
 
     PdrContext(const Aig& a, AigLit b, const std::vector<AigLit>& cons, const PdrOptions& o)
         : aig(a), bad(b), constraints(cons), opts(o) {}
@@ -63,6 +62,7 @@ struct PdrContext {
             // from frames idx and above.
             size_t idx = solvers.size();
             solvers.push_back(std::move(fs));
+            for (const Cube& c : invariantCubes) addBlockedClauseToSolver(idx, c);
             for (size_t j = idx; j < frames.size(); ++j)
                 for (const Cube& c : frames[j]) addBlockedClauseToSolver(idx, c);
         }
@@ -181,6 +181,102 @@ struct PdrContext {
         return true;
     }
 
+    /// Admits the mutually-inductive subset of the seed cubes as
+    /// frame-independent invariants. Seeds come from an untrusted source
+    /// (the proof cache, possibly for an edited design), so each candidate
+    /// only survives a greatest-fixpoint filter under consecution: start
+    /// from every well-formed, Init-disjoint candidate and repeatedly drop
+    /// cubes whose clause is not inductive relative to the survivors. The
+    /// surviving conjunction S satisfies Init => S and S /\ C /\ T /\ C' =>
+    /// S', so it over-approximates nothing reachable — blocking it at every
+    /// frame is sound no matter what the cache contained.
+    ///
+    /// Validation runs on its own bounded query budget, deliberately NOT
+    /// charged to the main `queries` counter: a stale or oversized seed set
+    /// must never eat the proof budget and demote an otherwise-provable
+    /// property to Unknown. If the validation budget runs out before the
+    /// fixpoint closes, every seed is discarded.
+    void admitSeedCubes() {
+        if (!opts.seedCubes || opts.seedCubes->empty()) return;
+        std::vector<Cube> cand;
+        cand.reserve(opts.seedCubes->size());
+        for (const Cube& seed : *opts.seedCubes) {
+            if (seed.empty()) continue;
+            bool wellFormed = true;
+            for (auto [var, val] : seed) {
+                (void)val;
+                if (var >= aig.numVars() || aig.kind(var) != Aig::VarKind::Latch)
+                    wellFormed = false;
+            }
+            if (!wellFormed) continue;
+            Cube cube = seed;
+            std::sort(cube.begin(), cube.end());
+            cube.erase(std::unique(cube.begin(), cube.end()), cube.end());
+            if (intersectsInit(cube)) continue;
+            cand.push_back(std::move(cube));
+        }
+        if (cand.empty()) return;
+
+        // One incremental solver: T with constraints in both states, each
+        // candidate clause behind an activation literal so dropped cubes
+        // leave the premise.
+        SatSolver solver;
+        Unroller un(aig, solver, Unroller::Init::Free);
+        for (AigLit c : constraints) {
+            solver.addUnit(un.lit(0, c));
+            solver.addUnit(un.lit(1, c));
+        }
+        std::vector<SatLit> act(cand.size());
+        for (size_t i = 0; i < cand.size(); ++i) {
+            act[i] = mkSatLit(solver.newVar());
+            std::vector<SatLit> clause{satNeg(act[i])};
+            for (auto [var, val] : cand[i]) {
+                SatLit l = un.lit(0, aigMkLit(var));
+                clause.push_back(val ? satNeg(l) : l);
+            }
+            solver.addClause(std::move(clause));
+        }
+        const uint64_t seedBudget = std::min<uint64_t>(opts.maxQueries, 10000);
+        uint64_t seedQueries = 0;
+        std::vector<char> alive(cand.size(), 1);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t i = 0; i < cand.size(); ++i) {
+                if (!alive[i]) continue;
+                if (seedQueries >= seedBudget) return; // Unvalidated: use none.
+                ++seedQueries;
+                std::vector<SatLit> assumptions;
+                for (size_t j = 0; j < cand.size(); ++j)
+                    if (alive[j]) assumptions.push_back(act[j]);
+                for (auto [var, val] : cand[i]) {
+                    SatLit l = un.lit(1, aigMkLit(var));
+                    assumptions.push_back(val ? l : satNeg(l));
+                }
+                if (solver.solve(assumptions) != SatResult::Unsat) {
+                    alive[i] = 0;
+                    changed = true;
+                }
+            }
+        }
+        for (size_t i = 0; i < cand.size(); ++i)
+            if (alive[i]) invariantCubes.push_back(std::move(cand[i]));
+        // No frame solvers exist yet at the call site; frameSolver() injects
+        // the admitted clauses into each solver it creates.
+    }
+
+    /// The inductive invariant once frame `closedFrame` equals its
+    /// successor: every clause at or above the convergence point plus the
+    /// admitted seed invariants.
+    [[nodiscard]] std::vector<Cube> collectInvariant(size_t closedFrame) const {
+        std::vector<Cube> inv = invariantCubes;
+        for (size_t j = closedFrame; j < frames.size(); ++j)
+            inv.insert(inv.end(), frames[j].begin(), frames[j].end());
+        std::sort(inv.begin(), inv.end());
+        inv.erase(std::unique(inv.begin(), inv.end()), inv.end());
+        return inv;
+    }
+
     /// Shrinks a blocked cube: first via unsat cores (cheap, large steps),
     /// then literal dropping on the remainder, always keeping the cube
     /// inductive relative to F_{frameIdx} and disjoint from Init.
@@ -232,6 +328,10 @@ PdrResult pdrCheck(const Aig& aig, AigLit bad, const std::vector<AigLit>& constr
             return result;
         }
     }
+
+    // Re-validate and admit any seed invariants before the main loop (no
+    // frame solvers exist yet, so the admitted clauses reach all of them).
+    ctx.admitSeedCubes();
 
     // Proof obligations: (frame, cube, depth-from-bad) — recursive blocking.
     struct Obligation {
@@ -301,6 +401,7 @@ PdrResult pdrCheck(const Aig& aig, AigLit bad, const std::vector<AigLit>& constr
                 result.kind = PdrResult::Kind::Proven;
                 result.depth = static_cast<int>(i);
                 result.queries = ctx.queries;
+                result.invariant = ctx.collectInvariant(i);
                 return result;
             }
         }

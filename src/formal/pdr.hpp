@@ -9,15 +9,25 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "formal/aig.hpp"
 
 namespace autosva::formal {
 
+/// A cube over latch state: sorted (latchVar, value) pairs. Blocking a
+/// cube asserts the clause "not all of these values simultaneously".
+using PdrCube = std::vector<std::pair<uint32_t, bool>>;
+
 struct PdrOptions {
     int maxFrames = 60;
     uint64_t maxQueries = 200000; ///< Safety valve on total SAT queries.
+    /// Candidate invariant cubes from a previous proof (e.g. the proof
+    /// cache). They are *candidates only*: pdrCheck keeps the subset that
+    /// is mutually inductive (greatest fixpoint under consecution) and
+    /// discards the rest, so unsound seeds cannot influence the verdict.
+    const std::vector<PdrCube>* seedCubes = nullptr;
 };
 
 struct PdrResult {
@@ -27,6 +37,9 @@ struct PdrResult {
     /// (number of steps from the initial state to `bad`).
     int depth = -1;
     uint64_t queries = 0;
+    /// Proven only: the inductive invariant as blocked cubes (clauses
+    /// negated), i.e. every reachable state avoids each of these cubes.
+    std::vector<PdrCube> invariant;
 };
 
 /// Decides reachability of `bad` (a combinational AIG literal) from the

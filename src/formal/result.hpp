@@ -39,6 +39,7 @@ struct PropertyResult {
     Status status = Status::Unknown;
     int depth = -1;      ///< CEX length / induction k / cover depth / bound.
     double seconds = 0.0;
+    bool cached = false; ///< Served from the proof cache (no SAT work).
     CexTrace trace;      ///< Valid when Failed or Covered.
 
     [[nodiscard]] bool isFailure() const { return status == Status::Failed; }
@@ -54,12 +55,27 @@ struct EngineOptions {
     bool checkCovers = true;
     bool useLivenessToSafety = true; ///< false: liveness reported Unknown.
     bool usePdr = true;              ///< false: induction only (ablation).
+    /// Persistent proof-cache directory; empty disables the cache (exact
+    /// pre-cache behavior). Cache hits skip SAT work and reproduce the
+    /// recording run's results byte-for-byte; near-miss lemma seeding is
+    /// re-validated before use, so it can never flip a verdict between
+    /// Proven and Failed (it may move PDR depths / budget-bound Unknowns
+    /// relative to an uncached run — disable cacheLemmaSeeding for strict
+    /// identity after edits).
+    std::string cacheDir;
+    /// Allow seeding PDR with re-validated invariants from a prior run of
+    /// the same property when its exact fingerprint missed (RTL changed).
+    bool cacheLemmaSeeding = true;
 };
 
 struct EngineStats {
     uint64_t satCalls = 0;
     uint64_t conflicts = 0;
     uint64_t propagations = 0;
+    uint64_t cacheLookups = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheStores = 0;
+    uint64_t cacheSeededLemmas = 0;
     double totalSeconds = 0.0;
 };
 

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "cache/fingerprint.hpp"
+#include "cache/store.hpp"
 #include "sva/report.hpp"
 #include "util/stopwatch.hpp"
 
@@ -96,6 +98,108 @@ void finalizeDepth(ObligationJob& job, const EngineOptions& opts) {
         job.result.depth = opts.bmcDepth;
 }
 
+// ---------------------------------------------------------------------------
+// Proof-cache glue
+// ---------------------------------------------------------------------------
+
+/// Bounds on what one artifact may carry into / out of the store; silent
+/// truncation of lemmas is fine because they are only reuse candidates.
+constexpr size_t kMaxStoredLemmas = 4096;
+constexpr size_t kMaxSeedCubes = 2048;
+
+/// Content key of one obligation at one pipeline stage: the union cone of
+/// bad, pdrBad, the l2s save oracle, and every frame constraint (an
+/// unsatisfiable constraint set elsewhere in the design can flip any
+/// verdict, so constraints are always part of the key).
+cache::Fingerprint jobFingerprint(const ProofContext& ctx, const ObligationJob& job,
+                                  cache::Stage stage) {
+    std::vector<AigLit> roots{job.bad, job.pdrBad, ctx.saveOracle};
+    roots.insert(roots.end(), ctx.constraints.begin(), ctx.constraints.end());
+    uint64_t digest = cache::optionsDigest(ctx.opts, stage, job.coverMode, job.ob->kind);
+    return cache::fingerprintCone(ctx.aig, roots, digest);
+}
+
+/// Adopts a cached verdict if it is shape-plausible for this job; a reject
+/// degrades to a miss (full proof), never to a wrong report.
+bool applyArtifact(const cache::ProofArtifact& art, ObligationJob& job) {
+    switch (art.status) {
+    case Status::Failed:
+        if (job.coverMode || art.trace.inputs.empty()) return false;
+        break;
+    case Status::Covered:
+        if (!job.coverMode || art.trace.inputs.empty()) return false;
+        break;
+    case Status::Proven:
+        if (job.coverMode) return false;
+        break;
+    case Status::Unreachable:
+        if (!job.coverMode) return false;
+        break;
+    case Status::Unknown:
+        break;
+    case Status::Skipped:
+        return false;
+    }
+    job.result.status = art.status;
+    job.result.depth = art.depth;
+    job.result.trace = art.trace;
+    job.result.cached = true;
+    return true;
+}
+
+cache::ProofArtifact makeArtifact(uint64_t structKey, const ObligationJob& job,
+                                  const Aig& aig) {
+    cache::ProofArtifact art;
+    art.structKey = structKey;
+    art.status = job.result.status;
+    art.depth = job.result.depth;
+    if (job.result.status == Status::Failed || job.result.status == Status::Covered)
+        art.trace = job.result.trace;
+    for (const PdrCube& cube : job.invariant) {
+        if (art.lemmas.size() >= kMaxStoredLemmas) break;
+        cache::NamedCube named;
+        named.lits.reserve(cube.size());
+        bool portable = true;
+        for (auto [var, val] : cube) {
+            const std::string& name = aig.varName(var);
+            if (name.empty()) {
+                portable = false;
+                break;
+            }
+            named.lits.emplace_back(name, val);
+        }
+        if (portable) art.lemmas.push_back(std::move(named));
+    }
+    return art;
+}
+
+/// Re-targets named lemma cubes onto the current AIG. Cubes naming latches
+/// that no longer exist are dropped; if more than half are lost, the design
+/// drifted beyond the bounded delta where reuse pays and nothing is seeded.
+std::vector<PdrCube> mapLemmas(const std::vector<cache::NamedCube>& lemmas,
+                               const std::unordered_map<std::string, uint32_t>& latchByName) {
+    std::vector<PdrCube> cubes;
+    cubes.reserve(std::min(lemmas.size(), kMaxSeedCubes));
+    for (const cache::NamedCube& named : lemmas) {
+        if (cubes.size() >= kMaxSeedCubes) break;
+        if (named.lits.empty()) continue;
+        PdrCube cube;
+        cube.reserve(named.lits.size());
+        bool mapped = true;
+        for (const auto& [name, val] : named.lits) {
+            auto it = latchByName.find(name);
+            if (it == latchByName.end()) {
+                mapped = false;
+                break;
+            }
+            cube.emplace_back(it->second, val);
+        }
+        if (mapped) cubes.push_back(std::move(cube));
+    }
+    if (cubes.size() * 2 < lemmas.size()) cubes.clear();
+    return cubes;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -113,15 +217,55 @@ ObligationScheduler::ObligationScheduler(const ir::Design& design, EngineOptions
         else if (ob.kind == ir::Obligation::Kind::Fairness)
             fairness_.push_back(bb_.lit(ob.net));
     }
+    if (!opts_.cacheDir.empty()) {
+        cache_ = std::make_unique<cache::ProofCache>(opts_.cacheDir);
+        structSalt_ = cache::designSalt(design);
+        baseLatchNames_ = cache::latchNameMap(bb_.aig);
+    }
 }
 
 ObligationScheduler::~ObligationScheduler() = default;
 
+void ObligationScheduler::seedFromNearMiss(ObligationJob& job, uint64_t structKey) const {
+    if (!opts_.cacheLemmaSeeding || !opts_.usePdr) return;
+    auto near = cache_->lookupNear(structKey);
+    if (!near || near->lemmas.empty()) return;
+    job.pdrSeeds = mapLemmas(near->lemmas, job.onLiveAig ? liveLatchNames_ : baseLatchNames_);
+    if (!job.pdrSeeds.empty()) cache_->noteSeeded(job.pdrSeeds.size());
+}
+
+bool ObligationScheduler::tryServeFromCache(const ProofContext& ctx, ObligationJob& job,
+                                            cache::Stage stage, bool allowSeeding,
+                                            cache::Fingerprint& fp,
+                                            uint64_t& structKey) const {
+    fp = jobFingerprint(ctx, job, stage);
+    structKey = cache::structKey(job.ob->name, job.ob->kind, stage, structSalt_);
+    if (auto art = cache_->lookup(fp); art && applyArtifact(*art, job)) return true;
+    if (allowSeeding) seedFromNearMiss(job, structKey);
+    return false;
+}
+
 void ObligationScheduler::discharge(const ProofContext& ctx, ObligationJob& job,
                                     bool withPdr) const {
+    const cache::Stage stage = withPdr ? cache::Stage::FullPipeline : cache::Stage::Frontier;
+    cache::Fingerprint fp;
+    uint64_t structKey = 0;
+    if (cache_ && tryServeFromCache(ctx, job, stage, /*allowSeeding=*/withPdr, fp, structKey))
+        return;
     if (job.result.status == Status::Unknown) bmc_->run(ctx, job);
     if (job.result.status == Status::Unknown) induction_->run(ctx, job);
     if (withPdr && job.result.status == Status::Unknown) pdr_->run(ctx, job);
+    if (cache_) cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
+}
+
+void ObligationScheduler::runChainPdr(const ProofContext& ctx, ObligationJob& job) const {
+    cache::Fingerprint fp;
+    uint64_t structKey = 0;
+    if (cache_ && tryServeFromCache(ctx, job, cache::Stage::ChainPdr, /*allowSeeding=*/true,
+                                    fp, structKey))
+        return;
+    pdr_->run(ctx, job);
+    if (cache_) cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
 }
 
 std::vector<PropertyResult> ObligationScheduler::run() {
@@ -174,6 +318,7 @@ std::vector<PropertyResult> ObligationScheduler::run() {
 
     if (needLive) {
         live_ = std::make_unique<LivenessTransform>(design_, bb_, fairness_);
+        if (cache_) liveLatchNames_ = cache::latchNameMap(live_->aig());
         for (auto& job : jobs) {
             if (job.onLiveAig && job.result.status == Status::Unknown) {
                 job.bad = live_->bad(job.ob);
@@ -234,7 +379,7 @@ std::vector<PropertyResult> ObligationScheduler::run() {
                 job->pdrBad = provenSeen != kAigTrue
                                   ? live_->mutableAig().mkAnd(job->bad, provenSeen)
                                   : job->bad;
-                pdr_->run(liveCtx, *job);
+                runChainPdr(liveCtx, *job);
                 if (job->result.status == Status::Proven)
                     provenSeen = live_->mutableAig().mkAnd(provenSeen, live_->seen(job->ob));
             }
@@ -244,6 +389,13 @@ std::vector<PropertyResult> ObligationScheduler::run() {
     }
 
     stats_ = shared_.snapshot(total.seconds());
+    if (cache_) {
+        cache::CacheStats cs = cache_->stats();
+        stats_.cacheLookups = cs.lookups;
+        stats_.cacheHits = cs.hits;
+        stats_.cacheStores = cs.stores;
+        stats_.cacheSeededLemmas = cs.seededLemmas;
+    }
     return sink.drain();
 }
 

@@ -15,15 +15,30 @@
 // phase as constraints, and the liveness PDR lemma chain runs sequentially
 // in declaration order (it strengthens later obligations with the "seen"
 // trackers of earlier proven ones, which keeps the reasoning acyclic).
+//
+// When EngineOptions::cacheDir is set, a persistent proof cache
+// (src/cache/) sits in front of the strategy pipeline: each obligation is
+// keyed by a content fingerprint of its cone of influence, exact hits skip
+// all SAT work, and near-misses (same property, edited RTL) seed PDR with
+// the prior run's re-validated invariant lemmas. Cache lookups read an
+// open-time snapshot, so verdicts stay byte-identical for any worker count
+// and any cache state.
 #pragma once
 
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "cache/fingerprint.hpp"
 #include "formal/bitblast.hpp"
 #include "formal/result.hpp"
 #include "formal/strategy.hpp"
 #include "rtlir/design.hpp"
+
+namespace autosva::cache {
+class ProofCache;
+}
 
 namespace autosva::formal {
 
@@ -41,8 +56,21 @@ public:
     [[nodiscard]] const EngineOptions& options() const { return opts_; }
 
 private:
-    /// Runs the BMC -> k-induction (-> PDR) pipeline on one job.
+    /// Runs the BMC -> k-induction (-> PDR) pipeline on one job, consulting
+    /// and feeding the proof cache when one is configured.
     void discharge(const ProofContext& ctx, ObligationJob& job, bool withPdr) const;
+    /// The sequential liveness PDR step, with its own cache stage.
+    void runChainPdr(const ProofContext& ctx, ObligationJob& job) const;
+    /// Maps a near-miss artifact's named lemmas onto the job's AIG as PDR
+    /// seed candidates (bounded, re-validated downstream).
+    void seedFromNearMiss(ObligationJob& job, uint64_t structKey) const;
+    /// Shared pre-pipeline cache protocol for both discharge paths:
+    /// computes the job's key for `stage` (returned via fp/structKey so the
+    /// caller records under the same key), applies an exact hit, and seeds
+    /// PDR from a near-miss when `allowSeeding`. True = served from cache.
+    bool tryServeFromCache(const ProofContext& ctx, ObligationJob& job, cache::Stage stage,
+                           bool allowSeeding, cache::Fingerprint& fp,
+                           uint64_t& structKey) const;
 
     const ir::Design& design_;
     EngineOptions opts_;
@@ -53,6 +81,10 @@ private:
     std::unique_ptr<ProofStrategy> bmc_;
     std::unique_ptr<ProofStrategy> induction_;
     std::unique_ptr<ProofStrategy> pdr_;
+    std::unique_ptr<cache::ProofCache> cache_;
+    uint64_t structSalt_ = 0; ///< Design-identity salt for near-miss keys.
+    std::unordered_map<std::string, uint32_t> baseLatchNames_;
+    std::unordered_map<std::string, uint32_t> liveLatchNames_;
     SharedStats shared_;
     EngineStats stats_;
 };

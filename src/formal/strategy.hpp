@@ -17,6 +17,7 @@
 
 #include "formal/aig.hpp"
 #include "formal/bitblast.hpp"
+#include "formal/pdr.hpp"
 #include "formal/result.hpp"
 #include "rtlir/design.hpp"
 
@@ -54,6 +55,11 @@ struct ObligationJob {
     AigLit pdrBad = kAigFalse;
     bool onLiveAig = false;
     bool coverMode = false; ///< Sat = Covered / proven-unreachable semantics.
+    /// Candidate invariant cubes for PDR (from the proof cache after a
+    /// near-miss). Candidates only — PDR re-validates before use.
+    std::vector<PdrCube> pdrSeeds;
+    /// PDR's inductive invariant when it proved this job (cache fodder).
+    std::vector<PdrCube> invariant;
     PropertyResult result;
 };
 

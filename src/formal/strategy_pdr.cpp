@@ -22,6 +22,7 @@ public:
         PdrOptions pdrOpts;
         pdrOpts.maxFrames = ctx.opts.pdrMaxFrames;
         pdrOpts.maxQueries = ctx.opts.pdrMaxQueries;
+        if (!job.pdrSeeds.empty()) pdrOpts.seedCubes = &job.pdrSeeds;
         AigLit effectiveBad = job.pdrBad != kAigFalse ? job.pdrBad : job.bad;
         PdrResult pr = pdrCheck(ctx.aig, effectiveBad, ctx.constraints, pdrOpts);
         job.result.seconds += sw.seconds();
@@ -30,6 +31,7 @@ public:
         case PdrResult::Kind::Proven:
             job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;
             job.result.depth = pr.depth;
+            job.invariant = std::move(pr.invariant);
             break;
         case PdrResult::Kind::Cex: {
             // Deep counterexample (beyond the BMC bound): re-run a targeted

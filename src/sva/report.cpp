@@ -56,6 +56,13 @@ size_t VerificationReport::totalChecked() const {
     return results.size() - count(Status::Skipped);
 }
 
+size_t VerificationReport::numCached() const {
+    size_t n = 0;
+    for (const auto& r : results)
+        if (r.cached) ++n;
+    return n;
+}
+
 double VerificationReport::proofRate() const {
     size_t proven = 0, judged = 0;
     for (const auto& r : results) {
@@ -112,23 +119,54 @@ std::string VerificationReport::outcomeSummary() const {
            "% proof, " + std::to_string(unknown) + " unresolved";
 }
 
+namespace {
+
+const char* kindName(ir::Obligation::Kind kind) {
+    switch (kind) {
+    case ir::Obligation::Kind::SafetyBad: return "safety";
+    case ir::Obligation::Kind::Justice: return "liveness";
+    case ir::Obligation::Kind::Cover: return "cover";
+    case ir::Obligation::Kind::Constraint: return "assume";
+    case ir::Obligation::Kind::Fairness: return "fairness";
+    }
+    return "?";
+}
+
+} // namespace
+
 std::string VerificationReport::str() const {
-    util::TextTable table({"property", "kind", "status", "depth", "time(s)"});
+    util::TextTable table({"property", "kind", "status", "depth", "time(s)", "src"});
     for (const auto& r : results) {
-        const char* kind = "safety";
-        switch (r.kind) {
-        case ir::Obligation::Kind::SafetyBad: kind = "safety"; break;
-        case ir::Obligation::Kind::Justice: kind = "liveness"; break;
-        case ir::Obligation::Kind::Cover: kind = "cover"; break;
-        case ir::Obligation::Kind::Constraint: kind = "assume"; break;
-        case ir::Obligation::Kind::Fairness: kind = "fairness"; break;
-        }
         char buf[32];
         std::snprintf(buf, sizeof buf, "%.3f", r.seconds);
-        table.addRow({r.name, kind, formal::statusName(r.status),
-                      r.depth >= 0 ? std::to_string(r.depth) : "-", buf});
+        const char* src = r.status == Status::Skipped ? "-" : (r.cached ? "cache" : "engine");
+        table.addRow({r.name, kindName(r.kind), formal::statusName(r.status),
+                      r.depth >= 0 ? std::to_string(r.depth) : "-", buf, src});
     }
-    return "DUT: " + dutName + "\n" + table.str() + "Outcome: " + outcomeSummary() + "\n";
+    std::string out = "DUT: " + dutName + "\n" + table.str();
+    if (cacheLookups > 0)
+        out += "Proof cache: " + std::to_string(cacheHits) + "/" + std::to_string(cacheLookups) +
+               " hits, " + std::to_string(cacheSeededLemmas) + " lemmas seeded\n";
+    return out + "Outcome: " + outcomeSummary() + "\n";
+}
+
+std::string VerificationReport::canonical() const {
+    std::string out;
+    for (const auto& r : results) {
+        out += r.name;
+        out += '|';
+        out += kindName(r.kind);
+        out += '|';
+        out += formal::statusName(r.status);
+        out += '|';
+        out += std::to_string(r.depth);
+        out += '|';
+        out += std::to_string(r.trace.length());
+        out += '|';
+        out += std::to_string(r.trace.loopStart);
+        out += '\n';
+    }
+    return out;
 }
 
 } // namespace autosva::sva

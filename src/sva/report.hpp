@@ -44,10 +44,16 @@ struct VerificationReport {
     std::string dutName;
     std::vector<formal::PropertyResult> results;
     double totalSeconds = 0.0;
+    // Proof-cache counters of the run (0 when the cache is disabled).
+    uint64_t cacheLookups = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheSeededLemmas = 0;
 
     // -- Aggregates --------------------------------------------------------
     [[nodiscard]] size_t count(formal::Status status) const;
     [[nodiscard]] size_t totalChecked() const; ///< Excludes Skipped.
+    /// Results served from the proof cache without SAT work.
+    [[nodiscard]] size_t numCached() const;
     [[nodiscard]] size_t numProven() const { return count(formal::Status::Proven); }
     [[nodiscard]] size_t numFailed() const { return count(formal::Status::Failed); }
     /// Proof rate over assert-type obligations (proven / (proven+failed+unknown)).
@@ -65,6 +71,14 @@ struct VerificationReport {
 
     /// Full per-property table.
     [[nodiscard]] std::string str() const;
+
+    /// Canonical verdict serialization: everything a verification run must
+    /// reproduce byte-for-byte (name, kind, status, depth, trace shape, in
+    /// declaration order) and nothing it legitimately may vary (wall-clock
+    /// times, engine-vs-cache provenance). A warm-cache rerun, a different
+    /// worker count, and a cache-disabled run of the same design all yield
+    /// the identical string.
+    [[nodiscard]] std::string canonical() const;
 };
 
 } // namespace autosva::sva

@@ -15,6 +15,7 @@
 #include <sstream>
 #include <thread>
 
+#include "cache/store.hpp"
 #include "core/autosva.hpp"
 #include "designs/designs.hpp"
 #include "formal/replay.hpp"
@@ -34,14 +35,25 @@ usage:
                [--no-xprop] [--max-outstanding N] [--dut NAME]
   autosva run  <dut.sv> [extra.sv ...] [--param NAME=VALUE] [--depth N]
                [--jobs N] [--no-liveness] [--no-covers]
+               [--cache-dir DIR] [--no-cache] [--cache-stats]
   autosva sim  <dut.sv> [--cycles N] [--seed N] [--vcd FILE]
   autosva list
   autosva run-design <name> [--bug 0|1] [--depth N] [--jobs N]
+               [--cache-dir DIR] [--no-cache] [--cache-stats]
 
 options:
-  --jobs N   worker threads for property discharge (default 1; 0 = one per
-             hardware thread). Per-property verdicts, depths, and report
-             ordering are identical for every value of N.
+  --jobs N         worker threads for property discharge (default 1; 0 = one
+                   per hardware thread). Per-property verdicts, depths, and
+                   report ordering are identical for every value of N.
+  --cache-dir DIR  persistent proof-cache directory (default:
+                   $AUTOSVA_CACHE_DIR, else $XDG_CACHE_HOME/autosva, else
+                   ~/.cache/autosva). Reruns of unchanged obligations are
+                   answered from the cache without SAT work, with verdicts
+                   identical to an uncached run; after an RTL edit, prior
+                   proofs may seed PDR (re-validated — pass/fail verdicts
+                   never depend on cache contents).
+  --no-cache       disable the proof cache for this run.
+  --cache-stats    print proof-cache hit/seed statistics after the report.
 )";
     std::exit(2);
 }
@@ -63,6 +75,31 @@ void writeFile(const fs::path& path, const std::string& content) {
     std::cout << "  wrote " << path.string() << " (" << content.size() << " bytes)\n";
 }
 
+/// The one validated numeric parser every flag goes through (--jobs,
+/// --depth, --cycles, --seed, --bug, --max-outstanding, --param values).
+/// Rejects trailing garbage, signs, and out-of-range values with a
+/// consistent diagnostic instead of silently wrapping.
+[[nodiscard]] uint64_t parseUnsigned(const std::string& what, const std::string& text,
+                                     uint64_t min, uint64_t max) {
+    bool malformed = text.empty() || text[0] == '-' || text[0] == '+';
+    uint64_t value = 0;
+    if (!malformed) {
+        try {
+            size_t pos = 0;
+            value = std::stoull(text, &pos);
+            malformed = pos != text.size();
+        } catch (const std::exception&) {
+            malformed = true;
+        }
+    }
+    if (malformed || value < min || value > max) {
+        std::cerr << "error: " << what << " expects an integer in [" << min << ", " << max
+                  << "], got '" << text << "'\n";
+        std::exit(2);
+    }
+    return value;
+}
+
 struct Args {
     std::vector<std::string> positional;
     std::unordered_map<std::string, std::string> options;
@@ -73,19 +110,16 @@ struct Args {
         auto it = options.find(name);
         return it == options.end() ? dflt : it->second;
     }
-    [[nodiscard]] long getInt(const std::string& name, long dflt) const {
+    [[nodiscard]] long getInt(const std::string& name, long dflt, uint64_t min = 0,
+                              uint64_t max = 1000000000) const {
         auto it = options.find(name);
         if (it == options.end()) return dflt;
-        try {
-            size_t pos = 0;
-            long value = std::stol(it->second, &pos);
-            if (pos != it->second.size()) throw std::invalid_argument(it->second);
-            return value;
-        } catch (const std::exception&) {
-            std::cerr << "error: " << name << " expects an integer, got '" << it->second
-                      << "'\n";
-            std::exit(2);
-        }
+        return static_cast<long>(parseUnsigned(name, it->second, min, max));
+    }
+    /// --jobs with the 0 = one-per-hardware-thread convention.
+    [[nodiscard]] int jobs() const {
+        int n = static_cast<int>(getInt("--jobs", 1, 0, 4096));
+        return n == 0 ? static_cast<int>(std::thread::hardware_concurrency()) : n;
     }
 };
 
@@ -94,7 +128,7 @@ Args parseArgs(int argc, char** argv, int start) {
     static const char* valueOpts[] = {"-o",       "--tool", "--max-outstanding",
                                       "--dut",    "--depth", "--jobs",
                                       "--cycles", "--seed",  "--vcd",
-                                      "--bug",    "--param"};
+                                      "--bug",    "--param", "--cache-dir"};
     for (int i = start; i < argc; ++i) {
         std::string a = argv[i];
         bool takesValue = false;
@@ -105,8 +139,10 @@ Args parseArgs(int argc, char** argv, int start) {
             if (a == "--param") {
                 auto eq = value.find('=');
                 if (eq == std::string::npos) usage();
-                args.params.emplace_back(value.substr(0, eq),
-                                         std::stoull(value.substr(eq + 1)));
+                args.params.emplace_back(
+                    value.substr(0, eq),
+                    parseUnsigned("--param " + value.substr(0, eq), value.substr(eq + 1), 0,
+                                  UINT64_MAX));
             } else {
                 args.options[a] = value;
             }
@@ -154,15 +190,32 @@ int runReport(const std::vector<std::string>& sources, const core::FormalTestben
               const Args& args) {
     util::DiagEngine diags;
     core::VerifyOptions vopts;
-    vopts.engine.bmcDepth = static_cast<int>(args.getInt("--depth", 25));
-    vopts.engine.jobs = static_cast<int>(args.getInt("--jobs", 1));
-    if (vopts.engine.jobs == 0)
-        vopts.engine.jobs = static_cast<int>(std::thread::hardware_concurrency());
+    vopts.engine.bmcDepth = static_cast<int>(args.getInt("--depth", 25, 1));
+    vopts.engine.jobs = args.jobs();
     vopts.engine.useLivenessToSafety = !args.has("--no-liveness");
     vopts.engine.checkCovers = !args.has("--no-covers");
+    if (!args.has("--no-cache"))
+        vopts.engine.cacheDir = args.get("--cache-dir", cache::ProofCache::defaultDir());
     for (const auto& [name, value] : args.params) vopts.paramOverrides[name] = value;
     auto report = core::verify(sources, ft, vopts, diags);
     std::cout << report.str();
+    if (args.has("--cache-stats")) {
+        if (vopts.engine.cacheDir.empty()) {
+            std::cout << "cache: disabled\n";
+        } else {
+            double rate = report.cacheLookups == 0
+                              ? 0.0
+                              : 100.0 * static_cast<double>(report.cacheHits) /
+                                    static_cast<double>(report.cacheLookups);
+            std::printf("cache: dir=%s lookups=%llu hits=%llu (%.1f%%) seeded-lemmas=%llu "
+                        "cached-results=%zu\n",
+                        vopts.engine.cacheDir.c_str(),
+                        static_cast<unsigned long long>(report.cacheLookups),
+                        static_cast<unsigned long long>(report.cacheHits), rate,
+                        static_cast<unsigned long long>(report.cacheSeededLemmas),
+                        report.numCached());
+        }
+    }
     // Print the first failing trace, if any.
     if (const auto* failure = report.firstFailure()) {
         auto design = core::elaborateWithFT(sources, ft, vopts, diags);
@@ -198,7 +251,10 @@ int cmdSim(const Args& args) {
     sim::Simulator simulator(*design, sim::Simulator::XMode::FourState);
     simulator.enableChecking(true);
     simulator.enableTrace(args.has("--vcd"));
-    std::mt19937_64 rng(static_cast<uint64_t>(args.getInt("--seed", 1)));
+    // Seeds are raw 64-bit material, not a bounded count.
+    uint64_t seed =
+        args.has("--seed") ? parseUnsigned("--seed", args.get("--seed", "1"), 0, UINT64_MAX) : 1;
+    std::mt19937_64 rng(seed);
     long cycles = args.getInt("--cycles", 1000);
     for (long i = 0; i < cycles; ++i) {
         simulator.randomizeInputs(rng);
