@@ -69,11 +69,15 @@ struct Row {
     std::string verdict;
     double seconds = 0;
     std::string note;
+    uint64_t satCalls = 0;
+    uint64_t conflicts = 0;
+    size_t props = 0;
 };
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
     bench::banner("AB2: unbounded liveness (l2s + PDR) vs bounded-response approximation");
 
     const auto& info = designs::design("ariane_ptw");
@@ -89,7 +93,8 @@ int main() {
         const auto* live = report.find("as__dtlb_ptw_eventual_response");
         rows.push_back({"s_eventually (l2s + PDR)",
                         live ? formal::statusName(live->status) : "?", sw.seconds(),
-                        "sound for any environment latency"});
+                        "sound for any environment latency", report.engineStats.satCalls,
+                        report.engineStats.conflicts, report.results.size()});
     }
 
     // --- Bounded-response with tight and loose bounds. ---
@@ -107,7 +112,8 @@ int main() {
             if (r.name.find("as__bounded_response") != std::string::npos)
                 verdict = formal::statusName(r.status);
         rows.push_back({"bounded response, N=" + std::to_string(n), verdict, sw.seconds(),
-                        "only valid if the environment honours the bound"});
+                        "only valid if the environment honours the bound",
+                        engine.stats().satCalls, engine.stats().conflicts, results.size()});
     }
 
     util::TextTable table({"formulation", "verdict", "time", "caveat"});
@@ -121,5 +127,10 @@ int main() {
                  "liveness-to-safety + PDR, as JasperGold does natively) because bounded\n"
                  "approximations must re-derive a latency budget per environment and\n"
                  "silently under-approximate forward progress otherwise.\n";
+    std::vector<bench::JsonRow> jsonRows;
+    for (const auto& row : rows)
+        jsonRows.push_back(
+            {row.variant, "ariane_ptw", row.seconds, row.satCalls, row.conflicts, row.props});
+    bench::writeJson(jsonPath, "ablation_liveness", jsonRows);
     return 0;
 }

@@ -98,11 +98,13 @@ struct Row {
     double seconds = 0;
     uint64_t satCalls = 0;
     bool allProven = false;
+    uint64_t conflicts = 0;
 };
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
     bench::banner("AB1: symbolic transaction-ID tracking vs per-ID enumeration");
 
     const auto& info = designs::design("noc_buffer");
@@ -121,7 +123,7 @@ int main() {
         formal::Engine engine(*design);
         auto results = engine.checkAll();
         symbolic = {"symbolic (generated)", ft.numProperties(), design->stateBits(),
-                    sw.seconds(), engine.stats().satCalls, true};
+                    sw.seconds(), engine.stats().satCalls, true, engine.stats().conflicts};
         for (const auto& r : results)
             if (r.status == formal::Status::Failed || r.status == formal::Status::Unknown)
                 symbolic.allProven = false;
@@ -138,7 +140,7 @@ int main() {
         formal::Engine engine(*design);
         auto results = engine.checkAll();
         enumerated = {"enumerated (per-ID)", 13, design->stateBits(), sw.seconds(),
-                      engine.stats().satCalls, true};
+                      engine.stats().satCalls, true, engine.stats().conflicts};
         for (const auto& r : results)
             if (r.status == formal::Status::Failed || r.status == formal::Status::Unknown)
                 enumerated.allProven = false;
@@ -158,5 +160,10 @@ int main() {
                  "the enumerated form replicates monitor state and properties per ID\n"
                  "(4x here, 2^W in general), which is why AutoSVA emits symbolic indices\n"
                  "(§III-B: \"written to be most efficient for FV tools to run\").\n";
+    bench::writeJson(jsonPath, "ablation_symbolic",
+                     {{symbolic.name, "noc_buffer", symbolic.seconds, symbolic.satCalls,
+                       symbolic.conflicts, static_cast<size_t>(symbolic.properties)},
+                      {enumerated.name, "noc_buffer", enumerated.seconds, enumerated.satCalls,
+                       enumerated.conflicts, static_cast<size_t>(enumerated.properties)}});
     return symbolic.allProven && enumerated.allProven ? 0 : 1;
 }

@@ -23,9 +23,13 @@ struct BugRow {
     std::string name;
     std::string paper;
     std::string property;
+    std::string design;
     double seconds = 0;
     int depth = -1;
     bool found = false;
+    uint64_t satCalls = 0;
+    uint64_t conflicts = 0;
+    size_t props = 0;
 };
 
 BugRow discover(const std::string& design, uint64_t bug, bool withExtension,
@@ -34,10 +38,14 @@ BugRow discover(const std::string& design, uint64_t bug, bool withExtension,
     BugRow row;
     row.name = label;
     row.paper = paper;
+    row.design = design;
     util::Stopwatch sw;
     auto run = runDesign(design, bug, withExtension);
     const auto* r = run.report.find(propertySuffix);
     row.seconds = sw.seconds();
+    row.satCalls = run.report.engineStats.satCalls;
+    row.conflicts = run.report.engineStats.conflicts;
+    row.props = run.report.results.size();
     if (r && r->status == formal::Status::Failed) {
         row.found = true;
         row.depth = r->depth;
@@ -48,7 +56,8 @@ BugRow discover(const std::string& design, uint64_t bug, bool withExtension,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
     bench::banner("Bug discovery speed and trace length (paper §IV narrative)");
 
     std::vector<BugRow> rows;
@@ -96,6 +105,12 @@ int main() {
                       << ": a second (ghost) response fires with no outstanding request.\n";
         }
     }
+
+    std::vector<bench::JsonRow> jsonRows;
+    for (const auto& row : rows)
+        jsonRows.push_back(
+            {row.name, row.design, row.seconds, row.satCalls, row.conflicts, row.props});
+    bench::writeJson(jsonPath, "bug_discovery", jsonRows);
 
     bool allFound = true;
     for (const auto& row : rows) allFound = allFound && row.found;

@@ -26,6 +26,7 @@ struct Measurement {
     double seconds = 0.0;
     std::string canonical;
     formal::EngineStats stats;
+    size_t props = 0;
 };
 
 /// One Engine run over a pre-elaborated design; `rounds` > 1 keeps the
@@ -43,6 +44,7 @@ Measurement measure(const ir::Design& design, formal::EngineOptions opts, int ro
         m.seconds = std::min(m.seconds, sw.seconds());
         m.canonical = report.canonical();
         m.stats = engine.stats();
+        m.props = report.results.size();
     }
     return m;
 }
@@ -50,9 +52,10 @@ Measurement measure(const ir::Design& design, formal::EngineOptions opts, int ro
 } // namespace
 
 int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
     int rounds = argc > 1 ? std::atoi(argv[1]) : 1;
     if (rounds < 1) {
-        std::cerr << "usage: bench_cache_warm_vs_cold [rounds>=1]\n";
+        std::cerr << "usage: bench_cache_warm_vs_cold [rounds>=1] [--json PATH]\n";
         return 2;
     }
     namespace fs = std::filesystem;
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
 
     bench::banner("Proof cache: cold vs warm verification");
     bool ok = true;
+    std::vector<bench::JsonRow> rows;
     for (const std::string& name : {std::string("ariane_mmu"), std::string("ariane_lsu")}) {
         const auto& info = designs::design(name);
         util::DiagEngine diags;
@@ -103,7 +107,16 @@ int main(int argc, char** argv) {
                     identical ? (allHit && noWarmSat ? "identical, SAT-free warm rerun"
                                                      : "identical")
                               : "DIVERGED");
+
+        const size_t props = warm.props;
+        rows.push_back(
+            {"no-cache", name, base.seconds, base.stats.satCalls, base.stats.conflicts, props});
+        rows.push_back(
+            {"cold", name, cold.seconds, cold.stats.satCalls, cold.stats.conflicts, props});
+        rows.push_back(
+            {"warm", name, warm.seconds, warm.stats.satCalls, warm.stats.conflicts, props});
     }
+    bench::writeJson(jsonPath, "cache_warm_vs_cold", rows);
 
     std::error_code ec;
     fs::remove_all(cacheRoot, ec);

@@ -1,7 +1,11 @@
 // Shared helpers for the benchmark harnesses that regenerate the paper's
-// tables and figures.
+// tables and figures, including the machine-readable --json emitter every
+// bench_* binary supports (the BENCH trajectory's data source).
 #pragma once
 
+#include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -10,6 +14,93 @@
 #include "designs/designs.hpp"
 
 namespace autosva::bench {
+
+// ---------------------------------------------------------------------------
+// --json emitter
+// ---------------------------------------------------------------------------
+
+/// One machine-readable measurement row. Every bench emits the same schema
+/// so trajectory tooling can diff runs without per-bench parsers.
+struct JsonRow {
+    std::string name;   ///< Measurement id within the bench (e.g. "warm").
+    std::string design; ///< DUT the row measured ("-" when not applicable).
+    double wall_s = 0.0;
+    uint64_t sat_calls = 0;
+    uint64_t conflicts = 0;
+    size_t props = 0; ///< Properties involved (0 when not applicable).
+};
+
+/// Strips `--json <path>` from argv (so positional-argument benches keep
+/// their existing parsing) and returns the path, or "" when absent.
+inline std::string extractJsonPath(int& argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") != 0) continue;
+        if (i + 1 >= argc) {
+            std::cerr << "error: --json expects a file path\n";
+            std::exit(2);
+        }
+        std::string path = argv[i + 1];
+        for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+        argc -= 2;
+        return path;
+    }
+    return {};
+}
+
+inline std::string jsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
+    }
+    return out;
+}
+
+/// Writes `{"bench": ..., "rows": [...]}` to `path`; no-op when path is
+/// empty, so call sites need no conditional. Exits non-zero on I/O failure
+/// (a CI artifact that silently vanished would defeat the trajectory).
+inline void writeJson(const std::string& path, const std::string& benchName,
+                      const std::vector<JsonRow>& rows) {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "error: cannot write --json file '" << path << "'\n";
+        std::exit(2);
+    }
+    out << "{\"bench\": \"" << jsonEscape(benchName) << "\", \"rows\": [";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const JsonRow& r = rows[i];
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6f", r.wall_s);
+        out << (i ? ", " : "") << "{\"name\": \"" << jsonEscape(r.name)
+            << "\", \"design\": \"" << jsonEscape(r.design) << "\", \"wall_s\": " << buf
+            << ", \"sat_calls\": " << r.sat_calls << ", \"conflicts\": " << r.conflicts
+            << ", \"props\": " << r.props << "}";
+    }
+    out << "]}\n";
+    if (!out.good()) {
+        std::cerr << "error: short write to --json file '" << path << "'\n";
+        std::exit(2);
+    }
+    std::cout << "wrote " << path << " (" << rows.size() << " rows)\n";
+}
+
+/// Fills a row's engine-derived fields from a verification report.
+inline JsonRow reportRow(std::string name, std::string design,
+                         const sva::VerificationReport& report, double wallSeconds) {
+    JsonRow row;
+    row.name = std::move(name);
+    row.design = std::move(design);
+    row.wall_s = wallSeconds;
+    row.sat_calls = report.engineStats.satCalls;
+    row.conflicts = report.engineStats.conflicts;
+    row.props = report.results.size();
+    return row;
+}
 
 struct DesignRun {
     core::FormalTestbench ft;

@@ -13,7 +13,8 @@
 
 using namespace autosva;
 
-int main() {
+int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
     bench::banner("Fig. 2: generated formal testbench for the LSU load interface");
 
     const auto& info = designs::design("ariane_lsu");
@@ -51,5 +52,8 @@ int main() {
               << " Fig. 2 artifact classes regenerated; " << ft.numProperties()
               << " properties from " << ft.annotationLines << " annotation lines, in "
               << ft.generationSeconds * 1e3 << " ms (paper: under a second)\n";
+    bench::writeJson(jsonPath, "fig2_lsu",
+                     {{"generation", "ariane_lsu", ft.generationSeconds, 0, 0,
+                       static_cast<size_t>(ft.numProperties())}});
     return present == std::size(artifacts) ? 0 : 1;
 }

@@ -4,10 +4,12 @@
 // registered design, plus the individual stages for the largest one.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/autosva.hpp"
 #include "core/interface_scan.hpp"
 #include "core/language.hpp"
 #include "designs/designs.hpp"
+#include "util/stopwatch.hpp"
 #include "verilog/parser.hpp"
 
 using namespace autosva;
@@ -54,4 +56,25 @@ BENCHMARK_CAPTURE(BM_GenerateFT, mem_engine, std::string("mem_engine"));
 BENCHMARK(BM_ParseRtl);
 BENCHMARK(BM_ParseAnnotations);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): supports the common --json
+// emitter (one generation-timing row per registered design, measured
+// directly — google-benchmark's own JSON uses a different schema).
+int main(int argc, char** argv) {
+    std::string jsonPath = autosva::bench::extractJsonPath(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!jsonPath.empty()) {
+        std::vector<autosva::bench::JsonRow> rows;
+        for (const auto& info : autosva::designs::allDesigns()) {
+            autosva::util::DiagEngine diags;
+            autosva::util::Stopwatch sw;
+            auto ft = autosva::core::generateFT(info.rtl, {}, diags);
+            rows.push_back({"generation", info.name, sw.seconds(), 0, 0,
+                            static_cast<size_t>(ft.numProperties())});
+        }
+        autosva::bench::writeJson(jsonPath, "generation_speed", rows);
+    }
+    return 0;
+}

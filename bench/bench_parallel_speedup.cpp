@@ -29,6 +29,8 @@ std::string fingerprint(const std::vector<formal::PropertyResult>& results) {
 struct Measurement {
     double seconds = 0.0;
     std::string verdicts;
+    formal::EngineStats stats;
+    size_t props = 0;
 };
 
 /// Elaborates the design+FT once per call and times only checkAll() — the
@@ -53,6 +55,8 @@ Measurement measure(const std::string& designName, int jobs, int rounds) {
         auto results = engine.checkAll();
         m.seconds = std::min(m.seconds, sw.seconds());
         m.verdicts = fingerprint(results);
+        m.stats = engine.stats();
+        m.props = results.size();
     }
     return m;
 }
@@ -60,10 +64,11 @@ Measurement measure(const std::string& designName, int jobs, int rounds) {
 } // namespace
 
 int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
     int workers = argc > 1 ? std::atoi(argv[1]) : 4;
     int rounds = argc > 2 ? std::atoi(argv[2]) : 1;
     if (workers < 2 || rounds < 1) {
-        std::cerr << "usage: bench_parallel_speedup [workers>=2] [rounds>=1]\n";
+        std::cerr << "usage: bench_parallel_speedup [workers>=2] [rounds>=1] [--json PATH]\n";
         return 2;
     }
     unsigned hw = std::thread::hardware_concurrency();
@@ -77,6 +82,7 @@ int main(int argc, char** argv) {
     std::cout << "\n";
 
     bool identical = true;
+    std::vector<bench::JsonRow> rows;
     for (const std::string& name : {std::string("ariane_mmu"), std::string("ariane_lsu")}) {
         Measurement seq = measure(name, 1, rounds);
         Measurement par = measure(name, workers, rounds);
@@ -86,7 +92,12 @@ int main(int argc, char** argv) {
                     "verdicts: %s\n",
                     name.c_str(), seq.seconds, workers, par.seconds,
                     seq.seconds / par.seconds, same ? "identical" : "DIVERGED");
+        rows.push_back(
+            {"jobs1", name, seq.seconds, seq.stats.satCalls, seq.stats.conflicts, seq.props});
+        rows.push_back({"jobs" + std::to_string(workers), name, par.seconds,
+                        par.stats.satCalls, par.stats.conflicts, par.props});
     }
+    bench::writeJson(jsonPath, "parallel_speedup", rows);
     if (!identical) {
         std::cout << "\nFAIL: multi-worker verdicts diverged from sequential\n";
         return 1;

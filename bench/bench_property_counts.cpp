@@ -14,13 +14,15 @@
 
 using namespace autosva;
 
-int main() {
+int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
     bench::banner("Paper stats: properties generated vs annotation effort (cf. 236 / 110 LoC)");
 
     util::TextTable table({"Module", "annot LoC", "props", "assert", "assume", "cover",
                            "xprop", "liveness"});
     int totalLoc = 0;
     int totalProps = 0;
+    std::vector<bench::JsonRow> jsonRows;
 
     for (const auto& info : designs::allDesigns()) {
         util::DiagEngine diags;
@@ -34,6 +36,8 @@ int main() {
                       std::to_string(ft.numLiveness())});
         totalLoc += ft.annotationLines;
         totalProps += ft.numProperties();
+        jsonRows.push_back({"generation", info.name, ft.generationSeconds, 0, 0,
+                            static_cast<size_t>(ft.numProperties())});
     }
     table.addSeparator();
     table.addRow({"TOTAL", std::to_string(totalLoc), std::to_string(totalProps), "", "", "", "",
@@ -43,5 +47,6 @@ int main() {
     double ratio = totalLoc ? static_cast<double>(totalProps) / totalLoc : 0.0;
     std::cout << "\nLeverage: " << totalProps << " properties from " << totalLoc
               << " annotation lines (" << ratio << " properties/line; paper: 236/110 = 2.1)\n";
+    bench::writeJson(jsonPath, "property_counts", jsonRows);
     return 0;
 }

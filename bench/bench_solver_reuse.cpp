@@ -1,0 +1,154 @@
+// Solver-reuse A/B: per-worker incremental solver contexts vs the legacy
+// throwaway-solver path on the Ariane MMU and LSU property sets.
+//
+// Measures wall clock and the encoder counters (Tseitin variables /
+// clauses created by the strategy-layer solvers) for {reuse on, off} x
+// {jobs 1, 4}, and cross-checks the determinism contract: the canonical
+// report must be byte-identical across all four configurations.
+//
+// Run:  bench_solver_reuse [rounds] [--json PATH]
+// Exit: non-zero if any configuration's canonical report diverges, or if
+//       reuse saves less than 40% of the encoder variables (the
+//       re-encoding cost the architecture exists to kill).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/autosva.hpp"
+#include "designs/designs.hpp"
+#include "formal/engine.hpp"
+#include "rtlir/elaborate.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace autosva;
+
+struct Measurement {
+    double seconds = 0.0;
+    std::string canonical;
+    formal::EngineStats stats;
+    size_t props = 0;
+};
+
+Measurement measure(const ir::Design& design, formal::EngineOptions opts, int rounds) {
+    Measurement m;
+    m.seconds = 1e30;
+    for (int round = 0; round < rounds; ++round) {
+        formal::Engine engine(design, opts);
+        util::Stopwatch sw;
+        sva::VerificationReport report;
+        report.results = engine.checkAll();
+        m.seconds = std::min(m.seconds, sw.seconds());
+        m.canonical = report.canonical();
+        m.stats = engine.stats();
+        m.props = report.results.size();
+    }
+    return m;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
+    int rounds = argc > 1 ? std::atoi(argv[1]) : 1;
+    if (rounds < 1) {
+        std::cerr << "usage: bench_solver_reuse [rounds>=1] [--json PATH]\n";
+        return 2;
+    }
+
+    bench::banner("Per-worker incremental solver reuse vs throwaway solvers");
+    std::vector<bench::JsonRow> rows;
+    bool ok = true;
+    for (const std::string& name : {std::string("ariane_mmu"), std::string("ariane_lsu")}) {
+        const auto& info = designs::design(name);
+        util::DiagEngine diags;
+        core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+        core::VerifyOptions vopts;
+        vopts.engine = bench::defaultBenchEngine();
+        vopts.engine.pdrMaxQueries = 30000; // Bound the PDR tail: throughput bench.
+        if (!info.extensionSva.empty()) vopts.extraSources.push_back(info.extensionSva);
+        auto design = core::elaborateWithFT(designs::rtlSources(info), ft, vopts, diags,
+                                            /*tieReset=*/true);
+
+        // Two workloads: the full pipeline (PDR's internal frame solvers
+        // dominate and are untouched by pooling — their var counts are an
+        // additive constant on both sides), and the frontier loop (BMC +
+        // k-induction, usePdr=false) — the fast generate->verify iteration
+        // path whose per-obligation re-encoding the pool exists to kill.
+        for (int frontier = 0; frontier < 2; ++frontier) {
+            Measurement m[2][2]; // [reuse][jobs4]
+            for (int reuse = 0; reuse < 2; ++reuse) {
+                for (int par = 0; par < 2; ++par) {
+                    formal::EngineOptions opts = vopts.engine;
+                    opts.usePdr = frontier == 0;
+                    opts.solverReuse = reuse == 1;
+                    opts.jobs = par == 1 ? 4 : 1;
+                    m[reuse][par] = measure(*design, opts, rounds);
+                }
+            }
+            const Measurement& legacy = m[0][0];
+            const Measurement& pooled = m[1][0];
+            const char* mode = frontier ? "frontier" : "full";
+
+            bool identical = true;
+            for (int reuse = 0; reuse < 2; ++reuse)
+                for (int par = 0; par < 2; ++par)
+                    identical = identical && m[reuse][par].canonical == legacy.canonical;
+
+            double varSave =
+                legacy.stats.encoderVars == 0
+                    ? 0.0
+                    : 1.0 - static_cast<double>(pooled.stats.encoderVars) /
+                                static_cast<double>(legacy.stats.encoderVars);
+            double clauseSave =
+                legacy.stats.encoderClauses == 0
+                    ? 0.0
+                    : 1.0 - static_cast<double>(pooled.stats.encoderClauses) /
+                                static_cast<double>(legacy.stats.encoderClauses);
+            double speedup1 = pooled.seconds > 0 ? legacy.seconds / pooled.seconds : 0.0;
+            double speedup4 =
+                m[1][1].seconds > 0 ? m[0][1].seconds / m[1][1].seconds : 0.0;
+
+            std::printf("%-12s %-8s jobs=1  legacy: %6.2fs  pooled: %6.2fs  speedup: %.2fx\n",
+                        name.c_str(), mode, legacy.seconds, pooled.seconds, speedup1);
+            std::printf("%-12s %-8s jobs=4  legacy: %6.2fs  pooled: %6.2fs  speedup: %.2fx\n",
+                        "", mode, m[0][1].seconds, m[1][1].seconds, speedup4);
+            std::printf("%-12s %-8s encoder vars: %llu -> %llu (-%.0f%%)   clauses: %llu -> "
+                        "%llu (-%.0f%%)   reuses: %llu   verdicts: %s\n",
+                        "", mode, static_cast<unsigned long long>(legacy.stats.encoderVars),
+                        static_cast<unsigned long long>(pooled.stats.encoderVars),
+                        100.0 * varSave,
+                        static_cast<unsigned long long>(legacy.stats.encoderClauses),
+                        static_cast<unsigned long long>(pooled.stats.encoderClauses),
+                        100.0 * clauseSave,
+                        static_cast<unsigned long long>(pooled.stats.solverReuses),
+                        identical ? "identical" : "DIVERGED");
+
+            // Gate the exit code on the machine-independent facts only
+            // (determinism and encoder savings); wall-clock speedups are
+            // reported and land in the JSON rows.
+            ok = ok && identical && varSave >= 0.40;
+            for (int reuse = 0; reuse < 2; ++reuse) {
+                for (int par = 0; par < 2; ++par) {
+                    bench::JsonRow row;
+                    row.name = std::string(mode) + (reuse ? "-pooled" : "-legacy") +
+                               (par ? "-jobs4" : "-jobs1");
+                    row.design = name;
+                    row.wall_s = m[reuse][par].seconds;
+                    row.sat_calls = m[reuse][par].stats.satCalls;
+                    row.conflicts = m[reuse][par].stats.conflicts;
+                    row.props = legacy.props;
+                    rows.push_back(row);
+                }
+            }
+        }
+    }
+
+    bench::writeJson(jsonPath, "solver_reuse", rows);
+    if (!ok) {
+        std::cout << "\nFAIL: verdicts diverged across configurations, or solver reuse "
+                     "saved <40% encoder variables\n";
+        return 1;
+    }
+    return 0;
+}

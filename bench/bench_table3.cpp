@@ -24,12 +24,14 @@ std::string secondsStr(double s) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
     bench::banner("Table III: RTL modules tested with AutoSVA (reproduction)");
 
     util::TextTable table({"RTL Module", "Paper result", "Reproduced result", "time"});
     util::DiagEngine diags;
     core::AutoSvaOptions genOpts;
+    std::vector<bench::JsonRow> jsonRows;
 
     // --- A1: PTW ---
     {
@@ -37,6 +39,7 @@ int main() {
         auto run = runDesign("ariane_ptw", 0);
         table.addRow({"A1. Page Table Walker (PTW)", designs::design("ariane_ptw").paperResult,
                       run.report.outcomeSummary(), secondsStr(sw.seconds())});
+        jsonRows.push_back(bench::reportRow("A1", "ariane_ptw", run.report, sw.seconds()));
     }
     // --- A2: TLB ---
     {
@@ -44,12 +47,17 @@ int main() {
         auto run = runDesign("ariane_tlb", 0);
         table.addRow({"A2. Trans. Look. Buffer (TLB)", designs::design("ariane_tlb").paperResult,
                       run.report.outcomeSummary(), secondsStr(sw.seconds())});
+        jsonRows.push_back(bench::reportRow("A2", "ariane_tlb", run.report, sw.seconds()));
     }
     // --- A3: MMU — buggy first, then fixed ---
     {
         util::Stopwatch sw;
         auto buggy = runDesign("ariane_mmu", 1);
+        jsonRows.push_back(bench::reportRow("A3-buggy", "ariane_mmu", buggy.report, sw.seconds()));
+        util::Stopwatch swFixed;
         auto fixed = runDesign("ariane_mmu", 0);
+        jsonRows.push_back(
+            bench::reportRow("A3-fixed", "ariane_mmu", fixed.report, swFixed.seconds()));
         std::string outcome;
         if (buggy.report.anyFailed() && fixed.report.allProven())
             outcome = "Bug found and fixed -> 100% proof";
@@ -68,6 +76,7 @@ int main() {
                                   : run.report.outcomeSummary();
         table.addRow({"A4. Load Store Unit (LSU)", designs::design("ariane_lsu").paperResult,
                       outcome, secondsStr(sw.seconds())});
+        jsonRows.push_back(bench::reportRow("A4", "ariane_lsu", run.report, sw.seconds()));
     }
     // --- A5: L1-I$ ---
     {
@@ -78,12 +87,17 @@ int main() {
                                   : run.report.outcomeSummary();
         table.addRow({"A5. L1-I$ (write-back)", designs::design("ariane_icache").paperResult,
                       outcome, secondsStr(sw.seconds())});
+        jsonRows.push_back(bench::reportRow("A5", "ariane_icache", run.report, sw.seconds()));
     }
     // --- O1: NoC buffer ---
     {
         util::Stopwatch sw;
         auto buggy = runDesign("noc_buffer", 1);
+        jsonRows.push_back(bench::reportRow("O1-buggy", "noc_buffer", buggy.report, sw.seconds()));
+        util::Stopwatch swFixed;
         auto fixed = runDesign("noc_buffer", 0);
+        jsonRows.push_back(
+            bench::reportRow("O1-fixed", "noc_buffer", fixed.report, swFixed.seconds()));
         std::string outcome;
         if (buggy.report.anyFailed() && fixed.report.allProven())
             outcome = "Bug found and fixed -> 100% proof";

@@ -115,10 +115,7 @@ sva::VerificationReport verify(const std::vector<std::string>& rtlSources,
     sva::VerificationReport report;
     report.dutName = ft.dutName;
     report.results = engine.checkAll();
-    report.totalSeconds = engine.stats().totalSeconds;
-    report.cacheLookups = engine.stats().cacheLookups;
-    report.cacheHits = engine.stats().cacheHits;
-    report.cacheSeededLemmas = engine.stats().cacheSeededLemmas;
+    report.engineStats = engine.stats();
     return report;
 }
 

@@ -1,0 +1,140 @@
+#include "formal/aig_rewrite.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+namespace autosva::formal {
+
+namespace {
+
+/// AND construction with one-level rewriting on top of Aig::mkAnd's
+/// construction-time hashing: absorption (a & (a&b) = a&b), complement
+/// containment (a & (!a&b) = 0), and substitution through a negated AND
+/// (a & !(a&b) = a & !b, a & !(!a&b) = a). Every rule is a Boolean
+/// identity, so the rewritten graph is equivalent node for node.
+AigLit rwAnd(Aig& g, AigLit a, AigLit b) {
+    for (int side = 0; side < 2; ++side) {
+        AigLit x = side == 0 ? a : b;
+        AigLit y = side == 0 ? b : a;
+        uint32_t yv = aigVar(y);
+        if (g.kind(yv) != Aig::VarKind::And) continue;
+        AigLit f0 = g.fanin0(yv);
+        AigLit f1 = g.fanin1(yv);
+        if (!aigSign(y)) {
+            if (f0 == x || f1 == x) return y;                      // x & (x&c) = x&c
+            if (f0 == aigNot(x) || f1 == aigNot(x)) return kAigFalse; // x & (!x&c) = 0
+        } else {
+            if (f0 == aigNot(x) || f1 == aigNot(x)) return x;      // x & !(!x&c) = x
+            // x & !(x&c) = x & !c; recurse on the strictly smaller !c.
+            if (f0 == x) return rwAnd(g, x, aigNot(f1));
+            if (f1 == x) return rwAnd(g, x, aigNot(f0));
+        }
+    }
+    return g.mkAnd(a, b);
+}
+
+/// One rebuild of `src` into a fresh graph. `latchRep[v]` names the
+/// representative of latch var v (v itself when unmerged); merged latches
+/// map to their representative's new literal and are not re-created.
+///
+/// Nodes are recreated in their ORIGINAL creation order (one interleaved
+/// pass over ascending vars — sound because an AND's fanins and a merged
+/// latch's representative always have smaller indices). This keeps the
+/// rebuild a minimal perturbation: when no rule fires, the output is the
+/// input, numbering included. That matters beyond aesthetics — downstream
+/// SAT variable allocation and PDR cube orders follow AIG numbering, so a
+/// gratuitous global renumbering would reshuffle search heuristics
+/// everywhere. It also makes the pass deterministic: the output is a pure
+/// function of the input graph.
+void rebuildOnce(const Aig& src, const std::vector<uint32_t>& latchRep, Aig& out,
+                 std::vector<AigLit>& map) {
+    map.assign(src.numVars(), kAigFalse);
+    auto mapLit = [&](AigLit l) { return map[aigVar(l)] ^ (aigSign(l) ? 1u : 0u); };
+    for (uint32_t v = 1; v < src.numVars(); ++v) {
+        switch (src.kind(v)) {
+        case Aig::VarKind::Const:
+            break;
+        case Aig::VarKind::Input:
+            map[v] = out.mkInput(src.varName(v));
+            break;
+        case Aig::VarKind::Latch:
+            if (latchRep[v] == v)
+                map[v] = out.mkLatch(src.latchInit(v), src.varName(v));
+            else
+                map[v] = map[latchRep[v]]; // Representative has a smaller var.
+            break;
+        case Aig::VarKind::And:
+            map[v] = rwAnd(out, mapLit(src.fanin0(v)), mapLit(src.fanin1(v)));
+            break;
+        }
+    }
+    for (uint32_t v : src.latches())
+        if (latchRep[v] == v) out.setLatchNext(map[v], mapLit(src.latchNext(v)));
+}
+
+} // namespace
+
+AigRewriteResult rewriteAig(const Aig& input) {
+    AigRewriteResult res;
+    std::vector<uint32_t> identity(input.numVars());
+    std::iota(identity.begin(), identity.end(), 0);
+    rebuildOnce(input, identity, res.aig, res.map);
+    res.passes = 1;
+
+    // Latch merging to a fixpoint: two latches with the same defined initial
+    // value and the same next-state literal are equal in every frame (by
+    // induction over time), so the later one is replaced by the earlier.
+    // Latches with symbolic initial values (-1) never merge — their frame-0
+    // values are independent. Substitution rewrites the merged latch's
+    // fanout cone, which can make further next-state functions coincide,
+    // hence the loop. Each pass strictly removes a latch, so it terminates.
+    constexpr size_t kMaxPasses = 16;
+    while (res.passes < kMaxPasses) {
+        const Aig& cur = res.aig;
+        std::vector<uint32_t> rep(cur.numVars());
+        std::iota(rep.begin(), rep.end(), 0);
+        std::unordered_map<uint64_t, uint32_t> byDef; // (next, init) -> first latch.
+        size_t merged = 0;
+        for (uint32_t lv : cur.latches()) {
+            int init = cur.latchInit(lv);
+            if (init < 0) continue;
+            uint64_t key = (static_cast<uint64_t>(cur.latchNext(lv)) << 1) |
+                           static_cast<uint64_t>(init);
+            auto [it, fresh] = byDef.emplace(key, lv);
+            if (!fresh) {
+                rep[lv] = it->second;
+                ++merged;
+            }
+        }
+        if (merged == 0) break;
+        res.mergedLatches += merged;
+        Aig next;
+        std::vector<AigLit> m;
+        rebuildOnce(cur, rep, next, m);
+        for (AigLit& l : res.map) l = m[aigVar(l)] ^ (aigSign(l) ? 1u : 0u);
+        res.aig = std::move(next);
+        ++res.passes;
+    }
+    return res;
+}
+
+AigRewriteResult applyAigRewrite(BitBlast& bb) {
+    AigRewriteResult rw = rewriteAig(bb.aig);
+    for (auto& [node, lits] : bb.bits)
+        for (AigLit& l : lits) l = rw(l);
+    auto remapVar = [&](uint32_t var) {
+        AigLit l = rw.map[var];
+        assert(!aigSign(l));
+        return aigVar(l);
+    };
+    for (auto& [node, vars] : bb.inputVars)
+        for (uint32_t& v : vars) v = remapVar(v);
+    for (auto& [node, vars] : bb.latchVars)
+        for (uint32_t& v : vars) v = remapVar(v);
+    bb.aig = std::move(rw.aig);
+    return rw;
+}
+
+} // namespace autosva::formal

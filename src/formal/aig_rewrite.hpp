@@ -1,0 +1,53 @@
+// AIG structural rewriting — a deterministic post-bit-blast shrink pass.
+//
+// The bit-blaster builds the AIG through Aig::mkAnd, which already applies
+// two-input structural hashing and local constant folding *at construction
+// time*. What construction-time hashing cannot see is (a) one-level
+// absorption/containment between an AND and its fanins' fanins, and (b)
+// sequential sharing: two latches with the same next-state function and the
+// same defined initial value hold the same value in every reachable state
+// and can be merged. Merging latches rewrites their fanouts, which cascades
+// new hashing and folding opportunities, so the pass iterates rebuilds to a
+// fixpoint.
+//
+// Everything downstream benefits at once: the Unroller Tseitin-encodes
+// fewer nodes per frame, PDR's frame solvers and cube generalization see a
+// smaller latch set, and proof-cache fingerprint cones shrink. The rewrite
+// is strictly deterministic — the same input AIG always yields the same
+// output node numbering — which the proof cache depends on: fingerprints
+// are computed on the rewritten AIG, so a nondeterministic rewrite would
+// silently turn every warm rerun into a miss.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "formal/aig.hpp"
+#include "formal/bitblast.hpp"
+
+namespace autosva::formal {
+
+struct AigRewriteResult {
+    Aig aig;
+    /// Old var -> new literal (possibly complemented or constant when the
+    /// old node folded away). Inputs map to inputs and surviving latches to
+    /// latches, both unsigned, so var-indexed maps stay representable.
+    std::vector<AigLit> map;
+    size_t mergedLatches = 0;
+    size_t passes = 0;
+
+    [[nodiscard]] AigLit operator()(AigLit oldLit) const {
+        return map[aigVar(oldLit)] ^ (aigSign(oldLit) ? 1u : 0u);
+    }
+};
+
+/// Rebuilds `input` with strashing, one-level AND rewriting, and latch
+/// merging, iterated to a fixpoint. Pure function of the input graph.
+[[nodiscard]] AigRewriteResult rewriteAig(const Aig& input);
+
+/// Applies rewriteAig to a bit-blast result in place, remapping the
+/// word-level node maps (bits / inputVars / latchVars) onto the new graph.
+/// Returns the rewrite summary (for stats).
+AigRewriteResult applyAigRewrite(BitBlast& bb);
+
+} // namespace autosva::formal

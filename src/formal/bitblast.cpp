@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "formal/aig_rewrite.hpp"
 #include "util/diagnostics.hpp"
 
 namespace autosva::formal {
@@ -276,6 +277,12 @@ BitBlast bitblast(const Design& design) {
     }
 
     return std::move(blaster.out);
+}
+
+BitBlast bitblast(const ir::Design& design, bool rewrite) {
+    BitBlast bb = bitblast(design);
+    if (rewrite) applyAigRewrite(bb);
+    return bb;
 }
 
 } // namespace autosva::formal

@@ -29,4 +29,11 @@ struct BitBlast {
 /// division).
 [[nodiscard]] BitBlast bitblast(const ir::Design& design);
 
+/// bitblast() followed by the structural rewrite pass (strashing,
+/// absorption, latch merging — see aig_rewrite.hpp) when `rewrite` is set,
+/// with the word-level maps remapped onto the rewritten graph. This is the
+/// entry point the verification engine uses; the plain overload preserves
+/// the raw construction graph for tools that export it.
+[[nodiscard]] BitBlast bitblast(const ir::Design& design, bool rewrite);
+
 } // namespace autosva::formal

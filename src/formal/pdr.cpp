@@ -27,6 +27,14 @@ struct FrameSolver {
 
     SatLit now(AigLit l) { return un->lit(0, l); }
     SatLit next(uint32_t latchVar) { return un->lit(1, aigMkLit(latchVar)); }
+
+    /// Retires a consecution query's clause group. Deliberately does NOT
+    /// run SatSolver::simplify() here: purging the dead group clauses is
+    /// semantically neutral but reshuffles watch traversal order, and PDR's
+    /// budget-edge proofs are measurably perturbation-sensitive (a periodic
+    /// simplify flipped the MMU fetch chain proof to Unknown — same story
+    /// as the AIG rewrite, see the ROADMAP open item on hardening PDR).
+    void retireGroup(SatLit act) { solver->closeClauseGroup(act); }
 };
 
 struct PdrContext {
@@ -112,14 +120,14 @@ struct PdrContext {
         ++queries;
         FrameSolver& fs = frameSolver(frameIdx);
         std::vector<SatLit> assumptions;
-        // not(cube) via a temporary activation literal.
-        SatLit act = mkSatLit(fs.solver->newVar());
-        std::vector<SatLit> notCube{satNeg(act)};
+        // not(cube) in a single-query clause group (released below).
+        SatLit act = fs.solver->openClauseGroup();
+        std::vector<SatLit> notCube;
         for (auto [var, val] : cube) {
             SatLit l = fs.now(aigMkLit(var));
             notCube.push_back(val ? satNeg(l) : l);
         }
-        fs.solver->addClause(std::move(notCube));
+        fs.solver->addClauseIn(act, std::move(notCube));
         assumptions.push_back(act);
         // cube' on the next-state functions.
         std::vector<SatLit> primedLits;
@@ -162,7 +170,7 @@ struct PdrContext {
             if (coreCube->empty()) *coreCube = cube;
             std::sort(coreCube->begin(), coreCube->end());
         }
-        fs.solver->addUnit(satNeg(act)); // Retire the temporary clause.
+        fs.retireGroup(act); // Retire the temporary clause.
         return unsat;
     }
 
@@ -228,13 +236,13 @@ struct PdrContext {
         }
         std::vector<SatLit> act(cand.size());
         for (size_t i = 0; i < cand.size(); ++i) {
-            act[i] = mkSatLit(solver.newVar());
-            std::vector<SatLit> clause{satNeg(act[i])};
+            act[i] = solver.openClauseGroup();
+            std::vector<SatLit> clause;
             for (auto [var, val] : cand[i]) {
                 SatLit l = un.lit(0, aigMkLit(var));
                 clause.push_back(val ? satNeg(l) : l);
             }
-            solver.addClause(std::move(clause));
+            solver.addClauseIn(act[i], std::move(clause));
         }
         const uint64_t seedBudget = std::min<uint64_t>(opts.maxQueries, 10000);
         uint64_t seedQueries = 0;

@@ -66,6 +66,28 @@ struct EngineOptions {
     /// Allow seeding PDR with re-validated invariants from a prior run of
     /// the same property when its exact fingerprint missed (RTL changed).
     bool cacheLemmaSeeding = true;
+    /// Per-worker incremental solver reuse: each worker keeps one long-lived
+    /// SatSolver + Unroller per (AIG, init mode) and discharges successive
+    /// obligations as assumption queries with activation-guarded per-job
+    /// clauses, instead of re-Tseitin-encoding the shared cone per
+    /// obligation. Verdicts, depths, trace lengths, lasso loop starts — the
+    /// whole canonical report — are byte-identical to the legacy
+    /// throwaway-solver path for any worker count (liveness traces are
+    /// replayed on a fresh solver for exactly this reason); safety/cover
+    /// witness *values* may be a different, equally valid model. false
+    /// keeps the legacy path for A/B comparison (see bench_solver_reuse).
+    /// Ignored — legacy path used — when conflictBudget != 0, because
+    /// budget-bound Unknowns depend on learnt-clause carry-over and would
+    /// break the identity contract.
+    bool solverReuse = true;
+    /// Structural AIG rewrite (strashing, absorption, latch merging) after
+    /// bit-blast; shrinks every downstream encoding and fingerprint cone.
+    /// The rewrite is semantics-preserving and deterministic, but default
+    /// OFF: PDR's search is perturbation-sensitive, and on the Ariane MMU
+    /// one budget-edge liveness chain proof currently exceeds its query
+    /// budget on the (smaller!) rewritten graph. Enable with --aig-rewrite;
+    /// becomes the default once PDR generalization is perturbation-robust.
+    bool aigRewrite = false;
 };
 
 struct EngineStats {
@@ -76,6 +98,14 @@ struct EngineStats {
     uint64_t cacheHits = 0;
     uint64_t cacheStores = 0;
     uint64_t cacheSeededLemmas = 0;
+    // Encoder counters over the strategy-layer solvers (BMC, k-induction,
+    // trace replay, pooled contexts; PDR's internal frame solvers keep
+    // their own query counter). These are what solver reuse and the AIG
+    // rewrite shrink — see bench_solver_reuse.
+    uint64_t encoderVars = 0;       ///< Tseitin variables created.
+    uint64_t encoderClauses = 0;    ///< Problem clauses added.
+    uint64_t conesMaterialized = 0; ///< Unroller root cones encoded on demand.
+    uint64_t solverReuses = 0;      ///< Jobs served by an already-warm pooled solver.
     double totalSeconds = 0.0;
 };
 

@@ -40,6 +40,7 @@ void SatSolver::attachClause(CRef cref) {
 void SatSolver::addClause(std::vector<SatLit> lits) {
     if (!ok_) return;
     assert(decisionLevel() == 0);
+    ++clausesAdded_;
     // Simplify under the level-0 assignment; remove duplicates & tautologies.
     std::sort(lits.begin(), lits.end());
     std::vector<SatLit> out;
@@ -350,6 +351,61 @@ uint64_t SatSolver::luby(uint64_t i) {
     return uint64_t{1} << (k - 1);
 }
 
+void SatSolver::resetSearchState() {
+    if (decisionLevel() != 0) return;
+    varInc_ = 1.0;
+    std::fill(activity_.begin(), activity_.end(), 0.0);
+    for (size_t v = 0; v < phase_.size(); ++v) phase_[v] = kFalse;
+    // Rebuild the order heap: with all activities equal it degenerates to
+    // (deterministic) variable order, like a fresh solver's.
+    heap_.clear();
+    std::fill(heapPos_.begin(), heapPos_.end(), -1);
+    for (int v = 0; v < static_cast<int>(assigns_.size()); ++v)
+        if (assigns_[v] == kUndef) heapInsert(v);
+}
+
+void SatSolver::simplify() {
+    if (!ok_ || decisionLevel() != 0) return;
+    auto isLockedReason = [&](CRef cr, const Clause& c) {
+        for (SatLit l : c.lits)
+            if (reasons_[satVar(l)] == cr) return true;
+        return false;
+    };
+    bool removedLearnt = false;
+    for (CRef cr = 0; cr < static_cast<CRef>(clauses_.size()); ++cr) {
+        Clause& c = clauses_[cr];
+        if (c.deleted || c.lits.size() < 2) continue;
+        bool satisfied = false;
+        for (SatLit l : c.lits) {
+            if (litValue(l) == kTrue && levels_[satVar(l)] == 0) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (!satisfied || isLockedReason(cr, c)) continue;
+        for (int w = 0; w < 2; ++w) {
+            auto& ws = watches_[satNeg(c.lits[static_cast<size_t>(w)])];
+            for (size_t k = 0; k < ws.size(); ++k) {
+                if (ws[k].cref == cr) {
+                    ws[k] = ws.back();
+                    ws.pop_back();
+                    break;
+                }
+            }
+        }
+        removedLearnt = removedLearnt || c.learnt;
+        c.deleted = true;
+        c.lits.clear();
+        c.lits.shrink_to_fit();
+    }
+    if (removedLearnt) {
+        size_t out = 0;
+        for (CRef cr : learnts_)
+            if (!clauses_[cr].deleted) learnts_[out++] = cr;
+        learnts_.resize(out);
+    }
+}
+
 void SatSolver::reduceDB() {
     std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
         const Clause& ca = clauses_[a];
@@ -393,6 +449,7 @@ void SatSolver::reduceDB() {
 }
 
 SatResult SatSolver::solve(const std::vector<SatLit>& assumptions) {
+    ++solves_;
     if (!ok_) return SatResult::Unsat;
     cancelUntil(0);
 
@@ -478,7 +535,14 @@ SatResult SatSolver::solve(const std::vector<SatLit>& assumptions) {
             if (conflictsSinceRestart >= restartLimit) {
                 conflictsSinceRestart = 0;
                 restartLimit = 64 * luby(++restartCount);
-                cancelUntil(0);
+                // Restart to the assumption boundary, not level 0: the
+                // first assumptions.size() levels hold the (possibly empty)
+                // assumption decisions, and re-deciding them after every
+                // restart would re-propagate the whole assumption prefix —
+                // ruinous for pooled solvers whose frame constraints are
+                // assumption-activated rather than level-0 units.
+                cancelUntil(std::min(decisionLevel(),
+                                     static_cast<int>(assumptions.size())));
             }
             continue;
         }

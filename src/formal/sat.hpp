@@ -42,6 +42,43 @@ public:
     void addBinary(SatLit a, SatLit b) { addClause({a, b}); }
     void addTernary(SatLit a, SatLit b, SatLit c) { addClause({a, b, c}); }
 
+    // -- Assumption-released clause groups ----------------------------------
+    // A group is an activation literal guarding a set of clauses: each
+    // clause added to the group carries the literal's negation, so the
+    // clauses only bite while the activation literal is assumed. Closing
+    // the group asserts the negation as a unit, permanently satisfying (and
+    // thereby retiring) every clause in it. This is what lets one long-lived
+    // solver discharge many obligations: per-obligation facts (BMC bad-frame
+    // strengthening, frame constraints) live in groups and are released when
+    // the job finishes, while learnt clauses about the shared transition
+    // relation survive.
+
+    /// Opens a clause group; returns its activation literal. Pass it as an
+    /// assumption to solve() while the group should be active.
+    [[nodiscard]] SatLit openClauseGroup() { return mkSatLit(newVar()); }
+    /// Adds a clause that only holds while `group` is assumed.
+    void addClauseIn(SatLit group, std::vector<SatLit> lits) {
+        lits.push_back(satNeg(group));
+        addClause(std::move(lits));
+    }
+    /// Permanently deactivates the group and every clause in it.
+    void closeClauseGroup(SatLit group) { addUnit(satNeg(group)); }
+
+    /// Removes clauses satisfied at decision level 0 (e.g. a closed group's
+    /// clauses) from the watch lists, so a long-lived solver doesn't drag
+    /// dead watchers through every later propagation. Semantically neutral
+    /// but it reshuffles watch traversal order, so budget-sensitive callers
+    /// (PDR) currently avoid it — see pdr.cpp FrameSolver::retireGroup.
+    void simplify();
+
+    /// Resets the search heuristics (VSIDS activities, saved phases) to
+    /// their initial state while keeping the clause database. A pooled
+    /// solver calls this between obligations: the next job then searches
+    /// like a fresh solver — stale activity tuned to the previous job's
+    /// cone otherwise degrades it — but still profits from the shared
+    /// encoding and the learnt clauses.
+    void resetSearchState();
+
     /// Solves under the given assumptions.
     [[nodiscard]] SatResult solve(const std::vector<SatLit>& assumptions = {});
 
@@ -56,6 +93,10 @@ public:
     [[nodiscard]] uint64_t conflicts() const { return conflicts_; }
     [[nodiscard]] uint64_t decisions() const { return decisions_; }
     [[nodiscard]] uint64_t propagations() const { return propagations_; }
+    /// Problem clauses accepted by addClause (simplified-away and learnt
+    /// clauses excluded) — the encoder-cost counter behind --stats.
+    [[nodiscard]] uint64_t clausesAdded() const { return clausesAdded_; }
+    [[nodiscard]] uint64_t solves() const { return solves_; }
 
     /// Optional conflict budget per solve() call (0 = unlimited).
     void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
@@ -129,6 +170,8 @@ private:
     uint64_t conflicts_ = 0;
     uint64_t decisions_ = 0;
     uint64_t propagations_ = 0;
+    uint64_t clausesAdded_ = 0;
+    uint64_t solves_ = 0;
     uint64_t conflictBudget_ = 0;
     size_t maxLearnts_ = 4000;
 };

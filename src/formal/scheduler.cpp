@@ -61,14 +61,24 @@ private:
     std::vector<Deque> deques_;
 };
 
-/// Runs body(0..numTasks-1) on `workers` threads (inline when <= 1, which
-/// reproduces strict sequential declaration order). Blocks until every task
-/// finished; the first exception thrown by a task is rethrown here.
-void parallelFor(int workers, size_t numTasks, const std::function<void(size_t)>& body) {
+/// Clamp an EngineOptions::jobs value to the usable worker count for
+/// `numTasks` tasks. parallelFor applies the same clamp, so callers that
+/// size per-worker state (solver pools) agree with it on the count.
+[[nodiscard]] int workerCount(int jobs, size_t numTasks) {
+    return std::min(std::max(jobs, 1), static_cast<int>(numTasks));
+}
+
+/// Runs body(worker, 0..numTasks-1) on `workers` threads (inline when <= 1,
+/// which reproduces strict sequential declaration order). Blocks until
+/// every task finished; the first exception thrown by a task is rethrown
+/// here. The worker index passed to `body` identifies the executing thread
+/// (0..workers-1), so per-worker state needs no locking.
+void parallelFor(int workers, size_t numTasks,
+                 const std::function<void(int, size_t)>& body) {
     if (numTasks == 0) return;
-    workers = std::min(std::max(workers, 1), static_cast<int>(numTasks));
+    workers = workerCount(workers, numTasks);
     if (workers <= 1) {
-        for (size_t t = 0; t < numTasks; ++t) body(t);
+        for (size_t t = 0; t < numTasks; ++t) body(0, t);
         return;
     }
     WorkStealingQueues queues(workers, numTasks);
@@ -81,7 +91,7 @@ void parallelFor(int workers, size_t numTasks, const std::function<void(size_t)>
             size_t t = 0;
             while (queues.pop(w, t) || queues.steal(w, t)) {
                 try {
-                    body(t);
+                    body(w, t);
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(errMutex);
                     if (!firstError) firstError = std::current_exception();
@@ -207,7 +217,7 @@ std::vector<PdrCube> mapLemmas(const std::vector<cache::NamedCube>& lemmas,
 // ---------------------------------------------------------------------------
 
 ObligationScheduler::ObligationScheduler(const ir::Design& design, EngineOptions opts)
-    : design_(design), opts_(opts), bb_(bitblast(design)),
+    : design_(design), opts_(opts), bb_(bitblast(design, opts_.aigRewrite)),
       bmc_(makeBmcStrategy()), induction_(makeInductionStrategy()), pdr_(makePdrStrategy()) {
     opts_.maxInductionK = std::min(opts_.maxInductionK, opts_.bmcDepth);
     for (const auto& ob : design.obligations()) {
@@ -256,6 +266,63 @@ void ObligationScheduler::discharge(const ProofContext& ctx, ObligationJob& job,
     if (job.result.status == Status::Unknown) induction_->run(ctx, job);
     if (withPdr && job.result.status == Status::Unknown) pdr_->run(ctx, job);
     if (cache_) cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
+}
+
+void ObligationScheduler::runPhaseBatched(const ProofContext& baseCtx,
+                                          const std::vector<ObligationJob*>& phaseJobs,
+                                          bool withPdr, sva::ResultSink* sink) {
+    const cache::Stage stage = withPdr ? cache::Stage::FullPipeline : cache::Stage::Frontier;
+
+    // Cache pass, in declaration order (lookups hit the open-time snapshot,
+    // so order cannot leak into results — this is just the cheap part).
+    std::vector<ObligationJob*> toProve;
+    std::vector<cache::Fingerprint> fps;
+    std::vector<uint64_t> structKeys;
+    toProve.reserve(phaseJobs.size());
+    for (ObligationJob* job : phaseJobs) {
+        cache::Fingerprint fp;
+        uint64_t structKey = 0;
+        if (cache_ &&
+            tryServeFromCache(baseCtx, *job, stage, /*allowSeeding=*/withPdr, fp, structKey)) {
+            if (sink) {
+                finalizeDepth(*job, opts_);
+                sink->publish(job->index, job->result);
+            }
+            continue;
+        }
+        toProve.push_back(job);
+        fps.push_back(fp);
+        structKeys.push_back(structKey);
+    }
+    if (toProve.empty()) return;
+
+    // Frame-lockstep batched BMC: a static round-robin partition (not work
+    // stealing) keeps each batch's composition deterministic for a given
+    // worker count; everything the batch mix could influence — witness
+    // models — never reaches the canonical report (see strategy_bmc.cpp).
+    const int workers = workerCount(opts_.jobs, toProve.size());
+    std::vector<std::vector<ObligationJob*>> batches(static_cast<size_t>(workers));
+    for (size_t i = 0; i < toProve.size(); ++i)
+        batches[i % static_cast<size_t>(workers)].push_back(toProve[i]);
+    parallelFor(workers, batches.size(),
+                [&](int, size_t b) { runBmcBatch(baseCtx, batches[b]); });
+
+    // k-induction (+ PDR) on the survivors, work-stealing with per-worker
+    // solver pools (shared per-k induction contexts), then cache store.
+    std::vector<SolverPool> pools(static_cast<size_t>(workers));
+    parallelFor(opts_.jobs, toProve.size(), [&](int w, size_t t) {
+        ObligationJob& job = *toProve[t];
+        ProofContext ctx = baseCtx;
+        ctx.pool = &pools[static_cast<size_t>(w)];
+        if (job.result.status == Status::Unknown) induction_->run(ctx, job);
+        if (withPdr && job.result.status == Status::Unknown) pdr_->run(ctx, job);
+        if (cache_) cache_->store(fps[t], makeArtifact(structKeys[t], job, ctx.aig));
+        if (sink) {
+            finalizeDepth(job, opts_);
+            sink->publish(job.index, job.result);
+        }
+    });
+    for (const SolverPool& pool : pools) pool.accumulate(shared_);
 }
 
 void ObligationScheduler::runChainPdr(const ProofContext& ctx, ObligationJob& job) const {
@@ -338,15 +405,26 @@ std::vector<PropertyResult> ObligationScheduler::run() {
         }
     }
 
+    // Solver reuse is disabled under a conflict budget: a budget-bound
+    // Unknown depends on the learnt clauses carried over from batch mates,
+    // which would break the any-worker-count identity contract. (With no
+    // budget, Sat/Unsat answers are semantic and liveness traces are
+    // replayed on fresh solvers, so sharing cannot move them.)
+    const bool useReuse = opts_.solverReuse && opts_.conflictBudget == 0;
+
     // ---- Phase A: safety assertions and covers, full pipeline per job, in
     // parallel. Jobs are mutually independent on the immutable base AIG.
     ProofContext baseCtx{design_, bb_, bb_.aig, constraints_, opts_, kAigFalse, &shared_};
-    parallelFor(opts_.jobs, phaseA.size(), [&](size_t t) {
-        ObligationJob& job = *phaseA[t];
-        discharge(baseCtx, job, /*withPdr=*/true);
-        finalizeDepth(job, opts_);
-        sink.publish(job.index, job.result);
-    });
+    if (useReuse) {
+        runPhaseBatched(baseCtx, phaseA, /*withPdr=*/true, &sink);
+    } else {
+        parallelFor(opts_.jobs, phaseA.size(), [&](int, size_t t) {
+            ObligationJob& job = *phaseA[t];
+            discharge(baseCtx, job, /*withPdr=*/true);
+            finalizeDepth(job, opts_);
+            sink.publish(job.index, job.result);
+        });
+    }
 
     // ---- Phase B: liveness. Proven safety assertions are invariants of the
     // reachable states; feed them to the liveness jobs as constraints. This
@@ -362,9 +440,17 @@ std::vector<PropertyResult> ObligationScheduler::run() {
         }
         ProofContext liveCtx{design_,  bb_,   live_->aig(), liveConstraints,
                              opts_,    live_->saveOracle(), &shared_};
-        parallelFor(opts_.jobs, liveJobs.size(), [&](size_t t) {
-            discharge(liveCtx, *liveJobs[t], /*withPdr=*/false);
-        });
+        // Phase B gets fresh batches/pools: the live AIG and the
+        // strengthened constraint set invalidate phase A's encodings, and
+        // the sequential lemma chain below mutates the live AIG — shared
+        // unrollers must not outlive the frontier pass.
+        if (useReuse) {
+            runPhaseBatched(liveCtx, liveJobs, /*withPdr=*/false, /*sink=*/nullptr);
+        } else {
+            parallelFor(opts_.jobs, liveJobs.size(), [&](int, size_t t) {
+                discharge(liveCtx, *liveJobs[t], /*withPdr=*/false);
+            });
+        }
 
         // Sequential PDR with lemma chaining, in declaration order: once a
         // justice obligation is proven, every legal lasso must contain it,

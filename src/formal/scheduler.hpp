@@ -4,11 +4,17 @@
 // Every proof obligation of a design becomes an ObligationJob that flows
 // through a strategy pipeline (BMC -> k-induction -> PDR). Jobs are
 // discharged by a pool of worker threads fed from work-stealing queues;
-// each worker builds its own SatSolver / Unroller contexts, while the
-// bit-blast result and AIGs are shared immutably. Results are published to
-// a thread-safe sink keyed by obligation declaration index, so the final
-// report is deterministic — byte-identical statuses, depths, and ordering —
-// regardless of worker count.
+// each worker owns a phase-scoped SolverPool of long-lived incremental
+// SatSolver / Unroller contexts (per AIG and init mode) reused across the
+// jobs it discharges — per-job facts live in assumption-released clause
+// groups so learnt clauses about the shared transition relation survive
+// between obligations (EngineOptions::solverReuse; legacy throwaway
+// solvers otherwise). The bit-blast result — structurally rewritten by
+// aig_rewrite when EngineOptions::aigRewrite holds — and the AIGs are
+// shared immutably. Results are published to a thread-safe sink keyed by
+// obligation declaration index, so the final report is deterministic —
+// byte-identical statuses, depths, and ordering — regardless of worker
+// count or solver reuse.
 //
 // Cross-property couplings are preserved by phase barriers instead of
 // timing: safety invariants proven in phase A are fed to the liveness
@@ -40,6 +46,10 @@ namespace autosva::cache {
 class ProofCache;
 }
 
+namespace autosva::sva {
+class ResultSink;
+}
+
 namespace autosva::formal {
 
 class ObligationScheduler {
@@ -57,8 +67,17 @@ public:
 
 private:
     /// Runs the BMC -> k-induction (-> PDR) pipeline on one job, consulting
-    /// and feeding the proof cache when one is configured.
+    /// and feeding the proof cache when one is configured. The legacy
+    /// (throwaway-solver) discharge path.
     void discharge(const ProofContext& ctx, ObligationJob& job, bool withPdr) const;
+    /// The solver-reuse discharge of one phase: cache pass, frame-lockstep
+    /// batched BMC (one incremental solver per worker for its whole job
+    /// batch), then work-stealing k-induction (+ PDR) on per-worker solver
+    /// pools. Verdict-identical to per-job discharge for any worker count.
+    /// `sink` non-null finalizes and publishes each job as it completes.
+    void runPhaseBatched(const ProofContext& baseCtx,
+                         const std::vector<ObligationJob*>& phaseJobs, bool withPdr,
+                         sva::ResultSink* sink);
     /// The sequential liveness PDR step, with its own cache stage.
     void runChainPdr(const ProofContext& ctx, ObligationJob& job) const;
     /// Maps a near-miss artifact's named lemmas onto the job's AIG as PDR

@@ -1,13 +1,16 @@
-// Pluggable proof strategies for the obligation scheduler.
+// Pluggable proof strategies for the obligation scheduler, plus the
+// per-worker incremental solver infrastructure (SolverPool, batched BMC).
 //
 // A ProofStrategy is one algorithm for discharging a single proof
 // obligation (BMC counterexample search, k-induction, PDR). The scheduler
 // runs a pipeline of strategies over every obligation; each strategy only
 // acts on jobs whose status is still Unknown. Strategies are stateless (or
 // internally synchronized): one instance is shared by every worker thread,
-// and each invocation builds its own SatSolver / Unroller, reading only the
-// immutable structures referenced by the ProofContext. That makes each
-// strategy independently testable and the pipeline safe to parallelize.
+// and each invocation either builds its own SatSolver / Unroller or reuses
+// its worker's SolverPool context (ProofContext::pool, worker-private so
+// no locking), reading only the immutable structures referenced by the
+// ProofContext. That makes each strategy independently testable and the
+// pipeline safe to parallelize.
 #pragma once
 
 #include <atomic>
@@ -19,27 +22,154 @@
 #include "formal/bitblast.hpp"
 #include "formal/pdr.hpp"
 #include "formal/result.hpp"
+#include "formal/sat.hpp"
+#include "formal/unroll.hpp"
 #include "rtlir/design.hpp"
 
 namespace autosva::formal {
-
-class SatSolver;
-class Unroller;
 
 /// Engine counters with thread-safe accumulation across workers.
 struct SharedStats {
     std::atomic<uint64_t> satCalls{0};
     std::atomic<uint64_t> conflicts{0};
     std::atomic<uint64_t> propagations{0};
+    std::atomic<uint64_t> encoderVars{0};
+    std::atomic<uint64_t> encoderClauses{0};
+    std::atomic<uint64_t> conesMaterialized{0};
+    std::atomic<uint64_t> solverReuses{0};
+
+    /// Folds one strategy-layer solver's encoder cost into the counters.
+    void addEncoder(const SatSolver& solver, const Unroller& un) {
+        encoderVars.fetch_add(static_cast<uint64_t>(solver.numVars()),
+                              std::memory_order_relaxed);
+        encoderClauses.fetch_add(solver.clausesAdded(), std::memory_order_relaxed);
+        conesMaterialized.fetch_add(un.conesMaterialized(), std::memory_order_relaxed);
+    }
 
     [[nodiscard]] EngineStats snapshot(double totalSeconds) const {
         EngineStats s;
         s.satCalls = satCalls.load(std::memory_order_relaxed);
         s.conflicts = conflicts.load(std::memory_order_relaxed);
         s.propagations = propagations.load(std::memory_order_relaxed);
+        s.encoderVars = encoderVars.load(std::memory_order_relaxed);
+        s.encoderClauses = encoderClauses.load(std::memory_order_relaxed);
+        s.conesMaterialized = conesMaterialized.load(std::memory_order_relaxed);
+        s.solverReuses = solverReuses.load(std::memory_order_relaxed);
         s.totalSeconds = totalSeconds;
         return s;
     }
+};
+
+/// Adds each frame's environment constraints to a throwaway solver exactly
+/// once, tracking the last-constrained frame — shared by the legacy BMC
+/// loop, the PDR deep-counterexample re-run, and the trace replay, so none
+/// of them re-walks already-constrained frames.
+inline void constrainFramesTo(Unroller& un, SatSolver& solver,
+                              const std::vector<AigLit>& constraints, int frame,
+                              int& lastConstrained) {
+    for (int f = lastConstrained + 1; f <= frame; ++f)
+        for (AigLit c : constraints) solver.addUnit(un.lit(f, c));
+    if (frame > lastConstrained) lastConstrained = frame;
+}
+
+/// Encodes the depth-k induction formula: constraints in frames 0..k and
+/// the simple-path lattice (states of frames 0..k pairwise distinct, which
+/// makes induction complete). The ONE encoding shared by the legacy
+/// throwaway path and the pooled fixed-k contexts — the byte-identical A/B
+/// contract depends on both paths building exactly this clause sequence.
+inline void encodeInductionFormula(Unroller& un, SatSolver& solver,
+                                   const std::vector<AigLit>& constraints, int k) {
+    for (int f = 0; f <= k; ++f)
+        for (AigLit c : constraints) solver.addUnit(un.lit(f, c));
+    const auto& latches = un.aig().latches();
+    for (int i = 0; i <= k; ++i) {
+        for (int j = i + 1; j <= k; ++j) {
+            std::vector<SatLit> diff;
+            diff.reserve(latches.size());
+            for (uint32_t lv : latches) {
+                SatLit a = un.lit(i, aigMkLit(lv));
+                SatLit b = un.lit(j, aigMkLit(lv));
+                SatLit d = mkSatLit(solver.newVar());
+                // d <-> a xor b
+                solver.addTernary(satNeg(d), a, b);
+                solver.addTernary(satNeg(d), satNeg(a), satNeg(b));
+                solver.addTernary(d, satNeg(a), b);
+                solver.addTernary(d, a, satNeg(b));
+                diff.push_back(d);
+            }
+            solver.addClause(std::move(diff));
+        }
+    }
+}
+
+/// One worker's long-lived incremental solver contexts — one half of the
+/// solver-reuse architecture (the other half is the frame-lockstep batched
+/// BMC, runBmcBatch). The pool keys contexts by (AIG, init mode, tag);
+/// the k-induction strategy uses one fixed-k context per tag so every
+/// obligation this worker proves at induction depth k shares a single
+/// encoding of the transition relation, the simple-path lattice, and the
+/// learnt clauses about them — the per-obligation part is assumptions
+/// only, so nothing ever needs retracting between jobs.
+///
+/// The pool is strictly worker-private (no locks) and scoped to one
+/// scheduler phase: phase boundaries may change the constraint set or
+/// mutate the live AIG, both of which invalidate the cached encoding.
+class SolverPool {
+public:
+    struct Context {
+        SatSolver solver;
+        Unroller un;
+        bool prepared = false; ///< Fixed-shape (per-k induction) setup done.
+        uint64_t jobsServed = 0;
+
+        Context(const Aig& aig, Unroller::Init init) : un(aig, solver, init) {}
+
+        /// One-time setup of a per-k induction context: the exact formula
+        /// the legacy path builds per obligation per k
+        /// (encodeInductionFormula), but built once and shared by every
+        /// obligation this worker proves at this k. Queries then carry
+        /// only per-obligation assumptions, so each solve works on a
+        /// legacy-sized formula with warm learnt clauses.
+        void prepareInduction(int k, const std::vector<AigLit>& cons) {
+            if (prepared) return;
+            prepared = true;
+            encodeInductionFormula(un, solver, cons, k);
+        }
+    };
+
+    /// The worker's context for (aig, init, tag), created on first use.
+    /// `tag` separates fixed-shape contexts sharing an (AIG, init) pair —
+    /// the per-k induction solvers use tag = k; BMC uses the default.
+    Context& acquire(const Aig& aig, Unroller::Init init, int tag = -1) {
+        for (auto& e : entries_)
+            if (e.aig == &aig && e.init == init && e.tag == tag) return *e.ctx;
+        entries_.push_back({&aig, init, tag, std::make_unique<Context>(aig, init)});
+        return *entries_.back().ctx;
+    }
+
+    /// Folds every context's encoder cost and reuse count into the shared
+    /// counters — called once by the scheduler when the phase ends (a
+    /// pooled solver's totals must not be re-counted per job).
+    void accumulate(SharedStats& stats) const {
+        for (const auto& e : entries_) {
+            stats.addEncoder(e.ctx->solver, e.ctx->un);
+            stats.conflicts.fetch_add(e.ctx->solver.conflicts(), std::memory_order_relaxed);
+            stats.propagations.fetch_add(e.ctx->solver.propagations(),
+                                         std::memory_order_relaxed);
+            if (e.ctx->jobsServed > 1)
+                stats.solverReuses.fetch_add(e.ctx->jobsServed - 1,
+                                             std::memory_order_relaxed);
+        }
+    }
+
+private:
+    struct Entry {
+        const Aig* aig;
+        Unroller::Init init;
+        int tag;
+        std::unique_ptr<Context> ctx;
+    };
+    std::vector<Entry> entries_;
 };
 
 /// One proof obligation flowing through the scheduler, with its job-local
@@ -73,6 +203,9 @@ struct ProofContext {
     const EngineOptions& opts;
     AigLit saveOracle = kAigFalse;          ///< l2s save input (live AIG only).
     SharedStats* stats = nullptr;
+    /// This worker's solver pool; null selects the legacy throwaway-solver
+    /// path (the scheduler sets it per worker when opts.solverReuse holds).
+    SolverPool* pool = nullptr;
 };
 
 class ProofStrategy {
@@ -91,6 +224,14 @@ public:
 /// k-induction with simple-path constraints: proves shallow invariants up
 /// to opts.maxInductionK.
 [[nodiscard]] std::unique_ptr<ProofStrategy> makeInductionStrategy();
+
+/// Frame-lockstep batched BMC over one worker's job batch: a single
+/// incremental solver queries every still-open job at frame k before any
+/// job advances to k+1, so environment constraints and per-job Unsat
+/// strengthening stay level-0 units shared by the whole batch (see
+/// strategy_bmc.cpp for the soundness argument). Concluding jobs get their
+/// status/depth/trace set exactly as the per-job BMC strategy would.
+void runBmcBatch(const ProofContext& ctx, const std::vector<ObligationJob*>& jobs);
 
 /// IC3/PDR unbounded reachability, with a targeted BMC re-run to extract
 /// deep counterexample traces.

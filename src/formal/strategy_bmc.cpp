@@ -2,6 +2,29 @@
 // for the bad net frame by frame, so the first Sat answer is a shortest
 // counterexample (or cover witness). Also hosts the word-level trace
 // extraction shared with the PDR strategy's deep-counterexample re-run.
+//
+// Two execution paths share the same semantics:
+//  - legacy: a throwaway SatSolver/Unroller per obligation (the strategy's
+//    run() entry, used when EngineOptions::solverReuse is off, and as the
+//    deterministic trace replay below);
+//  - batched (runBmcBatch): one long-lived solver per worker discharges the
+//    worker's whole job batch in frame lockstep — for k = 0,1,2,... every
+//    still-open job is queried at frame k before any job advances to k+1.
+//    The lockstep order is what lets everything stay level-0 *units*: a
+//    frame's environment constraints are added once when the sweep reaches
+//    it (no job ever queries below the constrained frontier), and an Unsat
+//    answer for job j at frame k adds the unit "no trace of length k
+//    reaches bad_j" — a fact implied by the active constraints, so it can
+//    only prune, never flip, any other job's query. Unit facts propagate
+//    once and simplify all later encoding, which activation-literal
+//    guarding cannot do (guarded constraints re-propagate per solve and
+//    leak guard literals into every learnt clause).
+// Sat/Unsat answers are semantic, so both paths conclude each job at the
+// same depth for any worker count or batch mix. Model values are not: the
+// canonical report sees the model only through a liveness lasso's loop
+// start, so witnesses found on the live (l2s) AIG re-derive their trace on
+// a fresh legacy replay; safety and cover witnesses read the batch model
+// directly — any model is a true witness.
 #include "formal/sat.hpp"
 #include "formal/strategy.hpp"
 #include "formal/unroll.hpp"
@@ -50,43 +73,109 @@ CexTrace extractCexTrace(const ProofContext& ctx, Unroller& un, SatSolver& solve
 
 namespace {
 
+/// The legacy BMC loop on a throwaway solver, bounded by `maxDepth`. Also
+/// serves as the deterministic trace replay for the batched path: the first
+/// Sat depth is a semantic fact, so replaying up to it reproduces the
+/// legacy search (and therefore the legacy trace) byte for byte.
+void runBmcFresh(const ProofContext& ctx, ObligationJob& job, int maxDepth) {
+    SatSolver solver;
+    solver.setConflictBudget(ctx.opts.conflictBudget);
+    Unroller un(ctx.aig, solver, Unroller::Init::Reset);
+    int lastConstrained = -1;
+    for (int k = 0; k <= maxDepth; ++k) {
+        constrainFramesTo(un, solver, ctx.constraints, k, lastConstrained);
+        util::Stopwatch sw;
+        SatLit bad = un.lit(k, job.bad);
+        SatResult r = solver.solve({bad});
+        if (ctx.stats) ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
+        job.result.seconds += sw.seconds();
+        if (r == SatResult::Sat) {
+            job.result.status = job.coverMode ? Status::Covered : Status::Failed;
+            job.result.depth = k;
+            job.result.trace = extractCexTrace(ctx, un, solver, k);
+            break;
+        }
+        if (r == SatResult::Unsat) {
+            solver.addUnit(satNeg(bad)); // Strengthen deeper frames.
+        } else {
+            // Budget exhausted: leave Unknown, stop refining.
+            job.result.depth = k;
+            break;
+        }
+    }
+    if (ctx.stats) {
+        ctx.stats->conflicts.fetch_add(solver.conflicts(), std::memory_order_relaxed);
+        ctx.stats->propagations.fetch_add(solver.propagations(), std::memory_order_relaxed);
+        ctx.stats->addEncoder(solver, un);
+    }
+}
+
 class BmcStrategy final : public ProofStrategy {
 public:
     [[nodiscard]] const char* name() const override { return "bmc"; }
 
     void run(const ProofContext& ctx, ObligationJob& job) const override {
-        SatSolver solver;
-        solver.setConflictBudget(ctx.opts.conflictBudget);
-        Unroller un(ctx.aig, solver, Unroller::Init::Reset);
-        for (int k = 0; k <= ctx.opts.bmcDepth; ++k) {
-            for (AigLit c : ctx.constraints) solver.addUnit(un.lit(k, c));
+        runBmcFresh(ctx, job, ctx.opts.bmcDepth);
+    }
+};
+
+} // namespace
+
+void runBmcBatch(const ProofContext& ctx, const std::vector<ObligationJob*>& jobs) {
+    if (jobs.empty()) return;
+    SatSolver solver;
+    Unroller un(ctx.aig, solver, Unroller::Init::Reset);
+    int lastConstrained = -1;
+    std::vector<ObligationJob*> open(jobs.begin(), jobs.end());
+    for (int k = 0; k <= ctx.opts.bmcDepth && !open.empty(); ++k) {
+        constrainFramesTo(un, solver, ctx.constraints, k, lastConstrained);
+        // Fresh search heuristics at each frame boundary: within a frame
+        // the batch hops between unrelated bad cones, and activity/phase
+        // state tuned to one job's cone measurably degrades the next's
+        // search (the learnt clauses and the shared encoding stay — they
+        // are what the batch exists to reuse).
+        solver.resetSearchState();
+        for (size_t i = 0; i < open.size();) {
+            ObligationJob& job = *open[i];
             util::Stopwatch sw;
             SatLit bad = un.lit(k, job.bad);
             SatResult r = solver.solve({bad});
             if (ctx.stats) ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
             job.result.seconds += sw.seconds();
             if (r == SatResult::Sat) {
-                job.result.status = job.coverMode ? Status::Covered : Status::Failed;
-                job.result.depth = k;
-                job.result.trace = extractCexTrace(ctx, un, solver, k);
-                break;
-            }
-            if (r == SatResult::Unsat) {
-                solver.addUnit(satNeg(bad)); // Strengthen deeper frames.
+                if (ctx.saveOracle != kAigFalse) {
+                    // Lasso witness: the loop start is model-dependent and
+                    // canonical; replay on a fresh solver for determinism.
+                    // The replay re-times frames 0..k, so restart the
+                    // job's clock instead of double-counting them.
+                    job.result.seconds = 0.0;
+                    runBmcFresh(ctx, job, k);
+                } else {
+                    job.result.status = job.coverMode ? Status::Covered : Status::Failed;
+                    job.result.depth = k;
+                    job.result.trace = extractCexTrace(ctx, un, solver, k);
+                }
+                open.erase(open.begin() + static_cast<long>(i));
+            } else if (r == SatResult::Unsat) {
+                // Implied by the active constraints, so a plain unit: every
+                // later query — this job's or a batch-mate's with an
+                // overlapping cone — may reuse it, none can be flipped by it.
+                solver.addUnit(satNeg(bad));
+                ++i;
             } else {
-                // Budget exhausted: leave Unknown, stop refining.
-                job.result.depth = k;
-                break;
+                job.result.depth = k; // Budget exhausted; not used in batch mode.
+                open.erase(open.begin() + static_cast<long>(i));
             }
-        }
-        if (ctx.stats) {
-            ctx.stats->conflicts.fetch_add(solver.conflicts(), std::memory_order_relaxed);
-            ctx.stats->propagations.fetch_add(solver.propagations(), std::memory_order_relaxed);
         }
     }
-};
-
-} // namespace
+    if (ctx.stats) {
+        ctx.stats->conflicts.fetch_add(solver.conflicts(), std::memory_order_relaxed);
+        ctx.stats->propagations.fetch_add(solver.propagations(), std::memory_order_relaxed);
+        ctx.stats->addEncoder(solver, un);
+        if (jobs.size() > 1)
+            ctx.stats->solverReuses.fetch_add(jobs.size() - 1, std::memory_order_relaxed);
+    }
+}
 
 std::unique_ptr<ProofStrategy> makeBmcStrategy() { return std::make_unique<BmcStrategy>(); }
 

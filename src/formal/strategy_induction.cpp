@@ -2,6 +2,16 @@
 // holds in frames 0..k-1 of a free-running (unconstrained-initial-state)
 // unrolling whose states are pairwise distinct, and ask whether it can fail
 // at frame k. Unsat at any k proves the property for all depths.
+//
+// The legacy path builds a throwaway solver per k per obligation — the
+// single most redundant encoding in the engine (the transition relation,
+// the constraints, and the simple-path lattice are obligation-independent
+// for a fixed k). The pooled path keeps one long-lived fixed-k context per
+// worker (SolverPool::prepareInduction): the exact legacy formula, encoded
+// once and shared by every obligation proved at that k, with warm learnt
+// clauses. The per-obligation part is pure assumptions — no clause ever
+// needs releasing between jobs, which is why induction needs no activation
+// literals at all.
 #include "formal/sat.hpp"
 #include "formal/strategy.hpp"
 #include "formal/unroll.hpp"
@@ -10,56 +20,69 @@
 namespace autosva::formal {
 namespace {
 
+void runInductionFresh(const ProofContext& ctx, ObligationJob& job) {
+    for (int k = 1; k <= ctx.opts.maxInductionK; ++k) {
+        SatSolver solver;
+        solver.setConflictBudget(ctx.opts.conflictBudget);
+        Unroller un(ctx.aig, solver, Unroller::Init::Free);
+        encodeInductionFormula(un, solver, ctx.constraints, k);
+        util::Stopwatch sw;
+        std::vector<SatLit> assumptions;
+        for (int f = 0; f < k; ++f) assumptions.push_back(satNeg(un.lit(f, job.bad)));
+        assumptions.push_back(un.lit(k, job.bad));
+        SatResult r = solver.solve(assumptions);
+        if (ctx.stats) {
+            ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
+            ctx.stats->conflicts.fetch_add(solver.conflicts(), std::memory_order_relaxed);
+            ctx.stats->propagations.fetch_add(solver.propagations(),
+                                              std::memory_order_relaxed);
+            ctx.stats->addEncoder(solver, un);
+        }
+        job.result.seconds += sw.seconds();
+        if (r == SatResult::Unsat) {
+            job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;
+            job.result.depth = k;
+            return;
+        }
+    }
+}
+
+void runInductionPooled(const ProofContext& ctx, ObligationJob& job) {
+    std::vector<SatLit> assumptions;
+    for (int k = 1; k <= ctx.opts.maxInductionK; ++k) {
+        // One shared fixed-k context per worker: the legacy per-obligation
+        // formula, encoded once. The per-obligation part is assumptions
+        // only, so nothing needs releasing between jobs.
+        SolverPool::Context& pc = ctx.pool->acquire(ctx.aig, Unroller::Init::Free, k);
+        pc.prepareInduction(k, ctx.constraints);
+        // Fresh heuristics per obligation — consecutive jobs probe
+        // unrelated cones; the shared encoding and learnt clauses stay.
+        if (pc.jobsServed > 0) pc.solver.resetSearchState();
+        ++pc.jobsServed;
+        util::Stopwatch sw;
+        assumptions.clear();
+        for (int f = 0; f < k; ++f) assumptions.push_back(satNeg(pc.un.lit(f, job.bad)));
+        assumptions.push_back(pc.un.lit(k, job.bad));
+        SatResult r = pc.solver.solve(assumptions);
+        if (ctx.stats) ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
+        job.result.seconds += sw.seconds();
+        if (r == SatResult::Unsat) {
+            job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;
+            job.result.depth = k;
+            return;
+        }
+    }
+}
+
 class InductionStrategy final : public ProofStrategy {
 public:
     [[nodiscard]] const char* name() const override { return "k-induction"; }
 
     void run(const ProofContext& ctx, ObligationJob& job) const override {
-        for (int k = 1; k <= ctx.opts.maxInductionK; ++k) {
-            SatSolver solver;
-            solver.setConflictBudget(ctx.opts.conflictBudget);
-            Unroller un(ctx.aig, solver, Unroller::Init::Free);
-            // Constraints hold in all frames 0..k.
-            for (int f = 0; f <= k; ++f)
-                for (AigLit c : ctx.constraints) solver.addUnit(un.lit(f, c));
-            // Simple-path: all states pairwise distinct (makes induction complete).
-            const auto& latches = ctx.aig.latches();
-            for (int i = 0; i <= k; ++i) {
-                for (int j = i + 1; j <= k; ++j) {
-                    std::vector<SatLit> diff;
-                    diff.reserve(latches.size());
-                    for (uint32_t lv : latches) {
-                        SatLit a = un.lit(i, aigMkLit(lv));
-                        SatLit b = un.lit(j, aigMkLit(lv));
-                        SatLit d = mkSatLit(solver.newVar());
-                        // d <-> a xor b
-                        solver.addTernary(satNeg(d), a, b);
-                        solver.addTernary(satNeg(d), satNeg(a), satNeg(b));
-                        solver.addTernary(d, satNeg(a), b);
-                        solver.addTernary(d, a, satNeg(b));
-                        diff.push_back(d);
-                    }
-                    solver.addClause(std::move(diff));
-                }
-            }
-            util::Stopwatch sw;
-            std::vector<SatLit> assumptions;
-            for (int f = 0; f < k; ++f) assumptions.push_back(satNeg(un.lit(f, job.bad)));
-            assumptions.push_back(un.lit(k, job.bad));
-            SatResult r = solver.solve(assumptions);
-            if (ctx.stats) {
-                ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
-                ctx.stats->conflicts.fetch_add(solver.conflicts(), std::memory_order_relaxed);
-                ctx.stats->propagations.fetch_add(solver.propagations(),
-                                                  std::memory_order_relaxed);
-            }
-            job.result.seconds += sw.seconds();
-            if (r == SatResult::Unsat) {
-                job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;
-                job.result.depth = k;
-                return;
-            }
-        }
+        if (ctx.pool)
+            runInductionPooled(ctx, job);
+        else
+            runInductionFresh(ctx, job);
     }
 };
 

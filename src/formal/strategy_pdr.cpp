@@ -35,12 +35,15 @@ public:
             break;
         case PdrResult::Kind::Cex: {
             // Deep counterexample (beyond the BMC bound): re-run a targeted
-            // BMC at the depth bound PDR reported to extract the trace.
+            // BMC at the depth bound PDR reported to extract the trace. A
+            // fresh solver on purpose — the trace must not depend on any
+            // pooled solver's job history.
             SatSolver solver;
             Unroller un(ctx.aig, solver, Unroller::Init::Reset);
+            int lastConstrained = -1;
             bool found = false;
             for (int k = 0; k <= pr.depth + 2 && !found; ++k) {
-                for (AigLit c : ctx.constraints) solver.addUnit(un.lit(k, c));
+                constrainFramesTo(un, solver, ctx.constraints, k, lastConstrained);
                 SatLit bad = un.lit(k, job.bad);
                 if (solver.solve({bad}) == SatResult::Sat) {
                     job.result.status = job.coverMode ? Status::Covered : Status::Failed;
@@ -52,6 +55,7 @@ public:
                 }
             }
             if (!found) job.result.depth = pr.depth; // Stays Unknown.
+            if (ctx.stats) ctx.stats->addEncoder(solver, un);
             break;
         }
         case PdrResult::Kind::Unknown:

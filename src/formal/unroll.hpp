@@ -34,17 +34,25 @@ public:
 
     /// Returns the mapped literal if already materialized, else kUnset.
     [[nodiscard]] SatLit peek(int frame, AigLit l) const {
-        if (frame >= static_cast<int>(map_.size())) return kUnset;
+        if (frame < 0 || frame >= static_cast<int>(map_.size())) return kUnset;
         SatLit base = map_[static_cast<size_t>(frame)][aigVar(l)];
         if (base == kUnset) return kUnset;
         return aigSign(l) ? satNeg(base) : base;
     }
+
+    [[nodiscard]] const Aig& aig() const { return aig_; }
+    [[nodiscard]] int numFrames() const { return static_cast<int>(map_.size()); }
+    /// Root cones that actually had to be encoded (lit() cache misses) —
+    /// on a shared Unroller this stops growing once the cone is warm, which
+    /// is the reuse win the --stats counters expose.
+    [[nodiscard]] uint64_t conesMaterialized() const { return conesMaterialized_; }
 
 private:
     SatLit varLit(int frame, uint32_t rootVar) {
         ensureFrame(frame);
         if (map_[static_cast<size_t>(frame)][rootVar] != kUnset)
             return map_[static_cast<size_t>(frame)][rootVar];
+        ++conesMaterialized_;
 
         std::vector<std::pair<int, uint32_t>> stack{{frame, rootVar}};
         while (!stack.empty()) {
@@ -119,6 +127,7 @@ private:
     SatSolver& solver_;
     Init init_;
     SatLit falseLit_;
+    uint64_t conesMaterialized_ = 0;
     std::vector<std::vector<SatLit>> map_;
 };
 

@@ -144,9 +144,10 @@ std::string VerificationReport::str() const {
                       r.depth >= 0 ? std::to_string(r.depth) : "-", buf, src});
     }
     std::string out = "DUT: " + dutName + "\n" + table.str();
-    if (cacheLookups > 0)
-        out += "Proof cache: " + std::to_string(cacheHits) + "/" + std::to_string(cacheLookups) +
-               " hits, " + std::to_string(cacheSeededLemmas) + " lemmas seeded\n";
+    if (engineStats.cacheLookups > 0)
+        out += "Proof cache: " + std::to_string(engineStats.cacheHits) + "/" +
+               std::to_string(engineStats.cacheLookups) + " hits, " +
+               std::to_string(engineStats.cacheSeededLemmas) + " lemmas seeded\n";
     return out + "Outcome: " + outcomeSummary() + "\n";
 }
 

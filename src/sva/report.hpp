@@ -43,11 +43,12 @@ private:
 struct VerificationReport {
     std::string dutName;
     std::vector<formal::PropertyResult> results;
-    double totalSeconds = 0.0;
-    // Proof-cache counters of the run (0 when the cache is disabled).
-    uint64_t cacheLookups = 0;
-    uint64_t cacheHits = 0;
-    uint64_t cacheSeededLemmas = 0;
+    /// Full engine counters of the run: SAT calls, conflicts, encoder
+    /// vars/clauses, cones, solver reuses, and the proof-cache
+    /// lookup/hit/seed counters (0 when the cache is disabled) — the CLI's
+    /// --stats and --cache-stats source. Never part of canonical():
+    /// counters legitimately vary with jobs, cache state, and solver reuse.
+    formal::EngineStats engineStats;
 
     // -- Aggregates --------------------------------------------------------
     [[nodiscard]] size_t count(formal::Status status) const;

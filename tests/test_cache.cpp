@@ -384,9 +384,9 @@ TEST(CacheIntegration, WarmRunMatchesColdAndSkipsAllSatWork) {
 
     EXPECT_EQ(disabled.canonical(), cold.canonical());
     EXPECT_EQ(cold.canonical(), warm.canonical());
-    EXPECT_EQ(cold.cacheHits, 0u);
-    EXPECT_GT(warm.cacheLookups, 0u);
-    EXPECT_EQ(warm.cacheHits, warm.cacheLookups); // 100% hit rate.
+    EXPECT_EQ(cold.engineStats.cacheHits, 0u);
+    EXPECT_GT(warm.engineStats.cacheLookups, 0u);
+    EXPECT_EQ(warm.engineStats.cacheHits, warm.engineStats.cacheLookups); // 100% hit rate.
     EXPECT_GT(warm.numCached(), 0u);
     EXPECT_EQ(warm.numCached(), warm.totalChecked());
     for (const auto& r : cold.results) EXPECT_FALSE(r.cached) << r.name;
@@ -394,7 +394,7 @@ TEST(CacheIntegration, WarmRunMatchesColdAndSkipsAllSatWork) {
     // Warm verdicts are identical for any worker count, and still all-hit.
     sva::VerificationReport warm4 = runMixed(kMixedRtl, dir.str(), /*jobs=*/4);
     EXPECT_EQ(warm.canonical(), warm4.canonical());
-    EXPECT_EQ(warm4.cacheHits, warm4.cacheLookups);
+    EXPECT_EQ(warm4.engineStats.cacheHits, warm4.engineStats.cacheLookups);
 }
 
 TEST(CacheIntegration, CachedFailureKeepsItsTrace) {

@@ -35,11 +35,13 @@ usage:
                [--no-xprop] [--max-outstanding N] [--dut NAME]
   autosva run  <dut.sv> [extra.sv ...] [--param NAME=VALUE] [--depth N]
                [--jobs N] [--no-liveness] [--no-covers]
-               [--cache-dir DIR] [--no-cache] [--cache-stats]
+               [--cache-dir DIR] [--no-cache] [--cache-stats] [--stats]
+               [--no-solver-reuse] [--aig-rewrite]
   autosva sim  <dut.sv> [--cycles N] [--seed N] [--vcd FILE]
   autosva list
   autosva run-design <name> [--bug 0|1] [--depth N] [--jobs N]
-               [--cache-dir DIR] [--no-cache] [--cache-stats]
+               [--cache-dir DIR] [--no-cache] [--cache-stats] [--stats]
+               [--no-solver-reuse] [--aig-rewrite]
 
 options:
   --jobs N         worker threads for property discharge (default 1; 0 = one
@@ -54,6 +56,17 @@ options:
                    never depend on cache contents).
   --no-cache       disable the proof cache for this run.
   --cache-stats    print proof-cache hit/seed statistics after the report.
+  --stats          print engine counters after the report: SAT calls,
+                   conflicts, propagations, encoder vars/clauses created,
+                   cones materialized, solver reuses.
+  --no-solver-reuse  discharge every obligation on a throwaway solver
+                   instead of the per-worker incremental solver contexts.
+                   Verdicts, depths, and traces are identical either way;
+                   this exists for A/B measurement (bench_solver_reuse).
+  --aig-rewrite    enable the post-bit-blast AIG structural rewrite
+                   (strashing / absorption / latch merging). Deterministic
+                   and semantics-preserving; off by default while PDR's
+                   budget heuristics remain perturbation-sensitive.
 )";
     std::exit(2);
 }
@@ -194,25 +207,39 @@ int runReport(const std::vector<std::string>& sources, const core::FormalTestben
     vopts.engine.jobs = args.jobs();
     vopts.engine.useLivenessToSafety = !args.has("--no-liveness");
     vopts.engine.checkCovers = !args.has("--no-covers");
+    vopts.engine.solverReuse = !args.has("--no-solver-reuse");
+    vopts.engine.aigRewrite = args.has("--aig-rewrite");
     if (!args.has("--no-cache"))
         vopts.engine.cacheDir = args.get("--cache-dir", cache::ProofCache::defaultDir());
     for (const auto& [name, value] : args.params) vopts.paramOverrides[name] = value;
     auto report = core::verify(sources, ft, vopts, diags);
     std::cout << report.str();
+    if (args.has("--stats")) {
+        const formal::EngineStats& es = report.engineStats;
+        std::printf("engine: sat-calls=%llu conflicts=%llu propagations=%llu\n"
+                    "encoder: vars=%llu clauses=%llu cones=%llu solver-reuses=%llu\n",
+                    static_cast<unsigned long long>(es.satCalls),
+                    static_cast<unsigned long long>(es.conflicts),
+                    static_cast<unsigned long long>(es.propagations),
+                    static_cast<unsigned long long>(es.encoderVars),
+                    static_cast<unsigned long long>(es.encoderClauses),
+                    static_cast<unsigned long long>(es.conesMaterialized),
+                    static_cast<unsigned long long>(es.solverReuses));
+    }
     if (args.has("--cache-stats")) {
         if (vopts.engine.cacheDir.empty()) {
             std::cout << "cache: disabled\n";
         } else {
-            double rate = report.cacheLookups == 0
+            double rate = report.engineStats.cacheLookups == 0
                               ? 0.0
-                              : 100.0 * static_cast<double>(report.cacheHits) /
-                                    static_cast<double>(report.cacheLookups);
+                              : 100.0 * static_cast<double>(report.engineStats.cacheHits) /
+                                    static_cast<double>(report.engineStats.cacheLookups);
             std::printf("cache: dir=%s lookups=%llu hits=%llu (%.1f%%) seeded-lemmas=%llu "
                         "cached-results=%zu\n",
                         vopts.engine.cacheDir.c_str(),
-                        static_cast<unsigned long long>(report.cacheLookups),
-                        static_cast<unsigned long long>(report.cacheHits), rate,
-                        static_cast<unsigned long long>(report.cacheSeededLemmas),
+                        static_cast<unsigned long long>(report.engineStats.cacheLookups),
+                        static_cast<unsigned long long>(report.engineStats.cacheHits), rate,
+                        static_cast<unsigned long long>(report.engineStats.cacheSeededLemmas),
                         report.numCached());
         }
     }
