@@ -2,6 +2,15 @@
 // google-benchmark over the full generation pipeline (parse + scan +
 // transaction build + property/bind/tool-file generation) for every
 // registered design, plus the individual stages for the largest one.
+//
+// The custom main additionally splits the pipeline wall-clock into
+// parse / propgen / elaborate rows for the common --json emitter and
+// GATES the typed-AST pipeline contract:
+//   1. zero re-lex/re-parse of generated property text on the
+//      verification path (the property-module AST goes straight to the
+//      elaborator; verified against Parser::sourceParseCount), and
+//   2. generation+elaboration end-to-end no slower than the legacy
+//      re-parse baseline (parse DUT again + re-parse printed artifacts).
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
@@ -9,6 +18,7 @@
 #include "core/interface_scan.hpp"
 #include "core/language.hpp"
 #include "designs/designs.hpp"
+#include "rtlir/elaborate.hpp"
 #include "util/stopwatch.hpp"
 #include "verilog/parser.hpp"
 
@@ -29,7 +39,7 @@ void BM_GenerateFT(benchmark::State& state, const std::string& designName) {
 void BM_ParseRtl(benchmark::State& state) {
     const auto& info = designs::design("ariane_mmu");
     for (auto _ : state) {
-        auto file = verilog::Parser::parseSource(info.rtl, "dut.sv");
+        auto file = verilog::Parser::parseSource(info.rtl, "ariane_mmu.sv");
         benchmark::DoNotOptimize(file.modules.data());
     }
 }
@@ -38,9 +48,84 @@ void BM_ParseAnnotations(benchmark::State& state) {
     const auto& info = designs::design("ariane_mmu");
     for (auto _ : state) {
         util::DiagEngine diags;
-        auto set = core::parseAnnotations(info.rtl, "dut.sv", diags);
+        auto set = core::parseAnnotations(info.rtl, "ariane_mmu.sv", diags);
         benchmark::DoNotOptimize(set.transactions.data());
     }
+}
+
+constexpr int kTimingReps = 3; ///< Best-of-N to dampen scheduler noise.
+
+struct StageSplit {
+    double parseS = 0.0;
+    double propgenS = 0.0;
+    double elabAstS = 0.0;     ///< New path: property AST straight to the elaborator.
+    double elabReparseS = 0.0; ///< Legacy baseline: re-parse the printed artifacts.
+    size_t props = 0;
+    uint64_t astPathParses = 0; ///< parseSource calls on the AST path.
+    size_t rtlSourceCount = 0;
+};
+
+StageSplit measureDesign(const designs::DesignInfo& info) {
+    StageSplit split;
+    split.parseS = 1e99;
+    split.propgenS = 1e99;
+    split.elabAstS = 1e99;
+    split.elabReparseS = 1e99;
+
+    std::vector<std::string> sources = designs::rtlSources(info);
+    std::vector<std::string> sourceNames = designs::rtlSourceNames(info);
+    split.rtlSourceCount = sources.size();
+
+    core::AutoSvaOptions genOpts;
+    genOpts.sourcePath = info.name + ".sv";
+
+    for (int rep = 0; rep < kTimingReps; ++rep) {
+        util::DiagEngine diags;
+
+        // Stage 1: lex + parse the annotated RTL.
+        util::Stopwatch sw;
+        verilog::SourceFile file = verilog::Parser::parseSource(info.rtl, genOpts.sourcePath);
+        split.parseS = std::min(split.parseS, sw.seconds());
+
+        // Stages 2-4: interface scan, annotation parse, property generation
+        // (the typed-AST construction incl. printed projections).
+        sw.reset();
+        core::DutInterface dut = core::scanInterface(file, {}, diags);
+        core::AnnotationSet ann = core::parseAnnotations(info.rtl, genOpts.sourcePath, diags);
+        core::buildTransactions(ann.transactions, dut, diags);
+        core::PropGenResult gen = core::generateProperties(dut, ann.transactions, {});
+        split.propgenS = std::min(split.propgenS, sw.seconds());
+        split.props = gen.properties.size();
+
+        core::FormalTestbench ft = core::generateFT(info.rtl, genOpts, diags);
+        core::VerifyOptions vopts;
+        vopts.sourcePaths = sourceNames;
+
+        // New path: parsed DUT sources + generated AST -> elaborator.
+        uint64_t parses0 = verilog::Parser::sourceParseCount();
+        sw.reset();
+        auto design = core::elaborateWithFT(sources, ft, vopts, diags);
+        split.elabAstS = std::min(split.elabAstS, sw.seconds());
+        split.astPathParses = verilog::Parser::sourceParseCount() - parses0;
+        benchmark::DoNotOptimize(design.get());
+
+        // Legacy baseline: what every verification run paid before the
+        // typed-AST pipeline — re-parse the DUT for the interface scan and
+        // re-lex/re-parse the printed property + bind text.
+        sw.reset();
+        verilog::SourceFile rescanned =
+            verilog::Parser::parseSource(sources[0], genOpts.sourcePath);
+        core::DutInterface dut2 = core::scanInterface(rescanned, {}, diags);
+        std::vector<std::string> legacySources = sources;
+        legacySources.push_back(ft.propertyFile);
+        legacySources.push_back(ft.bindFile);
+        ir::ElabOptions elabOpts;
+        elabOpts.tieOffs[dut2.resetName] = dut2.resetActiveLow ? 1u : 0u;
+        auto legacy = ir::elaborateSources(legacySources, ft.dutName, diags, elabOpts);
+        split.elabReparseS = std::min(split.elabReparseS, sw.seconds());
+        benchmark::DoNotOptimize(legacy.get());
+    }
+    return split;
 }
 
 } // namespace
@@ -57,24 +142,52 @@ BENCHMARK(BM_ParseRtl);
 BENCHMARK(BM_ParseAnnotations);
 
 // Custom main instead of BENCHMARK_MAIN(): supports the common --json
-// emitter (one generation-timing row per registered design, measured
-// directly — google-benchmark's own JSON uses a different schema).
+// emitter (per-design stage-split rows measured directly) and enforces
+// the zero-reparse + no-slower-than-baseline gates.
 int main(int argc, char** argv) {
     std::string jsonPath = autosva::bench::extractJsonPath(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    if (!jsonPath.empty()) {
-        std::vector<autosva::bench::JsonRow> rows;
-        for (const auto& info : autosva::designs::allDesigns()) {
-            autosva::util::DiagEngine diags;
-            autosva::util::Stopwatch sw;
-            auto ft = autosva::core::generateFT(info.rtl, {}, diags);
-            rows.push_back({"generation", info.name, sw.seconds(), 0, 0,
-                            static_cast<size_t>(ft.numProperties())});
+
+    std::vector<autosva::bench::JsonRow> rows;
+    double totalAst = 0.0, totalReparse = 0.0;
+    bool reparseFree = true;
+    for (const auto& info : autosva::designs::allDesigns()) {
+        StageSplit s = measureDesign(info);
+        rows.push_back({"parse", info.name, s.parseS, 0, 0, s.props});
+        rows.push_back({"propgen", info.name, s.propgenS, 0, 0, s.props});
+        rows.push_back({"elaborate_ast", info.name, s.elabAstS, 0, 0, s.props});
+        rows.push_back({"elaborate_reparse", info.name, s.elabReparseS, 0, 0, s.props});
+        totalAst += s.parseS + s.propgenS + s.elabAstS;
+        totalReparse += s.parseS + s.propgenS + s.elabReparseS;
+        if (s.astPathParses != s.rtlSourceCount) {
+            reparseFree = false;
+            std::printf("FAIL %s: AST path parsed %llu buffers for %zu RTL sources "
+                        "(generated text was re-parsed)\n",
+                        info.name.c_str(),
+                        static_cast<unsigned long long>(s.astPathParses), s.rtlSourceCount);
         }
-        autosva::bench::writeJson(jsonPath, "generation_speed", rows);
+        std::printf("%-16s parse %7.3f ms  propgen %7.3f ms  elab(ast) %7.3f ms  "
+                    "elab(reparse) %7.3f ms\n",
+                    info.name.c_str(), s.parseS * 1e3, s.propgenS * 1e3, s.elabAstS * 1e3,
+                    s.elabReparseS * 1e3);
     }
+    std::printf("end-to-end generation+elaboration: ast %.3f ms vs reparse-baseline %.3f ms "
+                "(%.1f%%)\n",
+                totalAst * 1e3, totalReparse * 1e3, 100.0 * totalAst / totalReparse);
+    autosva::bench::writeJson(jsonPath, "generation_speed", rows);
+
+    if (!reparseFree) return 1;
+    // Noise-tolerant bound: the AST path drops the generated-text lex+parse
+    // entirely, so end-to-end must not regress past baseline + 10%.
+    if (totalAst > totalReparse * 1.10) {
+        std::printf("FAIL: AST pipeline end-to-end (%.3f ms) slower than the re-parse "
+                    "baseline (%.3f ms)\n",
+                    totalAst * 1e3, totalReparse * 1e3);
+        return 1;
+    }
+    std::printf("PASS: zero generated-text re-parses; end-to-end within budget\n");
     return 0;
 }

@@ -1,0 +1,57 @@
+// Annotated valid/ready FIFO — the quickstart DUT as a standalone file.
+// Exercised by CI as the end-to-end `autosva run` smoke: annotation ->
+// typed property AST -> elaborator -> engine, on every push.
+module fifo #(
+  parameter W = 4,
+  parameter DEPTH = 2
+) (
+  input  wire clk_i,
+  input  wire rst_ni,
+
+  /*AUTOSVA
+  fifo_txn: in -in> out
+  [W-1:0] in_data = in_data_i
+  [W-1:0] out_data = out_data_o
+  */
+  input  wire         in_val,
+  output wire         in_ack,
+  input  wire [W-1:0] in_data_i,
+  output wire         out_val,
+  input  wire         out_ack,
+  output wire [W-1:0] out_data_o
+);
+  reg [W-1:0] mem [0:DEPTH-1];
+  reg         wr_q;
+  reg         rd_q;
+  reg  [1:0]  count_q;
+
+  assign in_ack  = count_q < DEPTH;
+  assign out_val = count_q != 2'd0;
+  assign out_data_o = mem[rd_q];
+
+  wire wr_hsk = in_val && in_ack;
+  wire rd_hsk = out_val && out_ack;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      wr_q <= 1'b0;
+      rd_q <= 1'b0;
+      count_q <= 2'd0;
+      mem[0] <= '0;
+      mem[1] <= '0;
+    end else begin
+      if (wr_hsk) begin
+        mem[wr_q] <= in_data_i;
+        wr_q <= !wr_q;
+      end
+      if (rd_hsk) begin
+        rd_q <= !rd_q;
+      end
+      if (wr_hsk && !rd_hsk) begin
+        count_q <= count_q + 2'd1;
+      end else if (!wr_hsk && rd_hsk) begin
+        count_q <= count_q - 2'd1;
+      end
+    end
+  end
+endmodule

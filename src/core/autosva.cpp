@@ -36,9 +36,10 @@ int FormalTestbench::numLiveness() const {
 FormalTestbench generateFT(const std::string& rtlSource, const AutoSvaOptions& opts,
                            util::DiagEngine& diags) {
     util::Stopwatch sw;
+    const std::string sourceName = opts.sourcePath.empty() ? "dut.sv" : opts.sourcePath;
 
     // Step 1: parse the RTL and scan the interface declaration section.
-    verilog::SourceFile file = verilog::Parser::parseSource(rtlSource, "dut.sv");
+    verilog::SourceFile file = verilog::Parser::parseSource(rtlSource, sourceName);
     ScanOptions scanOpts;
     scanOpts.moduleName = opts.dutName;
     scanOpts.clockName = opts.clockName;
@@ -46,10 +47,11 @@ FormalTestbench generateFT(const std::string& rtlSource, const AutoSvaOptions& o
     DutInterface dut = scanInterface(file, scanOpts, diags);
 
     // Step 2: parse annotations and build transaction objects.
-    AnnotationSet annotations = parseAnnotations(rtlSource, "dut.sv", diags);
+    AnnotationSet annotations = parseAnnotations(rtlSource, sourceName, diags);
     buildTransactions(annotations.transactions, dut, diags);
 
-    // Steps 3+4: signal + property generation.
+    // Steps 3+4: signal + property generation — a typed verilog:: AST whose
+    // printed artifacts are projections (verilog::Printer is the renderer).
     PropGenOptions genOpts;
     genOpts.assertInputs = opts.assertInputs;
     genOpts.includeXprop = opts.includeXprop;
@@ -71,6 +73,7 @@ FormalTestbench generateFT(const std::string& rtlSource, const AutoSvaOptions& o
     FormalTestbench ft;
     ft.dutName = dut.moduleName;
     ft.propertyModuleName = gen.propertyModuleName;
+    ft.propertyAst = gen.ast;
     ft.propertyFile = std::move(gen.propertyFile);
     ft.bindFile = std::move(gen.bindFile);
     ft.jasperTcl = generateJasperTcl(toolIn);
@@ -81,41 +84,94 @@ FormalTestbench generateFT(const std::string& rtlSource, const AutoSvaOptions& o
     return ft;
 }
 
-std::unique_ptr<ir::Design> elaborateWithFT(const std::vector<std::string>& rtlSources,
-                                            const FormalTestbench& ft, const VerifyOptions& opts,
-                                            util::DiagEngine& diags, bool tieReset) {
-    std::vector<std::string> sources = rtlSources;
-    for (const auto& extra : opts.extraSources) sources.push_back(extra);
-    sources.push_back(ft.propertyFile);
-    sources.push_back(ft.bindFile);
-    for (const FormalTestbench* sub : opts.submoduleFts) {
-        sources.push_back(sub->propertyFile);
-        sources.push_back(sub->bindFile);
-    }
+namespace {
 
-    // Re-scan the DUT interface for clock/reset names (cheap).
-    verilog::SourceFile dutFile = verilog::Parser::parseSource(rtlSources.at(0), "dut.sv");
+/// Diagnostic buffer name for rtlSources[i].
+std::string sourceNameOf(const VerifyOptions& opts, size_t i) {
+    if (i < opts.sourcePaths.size() && !opts.sourcePaths[i].empty()) return opts.sourcePaths[i];
+    return i == 0 ? "dut.sv" : "source" + std::to_string(i);
+}
+
+/// The shared elaboration path of verify()/elaborateWithFT: parses the RTL
+/// sources once (with their real names) and hands the generated property
+/// module to the elaborator as AST — generated text is never re-lexed.
+/// `stats`, when given, records the parse activity.
+std::unique_ptr<ir::Design> elaborateWithFTStats(const std::vector<std::string>& rtlSources,
+                                                 const FormalTestbench& ft,
+                                                 const VerifyOptions& opts,
+                                                 util::DiagEngine& diags, bool tieReset,
+                                                 sva::FrontendStats* stats) {
+    // Parse the RTL sources (the DUT and any submodules / extras). This is
+    // the only lex+parse work on the verification path.
+    std::vector<verilog::SourceFile> parsed;
+    parsed.reserve(rtlSources.size() + opts.extraSources.size() +
+                   2 * (1 + opts.submoduleFts.size()));
+    for (size_t i = 0; i < rtlSources.size(); ++i)
+        parsed.push_back(verilog::Parser::parseSource(rtlSources[i], sourceNameOf(opts, i)));
+    for (size_t i = 0; i < opts.extraSources.size(); ++i)
+        parsed.push_back(verilog::Parser::parseSource(
+            opts.extraSources[i], "extra" + std::to_string(i) + ".sv"));
+    if (stats) stats->sourcesParsed += rtlSources.size() + opts.extraSources.size();
+
+    std::vector<const verilog::SourceFile*> files;
+    files.reserve(parsed.size() + 1 + opts.submoduleFts.size());
+    // `parsed` is fully populated above; pointers into it are stable now.
+    for (const auto& f : parsed) files.push_back(&f);
+
+    // The generated testbenches: AST straight to the elaborator. Re-parsing
+    // the printed text only happens for hand-built FormalTestbench objects
+    // that never went through generateFT.
+    std::vector<verilog::SourceFile> reparsed;
+    reparsed.reserve(2 * (1 + opts.submoduleFts.size()));
+    auto addTestbench = [&](const FormalTestbench& tb) {
+        if (tb.propertyAst) {
+            files.push_back(tb.propertyAst.get());
+            if (stats) ++stats->generatedAstReused;
+            return;
+        }
+        reparsed.push_back(
+            verilog::Parser::parseSource(tb.propertyFile, tb.propertyModuleName + ".sv"));
+        reparsed.push_back(
+            verilog::Parser::parseSource(tb.bindFile, tb.dutName + "_bind.svh"));
+        if (stats) stats->generatedTextReparses += 2;
+    };
+    addTestbench(ft);
+    for (const FormalTestbench* sub : opts.submoduleFts) addTestbench(*sub);
+    for (const auto& f : reparsed) files.push_back(&f);
+
+    // Scan the DUT interface for clock/reset names on the already-parsed
+    // AST (no second parse of the DUT source).
     ScanOptions scanOpts;
     scanOpts.moduleName = ft.dutName;
-    DutInterface dut = scanInterface(dutFile, scanOpts, diags);
+    DutInterface dut = scanInterface(parsed.at(0), scanOpts, diags);
 
     ir::ElabOptions elabOpts;
     elabOpts.paramOverrides = opts.paramOverrides;
     if (tieReset)
         elabOpts.tieOffs[dut.resetName] = dut.resetActiveLow ? 1u : 0u;
 
-    return ir::elaborateSources(sources, ft.dutName, diags, elabOpts);
+    return ir::elaborateFiles(files, ft.dutName, diags, elabOpts);
+}
+
+} // namespace
+
+std::unique_ptr<ir::Design> elaborateWithFT(const std::vector<std::string>& rtlSources,
+                                            const FormalTestbench& ft, const VerifyOptions& opts,
+                                            util::DiagEngine& diags, bool tieReset) {
+    return elaborateWithFTStats(rtlSources, ft, opts, diags, tieReset, nullptr);
 }
 
 sva::VerificationReport verify(const std::vector<std::string>& rtlSources,
                                const FormalTestbench& ft, const VerifyOptions& opts,
                                util::DiagEngine& diags) {
-    auto design = elaborateWithFT(rtlSources, ft, opts, diags, /*tieReset=*/true);
+    sva::FrontendStats frontend;
+    auto design = elaborateWithFTStats(rtlSources, ft, opts, diags, /*tieReset=*/true, &frontend);
     formal::Engine engine(*design, opts.engine);
     sva::VerificationReport report;
     report.dutName = ft.dutName;
     report.results = engine.checkAll();
     report.engineStats = engine.stats();
+    report.frontend = frontend;
     return report;
 }
 
@@ -128,6 +184,8 @@ sva::VerificationReport generateAndVerify(const std::string& rtlSource,
     if (vopts.engine.jobs <= 1 && genOpts.jobs > 1) vopts.engine.jobs = genOpts.jobs;
     if (vopts.engine.cacheDir.empty() && !genOpts.cacheDir.empty())
         vopts.engine.cacheDir = genOpts.cacheDir;
+    if (vopts.sourcePaths.empty() && !genOpts.sourcePath.empty())
+        vopts.sourcePaths = {genOpts.sourcePath};
     return verify({rtlSource}, ft, vopts, diags);
 }
 

@@ -26,6 +26,10 @@ struct AutoSvaOptions {
     std::string dutName;    ///< Empty: first module in the source.
     std::string clockName;  ///< Empty: auto-detect.
     std::string resetName;  ///< Empty: auto-detect.
+    /// Path (or logical name) of the annotated RTL buffer. Used as the
+    /// diagnostic buffer name and as the provenance file every generated
+    /// property cites. Empty: "dut.sv".
+    std::string sourcePath;
     bool assertInputs = false; ///< "-AS": assumptions become assertions.
     bool includeXprop = true;
     bool includeCovers = true;
@@ -41,10 +45,17 @@ struct AutoSvaOptions {
     std::string cacheDir;
 };
 
-/// A complete generated formal testbench.
+/// A complete generated formal testbench. The property module + bind
+/// directive exist twice: as the typed AST (`propertyAst`, what the
+/// verification path elaborates — no re-parse of generated text) and as
+/// printed text projections (`propertyFile`/`bindFile`, what `autosva gen`
+/// writes for external tools).
 struct FormalTestbench {
     std::string dutName;
     std::string propertyModuleName;
+    /// Typed AST of the property module and bind directive; the printed
+    /// artifacts below are printer projections of exactly this tree.
+    std::shared_ptr<const verilog::SourceFile> propertyAst;
     std::string propertyFile;
     std::string bindFile;
     std::string jasperTcl;
@@ -69,6 +80,11 @@ struct FormalTestbench {
 
 struct VerifyOptions {
     formal::EngineOptions engine;
+    /// Diagnostic buffer names parallel to the `rtlSources` argument of
+    /// verify()/elaborateWithFT (real CLI paths, so parse/elaboration
+    /// errors cite actual files). Missing entries fall back to "dut.sv"
+    /// for index 0 and "source<i>" beyond.
+    std::vector<std::string> sourcePaths;
     /// Additional RTL sources (submodule definitions used by the DUT).
     std::vector<std::string> extraSources;
     /// Linked submodule testbenches (the paper's "-AM" flow): their property

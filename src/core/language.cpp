@@ -102,6 +102,7 @@ AnnotationSet parseAnnotations(const std::string& rtlText, const std::string& bu
         }
         Transaction t;
         t.line = raw.lineNo;
+        t.loc = locOf(raw.lineNo);
         t.name = std::string(util::trim(line.substr(0, colon)));
         if (!util::isIdentifier(t.name))
             throw FrontendError(locOf(raw.lineNo), "bad transaction name '" + t.name + "'");
@@ -194,6 +195,7 @@ AnnotationSet parseAnnotations(const std::string& rtlText, const std::string& bu
         def.widthMsb = widthMsb;
         def.implicit = false;
         def.line = raw->lineNo;
+        def.loc = locOf(raw->lineNo);
 
         bool placed = false;
         for (auto& t : set.transactions) {

@@ -2,55 +2,216 @@
 
 #include <set>
 
+#include "verilog/parser.hpp"
+#include "verilog/printer.hpp"
+
 namespace autosva::core {
+
+namespace vl = autosva::verilog;
 
 namespace {
 
-/// Incremental text builder for the property module.
-class Emitter {
-public:
-    void line(const std::string& text = "") {
-        out_ += text;
-        out_ += '\n';
-    }
-    [[nodiscard]] std::string str() const { return out_; }
+using vl::ExprPtr;
 
-private:
-    std::string out_;
-};
+// ---------------------------------------------------------------------------
+// AST construction helpers
+// ---------------------------------------------------------------------------
+
+/// Builds a vector of move-only AST pointers (initializer lists copy).
+template <typename T, typename... Rest>
+std::vector<T> vecOf(T first, Rest... rest) {
+    std::vector<T> v;
+    v.push_back(std::move(first));
+    (v.push_back(std::move(rest)), ...);
+    return v;
+}
+
+ExprPtr id(const std::string& name) { return vl::makeIdent(name); }
+ExprPtr num(uint64_t v) { return vl::makeNumber(v, 0); }
+
+/// Unbased-unsized literal `'0`.
+ExprPtr fillZero() {
+    ExprPtr e = vl::makeNumber(0, 0);
+    e->isUnbasedUnsized = true;
+    return e;
+}
+
+ExprPtr paren(ExprPtr e) {
+    e->parenthesized = true;
+    return e;
+}
+
+ExprPtr land(ExprPtr a, ExprPtr b) {
+    return vl::makeBinary(vl::BinaryOp::LogicAnd, std::move(a), std::move(b));
+}
+ExprPtr lor(ExprPtr a, ExprPtr b) {
+    return vl::makeBinary(vl::BinaryOp::LogicOr, std::move(a), std::move(b));
+}
+ExprPtr lnot(ExprPtr a) { return vl::makeUnary(vl::UnaryOp::LogicNot, std::move(a)); }
+ExprPtr eq(ExprPtr a, ExprPtr b) {
+    return vl::makeBinary(vl::BinaryOp::Eq, std::move(a), std::move(b));
+}
+ExprPtr gt(ExprPtr a, ExprPtr b) {
+    return vl::makeBinary(vl::BinaryOp::Gt, std::move(a), std::move(b));
+}
+ExprPtr ge(ExprPtr a, ExprPtr b) {
+    return vl::makeBinary(vl::BinaryOp::Ge, std::move(a), std::move(b));
+}
+ExprPtr le(ExprPtr a, ExprPtr b) {
+    return vl::makeBinary(vl::BinaryOp::Le, std::move(a), std::move(b));
+}
+ExprPtr add(ExprPtr a, ExprPtr b) {
+    return vl::makeBinary(vl::BinaryOp::Add, std::move(a), std::move(b));
+}
+ExprPtr sub(ExprPtr a, ExprPtr b) {
+    return vl::makeBinary(vl::BinaryOp::Sub, std::move(a), std::move(b));
+}
+
+/// Parses a designer-written fragment (annotation expression, width text,
+/// parameter default) into a typed expression whose printed projection is
+/// the verbatim input text, and whose nodes carry the annotation's source
+/// location for provenance.
+ExprPtr parseGen(const std::string& text, const util::SourceLoc& loc) {
+    try {
+        ExprPtr e = vl::Parser::parseExpression(text, loc.file.empty() ? "generated" : loc.file);
+        e->loc = loc;
+        return e;
+    } catch (const util::FrontendError&) {
+        throw util::FrontendError(loc, "expression '" + text +
+                                           "' in annotation does not parse as Verilog");
+    }
+}
+
+vl::StmtPtr nbAssign(const std::string& lhs, ExprPtr rhs) {
+    auto s = std::make_unique<vl::Stmt>(vl::Stmt::Kind::Assign);
+    s->lhs = id(lhs);
+    s->rhs = std::move(rhs);
+    s->nonBlocking = true;
+    return s;
+}
+
+vl::StmtPtr block(std::vector<vl::StmtPtr> stmts) {
+    auto s = std::make_unique<vl::Stmt>(vl::Stmt::Kind::Block);
+    s->stmts = std::move(stmts);
+    return s;
+}
+
+vl::StmtPtr ifStmt(ExprPtr cond, vl::StmtPtr thenStmt, vl::StmtPtr elseStmt = nullptr) {
+    auto s = std::make_unique<vl::Stmt>(vl::Stmt::Kind::If);
+    s->cond = std::move(cond);
+    s->thenStmt = std::move(thenStmt);
+    s->elseStmt = std::move(elseStmt);
+    return s;
+}
+
+vl::PropExprPtr pBool(ExprPtr e) {
+    auto p = std::make_unique<vl::PropExpr>(vl::PropExpr::Kind::Boolean);
+    p->loc = e->loc;
+    p->boolean = std::move(e);
+    return p;
+}
+
+vl::PropExprPtr pImpl(ExprPtr ante, vl::PropExprPtr rhs, bool overlapping = true) {
+    auto p = std::make_unique<vl::PropExpr>(vl::PropExpr::Kind::Implication);
+    p->loc = ante->loc;
+    p->boolean = std::move(ante);
+    p->rhsProp = std::move(rhs);
+    p->overlapping = overlapping;
+    return p;
+}
+
+vl::PropExprPtr pEventually(ExprPtr e) {
+    auto p = std::make_unique<vl::PropExpr>(vl::PropExpr::Kind::Eventually);
+    p->rhsProp = pBool(std::move(e));
+    return p;
+}
+
+constexpr const char* kRule = "------------------------------------------------------------------";
+
+// ---------------------------------------------------------------------------
+// Generator context
+// ---------------------------------------------------------------------------
 
 struct Ctx {
     const DutInterface& dut;
     const PropGenOptions& opts;
     PropGenResult& result;
-    Emitter& em;
+    vl::Module& mod;
     std::set<std::string> emittedWires;
 
-    [[nodiscard]] std::string resetGuard() const {
-        return dut.resetActiveLow ? "!" + dut.resetName : dut.resetName;
-    }
-    [[nodiscard]] std::string ffHeader() const {
-        // always_ff @(posedge clk or negedge rst_n) / (... or posedge rst)
-        return "always_ff @(posedge " + dut.clockName + " or " +
-               (dut.resetActiveLow ? "negedge " : "posedge ") + dut.resetName + ") begin";
+    [[nodiscard]] ExprPtr resetGuard() const {
+        return dut.resetActiveLow ? lnot(id(dut.resetName)) : id(dut.resetName);
     }
 
-    /// Emits one property with the right directive, recording stats.
+    void blank() {
+        vl::ModuleItem item(vl::ModuleItem::Kind::Comment);
+        item.comment = std::make_unique<vl::CommentItem>();
+        mod.items.push_back(std::move(item));
+    }
+
+    void comment(std::string text) {
+        vl::ModuleItem item(vl::ModuleItem::Kind::Comment);
+        item.comment = std::make_unique<vl::CommentItem>();
+        item.comment->text = std::move(text);
+        mod.items.push_back(std::move(item));
+    }
+
+    /// Declares `kind [widthMsb:0] name` with an optional init expression.
+    void net(vl::NetKind kind, const std::string& name, const std::string& widthMsb,
+             ExprPtr init, const util::SourceLoc& loc) {
+        vl::ModuleItem item(vl::ModuleItem::Kind::Net);
+        item.net = std::make_unique<vl::NetDecl>();
+        item.net->kind = kind;
+        item.net->name = name;
+        if (!widthMsb.empty())
+            item.net->packed = vl::Range{parseGen(widthMsb, loc), num(0)};
+        item.net->init = std::move(init);
+        item.net->loc = loc;
+        mod.items.push_back(std::move(item));
+    }
+
+    /// `always_ff @(posedge clk or negedge rst_n) begin <body> end`.
+    void alwaysFF(std::vector<vl::StmtPtr> body, const util::SourceLoc& loc) {
+        vl::ModuleItem item(vl::ModuleItem::Kind::Always);
+        item.always = std::make_unique<vl::AlwaysBlock>();
+        item.always->kind = vl::AlwaysBlock::Kind::FF;
+        item.always->clockSignal = dut.clockName;
+        item.always->clockPosedge = true;
+        item.always->asyncResetSignal = dut.resetName;
+        item.always->asyncResetNegedge = dut.resetActiveLow;
+        item.always->body = block(std::move(body));
+        item.always->loc = loc;
+        mod.items.push_back(std::move(item));
+    }
+
+    /// Emits one property with the right directive, recording stats and the
+    /// annotation provenance that flows into verification reports.
     void prop(const std::string& label, bool asserted, bool cover, bool liveness, bool xprop,
-              sva::Attr attr, const std::string& transaction, const std::string& body) {
+              sva::Attr attr, const std::string& transaction, const util::SourceLoc& loc,
+              vl::PropExprPtr body) {
         bool finalAssert = asserted || (opts.assertInputs && !cover);
-        std::string prefix = cover ? "co" : (xprop ? "xp" : (finalAssert ? "as" : "am"));
-        std::string directive = cover ? "cover" : (finalAssert ? "assert" : "assume");
-        std::string fullLabel = prefix + "__" + label;
-        em.line("  " + fullLabel + ": " + directive + " property (" + body + ");");
+        const char* prefix = cover ? "co" : (xprop ? "xp" : (finalAssert ? "as" : "am"));
+        std::string fullLabel = std::string(prefix) + "__" + label;
+
+        vl::ModuleItem item(vl::ModuleItem::Kind::Assertion);
+        item.assertion = std::make_unique<vl::AssertionItem>();
+        item.assertion->kind = cover ? vl::AssertionKind::Cover
+                                     : (finalAssert ? vl::AssertionKind::Assert
+                                                    : vl::AssertionKind::Assume);
+        item.assertion->label = fullLabel;
+        item.assertion->prop = std::move(body);
+        item.assertion->loc = loc;
+        mod.items.push_back(std::move(item));
+
         GeneratedProperty gp;
-        gp.label = fullLabel;
+        gp.label = std::move(fullLabel);
         gp.sourceAttr = attr;
         gp.transaction = transaction;
         gp.isAssert = finalAssert && !cover;
         gp.isCover = cover;
         gp.isLiveness = liveness;
         gp.isXprop = xprop;
+        gp.sourceLoc = loc;
         result.properties.push_back(std::move(gp));
     }
 };
@@ -61,80 +222,93 @@ std::string attrWire(const InterfaceDesc& iface, Attr attr) {
     return iface.name + "_" + sva::attrName(attr) + "_m";
 }
 
-void emitAttrWires(Ctx& ctx, const InterfaceDesc& iface) {
+/// Provenance of a property derived from `attr` on `iface`: the attribute
+/// definition's annotation line when known, else the transaction relation.
+util::SourceLoc locFor(const InterfaceDesc& iface, Attr attr, const Transaction& t) {
+    const AttrDef* def = iface.get(attr);
+    if (def && def->loc.valid()) return def->loc;
+    return t.loc;
+}
+
+void emitAttrWires(Ctx& ctx, const InterfaceDesc& iface, const Transaction& t) {
     for (const auto& [attr, def] : iface.attrs) {
         std::string wire = attrWire(iface, attr);
         if (!ctx.emittedWires.insert(wire).second) continue; // Shared interface.
-        std::string width = def.widthMsb.empty() ? "" : "[" + def.widthMsb + ":0] ";
-        ctx.em.line("  wire " + width + wire + " = (" + def.rhs + ");");
+        util::SourceLoc loc = locFor(iface, attr, t);
+        ctx.net(vl::NetKind::Wire, wire, def.widthMsb, paren(parseGen(def.rhs, loc)), loc);
     }
 }
 
-std::string hskExpr(const InterfaceDesc& iface) {
-    std::string val = attrWire(iface, Attr::Val);
-    if (iface.has(Attr::Ack)) return val + " && " + attrWire(iface, Attr::Ack);
+ExprPtr hskExpr(const InterfaceDesc& iface) {
+    ExprPtr val = id(attrWire(iface, Attr::Val));
+    if (iface.has(Attr::Ack)) return land(std::move(val), id(attrWire(iface, Attr::Ack)));
     return val;
 }
 
 void emitTransaction(Ctx& ctx, const Transaction& t) {
-    Emitter& em = ctx.em;
     const std::string& T = t.name;
     const bool incoming = t.incoming;
 
-    em.line();
-    em.line("  // ------------------------------------------------------------------");
-    em.line("  // Transaction " + T + ": " + t.req.name + (incoming ? " -in> " : " -out> ") +
-            t.resp.name);
-    em.line("  // ------------------------------------------------------------------");
+    ctx.blank();
+    ctx.comment(kRule);
+    ctx.comment("Transaction " + T + ": " + t.req.name + (incoming ? " -in> " : " -out> ") +
+                t.resp.name);
+    ctx.comment(kRule);
 
-    emitAttrWires(ctx, t.req);
-    emitAttrWires(ctx, t.resp);
+    emitAttrWires(ctx, t.req, t);
+    emitAttrWires(ctx, t.resp, t);
 
     // Handshake wires.
-    em.line("  wire " + T + "_req_hsk = " + hskExpr(t.req) + ";");
-    em.line("  wire " + T + "_res_hsk = " + hskExpr(t.resp) + ";");
+    ctx.net(vl::NetKind::Wire, T + "_req_hsk", "", hskExpr(t.req), t.loc);
+    ctx.net(vl::NetKind::Wire, T + "_res_hsk", "", hskExpr(t.resp), t.loc);
 
     // Transaction-tracking condition: symbolic transaction ID filtering when
     // transid is defined (one assertion reasons over every ID).
-    std::string setExpr = T + "_req_hsk";
-    std::string respExpr = T + "_res_hsk";
+    ExprPtr setExpr = id(T + "_req_hsk");
+    ExprPtr respExpr = id(T + "_res_hsk");
     if (t.tracksTransid()) {
         const AttrDef* reqId = t.req.get(Attr::Transid);
-        std::string width = reqId->widthMsb.empty() ? "" : "[" + reqId->widthMsb + ":0] ";
-        em.line("  // Symbolic (rigid) transaction ID: tracks any single ID.");
-        em.line("  logic " + width + "symb_" + T + "_transid;");
+        util::SourceLoc idLoc = locFor(t.req, Attr::Transid, t);
+        ctx.comment("Symbolic (rigid) transaction ID: tracks any single ID.");
+        ctx.net(vl::NetKind::Logic, "symb_" + T + "_transid", reqId->widthMsb, nullptr, idLoc);
         ctx.prop(T + "_symb_transid_stable", /*asserted=*/false, false, false, false,
-                 Attr::Transid, T, "$stable(symb_" + T + "_transid)");
-        setExpr += " && (" + attrWire(t.req, Attr::Transid) + " == symb_" + T + "_transid)";
-        respExpr += " && (" + attrWire(t.resp, Attr::Transid) + " == symb_" + T + "_transid)";
+                 Attr::Transid, T, idLoc,
+                 pBool(vl::makeCall("$stable", vecOf(id("symb_" + T + "_transid")))));
+        setExpr = land(std::move(setExpr),
+                       paren(eq(id(attrWire(t.req, Attr::Transid)), id("symb_" + T + "_transid"))));
+        respExpr = land(std::move(respExpr), paren(eq(id(attrWire(t.resp, Attr::Transid)),
+                                                      id("symb_" + T + "_transid"))));
     }
-    em.line("  wire " + T + "_set = " + setExpr + ";");
-    em.line("  wire " + T + "_response = " + respExpr + ";");
+    ctx.net(vl::NetKind::Wire, T + "_set", "", std::move(setExpr), t.loc);
+    ctx.net(vl::NetKind::Wire, T + "_response", "", std::move(respExpr), t.loc);
 
     // Outstanding-transaction counter.
-    em.line("  reg [OUTSTANDING_W-1:0] " + T + "_sampled;");
-    em.line("  " + ctx.ffHeader());
-    em.line("    if (" + ctx.resetGuard() + ") begin");
-    em.line("      " + T + "_sampled <= '0;");
-    em.line("    end else if (" + T + "_set || " + T + "_response) begin");
-    em.line("      " + T + "_sampled <= " + T + "_sampled + " + T + "_set - " + T +
-            "_response;");
-    em.line("    end");
-    em.line("  end");
+    ctx.net(vl::NetKind::Reg, T + "_sampled", "OUTSTANDING_W-1", nullptr, t.loc);
+    {
+        std::vector<vl::StmtPtr> body;
+        body.push_back(ifStmt(
+            ctx.resetGuard(), block(vecOf(nbAssign(T + "_sampled", fillZero()))),
+            ifStmt(lor(id(T + "_set"), id(T + "_response")),
+                   block(vecOf(nbAssign(T + "_sampled", sub(add(id(T + "_sampled"), id(T + "_set")),
+                                                            id(T + "_response"))))))));
+        ctx.alwaysFF(std::move(body), t.loc);
+    }
 
     // ---- Properties (Table II) ----
 
     // val*: liveness (every request eventually answered) + no orphan
     // responses. Asserted when the DUT is the responder (incoming).
-    ctx.prop(T + "_eventual_response", incoming, false, true, false, Attr::Val, T,
-             T + "_set |-> s_eventually (" + T + "_response)");
-    ctx.prop(T + "_had_a_request", incoming, false, false, false, Attr::Val, T,
-             T + "_response |-> " + T + "_set || " + T + "_sampled > 0");
+    util::SourceLoc valLoc = locFor(t.req, Attr::Val, t);
+    ctx.prop(T + "_eventual_response", incoming, false, true, false, Attr::Val, T, valLoc,
+             pImpl(id(T + "_set"), pEventually(id(T + "_response"))));
+    ctx.prop(T + "_had_a_request", incoming, false, false, false, Attr::Val, T, valLoc,
+             pImpl(id(T + "_response"),
+                   pBool(lor(id(T + "_set"), gt(id(T + "_sampled"), num(0))))));
 
     // Environment bound on outstanding transactions (sizes the counter; the
     // requester must respect it).
-    ctx.prop(T + "_max_outstanding", !incoming, false, false, false, Attr::Val, T,
-             T + "_sampled >= MAX_OUTSTANDING |-> !" + T + "_set");
+    ctx.prop(T + "_max_outstanding", !incoming, false, false, false, Attr::Val, T, valLoc,
+             pImpl(ge(id(T + "_sampled"), id("MAX_OUTSTANDING")), pBool(lnot(id(T + "_set")))));
 
     // ack*: eventual handshake-or-drop on each interface that has an ack.
     // A request may only be dropped if no stable signal is defined.
@@ -143,10 +317,10 @@ void emitTransaction(Ctx& ctx, const Transaction& t) {
         bool ackDriverIsDut = (iface == &t.req) == incoming;
         std::string val = attrWire(*iface, Attr::Val);
         std::string ack = attrWire(*iface, Attr::Ack);
-        std::string target =
-            iface->has(Attr::Stable) ? ack : "!" + val + " || " + ack;
+        ExprPtr target = iface->has(Attr::Stable) ? id(ack) : lor(lnot(id(val)), id(ack));
         ctx.prop(T + "_" + iface->name + "_hsk_or_drop", ackDriverIsDut, false, true, false,
-                 Attr::Ack, T, val + " |-> s_eventually (" + target + ")");
+                 Attr::Ack, T, locFor(*iface, Attr::Ack, t),
+                 pImpl(id(val), pEventually(std::move(target))));
     }
 
     // stable: payload held while valid and not acknowledged. Assumed for
@@ -154,77 +328,85 @@ void emitTransaction(Ctx& ctx, const Transaction& t) {
     for (const auto* iface : {&t.req, &t.resp}) {
         if (!iface->has(Attr::Stable)) continue;
         bool valDriverIsDut = (iface == &t.req) ? !incoming : incoming;
-        std::string val = attrWire(*iface, Attr::Val);
-        std::string guard = val;
-        if (iface->has(Attr::Ack)) guard += " && !" + attrWire(*iface, Attr::Ack);
+        ExprPtr guard = id(attrWire(*iface, Attr::Val));
+        if (iface->has(Attr::Ack))
+            guard = land(std::move(guard), lnot(id(attrWire(*iface, Attr::Ack))));
         ctx.prop(T + "_" + iface->name + "_stability", valDriverIsDut, false, false, false,
-                 Attr::Stable, T,
-                 guard + " |=> $stable(" + attrWire(*iface, Attr::Stable) + ")");
+                 Attr::Stable, T, locFor(*iface, Attr::Stable, t),
+                 pImpl(std::move(guard),
+                       pBool(vl::makeCall("$stable", vecOf(id(attrWire(*iface, Attr::Stable))))),
+                       /*overlapping=*/false));
     }
 
     // active: asserted whenever the transaction is ongoing.
     for (const auto* iface : {&t.req, &t.resp}) {
         if (!iface->has(Attr::Active)) continue;
         ctx.prop(T + "_" + iface->name + "_active", true, false, false, false, Attr::Active, T,
-                 T + "_sampled > 0 |-> " + attrWire(*iface, Attr::Active));
+                 locFor(*iface, Attr::Active, t),
+                 pImpl(gt(id(T + "_sampled"), num(0)),
+                       pBool(id(attrWire(*iface, Attr::Active)))));
     }
 
     // transid_unique: no two outstanding transactions share an ID. With the
     // symbolic filter, this is exactly "no new set while one is in flight".
     if (t.req.has(Attr::TransidUnique) ||
         (t.tracksTransid() && t.resp.has(Attr::TransidUnique))) {
+        const InterfaceDesc& src = t.req.has(Attr::TransidUnique) ? t.req : t.resp;
         ctx.prop(T + "_transid_unique", !incoming, false, false, false, Attr::TransidUnique, T,
-                 T + "_set |-> " + T + "_sampled == 0");
+                 locFor(src, Attr::TransidUnique, t),
+                 pImpl(id(T + "_set"), pBool(eq(id(T + "_sampled"), num(0)))));
     }
 
     // data: response payload equals the request payload sampled at issue.
     if (t.tracksData()) {
         const AttrDef* reqData = t.req.get(Attr::Data);
-        std::string width = reqData->widthMsb.empty() ? "" : "[" + reqData->widthMsb + ":0] ";
+        util::SourceLoc dataLoc = locFor(t.req, Attr::Data, t);
         std::string reqD = attrWire(t.req, Attr::Data);
         std::string respD = attrWire(t.resp, Attr::Data);
-        em.line("  reg " + width + T + "_data_sampled;");
-        em.line("  " + ctx.ffHeader());
-        em.line("    if (" + ctx.resetGuard() + ") begin");
-        em.line("      " + T + "_data_sampled <= '0;");
-        em.line("    end else if (" + T + "_set) begin");
-        em.line("      " + T + "_data_sampled <= " + reqD + ";");
-        em.line("    end");
-        em.line("  end");
+        ctx.net(vl::NetKind::Reg, T + "_data_sampled", reqData->widthMsb, nullptr, dataLoc);
+        {
+            std::vector<vl::StmtPtr> body;
+            body.push_back(
+                ifStmt(ctx.resetGuard(), block(vecOf(nbAssign(T + "_data_sampled", fillZero()))),
+                       ifStmt(id(T + "_set"),
+                              block(vecOf(nbAssign(T + "_data_sampled", id(reqD)))))));
+            ctx.alwaysFF(std::move(body), dataLoc);
+        }
         // Guarded to at most one outstanding transaction: with several in
         // flight and no ID tracking, the sample register holds the newest
         // request while the response may serve an older one. With transid
         // tracking (symbolic filtering + uniqueness) the guard is trivially
         // true and the check is exact.
-        ctx.prop(T + "_data_integrity", incoming, false, false, false, Attr::Data, T,
-                 T + "_response && " + T + "_sampled <= 1 |-> " + respD + " == (" + T +
-                     "_sampled == 0 ? " + reqD + " : " + T + "_data_sampled)");
+        ctx.prop(T + "_data_integrity", incoming, false, false, false, Attr::Data, T, dataLoc,
+                 pImpl(land(id(T + "_response"), le(id(T + "_sampled"), num(1))),
+                       pBool(eq(id(respD),
+                                paren(vl::makeTernary(eq(id(T + "_sampled"), num(0)), id(reqD),
+                                                      id(T + "_data_sampled")))))));
     }
 
     // Covers: the request path is exercisable.
     if (ctx.opts.includeCovers) {
-        ctx.prop(T + "_request_happens", false, true, false, false, Attr::Val, T,
-                 T + "_sampled > 0");
-        ctx.prop(T + "_response_happens", false, true, false, false, Attr::Val, T,
-                 T + "_response");
+        ctx.prop(T + "_request_happens", false, true, false, false, Attr::Val, T, valLoc,
+                 pBool(gt(id(T + "_sampled"), num(0))));
+        ctx.prop(T + "_response_happens", false, true, false, false, Attr::Val, T, valLoc,
+                 pBool(id(T + "_response")));
     }
 
     // X-propagation: when val is high, no other attribute may be X
     // (simulation-only; formal tools are 2-state).
     if (ctx.opts.includeXprop) {
         for (const auto* iface : {&t.req, &t.resp}) {
-            std::vector<std::string> sigs;
+            std::vector<ExprPtr> sigs;
             for (const auto& [attr, def] : iface->attrs) {
                 if (attr == Attr::Val) continue;
-                sigs.push_back(attrWire(*iface, attr));
+                sigs.push_back(id(attrWire(*iface, attr)));
             }
             if (sigs.empty()) continue;
-            std::string concat = "{";
-            for (size_t i = 0; i < sigs.size(); ++i)
-                concat += (i ? ", " : "") + sigs[i];
-            concat += "}";
             ctx.prop(T + "_" + iface->name + "_xprop", true, false, false, true, Attr::Val, T,
-                     attrWire(*iface, Attr::Val) + " |-> !$isunknown(" + concat + ")");
+                     locFor(*iface, Attr::Val, t),
+                     pImpl(id(attrWire(*iface, Attr::Val)),
+                           pBool(lnot(vl::makeCall("$isunknown",
+                                                   vecOf(vl::makeConcat(std::move(sigs))))))));
         }
     }
 }
@@ -268,48 +450,84 @@ PropGenResult generateProperties(const DutInterface& dut,
     PropGenResult result;
     result.propertyModuleName = dut.moduleName + "_prop";
 
-    Emitter em;
-    Ctx ctx{dut, opts, result, em, {}};
+    auto file = std::make_shared<vl::SourceFile>();
+    auto modPtr = std::make_unique<vl::Module>();
+    vl::Module& mod = *modPtr;
+    util::SourceLoc modLoc{result.propertyModuleName + ".sv", 0, 0};
 
-    em.line("// Formal testbench for module '" + dut.moduleName + "'.");
-    em.line("// Auto-generated by autosva-cpp; regenerate rather than editing.");
-    em.line("module " + result.propertyModuleName);
+    mod.name = result.propertyModuleName;
+    mod.loc = modLoc;
+    mod.headerComments = {"Formal testbench for module '" + dut.moduleName + "'.",
+                          "Auto-generated by autosva-cpp; regenerate rather than editing."};
 
     // Parameters: MAX_OUTSTANDING + a copy of the DUT parameters so width
     // expressions keep working.
-    em.line("#(");
-    std::string paramLines = "  parameter MAX_OUTSTANDING = " +
-                             std::to_string(opts.maxOutstanding);
-    for (const auto& p : dut.params)
-        paramLines += ",\n  parameter " + p.name + " = " + p.defaultText;
-    em.line(paramLines);
-    em.line(") (");
+    {
+        vl::ParamDecl p;
+        p.name = "MAX_OUTSTANDING";
+        p.value = num(static_cast<uint64_t>(opts.maxOutstanding));
+        p.loc = modLoc;
+        mod.params.push_back(std::move(p));
+    }
+    for (const auto& dp : dut.params) {
+        vl::ParamDecl p;
+        p.name = dp.name;
+        p.value = parseGen(dp.defaultText, modLoc);
+        p.loc = modLoc;
+        mod.params.push_back(std::move(p));
+    }
 
     // Ports: every DUT port, as an input.
-    std::string portLines;
-    for (size_t i = 0; i < dut.ports.size(); ++i) {
-        const auto& port = dut.ports[i];
-        std::string width = port.widthMsb.empty() ? "" : "[" + port.widthMsb + ":0] ";
-        portLines += "  input wire " + width + port.name;
-        if (i + 1 < dut.ports.size()) portLines += ",\n";
+    for (const auto& port : dut.ports) {
+        vl::Port p;
+        p.dir = vl::PortDir::Input;
+        p.netKind = vl::NetKind::Wire;
+        p.name = port.name;
+        if (!port.widthMsb.empty()) p.packed = vl::Range{parseGen(port.widthMsb, modLoc), num(0)};
+        p.loc = modLoc;
+        mod.ports.push_back(std::move(p));
     }
-    em.line(portLines);
-    em.line(");");
-    em.line();
-    em.line("  localparam OUTSTANDING_W = $clog2(MAX_OUTSTANDING) + 1;");
-    em.line();
-    em.line("  default clocking cb @(posedge " + dut.clockName + "); endclocking");
-    em.line("  default disable iff (" + ctx.resetGuard() + ");");
+
+    Ctx ctx{dut, opts, result, mod, {}};
+
+    ctx.blank();
+    {
+        vl::ModuleItem item(vl::ModuleItem::Kind::Param);
+        item.param = std::make_unique<vl::ParamDecl>();
+        item.param->isLocal = true;
+        item.param->name = "OUTSTANDING_W";
+        item.param->value =
+            add(vl::makeCall("$clog2", vecOf(id("MAX_OUTSTANDING"))), num(1));
+        item.param->loc = modLoc;
+        mod.items.push_back(std::move(item));
+    }
+    ctx.blank();
+
+    // `default clocking` / `default disable` print after the localparam.
+    mod.defaultClock = dut.clockName;
+    mod.defaultDisable = ctx.resetGuard();
+    mod.svaDefaultsPos = static_cast<int>(mod.items.size());
 
     for (const auto& t : transactions) emitTransaction(ctx, t);
 
-    em.line();
-    em.line("endmodule");
-    result.propertyFile = em.str();
+    ctx.blank();
 
-    result.bindFile = "// Bind file for module '" + dut.moduleName + "'.\n" +
-                      "bind " + dut.moduleName + " " + result.propertyModuleName + " " +
-                      dut.moduleName + "_prop_i (.*);\n";
+    vl::BindDirective bind;
+    bind.targetModule = dut.moduleName;
+    bind.boundModule = result.propertyModuleName;
+    bind.instName = dut.moduleName + "_prop_i";
+    bind.wildcardPorts = true;
+    bind.headerComments = {"Bind file for module '" + dut.moduleName + "'."};
+    bind.loc = modLoc;
+
+    file->modules.push_back(std::move(modPtr));
+    file->binds.push_back(std::move(bind));
+
+    // The printed artifacts are projections of the AST — the printer is the
+    // single renderer.
+    result.propertyFile = vl::printModule(*file->modules.front());
+    result.bindFile = vl::printBind(file->binds.front());
+    result.ast = std::move(file);
     return result;
 }
 

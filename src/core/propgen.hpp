@@ -1,12 +1,25 @@
 // Property-file generation: AutoSVA steps (3) signal generator and
-// (4) property generator. Produces the SystemVerilog property module,
-// the bind file, and generation statistics.
+// (4) property generator.
+//
+// The generator constructs a typed `verilog::` AST — the property module
+// (wires, always_ff tracking counters, AssertionItems) plus the bind
+// directive — and every textual artifact is a projection of that AST
+// rendered by `verilog::Printer` (printModule / printBind). The AST is
+// also what verification consumes: `core::elaborateWithFT` hands it to
+// `ir::elaborateFiles` directly, so generated property text is never
+// re-lexed or re-parsed. Designer-written fragments (annotation
+// expressions, width texts) keep their verbatim spelling via
+// Expr::origText, and every generated property carries the SourceLoc of
+// the annotation that produced it (GeneratedProperty::sourceLoc ->
+// AssertionItem::loc -> ir::Obligation::loc -> report provenance).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/transaction.hpp"
+#include "verilog/ast.hpp"
 
 namespace autosva::core {
 
@@ -31,12 +44,17 @@ struct GeneratedProperty {
     bool isCover = false;
     bool isLiveness = false;
     bool isXprop = false;
+    /// The designer annotation (file:line) this property was derived from.
+    util::SourceLoc sourceLoc;
 };
 
 struct PropGenResult {
     std::string propertyModuleName;
-    std::string propertyFile; ///< SystemVerilog text.
-    std::string bindFile;     ///< SystemVerilog bind directive.
+    /// The generated testbench as AST: modules[0] is the property module,
+    /// binds[0] the bind directive. This is what elaboration consumes.
+    std::shared_ptr<const verilog::SourceFile> ast;
+    std::string propertyFile; ///< Printer projection of ast->modules[0].
+    std::string bindFile;     ///< Printer projection of ast->binds[0].
     std::vector<GeneratedProperty> properties;
 
     [[nodiscard]] int numProperties() const { return static_cast<int>(properties.size()); }
@@ -47,7 +65,8 @@ struct PropGenResult {
     [[nodiscard]] int countXprop() const;
 };
 
-/// Generates the formal testbench text for the DUT + transactions.
+/// Generates the formal testbench (AST + printed projections) for the DUT
+/// + transactions.
 [[nodiscard]] PropGenResult generateProperties(const DutInterface& dut,
                                                const std::vector<Transaction>& transactions,
                                                const PropGenOptions& opts);

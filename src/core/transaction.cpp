@@ -84,7 +84,8 @@ int evalWidth(const std::string& msbText, const DutInterface& dut) {
 
 namespace {
 
-void addImplicitAttrs(InterfaceDesc& iface, const DutInterface& dut) {
+void addImplicitAttrs(InterfaceDesc& iface, const DutInterface& dut,
+                      const util::SourceLoc& txnLoc) {
     const std::string prefix = iface.name + "_";
     for (const auto& port : dut.ports) {
         if (port.name.rfind(prefix, 0) != 0) continue;
@@ -98,6 +99,7 @@ void addImplicitAttrs(InterfaceDesc& iface, const DutInterface& dut) {
         def.rhs = port.name;
         def.widthMsb = port.widthMsb;
         def.implicit = true;
+        def.loc = txnLoc; // Best available provenance: the declaring relation.
         iface.attrs.emplace(*attr, std::move(def));
     }
 }
@@ -140,8 +142,8 @@ void buildTransactions(std::vector<Transaction>& transactions, const DutInterfac
             throw FrontendError({}, "transaction '" + t.name +
                                         "': request and response interfaces must differ");
 
-        addImplicitAttrs(t.req, dut);
-        addImplicitAttrs(t.resp, dut);
+        addImplicitAttrs(t.req, dut, t.loc);
+        addImplicitAttrs(t.resp, dut, t.loc);
 
         // `transid_unique` both marks uniqueness and provides the tracking
         // ID itself (the request side commonly annotates only it).

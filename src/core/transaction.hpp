@@ -25,6 +25,10 @@ struct AttrDef {
     std::string widthMsb;   ///< MSB expression text of `[msb:0]`; empty = 1 bit.
     bool implicit = false;
     int line = 0; ///< Annotation line (0 for implicit).
+    /// Where the designer wrote this definition (the annotation line in the
+    /// real RTL file; the transaction declaration for implicit defs).
+    /// Threaded through generated properties into verification reports.
+    util::SourceLoc loc;
 };
 
 struct InterfaceDesc {
@@ -44,6 +48,8 @@ struct Transaction {
     InterfaceDesc req;    ///< P
     InterfaceDesc resp;   ///< Q
     int line = 0;
+    /// Annotation line declaring `name: P -in> Q` in the real RTL file.
+    util::SourceLoc loc;
 
     [[nodiscard]] bool tracksTransid() const {
         return req.has(Attr::Transid) && resp.has(Attr::Transid);

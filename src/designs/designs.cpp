@@ -39,20 +39,38 @@ const DesignInfo& design(const std::string& name) {
     throw std::out_of_range("unknown design '" + name + "'");
 }
 
-std::vector<std::string> rtlSources(const DesignInfo& info) {
-    std::vector<std::string> sources{info.rtl};
+namespace {
+
+/// The design plus its transitive dependencies, depth-first — the single
+/// traversal both rtlSources() and rtlSourceNames() project from, so the
+/// source/name pairing that feeds diagnostics can never drift.
+std::vector<const DesignInfo*> collectWithDeps(const DesignInfo& info) {
+    std::vector<const DesignInfo*> out{&info};
     std::unordered_set<std::string> seen{info.name};
-    // Transitive dependency collection (depth-first).
     std::vector<std::string> worklist(info.deps.begin(), info.deps.end());
     while (!worklist.empty()) {
         std::string name = worklist.back();
         worklist.pop_back();
         if (!seen.insert(name).second) continue;
         const DesignInfo& dep = design(name);
-        sources.push_back(dep.rtl);
+        out.push_back(&dep);
         for (const auto& sub : dep.deps) worklist.push_back(sub);
     }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string> rtlSources(const DesignInfo& info) {
+    std::vector<std::string> sources;
+    for (const DesignInfo* d : collectWithDeps(info)) sources.push_back(d->rtl);
     return sources;
+}
+
+std::vector<std::string> rtlSourceNames(const DesignInfo& info) {
+    std::vector<std::string> names;
+    for (const DesignInfo* d : collectWithDeps(info)) names.push_back(d->name + ".sv");
+    return names;
 }
 
 } // namespace autosva::designs

@@ -30,6 +30,10 @@ struct DesignInfo {
 /// (transitive) dependencies.
 [[nodiscard]] std::vector<std::string> rtlSources(const DesignInfo& info);
 
+/// Logical file names parallel to rtlSources() ("<module>.sv"), used as
+/// diagnostic buffer names so errors cite the design instead of "source<i>".
+[[nodiscard]] std::vector<std::string> rtlSourceNames(const DesignInfo& info);
+
 // Individual sources (defined in the per-module .cpp files).
 extern const char* const kArianePtwRtl;
 extern const char* const kArianeTlbRtl;

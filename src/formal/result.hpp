@@ -41,6 +41,11 @@ struct PropertyResult {
     double seconds = 0.0;
     bool cached = false; ///< Served from the proof cache (no SAT work).
     CexTrace trace;      ///< Valid when Failed or Covered.
+    /// Provenance: the designer annotation (file:line) the property was
+    /// generated from, threaded from GeneratedProperty::sourceLoc through
+    /// the elaborated obligation. Never part of canonical() — cache
+    /// artifacts predating this field would otherwise mismatch.
+    util::SourceLoc loc;
 
     [[nodiscard]] bool isFailure() const { return status == Status::Failed; }
 };

@@ -349,6 +349,7 @@ std::vector<PropertyResult> ObligationScheduler::run() {
         job.index = i;
         job.result.name = ob.name;
         job.result.kind = ob.kind;
+        job.result.loc = ob.loc;
         switch (ob.kind) {
         case ir::Obligation::Kind::SafetyBad:
             if (ob.xprop) {

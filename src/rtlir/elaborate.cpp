@@ -182,6 +182,8 @@ struct Elaborator::Impl {
                 break;
             case vl::ModuleItem::Kind::GenFor:
                 throw FrontendError({}, "generate blocks are not supported");
+            case vl::ModuleItem::Kind::Comment:
+                break; // Projection-only; no semantics.
             }
         }
 
@@ -1102,17 +1104,34 @@ std::unique_ptr<Design> Elaborator::elaborate(const std::string& topName,
     return impl.run(topName, opts);
 }
 
+std::unique_ptr<Design> elaborateFiles(const std::vector<const verilog::SourceFile*>& files,
+                                       const std::string& topName, util::DiagEngine& diags,
+                                       const ElabOptions& opts) {
+    Elaborator elab(files, diags);
+    return elab.elaborate(topName, opts);
+}
+
 std::unique_ptr<Design> elaborateSources(const std::vector<std::string>& sourceTexts,
+                                         const std::vector<std::string>& sourceNames,
                                          const std::string& topName, util::DiagEngine& diags,
                                          const ElabOptions& opts) {
     std::vector<vl::SourceFile> files;
     files.reserve(sourceTexts.size());
-    for (size_t i = 0; i < sourceTexts.size(); ++i)
-        files.push_back(vl::Parser::parseSource(sourceTexts[i], "source" + std::to_string(i)));
+    for (size_t i = 0; i < sourceTexts.size(); ++i) {
+        std::string name = i < sourceNames.size() && !sourceNames[i].empty()
+                               ? sourceNames[i]
+                               : "source" + std::to_string(i);
+        files.push_back(vl::Parser::parseSource(sourceTexts[i], std::move(name)));
+    }
     std::vector<const vl::SourceFile*> filePtrs;
     for (const auto& f : files) filePtrs.push_back(&f);
-    Elaborator elab(filePtrs, diags);
-    return elab.elaborate(topName, opts);
+    return elaborateFiles(filePtrs, topName, diags, opts);
+}
+
+std::unique_ptr<Design> elaborateSources(const std::vector<std::string>& sourceTexts,
+                                         const std::string& topName, util::DiagEngine& diags,
+                                         const ElabOptions& opts) {
+    return elaborateSources(sourceTexts, {}, topName, diags, opts);
 }
 
 } // namespace autosva::ir

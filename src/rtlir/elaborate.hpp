@@ -1,5 +1,13 @@
 // Elaboration: SystemVerilog AST -> flat word-level Design.
 //
+// Entry points:
+//  - elaborateFiles()   consumes already-parsed (or generator-built)
+//    verilog::SourceFile ASTs directly. This is the verification path:
+//    core::elaborateWithFT hands the generated property-module AST here,
+//    so generated text is never re-lexed/re-parsed.
+//  - elaborateSources() lexes+parses text buffers first; the overload with
+//    `sourceNames` threads real file paths into every diagnostic.
+//
 // Responsibilities:
 //  - parameter evaluation and overriding
 //  - hierarchical flattening (instances get `inst.` name prefixes)
@@ -49,7 +57,19 @@ private:
     util::DiagEngine& diags_;
 };
 
+/// Elaborates already-parsed (or generator-built) ASTs directly — the
+/// zero-reparse entry the generation pipeline uses to hand its property
+/// module AST straight to elaboration.
+[[nodiscard]] std::unique_ptr<Design> elaborateFiles(
+    const std::vector<const verilog::SourceFile*>& files, const std::string& topName,
+    util::DiagEngine& diags, const ElabOptions& opts = {});
+
 /// Convenience wrapper: parse sources and elaborate in one call.
+/// `sourceNames` supplies diagnostic buffer names parallel to
+/// `sourceTexts`; missing or empty entries fall back to "source<i>".
+[[nodiscard]] std::unique_ptr<Design> elaborateSources(
+    const std::vector<std::string>& sourceTexts, const std::vector<std::string>& sourceNames,
+    const std::string& topName, util::DiagEngine& diags, const ElabOptions& opts = {});
 [[nodiscard]] std::unique_ptr<Design> elaborateSources(
     const std::vector<std::string>& sourceTexts, const std::string& topName,
     util::DiagEngine& diags, const ElabOptions& opts = {});

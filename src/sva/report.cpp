@@ -148,6 +148,14 @@ std::string VerificationReport::str() const {
         out += "Proof cache: " + std::to_string(engineStats.cacheHits) + "/" +
                std::to_string(engineStats.cacheLookups) + " hits, " +
                std::to_string(engineStats.cacheSeededLemmas) + " lemmas seeded\n";
+    // Provenance: point every failing property back at the designer
+    // annotation it was generated from (the democratization promise — a
+    // CEX names the line the designer wrote, not just a generated label).
+    for (const auto& r : results) {
+        if (r.status != Status::Failed || !r.loc.valid()) continue;
+        out += "Failed " + r.name + " <- annotation at " + r.loc.file + ":" +
+               std::to_string(r.loc.line) + "\n";
+    }
     return out + "Outcome: " + outcomeSummary() + "\n";
 }
 

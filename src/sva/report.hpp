@@ -39,6 +39,18 @@ private:
     size_t published_ = 0;
 };
 
+/// Frontend-side counters of a verification run. The typed-AST property
+/// pipeline hands the generated property module to the elaborator as AST,
+/// so `generatedTextReparses` is 0 on every `autosva run`/`run-design`
+/// path (the CLI --stats line and bench_generation_speed gate it); the
+/// fallback of re-parsing printed text only exists for hand-built
+/// testbenches without an AST.
+struct FrontendStats {
+    uint64_t sourcesParsed = 0;         ///< RTL buffers lexed + parsed this run.
+    uint64_t generatedTextReparses = 0; ///< Generated property text re-parsed (0 on AST path).
+    uint64_t generatedAstReused = 0;    ///< Property-module ASTs elaborated directly.
+};
+
 /// Summary of one formal-testbench run on a DUT.
 struct VerificationReport {
     std::string dutName;
@@ -49,6 +61,8 @@ struct VerificationReport {
     /// --stats and --cache-stats source. Never part of canonical():
     /// counters legitimately vary with jobs, cache state, and solver reuse.
     formal::EngineStats engineStats;
+    /// Frontend parse counters of the run (also excluded from canonical()).
+    FrontendStats frontend;
 
     // -- Aggregates --------------------------------------------------------
     [[nodiscard]] size_t count(formal::Status status) const;

@@ -17,6 +17,45 @@ ExprPtr makeIdent(std::string name, util::SourceLoc loc) {
     return e;
 }
 
+ExprPtr makeUnary(UnaryOp op, ExprPtr operand) {
+    auto e = std::make_unique<Expr>(Expr::Kind::Unary);
+    e->loc = operand->loc;
+    e->unaryOp = op;
+    e->operands.push_back(std::move(operand));
+    return e;
+}
+
+ExprPtr makeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>(Expr::Kind::Binary);
+    e->loc = lhs->loc;
+    e->binaryOp = op;
+    e->operands.push_back(std::move(lhs));
+    e->operands.push_back(std::move(rhs));
+    return e;
+}
+
+ExprPtr makeCall(std::string name, std::vector<ExprPtr> args) {
+    auto e = std::make_unique<Expr>(Expr::Kind::Call);
+    e->name = std::move(name);
+    e->operands = std::move(args);
+    return e;
+}
+
+ExprPtr makeConcat(std::vector<ExprPtr> elems) {
+    auto e = std::make_unique<Expr>(Expr::Kind::Concat);
+    e->operands = std::move(elems);
+    return e;
+}
+
+ExprPtr makeTernary(ExprPtr cond, ExprPtr thenE, ExprPtr elseE) {
+    auto e = std::make_unique<Expr>(Expr::Kind::Ternary);
+    e->loc = cond->loc;
+    e->operands.push_back(std::move(cond));
+    e->operands.push_back(std::move(thenE));
+    e->operands.push_back(std::move(elseE));
+    return e;
+}
+
 ExprPtr cloneExpr(const Expr& e) {
     auto out = std::make_unique<Expr>(e.kind);
     out->loc = e.loc;
@@ -27,6 +66,8 @@ ExprPtr cloneExpr(const Expr& e) {
     out->name = e.name;
     out->unaryOp = e.unaryOp;
     out->binaryOp = e.binaryOp;
+    out->parenthesized = e.parenthesized;
+    out->origText = e.origText;
     out->operands.reserve(e.operands.size());
     for (const auto& op : e.operands) out->operands.push_back(cloneExpr(*op));
     return out;
@@ -120,5 +161,114 @@ std::string exprToString(const Expr& e) {
     }
     return "?";
 }
+
+namespace {
+
+constexpr int kPrecTernary = 0;
+constexpr int kPrecUnary = 11;
+constexpr int kPrecPrimary = 12;
+
+int binaryOpPrec(BinaryOp op) {
+    switch (op) {
+    case BinaryOp::LogicOr: return 1;
+    case BinaryOp::LogicAnd: return 2;
+    case BinaryOp::Or: return 3;
+    case BinaryOp::Xor:
+    case BinaryOp::Xnor: return 4;
+    case BinaryOp::And: return 5;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: return 6;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge: return 7;
+    case BinaryOp::Shl:
+    case BinaryOp::Shr: return 8;
+    case BinaryOp::Add:
+    case BinaryOp::Sub: return 9;
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod: return 10;
+    }
+    return kPrecPrimary;
+}
+
+int exprPrec(const Expr& e) {
+    switch (e.kind) {
+    case Expr::Kind::Ternary: return kPrecTernary;
+    case Expr::Kind::Binary: return binaryOpPrec(e.binaryOp);
+    case Expr::Kind::Unary: return kPrecUnary;
+    default: return kPrecPrimary;
+    }
+}
+
+/// Renders `e` for a context that requires precedence >= minPrec,
+/// parenthesizing when the context demands it or the node asks for it.
+std::string printExprPrec(const Expr& e, int minPrec) {
+    std::string inner;
+    if (!e.origText.empty()) {
+        inner = e.origText;
+    } else {
+        switch (e.kind) {
+        case Expr::Kind::Number:
+        case Expr::Kind::Ident:
+            inner = exprToString(e);
+            break;
+        case Expr::Kind::Unary:
+            inner = std::string(unaryOpText(e.unaryOp)) + printExprPrec(*e.operands[0], kPrecUnary);
+            break;
+        case Expr::Kind::Binary: {
+            int prec = binaryOpPrec(e.binaryOp);
+            // Left-associative: the left child may sit at the same level,
+            // the right child must bind tighter.
+            inner = printExprPrec(*e.operands[0], prec) + " " + binaryOpText(e.binaryOp) + " " +
+                    printExprPrec(*e.operands[1], prec + 1);
+            break;
+        }
+        case Expr::Kind::Ternary:
+            inner = printExprPrec(*e.operands[0], kPrecTernary + 1) + " ? " +
+                    printExprPrec(*e.operands[1], kPrecTernary) + " : " +
+                    printExprPrec(*e.operands[2], kPrecTernary);
+            break;
+        case Expr::Kind::Index:
+            inner = printExprPrec(*e.operands[0], kPrecPrimary) + "[" +
+                    printExprPrec(*e.operands[1], kPrecTernary) + "]";
+            break;
+        case Expr::Kind::Range:
+            inner = printExprPrec(*e.operands[0], kPrecPrimary) + "[" +
+                    printExprPrec(*e.operands[1], kPrecTernary) + ":" +
+                    printExprPrec(*e.operands[2], kPrecTernary) + "]";
+            break;
+        case Expr::Kind::Concat: {
+            inner = "{";
+            for (size_t i = 0; i < e.operands.size(); ++i) {
+                if (i) inner += ", ";
+                inner += printExprPrec(*e.operands[i], kPrecTernary);
+            }
+            inner += "}";
+            break;
+        }
+        case Expr::Kind::Replicate:
+            inner = "{" + printExprPrec(*e.operands[0], kPrecPrimary) + "{" +
+                    printExprPrec(*e.operands[1], kPrecTernary) + "}}";
+            break;
+        case Expr::Kind::Call: {
+            inner = e.name + "(";
+            for (size_t i = 0; i < e.operands.size(); ++i) {
+                if (i) inner += ", ";
+                inner += printExprPrec(*e.operands[i], kPrecTernary);
+            }
+            inner += ")";
+            break;
+        }
+        }
+    }
+    if (e.parenthesized || exprPrec(e) < minPrec) return "(" + inner + ")";
+    return inner;
+}
+
+} // namespace
+
+std::string printExpr(const Expr& e) { return printExprPrec(e, kPrecTernary); }
 
 } // namespace autosva::verilog

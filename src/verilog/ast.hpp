@@ -54,6 +54,16 @@ struct Expr {
     // Children: operands / concat elements / call arguments.
     std::vector<std::unique_ptr<Expr>> operands;
 
+    // Source fidelity (projection only; semantics always come from the
+    // structure above — the elaborator never reads these).
+    /// The expression was explicitly parenthesized in the source, or a
+    /// generator wants parentheses in the printed projection.
+    bool parenthesized = false;
+    /// Verbatim source spelling. When set, printExpr() emits it instead of
+    /// the structural rendering, so user-written fragments (annotation
+    /// expressions, width texts) survive the AST round-trip byte-for-byte.
+    std::string origText;
+
     explicit Expr(Kind k) : kind(k) {}
 
     [[nodiscard]] bool isKind(Kind k) const { return kind == k; }
@@ -63,11 +73,23 @@ using ExprPtr = std::unique_ptr<Expr>;
 
 [[nodiscard]] ExprPtr makeNumber(uint64_t value, int width, util::SourceLoc loc = {});
 [[nodiscard]] ExprPtr makeIdent(std::string name, util::SourceLoc loc = {});
+[[nodiscard]] ExprPtr makeUnary(UnaryOp op, ExprPtr operand);
+[[nodiscard]] ExprPtr makeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr makeCall(std::string name, std::vector<ExprPtr> args);
+[[nodiscard]] ExprPtr makeConcat(std::vector<ExprPtr> elems);
+[[nodiscard]] ExprPtr makeTernary(ExprPtr cond, ExprPtr thenE, ExprPtr elseE);
 [[nodiscard]] ExprPtr cloneExpr(const Expr& e);
 
-/// Renders an expression back to (normalized) Verilog text — used by the
-/// property generator and tests.
+/// Renders an expression back to fully-parenthesized normalized Verilog
+/// text — used by the interface scanner and tests. Ignores source-fidelity
+/// fields.
 [[nodiscard]] std::string exprToString(const Expr& e);
+
+/// Source-faithful rendering: emits `origText` verbatim when present and
+/// otherwise a minimally-parenthesized structural rendering (parentheses
+/// appear where precedence demands or where `parenthesized` is set). This
+/// is the projection the printer uses for generated artifacts.
+[[nodiscard]] std::string printExpr(const Expr& e);
 
 // ---------------------------------------------------------------------------
 // Statements (procedural)
@@ -214,6 +236,15 @@ struct AssertionItem {
     util::SourceLoc loc;
 };
 
+/// A standalone comment line inside a module body (empty text = blank
+/// line). Carried through the AST so generated modules print with their
+/// section headers intact; the lexer drops comments, so parsed files never
+/// contain these.
+struct CommentItem {
+    std::string text; ///< Without the leading `// `; empty = blank line.
+    util::SourceLoc loc;
+};
+
 struct Module;
 
 struct GenerateFor {
@@ -225,7 +256,7 @@ struct GenerateFor {
 };
 
 struct ModuleItem {
-    enum class Kind { Param, Net, ContAssign, Always, Instance, Assertion, GenFor };
+    enum class Kind { Param, Net, ContAssign, Always, Instance, Assertion, GenFor, Comment };
     Kind kind;
 
     std::unique_ptr<ParamDecl> param;
@@ -235,6 +266,7 @@ struct ModuleItem {
     std::unique_ptr<Instance> instance;
     std::unique_ptr<AssertionItem> assertion;
     std::unique_ptr<GenerateFor> genFor;
+    std::unique_ptr<CommentItem> comment;
 
     explicit ModuleItem(Kind k) : kind(k) {}
 };
@@ -247,6 +279,12 @@ struct Module {
     // Module-level SVA defaults.
     std::optional<std::string> defaultClock;
     ExprPtr defaultDisable;
+    /// Item index the `default clocking` / `default disable` declarations
+    /// print before (they are fields, not items, because the elaborator
+    /// consults them globally). -1 = directly after the module header.
+    int svaDefaultsPos = -1;
+    /// File-level `// ...` comment lines printed before `module`.
+    std::vector<std::string> headerComments;
     util::SourceLoc loc;
 };
 
@@ -256,6 +294,8 @@ struct BindDirective {
     std::string instName;
     std::vector<NamedConnection> portAssigns;
     bool wildcardPorts = false;
+    /// `// ...` comment lines printed before the directive.
+    std::vector<std::string> headerComments;
     util::SourceLoc loc;
 };
 

@@ -1,5 +1,7 @@
 #include "verilog/parser.hpp"
 
+#include <atomic>
+
 #include "util/diagnostics.hpp"
 #include "verilog/lexer.hpp"
 
@@ -7,9 +9,16 @@ namespace autosva::verilog {
 
 using util::FrontendError;
 
+namespace {
+std::atomic<uint64_t> g_sourceParses{0};
+} // namespace
+
 Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
+uint64_t Parser::sourceParseCount() { return g_sourceParses.load(std::memory_order_relaxed); }
+
 SourceFile Parser::parseSource(std::string_view text, std::string bufferName) {
+    g_sourceParses.fetch_add(1, std::memory_order_relaxed);
     Lexer lexer(text, std::move(bufferName));
     Parser parser(lexer.lexAll());
     return parser.parseFile();
@@ -20,6 +29,10 @@ ExprPtr Parser::parseExpression(std::string_view text, std::string bufferName) {
     Parser parser(lexer.lexAll());
     ExprPtr e = parser.parseExpr();
     if (!parser.at(TokenKind::EndOfFile)) parser.error("trailing tokens after expression");
+    e->origText = std::string(text);
+    // The verbatim spelling already contains any outer parentheses; the
+    // parenthesized flag would double-wrap it in printExpr.
+    e->parenthesized = false;
     return e;
 }
 
@@ -203,6 +216,7 @@ void Parser::parseModuleItems(Module& mod) {
         case TokenKind::KwDefault:
             // `default clocking ...` or `default disable iff (...)`.
             consume();
+            if (mod.svaDefaultsPos < 0) mod.svaDefaultsPos = static_cast<int>(mod.items.size());
             if (at(TokenKind::KwClocking)) {
                 parseDefaultClocking(mod);
             } else if (at(TokenKind::KwDisable)) {
@@ -759,6 +773,7 @@ ExprPtr Parser::parsePrimary() {
         consume();
         ExprPtr inner = parseExpr();
         expect(TokenKind::RParen, "')' closing parenthesized expression");
+        inner->parenthesized = true; // Preserved by the source-faithful printer.
         return inner;
     }
     case TokenKind::LBrace: {

@@ -22,8 +22,16 @@ public:
     [[nodiscard]] static SourceFile parseSource(std::string_view text, std::string bufferName);
 
     /// Parses a standalone expression (used by the AutoSVA annotation parser
-    /// for the right-hand sides of attribute definitions).
+    /// for the right-hand sides of attribute definitions). The root node
+    /// records `text` as its verbatim source spelling (Expr::origText), so
+    /// printExpr() reproduces the designer's fragment byte-for-byte.
     [[nodiscard]] static ExprPtr parseExpression(std::string_view text, std::string bufferName);
+
+    /// Process-wide count of parseSource() invocations. The generation
+    /// pipeline uses the delta across a verification run to prove that
+    /// generated property text is never re-lexed/re-parsed (the AST is
+    /// handed to the elaborator directly).
+    [[nodiscard]] static uint64_t sourceParseCount();
 
 private:
     // Token stream helpers.

@@ -8,7 +8,7 @@ std::string pad(int indent) { return std::string(static_cast<size_t>(indent), ' 
 
 std::string printRange(const std::optional<Range>& range) {
     if (!range) return "";
-    return "[" + exprToString(*range->msb) + ":" + exprToString(*range->lsb) + "] ";
+    return "[" + printExpr(*range->msb) + ":" + printExpr(*range->lsb) + "] ";
 }
 
 const char* netKindName(NetKind kind) {
@@ -29,14 +29,53 @@ const char* dirName(PortDir dir) {
     return "input";
 }
 
+std::string printBlockBody(const Stmt& block, int indent) {
+    std::string out;
+    for (const auto& s : block.stmts) out += printStmt(*s, indent + 2);
+    return out;
+}
+
+/// `if`/`else if` chains in K&R style: `begin` stays on the condition line
+/// and `end else if (...)` collapses onto one line, matching hand-written
+/// RTL and the generated tracking counters.
+std::string printIfChain(const Stmt& stmt, int indent) {
+    std::string out = pad(indent) + "if (" + printExpr(*stmt.cond) + ")";
+    const Stmt* cur = &stmt;
+    for (;;) {
+        bool blockThen = cur->thenStmt && cur->thenStmt->kind == Stmt::Kind::Block;
+        if (blockThen) {
+            out += " begin\n" + printBlockBody(*cur->thenStmt, indent) + pad(indent) + "end";
+        } else {
+            out += "\n";
+            out += cur->thenStmt ? printStmt(*cur->thenStmt, indent + 2) : pad(indent + 2) + ";\n";
+        }
+        if (!cur->elseStmt) {
+            if (blockThen) out += "\n";
+            return out;
+        }
+        out += blockThen ? " else" : pad(indent) + "else";
+        if (cur->elseStmt->kind == Stmt::Kind::If) {
+            out += " if (" + printExpr(*cur->elseStmt->cond) + ")";
+            cur = cur->elseStmt.get();
+            continue;
+        }
+        if (cur->elseStmt->kind == Stmt::Kind::Block) {
+            out += " begin\n" + printBlockBody(*cur->elseStmt, indent) + pad(indent) + "end\n";
+        } else {
+            out += "\n" + printStmt(*cur->elseStmt, indent + 2);
+        }
+        return out;
+    }
+}
+
 } // namespace
 
 std::string printPropExpr(const PropExpr& prop) {
     switch (prop.kind) {
     case PropExpr::Kind::Boolean:
-        return exprToString(*prop.boolean);
+        return printExpr(*prop.boolean);
     case PropExpr::Kind::Implication:
-        return exprToString(*prop.boolean) + (prop.overlapping ? " |-> " : " |=> ") +
+        return printExpr(*prop.boolean) + (prop.overlapping ? " |-> " : " |=> ") +
                printPropExpr(*prop.rhsProp);
     case PropExpr::Kind::Eventually:
         return "s_eventually (" + printPropExpr(*prop.rhsProp) + ")";
@@ -52,27 +91,16 @@ std::string printStmt(const Stmt& stmt, int indent) {
     switch (stmt.kind) {
     case Stmt::Kind::Null:
         return pad(indent) + ";\n";
-    case Stmt::Kind::Block: {
-        std::string out = pad(indent) + "begin\n";
-        for (const auto& s : stmt.stmts) out += printStmt(*s, indent + 2);
-        out += pad(indent) + "end\n";
-        return out;
-    }
+    case Stmt::Kind::Block:
+        return pad(indent) + "begin\n" + printBlockBody(stmt, indent) + pad(indent) + "end\n";
     case Stmt::Kind::Assign:
-        return pad(indent) + exprToString(*stmt.lhs) + (stmt.nonBlocking ? " <= " : " = ") +
-               exprToString(*stmt.rhs) + ";\n";
-    case Stmt::Kind::If: {
-        std::string out = pad(indent) + "if (" + exprToString(*stmt.cond) + ")\n";
-        out += stmt.thenStmt ? printStmt(*stmt.thenStmt, indent + 2) : pad(indent + 2) + ";\n";
-        if (stmt.elseStmt) {
-            out += pad(indent) + "else\n";
-            out += printStmt(*stmt.elseStmt, indent + 2);
-        }
-        return out;
-    }
+        return pad(indent) + printExpr(*stmt.lhs) + (stmt.nonBlocking ? " <= " : " = ") +
+               printExpr(*stmt.rhs) + ";\n";
+    case Stmt::Kind::If:
+        return printIfChain(stmt, indent);
     case Stmt::Kind::Case: {
         std::string out = pad(indent) + (stmt.isCasez ? "casez (" : "case (") +
-                          exprToString(*stmt.subject) + ")\n";
+                          printExpr(*stmt.subject) + ")\n";
         for (const auto& item : stmt.caseItems) {
             if (item.labels.empty()) {
                 out += pad(indent + 2) + "default:\n";
@@ -80,7 +108,7 @@ std::string printStmt(const Stmt& stmt, int indent) {
                 std::string labels;
                 for (size_t i = 0; i < item.labels.size(); ++i) {
                     if (i) labels += ", ";
-                    labels += exprToString(*item.labels[i]);
+                    labels += printExpr(*item.labels[i]);
                 }
                 out += pad(indent + 2) + labels + ":\n";
             }
@@ -94,12 +122,14 @@ std::string printStmt(const Stmt& stmt, int indent) {
 }
 
 std::string printModule(const Module& mod) {
-    std::string out = "module " + mod.name;
+    std::string out;
+    for (const auto& c : mod.headerComments) out += "// " + c + "\n";
+    out += "module " + mod.name;
     if (!mod.params.empty()) {
-        out += " #(\n";
+        out += "\n#(\n";
         for (size_t i = 0; i < mod.params.size(); ++i) {
             out += "  parameter " + printRange(mod.params[i].packed) + mod.params[i].name +
-                   " = " + exprToString(*mod.params[i].value);
+                   " = " + printExpr(*mod.params[i].value);
             out += i + 1 < mod.params.size() ? ",\n" : "\n";
         }
         out += ")";
@@ -116,44 +146,61 @@ std::string printModule(const Module& mod) {
     }
     out += ";\n";
 
-    if (mod.defaultClock)
-        out += "  default clocking cb @(posedge " + *mod.defaultClock + "); endclocking\n";
-    if (mod.defaultDisable)
-        out += "  default disable iff (" + exprToString(*mod.defaultDisable) + ");\n";
+    bool hasDefaults = mod.defaultClock.has_value() || mod.defaultDisable != nullptr;
+    auto printDefaults = [&mod] {
+        std::string d;
+        if (mod.defaultClock)
+            d += "  default clocking cb @(posedge " + *mod.defaultClock + "); endclocking\n";
+        if (mod.defaultDisable)
+            d += "  default disable iff (" + printExpr(*mod.defaultDisable) + ");\n";
+        return d;
+    };
+    if (hasDefaults && mod.svaDefaultsPos < 0) out += printDefaults();
 
-    for (const auto& item : mod.items) {
+    for (size_t idx = 0; idx < mod.items.size(); ++idx) {
+        if (hasDefaults && mod.svaDefaultsPos == static_cast<int>(idx)) out += printDefaults();
+        const ModuleItem& item = mod.items[idx];
         switch (item.kind) {
+        case ModuleItem::Kind::Comment:
+            out += item.comment->text.empty() ? "\n" : "  // " + item.comment->text + "\n";
+            break;
         case ModuleItem::Kind::Param:
             out += std::string("  ") + (item.param->isLocal ? "localparam " : "parameter ") +
-                   item.param->name + " = " + exprToString(*item.param->value) + ";\n";
+                   item.param->name + " = " + printExpr(*item.param->value) + ";\n";
             break;
         case ModuleItem::Kind::Net: {
             const NetDecl& n = *item.net;
             out += std::string("  ") + netKindName(n.kind) + " " + printRange(n.packed) + n.name;
             if (n.unpacked)
-                out += " [" + exprToString(*n.unpacked->msb) + ":" +
-                       exprToString(*n.unpacked->lsb) + "]";
-            if (n.init) out += " = " + exprToString(*n.init);
+                out += " [" + printExpr(*n.unpacked->msb) + ":" + printExpr(*n.unpacked->lsb) +
+                       "]";
+            if (n.init) out += " = " + printExpr(*n.init);
             out += ";\n";
             break;
         }
         case ModuleItem::Kind::ContAssign:
-            out += "  assign " + exprToString(*item.contAssign->lhs) + " = " +
-                   exprToString(*item.contAssign->rhs) + ";\n";
+            out += "  assign " + printExpr(*item.contAssign->lhs) + " = " +
+                   printExpr(*item.contAssign->rhs) + ";\n";
             break;
         case ModuleItem::Kind::Always: {
             const AlwaysBlock& blk = *item.always;
+            std::string header = "  ";
             if (blk.kind == AlwaysBlock::Kind::Comb) {
-                out += "  always_comb\n";
+                header += "always_comb";
             } else {
-                out += "  always_ff @(" + std::string(blk.clockPosedge ? "posedge " : "negedge ") +
-                       blk.clockSignal;
+                header += "always_ff @(" + std::string(blk.clockPosedge ? "posedge " : "negedge ") +
+                          blk.clockSignal;
                 if (blk.asyncResetSignal)
-                    out += std::string(" or ") + (blk.asyncResetNegedge ? "negedge " : "posedge ") +
-                           *blk.asyncResetSignal;
-                out += ")\n";
+                    header += std::string(" or ") +
+                              (blk.asyncResetNegedge ? "negedge " : "posedge ") +
+                              *blk.asyncResetSignal;
+                header += ")";
             }
-            out += printStmt(*blk.body, 2);
+            if (blk.body && blk.body->kind == Stmt::Kind::Block) {
+                out += header + " begin\n" + printBlockBody(*blk.body, 2) + "  end\n";
+            } else {
+                out += header + "\n" + printStmt(*blk.body, 4);
+            }
             break;
         }
         case ModuleItem::Kind::Instance: {
@@ -165,9 +212,9 @@ std::string printModule(const Module& mod) {
                     if (i) out += ", ";
                     const auto& pa = inst.paramAssigns[i];
                     if (!pa.name.empty())
-                        out += "." + pa.name + "(" + (pa.expr ? exprToString(*pa.expr) : "") + ")";
+                        out += "." + pa.name + "(" + (pa.expr ? printExpr(*pa.expr) : "") + ")";
                     else if (pa.expr)
-                        out += exprToString(*pa.expr);
+                        out += printExpr(*pa.expr);
                 }
                 out += ")";
             }
@@ -176,9 +223,9 @@ std::string printModule(const Module& mod) {
                 if (i) out += ", ";
                 const auto& pa = inst.portAssigns[i];
                 if (!pa.name.empty())
-                    out += "." + pa.name + "(" + (pa.expr ? exprToString(*pa.expr) : "") + ")";
+                    out += "." + pa.name + "(" + (pa.expr ? printExpr(*pa.expr) : "") + ")";
                 else if (pa.expr)
-                    out += exprToString(*pa.expr);
+                    out += printExpr(*pa.expr);
             }
             if (inst.wildcardPorts) out += inst.portAssigns.empty() ? ".*" : ", .*";
             out += ");\n";
@@ -196,7 +243,7 @@ std::string printModule(const Module& mod) {
             }
             out += " property (";
             if (a.clockSignal) out += "@(posedge " + *a.clockSignal + ") ";
-            if (a.disableExpr) out += "disable iff (" + exprToString(*a.disableExpr) + ") ";
+            if (a.disableExpr) out += "disable iff (" + printExpr(*a.disableExpr) + ") ";
             out += printPropExpr(*a.prop) + ");\n";
             break;
         }
@@ -204,7 +251,24 @@ std::string printModule(const Module& mod) {
             break; // Not supported by the frontend subset.
         }
     }
+    if (hasDefaults && mod.svaDefaultsPos >= static_cast<int>(mod.items.size())) {
+        out += printDefaults();
+    }
     out += "endmodule\n";
+    return out;
+}
+
+std::string printBind(const BindDirective& bind) {
+    std::string out;
+    for (const auto& c : bind.headerComments) out += "// " + c + "\n";
+    out += "bind " + bind.targetModule + " " + bind.boundModule + " " + bind.instName + " (";
+    for (size_t i = 0; i < bind.portAssigns.size(); ++i) {
+        if (i) out += ", ";
+        out += "." + bind.portAssigns[i].name + "(" +
+               (bind.portAssigns[i].expr ? printExpr(*bind.portAssigns[i].expr) : "") + ")";
+    }
+    if (bind.wildcardPorts) out += bind.portAssigns.empty() ? ".*" : ", .*";
+    out += ");\n";
     return out;
 }
 
@@ -214,17 +278,7 @@ std::string printSourceFile(const SourceFile& file) {
         out += printModule(*mod);
         out += "\n";
     }
-    for (const auto& bind : file.binds) {
-        out += "bind " + bind.targetModule + " " + bind.boundModule + " " + bind.instName + " (";
-        for (size_t i = 0; i < bind.portAssigns.size(); ++i) {
-            if (i) out += ", ";
-            out += "." + bind.portAssigns[i].name + "(" +
-                   (bind.portAssigns[i].expr ? exprToString(*bind.portAssigns[i].expr) : "") +
-                   ")";
-        }
-        if (bind.wildcardPorts) out += bind.portAssigns.empty() ? ".*" : ", .*";
-        out += ");\n";
-    }
+    for (const auto& bind : file.binds) out += printBind(bind);
     return out;
 }
 

@@ -1,5 +1,8 @@
-// AST -> normalized SystemVerilog text. Used for golden tests (round-trip
-// parse -> print -> parse) and for dumping elaborately-generated modules.
+// AST -> SystemVerilog text: the single renderer for every generated
+// artifact. The property generator builds `verilog::` AST and the `.sv`
+// property file / bind file are projections printed here (source-faithful
+// via Expr::origText / Expr::parenthesized — see printExpr); the same
+// functions serve the round-trip tests (parse -> print -> parse converges).
 #pragma once
 
 #include <string>
@@ -9,6 +12,7 @@
 namespace autosva::verilog {
 
 [[nodiscard]] std::string printModule(const Module& mod);
+[[nodiscard]] std::string printBind(const BindDirective& bind);
 [[nodiscard]] std::string printSourceFile(const SourceFile& file);
 [[nodiscard]] std::string printStmt(const Stmt& stmt, int indent);
 [[nodiscard]] std::string printPropExpr(const PropExpr& prop);

@@ -99,6 +99,60 @@ TEST(Integration, NocBufferDeadlockTraceReplays) {
 }
 
 // ---------------------------------------------------------------------------
+// CEX provenance: a failing property of a buggy design must cite the
+// designer annotation (file:line) it was generated from, end to end —
+// annotation -> GeneratedProperty -> AssertionItem -> Obligation ->
+// PropertyResult -> report text.
+// ---------------------------------------------------------------------------
+
+TEST(Integration, FailingPropertyCitesOriginAnnotation) {
+    // Line numbers matter: the transaction annotation sits on line 5.
+    const char* rtl =
+        "module buggy (\n"              // 1
+        "  input  wire clk_i,\n"        // 2
+        "  input  wire rst_ni,\n"       // 3
+        "  /*AUTOSVA\n"                 // 4
+        "  t: req -in> res\n"           // 5
+        "  */\n"                        // 6
+        "  input  wire req_val,\n"      // 7
+        "  output wire res_val\n"       // 8
+        ");\n"
+        "  assign res_val = 1'b0;\n"    // The bug: requests are never answered.
+        "endmodule\n";
+    util::DiagEngine diags;
+    core::AutoSvaOptions genOpts;
+    genOpts.sourcePath = "buggy.sv";
+    core::FormalTestbench ft = core::generateFT(rtl, genOpts, diags);
+
+    // The generated liveness property carries the annotation location.
+    bool sawProperty = false;
+    for (const auto& p : ft.properties) {
+        if (p.label != "as__t_eventual_response") continue;
+        sawProperty = true;
+        EXPECT_EQ(p.sourceLoc.file, "buggy.sv");
+        EXPECT_EQ(p.sourceLoc.line, 5u);
+    }
+    ASSERT_TRUE(sawProperty);
+
+    core::VerifyOptions vopts;
+    vopts.sourcePaths = {"buggy.sv"};
+    auto report = core::verify({rtl}, ft, vopts, diags);
+    const auto* live = report.find("as__t_eventual_response");
+    ASSERT_NE(live, nullptr);
+    ASSERT_EQ(live->status, formal::Status::Failed);
+    // The elaborated obligation kept the annotation loc...
+    EXPECT_EQ(live->loc.file, "buggy.sv");
+    EXPECT_EQ(live->loc.line, 5u);
+    // ...and the rendered report surfaces it next to the failure.
+    EXPECT_NE(report.str().find("buggy.sv:5"), std::string::npos) << report.str();
+    // The verification path consumed the generated AST directly: zero
+    // re-lex/re-parse of generated property text.
+    EXPECT_EQ(report.frontend.generatedTextReparses, 0u);
+    EXPECT_EQ(report.frontend.generatedAstReused, 1u);
+    EXPECT_EQ(report.frontend.sourcesParsed, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Random simulation of the fixed designs with the generated properties
 // bound: no safety violations may occur (liveness is not simulated).
 // ---------------------------------------------------------------------------

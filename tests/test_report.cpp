@@ -63,6 +63,31 @@ TEST(Report, FindMatchesSuffixAfterHierarchy) {
     EXPECT_EQ(report.find("as__y"), nullptr);
 }
 
+TEST(Report, FailureProvenanceCitesOriginAnnotation) {
+    sva::VerificationReport report;
+    report.dutName = "fifo";
+    PropertyResult ok = make("as__ok", Kind::SafetyBad, Status::Proven);
+    ok.loc = {"fifo.sv", 3, 1};
+    PropertyResult bad = make("as__bad", Kind::Justice, Status::Failed, 5);
+    bad.loc = {"fifo.sv", 12, 1};
+    report.results.push_back(std::move(ok));
+    report.results.push_back(std::move(bad));
+    std::string s = report.str();
+    // The failing property points back at the designer's annotation line.
+    EXPECT_NE(s.find("Failed as__bad <- annotation at fifo.sv:12"), std::string::npos) << s;
+    // Passing properties stay quiet.
+    EXPECT_EQ(s.find("fifo.sv:3"), std::string::npos) << s;
+    // Provenance never enters the canonical verdict serialization (cache
+    // artifacts and cross-run identity checks predate the field).
+    EXPECT_EQ(report.canonical().find("fifo.sv"), std::string::npos);
+}
+
+TEST(Report, FailureWithoutProvenanceRendersNoCitation) {
+    sva::VerificationReport report;
+    report.results.push_back(make("as__bad", Kind::SafetyBad, Status::Failed));
+    EXPECT_EQ(report.str().find("annotation at"), std::string::npos);
+}
+
 TEST(Report, TableRenderingContainsEveryProperty) {
     sva::VerificationReport report;
     report.dutName = "m";

@@ -168,10 +168,11 @@ Args parseArgs(int argc, char** argv, int start) {
     return args;
 }
 
-core::FormalTestbench generate(const std::string& rtl, const Args& args,
-                               util::DiagEngine& diags) {
+core::FormalTestbench generate(const std::string& rtl, const std::string& rtlPath,
+                               const Args& args, util::DiagEngine& diags) {
     core::AutoSvaOptions opts;
     opts.dutName = args.get("--dut", "");
+    opts.sourcePath = rtlPath;
     opts.assertInputs = args.has("--assert-inputs");
     opts.includeXprop = !args.has("--no-xprop");
     opts.maxOutstanding = static_cast<int>(args.getInt("--max-outstanding", 8));
@@ -182,7 +183,7 @@ int cmdGen(const Args& args) {
     if (args.positional.empty()) usage();
     std::string rtl = readFile(args.positional[0]);
     util::DiagEngine diags;
-    core::FormalTestbench ft = generate(rtl, args, diags);
+    core::FormalTestbench ft = generate(rtl, args.positional[0], args, diags);
     std::cerr << diags.str();
 
     fs::path outDir = args.get("-o", ft.dutName + "_ft");
@@ -199,10 +200,12 @@ int cmdGen(const Args& args) {
     return 0;
 }
 
-int runReport(const std::vector<std::string>& sources, const core::FormalTestbench& ft,
+int runReport(const std::vector<std::string>& sources,
+              const std::vector<std::string>& sourcePaths, const core::FormalTestbench& ft,
               const Args& args) {
     util::DiagEngine diags;
     core::VerifyOptions vopts;
+    vopts.sourcePaths = sourcePaths;
     vopts.engine.bmcDepth = static_cast<int>(args.getInt("--depth", 25, 1));
     vopts.engine.jobs = args.jobs();
     vopts.engine.useLivenessToSafety = !args.has("--no-liveness");
@@ -225,6 +228,12 @@ int runReport(const std::vector<std::string>& sources, const core::FormalTestben
                     static_cast<unsigned long long>(es.encoderClauses),
                     static_cast<unsigned long long>(es.conesMaterialized),
                     static_cast<unsigned long long>(es.solverReuses));
+        const sva::FrontendStats& fs = report.frontend;
+        std::printf("frontend: sources-parsed=%llu generated-reparses=%llu "
+                    "generated-ast-reused=%llu\n",
+                    static_cast<unsigned long long>(fs.sourcesParsed),
+                    static_cast<unsigned long long>(fs.generatedTextReparses),
+                    static_cast<unsigned long long>(fs.generatedAstReused));
     }
     if (args.has("--cache-stats")) {
         if (vopts.engine.cacheDir.empty()) {
@@ -263,17 +272,19 @@ int cmdRun(const Args& args) {
     std::vector<std::string> sources;
     for (const auto& path : args.positional) sources.push_back(readFile(path));
     util::DiagEngine diags;
-    core::FormalTestbench ft = generate(sources[0], args, diags);
+    core::FormalTestbench ft = generate(sources[0], args.positional[0], args, diags);
     std::cerr << diags.str();
-    return runReport(sources, ft, args);
+    return runReport(sources, args.positional, ft, args);
 }
 
 int cmdSim(const Args& args) {
     if (args.positional.empty()) usage();
     std::string rtl = readFile(args.positional[0]);
     util::DiagEngine diags;
-    core::FormalTestbench ft = generate(rtl, args, diags);
-    auto design = core::elaborateWithFT({rtl}, ft, {}, diags, /*tieReset=*/false);
+    core::FormalTestbench ft = generate(rtl, args.positional[0], args, diags);
+    core::VerifyOptions simOpts;
+    simOpts.sourcePaths = {args.positional[0]};
+    auto design = core::elaborateWithFT({rtl}, ft, simOpts, diags, /*tieReset=*/false);
 
     sim::Simulator simulator(*design, sim::Simulator::XMode::FourState);
     simulator.enableChecking(true);
@@ -312,13 +323,19 @@ int cmdRunDesign(const Args& args) {
     if (args.positional.empty()) usage();
     const auto& info = designs::design(args.positional[0]);
     util::DiagEngine diags;
-    core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+    core::AutoSvaOptions genOpts;
+    genOpts.sourcePath = info.name + ".sv";
+    core::FormalTestbench ft = core::generateFT(info.rtl, genOpts, diags);
     Args runArgs = args;
     if (info.hasBugParam)
         runArgs.params.emplace_back("BUG", static_cast<uint64_t>(args.getInt("--bug", 0)));
     std::vector<std::string> sources = designs::rtlSources(info);
-    if (!info.extensionSva.empty()) sources.push_back(info.extensionSva);
-    return runReport(sources, ft, runArgs);
+    std::vector<std::string> sourceNames = designs::rtlSourceNames(info);
+    if (!info.extensionSva.empty()) {
+        sources.push_back(info.extensionSva);
+        sourceNames.push_back(info.name + "_extension.sva");
+    }
+    return runReport(sources, sourceNames, ft, runArgs);
 }
 
 } // namespace
