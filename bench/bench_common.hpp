@@ -28,6 +28,12 @@ struct JsonRow {
     uint64_t sat_calls = 0;
     uint64_t conflicts = 0;
     size_t props = 0; ///< Properties involved (0 when not applicable).
+    // PDR observability (EngineStats pass-through; 0 when PDR never ran).
+    uint64_t pdr_frames = 0;       ///< Frame solvers constructed.
+    uint64_t pdr_cubes = 0;        ///< Generalized cubes blocked.
+    uint64_t pdr_gen_drops = 0;    ///< Literal-drop consecution probes.
+    uint64_t pdr_retries = 0;      ///< Budget-edge reordered retries.
+    uint64_t pdr_seeds = 0;        ///< Cache seed cubes admitted.
 };
 
 /// Strips `--json <path>` from argv (so positional-argument benches keep
@@ -79,7 +85,10 @@ inline void writeJson(const std::string& path, const std::string& benchName,
         out << (i ? ", " : "") << "{\"name\": \"" << jsonEscape(r.name)
             << "\", \"design\": \"" << jsonEscape(r.design) << "\", \"wall_s\": " << buf
             << ", \"sat_calls\": " << r.sat_calls << ", \"conflicts\": " << r.conflicts
-            << ", \"props\": " << r.props << "}";
+            << ", \"props\": " << r.props << ", \"pdr_frames\": " << r.pdr_frames
+            << ", \"pdr_cubes\": " << r.pdr_cubes << ", \"pdr_gen_drops\": " << r.pdr_gen_drops
+            << ", \"pdr_retries\": " << r.pdr_retries << ", \"pdr_seeds\": " << r.pdr_seeds
+            << "}";
     }
     out << "]}\n";
     if (!out.good()) {
@@ -89,6 +98,18 @@ inline void writeJson(const std::string& path, const std::string& benchName,
     std::cout << "wrote " << path << " (" << rows.size() << " rows)\n";
 }
 
+/// Fills a row's engine-derived fields (PDR counters included) from a set
+/// of engine stats.
+inline void fillEngineFields(JsonRow& row, const formal::EngineStats& stats) {
+    row.sat_calls = stats.satCalls;
+    row.conflicts = stats.conflicts;
+    row.pdr_frames = stats.pdrFramesOpened;
+    row.pdr_cubes = stats.pdrCubesBlocked;
+    row.pdr_gen_drops = stats.pdrGenDropAttempts;
+    row.pdr_retries = stats.pdrRetryFallbacks;
+    row.pdr_seeds = stats.pdrSeedCubesAdmitted;
+}
+
 /// Fills a row's engine-derived fields from a verification report.
 inline JsonRow reportRow(std::string name, std::string design,
                          const sva::VerificationReport& report, double wallSeconds) {
@@ -96,8 +117,7 @@ inline JsonRow reportRow(std::string name, std::string design,
     row.name = std::move(name);
     row.design = std::move(design);
     row.wall_s = wallSeconds;
-    row.sat_calls = report.engineStats.satCalls;
-    row.conflicts = report.engineStats.conflicts;
+    fillEngineFields(row, report.engineStats);
     row.props = report.results.size();
     return row;
 }

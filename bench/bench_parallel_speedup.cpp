@@ -3,8 +3,15 @@
 // cross-check (per-property statuses, depths, and ordering must be
 // byte-identical — the scheduler's determinism contract).
 //
+// Also measures phase B (the liveness frontier + lemma-DAG PDR waves) on
+// its own and hard-gates it against regression: the wave-parallel lemma
+// DAG must not make jobs=N phase B slower than jobs=1 on the Ariane MMU
+// liveness set (with a small tolerance for scheduler overhead on
+// wave-starved designs).
+//
 // Run:  bench_parallel_speedup [workers] [rounds]
-// Exit: non-zero if any multi-worker run diverges from the sequential one.
+// Exit: non-zero if any multi-worker run diverges from the sequential one,
+//       or if the MMU phase-B wall clock regresses at jobs=N.
 #include <iostream>
 #include <sstream>
 #include <thread>
@@ -28,6 +35,7 @@ std::string fingerprint(const std::vector<formal::PropertyResult>& results) {
 
 struct Measurement {
     double seconds = 0.0;
+    double phaseBSeconds = 0.0;
     std::string verdicts;
     formal::EngineStats stats;
     size_t props = 0;
@@ -53,7 +61,11 @@ Measurement measure(const std::string& designName, int jobs, int rounds) {
         formal::Engine engine(*design, vopts.engine);
         util::Stopwatch sw;
         auto results = engine.checkAll();
-        m.seconds = std::min(m.seconds, sw.seconds());
+        double wall = sw.seconds();
+        if (wall < m.seconds) {
+            m.seconds = wall;
+            m.phaseBSeconds = engine.stats().phaseBSeconds;
+        }
         m.verdicts = fingerprint(results);
         m.stats = engine.stats();
         m.props = results.size();
@@ -82,6 +94,7 @@ int main(int argc, char** argv) {
     std::cout << "\n";
 
     bool identical = true;
+    bool phaseBOk = true;
     std::vector<bench::JsonRow> rows;
     for (const std::string& name : {std::string("ariane_mmu"), std::string("ariane_lsu")}) {
         Measurement seq = measure(name, 1, rounds);
@@ -92,14 +105,39 @@ int main(int argc, char** argv) {
                     "verdicts: %s\n",
                     name.c_str(), seq.seconds, workers, par.seconds,
                     seq.seconds / par.seconds, same ? "identical" : "DIVERGED");
-        rows.push_back(
-            {"jobs1", name, seq.seconds, seq.stats.satCalls, seq.stats.conflicts, seq.props});
-        rows.push_back({"jobs" + std::to_string(workers), name, par.seconds,
-                        par.stats.satCalls, par.stats.conflicts, par.props});
+        std::printf("%-14s  phase B:  %7.2fs   %d workers: %7.2fs   speedup: %.2fx "
+                    "(lemma-DAG waves)\n",
+                    "", seq.phaseBSeconds, workers, par.phaseBSeconds,
+                    par.phaseBSeconds > 0 ? seq.phaseBSeconds / par.phaseBSeconds : 0.0);
+        // Hard gate (MMU liveness set): the lemma DAG must not make the
+        // parallel phase B slower than the sequential one. 15% tolerance
+        // absorbs noisy CI machines and wave-starved scheduling overhead.
+        if (name == "ariane_mmu" && hw >= static_cast<unsigned>(workers))
+            phaseBOk = phaseBOk && par.phaseBSeconds <= seq.phaseBSeconds * 1.15 + 0.05;
+        bench::JsonRow seqRow, parRow;
+        seqRow.name = "jobs1";
+        parRow.name = "jobs" + std::to_string(workers);
+        for (auto* rp : {&seqRow, &parRow}) rp->design = name;
+        bench::fillEngineFields(seqRow, seq.stats);
+        bench::fillEngineFields(parRow, par.stats);
+        seqRow.wall_s = seq.seconds;
+        parRow.wall_s = par.seconds;
+        seqRow.props = seq.props;
+        parRow.props = par.props;
+        rows.push_back(seqRow);
+        rows.push_back(parRow);
+        rows.push_back({"phaseB-jobs1", name, seq.phaseBSeconds, 0, 0, seq.props});
+        rows.push_back({"phaseB-jobs" + std::to_string(workers), name, par.phaseBSeconds, 0,
+                        0, par.props});
     }
     bench::writeJson(jsonPath, "parallel_speedup", rows);
     if (!identical) {
         std::cout << "\nFAIL: multi-worker verdicts diverged from sequential\n";
+        return 1;
+    }
+    if (!phaseBOk) {
+        std::cout << "\nFAIL: lemma-DAG phase B regressed at jobs="
+                  << workers << " on the Ariane MMU liveness set\n";
         return 1;
     }
     return 0;

@@ -6,10 +6,14 @@
 // {jobs 1, 4}, and cross-checks the determinism contract: the canonical
 // report must be byte-identical across all four configurations.
 //
-// Run:  bench_solver_reuse [rounds] [--json PATH]
+// Run:  bench_solver_reuse [rounds] [--json PATH] [--no-aig-rewrite]
 // Exit: non-zero if any configuration's canonical report diverges, or if
 //       reuse saves less than 40% of the encoder variables (the
 //       re-encoding cost the architecture exists to kill).
+//
+// --no-aig-rewrite runs the whole A/B on the legacy (unrewritten) graph —
+// the opt-out path now that EngineOptions::aigRewrite defaults ON; CI's
+// rewrite matrix runs both legs and uploads both JSON artifacts.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -50,13 +54,22 @@ Measurement measure(const ir::Design& design, formal::EngineOptions opts, int ro
 
 int main(int argc, char** argv) {
     std::string jsonPath = bench::extractJsonPath(argc, argv);
+    bool aigRewrite = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-aig-rewrite") != 0) continue;
+        aigRewrite = false;
+        for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+        --argc;
+        break;
+    }
     int rounds = argc > 1 ? std::atoi(argv[1]) : 1;
     if (rounds < 1) {
-        std::cerr << "usage: bench_solver_reuse [rounds>=1] [--json PATH]\n";
+        std::cerr << "usage: bench_solver_reuse [rounds>=1] [--json PATH] [--no-aig-rewrite]\n";
         return 2;
     }
 
-    bench::banner("Per-worker incremental solver reuse vs throwaway solvers");
+    bench::banner(std::string("Per-worker incremental solver reuse vs throwaway solvers") +
+                  (aigRewrite ? "" : " (legacy unrewritten graph)"));
     std::vector<bench::JsonRow> rows;
     bool ok = true;
     for (const std::string& name : {std::string("ariane_mmu"), std::string("ariane_lsu")}) {
@@ -80,6 +93,7 @@ int main(int argc, char** argv) {
             for (int reuse = 0; reuse < 2; ++reuse) {
                 for (int par = 0; par < 2; ++par) {
                     formal::EngineOptions opts = vopts.engine;
+                    opts.aigRewrite = aigRewrite;
                     opts.usePdr = frontier == 0;
                     opts.solverReuse = reuse == 1;
                     opts.jobs = par == 1 ? 4 : 1;
@@ -135,8 +149,7 @@ int main(int argc, char** argv) {
                                (par ? "-jobs4" : "-jobs1");
                     row.design = name;
                     row.wall_s = m[reuse][par].seconds;
-                    row.sat_calls = m[reuse][par].stats.satCalls;
-                    row.conflicts = m[reuse][par].stats.conflicts;
+                    bench::fillEngineFields(row, m[reuse][par].stats);
                     row.props = legacy.props;
                     rows.push_back(row);
                 }

@@ -42,8 +42,11 @@ uint64_t hash64(const void* data, size_t size) {
 uint64_t optionsDigest(const formal::EngineOptions& opts, Stage stage, bool coverMode,
                       ir::Obligation::Kind kind) {
     // Bump the version whenever key derivation or artifact semantics change:
-    // old cache entries then become unreachable instead of wrong.
-    constexpr uint64_t kFormatVersion = 2;
+    // old cache entries then become unreachable instead of wrong. v3: the
+    // ordering-insensitive PDR rewrite changed recorded invariants and
+    // proof depths, and the lemma DAG changed the ChainPdr strengthening
+    // context.
+    constexpr uint64_t kFormatVersion = 3;
     Mix128 h;
     h.mix(kFormatVersion);
     h.mix(static_cast<uint64_t>(stage));
@@ -53,6 +56,12 @@ uint64_t optionsDigest(const formal::EngineOptions& opts, Stage stage, bool cove
     h.mix(static_cast<uint64_t>(opts.maxInductionK));
     h.mix(static_cast<uint64_t>(opts.pdrMaxFrames));
     h.mix(opts.pdrMaxQueries);
+    // The retry fallback can turn a budget-bound Unknown into a Proven, so
+    // runs with different retry allowances must not share entries.
+    // perturbSeed is deliberately absent: like `jobs`, it cannot move a
+    // verdict (the fuzz suite gates that), so seeded and unseeded runs
+    // share the cache.
+    h.mix(static_cast<uint64_t>(opts.pdrRetryReorders));
     h.mix(opts.conflictBudget);
     h.mix(opts.usePdr ? 1 : 0);
     // Seeding can legitimately move PDR depths / budget-bound Unknowns, so

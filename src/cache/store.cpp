@@ -1,8 +1,11 @@
 #include "cache/store.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "cache/bytes.hpp"
 
@@ -170,6 +173,77 @@ void ProofCache::store(const Fingerprint& fp, const ProofArtifact& artifact) {
     out_.write(record.data(), static_cast<std::streamsize>(record.size()));
     out_.flush();
     if (!out_) persistent_ = false;
+}
+
+CompactResult ProofCache::compactLog(const std::string& dir) {
+    CompactResult res;
+    if (dir.empty()) return res;
+    std::error_code ec;
+    // Only compact a log that already exists: constructing a ProofCache
+    // would fabricate the directory and an empty log as a side effect, and
+    // a typo'd --cache-dir must surface as "nothing to compact", not
+    // silently succeed.
+    const std::string logPath = (std::filesystem::path(dir) / "proofs.bin").string();
+    if (!std::filesystem::exists(logPath, ec) || ec) return res;
+    // Reuse the loader: the constructor scans the log into the newest-per-
+    // key snapshot, drops corrupt records, and trims any torn tail. A
+    // foreign file at the log path — any pre-existing bytes that do not
+    // start with our magic — leaves headerTrusted_ false and must not be
+    // rewritten (it is not ours to compact).
+    ProofCache cache(dir);
+    cache.out_.close(); // The old generation is about to be replaced.
+    res.bytesBefore = std::filesystem::file_size(cache.logPath_, ec);
+    if (ec) res.bytesBefore = 0;
+    if (!cache.headerTrusted_) return res;
+    res.recordsBefore = cache.stats_.entriesLoaded;
+    res.droppedCorrupt = cache.stats_.loadErrors;
+
+    // Deterministic output order: sort the survivors by fingerprint.
+    std::vector<const std::pair<const Fingerprint, ProofArtifact>*> entries;
+    entries.reserve(cache.snapshot_.size());
+    for (const auto& e : cache.snapshot_) entries.push_back(&e);
+    std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+        return std::pair(a->first.hi, a->first.lo) < std::pair(b->first.hi, b->first.lo);
+    });
+
+    // Stage the new generation, then atomically promote it. Any failure
+    // leaves the old log untouched.
+    const std::string staging = cache.logPath_ + ".compacting";
+    {
+        std::ofstream out(staging, std::ios::binary | std::ios::trunc);
+        if (!out) return res;
+        out.write(kFileMagic, sizeof kFileMagic);
+        for (const auto* e : entries) {
+            std::string payload = e->second.serialize();
+            if (payload.size() > kMaxPayload) continue; // Never write unloadable framing.
+            std::string record;
+            record.reserve(32 + payload.size());
+            putU32(record, kRecordMagic);
+            putU64(record, e->first.hi);
+            putU64(record, e->first.lo);
+            putU32(record, static_cast<uint32_t>(payload.size()));
+            putU64(record, hash64(payload.data(), payload.size()));
+            record += payload;
+            out.write(record.data(), static_cast<std::streamsize>(record.size()));
+            ++res.recordsAfter;
+        }
+        out.flush();
+        if (!out.good()) {
+            std::filesystem::remove(staging, ec);
+            res.recordsAfter = 0;
+            return res;
+        }
+    }
+    std::filesystem::rename(staging, cache.logPath_, ec);
+    if (ec) {
+        std::filesystem::remove(staging, ec);
+        res.recordsAfter = 0;
+        return res;
+    }
+    res.bytesAfter = std::filesystem::file_size(cache.logPath_, ec);
+    if (ec) res.bytesAfter = 0;
+    res.performed = true;
+    return res;
 }
 
 void ProofCache::noteSeeded(uint64_t cubes) {

@@ -21,6 +21,16 @@
 
 namespace autosva::cache {
 
+/// Outcome of one log compaction (ProofCache::compactLog).
+struct CompactResult {
+    bool performed = false;     ///< False: no log, foreign file, or I/O failure.
+    uint64_t recordsBefore = 0; ///< Valid records in the old log (dupes included).
+    uint64_t recordsAfter = 0;  ///< Records in the compacted log (newest per key).
+    uint64_t droppedCorrupt = 0; ///< Corrupt/truncated records discarded.
+    uint64_t bytesBefore = 0;
+    uint64_t bytesAfter = 0;
+};
+
 struct CacheStats {
     uint64_t lookups = 0;     ///< Exact-fingerprint probes.
     uint64_t hits = 0;        ///< Probes answered from the store.
@@ -61,6 +71,18 @@ public:
     [[nodiscard]] std::optional<ProofArtifact> lookupNear(uint64_t structKey);
 
     void store(const Fingerprint& fp, const ProofArtifact& artifact);
+
+    /// Compacts the append-only log at `<dir>/proofs.bin`: keeps the newest
+    /// record per fingerprint, drops corrupt/truncated records, and writes
+    /// the survivors (sorted by fingerprint, so the output is
+    /// deterministic) as a fresh log generation that atomically replaces
+    /// the old file. Crash-safe: the new generation is staged at
+    /// `proofs.bin.compacting` and promoted with a rename, so a crash at
+    /// any point leaves either the intact old log or the complete new one
+    /// — a stale staging file from a dead compactor is simply overwritten.
+    /// Callers must not hold the same directory open for appending (their
+    /// stream would keep feeding the unlinked old generation).
+    [[nodiscard]] static CompactResult compactLog(const std::string& dir);
 
     void noteSeeded(uint64_t cubes);
 

@@ -1,6 +1,18 @@
 #include "formal/engine.hpp"
 
+#include <cstdlib>
+
 namespace autosva::formal {
+
+bool defaultAigRewrite() {
+    // Computed once: the default must not flip mid-run if the environment
+    // changes (EngineOptions are compared and digested).
+    static const bool enabled = [] {
+        const char* env = std::getenv("AUTOSVA_NO_AIG_REWRITE");
+        return env == nullptr || *env == '\0';
+    }();
+    return enabled;
+}
 
 const char* statusName(Status s) {
     switch (s) {

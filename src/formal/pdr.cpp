@@ -1,24 +1,49 @@
 #include "formal/pdr.hpp"
 
 #include <algorithm>
-#include <map>
-#include <memory>
+#include <random>
 
 #include "formal/sat.hpp"
 #include "formal/unroll.hpp"
 
 namespace autosva::formal {
 
+namespace detail {
+
 namespace {
 
 using Cube = PdrCube;
 
+/// Canonical cube form: literals sorted by (stable var rank, value) and
+/// deduplicated. Var ids are creation-ordered on a given AIG, so this is a
+/// deterministic function of the literal *set* — every cube entering the
+/// search passes through here, which is what makes the whole query
+/// sequence invariant to the order literals were submitted in.
+Cube canonicalize(Cube cube) {
+    std::sort(cube.begin(), cube.end());
+    cube.erase(std::unique(cube.begin(), cube.end()), cube.end());
+    return cube;
+}
+
+/// How many retired consecution clause groups accumulate before the frame
+/// solver purges them from its watch lists. Every retired group is dead
+/// weight on propagation; amortizing the purge keeps simplify() off the
+/// per-query hot path. Safe to run at all now that generalization is
+/// ordering-insensitive (the watch-order reshuffle simplify causes used to
+/// flip budget-edge proofs — see the ROADMAP history).
+constexpr uint32_t kSimplifyEvery = 64;
+
+} // namespace
+
 /// One SAT context per frame: the transition relation (frame 0 = current
 /// state, frame 1 resolves to next-state functions) plus the frame's
-/// learned clauses over current-state latch literals.
+/// learned clauses over current-state latch literals. Lives as long as the
+/// PdrContext — consecution queries retire their clause groups and the
+/// solver is periodically simplified, so the encoding never rebuilds.
 struct FrameSolver {
     std::unique_ptr<SatSolver> solver;
     std::unique_ptr<Unroller> un;
+    uint32_t retiredGroups = 0;
 
     explicit FrameSolver(const Aig& aig) {
         solver = std::make_unique<SatSolver>();
@@ -28,32 +53,59 @@ struct FrameSolver {
     SatLit now(AigLit l) { return un->lit(0, l); }
     SatLit next(uint32_t latchVar) { return un->lit(1, aigMkLit(latchVar)); }
 
-    /// Retires a consecution query's clause group. Deliberately does NOT
-    /// run SatSolver::simplify() here: purging the dead group clauses is
-    /// semantically neutral but reshuffles watch traversal order, and PDR's
-    /// budget-edge proofs are measurably perturbation-sensitive (a periodic
-    /// simplify flipped the MMU fetch chain proof to Unknown — same story
-    /// as the AIG rewrite, see the ROADMAP open item on hardening PDR).
-    void retireGroup(SatLit act) { solver->closeClauseGroup(act); }
+    /// Retires a consecution query's clause group and periodically purges
+    /// the dead groups from the watch lists (SatSolver::simplify), so a
+    /// long-lived frame solver doesn't drag thousands of permanently
+    /// satisfied clauses through every later propagation.
+    void retireGroup(SatLit act) {
+        solver->closeClauseGroup(act);
+        if (++retiredGroups % kSimplifyEvery == 0) solver->simplify();
+    }
 };
 
-struct PdrContext {
+struct PdrSearch {
     const Aig& aig;
     AigLit bad;
-    const std::vector<AigLit>& constraints;
-    const PdrOptions& opts;
+    /// Copied, not referenced: PdrContext is a long-lived public class and
+    /// a caller passing a temporary vector must not dangle across later
+    /// search() calls. The list is a handful of literals.
+    std::vector<AigLit> constraints;
+    PdrOptions opts;
     uint64_t queries = 0;
+    uint64_t budget = 0;           ///< Cumulative query allowance.
+    uint64_t dropRotation = 0;     ///< Generalization sweep start offset.
+    bool stoppedOnBudget = false;  ///< Last search() outcome detail.
+    bool level0Checked = false;
+    bool seedsAdmitted = false;
+    /// Outer-loop frame a resumed search() continues from. Frames below it
+    /// were already cleared of bad states, and blocked clauses only ever
+    /// strengthen, so a retry never has to re-block or re-propagate them —
+    /// its fresh budget goes entirely into new search.
+    size_t resumeFrame = 1;
+    PdrStats stats;
+    std::mt19937_64 perturbRng; ///< Only used when opts.perturbSeed != 0.
 
     std::vector<std::unique_ptr<FrameSolver>> solvers; // Index = frame.
     std::vector<std::vector<Cube>> frames;             // Learned cubes per frame.
     std::vector<Cube> invariantCubes; // Validated seeds: hold at every frame.
 
-    PdrContext(const Aig& a, AigLit b, const std::vector<AigLit>& cons, const PdrOptions& o)
-        : aig(a), bad(b), constraints(cons), opts(o) {}
+    PdrSearch(const Aig& a, AigLit b, const std::vector<AigLit>& cons, const PdrOptions& o)
+        : aig(a), bad(b), constraints(cons), opts(o), budget(o.maxQueries),
+          perturbRng(o.perturbSeed) {}
+
+    /// Perturbation-fuzz hook: shuffles a sequence that is canonicalized
+    /// immediately afterwards. With perturbSeed == 0 this is a no-op; with
+    /// any other seed the downstream canonicalization must absorb the
+    /// shuffle — the fuzz test asserts exactly that.
+    template <typename Seq> void perturb(Seq& seq) {
+        if (opts.perturbSeed == 0 || seq.size() < 2) return;
+        std::shuffle(seq.begin(), seq.end(), perturbRng);
+    }
 
     FrameSolver& frameSolver(size_t i) {
         while (solvers.size() <= i) {
             auto fs = std::make_unique<FrameSolver>(aig);
+            ++stats.framesOpened;
             // Constraints hold in the current state of every frame.
             for (AigLit c : constraints) fs->solver->addUnit(fs->now(c));
             if (solvers.empty()) {
@@ -96,6 +148,7 @@ struct PdrContext {
     void addBlockedCube(size_t frameIdx, const Cube& cube) {
         ensureFrameStorage(frameIdx);
         frames[frameIdx].push_back(cube);
+        ++stats.cubesBlocked;
         for (size_t i = 0; i <= frameIdx && i < solvers.size(); ++i)
             addBlockedClauseToSolver(i, cube);
     }
@@ -114,7 +167,9 @@ struct PdrContext {
     /// (cube is inductive relative to the frame); on SAT fills
     /// `predecessor` with the full current-state cube of the model; on
     /// UNSAT fills `coreCube` (if given) with the subset of cube literals
-    /// whose primed assumptions appear in the unsat core.
+    /// whose primed assumptions appear in the unsat core. `cube` must be
+    /// canonical — assumptions follow its literal order, so canonical input
+    /// keeps the query byte-identical however the cube was first assembled.
     bool consecution(size_t frameIdx, const Cube& cube, Cube* predecessor,
                      Cube* coreCube = nullptr) {
         ++queries;
@@ -168,7 +223,7 @@ struct PdrContext {
                 }
             }
             if (coreCube->empty()) *coreCube = cube;
-            std::sort(coreCube->begin(), coreCube->end());
+            *coreCube = canonicalize(std::move(*coreCube));
         }
         fs.retireGroup(act); // Retire the temporary clause.
         return unsat;
@@ -199,6 +254,13 @@ struct PdrContext {
     /// S', so it over-approximates nothing reachable — blocking it at every
     /// frame is sound no matter what the cache contained.
     ///
+    /// The candidate list is canonicalized (per-cube literal sort plus a
+    /// lexicographic sort of the cubes themselves) before any query, so
+    /// the admitted subset cannot depend on the order the cache returned
+    /// the seeds in — the greatest fixpoint is order-independent, but the
+    /// bounded validation budget would otherwise make the cutoff point
+    /// submission-order-sensitive.
+    ///
     /// Validation runs on its own bounded query budget, deliberately NOT
     /// charged to the main `queries` counter: a stale or oversized seed set
     /// must never eat the proof budget and demote an otherwise-provable
@@ -217,12 +279,13 @@ struct PdrContext {
                     wellFormed = false;
             }
             if (!wellFormed) continue;
-            Cube cube = seed;
-            std::sort(cube.begin(), cube.end());
-            cube.erase(std::unique(cube.begin(), cube.end()), cube.end());
+            Cube cube = canonicalize(seed);
             if (intersectsInit(cube)) continue;
             cand.push_back(std::move(cube));
         }
+        perturb(cand); // Fuzz hook; the sort below must absorb it.
+        std::sort(cand.begin(), cand.end());
+        cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
         if (cand.empty()) return;
 
         // One incremental solver: T with constraints in both states, each
@@ -267,10 +330,17 @@ struct PdrContext {
                 }
             }
         }
-        for (size_t i = 0; i < cand.size(); ++i)
-            if (alive[i]) invariantCubes.push_back(std::move(cand[i]));
-        // No frame solvers exist yet at the call site; frameSolver() injects
-        // the admitted clauses into each solver it creates.
+        for (size_t i = 0; i < cand.size(); ++i) {
+            if (!alive[i]) continue;
+            ++stats.seedCubesAdmitted;
+            // Frame solvers created later inherit the admitted clause via
+            // frameSolver(); any already-open solver gets it here (the
+            // seeds are frame-independent invariants, so every frame may
+            // block them).
+            for (size_t idx = 0; idx < solvers.size(); ++idx)
+                addBlockedClauseToSolver(idx, cand[i]);
+            invariantCubes.push_back(std::move(cand[i]));
+        }
     }
 
     /// The inductive invariant once frame `closedFrame` equals its
@@ -286,9 +356,20 @@ struct PdrContext {
     }
 
     /// Shrinks a blocked cube: first via unsat cores (cheap, large steps),
-    /// then literal dropping on the remainder, always keeping the cube
-    /// inductive relative to F_{frameIdx} and disjoint from Init.
+    /// then a fixed-point literal-drop sweep on the remainder, always
+    /// keeping the cube inductive relative to F_{frameIdx} and disjoint
+    /// from Init.
+    ///
+    /// Ordering-insensitive by construction: the cube is canonicalized at
+    /// entry and each sweep attempts drops in canonical literal order
+    /// (rotated by the deterministic retry offset), repeating until a full
+    /// sweep removes nothing. The result is a function of the literal
+    /// *set*, the frame state, and the rotation — never of the order the
+    /// caller assembled the cube in. That is the hardening that lets
+    /// simplify() run and the AIG rewrite default ON without budget-edge
+    /// proofs flipping (see ROADMAP "Engine architecture").
     Cube generalize(size_t frameIdx, Cube cube) {
+        cube = canonicalize(std::move(cube));
         // Core-based shrinking: the caller guarantees `cube` is inductive.
         // A core-shrunk cube is a candidate only — weakening not(cube) can
         // break inductiveness — so validate before adopting (fixpoint in
@@ -301,123 +382,193 @@ struct PdrContext {
             if (!consecution(frameIdx, shrunk, nullptr)) break; // Not inductive: keep cube.
             cube = std::move(shrunk);
         }
-        // Greedy literal dropping on the (now small) cube.
-        for (size_t i = 0; i < cube.size() && cube.size() > 1;) {
-            Cube candidate = cube;
-            candidate.erase(candidate.begin() + static_cast<long>(i));
-            if (!intersectsInit(candidate) && consecution(frameIdx, candidate, nullptr)) {
-                cube = std::move(candidate);
-            } else {
-                ++i;
+        // Literal dropping on the (now small) cube: sweep the literals in
+        // rotated canonical order; on narrow cubes, repeat until a sweep
+        // drops nothing (the fixed point — a later drop can free up an
+        // earlier literal). Wide cubes get a single sweep: an unbounded
+        // fixpoint is O(n^2) consecution queries there and measurably
+        // starves the per-property budget. Both regimes are deterministic
+        // functions of the literal set, the frame state, and the rotation
+        // — never of the input order, which is the hardening contract.
+        constexpr size_t kFixpointWidth = 12;
+        bool changed = true;
+        for (int sweepNo = 0;
+             changed && cube.size() > 1 && (sweepNo == 0 || cube.size() <= kFixpointWidth);
+             ++sweepNo) {
+            changed = false;
+            Cube sweep = cube;
+            if (uint64_t rot = dropRotation % sweep.size(); rot != 0)
+                std::rotate(sweep.begin(), sweep.begin() + static_cast<long>(rot), sweep.end());
+            for (const auto& lit : sweep) {
+                if (cube.size() <= 1) break;
+                auto it = std::find(cube.begin(), cube.end(), lit);
+                if (it == cube.end()) continue; // Already dropped this sweep.
+                Cube candidate = cube;
+                candidate.erase(candidate.begin() + (it - cube.begin()));
+                ++stats.genDropAttempts;
+                if (!intersectsInit(candidate) && consecution(frameIdx, candidate, nullptr)) {
+                    cube = std::move(candidate);
+                    changed = true;
+                }
             }
         }
         return cube;
     }
+
+    PdrResult run() {
+        PdrResult result;
+        stoppedOnBudget = false;
+
+        // Level 0: is bad reachable in the initial state itself? (Once per
+        // context — the answer cannot change across resumed searches.)
+        if (!level0Checked) {
+            level0Checked = true;
+            SatSolver s0;
+            Unroller u0(aig, s0, Unroller::Init::Reset);
+            std::vector<SatLit> assumptions{u0.lit(0, bad)};
+            for (AigLit c : constraints) s0.addUnit(u0.lit(0, c));
+            if (s0.solve(assumptions) == SatResult::Sat) {
+                result.kind = PdrResult::Kind::Cex;
+                result.depth = 0;
+                result.queries = queries;
+                return result;
+            }
+        }
+
+        // Re-validate and admit any seed invariants before the main loop.
+        if (!seedsAdmitted) {
+            seedsAdmitted = true;
+            admitSeedCubes();
+        }
+
+        // Proof obligations: (frame, cube, depth-from-bad) — recursive blocking.
+        struct Obligation {
+            size_t frame;
+            Cube cube;
+            int depth;
+        };
+
+        for (size_t k = resumeFrame; static_cast<int>(k) <= opts.maxFrames; ++k) {
+            resumeFrame = k;
+            ensureFrameStorage(k);
+            // Block all bad states reachable within F_k.
+            Cube badCube;
+            while (badState(k, &badCube)) {
+                if (queries > budget) {
+                    stoppedOnBudget = true;
+                    result.kind = PdrResult::Kind::Unknown;
+                    result.queries = queries;
+                    return result;
+                }
+                std::vector<Obligation> obligations;
+                perturb(badCube); // Fuzz hook; canonicalize absorbs it.
+                obligations.push_back({k, canonicalize(std::move(badCube)), 0});
+                while (!obligations.empty()) {
+                    if (queries > budget) {
+                        stoppedOnBudget = true;
+                        result.kind = PdrResult::Kind::Unknown;
+                        result.queries = queries;
+                        return result;
+                    }
+                    Obligation ob = obligations.back();
+                    if (ob.frame == 0) {
+                        // Reached the initial frame: counterexample.
+                        result.kind = PdrResult::Kind::Cex;
+                        result.depth = ob.depth + static_cast<int>(k); // Upper bound on length.
+                        result.queries = queries;
+                        return result;
+                    }
+                    if (intersectsInit(ob.cube)) {
+                        result.kind = PdrResult::Kind::Cex;
+                        result.depth = ob.depth + static_cast<int>(ob.frame);
+                        result.queries = queries;
+                        return result;
+                    }
+                    Cube predecessor;
+                    if (consecution(ob.frame - 1, ob.cube, &predecessor)) {
+                        Cube generalized = generalize(ob.frame - 1, ob.cube);
+                        addBlockedCube(ob.frame, generalized);
+                        obligations.pop_back();
+                    } else {
+                        perturb(predecessor); // Fuzz hook; canonicalize absorbs it.
+                        obligations.push_back(
+                            {ob.frame - 1, canonicalize(std::move(predecessor)), ob.depth + 1});
+                    }
+                }
+            }
+
+            // Propagation: push clauses forward; a frame whose clauses all moved
+            // up equals its successor, closing the inductive invariant.
+            for (size_t i = 1; i < k; ++i) {
+                auto& cubes = frames[i];
+                for (size_t ci = 0; ci < cubes.size();) {
+                    if (consecution(i, cubes[ci], nullptr)) {
+                        Cube moved = std::move(cubes[ci]);
+                        cubes.erase(cubes.begin() + static_cast<long>(ci));
+                        frames[i + 1].push_back(moved);
+                        if (i + 1 < solvers.size()) addBlockedClauseToSolver(i + 1, moved);
+                        continue;
+                    }
+                    ++ci;
+                }
+                if (cubes.empty()) {
+                    result.kind = PdrResult::Kind::Proven;
+                    result.depth = static_cast<int>(i);
+                    result.queries = queries;
+                    result.invariant = collectInvariant(i);
+                    return result;
+                }
+            }
+        }
+
+        result.kind = PdrResult::Kind::Unknown;
+        result.depth = opts.maxFrames;
+        result.queries = queries;
+        return result;
+    }
 };
 
-} // namespace
+} // namespace detail
+
+PdrContext::PdrContext(const Aig& aig, AigLit bad, const std::vector<AigLit>& constraints,
+                       const PdrOptions& opts)
+    : impl_(std::make_unique<detail::PdrSearch>(aig, bad, constraints, opts)) {}
+
+PdrContext::~PdrContext() = default;
+
+PdrResult PdrContext::search() { return impl_->run(); }
+
+bool PdrContext::budgetExhausted() const { return impl_->stoppedOnBudget; }
+
+void PdrContext::grantBudget() { impl_->budget += impl_->opts.maxQueries; }
+
+void PdrContext::rotateGeneralization() { ++impl_->dropRotation; }
+
+const PdrStats& PdrContext::stats() const { return impl_->stats; }
+
+uint64_t PdrContext::queries() const { return impl_->queries; }
 
 PdrResult pdrCheck(const Aig& aig, AigLit bad, const std::vector<AigLit>& constraints,
                    const PdrOptions& opts) {
     PdrContext ctx(aig, bad, constraints, opts);
-    PdrResult result;
-
-    // Level 0: is bad reachable in the initial state itself?
-    {
-        Cube state;
-        SatSolver s0;
-        Unroller u0(aig, s0, Unroller::Init::Reset);
-        std::vector<SatLit> assumptions{u0.lit(0, bad)};
-        for (AigLit c : constraints) s0.addUnit(u0.lit(0, c));
-        if (s0.solve(assumptions) == SatResult::Sat) {
-            result.kind = PdrResult::Kind::Cex;
-            result.depth = 0;
-            result.queries = ctx.queries;
-            return result;
-        }
+    PdrResult result = ctx.search();
+    // Budget-edge fallback: the frames learned so far are sound invariant
+    // lemmas whatever order produced them, so a retry resumes on the warm
+    // context — fresh budget, rotated generalization sweep — instead of
+    // starting over. The rotation schedule is fixed, so retries keep the
+    // verdict a deterministic function of (graph, options).
+    uint64_t retries = 0;
+    for (int retry = 0; retry < opts.retryReorders && result.kind == PdrResult::Kind::Unknown &&
+                        ctx.budgetExhausted();
+         ++retry) {
+        ctx.grantBudget();
+        ctx.rotateGeneralization();
+        ++retries;
+        result = ctx.search();
     }
-
-    // Re-validate and admit any seed invariants before the main loop (no
-    // frame solvers exist yet, so the admitted clauses reach all of them).
-    ctx.admitSeedCubes();
-
-    // Proof obligations: (frame, cube, depth-from-bad) — recursive blocking.
-    struct Obligation {
-        size_t frame;
-        Cube cube;
-        int depth;
-    };
-
-    for (size_t k = 1; static_cast<int>(k) <= opts.maxFrames; ++k) {
-        ctx.ensureFrameStorage(k);
-        // Block all bad states reachable within F_k.
-        Cube badCube;
-        while (ctx.badState(k, &badCube)) {
-            if (ctx.queries > opts.maxQueries) {
-                result.kind = PdrResult::Kind::Unknown;
-                result.queries = ctx.queries;
-                return result;
-            }
-            std::vector<Obligation> obligations;
-            obligations.push_back({k, badCube, 0});
-            while (!obligations.empty()) {
-                if (ctx.queries > opts.maxQueries) {
-                    result.kind = PdrResult::Kind::Unknown;
-                    result.queries = ctx.queries;
-                    return result;
-                }
-                Obligation ob = obligations.back();
-                if (ob.frame == 0) {
-                    // Reached the initial frame: counterexample.
-                    result.kind = PdrResult::Kind::Cex;
-                    result.depth = ob.depth + static_cast<int>(k); // Upper bound on length.
-                    result.queries = ctx.queries;
-                    return result;
-                }
-                if (ctx.intersectsInit(ob.cube)) {
-                    result.kind = PdrResult::Kind::Cex;
-                    result.depth = ob.depth + static_cast<int>(ob.frame);
-                    result.queries = ctx.queries;
-                    return result;
-                }
-                Cube predecessor;
-                if (ctx.consecution(ob.frame - 1, ob.cube, &predecessor)) {
-                    Cube generalized = ctx.generalize(ob.frame - 1, ob.cube);
-                    ctx.addBlockedCube(ob.frame, generalized);
-                    obligations.pop_back();
-                } else {
-                    obligations.push_back({ob.frame - 1, std::move(predecessor), ob.depth + 1});
-                }
-            }
-        }
-
-        // Propagation: push clauses forward; a frame whose clauses all moved
-        // up equals its successor, closing the inductive invariant.
-        for (size_t i = 1; i < k; ++i) {
-            auto& cubes = ctx.frames[i];
-            for (size_t ci = 0; ci < cubes.size();) {
-                if (ctx.consecution(i, cubes[ci], nullptr)) {
-                    Cube moved = std::move(cubes[ci]);
-                    cubes.erase(cubes.begin() + static_cast<long>(ci));
-                    ctx.frames[i + 1].push_back(moved);
-                    if (i + 1 < ctx.solvers.size()) ctx.addBlockedClauseToSolver(i + 1, moved);
-                    continue;
-                }
-                ++ci;
-            }
-            if (cubes.empty()) {
-                result.kind = PdrResult::Kind::Proven;
-                result.depth = static_cast<int>(i);
-                result.queries = ctx.queries;
-                result.invariant = ctx.collectInvariant(i);
-                return result;
-            }
-        }
-    }
-
-    result.kind = PdrResult::Kind::Unknown;
-    result.depth = opts.maxFrames;
-    result.queries = ctx.queries;
+    result.stats = ctx.stats();
+    result.stats.retryActivations = retries;
+    result.queries = ctx.queries();
     return result;
 }
 

@@ -6,9 +6,17 @@
 // PDR incrementally learns inductive lemmas (blocked cubes) per frame until
 // an inductive invariant excluding `bad` emerges — the same class of engine
 // (IC3) that JasperGold uses for unbounded proofs in the paper's evaluation.
+//
+// The search lives in a persistent PdrContext: one long-lived incremental
+// frame solver per frame (clause groups for per-query facts, periodic
+// SatSolver::simplify() to retire them), canonical ordering-insensitive
+// cube generalization, and a resumable search() so a budget-edge Unknown
+// can be retried on the same learned frames with a reordered
+// generalization sweep (PdrOptions::retryReorders).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -16,34 +24,107 @@
 
 namespace autosva::formal {
 
-/// A cube over latch state: sorted (latchVar, value) pairs. Blocking a
-/// cube asserts the clause "not all of these values simultaneously".
+/// A cube over latch state: canonically sorted (latchVar, value) pairs.
+/// Blocking a cube asserts the clause "not all of these values
+/// simultaneously".
 using PdrCube = std::vector<std::pair<uint32_t, bool>>;
 
 struct PdrOptions {
     int maxFrames = 60;
     uint64_t maxQueries = 200000; ///< Safety valve on total SAT queries.
     /// Candidate invariant cubes from a previous proof (e.g. the proof
-    /// cache). They are *candidates only*: pdrCheck keeps the subset that
-    /// is mutually inductive (greatest fixpoint under consecution) and
-    /// discards the rest, so unsound seeds cannot influence the verdict.
+    /// cache). They are *candidates only*: the context keeps the subset
+    /// that is mutually inductive (greatest fixpoint under consecution)
+    /// and discards the rest, so unsound seeds cannot influence the
+    /// verdict.
     const std::vector<PdrCube>* seedCubes = nullptr;
+    /// Bounded retry-with-reordered-cubes fallback for budget-edge proofs:
+    /// when search() exhausts maxQueries without a verdict, pdrCheck keeps
+    /// the learned frames, grants another maxQueries, rotates the
+    /// generalization drop order, and searches again — up to this many
+    /// times. Deterministic (the rotation schedule is fixed), so the
+    /// verdict for a given (graph, options) pair never depends on anything
+    /// but those. 0 disables the fallback.
+    int retryReorders = 2;
+    /// Non-zero: deterministically shuffles every ordering the engine
+    /// canonicalizes anyway (cube literals before sorting, seed-cube
+    /// submission order) before that canonicalization. Because
+    /// generalization is ordering-insensitive, any seed must produce the
+    /// identical result — this is the perturbation-fuzz hook proving it,
+    /// not a tuning knob.
+    uint64_t perturbSeed = 0;
+};
+
+/// Observability counters of one PDR search (aggregated into EngineStats
+/// and the CLI --stats output).
+struct PdrStats {
+    uint64_t framesOpened = 0;       ///< Frame solvers constructed.
+    uint64_t cubesBlocked = 0;       ///< Generalized cubes added to frames.
+    uint64_t genDropAttempts = 0;    ///< Literal-drop consecution probes.
+    uint64_t retryActivations = 0;   ///< Budget-edge reordered retries taken.
+    uint64_t seedCubesAdmitted = 0;  ///< Seed cubes surviving re-validation.
 };
 
 struct PdrResult {
     enum class Kind { Proven, Cex, Unknown };
     Kind kind = Kind::Unknown;
     /// Proven: frame where the invariant closed. Cex: trace length bound
-    /// (number of steps from the initial state to `bad`).
+    /// (number of steps from the initial state to `bad`). Either value is
+    /// an engine artifact of the search, not a semantic depth — reports
+    /// treat it as provenance, never as part of the canonical verdict.
     int depth = -1;
     uint64_t queries = 0;
+    PdrStats stats;
     /// Proven only: the inductive invariant as blocked cubes (clauses
     /// negated), i.e. every reachable state avoids each of these cubes.
     std::vector<PdrCube> invariant;
 };
 
+namespace detail {
+struct PdrSearch;
+}
+
+/// Persistent IC3 context: owns the per-frame incremental solvers and the
+/// learned clause frames across search() calls. A single call decides most
+/// properties; budget-edge proofs are resumed — same frames, fresh query
+/// budget, rotated generalization order — instead of thrown away and
+/// restarted (see pdrCheck for the retry policy).
+class PdrContext {
+public:
+    PdrContext(const Aig& aig, AigLit bad, const std::vector<AigLit>& constraints,
+               const PdrOptions& opts);
+    ~PdrContext();
+    PdrContext(const PdrContext&) = delete;
+    PdrContext& operator=(const PdrContext&) = delete;
+
+    /// Runs (or resumes) the search until a verdict or the current query
+    /// budget is exhausted. Kind::Unknown with budgetExhausted() true is
+    /// resumable: grantBudget()/rotateGeneralization() then call again —
+    /// every learned frame clause and solver stays warm.
+    [[nodiscard]] PdrResult search();
+
+    /// True when the last search() stopped on the query budget (rather
+    /// than the frame bound) — the only Unknown a retry can improve.
+    [[nodiscard]] bool budgetExhausted() const;
+
+    /// Extends the cumulative query budget by another PdrOptions::maxQueries.
+    void grantBudget();
+    /// Advances the deterministic rotation applied to the generalization
+    /// drop sweep, so a resumed search explores a different (but fixed)
+    /// order.
+    void rotateGeneralization();
+
+    [[nodiscard]] const PdrStats& stats() const;
+    [[nodiscard]] uint64_t queries() const;
+
+private:
+    std::unique_ptr<detail::PdrSearch> impl_;
+};
+
 /// Decides reachability of `bad` (a combinational AIG literal) from the
-/// initial states, under per-cycle `constraints`.
+/// initial states, under per-cycle `constraints`. Runs a PdrContext search
+/// plus the bounded retry-with-reordered-cubes fallback on budget-edge
+/// Unknowns.
 [[nodiscard]] PdrResult pdrCheck(const Aig& aig, AigLit bad,
                                  const std::vector<AigLit>& constraints,
                                  const PdrOptions& opts = {});

@@ -50,11 +50,35 @@ struct PropertyResult {
     [[nodiscard]] bool isFailure() const { return status == Status::Failed; }
 };
 
+/// Default of EngineOptions::aigRewrite: true — every consumer (Unroller
+/// encodings, PDR frames, cache fingerprint cones) gets the structurally
+/// rewritten, smaller graph — unless the environment variable
+/// AUTOSVA_NO_AIG_REWRITE is set to a non-empty value. The env hook is the
+/// opt-out path CI's A/B matrix uses to run the whole tier-1 suite on the
+/// legacy (unrewritten) graph without patching every test.
+[[nodiscard]] bool defaultAigRewrite();
+
 struct EngineOptions {
     int bmcDepth = 25;          ///< Max BMC unrolling depth.
     int maxInductionK = 4;      ///< Max k for quick induction proofs (<= bmcDepth).
     int pdrMaxFrames = 60;      ///< PDR frame bound for unbounded proofs.
     uint64_t pdrMaxQueries = 1000000; ///< PDR SAT-query budget per property.
+    /// Bounded PDR retry-with-reordered-cubes fallback: a query-budget
+    /// Unknown is resumed on the same learned frames with a fresh budget
+    /// and a rotated generalization sweep, up to this many times. The
+    /// rotation schedule is fixed, so verdicts stay deterministic; affects
+    /// verdicts (Unknown may become Proven), so it is part of the cache
+    /// options digest. 0 disables. Two retries prove the full Ariane MMU
+    /// property set — including the deep fetch-liveness interplay the
+    /// pre-hardening engine never closed at any budget.
+    int pdrRetryReorders = 2;
+    /// Non-zero: deterministically perturbs every ordering the engine
+    /// canonicalizes anyway — job submission order into the batched phases
+    /// and the wave-parallel lemma DAG, plus cube/seed submission order
+    /// inside PDR. Canonical reports must be byte-identical for every
+    /// seed; this is the perturbation-fuzz hook (tests/test_pdr.cpp), not
+    /// a tuning knob, and is therefore excluded from cache keys.
+    uint64_t perturbSeed = 0;
     uint64_t conflictBudget = 0; ///< Per-solve conflict cap (0 = unlimited).
     int jobs = 1;               ///< Worker threads for property discharge (<= 1: sequential).
     bool checkCovers = true;
@@ -87,12 +111,13 @@ struct EngineOptions {
     bool solverReuse = true;
     /// Structural AIG rewrite (strashing, absorption, latch merging) after
     /// bit-blast; shrinks every downstream encoding and fingerprint cone.
-    /// The rewrite is semantics-preserving and deterministic, but default
-    /// OFF: PDR's search is perturbation-sensitive, and on the Ariane MMU
-    /// one budget-edge liveness chain proof currently exceeds its query
-    /// budget on the (smaller!) rewritten graph. Enable with --aig-rewrite;
-    /// becomes the default once PDR generalization is perturbation-robust.
-    bool aigRewrite = false;
+    /// Semantics-preserving and deterministic, and ON by default now that
+    /// PDR generalization is ordering-insensitive (the budget-edge
+    /// perturbation sensitivity that kept it opt-in is gone — see ROADMAP
+    /// "Engine architecture"). `--no-aig-rewrite` (or the
+    /// AUTOSVA_NO_AIG_REWRITE environment variable, which moves the
+    /// default) keeps the legacy graph for A/B comparison.
+    bool aigRewrite = defaultAigRewrite();
 };
 
 struct EngineStats {
@@ -111,6 +136,22 @@ struct EngineStats {
     uint64_t encoderClauses = 0;    ///< Problem clauses added.
     uint64_t conesMaterialized = 0; ///< Unroller root cones encoded on demand.
     uint64_t solverReuses = 0;      ///< Jobs served by an already-warm pooled solver.
+    // PDR observability (aggregated over every pdrCheck of the run; the
+    // --stats "pdr:" line and the bench --json rows carry them).
+    uint64_t pdrFramesOpened = 0;      ///< Frame solvers constructed.
+    uint64_t pdrCubesBlocked = 0;      ///< Generalized cubes added to frames.
+    uint64_t pdrGenDropAttempts = 0;   ///< Literal-drop consecution probes.
+    uint64_t pdrRetryFallbacks = 0;    ///< Budget-edge reordered retries taken.
+    uint64_t pdrSeedCubesAdmitted = 0; ///< Cache seed cubes surviving re-validation.
+    /// Wall clock of the liveness phase (frontier + lemma-DAG PDR waves);
+    /// what bench_parallel_speedup's phase-B no-regression gate measures.
+    double phaseBSeconds = 0.0;
+    /// Lemma-DAG shape: number of waves the justice obligations formed and
+    /// the widest wave (obligations discharged in parallel). A fully
+    /// overlapping design degenerates to waves == obligations, widest == 1
+    /// — the sequential chain, with its full strengthening power.
+    uint64_t liveWaves = 0;
+    uint64_t liveWaveWidest = 0;
     double totalSeconds = 0.0;
 };
 

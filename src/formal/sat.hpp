@@ -66,9 +66,10 @@ public:
 
     /// Removes clauses satisfied at decision level 0 (e.g. a closed group's
     /// clauses) from the watch lists, so a long-lived solver doesn't drag
-    /// dead watchers through every later propagation. Semantically neutral
-    /// but it reshuffles watch traversal order, so budget-sensitive callers
-    /// (PDR) currently avoid it — see pdr.cpp FrameSolver::retireGroup.
+    /// dead watchers through every later propagation. Semantically neutral;
+    /// it reshuffles watch traversal order, which is safe for every caller
+    /// now that PDR's generalization is ordering-insensitive — the PDR
+    /// frame solvers run it periodically (pdr.cpp FrameSolver::retireGroup).
     void simplify();
 
     /// Resets the search heuristics (VSIDS activities, saved phases) to
@@ -96,6 +97,16 @@ public:
     /// Problem clauses accepted by addClause (simplified-away and learnt
     /// clauses excluded) — the encoder-cost counter behind --stats.
     [[nodiscard]] uint64_t clausesAdded() const { return clausesAdded_; }
+    /// Clauses currently attached to the watch lists (problem + learnt,
+    /// deleted ones excluded). simplify() shrinks this when it purges a
+    /// closed clause group — the PDR frame-solver test asserts exactly
+    /// that.
+    [[nodiscard]] size_t liveClauses() const {
+        size_t n = 0;
+        for (const Clause& c : clauses_)
+            if (!c.deleted) ++n;
+        return n;
+    }
     [[nodiscard]] uint64_t solves() const { return solves_; }
 
     /// Optional conflict budget per solve() call (0 = unlimited).

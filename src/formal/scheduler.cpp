@@ -5,6 +5,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <random>
 #include <thread>
 
 #include "cache/fingerprint.hpp"
@@ -106,6 +107,100 @@ void parallelFor(int workers, size_t numTasks,
 void finalizeDepth(ObligationJob& job, const EngineOptions& opts) {
     if (job.result.status == Status::Unknown && job.result.depth < 0)
         job.result.depth = opts.bmcDepth;
+}
+
+/// Perturbation-fuzz hook: the processing order for `n` jobs — identity,
+/// or a deterministically seeded shuffle when EngineOptions::perturbSeed
+/// is set. Everything downstream is submission-order-insensitive (batched
+/// BMC answers are semantic, PDR canonicalizes its cubes, the sink
+/// restores declaration order), so any seed must produce the
+/// byte-identical canonical report — the fuzz test asserts it. `salt`
+/// decouples the permutations of different phases.
+[[nodiscard]] std::vector<size_t> perturbedOrder(size_t n, uint64_t seed, uint64_t salt) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    if (seed != 0 && n >= 2) {
+        std::mt19937_64 rng(seed ^ (salt * 0x9e3779b97f4a7c15ULL));
+        std::shuffle(order.begin(), order.end(), rng);
+    }
+    return order;
+}
+
+// ---------------------------------------------------------------------------
+// Liveness lemma DAG
+// ---------------------------------------------------------------------------
+
+/// Transitive latch support of `root`: every latch var whose state can
+/// influence the literal through combinational logic and next-state
+/// functions (the same cone-of-influence notion the cache fingerprints
+/// use). Sorted, so disjointness checks are a merge walk.
+std::vector<uint32_t> latchSupport(const Aig& aig, AigLit root) {
+    std::vector<uint32_t> support;
+    std::vector<char> visited(aig.numVars(), 0);
+    std::vector<uint32_t> stack{aigVar(root)};
+    while (!stack.empty()) {
+        uint32_t v = stack.back();
+        stack.pop_back();
+        if (visited[v]) continue;
+        visited[v] = 1;
+        switch (aig.kind(v)) {
+        case Aig::VarKind::And:
+            stack.push_back(aigVar(aig.fanin0(v)));
+            stack.push_back(aigVar(aig.fanin1(v)));
+            break;
+        case Aig::VarKind::Latch:
+            support.push_back(v);
+            stack.push_back(aigVar(aig.latchNext(v)));
+            break;
+        case Aig::VarKind::Const:
+        case Aig::VarKind::Input:
+            break;
+        }
+    }
+    std::sort(support.begin(), support.end());
+    return support;
+}
+
+[[nodiscard]] bool supportsIntersect(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) return true;
+        if (a[i] < b[j])
+            ++i;
+        else
+            ++j;
+    }
+    return false;
+}
+
+/// Topological lemma-DAG waves over the justice obligations: obligation i
+/// depends on every earlier obligation j whose justice-net latch support
+/// (over the *base* AIG — the shared l2s bookkeeping state would make
+/// everything overlap) intersects its own; its wave is one past the
+/// deepest dependency. Obligations in one wave have pairwise-disjoint
+/// support, so discharging them in parallel forfeits only lemmas about
+/// state they never read — every overlapping (potentially strengthening)
+/// lemma still arrives via the inter-wave barrier. Wave membership is a
+/// function of declaration order and graph structure alone, so reports
+/// stay byte-identical for any worker count.
+std::vector<std::vector<ObligationJob*>> lemmaWaves(const Aig& baseAig, const BitBlast& bb,
+                                                    const std::vector<ObligationJob*>& jobs) {
+    const size_t n = jobs.size();
+    std::vector<std::vector<uint32_t>> support(n);
+    for (size_t i = 0; i < n; ++i)
+        support[i] = latchSupport(baseAig, bb.lit(jobs[i]->ob->net));
+    std::vector<size_t> wave(n, 0);
+    size_t maxWave = 0;
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < i; ++j)
+            if (supportsIntersect(support[i], support[j]))
+                wave[i] = std::max(wave[i], wave[j] + 1);
+        maxWave = std::max(maxWave, wave[i]);
+    }
+    std::vector<std::vector<ObligationJob*>> waves(maxWave + 1);
+    for (size_t i = 0; i < n; ++i) waves[wave[i]].push_back(jobs[i]);
+    return waves;
 }
 
 // ---------------------------------------------------------------------------
@@ -296,6 +391,25 @@ void ObligationScheduler::runPhaseBatched(const ProofContext& baseCtx,
     }
     if (toProve.empty()) return;
 
+    // Fuzz hook: permute the submission order (which changes batch
+    // composition and pool warm-up order — both of which the determinism
+    // contract says cannot move a verdict). One permutation reorders the
+    // three parallel arrays together.
+    if (opts_.perturbSeed != 0) {
+        const auto order = perturbedOrder(toProve.size(), opts_.perturbSeed, withPdr ? 1 : 2);
+        std::vector<ObligationJob*> pJobs(toProve.size());
+        std::vector<cache::Fingerprint> pFps(toProve.size());
+        std::vector<uint64_t> pKeys(toProve.size());
+        for (size_t i = 0; i < order.size(); ++i) {
+            pJobs[i] = toProve[order[i]];
+            pFps[i] = fps[order[i]];
+            pKeys[i] = structKeys[order[i]];
+        }
+        toProve.swap(pJobs);
+        fps.swap(pFps);
+        structKeys.swap(pKeys);
+    }
+
     // Frame-lockstep batched BMC: a static round-robin partition (not work
     // stealing) keeps each batch's composition deterministic for a given
     // worker count; everything the batch mix could influence — witness
@@ -433,6 +547,7 @@ std::vector<PropertyResult> ObligationScheduler::run() {
     // liveness proofs (the same lemma reuse commercial engines apply). The
     // barrier after phase A makes the constraint set — hence the results —
     // independent of worker timing.
+    util::Stopwatch phaseB;
     if (!liveJobs.empty()) {
         std::vector<AigLit> liveConstraints = constraints_;
         for (const ObligationJob* job : safetyJobs) {
@@ -453,29 +568,59 @@ std::vector<PropertyResult> ObligationScheduler::run() {
             });
         }
 
-        // Sequential PDR with lemma chaining, in declaration order: once a
+        // PDR with lemma chaining over the topological lemma DAG: once a
         // justice obligation is proven, every legal lasso must contain it,
-        // so its in-loop "seen" tracker becomes a fairness fact for the
-        // remaining (later) obligations. The fixed order keeps the
-        // reasoning acyclic and sound — and the output deterministic. This
-        // is the only place the live AIG is mutated, and no worker threads
-        // are running here.
-        AigLit provenSeen = kAigTrue;
-        for (ObligationJob* job : liveJobs) {
-            if (opts_.usePdr && job->result.status == Status::Unknown) {
-                job->pdrBad = provenSeen != kAigTrue
-                                  ? live_->mutableAig().mkAnd(job->bad, provenSeen)
-                                  : job->bad;
-                runChainPdr(liveCtx, *job);
-                if (job->result.status == Status::Proven)
-                    provenSeen = live_->mutableAig().mkAnd(provenSeen, live_->seen(job->ob));
+        // so its in-loop "seen" tracker becomes a fairness fact for later
+        // obligations. Obligations whose justice-net cones are disjoint
+        // cannot read each other's lemmas' state, so they form waves that
+        // are discharged in parallel; the barrier between waves collects
+        // the proven trackers in declaration order, which keeps the
+        // reasoning acyclic, sound, and byte-identical for any worker
+        // count. The live AIG is only mutated in the single-threaded gaps
+        // between waves — never while wave workers read it.
+        if (opts_.usePdr) {
+            AigLit provenSeen = kAigTrue;
+            const auto waves = lemmaWaves(bb_.aig, bb_, liveJobs);
+            liveWaves_ = waves.size();
+            for (const auto& wave : waves)
+                liveWaveWidest_ = std::max<uint64_t>(liveWaveWidest_, wave.size());
+            for (const auto& wave : waves) {
+                std::vector<ObligationJob*> todo;
+                for (ObligationJob* job : wave) {
+                    if (job->result.status != Status::Unknown) continue;
+                    job->pdrBad = provenSeen != kAigTrue
+                                      ? live_->mutableAig().mkAnd(job->bad, provenSeen)
+                                      : job->bad;
+                    todo.push_back(job);
+                }
+                if (opts_.perturbSeed != 0) {
+                    const auto order = perturbedOrder(todo.size(), opts_.perturbSeed, 3);
+                    std::vector<ObligationJob*> shuffled(todo.size());
+                    for (size_t i = 0; i < order.size(); ++i) shuffled[i] = todo[order[i]];
+                    todo.swap(shuffled);
+                }
+                parallelFor(opts_.jobs, todo.size(),
+                            [&](int, size_t t) { runChainPdr(liveCtx, *todo[t]); });
+                // Barrier passed: fold this wave's freshly proven trackers
+                // into the strengthening conjunction, in declaration order.
+                for (ObligationJob* job : wave) {
+                    if (job->result.status == Status::Proven &&
+                        std::find(todo.begin(), todo.end(), job) != todo.end())
+                        provenSeen = live_->mutableAig().mkAnd(provenSeen, live_->seen(job->ob));
+                }
             }
+        }
+        for (ObligationJob* job : liveJobs) {
             finalizeDepth(*job, opts_);
             sink.publish(job->index, job->result);
         }
     }
+    const double phaseBSeconds = liveJobs.empty() ? 0.0 : phaseB.seconds();
 
     stats_ = shared_.snapshot(total.seconds());
+    stats_.phaseBSeconds = phaseBSeconds;
+    stats_.liveWaves = liveWaves_;
+    stats_.liveWaveWidest = liveWaveWidest_;
     if (cache_) {
         cache::CacheStats cs = cache_->stats();
         stats_.cacheLookups = cs.lookups;

@@ -18,9 +18,12 @@
 //
 // Cross-property couplings are preserved by phase barriers instead of
 // timing: safety invariants proven in phase A are fed to the liveness
-// phase as constraints, and the liveness PDR lemma chain runs sequentially
-// in declaration order (it strengthens later obligations with the "seen"
-// trackers of earlier proven ones, which keeps the reasoning acyclic).
+// phase as constraints, and the liveness PDR lemma chain runs over a
+// topological lemma DAG — justice obligations with pairwise-disjoint
+// justice-net cones form waves discharged in parallel, and the barrier
+// between waves folds proven "seen" trackers into the strengthening
+// conjunction in declaration order (which keeps the reasoning acyclic and
+// the reports byte-identical for any worker count).
 //
 // When EngineOptions::cacheDir is set, a persistent proof cache
 // (src/cache/) sits in front of the strategy pipeline: each obligation is
@@ -78,7 +81,8 @@ private:
     void runPhaseBatched(const ProofContext& baseCtx,
                          const std::vector<ObligationJob*>& phaseJobs, bool withPdr,
                          sva::ResultSink* sink);
-    /// The sequential liveness PDR step, with its own cache stage.
+    /// One liveness lemma-DAG PDR job (run in parallel within a wave),
+    /// with its own cache stage.
     void runChainPdr(const ProofContext& ctx, ObligationJob& job) const;
     /// Maps a near-miss artifact's named lemmas onto the job's AIG as PDR
     /// seed candidates (bounded, re-validated downstream).
@@ -106,6 +110,8 @@ private:
     std::unordered_map<std::string, uint32_t> liveLatchNames_;
     SharedStats shared_;
     EngineStats stats_;
+    uint64_t liveWaves_ = 0;       ///< Lemma-DAG shape of the last run().
+    uint64_t liveWaveWidest_ = 0;
 };
 
 } // namespace autosva::formal

@@ -37,6 +37,20 @@ struct SharedStats {
     std::atomic<uint64_t> encoderClauses{0};
     std::atomic<uint64_t> conesMaterialized{0};
     std::atomic<uint64_t> solverReuses{0};
+    std::atomic<uint64_t> pdrFramesOpened{0};
+    std::atomic<uint64_t> pdrCubesBlocked{0};
+    std::atomic<uint64_t> pdrGenDropAttempts{0};
+    std::atomic<uint64_t> pdrRetryFallbacks{0};
+    std::atomic<uint64_t> pdrSeedCubesAdmitted{0};
+
+    /// Folds one pdrCheck's observability counters into the run totals.
+    void addPdr(const PdrStats& pdr) {
+        pdrFramesOpened.fetch_add(pdr.framesOpened, std::memory_order_relaxed);
+        pdrCubesBlocked.fetch_add(pdr.cubesBlocked, std::memory_order_relaxed);
+        pdrGenDropAttempts.fetch_add(pdr.genDropAttempts, std::memory_order_relaxed);
+        pdrRetryFallbacks.fetch_add(pdr.retryActivations, std::memory_order_relaxed);
+        pdrSeedCubesAdmitted.fetch_add(pdr.seedCubesAdmitted, std::memory_order_relaxed);
+    }
 
     /// Folds one strategy-layer solver's encoder cost into the counters.
     void addEncoder(const SatSolver& solver, const Unroller& un) {
@@ -55,6 +69,11 @@ struct SharedStats {
         s.encoderClauses = encoderClauses.load(std::memory_order_relaxed);
         s.conesMaterialized = conesMaterialized.load(std::memory_order_relaxed);
         s.solverReuses = solverReuses.load(std::memory_order_relaxed);
+        s.pdrFramesOpened = pdrFramesOpened.load(std::memory_order_relaxed);
+        s.pdrCubesBlocked = pdrCubesBlocked.load(std::memory_order_relaxed);
+        s.pdrGenDropAttempts = pdrGenDropAttempts.load(std::memory_order_relaxed);
+        s.pdrRetryFallbacks = pdrRetryFallbacks.load(std::memory_order_relaxed);
+        s.pdrSeedCubesAdmitted = pdrSeedCubesAdmitted.load(std::memory_order_relaxed);
         s.totalSeconds = totalSeconds;
         return s;
     }

@@ -22,11 +22,16 @@ public:
         PdrOptions pdrOpts;
         pdrOpts.maxFrames = ctx.opts.pdrMaxFrames;
         pdrOpts.maxQueries = ctx.opts.pdrMaxQueries;
+        pdrOpts.retryReorders = ctx.opts.pdrRetryReorders;
+        pdrOpts.perturbSeed = ctx.opts.perturbSeed;
         if (!job.pdrSeeds.empty()) pdrOpts.seedCubes = &job.pdrSeeds;
         AigLit effectiveBad = job.pdrBad != kAigFalse ? job.pdrBad : job.bad;
         PdrResult pr = pdrCheck(ctx.aig, effectiveBad, ctx.constraints, pdrOpts);
         job.result.seconds += sw.seconds();
-        if (ctx.stats) ctx.stats->satCalls.fetch_add(pr.queries, std::memory_order_relaxed);
+        if (ctx.stats) {
+            ctx.stats->satCalls.fetch_add(pr.queries, std::memory_order_relaxed);
+            ctx.stats->addPdr(pr.stats);
+        }
         switch (pr.kind) {
         case PdrResult::Kind::Proven:
             job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;

@@ -88,11 +88,14 @@ struct VerificationReport {
     [[nodiscard]] std::string str() const;
 
     /// Canonical verdict serialization: everything a verification run must
-    /// reproduce byte-for-byte (name, kind, status, depth, trace shape, in
-    /// declaration order) and nothing it legitimately may vary (wall-clock
-    /// times, engine-vs-cache provenance). A warm-cache rerun, a different
-    /// worker count, and a cache-disabled run of the same design all yield
-    /// the identical string.
+    /// reproduce byte-for-byte (name, kind, status, trace-bearing depths,
+    /// trace shape, in declaration order) and nothing it legitimately may
+    /// vary (wall-clock times, engine-vs-cache provenance, proof depths —
+    /// which are induction-k / PDR-convergence-frame engine artifacts that
+    /// move with the graph representation). A warm-cache rerun, a
+    /// different worker count, the AIG rewrite toggled either way, and any
+    /// perturbation seed all yield the identical string for the same
+    /// design.
     [[nodiscard]] std::string canonical() const;
 };
 

@@ -329,6 +329,111 @@ TEST(ProofStore, TruncatedTailAndForeignFileAreIgnored) {
     EXPECT_EQ(fs::file_size(dir.logPath()), 19u); // Foreign bytes untouched.
 }
 
+TEST(ProofStore, CompactKeepsNewestRecordPerKey) {
+    TempDir dir("compact");
+    // Two writers racing on the same (initially empty) log: both miss in
+    // their open-time snapshot, so both append under the same fingerprint —
+    // the only way duplicate keys legitimately arise.
+    {
+        cache::ProofCache a(dir.str());
+        cache::ProofCache b(dir.str());
+        cache::ProofArtifact stale = sampleArtifact();
+        stale.depth = 7;
+        cache::ProofArtifact fresh = sampleArtifact();
+        fresh.depth = 9;
+        a.store(cache::Fingerprint{1, 1}, stale);
+        b.store(cache::Fingerprint{1, 1}, fresh); // Appended later: must win.
+        a.store(cache::Fingerprint{2, 2}, sampleArtifact());
+        b.store(cache::Fingerprint{3, 3}, sampleArtifact());
+    }
+    const auto sizeBefore = fs::file_size(dir.logPath());
+    cache::CompactResult cr = cache::ProofCache::compactLog(dir.str());
+    EXPECT_TRUE(cr.performed);
+    EXPECT_EQ(cr.recordsBefore, 4u);
+    EXPECT_EQ(cr.recordsAfter, 3u);
+    EXPECT_EQ(cr.droppedCorrupt, 0u);
+    EXPECT_EQ(cr.bytesBefore, sizeBefore);
+    EXPECT_LT(cr.bytesAfter, cr.bytesBefore);
+    EXPECT_EQ(cr.bytesAfter, fs::file_size(dir.logPath()));
+
+    cache::ProofCache reloaded(dir.str());
+    EXPECT_EQ(reloaded.stats().entriesLoaded, 3u);
+    EXPECT_EQ(reloaded.stats().loadErrors, 0u);
+    auto art = reloaded.lookup(cache::Fingerprint{1, 1});
+    ASSERT_TRUE(art.has_value());
+    EXPECT_EQ(art->depth, 9); // The newest record survived, the stale one is gone.
+    EXPECT_TRUE(reloaded.lookup(cache::Fingerprint{2, 2}).has_value());
+    EXPECT_TRUE(reloaded.lookup(cache::Fingerprint{3, 3}).has_value());
+
+    // Compacting a compacted log is a fixpoint (byte size included).
+    cache::CompactResult again = cache::ProofCache::compactLog(dir.str());
+    EXPECT_TRUE(again.performed);
+    EXPECT_EQ(again.recordsAfter, 3u);
+    EXPECT_EQ(again.bytesAfter, cr.bytesAfter);
+}
+
+TEST(ProofStore, CompactDropsCorruptionAndIgnoresStaleStaging) {
+    TempDir dir("compact_corrupt");
+    {
+        cache::ProofCache store(dir.str());
+        store.store(cache::Fingerprint{1, 1}, sampleArtifact());
+        store.store(cache::Fingerprint{2, 2}, sampleArtifact());
+    }
+    // Corrupt the first record's payload (framing intact, checksum fails)
+    // and leave a stale staging file behind, as if a previous compactor
+    // died mid-write. The compactor must drop the corrupt record, ignore
+    // and replace the stale staging file, and produce a clean log.
+    {
+        std::fstream f(dir.logPath(), std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(8 + 32 + 4);
+        f.put(static_cast<char>(0x5a));
+    }
+    const fs::path staging = dir.path / "proofs.bin.compacting";
+    std::ofstream(staging, std::ios::binary) << "half-written garbage from a dead compactor";
+    ASSERT_TRUE(fs::exists(staging));
+
+    cache::CompactResult cr = cache::ProofCache::compactLog(dir.str());
+    EXPECT_TRUE(cr.performed);
+    EXPECT_EQ(cr.recordsBefore, 1u);
+    EXPECT_EQ(cr.droppedCorrupt, 1u);
+    EXPECT_EQ(cr.recordsAfter, 1u);
+    EXPECT_FALSE(fs::exists(staging)); // Promoted over the log, not left behind.
+
+    cache::ProofCache reloaded(dir.str());
+    EXPECT_EQ(reloaded.stats().entriesLoaded, 1u);
+    EXPECT_EQ(reloaded.stats().loadErrors, 0u); // Corruption gone for good.
+    EXPECT_FALSE(reloaded.lookup(cache::Fingerprint{1, 1}).has_value());
+    EXPECT_TRUE(reloaded.lookup(cache::Fingerprint{2, 2}).has_value());
+}
+
+TEST(ProofStore, CompactRefusesForeignFile) {
+    TempDir dir("compact_foreign");
+    fs::create_directories(dir.path);
+    std::ofstream(dir.logPath(), std::ios::binary) << "this is not a cache";
+    cache::CompactResult cr = cache::ProofCache::compactLog(dir.str());
+    EXPECT_FALSE(cr.performed);
+    // The foreign bytes are untouched.
+    std::ifstream in(dir.logPath());
+    std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, "this is not a cache");
+
+    // Even a foreign file shorter than our 8-byte magic is not ours to
+    // destroy.
+    std::ofstream(dir.logPath(), std::ios::binary | std::ios::trunc) << "abc";
+    cr = cache::ProofCache::compactLog(dir.str());
+    EXPECT_FALSE(cr.performed);
+    EXPECT_EQ(fs::file_size(dir.logPath()), 3u);
+}
+
+TEST(ProofStore, CompactRefusesMissingLog) {
+    // A typo'd --cache-dir must surface as "nothing to compact" — not
+    // fabricate a directory tree and an empty log.
+    TempDir dir("compact_missing");
+    cache::CompactResult cr = cache::ProofCache::compactLog(dir.str());
+    EXPECT_FALSE(cr.performed);
+    EXPECT_FALSE(fs::exists(dir.logPath()));
+}
+
 // ---------------------------------------------------------------------------
 // Engine integration
 // ---------------------------------------------------------------------------

@@ -1,0 +1,357 @@
+// PDR hardening tests: the persistent PdrContext (resumable budget-edge
+// search, retry-with-reordered-cubes fallback, observability counters) and
+// the perturbation-robustness contract — seeded shuffles of proof-obligation
+// and cube submission order must produce byte-identical canonical reports,
+// on every registered design, because the engine canonicalizes every
+// ordering before it can reach a SAT query.
+//
+// The MMU fetch-chain gate (MmuFetchChainProvenUnderSeeds) re-verifies the
+// paper's flagship module once per perturbation seed at a full proving
+// budget; set AUTOSVA_MMU_FUZZ_SEEDS to a smaller count for quick local
+// iteration (CI and acceptance runs use the default of 20).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/autosva.hpp"
+#include "designs/designs.hpp"
+#include "formal/bitblast.hpp"
+#include "formal/pdr.hpp"
+#include "formal/scheduler.hpp"
+#include "rtlir/elaborate.hpp"
+#include "sva/report.hpp"
+
+namespace {
+
+using namespace autosva;
+using formal::EngineOptions;
+using formal::PdrCube;
+using formal::PdrOptions;
+using formal::PdrResult;
+using formal::Status;
+
+std::unique_ptr<ir::Design> elab(const std::string& src, const std::string& top) {
+    util::DiagEngine diags;
+    ir::ElabOptions opts;
+    opts.tieOffs["rst_ni"] = 1;
+    return ir::elaborateSources({src}, top, diags, opts);
+}
+
+// A deep invariant PDR proves (a == b needs reachability reasoning: plain
+// induction fails because unreachable states with a != b step to a != b).
+constexpr const char* kDeepInvariantRtl = R"(
+module m (input wire clk_i, input wire rst_ni, input wire en);
+  reg [3:0] a;
+  reg [3:0] b;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      a <= 4'd0;
+      b <= 4'd0;
+    end else if (en) begin
+      a <= a + 4'd1;
+      b <= b + 4'd1;
+    end
+  end
+  as__equal: assert property (a == b);
+endmodule)";
+
+struct PdrSetup {
+    std::unique_ptr<ir::Design> design;
+    formal::BitBlast bb;
+    formal::AigLit bad = formal::kAigFalse;
+    std::vector<formal::AigLit> constraints;
+
+    explicit PdrSetup(const char* rtl) : design(elab(rtl, "m")), bb(formal::bitblast(*design)) {
+        bad = bb.lit(design->obligations()[0].net);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Persistent PdrContext
+// ---------------------------------------------------------------------------
+
+TEST(PdrContext, ResumesAcrossBudgetGrants) {
+    PdrSetup s(kDeepInvariantRtl);
+    PdrOptions opts;
+    opts.maxQueries = 30; // Far too small for the proof in one slice.
+    opts.retryReorders = 0;
+    formal::PdrContext ctx(s.bb.aig, s.bad, s.constraints, opts);
+
+    PdrResult r = ctx.search();
+    ASSERT_EQ(r.kind, PdrResult::Kind::Unknown);
+    EXPECT_TRUE(ctx.budgetExhausted());
+    const uint64_t framesAfterFirst = ctx.stats().framesOpened;
+    EXPECT_GT(framesAfterFirst, 0u);
+
+    // Keep granting budget; the learned frames persist (no re-opening
+    // storm), so the proof eventually closes on the same context.
+    int grants = 0;
+    while (r.kind == PdrResult::Kind::Unknown && ctx.budgetExhausted() && grants < 200) {
+        ctx.grantBudget();
+        ++grants;
+        r = ctx.search();
+    }
+    EXPECT_EQ(r.kind, PdrResult::Kind::Proven);
+    EXPECT_GT(grants, 0);
+    EXPECT_FALSE(r.invariant.empty());
+}
+
+TEST(PdrCheck, ProvesAndPopulatesStats) {
+    PdrSetup s(kDeepInvariantRtl);
+    PdrResult r = formal::pdrCheck(s.bb.aig, s.bad, s.constraints);
+    EXPECT_EQ(r.kind, PdrResult::Kind::Proven);
+    EXPECT_GT(r.stats.framesOpened, 0u);
+    EXPECT_GT(r.stats.cubesBlocked, 0u);
+    EXPECT_GT(r.stats.genDropAttempts, 0u);
+    EXPECT_EQ(r.stats.retryActivations, 0u); // No budget edge: no retries.
+}
+
+TEST(PdrCheck, RetryFallbackActivatesOnBudgetEdge) {
+    PdrSetup s(kDeepInvariantRtl);
+    PdrOptions opts;
+    opts.maxQueries = 40; // Budget-edge: one slice is not enough.
+    opts.retryReorders = 2;
+    PdrResult r = formal::pdrCheck(s.bb.aig, s.bad, s.constraints, opts);
+    // Whatever the verdict at this tiny budget, the fallback must have
+    // fired and been counted.
+    EXPECT_GE(r.stats.retryActivations, 1u);
+    EXPECT_LE(r.stats.retryActivations, 2u);
+    EXPECT_GT(r.queries, opts.maxQueries); // Retries got fresh budget.
+
+    // A frame-bound Unknown must NOT trigger the fallback.
+    PdrOptions framesOnly;
+    framesOnly.maxFrames = 1;
+    framesOnly.retryReorders = 3;
+    PdrResult rf = formal::pdrCheck(s.bb.aig, s.bad, s.constraints, framesOnly);
+    if (rf.kind == PdrResult::Kind::Unknown) EXPECT_EQ(rf.stats.retryActivations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ordering-insensitivity at the pdrCheck level
+// ---------------------------------------------------------------------------
+
+TEST(PdrCheck, PerturbationSeedsAreQueryIdentical) {
+    // The perturbation hook shuffles cube literals and seed-cube order
+    // *before* canonicalization; because generalization and admission are
+    // functions of the literal sets only, every seed must produce not just
+    // the same verdict but the byte-identical query sequence — counted
+    // here as an exact query-total match.
+    PdrSetup s(kDeepInvariantRtl);
+    PdrResult base = formal::pdrCheck(s.bb.aig, s.bad, s.constraints);
+    ASSERT_EQ(base.kind, PdrResult::Kind::Proven);
+    for (uint64_t seed : {1u, 2u, 3u, 42u, 0xdeadbeefu}) {
+        PdrOptions opts;
+        opts.perturbSeed = seed;
+        PdrResult r = formal::pdrCheck(s.bb.aig, s.bad, s.constraints, opts);
+        EXPECT_EQ(r.kind, base.kind) << "seed " << seed;
+        EXPECT_EQ(r.depth, base.depth) << "seed " << seed;
+        EXPECT_EQ(r.queries, base.queries) << "seed " << seed;
+        EXPECT_EQ(r.invariant, base.invariant) << "seed " << seed;
+    }
+}
+
+TEST(PdrCheck, SeedCubeSubmissionOrderIsIrrelevant) {
+    // Candidate invariant cubes from the cache are re-validated through a
+    // greatest-fixpoint filter; the admitted subset (and everything after)
+    // must not depend on the order the cache handed them over.
+    PdrSetup s(kDeepInvariantRtl);
+    PdrResult proof = formal::pdrCheck(s.bb.aig, s.bad, s.constraints);
+    ASSERT_EQ(proof.kind, PdrResult::Kind::Proven);
+    ASSERT_FALSE(proof.invariant.empty());
+
+    std::vector<PdrCube> forward = proof.invariant;
+    std::vector<PdrCube> backward(forward.rbegin(), forward.rend());
+    // Scramble the literal order inside each cube too.
+    for (PdrCube& cube : backward) std::reverse(cube.begin(), cube.end());
+
+    auto run = [&](const std::vector<PdrCube>& seeds) {
+        PdrOptions opts;
+        opts.seedCubes = &seeds;
+        return formal::pdrCheck(s.bb.aig, s.bad, s.constraints, opts);
+    };
+    PdrResult a = run(forward);
+    PdrResult b = run(backward);
+    EXPECT_EQ(a.kind, PdrResult::Kind::Proven);
+    EXPECT_EQ(a.stats.seedCubesAdmitted, b.stats.seedCubesAdmitted);
+    EXPECT_EQ(a.queries, b.queries);
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_EQ(a.invariant, b.invariant);
+    EXPECT_GT(a.stats.seedCubesAdmitted, 0u); // A real proof's own invariant re-admits.
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level perturbation fuzz and rewrite identity on the registered designs
+// ---------------------------------------------------------------------------
+
+struct DesignRun {
+    std::string canonical;
+    sva::VerificationReport report;
+};
+
+DesignRun runDesign(const designs::DesignInfo& info, bool aigRewrite, int jobs,
+                    uint64_t perturbSeed) {
+    util::DiagEngine diags;
+    core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+    core::VerifyOptions vopts;
+    // The bench budgets: every scheduler phase still runs, the PDR tails
+    // stay bounded. The MMU runs below its liveness budget edge: verdicts
+    // are monotone in the query budget, but *which* side of a budget bound
+    // a proof lands on is a property of the graph representation — the two
+    // deep MMU liveness proofs sit exactly on the 30k edge, where the
+    // rewritten and legacy graphs legitimately disagree about what fits.
+    // (At the full 200k budget the rewritten default proves 100% of the
+    // MMU set — the MmuFetchChainProvenUnderSeeds gate below — while the
+    // legacy graph still cannot; that asymmetry is the speedup, not a
+    // soundness issue.)
+    vopts.engine.bmcDepth = 15;
+    vopts.engine.pdrMaxQueries = info.id == "A3" ? 15000 : 30000;
+    vopts.engine.aigRewrite = aigRewrite;
+    vopts.engine.jobs = jobs;
+    vopts.engine.perturbSeed = perturbSeed;
+    if (!info.extensionSva.empty()) vopts.extraSources.push_back(info.extensionSva);
+    DesignRun run;
+    run.report = core::verify(designs::rtlSources(info), ft, vopts, diags);
+    run.canonical = run.report.canonical();
+    return run;
+}
+
+// N seeded random shuffles of proof-obligation and cube submission order
+// (scheduler batches, lemma-DAG wave order, PDR cube/seed literals) must
+// produce the identical canonical report on every registered design.
+TEST(PerturbationFuzz, AllDesignsCanonicalInvariantUnderSeededShuffles) {
+    for (const auto& info : designs::allDesigns()) {
+        DesignRun base = runDesign(info, /*aigRewrite=*/true, /*jobs=*/1, /*perturbSeed=*/0);
+        ASSERT_FALSE(base.report.results.empty()) << info.id;
+        for (uint64_t seed : {1u, 2u}) {
+            DesignRun perturbed = runDesign(info, true, 1, seed);
+            EXPECT_EQ(perturbed.canonical, base.canonical)
+                << info.id << " diverged at perturbation seed " << seed;
+        }
+    }
+}
+
+// The acceptance gate of the aigRewrite default flip: canonical reports
+// byte-identical across {rewrite on/off} x {jobs 1,4} on all registered
+// designs. Proof depths are engine artifacts and excluded from canonical();
+// statuses and trace shapes are semantic and must not move.
+TEST(RewriteIdentity, CanonicalAcrossRewriteAndJobsOnAllDesigns) {
+    for (const auto& info : designs::allDesigns()) {
+        DesignRun base = runDesign(info, /*aigRewrite=*/true, /*jobs=*/1, 0);
+        ASSERT_FALSE(base.report.results.empty()) << info.id;
+        EXPECT_EQ(runDesign(info, true, 4, 0).canonical, base.canonical)
+            << info.id << " diverged at rewrite=on jobs=4";
+        EXPECT_EQ(runDesign(info, false, 1, 0).canonical, base.canonical)
+            << info.id << " diverged at rewrite=off jobs=1";
+        EXPECT_EQ(runDesign(info, false, 4, 0).canonical, base.canonical)
+            << info.id << " diverged at rewrite=off jobs=4";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma-DAG wave structure
+// ---------------------------------------------------------------------------
+
+// Two liveness channels over disjoint state must share a wave (discharged
+// in parallel); a third obligation reading channel A's state must wait a
+// wave for A's lemma. The overlapping designs in the registry all
+// degenerate to widest == 1 (the sequential chain with full strengthening
+// power); this is the design shape where the DAG actually buys wall clock.
+TEST(LemmaDag, DisjointChannelsShareAWaveOverlappingOnesWait) {
+    auto d = elab(R"(
+module m (input wire clk_i, input wire rst_ni);
+  reg [2:0] qa;
+  reg [2:0] qb;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      qa <= 3'd0;
+      qb <= 3'd0;
+    end else begin
+      if (qa != 3'd7) qa <= qa + 3'd1;
+      if (qb != 3'd7) qb <= qb + 3'd1;
+    end
+  end
+  as__live_a: assert property (s_eventually (qa == 3'd7));
+  as__live_b: assert property (s_eventually (qb == 3'd7));
+  as__live_a_again: assert property (s_eventually (qa >= 3'd6));
+endmodule)",
+                  "m");
+    auto run = [&](int jobs) {
+        EngineOptions opts;
+        opts.jobs = jobs;
+        formal::ObligationScheduler scheduler(*d, opts);
+        auto results = scheduler.run();
+        for (const auto& r : results)
+            if (r.kind == ir::Obligation::Kind::Justice)
+                EXPECT_EQ(r.status, Status::Proven) << r.name;
+        return scheduler.stats();
+    };
+    formal::EngineStats seq = run(1);
+    // a and b are support-disjoint: one wave holds both. a_again reads qa's
+    // cone, so it waits for as__live_a's tracker in the next wave.
+    EXPECT_EQ(seq.liveWaves, 2u);
+    EXPECT_EQ(seq.liveWaveWidest, 2u);
+    formal::EngineStats par = run(4);
+    EXPECT_EQ(par.liveWaves, seq.liveWaves);
+    EXPECT_EQ(par.liveWaveWidest, seq.liveWaveWidest);
+}
+
+// ---------------------------------------------------------------------------
+// The MMU fetch-chain gate
+// ---------------------------------------------------------------------------
+
+// The budget-edge proof that motivated the whole hardening: the Ariane MMU
+// fetch chain liveness proof (phase-B lemma DAG, strengthened pdrBad) must
+// be Proven and stay Proven under >= 20 seeded ordering perturbations.
+// Runs the full MMU verification once per seed at a full proving budget
+// (the configuration that closes 100% of the MMU property set).
+TEST(PerturbationFuzz, MmuFetchChainProvenUnderSeeds) {
+    int seeds = 20;
+    if (const char* env = std::getenv("AUTOSVA_MMU_FUZZ_SEEDS"); env && *env)
+        seeds = std::atoi(env);
+    ASSERT_GE(seeds, 1);
+
+    const auto& info = designs::design("ariane_mmu");
+    const char* chainProp = "ariane_mmu_prop_i.as__fetch_mmu_fetch_req_hsk_or_drop";
+
+    auto runMmu = [&](uint64_t perturbSeed) {
+        util::DiagEngine diags;
+        core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+        core::VerifyOptions vopts;
+        vopts.engine.bmcDepth = 15;
+        vopts.engine.pdrMaxQueries = 200000;
+        vopts.engine.checkCovers = false; // Covers are phase-A noise here.
+        // Pinned, not defaulted: this test gates perturbation robustness of
+        // the graph that proves the chain at this budget — under CI's
+        // rewrite=off A/B leg (AUTOSVA_NO_AIG_REWRITE) the legacy-graph
+        // default would land the proof on the wrong side of the budget.
+        vopts.engine.aigRewrite = true;
+        vopts.engine.perturbSeed = perturbSeed;
+        if (!info.extensionSva.empty()) vopts.extraSources.push_back(info.extensionSva);
+        DesignRun run;
+        run.report = core::verify(designs::rtlSources(info), ft, vopts, diags);
+        run.canonical = run.report.canonical();
+        return run;
+    };
+
+    DesignRun base = runMmu(0);
+    {
+        SCOPED_TRACE(base.report.str());
+        const auto* chain = base.report.find(chainProp);
+        ASSERT_NE(chain, nullptr);
+        ASSERT_EQ(chain->status, Status::Proven)
+            << "the fetch chain proof must close at the full budget";
+    }
+    for (int seed = 1; seed <= seeds; ++seed) {
+        DesignRun perturbed = runMmu(static_cast<uint64_t>(seed));
+        EXPECT_EQ(perturbed.canonical, base.canonical)
+            << "canonical report diverged at perturbation seed " << seed;
+        const auto* chain = perturbed.report.find(chainProp);
+        ASSERT_NE(chain, nullptr);
+        EXPECT_EQ(chain->status, Status::Proven)
+            << "fetch chain proof lost at perturbation seed " << seed;
+    }
+}
+
+} // namespace

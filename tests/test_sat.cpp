@@ -146,6 +146,44 @@ TEST(Sat, RandomThreeSatSatisfiableInstancesModelCheck) {
     }
 }
 
+TEST(Sat, SimplifyPurgesClosedClauseGroups) {
+    // The PDR frame-solver pattern: per-query facts live in clause groups,
+    // closing a group satisfies its clauses at level 0, and simplify()
+    // must actually shed them from the clause database — liveClauses()
+    // shrinks back to the persistent encoding.
+    SatSolver s;
+    int a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.addTernary(mkSatLit(a), mkSatLit(b), mkSatLit(c)); // Persistent clause.
+    const size_t persistent = s.liveClauses();
+    EXPECT_EQ(persistent, 1u);
+
+    std::vector<SatLit> groups;
+    for (int g = 0; g < 8; ++g) {
+        SatLit act = s.openClauseGroup();
+        s.addClauseIn(act, {mkSatLit(a), satNeg(mkSatLit(b))});
+        s.addClauseIn(act, {satNeg(mkSatLit(a)), mkSatLit(c)});
+        groups.push_back(act);
+        EXPECT_EQ(s.solve({act}), SatResult::Sat);
+    }
+    const size_t beforeClose = s.liveClauses();
+    EXPECT_GE(beforeClose, persistent + 16);
+
+    for (SatLit act : groups) s.closeClauseGroup(act);
+    // Closing alone retires the groups logically but keeps the clauses
+    // attached; simplify() is what frees them.
+    EXPECT_EQ(s.liveClauses(), beforeClose);
+    s.simplify();
+    EXPECT_LT(s.liveClauses(), beforeClose);
+    EXPECT_EQ(s.liveClauses(), persistent);
+
+    // The solver is still correct afterwards.
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    s.addUnit(satNeg(mkSatLit(a)));
+    s.addUnit(satNeg(mkSatLit(b)));
+    s.addUnit(satNeg(mkSatLit(c)));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
 TEST(Sat, ConflictBudgetReturnsUnknown) {
     // A hard instance with a tiny budget must bail out with Unknown.
     SatSolver s;

@@ -34,19 +34,28 @@ usage:
   autosva gen  <dut.sv> [-o OUTDIR] [--tool jasper|sby|all] [--assert-inputs]
                [--no-xprop] [--max-outstanding N] [--dut NAME]
   autosva run  <dut.sv> [extra.sv ...] [--param NAME=VALUE] [--depth N]
-               [--jobs N] [--no-liveness] [--no-covers]
-               [--cache-dir DIR] [--no-cache] [--cache-stats] [--stats]
-               [--no-solver-reuse] [--aig-rewrite]
+               [--jobs N] [--pdr-queries N] [--pdr-retries N]
+               [--no-liveness] [--no-covers]
+               [--cache-dir DIR] [--no-cache] [--cache-stats] [--cache-compact]
+               [--stats] [--no-solver-reuse] [--no-aig-rewrite]
   autosva sim  <dut.sv> [--cycles N] [--seed N] [--vcd FILE]
   autosva list
+  autosva cache compact [--cache-dir DIR]
   autosva run-design <name> [--bug 0|1] [--depth N] [--jobs N]
-               [--cache-dir DIR] [--no-cache] [--cache-stats] [--stats]
-               [--no-solver-reuse] [--aig-rewrite]
+               [--pdr-queries N] [--pdr-retries N]
+               [--cache-dir DIR] [--no-cache] [--cache-stats] [--cache-compact]
+               [--stats] [--no-solver-reuse] [--no-aig-rewrite]
 
 options:
   --jobs N         worker threads for property discharge (default 1; 0 = one
                    per hardware thread). Per-property verdicts, depths, and
                    report ordering are identical for every value of N.
+  --pdr-queries N  PDR SAT-query budget per property (default 1000000).
+                   Verdicts are monotone in the budget: raising it can only
+                   turn Unknowns into proofs or counterexamples.
+  --pdr-retries N  budget-edge retry allowance (default 2): a query-budget
+                   Unknown resumes on its learned frames with a fresh budget
+                   and a rotated generalization order up to N times.
   --cache-dir DIR  persistent proof-cache directory (default:
                    $AUTOSVA_CACHE_DIR, else $XDG_CACHE_HOME/autosva, else
                    ~/.cache/autosva). Reruns of unchanged obligations are
@@ -56,17 +65,24 @@ options:
                    never depend on cache contents).
   --no-cache       disable the proof cache for this run.
   --cache-stats    print proof-cache hit/seed statistics after the report.
+  --cache-compact  compact the proof-cache log after the run: keep the
+                   newest record per key, drop corrupt records, atomically
+                   swap in the fresh generation (also available standalone
+                   as `autosva cache compact`).
   --stats          print engine counters after the report: SAT calls,
                    conflicts, propagations, encoder vars/clauses created,
-                   cones materialized, solver reuses.
+                   cones materialized, solver reuses, and the PDR frame/
+                   generalization/retry counters.
   --no-solver-reuse  discharge every obligation on a throwaway solver
                    instead of the per-worker incremental solver contexts.
                    Verdicts, depths, and traces are identical either way;
                    this exists for A/B measurement (bench_solver_reuse).
-  --aig-rewrite    enable the post-bit-blast AIG structural rewrite
-                   (strashing / absorption / latch merging). Deterministic
-                   and semantics-preserving; off by default while PDR's
-                   budget heuristics remain perturbation-sensitive.
+  --no-aig-rewrite disable the post-bit-blast AIG structural rewrite
+                   (strashing / absorption / latch merging) and run on the
+                   legacy unrewritten graph. The rewrite is deterministic,
+                   semantics-preserving, and ON by default; canonical
+                   verdicts are identical either way (A/B: CI's rewrite
+                   matrix, bench_solver_reuse --no-aig-rewrite).
 )";
     std::exit(2);
 }
@@ -138,10 +154,11 @@ struct Args {
 
 Args parseArgs(int argc, char** argv, int start) {
     Args args;
-    static const char* valueOpts[] = {"-o",       "--tool", "--max-outstanding",
+    static const char* valueOpts[] = {"-o",       "--tool",  "--max-outstanding",
                                       "--dut",    "--depth", "--jobs",
                                       "--cycles", "--seed",  "--vcd",
-                                      "--bug",    "--param", "--cache-dir"};
+                                      "--bug",    "--param", "--cache-dir",
+                                      "--pdr-queries", "--pdr-retries"};
     for (int i = start; i < argc; ++i) {
         std::string a = argv[i];
         bool takesValue = false;
@@ -208,10 +225,19 @@ int runReport(const std::vector<std::string>& sources,
     vopts.sourcePaths = sourcePaths;
     vopts.engine.bmcDepth = static_cast<int>(args.getInt("--depth", 25, 1));
     vopts.engine.jobs = args.jobs();
+    vopts.engine.pdrMaxQueries = static_cast<uint64_t>(
+        args.getInt("--pdr-queries", static_cast<long>(vopts.engine.pdrMaxQueries), 1));
+    vopts.engine.pdrRetryReorders =
+        static_cast<int>(args.getInt("--pdr-retries", vopts.engine.pdrRetryReorders, 0, 100));
     vopts.engine.useLivenessToSafety = !args.has("--no-liveness");
     vopts.engine.checkCovers = !args.has("--no-covers");
     vopts.engine.solverReuse = !args.has("--no-solver-reuse");
-    vopts.engine.aigRewrite = args.has("--aig-rewrite");
+    // --aig-rewrite is accepted for compatibility with pre-default-flip
+    // scripts; --no-aig-rewrite selects the legacy graph.
+    if (args.has("--no-aig-rewrite"))
+        vopts.engine.aigRewrite = false;
+    else if (args.has("--aig-rewrite"))
+        vopts.engine.aigRewrite = true;
     if (!args.has("--no-cache"))
         vopts.engine.cacheDir = args.get("--cache-dir", cache::ProofCache::defaultDir());
     for (const auto& [name, value] : args.params) vopts.paramOverrides[name] = value;
@@ -220,14 +246,24 @@ int runReport(const std::vector<std::string>& sources,
     if (args.has("--stats")) {
         const formal::EngineStats& es = report.engineStats;
         std::printf("engine: sat-calls=%llu conflicts=%llu propagations=%llu\n"
-                    "encoder: vars=%llu clauses=%llu cones=%llu solver-reuses=%llu\n",
+                    "encoder: vars=%llu clauses=%llu cones=%llu solver-reuses=%llu\n"
+                    "pdr: frames-opened=%llu cubes-blocked=%llu gen-drop-attempts=%llu "
+                    "retry-fallbacks=%llu seed-cubes-admitted=%llu\n"
+                    "lemma-dag: waves=%llu widest=%llu\n",
                     static_cast<unsigned long long>(es.satCalls),
                     static_cast<unsigned long long>(es.conflicts),
                     static_cast<unsigned long long>(es.propagations),
                     static_cast<unsigned long long>(es.encoderVars),
                     static_cast<unsigned long long>(es.encoderClauses),
                     static_cast<unsigned long long>(es.conesMaterialized),
-                    static_cast<unsigned long long>(es.solverReuses));
+                    static_cast<unsigned long long>(es.solverReuses),
+                    static_cast<unsigned long long>(es.pdrFramesOpened),
+                    static_cast<unsigned long long>(es.pdrCubesBlocked),
+                    static_cast<unsigned long long>(es.pdrGenDropAttempts),
+                    static_cast<unsigned long long>(es.pdrRetryFallbacks),
+                    static_cast<unsigned long long>(es.pdrSeedCubesAdmitted),
+                    static_cast<unsigned long long>(es.liveWaves),
+                    static_cast<unsigned long long>(es.liveWaveWidest));
         const sva::FrontendStats& fs = report.frontend;
         std::printf("frontend: sources-parsed=%llu generated-reparses=%llu "
                     "generated-ast-reused=%llu\n",
@@ -251,6 +287,24 @@ int runReport(const std::vector<std::string>& sources,
                         static_cast<unsigned long long>(report.engineStats.cacheSeededLemmas),
                         report.numCached());
         }
+    }
+    if (args.has("--cache-compact") && vopts.engine.cacheDir.empty()) {
+        std::printf("cache: compaction skipped (cache disabled for this run)\n");
+    } else if (args.has("--cache-compact")) {
+        // The run's ProofCache (inside verify) is closed by now, so the log
+        // is safe to rewrite.
+        cache::CompactResult cr = cache::ProofCache::compactLog(vopts.engine.cacheDir);
+        if (cr.performed)
+            std::printf("cache: compacted %llu -> %llu records (%llu corrupt dropped), "
+                        "%llu -> %llu bytes\n",
+                        static_cast<unsigned long long>(cr.recordsBefore),
+                        static_cast<unsigned long long>(cr.recordsAfter),
+                        static_cast<unsigned long long>(cr.droppedCorrupt),
+                        static_cast<unsigned long long>(cr.bytesBefore),
+                        static_cast<unsigned long long>(cr.bytesAfter));
+        else
+            std::printf("cache: compaction skipped (no writable log at %s)\n",
+                        vopts.engine.cacheDir.c_str());
     }
     // Print the first failing trace, if any.
     if (const auto* failure = report.firstFailure()) {
@@ -312,6 +366,29 @@ int cmdSim(const Args& args) {
     return simulator.violations().empty() ? 0 : 1;
 }
 
+int cmdCache(const Args& args) {
+    if (args.positional.empty() || args.positional[0] != "compact") usage();
+    std::string dir = args.get("--cache-dir", cache::ProofCache::defaultDir());
+    if (dir.empty()) {
+        std::cerr << "error: no cache directory (set --cache-dir or $AUTOSVA_CACHE_DIR)\n";
+        return 1;
+    }
+    cache::CompactResult cr = cache::ProofCache::compactLog(dir);
+    if (!cr.performed) {
+        std::cerr << "error: cannot compact proof-cache log in '" << dir
+                  << "' (missing, foreign, or unwritable)\n";
+        return 1;
+    }
+    std::printf("compacted %s: %llu -> %llu records (%llu corrupt dropped), "
+                "%llu -> %llu bytes\n",
+                dir.c_str(), static_cast<unsigned long long>(cr.recordsBefore),
+                static_cast<unsigned long long>(cr.recordsAfter),
+                static_cast<unsigned long long>(cr.droppedCorrupt),
+                static_cast<unsigned long long>(cr.bytesBefore),
+                static_cast<unsigned long long>(cr.bytesAfter));
+    return 0;
+}
+
 int cmdList() {
     for (const auto& d : designs::allDesigns())
         std::cout << d.id << "  " << d.name << " — " << d.description << "\n      paper: "
@@ -349,6 +426,7 @@ int main(int argc, char** argv) {
         if (cmd == "run") return cmdRun(args);
         if (cmd == "sim") return cmdSim(args);
         if (cmd == "list") return cmdList();
+        if (cmd == "cache") return cmdCache(args);
         if (cmd == "run-design") return cmdRunDesign(args);
         usage();
     } catch (const util::FrontendError& err) {
