@@ -34,6 +34,14 @@ struct JsonRow {
     uint64_t pdr_gen_drops = 0;    ///< Literal-drop consecution probes.
     uint64_t pdr_retries = 0;      ///< Budget-edge reordered retries.
     uint64_t pdr_seeds = 0;        ///< Cache seed cubes admitted.
+    // Scheduler phase split + portfolio/budget observability (0 when the
+    // corresponding feature never ran).
+    double phase_a_s = 0.0;        ///< Safety-phase wall clock.
+    double phase_b_s = 0.0;        ///< Liveness-phase wall clock.
+    uint64_t legs_launched = 0;    ///< Portfolio ladder legs actually run.
+    uint64_t legs_cancelled = 0;   ///< Legs cancelled or raced past.
+    uint64_t queries_returned = 0; ///< Unspent grant queries settled back.
+    uint64_t refills_granted = 0;  ///< Budget-pool draws handed out.
 };
 
 /// Strips `--json <path>` from argv (so positional-argument benches keep
@@ -80,15 +88,21 @@ inline void writeJson(const std::string& path, const std::string& benchName,
     out << "{\"bench\": \"" << jsonEscape(benchName) << "\", \"rows\": [";
     for (size_t i = 0; i < rows.size(); ++i) {
         const JsonRow& r = rows[i];
-        char buf[64];
+        char buf[64], bufA[64], bufB[64];
         std::snprintf(buf, sizeof buf, "%.6f", r.wall_s);
+        std::snprintf(bufA, sizeof bufA, "%.6f", r.phase_a_s);
+        std::snprintf(bufB, sizeof bufB, "%.6f", r.phase_b_s);
         out << (i ? ", " : "") << "{\"name\": \"" << jsonEscape(r.name)
             << "\", \"design\": \"" << jsonEscape(r.design) << "\", \"wall_s\": " << buf
             << ", \"sat_calls\": " << r.sat_calls << ", \"conflicts\": " << r.conflicts
             << ", \"props\": " << r.props << ", \"pdr_frames\": " << r.pdr_frames
             << ", \"pdr_cubes\": " << r.pdr_cubes << ", \"pdr_gen_drops\": " << r.pdr_gen_drops
             << ", \"pdr_retries\": " << r.pdr_retries << ", \"pdr_seeds\": " << r.pdr_seeds
-            << "}";
+            << ", \"phase_a_s\": " << bufA << ", \"phase_b_s\": " << bufB
+            << ", \"legs_launched\": " << r.legs_launched
+            << ", \"legs_cancelled\": " << r.legs_cancelled
+            << ", \"queries_returned\": " << r.queries_returned
+            << ", \"refills_granted\": " << r.refills_granted << "}";
     }
     out << "]}\n";
     if (!out.good()) {
@@ -108,6 +122,12 @@ inline void fillEngineFields(JsonRow& row, const formal::EngineStats& stats) {
     row.pdr_gen_drops = stats.pdrGenDropAttempts;
     row.pdr_retries = stats.pdrRetryFallbacks;
     row.pdr_seeds = stats.pdrSeedCubesAdmitted;
+    row.phase_a_s = stats.phaseASeconds;
+    row.phase_b_s = stats.phaseBSeconds;
+    row.legs_launched = stats.portfolioLegsLaunched;
+    row.legs_cancelled = stats.portfolioLegsCancelled;
+    row.queries_returned = stats.budgetQueriesReturned;
+    row.refills_granted = stats.budgetRefillsGranted;
 }
 
 /// Fills a row's engine-derived fields from a verification report.

@@ -12,6 +12,7 @@
 // Run:  bench_parallel_speedup [workers] [rounds]
 // Exit: non-zero if any multi-worker run diverges from the sequential one,
 //       or if the MMU phase-B wall clock regresses at jobs=N.
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 #include <thread>
@@ -110,10 +111,19 @@ int main(int argc, char** argv) {
                     "", seq.phaseBSeconds, workers, par.phaseBSeconds,
                     par.phaseBSeconds > 0 ? seq.phaseBSeconds / par.phaseBSeconds : 0.0);
         // Hard gate (MMU liveness set): the lemma DAG must not make the
-        // parallel phase B slower than the sequential one. 15% tolerance
-        // absorbs noisy CI machines and wave-starved scheduling overhead.
-        if (name == "ariane_mmu" && hw >= static_cast<unsigned>(workers))
-            phaseBOk = phaseBOk && par.phaseBSeconds <= seq.phaseBSeconds * 1.15 + 0.05;
+        // parallel phase B slower than the sequential one. The allowance
+        // scales with hardware_concurrency: 15% absorbs noisy CI machines
+        // and wave-starved scheduling overhead when the workers have real
+        // cores; when the pool oversubscribes the hardware, N timesliced
+        // workers legitimately cost up to N/hw of the sequential wall
+        // clock, so the bound widens proportionally instead of going red
+        // on small containers.
+        if (name == "ariane_mmu") {
+            double oversub =
+                std::max(1.0, static_cast<double>(workers) / std::max(1u, hw));
+            phaseBOk =
+                phaseBOk && par.phaseBSeconds <= seq.phaseBSeconds * 1.15 * oversub + 0.05;
+        }
         bench::JsonRow seqRow, parRow;
         seqRow.name = "jobs1";
         parRow.name = "jobs" + std::to_string(workers);

@@ -1,0 +1,148 @@
+// Portfolio racing + global budget pool: the scheduler's first-verdict-wins
+// leg ladder (see src/formal/portfolio.hpp) measured and hard-gated.
+//
+// Gates (exit non-zero on violation):
+//  (1) Identity: for EVERY registered design, the canonical verification
+//      report is byte-identical across {portfolio off, portfolio on} x
+//      {jobs 1, jobs 4} with the same leg ladder — racing the ladder and
+//      walking it sequentially must adopt the same leg (leg-order
+//      adoption), for any worker count and any finish order.
+//  (2) Budget pool: the Ariane MMU property set proves 100% (no Unknown
+//      verdict) from a single 200k-query global pool — cheap closers
+//      return unspent grant queries, budget-edge Unknowns draw refills.
+//  (3) Wall clock: racing the MMU ladder must not be slower than walking
+//      it sequentially. The allowance scales with hardware_concurrency —
+//      on a container where the workers timeslice one core, racing
+//      legitimately costs up to the oversubscription factor.
+//
+// Run:  bench_portfolio [workers] [--json PATH]
+#include <algorithm>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace autosva;
+
+struct RunOut {
+    sva::VerificationReport report;
+    double wall = 0.0; ///< verify() only — FT generation excluded.
+};
+
+RunOut runConfig(const std::string& designName, const formal::EngineOptions& eng) {
+    const auto& info = designs::design(designName);
+    util::DiagEngine diags;
+    core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+    core::VerifyOptions vopts;
+    vopts.engine = eng;
+    if (!info.extensionSva.empty()) vopts.extraSources.push_back(info.extensionSva);
+    RunOut out;
+    util::Stopwatch sw;
+    out.report = core::verify(designs::rtlSources(info), ft, vopts, diags);
+    out.wall = sw.seconds();
+    return out;
+}
+
+formal::EngineOptions ladderOpts(bool portfolio, int jobs, uint64_t pool) {
+    formal::EngineOptions eng = bench::defaultBenchEngine();
+    eng.pdrMaxQueries = 30000; // Bound the tail like the other throughput benches.
+    eng.portfolioLegs = 2;     // Same ladder on both sides of every comparison.
+    eng.portfolio = portfolio;
+    eng.jobs = jobs;
+    eng.budgetPoolQueries = pool;
+    return eng;
+}
+
+bool hasUnknown(const sva::VerificationReport& report) {
+    for (const auto& r : report.results)
+        if (r.status == formal::Status::Unknown) return true;
+    return false;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
+    int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+    if (workers < 2) {
+        std::cerr << "usage: bench_portfolio [workers>=2] [--json PATH]\n";
+        return 2;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    double oversub = std::max(1.0, static_cast<double>(workers) / std::max(1u, hw));
+
+    bench::banner("Portfolio racing (leg-order adoption) + global budget pool");
+    std::cout << "hardware threads: " << hw << ", raced workers: " << workers << "\n\n";
+
+    std::vector<bench::JsonRow> rows;
+    bool identical = true;
+
+    // --- Gate 1: canonical-report identity matrix over every design ------
+    struct Cfg {
+        const char* tag;
+        bool portfolio;
+        int jobs;
+    };
+    const Cfg matrix[] = {{"off-j1", false, 1},
+                          {"off-jN", false, workers},
+                          {"on-j1", true, 1},
+                          {"on-jN", true, workers}};
+    for (const auto& info : designs::allDesigns()) {
+        std::string baseline;
+        bool same = true;
+        std::printf("%-16s", info.name.c_str());
+        for (const Cfg& cfg : matrix) {
+            RunOut out = runConfig(info.name, ladderOpts(cfg.portfolio, cfg.jobs, 0));
+            std::string canon = out.report.canonical();
+            if (baseline.empty())
+                baseline = canon;
+            else
+                same = same && canon == baseline;
+            std::printf("  %s: %6.2fs", cfg.tag, out.wall);
+            rows.push_back(bench::reportRow(cfg.tag, info.name, out.report, out.wall));
+        }
+        std::printf("  %s\n", same ? "identical" : "DIVERGED");
+        identical = identical && same;
+    }
+
+    // --- Gates 2+3: MMU set on a 200k global pool, raced vs sequential ---
+    bench::banner("Ariane MMU on a 200k-query global pool");
+    RunOut seq = runConfig("ariane_mmu", ladderOpts(false, workers, 200000));
+    RunOut race = runConfig("ariane_mmu", ladderOpts(true, workers, 200000));
+    bool poolIdentical = seq.report.canonical() == race.report.canonical();
+    identical = identical && poolIdentical;
+    bool allDecided = !hasUnknown(race.report);
+    double bound = seq.wall * 1.15 * oversub + 0.1;
+    bool fastEnough = race.wall <= bound;
+    std::printf("sequential ladder: %6.2fs   raced: %6.2fs   bound: %6.2fs   "
+                "verdicts: %s, %s\n",
+                seq.wall, race.wall, bound, poolIdentical ? "identical" : "DIVERGED",
+                allDecided ? "100%% decided" : "UNKNOWNS REMAIN");
+    std::printf("pool: returned=%llu refills=%llu  legs: launched=%llu cancelled=%llu\n",
+                static_cast<unsigned long long>(race.report.engineStats.budgetQueriesReturned),
+                static_cast<unsigned long long>(race.report.engineStats.budgetRefillsGranted),
+                static_cast<unsigned long long>(race.report.engineStats.portfolioLegsLaunched),
+                static_cast<unsigned long long>(race.report.engineStats.portfolioLegsCancelled));
+    rows.push_back(bench::reportRow("pool-seq", "ariane_mmu", seq.report, seq.wall));
+    rows.push_back(bench::reportRow("pool-race", "ariane_mmu", race.report, race.wall));
+
+    bench::writeJson(jsonPath, "portfolio", rows);
+
+    if (!identical) {
+        std::cout << "\nFAIL: canonical reports diverged across portfolio/jobs configs\n";
+        return 1;
+    }
+    if (!allDecided) {
+        std::cout << "\nFAIL: MMU property set left Unknowns on a 200k global pool\n";
+        return 1;
+    }
+    if (!fastEnough) {
+        std::cout << "\nFAIL: racing the MMU ladder was slower than the sequential walk\n";
+        return 1;
+    }
+    std::cout << "\nOK: identity, full-proof-on-pool, and wall-clock gates all hold\n";
+    return 0;
+}

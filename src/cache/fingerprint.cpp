@@ -45,8 +45,9 @@ uint64_t optionsDigest(const formal::EngineOptions& opts, Stage stage, bool cove
     // old cache entries then become unreachable instead of wrong. v3: the
     // ordering-insensitive PDR rewrite changed recorded invariants and
     // proof depths, and the lemma DAG changed the ChainPdr strengthening
-    // context.
-    constexpr uint64_t kFormatVersion = 3;
+    // context. v4: the portfolio leg ladder and the global budget pool
+    // joined the verdict function (new digest fields below).
+    constexpr uint64_t kFormatVersion = 4;
     Mix128 h;
     h.mix(kFormatVersion);
     h.mix(static_cast<uint64_t>(stage));
@@ -62,6 +63,14 @@ uint64_t optionsDigest(const formal::EngineOptions& opts, Stage stage, bool cove
     // verdict (the fuzz suite gates that), so seeded and unseeded runs
     // share the cache.
     h.mix(static_cast<uint64_t>(opts.pdrRetryReorders));
+    // Verdict-affecting portfolio knobs: extra ladder legs can flip a
+    // budget-edge Unknown to Proven/Cex, and the global pool moves where
+    // the Unknown frontier falls. `opts.portfolio` itself is deliberately
+    // absent — racing the ladder versus walking it sequentially adopts the
+    // identical leg (leg-order adoption), so raced and sequential runs
+    // share the cache, like `jobs` and `perturbSeed`.
+    h.mix(static_cast<uint64_t>(opts.portfolioLegs));
+    h.mix(opts.budgetPoolQueries);
     h.mix(opts.conflictBudget);
     h.mix(opts.usePdr ? 1 : 0);
     // Seeding can legitimately move PDR depths / budget-bound Unknowns, so

@@ -45,8 +45,9 @@ struct FrameSolver {
     std::unique_ptr<Unroller> un;
     uint32_t retiredGroups = 0;
 
-    explicit FrameSolver(const Aig& aig) {
+    explicit FrameSolver(const Aig& aig, const std::atomic<bool>* stop) {
         solver = std::make_unique<SatSolver>();
+        if (stop) solver->bindStop(stop);
         un = std::make_unique<Unroller>(aig, *solver, Unroller::Init::Free);
     }
 
@@ -91,7 +92,17 @@ struct PdrSearch {
 
     PdrSearch(const Aig& a, AigLit b, const std::vector<AigLit>& cons, const PdrOptions& o)
         : aig(a), bad(b), constraints(cons), opts(o), budget(o.maxQueries),
-          perturbRng(o.perturbSeed) {}
+          dropRotation(o.genRotation), perturbRng(o.perturbSeed) {}
+
+    /// Has the cancellation token been raised? Checked at every decision
+    /// point that could otherwise turn an Interrupted SAT answer into a
+    /// fabricated verdict (solvers return Interrupted for any solve() once
+    /// the token is set, which reads as "no bad state" / "not inductive"
+    /// to the callers below — safe individually, but the outer loop must
+    /// never conclude from such answers).
+    [[nodiscard]] bool stopRaised() const {
+        return opts.stop && opts.stop->load(std::memory_order_relaxed);
+    }
 
     /// Perturbation-fuzz hook: shuffles a sequence that is canonicalized
     /// immediately afterwards. With perturbSeed == 0 this is a no-op; with
@@ -104,7 +115,7 @@ struct PdrSearch {
 
     FrameSolver& frameSolver(size_t i) {
         while (solvers.size() <= i) {
-            auto fs = std::make_unique<FrameSolver>(aig);
+            auto fs = std::make_unique<FrameSolver>(aig, opts.stop);
             ++stats.framesOpened;
             // Constraints hold in the current state of every frame.
             for (AigLit c : constraints) fs->solver->addUnit(fs->now(c));
@@ -292,6 +303,7 @@ struct PdrSearch {
         // candidate clause behind an activation literal so dropped cubes
         // leave the premise.
         SatSolver solver;
+        if (opts.stop) solver.bindStop(opts.stop);
         Unroller un(aig, solver, Unroller::Init::Free);
         for (AigLit c : constraints) {
             solver.addUnit(un.lit(0, c));
@@ -307,7 +319,7 @@ struct PdrSearch {
             }
             solver.addClauseIn(act[i], std::move(clause));
         }
-        const uint64_t seedBudget = std::min<uint64_t>(opts.maxQueries, 10000);
+        const uint64_t seedBudget = 20000;
         uint64_t seedQueries = 0;
         std::vector<char> alive(cand.size(), 1);
         bool changed = true;
@@ -415,19 +427,43 @@ struct PdrSearch {
         return cube;
     }
 
+    /// The unwind path for a raised cancellation token. Soundness note:
+    /// once the token is set, every SAT call reports Interrupted, which
+    /// consecution()/badState() surface as "not inductive"/"no bad state"
+    /// — each individually safe (they only suppress progress), but the
+    /// loops below must never *conclude* from such answers. Hence the
+    /// explicit checks at every point that could otherwise mint a verdict:
+    /// run() entry, the frame-loop head, the obligation-loop head (before
+    /// a possibly-stale predecessor is consumed), and the gap between
+    /// blocking and propagation (badState lying "no bad state" must not
+    /// flow into the frames-equal Proven check).
+    [[nodiscard]] PdrResult interruptedResult() const {
+        PdrResult result;
+        result.kind = PdrResult::Kind::Unknown;
+        result.interrupted = true;
+        result.queries = queries;
+        return result;
+    }
+
     PdrResult run() {
         PdrResult result;
         stoppedOnBudget = false;
+        if (stopRaised()) return interruptedResult();
 
         // Level 0: is bad reachable in the initial state itself? (Once per
-        // context — the answer cannot change across resumed searches.)
+        // context — the answer cannot change across resumed searches; the
+        // checked flag is only recorded once the solve really finished, so
+        // an interrupted level-0 check reruns on resume.)
         if (!level0Checked) {
-            level0Checked = true;
             SatSolver s0;
+            if (opts.stop) s0.bindStop(opts.stop);
             Unroller u0(aig, s0, Unroller::Init::Reset);
             std::vector<SatLit> assumptions{u0.lit(0, bad)};
             for (AigLit c : constraints) s0.addUnit(u0.lit(0, c));
-            if (s0.solve(assumptions) == SatResult::Sat) {
+            SatResult r0 = s0.solve(assumptions);
+            if (r0 == SatResult::Interrupted) return interruptedResult();
+            level0Checked = true;
+            if (r0 == SatResult::Sat) {
                 result.kind = PdrResult::Kind::Cex;
                 result.depth = 0;
                 result.queries = queries;
@@ -450,6 +486,7 @@ struct PdrSearch {
 
         for (size_t k = resumeFrame; static_cast<int>(k) <= opts.maxFrames; ++k) {
             resumeFrame = k;
+            if (stopRaised()) return interruptedResult();
             ensureFrameStorage(k);
             // Block all bad states reachable within F_k.
             Cube badCube;
@@ -464,6 +501,11 @@ struct PdrSearch {
                 perturb(badCube); // Fuzz hook; canonicalize absorbs it.
                 obligations.push_back({k, canonicalize(std::move(badCube)), 0});
                 while (!obligations.empty()) {
+                    // Stop before budget: an interrupted search must not be
+                    // misread as resumable-on-refill, and the top obligation
+                    // may hold a stale-model predecessor consecution filled
+                    // under interruption — it must never be consumed.
+                    if (stopRaised()) return interruptedResult();
                     if (queries > budget) {
                         stoppedOnBudget = true;
                         result.kind = PdrResult::Kind::Unknown;
@@ -496,6 +538,10 @@ struct PdrSearch {
                     }
                 }
             }
+
+            // An interrupted badState() reports "no bad state" — it must not
+            // fall through into the frames-equal Proven check below.
+            if (stopRaised()) return interruptedResult();
 
             // Propagation: push clauses forward; a frame whose clauses all moved
             // up equals its successor, closing the inductive invariant.
@@ -542,7 +588,14 @@ bool PdrContext::budgetExhausted() const { return impl_->stoppedOnBudget; }
 
 void PdrContext::grantBudget() { impl_->budget += impl_->opts.maxQueries; }
 
+void PdrContext::grantBudget(uint64_t extra) { impl_->budget += extra; }
+
 void PdrContext::rotateGeneralization() { ++impl_->dropRotation; }
+
+void PdrContext::clearStop() {
+    impl_->opts.stop = nullptr;
+    for (auto& fs : impl_->solvers) fs->solver->bindStop(nullptr);
+}
 
 const PdrStats& PdrContext::stats() const { return impl_->stats; }
 

@@ -15,6 +15,7 @@
 // generalization sweep (PdrOptions::retryReorders).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -53,6 +54,18 @@ struct PdrOptions {
     /// identical result — this is the perturbation-fuzz hook proving it,
     /// not a tuning knob.
     uint64_t perturbSeed = 0;
+    /// Initial generalization drop-order rotation. The canonical search
+    /// starts at 0 and advances only through rotateGeneralization(); a
+    /// portfolio race leg starts at an offset past the canonical retry
+    /// schedule so its sweep order diverges deterministically.
+    uint64_t genRotation = 0;
+    /// Asynchronous cancellation token shared by every solver this search
+    /// creates (frame solvers, seed validation, the level-0 check). When
+    /// another thread sets it, in-flight SAT calls return Interrupted at
+    /// their next conflict boundary and search() unwinds with
+    /// PdrResult::interrupted — never a fabricated verdict. Null = not
+    /// cancellable.
+    const std::atomic<bool>* stop = nullptr;
 };
 
 /// Observability counters of one PDR search (aggregated into EngineStats
@@ -73,6 +86,9 @@ struct PdrResult {
     /// an engine artifact of the search, not a semantic depth — reports
     /// treat it as provenance, never as part of the canonical verdict.
     int depth = -1;
+    /// Kind::Unknown only: the search was cancelled via PdrOptions::stop
+    /// (a race leg that lost), not exhausted. Never adopted as a verdict.
+    bool interrupted = false;
     uint64_t queries = 0;
     PdrStats stats;
     /// Proven only: the inductive invariant as blocked cubes (clauses
@@ -109,10 +125,19 @@ public:
 
     /// Extends the cumulative query budget by another PdrOptions::maxQueries.
     void grantBudget();
+    /// Extends the cumulative query budget by exactly `extra` queries — the
+    /// global BudgetPool refill entry point (pool draws are sized by what
+    /// remains in the pool, not by the per-search cap).
+    void grantBudget(uint64_t extra);
     /// Advances the deterministic rotation applied to the generalization
     /// drop sweep, so a resumed search explores a different (but fixed)
     /// order.
     void rotateGeneralization();
+    /// Detaches the external stop token (PdrOptions::stop) from this
+    /// context and every frame solver bound so far. A context retained
+    /// past the portfolio race must not keep reading a token whose owner
+    /// (the per-job race bookkeeping) is gone.
+    void clearStop();
 
     [[nodiscard]] const PdrStats& stats() const;
     [[nodiscard]] uint64_t queries() const;

@@ -1,0 +1,126 @@
+#include "formal/portfolio.hpp"
+
+#include <algorithm>
+
+namespace autosva::formal {
+
+std::vector<PdrLegSpec> pdrLegLadder(const EngineOptions& opts) {
+    std::vector<PdrLegSpec> ladder;
+    int hunters = std::max(0, opts.portfolioLegs);
+    ladder.reserve(static_cast<size_t>(1 + hunters));
+    // Leg 0 is the canonical pdrCheck policy verbatim: rotation 0 plus the
+    // configured warm-context retry schedule at rotations 1..retryReorders.
+    // Under the global budget pool the retry ladder is off for leg 0:
+    // barrier-driven refills extend the same warm search trajectory (pure
+    // budget extension, no rotation — a monolithic search sliced across
+    // refills), and rotation diversity is the hunter legs' job instead.
+    ladder.push_back({0, opts.budgetPoolQueries != 0 ? 0 : opts.pdrRetryReorders});
+    // Hunter legs start where the canonical schedule ends, so no two legs
+    // ever search the same drop order.
+    for (int i = 1; i <= hunters; ++i)
+        ladder.push_back({static_cast<uint64_t>(opts.pdrRetryReorders) + static_cast<uint64_t>(i),
+                          0});
+    return ladder;
+}
+
+BudgetPool::BudgetPool(uint64_t total, size_t eligibleJobs)
+    : grant_(eligibleJobs ? total / eligibleJobs : total) {
+    // Every eligible obligation's grant is reserved up front; the division
+    // remainder is immediately drawable.
+    pool_.store(static_cast<int64_t>(total) -
+                    static_cast<int64_t>(grant_) * static_cast<int64_t>(eligibleJobs),
+                std::memory_order_relaxed);
+}
+
+void BudgetPool::settle(uint64_t granted, uint64_t used) {
+    pool_.fetch_add(static_cast<int64_t>(granted) - static_cast<int64_t>(used),
+                    std::memory_order_relaxed);
+    if (granted > used) returned_.fetch_add(granted - used, std::memory_order_relaxed);
+}
+
+uint64_t BudgetPool::draw(uint64_t want) {
+    int64_t avail = pool_.load(std::memory_order_relaxed);
+    if (avail <= 0 || want == 0) return 0;
+    uint64_t take = std::min(want, static_cast<uint64_t>(avail));
+    pool_.fetch_sub(static_cast<int64_t>(take), std::memory_order_relaxed);
+    ++refills_;
+    return take;
+}
+
+JobRace::JobRace(size_t numLegs) : lowestDecisive_(numLegs), remaining_(numLegs) {
+    slots_.reserve(numLegs);
+    for (size_t i = 0; i < numLegs; ++i) slots_.push_back(std::make_unique<Slot>());
+}
+
+bool JobRace::deposit(size_t leg, PdrResult&& result, bool ran) {
+    Slot& s = *slots_[leg];
+    s.ran = ran;
+    bool decisive = ran && !result.interrupted && result.kind != PdrResult::Kind::Unknown;
+    s.result = std::move(result);
+    if (decisive) {
+        // Lower the first-decisive watermark, then cancel every rung above
+        // it. Only rungs ABOVE: a lower leg still searching might turn out
+        // decisive too, and leg order — not finish order — decides
+        // adoption.
+        size_t cur = lowestDecisive_.load(std::memory_order_relaxed);
+        while (leg < cur &&
+               !lowestDecisive_.compare_exchange_weak(cur, leg, std::memory_order_relaxed)) {
+        }
+        size_t low = lowestDecisive_.load(std::memory_order_relaxed);
+        for (size_t i = low + 1; i < slots_.size(); ++i)
+            slots_[i]->stop.store(true, std::memory_order_relaxed);
+    }
+    // acq_rel: the final depositor's adopt()/counters read every other
+    // leg's slot writes.
+    return remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+size_t JobRace::adoptedLeg() const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        const Slot& s = *slots_[i];
+        if (s.ran && !s.result.interrupted && s.result.kind != PdrResult::Kind::Unknown)
+            return i;
+    }
+    return 0; // All exhausted: leg 0's Unknown is the canonical outcome.
+}
+
+PdrResult JobRace::takeAdopted() { return std::move(slots_[adoptedLeg()]->result); }
+
+uint64_t JobRace::cancelledLegs() const {
+    uint64_t n = 0;
+    for (const auto& s : slots_)
+        if (!s->ran || s->result.interrupted) ++n;
+    return n;
+}
+
+uint64_t JobRace::launchedLegs() const {
+    uint64_t n = 0;
+    for (const auto& s : slots_)
+        if (s->ran) ++n;
+    return n;
+}
+
+uint64_t JobRace::chargedQueries() const {
+    // The sequential ladder walk runs legs 0..first-decisive; the race
+    // charges exactly those, however the actual schedule interleaved.
+    // Cancelled or raced-past rungs did real SAT work but charge nothing —
+    // the pool tracks the deterministic contract, not wall-clock effort.
+    // When NO leg is decisive the job heads for the refill pass, which
+    // resumes leg 0 alone: the hunters were pure speculation, so only
+    // leg 0 charges (in both walk orders — the charge is a function of
+    // the leg results, never of scheduling).
+    size_t limit = 0;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        const Slot& s = *slots_[i];
+        if (s.ran && !s.result.interrupted && s.result.kind != PdrResult::Kind::Unknown) {
+            limit = i;
+            break;
+        }
+    }
+    uint64_t sum = 0;
+    for (size_t i = 0; i <= limit; ++i)
+        if (slots_[i]->ran && !slots_[i]->result.interrupted) sum += slots_[i]->result.queries;
+    return sum;
+}
+
+} // namespace autosva::formal

@@ -1,0 +1,159 @@
+// Portfolio racing and global budget scheduling for the PDR stage.
+//
+// Two cooperating mechanisms, both strictly verdict-preserving:
+//
+// **The leg ladder** (pdrLegLadder). With portfolioLegs > 0 every
+// PDR-eligible obligation owns a deterministic ladder of attempts: leg 0
+// is the canonical pdrCheck policy (fresh context at generalization
+// rotation 0, warm-context budget-edge retries at rotations 1..R), and
+// each hunter leg i >= 1 is a single fresh-context search at rotation
+// R + i — a different but fixed drop order that can close budget-edge
+// properties the canonical schedule leaves Unknown. The ladder is part of
+// the verdict function and therefore of the cache options digest.
+//
+// **The race** (JobRace). The ladder's semantics never depend on
+// evaluation order — every leg answers the same reachability question, so
+// any two decisive legs agree (PDR is sound and complete within budget;
+// legs differ only in which of Proven/Cex/Unknown they reach within
+// theirs). `portfolio=false` walks the ladder sequentially with early
+// exit at the first decisive leg; `portfolio=true` races all legs
+// concurrently as cancellable jobs. Adoption is ALWAYS the first decisive
+// leg in LEG order — never finish order — and a decisive leg cancels only
+// the rungs above it (a lower leg still running might be decisive too and
+// takes precedence). Hence the adopted outcome, and with it the canonical
+// report, is byte-identical across {sequential, raced} x any worker
+// count; racing only changes wall clock and which losers get cancelled.
+//
+// **The budget pool** (BudgetPool). With budgetPoolQueries > 0 the fixed
+// per-property pdrMaxQueries cap is replaced by one global pool: every
+// PDR-eligible obligation reserves an equal up-front grant, cheap closers
+// return what they never spent (commutative atomic settles — order
+// cannot matter), and budget-edge Unknowns draw refills at single-threaded
+// phase barriers in declaration order, resuming their warm PdrContext.
+// Deterministic by construction: grant sizes depend only on (total,
+// eligible-count), settles commute, and draws happen in a fixed order at
+// fixed points.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "formal/pdr.hpp"
+#include "formal/result.hpp"
+
+namespace autosva::formal {
+
+/// One leg of the deterministic PDR attempt ladder.
+struct PdrLegSpec {
+    uint64_t genRotation = 0; ///< Initial generalization drop-order rotation.
+    int retries = 0;          ///< Warm-context budget-edge retries (leg 0 only).
+};
+
+/// The ladder both portfolio modes evaluate: leg 0 = canonical policy,
+/// hunter legs at rotations past the canonical retry schedule. Size is
+/// 1 + max(0, opts.portfolioLegs).
+[[nodiscard]] std::vector<PdrLegSpec> pdrLegLadder(const EngineOptions& opts);
+
+/// Global PDR query-budget pool shared by one engine run's eligible
+/// obligations. Thread-safety contract: settle() may be called from any
+/// worker at any time; draw() only from the single-threaded phase
+/// barriers; counters are read after the workers joined.
+class BudgetPool {
+public:
+    /// Divides `total` queries into equal up-front grants for
+    /// `eligibleJobs` obligations; the division remainder seeds the pool.
+    BudgetPool(uint64_t total, size_t eligibleJobs);
+
+    /// The per-obligation (and per-leg) up-front grant.
+    [[nodiscard]] uint64_t initialGrant() const { return grant_; }
+
+    /// Returns an obligation's grant minus what it actually spent
+    /// (negative net when PDR overshot the cap by its final query — the
+    /// pool is signed for exactly that). Commutative, so the pool's value
+    /// at any barrier is independent of worker scheduling.
+    void settle(uint64_t granted, uint64_t used);
+
+    /// Barrier-side refill draw: up to `want` queries, bounded by what the
+    /// pool holds. Never call concurrently with other draws.
+    [[nodiscard]] uint64_t draw(uint64_t want);
+
+    [[nodiscard]] int64_t available() const {
+        return pool_.load(std::memory_order_relaxed);
+    }
+
+    // Observability (EngineStats::budget* counters).
+    [[nodiscard]] uint64_t queriesReturned() const {
+        return returned_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] uint64_t refillsGranted() const { return refills_; }
+
+private:
+    std::atomic<int64_t> pool_;
+    uint64_t grant_;
+    std::atomic<uint64_t> returned_{0};
+    uint64_t refills_ = 0; ///< Barrier-side only, like draw().
+};
+
+/// Per-obligation race state: one cancellable slot per ladder leg.
+/// Workers run legs in any order and deposit their raw results here; the
+/// deposit completing the race adopts — first decisive leg in leg order.
+class JobRace {
+public:
+    explicit JobRace(size_t numLegs);
+
+    [[nodiscard]] size_t numLegs() const { return slots_.size(); }
+
+    /// The leg's cancellation token, bound into every solver its search
+    /// creates. Raised by a lower decisive leg's deposit.
+    [[nodiscard]] const std::atomic<bool>* stopToken(size_t leg) const {
+        return &slots_[leg]->stop;
+    }
+
+    /// False once the leg has been cancelled — a worker picking the leg up
+    /// then skips the search and deposits a cancelled placeholder.
+    [[nodiscard]] bool shouldRun(size_t leg) const {
+        return !slots_[leg]->stop.load(std::memory_order_relaxed);
+    }
+
+    /// Records leg `leg`'s outcome (`ran` false for a leg skipped at
+    /// pickup). A decisive, uninterrupted outcome lowers the
+    /// first-decisive watermark and cancels every rung above it. Returns
+    /// true for exactly one caller — the one completing the last leg —
+    /// who must then call adopt() and finalize the job.
+    [[nodiscard]] bool deposit(size_t leg, PdrResult&& result, bool ran);
+
+    /// After the final deposit: the adopted rung and its result — the
+    /// first decisive leg in leg order. The all-Unknown case adopts leg
+    /// 0's Unknown, the canonical resumable outcome (hunters have no
+    /// retry ladder and no warm context to resume).
+    [[nodiscard]] size_t adoptedLeg() const;
+    [[nodiscard]] PdrResult takeAdopted();
+
+    /// Legs that never produced a genuine outcome because a lower rung
+    /// decided first (skipped at pickup or interrupted mid-search).
+    [[nodiscard]] uint64_t cancelledLegs() const;
+    /// Legs that actually began solving.
+    [[nodiscard]] uint64_t launchedLegs() const;
+
+    /// Deterministic pool charge of the race: the queries of legs 0..adopted
+    /// rung — exactly the legs the sequential ladder walk would have run.
+    /// Cancelled or raced-past legs charge nothing, matching the
+    /// sequential path that never runs them.
+    [[nodiscard]] uint64_t chargedQueries() const;
+
+private:
+    struct Slot {
+        std::atomic<bool> stop{false};
+        PdrResult result;
+        bool ran = false;
+    };
+    // unique_ptr slots: atomics are neither movable nor copyable, and the
+    // slot count is a per-job runtime value.
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::atomic<size_t> lowestDecisive_;
+    std::atomic<size_t> remaining_;
+};
+
+} // namespace autosva::formal

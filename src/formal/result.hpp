@@ -118,6 +118,35 @@ struct EngineOptions {
     /// AUTOSVA_NO_AIG_REWRITE environment variable, which moves the
     /// default) keeps the legacy graph for A/B comparison.
     bool aigRewrite = defaultAigRewrite();
+    /// Extra PDR race legs per obligation beyond the canonical attempt.
+    /// Each extra leg is a single fresh-context search at a generalization
+    /// rotation past the canonical retry schedule — a different (but fixed)
+    /// drop order that can decide budget-edge properties the canonical
+    /// ladder leaves Unknown. The ladder is part of the verdict function
+    /// (legs can flip Unknown to Proven/Failed), so this knob is in the
+    /// cache options digest; whether the ladder is evaluated sequentially
+    /// or raced in parallel (`portfolio`) is not. 0 = canonical pipeline
+    /// only (seed behavior).
+    int portfolioLegs = 0;
+    /// Race the PDR leg ladder across the worker pool instead of walking it
+    /// sequentially: every leg of an obligation runs concurrently as a
+    /// cancellable job, the first *semantic* verdict in leg order is
+    /// adopted, and legs above the adopted rung are cancelled via
+    /// SatSolver::requestStop(). Adoption order is leg order — never
+    /// finish order — so the canonical report is byte-identical to the
+    /// sequential ladder for any worker count; like `jobs` and
+    /// `perturbSeed`, this knob is excluded from cache keys.
+    bool portfolio = false;
+    /// Non-zero: a global query-budget pool of this many PDR SAT queries
+    /// shared across the whole property set, replacing the fixed
+    /// per-property pdrMaxQueries cap. Every PDR-eligible obligation
+    /// reserves an equal initial grant; properties that close cheaply
+    /// (BMC, induction, cache hits) return their unspent grant, and
+    /// budget-edge Unknowns draw deterministic refills — resumed on their
+    /// warm PdrContext — at phase barriers, in declaration order, until
+    /// the pool drains. Changes where the Unknown frontier falls, so it is
+    /// part of the cache options digest.
+    uint64_t budgetPoolQueries = 0;
 };
 
 struct EngineStats {
@@ -143,6 +172,14 @@ struct EngineStats {
     uint64_t pdrGenDropAttempts = 0;   ///< Literal-drop consecution probes.
     uint64_t pdrRetryFallbacks = 0;    ///< Budget-edge reordered retries taken.
     uint64_t pdrSeedCubesAdmitted = 0; ///< Cache seed cubes surviving re-validation.
+    // Portfolio racing / budget-pool observability (the --stats "race:" and
+    // "budget:" lines and the bench --json rows carry them).
+    uint64_t portfolioLegsLaunched = 0;  ///< Race legs that began solving.
+    uint64_t portfolioLegsCancelled = 0; ///< Legs stopped by a lower rung's verdict.
+    uint64_t budgetQueriesReturned = 0;  ///< Unspent grant queries returned to the pool.
+    uint64_t budgetRefillsGranted = 0;   ///< Refill draws served to budget-edge Unknowns.
+    /// Wall clock of phase A (safety assertions + covers, full pipeline).
+    double phaseASeconds = 0.0;
     /// Wall clock of the liveness phase (frontier + lemma-DAG PDR waves);
     /// what bench_parallel_speedup's phase-B no-regression gate measures.
     double phaseBSeconds = 0.0;

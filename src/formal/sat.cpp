@@ -452,6 +452,7 @@ SatResult SatSolver::solve(const std::vector<SatLit>& assumptions) {
     ++solves_;
     if (!ok_) return SatResult::Unsat;
     cancelUntil(0);
+    if (stopRequested()) return SatResult::Interrupted;
 
     if (propagate() != kCRefUndef) {
         ok_ = false;
@@ -524,6 +525,10 @@ SatResult SatSolver::solve(const std::vector<SatLit>& assumptions) {
                 enqueue(learnt[0], cr);
             }
             decayActivities();
+            if (stopRequested()) {
+                cancelUntil(0);
+                return SatResult::Interrupted;
+            }
             if (conflictBudget_ && conflicts_ - conflictsAtStart > conflictBudget_) {
                 cancelUntil(0);
                 return SatResult::Unknown;
@@ -533,6 +538,10 @@ SatResult SatSolver::solve(const std::vector<SatLit>& assumptions) {
                 maxLearnts_ = maxLearnts_ + maxLearnts_ / 3;
             }
             if (conflictsSinceRestart >= restartLimit) {
+                if (stopRequested()) {
+                    cancelUntil(0);
+                    return SatResult::Interrupted;
+                }
                 conflictsSinceRestart = 0;
                 restartLimit = 64 * luby(++restartCount);
                 // Restart to the assumption boundary, not level 0: the

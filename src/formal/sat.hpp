@@ -4,6 +4,7 @@
 // assumptions, which the BMC / k-induction engines rely on.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -20,7 +21,7 @@ using SatLit = int;
 [[nodiscard]] constexpr bool satSign(SatLit lit) { return (lit & 1) != 0; }
 [[nodiscard]] constexpr SatLit satNeg(SatLit lit) { return lit ^ 1; }
 
-enum class SatResult { Sat, Unsat, Unknown };
+enum class SatResult { Sat, Unsat, Unknown, Interrupted };
 
 class SatSolver;
 
@@ -112,6 +113,30 @@ public:
     /// Optional conflict budget per solve() call (0 = unlimited).
     void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
 
+    // -- Asynchronous cancellation ------------------------------------------
+    // The only member another thread may touch while solve() runs. The flag
+    // is sticky: once set, every solve() call returns Interrupted at its
+    // next conflict/restart boundary (or immediately on entry) until
+    // clearStop() is called, so a cancelled race leg cannot sneak in another
+    // full search between the cancel and its teardown. The solver itself is
+    // left at decision level 0 and fully reusable after clearStop().
+
+    /// Requests that the current (and any subsequent) solve() stop early
+    /// with SatResult::Interrupted. Safe to call from another thread.
+    void requestStop() { stopRequested_.store(true, std::memory_order_relaxed); }
+    /// Re-arms the solver after an interruption (the bound external token,
+    /// if any, is the owner's to clear).
+    void clearStop() { stopRequested_.store(false, std::memory_order_relaxed); }
+    /// Binds an external stop token checked alongside the internal flag —
+    /// how one cancellation flag fans out to every solver a PDR search
+    /// creates without the canceller having to track them. The pointee must
+    /// outlive the solver (or be unbound with nullptr first).
+    void bindStop(const std::atomic<bool>* token) { externalStop_ = token; }
+    [[nodiscard]] bool stopRequested() const {
+        return stopRequested_.load(std::memory_order_relaxed) ||
+               (externalStop_ && externalStop_->load(std::memory_order_relaxed));
+    }
+
 private:
     using CRef = int32_t;
     static constexpr CRef kCRefUndef = -1;
@@ -185,6 +210,8 @@ private:
     uint64_t solves_ = 0;
     uint64_t conflictBudget_ = 0;
     size_t maxLearnts_ = 4000;
+    std::atomic<bool> stopRequested_{false};
+    const std::atomic<bool>* externalStop_ = nullptr;
 };
 
 inline bool modelBit(const SatSolver& solver, SatLit lit) {

@@ -359,6 +359,10 @@ void ObligationScheduler::discharge(const ProofContext& ctx, ObligationJob& job,
         return;
     if (job.result.status == Status::Unknown) bmc_->run(ctx, job);
     if (job.result.status == Status::Unknown) induction_->run(ctx, job);
+    // Under the portfolio/budget-pool knobs the PDR stage (and with it the
+    // cache store, which must record the post-refill verdict) runs
+    // detached at the phase barrier — see runPdrLadderStage/refillPass.
+    if (withPdr && fancyPdr()) return;
     if (withPdr && job.result.status == Status::Unknown) pdr_->run(ctx, job);
     if (cache_) cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
 }
@@ -424,13 +428,17 @@ void ObligationScheduler::runPhaseBatched(const ProofContext& baseCtx,
     // k-induction (+ PDR) on the survivors, work-stealing with per-worker
     // solver pools (shared per-k induction contexts), then cache store.
     std::vector<SolverPool> pools(static_cast<size_t>(workers));
+    const bool detachedPdr = withPdr && fancyPdr();
     parallelFor(opts_.jobs, toProve.size(), [&](int w, size_t t) {
         ObligationJob& job = *toProve[t];
         ProofContext ctx = baseCtx;
         ctx.pool = &pools[static_cast<size_t>(w)];
         if (job.result.status == Status::Unknown) induction_->run(ctx, job);
-        if (withPdr && job.result.status == Status::Unknown) pdr_->run(ctx, job);
-        if (cache_) cache_->store(fps[t], makeArtifact(structKeys[t], job, ctx.aig));
+        if (withPdr && job.result.status == Status::Unknown && !detachedPdr) pdr_->run(ctx, job);
+        // Detached-PDR phases store and publish at the barrier, after the
+        // ladder stage and refill pass (run() epilogue).
+        if (cache_ && !detachedPdr)
+            cache_->store(fps[t], makeArtifact(structKeys[t], job, ctx.aig));
         if (sink) {
             finalizeDepth(job, opts_);
             sink->publish(job.index, job.result);
@@ -447,6 +455,152 @@ void ObligationScheduler::runChainPdr(const ProofContext& ctx, ObligationJob& jo
         return;
     pdr_->run(ctx, job);
     if (cache_) cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
+}
+
+void ObligationScheduler::storeJob(const ProofContext& ctx, ObligationJob& job,
+                                   cache::Stage stage) const {
+    cache::Fingerprint fp = jobFingerprint(ctx, job, stage);
+    uint64_t structKey = cache::structKey(job.ob->name, job.ob->kind, stage, structSalt_);
+    cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
+}
+
+void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
+                                            const std::vector<ObligationJob*>& open) {
+    if (open.empty()) return;
+    const std::vector<PdrLegSpec> ladder = pdrLegLadder(opts_);
+    const size_t numLegs = ladder.size();
+    // With the pool, every leg runs on the job's up-front grant; refills
+    // arrive later at the barrier. Without it, the classic per-property cap.
+    const uint64_t legBudget = budgetPool_ ? budgetPool_->initialGrant() : opts_.pdrMaxQueries;
+    const bool retainLeg0 = budgetPool_ != nullptr;
+
+    if (!opts_.portfolio) {
+        // Sequential ladder walk per job (jobs still run in parallel):
+        // evaluate legs in order, stop at the first decisive one. This is
+        // the reference semantics the race below must reproduce exactly.
+        parallelFor(opts_.jobs, open.size(), [&](int, size_t t) {
+            ObligationJob& job = *open[t];
+            util::Stopwatch sw;
+            PdrResult adopted;
+            uint64_t used = 0, leg0Queries = 0, launched = 0;
+            bool anyDecisive = false;
+            for (size_t leg = 0; leg < numLegs; ++leg) {
+                PdrAttempt attempt =
+                    runPdrLeg(baseCtx, job, legBudget, ladder[leg].genRotation,
+                              ladder[leg].retries, nullptr, retainLeg0 && leg == 0);
+                ++launched;
+                used += attempt.result.queries;
+                if (leg == 0) leg0Queries = attempt.result.queries;
+                if (leg == 0) job.pdrCtx = std::move(attempt.ctx);
+                const bool decisive = attempt.result.kind != PdrResult::Kind::Unknown;
+                if (leg == 0 || decisive) adopted = std::move(attempt.result);
+                if (decisive) {
+                    anyDecisive = true;
+                    break;
+                }
+            }
+            job.result.seconds += sw.seconds();
+            shared_.portfolioLegsLaunched.fetch_add(launched, std::memory_order_relaxed);
+            // All-Unknown ladders charge leg 0 alone — the hunters were
+            // speculation the refill pass never resumes (JobRace applies
+            // the same rule, so both walk orders drain the pool equally).
+            if (budgetPool_) budgetPool_->settle(legBudget, anyDecisive ? used : leg0Queries);
+            applyPdrOutcome(baseCtx, job, std::move(adopted));
+        });
+        return;
+    }
+
+    // Race: all legs of all jobs as one leg-major task list (every job's
+    // canonical leg 0 is in flight before any hunter starts). Adoption is
+    // the first decisive leg in LEG order — JobRace guarantees the adopted
+    // outcome equals the sequential walk's for any worker count or finish
+    // order; racing only changes wall clock and which losers die early.
+    std::vector<std::unique_ptr<JobRace>> races;
+    races.reserve(open.size());
+    for (size_t i = 0; i < open.size(); ++i) races.push_back(std::make_unique<JobRace>(numLegs));
+    parallelFor(opts_.jobs, open.size() * numLegs, [&](int, size_t task) {
+        const size_t leg = task / open.size();
+        const size_t ji = task % open.size();
+        ObligationJob& job = *open[ji];
+        JobRace& race = *races[ji];
+        util::Stopwatch sw;
+        PdrResult legResult;
+        bool ran = false;
+        if (race.shouldRun(leg)) {
+            ran = true;
+            PdrAttempt attempt =
+                runPdrLeg(baseCtx, job, legBudget, ladder[leg].genRotation,
+                          ladder[leg].retries, race.stopToken(leg), retainLeg0 && leg == 0);
+            // Publish the warm context before the deposit: the final
+            // depositor (maybe another worker) reads it via acq_rel.
+            if (leg == 0) job.pdrCtx = std::move(attempt.ctx);
+            legResult = std::move(attempt.result);
+        } else {
+            legResult.interrupted = true; // Skipped at pickup: cancelled.
+        }
+        if (race.deposit(leg, std::move(legResult), ran)) {
+            // Final leg in: this worker adopts and finalizes the job.
+            job.result.seconds += sw.seconds();
+            shared_.portfolioLegsLaunched.fetch_add(race.launchedLegs(),
+                                                    std::memory_order_relaxed);
+            shared_.portfolioLegsCancelled.fetch_add(race.cancelledLegs(),
+                                                     std::memory_order_relaxed);
+            if (budgetPool_) budgetPool_->settle(legBudget, race.chargedQueries());
+            applyPdrOutcome(baseCtx, job, race.takeAdopted());
+        }
+    });
+    // The races (and the stop tokens their slots own) die with this scope;
+    // a retained warm context must not keep reading them during refills.
+    for (ObligationJob* jobPtr : open)
+        if (jobPtr->pdrCtx) jobPtr->pdrCtx->clearStop();
+}
+
+void ObligationScheduler::refillPass(const ProofContext& baseCtx,
+                                     const std::vector<ObligationJob*>& open) {
+    if (!budgetPool_) return;
+    const uint64_t grain = std::max<uint64_t>(budgetPool_->initialGrant(), 1);
+    // Declaration order, single-threaded: every settle of the phase
+    // happened before this barrier and settles commute, so the pool value
+    // — hence every draw below — is deterministic for any worker count.
+    for (ObligationJob* jobPtr : open) {
+        ObligationJob& job = *jobPtr;
+        while (job.result.status == Status::Unknown && job.pdrCtx &&
+               job.pdrCtx->budgetExhausted() && budgetPool_->available() > 0) {
+            const uint64_t drawn = budgetPool_->draw(grain);
+            if (drawn == 0) break;
+            util::Stopwatch sw;
+            // Pure budget extension: the resumed search continues the exact
+            // trajectory a single monolithic search would have taken, so
+            // pool-mode proofs cost what per-property-budget proofs cost.
+            // Rotation diversity is the hunter legs' job, not the refill's —
+            // rotating here was measured to stall convergence (cubes
+            // generalized under mixed orders stop the frames-equal check
+            // from closing).
+            job.pdrCtx->grantBudget(drawn);
+            const uint64_t queriesBefore = job.pdrCtx->queries();
+            const PdrStats before = job.pdrCtx->stats();
+            PdrResult resumed = job.pdrCtx->search();
+            const uint64_t spent = job.pdrCtx->queries() - queriesBefore;
+            // Return the unspent slice (or charge the off-by-one overshoot).
+            if (drawn > spent)
+                budgetPool_->settle(drawn - spent, 0);
+            else if (spent > drawn)
+                budgetPool_->settle(0, spent - drawn);
+            const PdrStats& after = job.pdrCtx->stats();
+            PdrStats delta;
+            delta.framesOpened = after.framesOpened - before.framesOpened;
+            delta.cubesBlocked = after.cubesBlocked - before.cubesBlocked;
+            delta.genDropAttempts = after.genDropAttempts - before.genDropAttempts;
+            delta.seedCubesAdmitted = after.seedCubesAdmitted - before.seedCubesAdmitted;
+            shared_.satCalls.fetch_add(spent, std::memory_order_relaxed);
+            shared_.addPdr(delta);
+            job.result.seconds += sw.seconds();
+            applyPdrOutcome(baseCtx, job, std::move(resumed));
+        }
+    }
+    // The warm contexts (frame solvers, learned frames) are only needed
+    // across refills of this one barrier.
+    for (ObligationJob* jobPtr : open) jobPtr->pdrCtx.reset();
 }
 
 std::vector<PropertyResult> ObligationScheduler::run() {
@@ -526,20 +680,57 @@ std::vector<PropertyResult> ObligationScheduler::run() {
     // budget, Sat/Unsat answers are semantic and liveness traces are
     // replayed on fresh solvers, so sharing cannot move them.)
     const bool useReuse = opts_.solverReuse && opts_.conflictBudget == 0;
+    const bool fancy = fancyPdr();
+
+    // Global query-budget pool: one equal up-front grant per PDR-eligible
+    // obligation (phase A's safety/cover jobs plus the liveness jobs —
+    // a count fixed by the design and options alone, so grant sizes are
+    // deterministic). Liveness grants stay reserved until phase B settles
+    // them: phase A's refills can only spend what phase A returned.
+    budgetPool_.reset();
+    if (opts_.budgetPoolQueries > 0 && opts_.usePdr)
+        budgetPool_ = std::make_unique<BudgetPool>(opts_.budgetPoolQueries,
+                                                   phaseA.size() + liveJobs.size());
 
     // ---- Phase A: safety assertions and covers, full pipeline per job, in
     // parallel. Jobs are mutually independent on the immutable base AIG.
+    // With the portfolio/budget-pool knobs, the PDR stage detaches from the
+    // per-job pipeline: BMC and induction run as usual, then the survivors'
+    // leg ladders (raced or walked), then the barrier refill pass, then the
+    // deferred stores and publishes — so the cache and the report see the
+    // post-refill verdicts.
+    util::Stopwatch phaseATimer;
     ProofContext baseCtx{design_, bb_, bb_.aig, constraints_, opts_, kAigFalse, &shared_};
     if (useReuse) {
-        runPhaseBatched(baseCtx, phaseA, /*withPdr=*/true, &sink);
+        runPhaseBatched(baseCtx, phaseA, /*withPdr=*/true, fancy ? nullptr : &sink);
     } else {
         parallelFor(opts_.jobs, phaseA.size(), [&](int, size_t t) {
             ObligationJob& job = *phaseA[t];
             discharge(baseCtx, job, /*withPdr=*/true);
-            finalizeDepth(job, opts_);
-            sink.publish(job.index, job.result);
+            if (!fancy) {
+                finalizeDepth(job, opts_);
+                sink.publish(job.index, job.result);
+            }
         });
     }
+    if (fancy) {
+        std::vector<ObligationJob*> openA;
+        for (ObligationJob* job : phaseA) {
+            if (job->result.status == Status::Unknown && !job->result.cached)
+                openA.push_back(job);
+            else if (budgetPool_)
+                budgetPool_->settle(budgetPool_->initialGrant(), 0); // Cheap closer.
+        }
+        runPdrLadderStage(baseCtx, openA);
+        refillPass(baseCtx, openA);
+        for (ObligationJob* job : phaseA) {
+            if (cache_ && !job->result.cached)
+                storeJob(baseCtx, *job, cache::Stage::FullPipeline);
+            finalizeDepth(*job, opts_);
+            sink.publish(job->index, job->result);
+        }
+    }
+    const double phaseASeconds = phaseA.empty() ? 0.0 : phaseATimer.seconds();
 
     // ---- Phase B: liveness. Proven safety assertions are invariants of the
     // reachable states; feed them to the liveness jobs as constraints. This
@@ -579,7 +770,32 @@ std::vector<PropertyResult> ObligationScheduler::run() {
         // count. The live AIG is only mutated in the single-threaded gaps
         // between waves — never while wave workers read it.
         if (opts_.usePdr) {
+            // Liveness jobs the frontier already decided never reach their
+            // wave's PDR: their pool grants come back here, at a barrier.
+            if (fancy && budgetPool_) {
+                for (const ObligationJob* job : liveJobs)
+                    if (job->result.status != Status::Unknown)
+                        budgetPool_->settle(budgetPool_->initialGrant(), 0);
+            }
             AigLit provenSeen = kAigTrue;
+            // Pool mode only: each proven chain obligation's inductive
+            // invariant seeds every later chain job (same live AIG, same
+            // constraint set, so the cubes are model facts independent of
+            // the per-job bad literal). Admission re-validates them with a
+            // greatest-fixpoint consecution filter on an uncharged budget,
+            // so a seed can prune the search but never skew the verdict or
+            // eat the pool. Collected single-threaded at the wave barrier
+            // in declaration order — deterministic for any worker count.
+            // Primed with phase A's safety PDR invariants: the live AIG
+            // shares variable numbering with the base, so reachability
+            // facts about the shared state (e.g. request tracking)
+            // transfer verbatim.
+            std::vector<PdrCube> chainSeeds;
+            if (budgetPool_)
+                for (const ObligationJob* job : safetyJobs)
+                    if (job->result.status == Status::Proven)
+                        chainSeeds.insert(chainSeeds.end(), job->invariant.begin(),
+                                          job->invariant.end());
             const auto waves = lemmaWaves(bb_.aig, bb_, liveJobs);
             liveWaves_ = waves.size();
             for (const auto& wave : waves)
@@ -593,20 +809,75 @@ std::vector<PropertyResult> ObligationScheduler::run() {
                                       : job->bad;
                     todo.push_back(job);
                 }
-                if (opts_.perturbSeed != 0) {
-                    const auto order = perturbedOrder(todo.size(), opts_.perturbSeed, 3);
-                    std::vector<ObligationJob*> shuffled(todo.size());
-                    for (size_t i = 0; i < order.size(); ++i) shuffled[i] = todo[order[i]];
-                    todo.swap(shuffled);
+                if (fancy) {
+                    // Detached PDR per wave: declaration-order cache pass,
+                    // the leg-ladder stage, then the refill pass — all
+                    // before the tracker folding below, so a refill-proven
+                    // obligation strengthens the next wave exactly like a
+                    // first-try proof.
+                    std::vector<ObligationJob*> openWave;
+                    if (budgetPool_ && !chainSeeds.empty()) {
+                        // Cone projection: a seed transfers restricted to
+                        // the latches in the target's own bad-cone (its
+                        // trackers plus the shared base state, e.g. the
+                        // page-table walker). Cubes about a *different*
+                        // obligation's bookkeeping are not just useless —
+                        // blocking them measurably derails the target's
+                        // generalization trajectory — but their in-cone
+                        // projection often carries a shared-state fact.
+                        // Projection strengthens the claim (fewer literals
+                        // block more states), which is exactly what the
+                        // admission fixpoint exists to arbitrate.
+                        for (ObligationJob* job : todo) {
+                            const std::vector<uint32_t> cone =
+                                latchSupport(liveCtx.aig, job->bad);
+                            for (const PdrCube& cube : chainSeeds) {
+                                PdrCube proj;
+                                proj.reserve(cube.size());
+                                for (const auto& lit : cube)
+                                    if (std::binary_search(cone.begin(), cone.end(),
+                                                           lit.first))
+                                        proj.push_back(lit);
+                                if (!proj.empty()) job->pdrSeeds.push_back(std::move(proj));
+                            }
+                        }
+                    }
+                    for (ObligationJob* job : todo) {
+                        cache::Fingerprint fp;
+                        uint64_t structKey = 0;
+                        if (cache_ && tryServeFromCache(liveCtx, *job, cache::Stage::ChainPdr,
+                                                        /*allowSeeding=*/true, fp, structKey)) {
+                            if (budgetPool_)
+                                budgetPool_->settle(budgetPool_->initialGrant(), 0);
+                            continue;
+                        }
+                        openWave.push_back(job);
+                    }
+                    runPdrLadderStage(liveCtx, openWave);
+                    refillPass(liveCtx, openWave);
+                    if (cache_)
+                        for (ObligationJob* job : openWave)
+                            storeJob(liveCtx, *job, cache::Stage::ChainPdr);
+                } else {
+                    if (opts_.perturbSeed != 0) {
+                        const auto order = perturbedOrder(todo.size(), opts_.perturbSeed, 3);
+                        std::vector<ObligationJob*> shuffled(todo.size());
+                        for (size_t i = 0; i < order.size(); ++i) shuffled[i] = todo[order[i]];
+                        todo.swap(shuffled);
+                    }
+                    parallelFor(opts_.jobs, todo.size(),
+                                [&](int, size_t t) { runChainPdr(liveCtx, *todo[t]); });
                 }
-                parallelFor(opts_.jobs, todo.size(),
-                            [&](int, size_t t) { runChainPdr(liveCtx, *todo[t]); });
                 // Barrier passed: fold this wave's freshly proven trackers
                 // into the strengthening conjunction, in declaration order.
                 for (ObligationJob* job : wave) {
                     if (job->result.status == Status::Proven &&
-                        std::find(todo.begin(), todo.end(), job) != todo.end())
+                        std::find(todo.begin(), todo.end(), job) != todo.end()) {
                         provenSeen = live_->mutableAig().mkAnd(provenSeen, live_->seen(job->ob));
+                        if (budgetPool_)
+                            chainSeeds.insert(chainSeeds.end(), job->invariant.begin(),
+                                              job->invariant.end());
+                    }
                 }
             }
         }
@@ -618,9 +889,14 @@ std::vector<PropertyResult> ObligationScheduler::run() {
     const double phaseBSeconds = liveJobs.empty() ? 0.0 : phaseB.seconds();
 
     stats_ = shared_.snapshot(total.seconds());
+    stats_.phaseASeconds = phaseASeconds;
     stats_.phaseBSeconds = phaseBSeconds;
     stats_.liveWaves = liveWaves_;
     stats_.liveWaveWidest = liveWaveWidest_;
+    if (budgetPool_) {
+        stats_.budgetQueriesReturned = budgetPool_->queriesReturned();
+        stats_.budgetRefillsGranted = budgetPool_->refillsGranted();
+    }
     if (cache_) {
         cache::CacheStats cs = cache_->stats();
         stats_.cacheLookups = cs.lookups;

@@ -41,6 +41,7 @@
 
 #include "cache/fingerprint.hpp"
 #include "formal/bitblast.hpp"
+#include "formal/portfolio.hpp"
 #include "formal/result.hpp"
 #include "formal/strategy.hpp"
 #include "rtlir/design.hpp"
@@ -95,6 +96,28 @@ private:
                            bool allowSeeding, cache::Fingerprint& fp,
                            uint64_t& structKey) const;
 
+    /// True when the PDR stage runs detached from the per-job pipeline —
+    /// any of the portfolio/budget-pool knobs is set (and PDR is on). The
+    /// default pipeline then stays verbatim on its existing code paths.
+    [[nodiscard]] bool fancyPdr() const {
+        return opts_.usePdr && (opts_.budgetPoolQueries > 0 || opts_.portfolioLegs > 0 ||
+                                opts_.portfolio);
+    }
+    /// The detached PDR stage: evaluates each open job's deterministic leg
+    /// ladder (see portfolio.hpp) — sequentially with early exit, or raced
+    /// across the worker pool with leg-order adoption when
+    /// opts_.portfolio. Settles the budget pool per job; retains leg 0's
+    /// warm context on budget-edge Unknowns for refillPass.
+    void runPdrLadderStage(const ProofContext& baseCtx,
+                           const std::vector<ObligationJob*>& open);
+    /// Single-threaded phase-barrier refill pass: budget-edge Unknowns
+    /// draw pool refills and resume their warm context, in declaration
+    /// order, until decided or the pool runs dry.
+    void refillPass(const ProofContext& baseCtx, const std::vector<ObligationJob*>& open);
+    /// Deferred cache store (the fancy PDR paths store after refills so a
+    /// refill-improved verdict is what gets recorded).
+    void storeJob(const ProofContext& ctx, ObligationJob& job, cache::Stage stage) const;
+
     const ir::Design& design_;
     EngineOptions opts_;
     BitBlast bb_;
@@ -108,6 +131,7 @@ private:
     uint64_t structSalt_ = 0; ///< Design-identity salt for near-miss keys.
     std::unordered_map<std::string, uint32_t> baseLatchNames_;
     std::unordered_map<std::string, uint32_t> liveLatchNames_;
+    std::unique_ptr<BudgetPool> budgetPool_; ///< Per-run; null unless opts ask for it.
     SharedStats shared_;
     EngineStats stats_;
     uint64_t liveWaves_ = 0;       ///< Lemma-DAG shape of the last run().

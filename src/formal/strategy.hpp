@@ -42,6 +42,8 @@ struct SharedStats {
     std::atomic<uint64_t> pdrGenDropAttempts{0};
     std::atomic<uint64_t> pdrRetryFallbacks{0};
     std::atomic<uint64_t> pdrSeedCubesAdmitted{0};
+    std::atomic<uint64_t> portfolioLegsLaunched{0};
+    std::atomic<uint64_t> portfolioLegsCancelled{0};
 
     /// Folds one pdrCheck's observability counters into the run totals.
     void addPdr(const PdrStats& pdr) {
@@ -74,6 +76,8 @@ struct SharedStats {
         s.pdrGenDropAttempts = pdrGenDropAttempts.load(std::memory_order_relaxed);
         s.pdrRetryFallbacks = pdrRetryFallbacks.load(std::memory_order_relaxed);
         s.pdrSeedCubesAdmitted = pdrSeedCubesAdmitted.load(std::memory_order_relaxed);
+        s.portfolioLegsLaunched = portfolioLegsLaunched.load(std::memory_order_relaxed);
+        s.portfolioLegsCancelled = portfolioLegsCancelled.load(std::memory_order_relaxed);
         s.totalSeconds = totalSeconds;
         return s;
     }
@@ -209,6 +213,13 @@ struct ObligationJob {
     std::vector<PdrCube> pdrSeeds;
     /// PDR's inductive invariant when it proved this job (cache fodder).
     std::vector<PdrCube> invariant;
+    /// Retained warm PDR context of the canonical leg when the global
+    /// budget pool is active: a budget-edge Unknown is resumed on it —
+    /// learned frames and frame solvers intact — each time the pool grants
+    /// a refill at a phase barrier. Null otherwise. (Makes the job
+    /// move-only; the scheduler's job vectors are reserved up front and
+    /// never copy.)
+    std::unique_ptr<PdrContext> pdrCtx;
     PropertyResult result;
 };
 
@@ -255,6 +266,33 @@ void runBmcBatch(const ProofContext& ctx, const std::vector<ObligationJob*>& job
 /// IC3/PDR unbounded reachability, with a targeted BMC re-run to extract
 /// deep counterexample traces.
 [[nodiscard]] std::unique_ptr<ProofStrategy> makePdrStrategy();
+
+/// One PDR attempt of the leg ladder (see EngineOptions::portfolioLegs):
+/// the raw engine verdict plus — when the caller asked for it — the warm
+/// context the attempt ran on, for budget-pool refills.
+struct PdrAttempt {
+    PdrResult result;
+    std::unique_ptr<PdrContext> ctx;
+};
+
+/// Runs one leg of a job's PDR leg ladder: a fresh PdrContext at the given
+/// generalization rotation with `maxQueries` budget, plus up to `retries`
+/// warm-context budget-edge retries (the canonical leg runs pdrCheck's
+/// exact retry policy; hunter legs pass retries = 0). `stop` is the race
+/// cancellation token (null = not cancellable); an interrupted result has
+/// PdrResult::interrupted set and is never a verdict. PDR observability
+/// stats and query counts are folded into ctx.stats; job.result is NOT
+/// touched — callers adopt a leg's outcome via applyPdrOutcome.
+[[nodiscard]] PdrAttempt runPdrLeg(const ProofContext& ctx, const ObligationJob& job,
+                                   uint64_t maxQueries, uint64_t genRotation, int retries,
+                                   const std::atomic<bool>* stop, bool retainContext);
+
+/// Maps an adopted PDR verdict onto the job: Proven/Unreachable status and
+/// invariant capture, or the targeted-BMC counterexample re-run (fresh
+/// solver, original `job.bad`, shortest trace — leg-invariant by
+/// construction), or the Unknown depth. Exactly the mapping the in-place
+/// PDR strategy applies.
+void applyPdrOutcome(const ProofContext& ctx, ObligationJob& job, PdrResult&& pr);
 
 /// Word-level counterexample extraction from a satisfied unrolling:
 /// initial registers, per-frame inputs, and (for lassos) the save point.

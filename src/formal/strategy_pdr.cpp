@@ -3,6 +3,13 @@
 // chaining may have strengthened relative to `job.bad`); when PDR reports
 // a reachable bad state instead, re-runs a targeted BMC at the reported
 // depth bound to extract a word-level trace of the original `bad`.
+//
+// The engine invocation is split into two reusable halves so the portfolio
+// scheduler can race and resume attempts without duplicating this logic:
+// runPdrLeg (one ladder leg: fresh context, rotation, retry policy, raw
+// verdict) and applyPdrOutcome (verdict-to-job mapping including the
+// counterexample trace re-run). The classic strategy below is exactly
+// leg 0 of the ladder applied in place.
 #include "formal/pdr.hpp"
 #include "formal/sat.hpp"
 #include "formal/strategy.hpp"
@@ -10,6 +17,86 @@
 #include "util/stopwatch.hpp"
 
 namespace autosva::formal {
+
+PdrAttempt runPdrLeg(const ProofContext& ctx, const ObligationJob& job,
+                     uint64_t maxQueries, uint64_t genRotation, int retries,
+                     const std::atomic<bool>* stop, bool retainContext) {
+    PdrOptions pdrOpts;
+    pdrOpts.maxFrames = ctx.opts.pdrMaxFrames;
+    pdrOpts.maxQueries = maxQueries;
+    pdrOpts.retryReorders = retries;
+    pdrOpts.perturbSeed = ctx.opts.perturbSeed;
+    pdrOpts.genRotation = genRotation;
+    pdrOpts.stop = stop;
+    if (!job.pdrSeeds.empty()) pdrOpts.seedCubes = &job.pdrSeeds;
+    AigLit effectiveBad = job.pdrBad != kAigFalse ? job.pdrBad : job.bad;
+
+    PdrAttempt attempt;
+    auto pdrCtx = std::make_unique<PdrContext>(ctx.aig, effectiveBad, ctx.constraints, pdrOpts);
+    PdrResult result = pdrCtx->search();
+    // pdrCheck's budget-edge retry policy, replicated here so the warm
+    // context can outlive the call (pdrCheck owns its context internally).
+    uint64_t taken = 0;
+    for (int retry = 0; retry < retries && result.kind == PdrResult::Kind::Unknown &&
+                        !result.interrupted && pdrCtx->budgetExhausted();
+         ++retry) {
+        pdrCtx->grantBudget();
+        pdrCtx->rotateGeneralization();
+        ++taken;
+        result = pdrCtx->search();
+    }
+    result.stats = pdrCtx->stats();
+    result.stats.retryActivations = taken;
+    result.queries = pdrCtx->queries();
+    if (ctx.stats) {
+        ctx.stats->satCalls.fetch_add(result.queries, std::memory_order_relaxed);
+        ctx.stats->addPdr(result.stats);
+    }
+    attempt.result = std::move(result);
+    if (retainContext) attempt.ctx = std::move(pdrCtx);
+    return attempt;
+}
+
+void applyPdrOutcome(const ProofContext& ctx, ObligationJob& job, PdrResult&& pr) {
+    switch (pr.kind) {
+    case PdrResult::Kind::Proven:
+        job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;
+        job.result.depth = pr.depth;
+        job.invariant = std::move(pr.invariant);
+        break;
+    case PdrResult::Kind::Cex: {
+        // Deep counterexample (beyond the BMC bound): re-run a targeted
+        // BMC at the depth bound PDR reported to extract the trace. A
+        // fresh solver on purpose — the trace must not depend on any
+        // pooled solver's job history; and because it searches upward
+        // from k = 0, the trace (and its canonical depth) is the shortest
+        // one, identical whichever ladder leg reported the Cex.
+        SatSolver solver;
+        Unroller un(ctx.aig, solver, Unroller::Init::Reset);
+        int lastConstrained = -1;
+        bool found = false;
+        for (int k = 0; k <= pr.depth + 2 && !found; ++k) {
+            constrainFramesTo(un, solver, ctx.constraints, k, lastConstrained);
+            SatLit bad = un.lit(k, job.bad);
+            if (solver.solve({bad}) == SatResult::Sat) {
+                job.result.status = job.coverMode ? Status::Covered : Status::Failed;
+                job.result.depth = k;
+                job.result.trace = extractCexTrace(ctx, un, solver, k);
+                found = true;
+            } else {
+                solver.addUnit(satNeg(bad));
+            }
+        }
+        if (!found) job.result.depth = pr.depth; // Stays Unknown.
+        if (ctx.stats) ctx.stats->addEncoder(solver, un);
+        break;
+    }
+    case PdrResult::Kind::Unknown:
+        job.result.depth = pr.depth;
+        break;
+    }
+}
+
 namespace {
 
 class PdrStrategy final : public ProofStrategy {
@@ -19,54 +106,10 @@ public:
     void run(const ProofContext& ctx, ObligationJob& job) const override {
         if (!ctx.opts.usePdr) return;
         util::Stopwatch sw;
-        PdrOptions pdrOpts;
-        pdrOpts.maxFrames = ctx.opts.pdrMaxFrames;
-        pdrOpts.maxQueries = ctx.opts.pdrMaxQueries;
-        pdrOpts.retryReorders = ctx.opts.pdrRetryReorders;
-        pdrOpts.perturbSeed = ctx.opts.perturbSeed;
-        if (!job.pdrSeeds.empty()) pdrOpts.seedCubes = &job.pdrSeeds;
-        AigLit effectiveBad = job.pdrBad != kAigFalse ? job.pdrBad : job.bad;
-        PdrResult pr = pdrCheck(ctx.aig, effectiveBad, ctx.constraints, pdrOpts);
+        PdrAttempt attempt = runPdrLeg(ctx, job, ctx.opts.pdrMaxQueries, 0,
+                                       ctx.opts.pdrRetryReorders, nullptr, false);
         job.result.seconds += sw.seconds();
-        if (ctx.stats) {
-            ctx.stats->satCalls.fetch_add(pr.queries, std::memory_order_relaxed);
-            ctx.stats->addPdr(pr.stats);
-        }
-        switch (pr.kind) {
-        case PdrResult::Kind::Proven:
-            job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;
-            job.result.depth = pr.depth;
-            job.invariant = std::move(pr.invariant);
-            break;
-        case PdrResult::Kind::Cex: {
-            // Deep counterexample (beyond the BMC bound): re-run a targeted
-            // BMC at the depth bound PDR reported to extract the trace. A
-            // fresh solver on purpose — the trace must not depend on any
-            // pooled solver's job history.
-            SatSolver solver;
-            Unroller un(ctx.aig, solver, Unroller::Init::Reset);
-            int lastConstrained = -1;
-            bool found = false;
-            for (int k = 0; k <= pr.depth + 2 && !found; ++k) {
-                constrainFramesTo(un, solver, ctx.constraints, k, lastConstrained);
-                SatLit bad = un.lit(k, job.bad);
-                if (solver.solve({bad}) == SatResult::Sat) {
-                    job.result.status = job.coverMode ? Status::Covered : Status::Failed;
-                    job.result.depth = k;
-                    job.result.trace = extractCexTrace(ctx, un, solver, k);
-                    found = true;
-                } else {
-                    solver.addUnit(satNeg(bad));
-                }
-            }
-            if (!found) job.result.depth = pr.depth; // Stays Unknown.
-            if (ctx.stats) ctx.stats->addEncoder(solver, un);
-            break;
-        }
-        case PdrResult::Kind::Unknown:
-            job.result.depth = pr.depth;
-            break;
-        }
+        applyPdrOutcome(ctx, job, std::move(attempt.result));
     }
 };
 

@@ -176,6 +176,26 @@ TEST(Fingerprint, OptionsThatAffectVerdictsMoveTheKey) {
     parallel.jobs = 8;
     EXPECT_EQ(cache::fingerprintCone(bb.aig, roots, digest(deep)),
               cache::fingerprintCone(bb.aig, roots, digest(parallel)));
+
+    // Extra ladder legs can flip a budget-edge Unknown, and the global
+    // budget pool moves where the Unknown frontier falls: both must move
+    // the key.
+    EngineOptions withLegs;
+    withLegs.portfolioLegs = 2;
+    EXPECT_NE(cache::fingerprintCone(bb.aig, roots, digest(deep)),
+              cache::fingerprintCone(bb.aig, roots, digest(withLegs)));
+    EngineOptions withPool;
+    withPool.budgetPoolQueries = 200000;
+    EXPECT_NE(cache::fingerprintCone(bb.aig, roots, digest(deep)),
+              cache::fingerprintCone(bb.aig, roots, digest(withPool)));
+    // Racing the ladder versus walking it sequentially adopts the same leg
+    // (leg-order adoption), so `portfolio` itself must NOT move the key —
+    // raced and sequential runs share cache entries, like jobs.
+    EngineOptions raced = withLegs;
+    raced.portfolio = true;
+    raced.jobs = 8;
+    EXPECT_EQ(cache::fingerprintCone(bb.aig, roots, digest(withLegs)),
+              cache::fingerprintCone(bb.aig, roots, digest(raced)));
 }
 
 // ---------------------------------------------------------------------------

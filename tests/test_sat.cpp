@@ -1,8 +1,11 @@
 // SAT solver unit tests: satisfiable/unsatisfiable instances, assumptions,
-// incremental use, and pigeonhole stress.
+// incremental use, pigeonhole stress, and cross-thread cancellation.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <random>
+#include <thread>
 
 #include "formal/sat.hpp"
 
@@ -202,6 +205,61 @@ TEST(Sat, ConflictBudgetReturnsUnknown) {
             for (int p2 = p1 + 1; p2 < pigeons; ++p2)
                 s.addBinary(satNeg(mkSatLit(v[p1][h])), satNeg(mkSatLit(v[p2][h])));
     EXPECT_EQ(s.solve(), SatResult::Unknown);
+}
+
+TEST(Sat, CrossThreadRequestStopInterruptsAndSolverStaysUsable) {
+    // The portfolio cancellation contract: requestStop() from another
+    // thread makes an in-flight solve() return Interrupted at the next
+    // conflict/restart boundary, the trail unwinds to level 0, and the
+    // solver stays usable for further queries after clearStop().
+    SatSolver s;
+    const int pigeons = 10, holes = 9; // Hard enough to outlive the stopper.
+    std::vector<std::vector<int>> v(pigeons, std::vector<int>(holes));
+    for (auto& row : v)
+        for (auto& cell : row) cell = s.newVar();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<SatLit> clause;
+        for (int h = 0; h < holes; ++h) clause.push_back(mkSatLit(v[p][h]));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addBinary(satNeg(mkSatLit(v[p1][h])), satNeg(mkSatLit(v[p2][h])));
+
+    std::thread stopper([&s] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        s.requestStop();
+    });
+    EXPECT_EQ(s.solve(), SatResult::Interrupted);
+    stopper.join();
+
+    // Still stopped: a fresh solve must bail immediately.
+    EXPECT_EQ(s.solve(), SatResult::Interrupted);
+
+    // After clearing, the solver answers queries it can decide by
+    // propagation alone (the PHP core stays too hard on purpose).
+    s.clearStop();
+    EXPECT_EQ(s.solve({mkSatLit(v[0][0]), satNeg(mkSatLit(v[0][0]))}), SatResult::Unsat);
+    s.setConflictBudget(1);
+    EXPECT_EQ(s.solve(), SatResult::Unknown);
+}
+
+TEST(Sat, ExternalStopTokenInterrupts) {
+    // bindStop() shares one atomic across many solvers — the JobRace slot
+    // token. A raised token interrupts at solve() entry; unbinding (or
+    // lowering the token) restores normal operation.
+    std::atomic<bool> token{false};
+    SatSolver s;
+    int a = s.newVar(), b = s.newVar();
+    s.addBinary(mkSatLit(a), mkSatLit(b));
+    s.bindStop(&token);
+    token.store(true);
+    EXPECT_EQ(s.solve(), SatResult::Interrupted);
+    token.store(false);
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    s.bindStop(nullptr);
+    EXPECT_EQ(s.solve(), SatResult::Sat);
 }
 
 } // namespace

@@ -252,4 +252,34 @@ TEST(Scheduler, ArianeMmuIdenticalJobs1VsJobs4) {
     EXPECT_EQ(r1.outcomeSummary(), r4.outcomeSummary());
 }
 
+// Portfolio racing: the leg ladder raced with first-verdict-wins
+// cancellation must adopt exactly the leg the sequential walk adopts —
+// byte-identical reports — while actually cancelling hunter legs. jobs=1
+// makes the cancellation count deterministic: the leg-major task order
+// runs every leg-0 before any hunter, so each decisive job skips both of
+// its hunters.
+TEST(Scheduler, PortfolioRaceIdenticalToSequentialLadderAndCancels) {
+    auto run = [](bool portfolio, int legs, uint64_t* cancelled) {
+        auto d = elab(kMixedRtl, "m");
+        EngineOptions opts;
+        opts.jobs = 1;
+        opts.portfolio = portfolio;
+        opts.portfolioLegs = legs;
+        ObligationScheduler scheduler(*d, opts);
+        std::string fp = fingerprint(scheduler.run());
+        if (cancelled) *cancelled = scheduler.stats().portfolioLegsCancelled;
+        return fp;
+    };
+    std::string baseline = run(false, 0, nullptr); // Plain pipeline, no ladder.
+    std::string sequential = run(false, 2, nullptr);
+    uint64_t cancelled = 0;
+    std::string raced = run(true, 2, &cancelled);
+    EXPECT_EQ(raced, sequential);
+    // Every obligation of this design is decided by the canonical leg 0,
+    // so the hunter legs cannot move any verdict — the ladder reproduces
+    // the plain pipeline byte for byte.
+    EXPECT_EQ(raced, baseline);
+    EXPECT_GT(cancelled, 0u);
+}
+
 } // namespace

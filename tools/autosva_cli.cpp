@@ -35,6 +35,7 @@ usage:
                [--no-xprop] [--max-outstanding N] [--dut NAME]
   autosva run  <dut.sv> [extra.sv ...] [--param NAME=VALUE] [--depth N]
                [--jobs N] [--pdr-queries N] [--pdr-retries N]
+               [--portfolio] [--portfolio-legs N] [--budget-pool N]
                [--no-liveness] [--no-covers]
                [--cache-dir DIR] [--no-cache] [--cache-stats] [--cache-compact]
                [--stats] [--no-solver-reuse] [--no-aig-rewrite]
@@ -43,6 +44,7 @@ usage:
   autosva cache compact [--cache-dir DIR]
   autosva run-design <name> [--bug 0|1] [--depth N] [--jobs N]
                [--pdr-queries N] [--pdr-retries N]
+               [--portfolio] [--portfolio-legs N] [--budget-pool N]
                [--cache-dir DIR] [--no-cache] [--cache-stats] [--cache-compact]
                [--stats] [--no-solver-reuse] [--no-aig-rewrite]
 
@@ -56,6 +58,23 @@ options:
   --pdr-retries N  budget-edge retry allowance (default 2): a query-budget
                    Unknown resumes on its learned frames with a fresh budget
                    and a rotated generalization order up to N times.
+  --portfolio-legs N  extra PDR race legs per property beyond the canonical
+                   attempt (default 0). Each leg searches at a different
+                   (fixed) generalization rotation; legs can close
+                   budget-edge properties the canonical schedule leaves
+                   Unknown, so this knob affects verdicts and cache keys.
+  --portfolio      race each property's PDR leg ladder across the worker
+                   pool instead of walking it sequentially; losers are
+                   cancelled mid-solve. Adoption is by leg order (never
+                   finish order), so the report is byte-identical to the
+                   sequential ladder for any --jobs. Implies
+                   --portfolio-legs 2 unless set explicitly.
+  --budget-pool N  global PDR query budget shared by the whole property
+                   set, replacing the per-property --pdr-queries cap: each
+                   property reserves an equal grant, cheap closers return
+                   unspent queries, and budget-edge Unknowns draw
+                   deterministic refills at phase barriers until the pool
+                   drains. Affects verdicts, hence cache keys.
   --cache-dir DIR  persistent proof-cache directory (default:
                    $AUTOSVA_CACHE_DIR, else $XDG_CACHE_HOME/autosva, else
                    ~/.cache/autosva). Reruns of unchanged obligations are
@@ -158,7 +177,8 @@ Args parseArgs(int argc, char** argv, int start) {
                                       "--dut",    "--depth", "--jobs",
                                       "--cycles", "--seed",  "--vcd",
                                       "--bug",    "--param", "--cache-dir",
-                                      "--pdr-queries", "--pdr-retries"};
+                                      "--pdr-queries", "--pdr-retries",
+                                      "--portfolio-legs", "--budget-pool"};
     for (int i = start; i < argc; ++i) {
         std::string a = argv[i];
         bool takesValue = false;
@@ -229,6 +249,13 @@ int runReport(const std::vector<std::string>& sources,
         args.getInt("--pdr-queries", static_cast<long>(vopts.engine.pdrMaxQueries), 1));
     vopts.engine.pdrRetryReorders =
         static_cast<int>(args.getInt("--pdr-retries", vopts.engine.pdrRetryReorders, 0, 100));
+    vopts.engine.portfolioLegs =
+        static_cast<int>(args.getInt("--portfolio-legs", vopts.engine.portfolioLegs, 0, 64));
+    vopts.engine.portfolio = args.has("--portfolio");
+    if (vopts.engine.portfolio && vopts.engine.portfolioLegs == 0)
+        vopts.engine.portfolioLegs = 2;
+    vopts.engine.budgetPoolQueries =
+        static_cast<uint64_t>(args.getInt("--budget-pool", 0, 1, 1000000000000ULL));
     vopts.engine.useLivenessToSafety = !args.has("--no-liveness");
     vopts.engine.checkCovers = !args.has("--no-covers");
     vopts.engine.solverReuse = !args.has("--no-solver-reuse");
@@ -249,6 +276,9 @@ int runReport(const std::vector<std::string>& sources,
                     "encoder: vars=%llu clauses=%llu cones=%llu solver-reuses=%llu\n"
                     "pdr: frames-opened=%llu cubes-blocked=%llu gen-drop-attempts=%llu "
                     "retry-fallbacks=%llu seed-cubes-admitted=%llu\n"
+                    "race: legs-launched=%llu legs-cancelled=%llu\n"
+                    "budget: queries-returned=%llu refills-granted=%llu\n"
+                    "phase: a=%.3fs b=%.3fs\n"
                     "lemma-dag: waves=%llu widest=%llu\n",
                     static_cast<unsigned long long>(es.satCalls),
                     static_cast<unsigned long long>(es.conflicts),
@@ -262,6 +292,11 @@ int runReport(const std::vector<std::string>& sources,
                     static_cast<unsigned long long>(es.pdrGenDropAttempts),
                     static_cast<unsigned long long>(es.pdrRetryFallbacks),
                     static_cast<unsigned long long>(es.pdrSeedCubesAdmitted),
+                    static_cast<unsigned long long>(es.portfolioLegsLaunched),
+                    static_cast<unsigned long long>(es.portfolioLegsCancelled),
+                    static_cast<unsigned long long>(es.budgetQueriesReturned),
+                    static_cast<unsigned long long>(es.budgetRefillsGranted),
+                    es.phaseASeconds, es.phaseBSeconds,
                     static_cast<unsigned long long>(es.liveWaves),
                     static_cast<unsigned long long>(es.liveWaveWidest));
         const sva::FrontendStats& fs = report.frontend;
