@@ -12,6 +12,7 @@
 
 #include "core/autosva.hpp"
 #include "designs/designs.hpp"
+#include "obs/stats_json.hpp"
 
 namespace autosva::bench {
 
@@ -21,27 +22,22 @@ namespace autosva::bench {
 
 /// One machine-readable measurement row. Every bench emits the same schema
 /// so trajectory tooling can diff runs without per-bench parsers.
+///
+/// The engine-derived members are generated from the X-macro field list in
+/// obs/stats_json.hpp — the same list `--stats-json` emits — so the bench
+/// rows and the run manifest cannot drift. Member names ARE the JSON keys
+/// (see the EngineStats doc comments for what each counter means).
 struct JsonRow {
     std::string name;   ///< Measurement id within the bench (e.g. "warm").
     std::string design; ///< DUT the row measured ("-" when not applicable).
     double wall_s = 0.0;
-    uint64_t sat_calls = 0;
-    uint64_t conflicts = 0;
     size_t props = 0; ///< Properties involved (0 when not applicable).
-    // PDR observability (EngineStats pass-through; 0 when PDR never ran).
-    uint64_t pdr_frames = 0;       ///< Frame solvers constructed.
-    uint64_t pdr_cubes = 0;        ///< Generalized cubes blocked.
-    uint64_t pdr_gen_drops = 0;    ///< Literal-drop consecution probes.
-    uint64_t pdr_retries = 0;      ///< Budget-edge reordered retries.
-    uint64_t pdr_seeds = 0;        ///< Cache seed cubes admitted.
-    // Scheduler phase split + portfolio/budget observability (0 when the
-    // corresponding feature never ran).
-    double phase_a_s = 0.0;        ///< Safety-phase wall clock.
-    double phase_b_s = 0.0;        ///< Liveness-phase wall clock.
-    uint64_t legs_launched = 0;    ///< Portfolio ladder legs actually run.
-    uint64_t legs_cancelled = 0;   ///< Legs cancelled or raced past.
-    uint64_t queries_returned = 0; ///< Unspent grant queries settled back.
-    uint64_t refills_granted = 0;  ///< Budget-pool draws handed out.
+#define AUTOSVA_BENCH_FIELD(key, member) uint64_t key = 0;
+    AUTOSVA_ENGINE_JSON_U64_FIELDS(AUTOSVA_BENCH_FIELD)
+#undef AUTOSVA_BENCH_FIELD
+#define AUTOSVA_BENCH_FIELD(key, member) double key = 0.0;
+    AUTOSVA_ENGINE_JSON_DOUBLE_FIELDS(AUTOSVA_BENCH_FIELD)
+#undef AUTOSVA_BENCH_FIELD
 };
 
 /// Strips `--json <path>` from argv (so positional-argument benches keep
@@ -88,21 +84,20 @@ inline void writeJson(const std::string& path, const std::string& benchName,
     out << "{\"bench\": \"" << jsonEscape(benchName) << "\", \"rows\": [";
     for (size_t i = 0; i < rows.size(); ++i) {
         const JsonRow& r = rows[i];
-        char buf[64], bufA[64], bufB[64];
+        char buf[64];
         std::snprintf(buf, sizeof buf, "%.6f", r.wall_s);
-        std::snprintf(bufA, sizeof bufA, "%.6f", r.phase_a_s);
-        std::snprintf(bufB, sizeof bufB, "%.6f", r.phase_b_s);
         out << (i ? ", " : "") << "{\"name\": \"" << jsonEscape(r.name)
             << "\", \"design\": \"" << jsonEscape(r.design) << "\", \"wall_s\": " << buf
-            << ", \"sat_calls\": " << r.sat_calls << ", \"conflicts\": " << r.conflicts
-            << ", \"props\": " << r.props << ", \"pdr_frames\": " << r.pdr_frames
-            << ", \"pdr_cubes\": " << r.pdr_cubes << ", \"pdr_gen_drops\": " << r.pdr_gen_drops
-            << ", \"pdr_retries\": " << r.pdr_retries << ", \"pdr_seeds\": " << r.pdr_seeds
-            << ", \"phase_a_s\": " << bufA << ", \"phase_b_s\": " << bufB
-            << ", \"legs_launched\": " << r.legs_launched
-            << ", \"legs_cancelled\": " << r.legs_cancelled
-            << ", \"queries_returned\": " << r.queries_returned
-            << ", \"refills_granted\": " << r.refills_granted << "}";
+            << ", \"props\": " << r.props;
+#define AUTOSVA_BENCH_FIELD(key, member) out << ", \"" #key "\": " << r.key;
+        AUTOSVA_ENGINE_JSON_U64_FIELDS(AUTOSVA_BENCH_FIELD)
+#undef AUTOSVA_BENCH_FIELD
+#define AUTOSVA_BENCH_FIELD(key, member)                                                     \
+    std::snprintf(buf, sizeof buf, "%.6f", r.key);                                           \
+    out << ", \"" #key "\": " << buf;
+        AUTOSVA_ENGINE_JSON_DOUBLE_FIELDS(AUTOSVA_BENCH_FIELD)
+#undef AUTOSVA_BENCH_FIELD
+        out << "}";
     }
     out << "]}\n";
     if (!out.good()) {
@@ -113,21 +108,13 @@ inline void writeJson(const std::string& path, const std::string& benchName,
 }
 
 /// Fills a row's engine-derived fields (PDR counters included) from a set
-/// of engine stats.
+/// of engine stats. Generated from the shared field list: a key here
+/// without a JsonRow member (or vice versa) is a compile error.
 inline void fillEngineFields(JsonRow& row, const formal::EngineStats& stats) {
-    row.sat_calls = stats.satCalls;
-    row.conflicts = stats.conflicts;
-    row.pdr_frames = stats.pdrFramesOpened;
-    row.pdr_cubes = stats.pdrCubesBlocked;
-    row.pdr_gen_drops = stats.pdrGenDropAttempts;
-    row.pdr_retries = stats.pdrRetryFallbacks;
-    row.pdr_seeds = stats.pdrSeedCubesAdmitted;
-    row.phase_a_s = stats.phaseASeconds;
-    row.phase_b_s = stats.phaseBSeconds;
-    row.legs_launched = stats.portfolioLegsLaunched;
-    row.legs_cancelled = stats.portfolioLegsCancelled;
-    row.queries_returned = stats.budgetQueriesReturned;
-    row.refills_granted = stats.budgetRefillsGranted;
+#define AUTOSVA_BENCH_FIELD(key, member) row.key = stats.member;
+    AUTOSVA_ENGINE_JSON_U64_FIELDS(AUTOSVA_BENCH_FIELD)
+    AUTOSVA_ENGINE_JSON_DOUBLE_FIELDS(AUTOSVA_BENCH_FIELD)
+#undef AUTOSVA_BENCH_FIELD
 }
 
 /// Fills a row's engine-derived fields from a verification report.

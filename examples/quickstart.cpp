@@ -109,5 +109,9 @@ int main() {
     std::cout << "\nA FIFO written correctly proves out of the box: every pushed word is\n"
                  "eventually popped with its data intact, and no pop happens that was\n"
                  "never pushed.\n";
+    std::cout << "\nTo see where the engine spends its time, run the CLI with the\n"
+                 "profiler attached (`autosva profile <dut.sv>` or any run with\n"
+                 "--profile), or export the full event timeline with\n"
+                 "--trace-out trace.json and load it in Perfetto / chrome://tracing.\n";
     return report.allProven() ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cache/bytes.hpp"
+#include "obs/trace.hpp"
 
 namespace autosva::cache {
 
@@ -149,6 +150,8 @@ void ProofCache::store(const Fingerprint& fp, const ProofArtifact& artifact) {
         // by construction) and what this run already appended.
         if (snapshot_.count(fp) != 0 || !storedThisRun_.emplace(fp, 0).second) return;
         ++stats_.stores;
+        if (rec_)
+            rec_->instant("cache", "store", -1, {{"lemmas", artifact.lemmas.size()}});
         if (!persistent_) return;
     }
     // Serialize outside the lock: workers must not queue their lookups
@@ -249,6 +252,16 @@ CompactResult ProofCache::compactLog(const std::string& dir) {
 void ProofCache::noteSeeded(uint64_t cubes) {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.seededLemmas += cubes;
+}
+
+void ProofCache::attachRecorder(obs::Recorder* rec) {
+    rec_ = rec;
+    if (!rec_) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    rec_->instant("cache", "open", -1,
+                  {{"entries_loaded", stats_.entriesLoaded},
+                   {"load_errors", stats_.loadErrors},
+                   {"persistent", persistent_ ? uint64_t{1} : uint64_t{0}}});
 }
 
 CacheStats ProofCache::stats() const {

@@ -19,6 +19,10 @@
 #include "cache/fingerprint.hpp"
 #include "cache/proof_artifact.hpp"
 
+namespace autosva::obs {
+class Recorder;
+}
+
 namespace autosva::cache {
 
 /// Outcome of one log compaction (ProofCache::compactLog).
@@ -86,6 +90,13 @@ public:
 
     void noteSeeded(uint64_t cubes);
 
+    /// Attaches a tracing recorder for the rest of this cache's lifetime
+    /// (src/obs/). Emits one "cache/open" snapshot instant immediately and
+    /// a "cache/store" instant per artifact recorded; lookup instants are
+    /// the scheduler's job (it knows the obligation index). Observability
+    /// only — never affects what is stored or served.
+    void attachRecorder(obs::Recorder* rec);
+
     [[nodiscard]] CacheStats stats() const;
 
 private:
@@ -102,6 +113,7 @@ private:
     std::unordered_map<uint64_t, Fingerprint> byStruct_;
     std::unordered_map<Fingerprint, char, FingerprintHash> storedThisRun_;
     CacheStats stats_;
+    obs::Recorder* rec_ = nullptr;
 };
 
 } // namespace autosva::cache

@@ -10,6 +10,10 @@
 
 #include "rtlir/design.hpp"
 
+namespace autosva::obs {
+class Recorder;
+}
+
 namespace autosva::formal {
 
 /// Counterexample in terms of the word-level design: initial register
@@ -147,6 +151,14 @@ struct EngineOptions {
     /// the pool drains. Changes where the Unknown frontier falls, so it is
     /// part of the cache options digest.
     uint64_t budgetPoolQueries = 0;
+    /// Structured-tracing recorder (src/obs/); null disables tracing at
+    /// the cost of one pointer test per instrumentation site. Tracing is
+    /// verdict-inert — canonical reports are byte-identical with it on or
+    /// off for any jobs count — and this field is deliberately absent from
+    /// the cache options digest (cache/fingerprint.cpp hashes an explicit
+    /// field list), so attaching a recorder can never move a cache key.
+    /// The recorder must outlive the run.
+    obs::Recorder* trace = nullptr;
 };
 
 struct EngineStats {
@@ -157,23 +169,23 @@ struct EngineStats {
     uint64_t cacheHits = 0;
     uint64_t cacheStores = 0;
     uint64_t cacheSeededLemmas = 0;
-    // Encoder counters over the strategy-layer solvers (BMC, k-induction,
-    // trace replay, pooled contexts; PDR's internal frame solvers keep
-    // their own query counter). These are what solver reuse and the AIG
-    // rewrite shrink — see bench_solver_reuse.
+    /// Encoder counters over the strategy-layer solvers (BMC, k-induction,
+    /// trace replay, pooled contexts; PDR's internal frame solvers keep
+    /// their own query counter). These are what solver reuse and the AIG
+    /// rewrite shrink — see bench_solver_reuse.
     uint64_t encoderVars = 0;       ///< Tseitin variables created.
     uint64_t encoderClauses = 0;    ///< Problem clauses added.
     uint64_t conesMaterialized = 0; ///< Unroller root cones encoded on demand.
     uint64_t solverReuses = 0;      ///< Jobs served by an already-warm pooled solver.
-    // PDR observability (aggregated over every pdrCheck of the run; the
-    // --stats "pdr:" line and the bench --json rows carry them).
+    /// PDR observability (aggregated over every pdrCheck of the run; the
+    /// --stats "pdr:" line and the bench --json rows carry them).
     uint64_t pdrFramesOpened = 0;      ///< Frame solvers constructed.
     uint64_t pdrCubesBlocked = 0;      ///< Generalized cubes added to frames.
     uint64_t pdrGenDropAttempts = 0;   ///< Literal-drop consecution probes.
     uint64_t pdrRetryFallbacks = 0;    ///< Budget-edge reordered retries taken.
     uint64_t pdrSeedCubesAdmitted = 0; ///< Cache seed cubes surviving re-validation.
-    // Portfolio racing / budget-pool observability (the --stats "race:" and
-    // "budget:" lines and the bench --json rows carry them).
+    /// Portfolio racing / budget-pool observability (the --stats "race:"
+    /// and "budget:" lines and the bench --json rows carry them).
     uint64_t portfolioLegsLaunched = 0;  ///< Race legs that began solving.
     uint64_t portfolioLegsCancelled = 0; ///< Legs stopped by a lower rung's verdict.
     uint64_t budgetQueriesReturned = 0;  ///< Unspent grant queries returned to the pool.

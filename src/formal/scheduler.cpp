@@ -10,6 +10,7 @@
 
 #include "cache/fingerprint.hpp"
 #include "cache/store.hpp"
+#include "obs/trace.hpp"
 #include "sva/report.hpp"
 #include "util/stopwatch.hpp"
 
@@ -326,6 +327,7 @@ ObligationScheduler::ObligationScheduler(const ir::Design& design, EngineOptions
         cache_ = std::make_unique<cache::ProofCache>(opts_.cacheDir);
         structSalt_ = cache::designSalt(design);
         baseLatchNames_ = cache::latchNameMap(bb_.aig);
+        if (opts_.trace) cache_->attachRecorder(opts_.trace);
     }
 }
 
@@ -336,7 +338,12 @@ void ObligationScheduler::seedFromNearMiss(ObligationJob& job, uint64_t structKe
     auto near = cache_->lookupNear(structKey);
     if (!near || near->lemmas.empty()) return;
     job.pdrSeeds = mapLemmas(near->lemmas, job.onLiveAig ? liveLatchNames_ : baseLatchNames_);
-    if (!job.pdrSeeds.empty()) cache_->noteSeeded(job.pdrSeeds.size());
+    if (!job.pdrSeeds.empty()) {
+        cache_->noteSeeded(job.pdrSeeds.size());
+        if (opts_.trace)
+            opts_.trace->instant("cache", "near-miss-seed", static_cast<int64_t>(job.index),
+                                 {{"seeds", job.pdrSeeds.size()}});
+    }
 }
 
 bool ObligationScheduler::tryServeFromCache(const ProofContext& ctx, ObligationJob& job,
@@ -345,7 +352,13 @@ bool ObligationScheduler::tryServeFromCache(const ProofContext& ctx, ObligationJ
                                             uint64_t& structKey) const {
     fp = jobFingerprint(ctx, job, stage);
     structKey = cache::structKey(job.ob->name, job.ob->kind, stage, structSalt_);
-    if (auto art = cache_->lookup(fp); art && applyArtifact(*art, job)) return true;
+    if (auto art = cache_->lookup(fp); art && applyArtifact(*art, job)) {
+        if (opts_.trace)
+            opts_.trace->instant("cache", "hit", static_cast<int64_t>(job.index),
+                                 {{"status", static_cast<uint64_t>(job.result.status)}});
+        return true;
+    }
+    if (opts_.trace) opts_.trace->instant("cache", "miss", static_cast<int64_t>(job.index));
     if (allowSeeding) seedFromNearMiss(job, structKey);
     return false;
 }
@@ -422,14 +435,17 @@ void ObligationScheduler::runPhaseBatched(const ProofContext& baseCtx,
     std::vector<std::vector<ObligationJob*>> batches(static_cast<size_t>(workers));
     for (size_t i = 0; i < toProve.size(); ++i)
         batches[i % static_cast<size_t>(workers)].push_back(toProve[i]);
-    parallelFor(workers, batches.size(),
-                [&](int, size_t b) { runBmcBatch(baseCtx, batches[b]); });
+    parallelFor(workers, batches.size(), [&](int w, size_t b) {
+        obs::LaneScope lane(w);
+        runBmcBatch(baseCtx, batches[b]);
+    });
 
     // k-induction (+ PDR) on the survivors, work-stealing with per-worker
     // solver pools (shared per-k induction contexts), then cache store.
     std::vector<SolverPool> pools(static_cast<size_t>(workers));
     const bool detachedPdr = withPdr && fancyPdr();
     parallelFor(opts_.jobs, toProve.size(), [&](int w, size_t t) {
+        obs::LaneScope lane(w);
         ObligationJob& job = *toProve[t];
         ProofContext ctx = baseCtx;
         ctx.pool = &pools[static_cast<size_t>(w)];
@@ -467,8 +483,12 @@ void ObligationScheduler::storeJob(const ProofContext& ctx, ObligationJob& job,
 void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
                                             const std::vector<ObligationJob*>& open) {
     if (open.empty()) return;
+    obs::Recorder* rec = opts_.trace;
+    obs::Span stageSpan(rec, "phase", "pdr-ladder");
+    stageSpan.arg("open", open.size());
     const std::vector<PdrLegSpec> ladder = pdrLegLadder(opts_);
     const size_t numLegs = ladder.size();
+    stageSpan.arg("legs", numLegs);
     // With the pool, every leg runs on the job's up-front grant; refills
     // arrive later at the barrier. Without it, the classic per-property cap.
     const uint64_t legBudget = budgetPool_ ? budgetPool_->initialGrant() : opts_.pdrMaxQueries;
@@ -478,7 +498,8 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
         // Sequential ladder walk per job (jobs still run in parallel):
         // evaluate legs in order, stop at the first decisive one. This is
         // the reference semantics the race below must reproduce exactly.
-        parallelFor(opts_.jobs, open.size(), [&](int, size_t t) {
+        parallelFor(opts_.jobs, open.size(), [&](int w, size_t t) {
+            obs::LaneScope lane(w);
             ObligationJob& job = *open[t];
             util::Stopwatch sw;
             PdrResult adopted;
@@ -504,7 +525,15 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
             // All-Unknown ladders charge leg 0 alone — the hunters were
             // speculation the refill pass never resumes (JobRace applies
             // the same rule, so both walk orders drain the pool equally).
-            if (budgetPool_) budgetPool_->settle(legBudget, anyDecisive ? used : leg0Queries);
+            const uint64_t charged = anyDecisive ? used : leg0Queries;
+            if (budgetPool_) budgetPool_->settle(legBudget, charged);
+            if (rec) {
+                rec->instant("race", "ladder-done", static_cast<int64_t>(job.index),
+                             {{"legs-run", launched}});
+                if (budgetPool_)
+                    rec->instant("budget", "settle", static_cast<int64_t>(job.index),
+                                 {{"granted", legBudget}, {"charged", charged}});
+            }
             applyPdrOutcome(baseCtx, job, std::move(adopted));
         });
         return;
@@ -518,7 +547,8 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
     std::vector<std::unique_ptr<JobRace>> races;
     races.reserve(open.size());
     for (size_t i = 0; i < open.size(); ++i) races.push_back(std::make_unique<JobRace>(numLegs));
-    parallelFor(opts_.jobs, open.size() * numLegs, [&](int, size_t task) {
+    parallelFor(opts_.jobs, open.size() * numLegs, [&](int w, size_t task) {
+        obs::LaneScope lane(w);
         const size_t leg = task / open.size();
         const size_t ji = task % open.size();
         ObligationJob& job = *open[ji];
@@ -528,6 +558,9 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
         bool ran = false;
         if (race.shouldRun(leg)) {
             ran = true;
+            if (rec)
+                rec->instant("race", "leg-launched", static_cast<int64_t>(job.index),
+                             {{"leg", leg}});
             PdrAttempt attempt =
                 runPdrLeg(baseCtx, job, legBudget, ladder[leg].genRotation,
                           ladder[leg].retries, race.stopToken(leg), retainLeg0 && leg == 0);
@@ -537,6 +570,9 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
             legResult = std::move(attempt.result);
         } else {
             legResult.interrupted = true; // Skipped at pickup: cancelled.
+            if (rec)
+                rec->instant("race", "leg-cancelled", static_cast<int64_t>(job.index),
+                             {{"leg", leg}});
         }
         if (race.deposit(leg, std::move(legResult), ran)) {
             // Final leg in: this worker adopts and finalizes the job.
@@ -545,7 +581,16 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
                                                     std::memory_order_relaxed);
             shared_.portfolioLegsCancelled.fetch_add(race.cancelledLegs(),
                                                      std::memory_order_relaxed);
-            if (budgetPool_) budgetPool_->settle(legBudget, race.chargedQueries());
+            const uint64_t charged = race.chargedQueries();
+            if (budgetPool_) budgetPool_->settle(legBudget, charged);
+            if (rec) {
+                rec->instant("race", "adopt", static_cast<int64_t>(job.index),
+                             {{"launched", race.launchedLegs()},
+                              {"cancelled", race.cancelledLegs()}});
+                if (budgetPool_)
+                    rec->instant("budget", "settle", static_cast<int64_t>(job.index),
+                                 {{"granted", legBudget}, {"charged", charged}});
+            }
             applyPdrOutcome(baseCtx, job, race.takeAdopted());
         }
     });
@@ -558,6 +603,9 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
 void ObligationScheduler::refillPass(const ProofContext& baseCtx,
                                      const std::vector<ObligationJob*>& open) {
     if (!budgetPool_) return;
+    obs::Recorder* rec = opts_.trace;
+    obs::Span passSpan(rec, "phase", "refill-pass");
+    uint64_t refills = 0;
     const uint64_t grain = std::max<uint64_t>(budgetPool_->initialGrant(), 1);
     // Declaration order, single-threaded: every settle of the phase
     // happened before this barrier and settles commute, so the pool value
@@ -568,6 +616,10 @@ void ObligationScheduler::refillPass(const ProofContext& baseCtx,
                job.pdrCtx->budgetExhausted() && budgetPool_->available() > 0) {
             const uint64_t drawn = budgetPool_->draw(grain);
             if (drawn == 0) break;
+            obs::Span refillSpan(rec, "strategy", "pdr-refill",
+                                 static_cast<int64_t>(job.index));
+            refillSpan.arg("drawn", drawn);
+            ++refills;
             util::Stopwatch sw;
             // Pure budget extension: the resumed search continues the exact
             // trajectory a single monolithic search would have taken, so
@@ -594,10 +646,19 @@ void ObligationScheduler::refillPass(const ProofContext& baseCtx,
             delta.seedCubesAdmitted = after.seedCubesAdmitted - before.seedCubesAdmitted;
             shared_.satCalls.fetch_add(spent, std::memory_order_relaxed);
             shared_.addPdr(delta);
+            // Attribution mirror of the two fetch_adds above, so the
+            // refill's queries and PDR counter deltas land on the right
+            // obligation in `autosva profile`.
+            refillSpan.arg("queries", spent);
+            refillSpan.arg("frames", delta.framesOpened);
+            refillSpan.arg("cubes", delta.cubesBlocked);
+            refillSpan.arg("drops", delta.genDropAttempts);
+            refillSpan.arg("seeds", delta.seedCubesAdmitted);
             job.result.seconds += sw.seconds();
             applyPdrOutcome(baseCtx, job, std::move(resumed));
         }
     }
+    passSpan.arg("refills", refills);
     // The warm contexts (frame solvers, learned frames) are only needed
     // across refills of this one barrier.
     for (ObligationJob* jobPtr : open) jobPtr->pdrCtx.reset();
@@ -606,6 +667,13 @@ void ObligationScheduler::refillPass(const ProofContext& baseCtx,
 std::vector<PropertyResult> ObligationScheduler::run() {
     util::Stopwatch total;
     const auto& obligations = design_.obligations();
+    obs::Recorder* rec = opts_.trace;
+    if (rec) {
+        std::vector<std::string> names;
+        names.reserve(obligations.size());
+        for (const auto& ob : obligations) names.push_back(ob.name);
+        rec->setObligationNames(std::move(names));
+    }
     std::vector<ObligationJob> jobs(obligations.size());
     sva::ResultSink sink(obligations.size());
 
@@ -700,11 +768,14 @@ std::vector<PropertyResult> ObligationScheduler::run() {
     // deferred stores and publishes — so the cache and the report see the
     // post-refill verdicts.
     util::Stopwatch phaseATimer;
+    obs::Span phaseASpan(rec, "phase", "phase-a");
+    phaseASpan.arg("jobs", phaseA.size());
     ProofContext baseCtx{design_, bb_, bb_.aig, constraints_, opts_, kAigFalse, &shared_};
     if (useReuse) {
         runPhaseBatched(baseCtx, phaseA, /*withPdr=*/true, fancy ? nullptr : &sink);
     } else {
-        parallelFor(opts_.jobs, phaseA.size(), [&](int, size_t t) {
+        parallelFor(opts_.jobs, phaseA.size(), [&](int w, size_t t) {
+            obs::LaneScope lane(w);
             ObligationJob& job = *phaseA[t];
             discharge(baseCtx, job, /*withPdr=*/true);
             if (!fancy) {
@@ -718,8 +789,12 @@ std::vector<PropertyResult> ObligationScheduler::run() {
         for (ObligationJob* job : phaseA) {
             if (job->result.status == Status::Unknown && !job->result.cached)
                 openA.push_back(job);
-            else if (budgetPool_)
+            else if (budgetPool_) {
                 budgetPool_->settle(budgetPool_->initialGrant(), 0); // Cheap closer.
+                if (rec)
+                    rec->instant("budget", "settle", static_cast<int64_t>(job->index),
+                                 {{"granted", budgetPool_->initialGrant()}, {"charged", 0}});
+            }
         }
         runPdrLadderStage(baseCtx, openA);
         refillPass(baseCtx, openA);
@@ -730,6 +805,7 @@ std::vector<PropertyResult> ObligationScheduler::run() {
             sink.publish(job->index, job->result);
         }
     }
+    phaseASpan.end();
     const double phaseASeconds = phaseA.empty() ? 0.0 : phaseATimer.seconds();
 
     // ---- Phase B: liveness. Proven safety assertions are invariants of the
@@ -739,6 +815,8 @@ std::vector<PropertyResult> ObligationScheduler::run() {
     // barrier after phase A makes the constraint set — hence the results —
     // independent of worker timing.
     util::Stopwatch phaseB;
+    obs::Span phaseBSpan(rec, "phase", "phase-b");
+    phaseBSpan.arg("jobs", liveJobs.size());
     if (!liveJobs.empty()) {
         std::vector<AigLit> liveConstraints = constraints_;
         for (const ObligationJob* job : safetyJobs) {
@@ -751,12 +829,17 @@ std::vector<PropertyResult> ObligationScheduler::run() {
         // strengthened constraint set invalidate phase A's encodings, and
         // the sequential lemma chain below mutates the live AIG — shared
         // unrollers must not outlive the frontier pass.
-        if (useReuse) {
-            runPhaseBatched(liveCtx, liveJobs, /*withPdr=*/false, /*sink=*/nullptr);
-        } else {
-            parallelFor(opts_.jobs, liveJobs.size(), [&](int, size_t t) {
-                discharge(liveCtx, *liveJobs[t], /*withPdr=*/false);
-            });
+        {
+            obs::Span frontierSpan(rec, "phase", "frontier");
+            frontierSpan.arg("jobs", liveJobs.size());
+            if (useReuse) {
+                runPhaseBatched(liveCtx, liveJobs, /*withPdr=*/false, /*sink=*/nullptr);
+            } else {
+                parallelFor(opts_.jobs, liveJobs.size(), [&](int w, size_t t) {
+                    obs::LaneScope lane(w);
+                    discharge(liveCtx, *liveJobs[t], /*withPdr=*/false);
+                });
+            }
         }
 
         // PDR with lemma chaining over the topological lemma DAG: once a
@@ -774,8 +857,14 @@ std::vector<PropertyResult> ObligationScheduler::run() {
             // wave's PDR: their pool grants come back here, at a barrier.
             if (fancy && budgetPool_) {
                 for (const ObligationJob* job : liveJobs)
-                    if (job->result.status != Status::Unknown)
+                    if (job->result.status != Status::Unknown) {
                         budgetPool_->settle(budgetPool_->initialGrant(), 0);
+                        if (rec)
+                            rec->instant("budget", "settle",
+                                         static_cast<int64_t>(job->index),
+                                         {{"granted", budgetPool_->initialGrant()},
+                                          {"charged", 0}});
+                    }
             }
             AigLit provenSeen = kAigTrue;
             // Pool mode only: each proven chain obligation's inductive
@@ -800,7 +889,11 @@ std::vector<PropertyResult> ObligationScheduler::run() {
             liveWaves_ = waves.size();
             for (const auto& wave : waves)
                 liveWaveWidest_ = std::max<uint64_t>(liveWaveWidest_, wave.size());
-            for (const auto& wave : waves) {
+            for (size_t waveIdx = 0; waveIdx < waves.size(); ++waveIdx) {
+                const auto& wave = waves[waveIdx];
+                obs::Span waveSpan(rec, "phase", "wave");
+                waveSpan.arg("index", waveIdx);
+                waveSpan.arg("width", wave.size());
                 std::vector<ObligationJob*> todo;
                 for (ObligationJob* job : wave) {
                     if (job->result.status != Status::Unknown) continue;
@@ -847,8 +940,14 @@ std::vector<PropertyResult> ObligationScheduler::run() {
                         uint64_t structKey = 0;
                         if (cache_ && tryServeFromCache(liveCtx, *job, cache::Stage::ChainPdr,
                                                         /*allowSeeding=*/true, fp, structKey)) {
-                            if (budgetPool_)
+                            if (budgetPool_) {
                                 budgetPool_->settle(budgetPool_->initialGrant(), 0);
+                                if (rec)
+                                    rec->instant("budget", "settle",
+                                                 static_cast<int64_t>(job->index),
+                                                 {{"granted", budgetPool_->initialGrant()},
+                                                  {"charged", 0}});
+                            }
                             continue;
                         }
                         openWave.push_back(job);
@@ -865,8 +964,10 @@ std::vector<PropertyResult> ObligationScheduler::run() {
                         for (size_t i = 0; i < order.size(); ++i) shuffled[i] = todo[order[i]];
                         todo.swap(shuffled);
                     }
-                    parallelFor(opts_.jobs, todo.size(),
-                                [&](int, size_t t) { runChainPdr(liveCtx, *todo[t]); });
+                    parallelFor(opts_.jobs, todo.size(), [&](int w, size_t t) {
+                        obs::LaneScope lane(w);
+                        runChainPdr(liveCtx, *todo[t]);
+                    });
                 }
                 // Barrier passed: fold this wave's freshly proven trackers
                 // into the strengthening conjunction, in declaration order.
@@ -886,6 +987,7 @@ std::vector<PropertyResult> ObligationScheduler::run() {
             sink.publish(job->index, job->result);
         }
     }
+    phaseBSpan.end();
     const double phaseBSeconds = liveJobs.empty() ? 0.0 : phaseB.seconds();
 
     stats_ = shared_.snapshot(total.seconds());

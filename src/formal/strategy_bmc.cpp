@@ -28,6 +28,7 @@
 #include "formal/sat.hpp"
 #include "formal/strategy.hpp"
 #include "formal/unroll.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace autosva::formal {
@@ -78,6 +79,8 @@ namespace {
 /// Sat depth is a semantic fact, so replaying up to it reproduces the
 /// legacy search (and therefore the legacy trace) byte for byte.
 void runBmcFresh(const ProofContext& ctx, ObligationJob& job, int maxDepth) {
+    obs::Span span(ctx.opts.trace, "strategy", "bmc", static_cast<int64_t>(job.index));
+    uint64_t queries = 0;
     SatSolver solver;
     solver.setConflictBudget(ctx.opts.conflictBudget);
     Unroller un(ctx.aig, solver, Unroller::Init::Reset);
@@ -87,6 +90,7 @@ void runBmcFresh(const ProofContext& ctx, ObligationJob& job, int maxDepth) {
         util::Stopwatch sw;
         SatLit bad = un.lit(k, job.bad);
         SatResult r = solver.solve({bad});
+        ++queries;
         if (ctx.stats) ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
         job.result.seconds += sw.seconds();
         if (r == SatResult::Sat) {
@@ -108,6 +112,7 @@ void runBmcFresh(const ProofContext& ctx, ObligationJob& job, int maxDepth) {
         ctx.stats->propagations.fetch_add(solver.propagations(), std::memory_order_relaxed);
         ctx.stats->addEncoder(solver, un);
     }
+    span.arg("queries", queries);
 }
 
 class BmcStrategy final : public ProofStrategy {
@@ -123,6 +128,13 @@ public:
 
 void runBmcBatch(const ProofContext& ctx, const std::vector<ObligationJob*>& jobs) {
     if (jobs.empty()) return;
+    obs::Recorder* rec = ctx.opts.trace;
+    obs::Span span(rec, "strategy", "bmc-batch");
+    span.arg("jobs", jobs.size());
+    // Per-job attribution shares of this sweep (queries and solve time),
+    // emitted as Counter events at the end — the batch runs on one shared
+    // solver, so there is no per-job span to hang them on.
+    std::unordered_map<const ObligationJob*, std::pair<uint64_t, uint64_t>> attribution;
     SatSolver solver;
     Unroller un(ctx.aig, solver, Unroller::Init::Reset);
     int lastConstrained = -1;
@@ -141,7 +153,13 @@ void runBmcBatch(const ProofContext& ctx, const std::vector<ObligationJob*>& job
             SatLit bad = un.lit(k, job.bad);
             SatResult r = solver.solve({bad});
             if (ctx.stats) ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
-            job.result.seconds += sw.seconds();
+            const double solveSeconds = sw.seconds();
+            job.result.seconds += solveSeconds;
+            if (rec) {
+                auto& share = attribution[&job];
+                ++share.first;
+                share.second += static_cast<uint64_t>(solveSeconds * 1e9);
+            }
             if (r == SatResult::Sat) {
                 if (ctx.saveOracle != kAigFalse) {
                     // Lasso witness: the loop start is model-dependent and
@@ -174,6 +192,16 @@ void runBmcBatch(const ProofContext& ctx, const std::vector<ObligationJob*>& job
         ctx.stats->addEncoder(solver, un);
         if (jobs.size() > 1)
             ctx.stats->solverReuses.fetch_add(jobs.size() - 1, std::memory_order_relaxed);
+    }
+    if (rec) {
+        // Declaration iteration order over `jobs` (not the map) keeps the
+        // emission order deterministic.
+        for (const ObligationJob* job : jobs) {
+            auto it = attribution.find(job);
+            if (it == attribution.end()) continue;
+            rec->counter("strategy", "bmc", static_cast<int64_t>(job->index),
+                         {{"queries", it->second.first}, {"nanos", it->second.second}});
+        }
     }
 }
 

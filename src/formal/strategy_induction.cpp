@@ -15,12 +15,15 @@
 #include "formal/sat.hpp"
 #include "formal/strategy.hpp"
 #include "formal/unroll.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace autosva::formal {
 namespace {
 
 void runInductionFresh(const ProofContext& ctx, ObligationJob& job) {
+    obs::Span span(ctx.opts.trace, "strategy", "induction", static_cast<int64_t>(job.index));
+    uint64_t queries = 0;
     for (int k = 1; k <= ctx.opts.maxInductionK; ++k) {
         SatSolver solver;
         solver.setConflictBudget(ctx.opts.conflictBudget);
@@ -31,6 +34,7 @@ void runInductionFresh(const ProofContext& ctx, ObligationJob& job) {
         for (int f = 0; f < k; ++f) assumptions.push_back(satNeg(un.lit(f, job.bad)));
         assumptions.push_back(un.lit(k, job.bad));
         SatResult r = solver.solve(assumptions);
+        ++queries;
         if (ctx.stats) {
             ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
             ctx.stats->conflicts.fetch_add(solver.conflicts(), std::memory_order_relaxed);
@@ -42,12 +46,15 @@ void runInductionFresh(const ProofContext& ctx, ObligationJob& job) {
         if (r == SatResult::Unsat) {
             job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;
             job.result.depth = k;
-            return;
+            break;
         }
     }
+    span.arg("queries", queries);
 }
 
 void runInductionPooled(const ProofContext& ctx, ObligationJob& job) {
+    obs::Span span(ctx.opts.trace, "strategy", "induction", static_cast<int64_t>(job.index));
+    uint64_t queries = 0;
     std::vector<SatLit> assumptions;
     for (int k = 1; k <= ctx.opts.maxInductionK; ++k) {
         // One shared fixed-k context per worker: the legacy per-obligation
@@ -64,14 +71,16 @@ void runInductionPooled(const ProofContext& ctx, ObligationJob& job) {
         for (int f = 0; f < k; ++f) assumptions.push_back(satNeg(pc.un.lit(f, job.bad)));
         assumptions.push_back(pc.un.lit(k, job.bad));
         SatResult r = pc.solver.solve(assumptions);
+        ++queries;
         if (ctx.stats) ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
         job.result.seconds += sw.seconds();
         if (r == SatResult::Unsat) {
             job.result.status = job.coverMode ? Status::Unreachable : Status::Proven;
             job.result.depth = k;
-            return;
+            break;
         }
     }
+    span.arg("queries", queries);
 }
 
 class InductionStrategy final : public ProofStrategy {

@@ -14,6 +14,7 @@
 #include "formal/sat.hpp"
 #include "formal/strategy.hpp"
 #include "formal/unroll.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace autosva::formal {
@@ -30,6 +31,10 @@ PdrAttempt runPdrLeg(const ProofContext& ctx, const ObligationJob& job,
     pdrOpts.stop = stop;
     if (!job.pdrSeeds.empty()) pdrOpts.seedCubes = &job.pdrSeeds;
     AigLit effectiveBad = job.pdrBad != kAigFalse ? job.pdrBad : job.bad;
+
+    obs::Recorder* rec = ctx.opts.trace;
+    obs::Span span(rec, "strategy", "pdr", static_cast<int64_t>(job.index));
+    span.arg("rotation", genRotation);
 
     PdrAttempt attempt;
     auto pdrCtx = std::make_unique<PdrContext>(ctx.aig, effectiveBad, ctx.constraints, pdrOpts);
@@ -52,6 +57,19 @@ PdrAttempt runPdrLeg(const ProofContext& ctx, const ObligationJob& job,
         ctx.stats->satCalls.fetch_add(result.queries, std::memory_order_relaxed);
         ctx.stats->addPdr(result.stats);
     }
+    // The per-obligation attribution of the aggregate PDR counters: every
+    // number SharedStats::addPdr folds into EngineStats rides on this
+    // span's End event, so `autosva profile` can say which property the
+    // frames/cubes/retries belonged to.
+    span.arg("queries", result.queries);
+    span.arg("frames", result.stats.framesOpened);
+    span.arg("cubes", result.stats.cubesBlocked);
+    span.arg("drops", result.stats.genDropAttempts);
+    span.arg("retries", result.stats.retryActivations);
+    span.arg("seeds", result.stats.seedCubesAdmitted);
+    if (rec && result.interrupted)
+        rec->instant("race", "leg-interrupted", static_cast<int64_t>(job.index),
+                     {{"rotation", genRotation}});
     attempt.result = std::move(result);
     if (retainContext) attempt.ctx = std::move(pdrCtx);
     return attempt;
@@ -71,6 +89,11 @@ void applyPdrOutcome(const ProofContext& ctx, ObligationJob& job, PdrResult&& pr
         // pooled solver's job history; and because it searches upward
         // from k = 0, the trace (and its canonical depth) is the shortest
         // one, identical whichever ladder leg reported the Cex.
+        // (The replay's solves do not count into SharedStats::satCalls, so
+        // the span carries no "queries" attribution — reconciliation with
+        // EngineStats depends on that.)
+        obs::Span span(ctx.opts.trace, "strategy", "cex-replay",
+                       static_cast<int64_t>(job.index));
         SatSolver solver;
         Unroller un(ctx.aig, solver, Unroller::Init::Reset);
         int lastConstrained = -1;

@@ -1,0 +1,239 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "obs/trace.hpp"
+#include "sva/report.hpp"
+
+namespace autosva::obs {
+
+namespace {
+
+StageCost& stageOf(ObligationProfile& ob, const char* name) {
+    for (auto& [stage, cost] : ob.stages)
+        if (stage == name) return cost;
+    ob.stages.emplace_back(name, StageCost{});
+    return ob.stages.back().second;
+}
+
+/// Applies one event's attribution args (span End or Counter) to its
+/// obligation. "queries" also feeds the run-level reconciliation total;
+/// "nanos" carries time for events without a span of their own (the
+/// per-job shares of one batched-BMC sweep).
+void applyArgs(RunProfile& profile, ObligationProfile& ob, StageCost& stage,
+               const TraceEvent& ev) {
+    for (uint8_t i = 0; i < ev.numArgs; ++i) {
+        const char* key = ev.args[i].key;
+        const uint64_t val = ev.args[i].val;
+        if (std::strcmp(key, "queries") == 0) {
+            stage.queries += val;
+            ob.queries += val;
+            profile.attributedQueries += val;
+        } else if (std::strcmp(key, "nanos") == 0) {
+            const double s = static_cast<double>(val) / 1e9;
+            stage.seconds += s;
+            ob.seconds += s;
+        } else if (std::strcmp(key, "frames") == 0) {
+            ob.frames += val;
+        } else if (std::strcmp(key, "cubes") == 0) {
+            ob.cubes += val;
+        } else if (std::strcmp(key, "drops") == 0) {
+            ob.drops += val;
+        } else if (std::strcmp(key, "retries") == 0) {
+            ob.retries += val;
+        } else if (std::strcmp(key, "seeds") == 0) {
+            ob.seeds += val;
+        }
+    }
+}
+
+std::string fmtSeconds(double s) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3fs", s);
+    return buf;
+}
+
+} // namespace
+
+RunProfile buildProfile(const Recorder& rec) {
+    RunProfile profile;
+    const std::vector<TraceEvent> events = rec.merged();
+    std::map<int64_t, ObligationProfile> byOb;
+
+    struct OpenSpan {
+        const TraceEvent* begin;
+    };
+    struct LaneState {
+        std::vector<OpenSpan> stack;
+        int64_t topLevelStart = 0;
+        double busy = 0.0;
+        uint64_t spans = 0;
+    };
+    std::map<int16_t, LaneState> laneStates;
+
+    for (const TraceEvent& ev : events) {
+        profile.wallSeconds = std::max(profile.wallSeconds, static_cast<double>(ev.ts) / 1e9);
+        LaneState& lane = laneStates[ev.lane];
+        switch (ev.kind) {
+        case TraceEvent::Kind::Begin:
+            if (lane.stack.empty()) lane.topLevelStart = ev.ts;
+            lane.stack.push_back({&ev});
+            break;
+        case TraceEvent::Kind::End: {
+            double dur = 0.0;
+            if (!lane.stack.empty()) {
+                dur = static_cast<double>(ev.ts - lane.stack.back().begin->ts) / 1e9;
+                const int depth = static_cast<int>(lane.stack.size()) - 1;
+                lane.stack.pop_back();
+                ++lane.spans;
+                if (lane.stack.empty())
+                    lane.busy += static_cast<double>(ev.ts - lane.topLevelStart) / 1e9;
+                if (std::strcmp(ev.cat, "phase") == 0) {
+                    PhaseSlice slice;
+                    slice.name = ev.name;
+                    slice.depth = depth;
+                    slice.startSeconds = static_cast<double>(ev.ts) / 1e9 - dur;
+                    slice.seconds = dur;
+                    profile.phases.push_back(std::move(slice));
+                }
+            }
+            if (ev.ob >= 0) {
+                ObligationProfile& ob = byOb[ev.ob];
+                StageCost& stage = stageOf(ob, ev.name);
+                stage.seconds += dur;
+                ob.seconds += dur;
+                applyArgs(profile, ob, stage, ev);
+            }
+            break;
+        }
+        case TraceEvent::Kind::Counter:
+            if (ev.ob >= 0) {
+                ObligationProfile& ob = byOb[ev.ob];
+                applyArgs(profile, ob, stageOf(ob, ev.name), ev);
+            }
+            break;
+        case TraceEvent::Kind::Instant:
+            if (std::strcmp(ev.cat, "cache") == 0) {
+                if (std::strcmp(ev.name, "hit") == 0) {
+                    ++profile.cacheHits;
+                    if (ev.ob >= 0) byOb[ev.ob].cacheHit = true;
+                } else if (std::strcmp(ev.name, "miss") == 0 ||
+                           std::strcmp(ev.name, "near-miss-seed") == 0) {
+                    ++profile.cacheMisses;
+                    if (std::strcmp(ev.name, "near-miss-seed") == 0)
+                        ++profile.cacheSeedEvents;
+                } else if (std::strcmp(ev.name, "store") == 0) {
+                    ++profile.cacheStores;
+                }
+            }
+            break;
+        }
+    }
+
+    for (auto& [ob, op] : byOb) {
+        op.index = ob;
+        op.name = rec.obName(ob);
+        profile.obligations.push_back(std::move(op));
+    }
+    // Slowest first; ties broken by queries then declaration index so the
+    // listing is stable run to run.
+    std::sort(profile.obligations.begin(), profile.obligations.end(),
+              [](const ObligationProfile& a, const ObligationProfile& b) {
+                  if (a.seconds != b.seconds) return a.seconds > b.seconds;
+                  if (a.queries != b.queries) return a.queries > b.queries;
+                  return a.index < b.index;
+              });
+    // Phase slices sorted by start; the stack pops them in close order.
+    std::sort(profile.phases.begin(), profile.phases.end(),
+              [](const PhaseSlice& a, const PhaseSlice& b) {
+                  return a.startSeconds < b.startSeconds;
+              });
+    for (const auto& [lane, state] : laneStates) {
+        if (lane < 0) continue;
+        profile.lanes.push_back({lane, state.busy, state.spans});
+    }
+    return profile;
+}
+
+std::string renderProfile(const RunProfile& profile, const sva::VerificationReport& report,
+                          size_t topK) {
+    std::ostringstream out;
+    out << "== run profile: " << report.dutName << " ==\n";
+    out << "trace window " << fmtSeconds(profile.wallSeconds) << " | engine total "
+        << fmtSeconds(report.engineStats.totalSeconds) << "\n";
+
+    const uint64_t satCalls = report.engineStats.satCalls;
+    out << "attributed queries " << profile.attributedQueries << " / engine sat-calls "
+        << satCalls
+        << (profile.attributedQueries == satCalls ? " (reconciled)\n" : " (MISMATCH)\n");
+
+    if (!profile.phases.empty()) {
+        out << "\nphase timeline:\n";
+        for (const PhaseSlice& p : profile.phases) {
+            out << "  ";
+            for (int i = 0; i < p.depth; ++i) out << "  ";
+            char line[160];
+            std::snprintf(line, sizeof line, "%-14s @%8.3fs  %9.3fs\n", p.name.c_str(),
+                          p.startSeconds, p.seconds);
+            out << line;
+        }
+    }
+
+    if (!profile.lanes.empty()) {
+        out << "\nworker utilization (busy over trace window):\n";
+        for (const LaneLoad& lane : profile.lanes) {
+            const double pct =
+                profile.wallSeconds > 0 ? 100.0 * lane.busySeconds / profile.wallSeconds : 0.0;
+            char line[160];
+            std::snprintf(line, sizeof line, "  worker-%-3d %9.3fs  %5.1f%%  (%llu spans)\n",
+                          lane.lane, lane.busySeconds, pct,
+                          static_cast<unsigned long long>(lane.spans));
+            out << line;
+        }
+    }
+
+    out << "\ncache: hits=" << profile.cacheHits << " misses=" << profile.cacheMisses
+        << " near-miss-seeds=" << profile.cacheSeedEvents << " stores=" << profile.cacheStores
+        << "\n";
+
+    out << "\ntop " << std::min(topK, profile.obligations.size())
+        << " properties by engine time:\n";
+    size_t shown = 0;
+    for (const ObligationProfile& ob : profile.obligations) {
+        if (shown++ >= topK) break;
+        const formal::PropertyResult* res = report.find(ob.name);
+        char head[256];
+        std::snprintf(head, sizeof head, "  %-44s %9.3fs  %8llu q  %s\n", ob.name.c_str(),
+                      ob.seconds, static_cast<unsigned long long>(ob.queries),
+                      res ? formal::statusName(res->status) : "?");
+        out << head;
+        for (const auto& [stage, cost] : ob.stages) {
+            char line[256];
+            std::snprintf(line, sizeof line, "      %-12s %9.3fs  %8llu q\n", stage.c_str(),
+                          cost.seconds, static_cast<unsigned long long>(cost.queries));
+            out << line;
+        }
+        if (ob.frames || ob.cubes || ob.drops || ob.retries || ob.seeds) {
+            char line[256];
+            std::snprintf(line, sizeof line,
+                          "      pdr-counters frames=%llu cubes=%llu gen-drops=%llu "
+                          "retries=%llu seeds=%llu\n",
+                          static_cast<unsigned long long>(ob.frames),
+                          static_cast<unsigned long long>(ob.cubes),
+                          static_cast<unsigned long long>(ob.drops),
+                          static_cast<unsigned long long>(ob.retries),
+                          static_cast<unsigned long long>(ob.seeds));
+            out << line;
+        }
+        if (ob.cacheHit) out << "      served from proof cache\n";
+    }
+    if (profile.obligations.empty())
+        out << "  (no obligation-attributed events; all properties cached or skipped)\n";
+    return out.str();
+}
+
+} // namespace autosva::obs

@@ -1,0 +1,102 @@
+#include "obs/stats_json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "sva/report.hpp"
+
+namespace autosva::obs {
+
+namespace {
+
+void escapeTo(std::ostream& out, const std::string& s) {
+    for (char c : s) {
+        if (c == '"' || c == '\\') out << '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            out << ' ';
+        else
+            out << c;
+    }
+}
+
+void emitDouble(std::ostream& out, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    out << buf;
+}
+
+const char* kindName(ir::Obligation::Kind kind) {
+    switch (kind) {
+    case ir::Obligation::Kind::SafetyBad: return "assert";
+    case ir::Obligation::Kind::Constraint: return "assume";
+    case ir::Obligation::Kind::Justice: return "justice";
+    case ir::Obligation::Kind::Fairness: return "fairness";
+    case ir::Obligation::Kind::Cover: return "cover";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+void writeStatsJson(std::ostream& out, const sva::VerificationReport& report) {
+    const formal::EngineStats& es = report.engineStats;
+    out << "{\"schema\": \"autosva-run-v1\", \"dut\": \"";
+    escapeTo(out, report.dutName);
+    out << "\", \"engine\": {";
+    bool first = true;
+#define X(json, member)                                                                      \
+    out << (first ? "" : ", ") << "\"" #json "\": " << es.member;                            \
+    first = false;
+    AUTOSVA_ENGINE_JSON_U64_FIELDS(X)
+#undef X
+#define X(json, member)                                                                      \
+    out << ", \"" #json "\": ";                                                              \
+    emitDouble(out, es.member);
+    AUTOSVA_ENGINE_JSON_DOUBLE_FIELDS(X)
+#undef X
+    out << ", \"total_s\": ";
+    emitDouble(out, es.totalSeconds);
+    out << ", \"propagations\": " << es.propagations
+        << ", \"encoder_vars\": " << es.encoderVars
+        << ", \"encoder_clauses\": " << es.encoderClauses
+        << ", \"cones_materialized\": " << es.conesMaterialized
+        << ", \"solver_reuses\": " << es.solverReuses
+        << ", \"cache_lookups\": " << es.cacheLookups << ", \"cache_hits\": " << es.cacheHits
+        << ", \"cache_stores\": " << es.cacheStores
+        << ", \"cache_seeded_lemmas\": " << es.cacheSeededLemmas
+        << ", \"live_waves\": " << es.liveWaves
+        << ", \"live_wave_widest\": " << es.liveWaveWidest << "}";
+    const sva::FrontendStats& fe = report.frontend;
+    out << ", \"frontend\": {\"sources_parsed\": " << fe.sourcesParsed
+        << ", \"generated_reparses\": " << fe.generatedTextReparses
+        << ", \"generated_ast_reused\": " << fe.generatedAstReused << "}";
+    out << ", \"properties\": [";
+    for (size_t i = 0; i < report.results.size(); ++i) {
+        const formal::PropertyResult& r = report.results[i];
+        out << (i ? ", " : "") << "{\"name\": \"";
+        escapeTo(out, r.name);
+        out << "\", \"kind\": \"" << kindName(r.kind) << "\", \"status\": \""
+            << formal::statusName(r.status) << "\", \"depth\": " << r.depth
+            << ", \"seconds\": ";
+        emitDouble(out, r.seconds);
+        out << ", \"cached\": " << (r.cached ? "true" : "false") << "}";
+    }
+    out << "]}\n";
+}
+
+bool writeStatsJsonFile(const std::string& path, const sva::VerificationReport& report) {
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "error: cannot write --stats-json file '" << path << "'\n";
+        return false;
+    }
+    writeStatsJson(out, report);
+    if (!out.good()) {
+        std::cerr << "error: short write to --stats-json file '" << path << "'\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace autosva::obs

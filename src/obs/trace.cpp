@@ -1,0 +1,293 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace autosva::obs {
+
+namespace {
+
+thread_local int16_t tlsLane = kSchedulerLane;
+
+/// Thread-local pointer to this thread's buffer in one specific recorder.
+/// The id check (not the address) decides validity: a new Recorder can be
+/// constructed at a freed one's address, and a stale pointer into it would
+/// otherwise be revived.
+thread_local uint64_t tlsRecorderId = 0;
+thread_local void* tlsBuffer = nullptr;
+
+std::atomic<uint64_t> nextRecorderId{1};
+
+void jsonEscapeTo(std::string& out, const char* s) {
+    for (; *s; ++s) {
+        char c = *s;
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// LaneScope
+// ---------------------------------------------------------------------------
+
+LaneScope::LaneScope(int lane) : prev_(tlsLane) { tlsLane = static_cast<int16_t>(lane); }
+LaneScope::~LaneScope() { tlsLane = prev_; }
+int16_t LaneScope::current() { return tlsLane; }
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+Recorder::Recorder()
+    : id_(nextRecorderId.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void Recorder::setObligationNames(std::vector<std::string> names) {
+    obNames_ = std::move(names);
+}
+
+std::string Recorder::obName(int64_t ob) const {
+    if (ob < 0) return "-";
+    if (static_cast<size_t>(ob) < obNames_.size()) return obNames_[static_cast<size_t>(ob)];
+    return "ob-" + std::to_string(ob);
+}
+
+int64_t Recorder::now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+Recorder::Buffer& Recorder::localBuffer() {
+    if (tlsRecorderId != id_) {
+        std::lock_guard<std::mutex> lock(registry_);
+        buffers_.push_back(std::make_unique<Buffer>());
+        tlsBuffer = buffers_.back().get();
+        tlsRecorderId = id_;
+    }
+    return *static_cast<Buffer*>(tlsBuffer);
+}
+
+void Recorder::record(TraceEvent::Kind kind, const char* cat, const char* name, int64_t ob,
+                      std::initializer_list<TraceArg> args) {
+    TraceEvent ev;
+    ev.kind = kind;
+    ev.lane = LaneScope::current();
+    ev.cat = cat;
+    ev.name = name;
+    ev.ob = ob;
+    ev.ts = now();
+    for (const TraceArg& a : args) {
+        if (ev.numArgs >= ev.args.size()) break;
+        ev.args[ev.numArgs++] = a;
+    }
+    localBuffer().events.push_back(ev);
+}
+
+std::vector<TraceEvent> Recorder::merged() const {
+    std::vector<TraceEvent> all;
+    {
+        std::lock_guard<std::mutex> lock(registry_);
+        size_t total = 0;
+        for (const auto& b : buffers_) total += b->events.size();
+        all.reserve(total);
+        for (const auto& b : buffers_)
+            all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+    return all;
+}
+
+size_t Recorder::eventCount() const {
+    std::lock_guard<std::mutex> lock(registry_);
+    size_t total = 0;
+    for (const auto& b : buffers_) total += b->events.size();
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+Span::Span(Recorder* rec, const char* cat, const char* name, int64_t ob)
+    : rec_(rec), cat_(cat), name_(name), ob_(ob) {
+    if (rec_) rec_->record(TraceEvent::Kind::Begin, cat_, name_, ob_);
+}
+
+Span::~Span() { end(); }
+
+void Span::end() {
+    if (!rec_) return;
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::End;
+    ev.lane = LaneScope::current();
+    ev.cat = cat_;
+    ev.name = name_;
+    ev.ob = ob_;
+    ev.ts = rec_->now();
+    ev.numArgs = numArgs_;
+    ev.args = args_;
+    rec_->localBuffer().events.push_back(ev);
+    rec_ = nullptr;
+}
+
+void Span::arg(const char* key, uint64_t val) {
+    if (!rec_ || numArgs_ >= args_.size()) return;
+    args_[numArgs_++] = {key, val};
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void appendArgsJson(std::string& out, const Recorder& rec, const TraceEvent& ev) {
+    out += "{\"ob\": \"";
+    jsonEscapeTo(out, rec.obName(ev.ob).c_str());
+    out += '"';
+    for (uint8_t i = 0; i < ev.numArgs; ++i) {
+        out += ", \"";
+        jsonEscapeTo(out, ev.args[i].key);
+        out += "\": ";
+        out += std::to_string(ev.args[i].val);
+    }
+    out += '}';
+}
+
+} // namespace
+
+void writeChromeTrace(const Recorder& rec, std::ostream& out) {
+    const std::vector<TraceEvent> events = rec.merged();
+    // Lanes present in the trace, for the thread_name metadata rows.
+    std::vector<int16_t> lanes;
+    for (const TraceEvent& ev : events)
+        if (std::find(lanes.begin(), lanes.end(), ev.lane) == lanes.end())
+            lanes.push_back(ev.lane);
+    std::sort(lanes.begin(), lanes.end());
+
+    std::string buf;
+    out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (int16_t lane : lanes) {
+        buf.clear();
+        buf += first ? "\n" : ",\n";
+        first = false;
+        buf += "{\"ph\": \"M\", \"pid\": 1, \"tid\": ";
+        buf += std::to_string(lane + 1);
+        buf += ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+        buf += lane == kSchedulerLane ? "scheduler" : "worker-" + std::to_string(lane);
+        buf += "\"}}";
+        out << buf;
+    }
+    for (const TraceEvent& ev : events) {
+        char ph = 'i';
+        switch (ev.kind) {
+        case TraceEvent::Kind::Begin: ph = 'B'; break;
+        case TraceEvent::Kind::End: ph = 'E'; break;
+        case TraceEvent::Kind::Instant:
+        case TraceEvent::Kind::Counter: ph = 'i'; break;
+        }
+        char ts[32];
+        // Chrome expects microseconds; keep nanosecond precision in the
+        // fraction.
+        std::snprintf(ts, sizeof ts, "%lld.%03lld",
+                      static_cast<long long>(ev.ts / 1000),
+                      static_cast<long long>(ev.ts % 1000));
+        buf.clear();
+        buf += first ? "\n" : ",\n";
+        first = false;
+        buf += "{\"ph\": \"";
+        buf += ph;
+        buf += "\", \"pid\": 1, \"tid\": ";
+        buf += std::to_string(ev.lane + 1);
+        buf += ", \"ts\": ";
+        buf += ts;
+        if (ph == 'i') buf += ", \"s\": \"t\"";
+        buf += ", \"cat\": \"";
+        jsonEscapeTo(buf, ev.cat);
+        buf += "\", \"name\": \"";
+        jsonEscapeTo(buf, ev.name);
+        buf += "\", \"args\": ";
+        appendArgsJson(buf, rec, ev);
+        buf += '}';
+        out << buf;
+    }
+    out << "\n]}\n";
+}
+
+void writeJsonl(const Recorder& rec, std::ostream& out) {
+    std::string buf;
+    for (const TraceEvent& ev : rec.merged()) {
+        const char* kind = "instant";
+        switch (ev.kind) {
+        case TraceEvent::Kind::Begin: kind = "begin"; break;
+        case TraceEvent::Kind::End: kind = "end"; break;
+        case TraceEvent::Kind::Instant: kind = "instant"; break;
+        case TraceEvent::Kind::Counter: kind = "counter"; break;
+        }
+        buf.clear();
+        buf += "{\"ts_ns\": ";
+        buf += std::to_string(ev.ts);
+        buf += ", \"kind\": \"";
+        buf += kind;
+        buf += "\", \"lane\": ";
+        buf += std::to_string(ev.lane);
+        buf += ", \"cat\": \"";
+        jsonEscapeTo(buf, ev.cat);
+        buf += "\", \"name\": \"";
+        jsonEscapeTo(buf, ev.name);
+        buf += "\", \"args\": ";
+        appendArgsJson(buf, rec, ev);
+        buf += "}\n";
+        out << buf;
+    }
+}
+
+std::string validateTrace(const std::vector<TraceEvent>& merged) {
+    struct LaneState {
+        int64_t lastTs = 0;
+        std::vector<const TraceEvent*> stack;
+        bool seen = false;
+    };
+    // Lanes are small integers (scheduler = -1, workers 0..N-1); index by
+    // lane + 1.
+    std::vector<LaneState> lanes;
+    for (const TraceEvent& ev : merged) {
+        if (ev.ts < 0) return "negative timestamp on '" + std::string(ev.name) + "'";
+        const size_t li = static_cast<size_t>(ev.lane + 1);
+        if (ev.lane < kSchedulerLane) return "lane below scheduler lane";
+        if (li >= lanes.size()) lanes.resize(li + 1);
+        LaneState& ls = lanes[li];
+        if (ls.seen && ev.ts < ls.lastTs)
+            return "timestamps not monotone on lane " + std::to_string(ev.lane);
+        ls.lastTs = ev.ts;
+        ls.seen = true;
+        if (ev.kind == TraceEvent::Kind::Begin) {
+            ls.stack.push_back(&ev);
+        } else if (ev.kind == TraceEvent::Kind::End) {
+            if (ls.stack.empty())
+                return "End without Begin: '" + std::string(ev.name) + "' on lane " +
+                       std::to_string(ev.lane);
+            const TraceEvent* open = ls.stack.back();
+            ls.stack.pop_back();
+            if (std::string(open->name) != ev.name)
+                return "mismatched span: opened '" + std::string(open->name) +
+                       "', closed '" + ev.name + "' on lane " + std::to_string(ev.lane);
+        }
+    }
+    for (size_t li = 0; li < lanes.size(); ++li)
+        if (!lanes[li].stack.empty())
+            return "span left open: '" + std::string(lanes[li].stack.back()->name) +
+                   "' on lane " + std::to_string(static_cast<int>(li) - 1);
+    return "";
+}
+
+} // namespace autosva::obs

@@ -19,6 +19,9 @@
 #include "core/autosva.hpp"
 #include "designs/designs.hpp"
 #include "formal/replay.hpp"
+#include "obs/profile.hpp"
+#include "obs/stats_json.hpp"
+#include "obs/trace.hpp"
 #include "sim/vcd.hpp"
 
 namespace {
@@ -39,6 +42,8 @@ usage:
                [--no-liveness] [--no-covers]
                [--cache-dir DIR] [--no-cache] [--cache-stats] [--cache-compact]
                [--stats] [--no-solver-reuse] [--no-aig-rewrite]
+               [--profile] [--trace-out FILE] [--events-out FILE]
+               [--stats-json FILE]
   autosva sim  <dut.sv> [--cycles N] [--seed N] [--vcd FILE]
   autosva list
   autosva cache compact [--cache-dir DIR]
@@ -47,6 +52,10 @@ usage:
                [--portfolio] [--portfolio-legs N] [--budget-pool N]
                [--cache-dir DIR] [--no-cache] [--cache-stats] [--cache-compact]
                [--stats] [--no-solver-reuse] [--no-aig-rewrite]
+               [--profile] [--trace-out FILE] [--events-out FILE]
+               [--stats-json FILE]
+  autosva profile <dut.sv | design-name> [run options]
+               # sugar for run/run-design with --profile
 
 options:
   --jobs N         worker threads for property discharge (default 1; 0 = one
@@ -102,6 +111,20 @@ options:
                    semantics-preserving, and ON by default; canonical
                    verdicts are identical either way (A/B: CI's rewrite
                    matrix, bench_solver_reuse --no-aig-rewrite).
+  --profile        print the run profile after the report: top slowest
+                   properties with per-stage time/query breakdowns, worker
+                   utilization, the phase timeline, and cache
+                   effectiveness. Tracing is verdict-inert: the report is
+                   byte-identical with or without it, at any --jobs.
+  --trace-out FILE write the run's event timeline as Chrome trace-event
+                   JSON (open in Perfetto or chrome://tracing; one track
+                   per worker lane plus the scheduler track).
+  --events-out FILE  write the raw event stream as JSONL (one event object
+                   per line, merged across threads in timestamp order).
+  --stats-json FILE  write a machine-readable run manifest: engine and
+                   frontend counters plus per-property verdicts/depths/
+                   times (schema autosva-run-v1, shared with the bench
+                   harness --json field list).
 )";
     std::exit(2);
 }
@@ -178,7 +201,8 @@ Args parseArgs(int argc, char** argv, int start) {
                                       "--cycles", "--seed",  "--vcd",
                                       "--bug",    "--param", "--cache-dir",
                                       "--pdr-queries", "--pdr-retries",
-                                      "--portfolio-legs", "--budget-pool"};
+                                      "--portfolio-legs", "--budget-pool",
+                                      "--trace-out", "--events-out", "--stats-json"};
     for (int i = start; i < argc; ++i) {
         std::string a = argv[i];
         bool takesValue = false;
@@ -268,6 +292,11 @@ int runReport(const std::vector<std::string>& sources,
     if (!args.has("--no-cache"))
         vopts.engine.cacheDir = args.get("--cache-dir", cache::ProofCache::defaultDir());
     for (const auto& [name, value] : args.params) vopts.paramOverrides[name] = value;
+    // One recorder covers the whole run; it must outlive verify(). Tracing
+    // is verdict-inert, so attaching it cannot change the report below.
+    obs::Recorder recorder;
+    if (args.has("--trace-out") || args.has("--events-out") || args.has("--profile"))
+        vopts.engine.trace = &recorder;
     auto report = core::verify(sources, ft, vopts, diags);
     std::cout << report.str();
     if (args.has("--stats")) {
@@ -341,6 +370,29 @@ int runReport(const std::vector<std::string>& sources,
             std::printf("cache: compaction skipped (no writable log at %s)\n",
                         vopts.engine.cacheDir.c_str());
     }
+    if (args.has("--trace-out")) {
+        const std::string path = args.get("--trace-out", "trace.json");
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "error: cannot write trace to '" << path << "'\n";
+        } else {
+            obs::writeChromeTrace(recorder, out);
+            std::cout << "trace: " << recorder.eventCount() << " events written to " << path
+                      << " (load in Perfetto / chrome://tracing)\n";
+        }
+    }
+    if (args.has("--events-out")) {
+        const std::string path = args.get("--events-out", "events.jsonl");
+        std::ofstream out(path);
+        if (!out)
+            std::cerr << "error: cannot write events to '" << path << "'\n";
+        else
+            obs::writeJsonl(recorder, out);
+    }
+    if (args.has("--stats-json"))
+        obs::writeStatsJsonFile(args.get("--stats-json", "stats.json"), report);
+    if (args.has("--profile"))
+        std::cout << obs::renderProfile(obs::buildProfile(recorder), report);
     // Print the first failing trace, if any.
     if (const auto* failure = report.firstFailure()) {
         auto design = core::elaborateWithFT(sources, ft, vopts, diags);
@@ -431,6 +483,19 @@ int cmdList() {
     return 0;
 }
 
+int cmdRunDesign(const Args& args);
+
+/// `autosva profile <target>`: run with the profiler attached — sugar for
+/// `run --profile` / `run-design --profile`. A target that names a file on
+/// disk is verified as RTL; anything else is looked up in the design
+/// registry.
+int cmdProfile(Args args) {
+    if (args.positional.empty()) usage();
+    args.options["--profile"] = "1";
+    if (fs::exists(args.positional[0])) return cmdRun(args);
+    return cmdRunDesign(args);
+}
+
 int cmdRunDesign(const Args& args) {
     if (args.positional.empty()) usage();
     const auto& info = designs::design(args.positional[0]);
@@ -463,6 +528,7 @@ int main(int argc, char** argv) {
         if (cmd == "list") return cmdList();
         if (cmd == "cache") return cmdCache(args);
         if (cmd == "run-design") return cmdRunDesign(args);
+        if (cmd == "profile") return cmdProfile(args);
         usage();
     } catch (const util::FrontendError& err) {
         std::cerr << err.what() << "\n";
