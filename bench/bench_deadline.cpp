@@ -1,0 +1,129 @@
+// Deadline enforcement: verifies the --time-budget contract on the Ariane
+// MMU — the design whose unbudgeted run takes tens of seconds — across a
+// ladder of budgets. For every budget the run must (a) terminate within
+// budget + grace (expiry cancels in-flight solves, it never abandons
+// them, so the drain is bounded but nonzero), (b) report every obligation
+// (decided or honestly degraded to unknown), and (c) never flip a decided
+// verdict relative to the unbudgeted reference.
+//
+// Run:  bench_deadline [--json PATH]
+// Exit: non-zero if any budgeted run overshoots budget + grace, drops an
+//       obligation, or decides a property differently than the reference.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "formal/scheduler.hpp"
+#include "rtlir/elaborate.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace autosva;
+using formal::Status;
+
+/// Cancellation is cooperative: a budget only takes effect at the next
+/// solver poll point, so the hard bound is budget + one solve tail. The
+/// grace is deliberately generous — this bench gates "terminates promptly"
+/// (seconds, not the minutes the full run takes), not scheduler latency.
+constexpr double kGraceSeconds = 20.0;
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
+    if (argc > 1) {
+        std::cerr << "usage: bench_deadline [--json PATH]\n";
+        return 2;
+    }
+
+    bench::banner("Deadline enforcement: --time-budget on ariane_mmu");
+    const auto& info = designs::design("ariane_mmu");
+    util::DiagEngine diags;
+    core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+    core::VerifyOptions vopts;
+    vopts.engine = bench::defaultBenchEngine();
+    auto design = core::elaborateWithFT(designs::rtlSources(info), ft, vopts, diags,
+                                        /*tieReset=*/true);
+
+    bool ok = true;
+    std::vector<bench::JsonRow> rows;
+
+    // Unbudgeted reference: the verdicts a budgeted run may degrade but
+    // never contradict. Bounded PDR keeps the reference itself tractable.
+    formal::EngineOptions base = vopts.engine;
+    base.pdrMaxQueries = 30000;
+    std::map<std::string, Status> reference;
+    size_t slots = 0;
+    double referenceSeconds = 0.0;
+    {
+        util::Stopwatch sw;
+        formal::ObligationScheduler scheduler(*design, base);
+        sva::VerificationReport report;
+        report.results = scheduler.run();
+        report.engineStats = scheduler.stats();
+        referenceSeconds = sw.seconds();
+        slots = report.results.size();
+        for (const auto& r : report.results) reference[r.name] = r.status;
+        rows.push_back(bench::reportRow("reference", "ariane_mmu", report,
+                                        referenceSeconds));
+        std::printf("  %-14s wall=%7.3fs props=%zu\n", "reference", referenceSeconds,
+                    slots);
+    }
+
+    for (double budget : {0.05, 0.5, 2.0}) {
+        formal::EngineOptions opts = base;
+        opts.timeBudgetSeconds = budget;
+        util::Stopwatch sw;
+        formal::ObligationScheduler scheduler(*design, opts);
+        sva::VerificationReport report;
+        report.results = scheduler.run();
+        report.engineStats = scheduler.stats();
+        double wall = sw.seconds();
+
+        size_t degraded = 0;
+        for (const auto& r : report.results) {
+            if (r.unknownReason != formal::UnknownReason::None) ++degraded;
+            auto ref = reference.find(r.name);
+            if (ref == reference.end()) continue;
+            if (r.status != Status::Unknown && ref->second != Status::Unknown &&
+                r.status != ref->second) {
+                std::cerr << "FAIL: " << r.name << " decided "
+                          << formal::statusName(r.status) << " under budget " << budget
+                          << "s but " << formal::statusName(ref->second)
+                          << " unbudgeted\n";
+                ok = false;
+            }
+        }
+        if (report.results.size() != slots) {
+            std::cerr << "FAIL: budget " << budget << "s reported "
+                      << report.results.size() << "/" << slots << " obligations\n";
+            ok = false;
+        }
+        if (wall > budget + kGraceSeconds) {
+            std::cerr << "FAIL: budget " << budget << "s ran " << wall
+                      << "s (> budget + " << kGraceSeconds << "s grace)\n";
+            ok = false;
+        }
+        if (degraded != report.engineStats.deadlineDegraded) {
+            std::cerr << "FAIL: stats report " << report.engineStats.deadlineDegraded
+                      << " degraded obligations, results carry " << degraded << "\n";
+            ok = false;
+        }
+
+        char name[32];
+        std::snprintf(name, sizeof name, "budget-%.2fs", budget);
+        rows.push_back(bench::reportRow(name, "ariane_mmu", report, wall));
+        std::printf("  %-14s wall=%7.3fs degraded=%zu/%zu %s\n", name, wall, degraded,
+                    slots, report.degraded() ? "(degraded)" : "");
+    }
+
+    bench::writeJson(jsonPath, "deadline", rows);
+    if (!ok) {
+        std::cout << "RESULT: FAIL\n";
+        return 1;
+    }
+    std::cout << "RESULT: OK — every budgeted run terminated in bound, covered every "
+                 "obligation, and contradicted no reference verdict\n";
+    return 0;
+}

@@ -113,5 +113,12 @@ int main() {
                  "profiler attached (`autosva profile <dut.sv>` or any run with\n"
                  "--profile), or export the full event timeline with\n"
                  "--trace-out trace.json and load it in Perfetto / chrome://tracing.\n";
+    std::cout << "\nOn designs too big to finish interactively, bound the run instead of\n"
+                 "killing it: --time-budget S caps the whole run and --obligation-timeout S\n"
+                 "caps each property; whatever the deadline cuts off is reported as\n"
+                 "unknown(run-budget)/unknown(timeout) — every decided verdict stands, and\n"
+                 "an un-budgeted rerun on the same --cache-dir resumes from the proofs the\n"
+                 "bounded run banked. Ctrl-C degrades the same way (partial report, exit\n"
+                 "130) instead of losing the session.\n";
     return report.allProven() ? 0 : 1;
 }

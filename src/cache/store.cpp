@@ -1,6 +1,7 @@
 #include "cache/store.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
@@ -9,6 +10,7 @@
 
 #include "cache/bytes.hpp"
 #include "obs/trace.hpp"
+#include "robust/faultinject.hpp"
 
 namespace autosva::cache {
 
@@ -24,8 +26,15 @@ ProofCache::ProofCache(std::string dir) : dir_(std::move(dir)) {
     if (dir_.empty()) return;
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        degrade("cannot create cache directory '" + dir_ + "': " + ec.message());
+        return;
+    }
     logPath_ = (std::filesystem::path(dir_) / "proofs.bin").string();
     load();
+    // An injected read fault models an unreadable log: serve nothing and
+    // do not append to a file we claim we could not read.
+    if (!degradedReason_.empty()) return;
     uintmax_t size = std::filesystem::file_size(logPath_, ec);
     if (ec) size = 0;
     if (size == 0) {
@@ -48,6 +57,12 @@ ProofCache::ProofCache(std::string dir) : dir_(std::move(dir)) {
     // Untrusted header: some foreign file sits at our log path. Appending
     // records nothing could ever load (and truncating is not ours to do) —
     // run memory-only.
+    if (!persistent_) {
+        if (size > 0 && !headerTrusted_)
+            degrade("foreign file at '" + logPath_ + "'; refusing to append");
+        else
+            degrade("cache log '" + logPath_ + "' is not writable");
+    }
 }
 
 std::string ProofCache::defaultDir() {
@@ -60,6 +75,10 @@ std::string ProofCache::defaultDir() {
 }
 
 void ProofCache::load() {
+    if (robust::faultFire(robust::FaultSite::CacheRead)) {
+        degrade("injected cache-read fault: log treated as unreadable");
+        return;
+    }
     std::ifstream in(logPath_, std::ios::binary | std::ios::ate);
     if (!in) return;
     std::streamoff size = in.tellg();
@@ -171,11 +190,19 @@ void ProofCache::store(const Fingerprint& fp, const ProofArtifact& artifact) {
     record += payload;
     std::lock_guard<std::mutex> lock(mutex_);
     if (!persistent_) return;
+    if (robust::faultFire(robust::FaultSite::CacheWrite)) {
+        persistent_ = false;
+        degrade("injected cache-write fault: append failed (disk full)");
+        return;
+    }
     // One buffered write per record keeps concurrent-process interleaving
     // unlikely (not impossible — the checksum scan degrades gracefully).
     out_.write(record.data(), static_cast<std::streamsize>(record.size()));
     out_.flush();
-    if (!out_) persistent_ = false;
+    if (!out_) {
+        persistent_ = false;
+        degrade("cache append to '" + logPath_ + "' failed; persistence disabled");
+    }
 }
 
 CompactResult ProofCache::compactLog(const std::string& dir) {
@@ -247,6 +274,22 @@ CompactResult ProofCache::compactLog(const std::string& dir) {
     if (ec) res.bytesAfter = 0;
     res.performed = true;
     return res;
+}
+
+// Called from the constructor (single-threaded) or with mutex_ held
+// (store), so it must not take the lock itself.
+void ProofCache::degrade(const std::string& reason) {
+    if (!degradedReason_.empty()) return;
+    degradedReason_ = reason;
+    if (rec_) rec_->instant("robust", "cache-degraded", -1, {{"entries", snapshot_.size()}});
+    std::fprintf(stderr, "autosva: warning: proof cache degraded: %s (run continues %s)\n",
+                 reason.c_str(),
+                 snapshot_.empty() ? "without the cache" : "on the loaded snapshot only");
+}
+
+std::string ProofCache::degradedReason() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degradedReason_;
 }
 
 void ProofCache::noteSeeded(uint64_t cubes) {

@@ -63,6 +63,12 @@ public:
     /// False when the log could not be opened for appending (memory-only).
     [[nodiscard]] bool persistent() const { return persistent_; }
 
+    /// Why persistence was lost (unwritable directory, foreign log file,
+    /// failed append, injected fault) — empty while the cache is healthy.
+    /// Every degradation prints one stderr warning, process-wide behaviour
+    /// staying: serve what was loaded, stop persisting, never throw.
+    [[nodiscard]] std::string degradedReason() const;
+
     /// Exact lookup against the open-time snapshot. Entries stored during
     /// this run are deliberately not visible, so intra-run scheduling order
     /// cannot leak into results.
@@ -101,11 +107,16 @@ public:
 
 private:
     void load();
+    /// Records the first degradation reason and emits its one-shot stderr
+    /// warning. Idempotent; later reasons are dropped (the first failure
+    /// is the diagnosis — everything after is fallout).
+    void degrade(const std::string& reason);
 
     mutable std::mutex mutex_;
     std::string dir_;
     std::string logPath_;
     bool persistent_ = false;
+    std::string degradedReason_; ///< First degradation; empty = healthy.
     bool headerTrusted_ = false; ///< Log file carries our magic.
     size_t scanEnd_ = 0;         ///< Last well-framed byte offset at load.
     std::ofstream out_;

@@ -1,7 +1,9 @@
 #include "core/propgen.hpp"
 
+#include <new>
 #include <set>
 
+#include "robust/faultinject.hpp"
 #include "verilog/parser.hpp"
 #include "verilog/printer.hpp"
 
@@ -447,6 +449,9 @@ int PropGenResult::countXprop() const {
 PropGenResult generateProperties(const DutInterface& dut,
                                  const std::vector<Transaction>& transactions,
                                  const PropGenOptions& opts) {
+    // Fault site: property generation builds the whole SVA module tree in
+    // one pass; model the allocation failing before any output exists.
+    if (robust::faultFire(robust::FaultSite::PropgenAlloc)) throw std::bad_alloc();
     PropGenResult result;
     result.propertyModuleName = dut.moduleName + "_prop";
 

@@ -1,8 +1,10 @@
 #include "formal/bitblast.hpp"
 
 #include <cassert>
+#include <new>
 
 #include "formal/aig_rewrite.hpp"
+#include "robust/faultinject.hpp"
 #include "util/diagnostics.hpp"
 
 namespace autosva::formal {
@@ -244,6 +246,9 @@ struct Blaster {
 } // namespace
 
 BitBlast bitblast(const Design& design) {
+    // Fault site: the netlist build is the engine's biggest up-front
+    // allocation; model it running out of memory before any state exists.
+    if (robust::faultFire(robust::FaultSite::BitblastAlloc)) throw std::bad_alloc();
     Blaster blaster(design);
 
     // Pre-create latches for all registers (they may appear in feedback).

@@ -26,4 +26,14 @@ const char* statusName(Status s) {
     return "?";
 }
 
+const char* unknownReasonName(UnknownReason r) {
+    switch (r) {
+    case UnknownReason::None: return "none";
+    case UnknownReason::Timeout: return "timeout";
+    case UnknownReason::RunBudget: return "run-budget";
+    case UnknownReason::Interrupted: return "interrupted";
+    }
+    return "?";
+}
+
 } // namespace autosva::formal

@@ -45,9 +45,11 @@ struct FrameSolver {
     std::unique_ptr<Unroller> un;
     uint32_t retiredGroups = 0;
 
-    explicit FrameSolver(const Aig& aig, const std::atomic<bool>* stop) {
+    FrameSolver(const Aig& aig, const std::atomic<bool>* stop,
+                const std::atomic<bool>* watchdog) {
         solver = std::make_unique<SatSolver>();
         if (stop) solver->bindStop(stop);
+        if (watchdog) solver->bindWatchdog(watchdog);
         un = std::make_unique<Unroller>(aig, *solver, Unroller::Init::Free);
     }
 
@@ -76,6 +78,13 @@ struct PdrSearch {
     uint64_t budget = 0;           ///< Cumulative query allowance.
     uint64_t dropRotation = 0;     ///< Generalization sweep start offset.
     bool stoppedOnBudget = false;  ///< Last search() outcome detail.
+    /// A SAT query of the *current* search() answered Interrupted. Sticky
+    /// until the next run() entry: whatever raised it (a cancellation
+    /// token, or an injected spurious Interrupted with no token at all —
+    /// see robust/faultinject.hpp), the search must unwind through
+    /// interruptedResult() rather than keep reasoning over answers that
+    /// may reflect stale models.
+    bool interruptedSeen = false;
     bool level0Checked = false;
     bool seedsAdmitted = false;
     /// Outer-loop frame a resumed search() continues from. Frames below it
@@ -99,9 +108,13 @@ struct PdrSearch {
     /// fabricated verdict (solvers return Interrupted for any solve() once
     /// the token is set, which reads as "no bad state" / "not inductive"
     /// to the callers below — safe individually, but the outer loop must
-    /// never conclude from such answers).
+    /// never conclude from such answers). Also raised by interruptedSeen,
+    /// which covers Interrupted answers that arrive without any token
+    /// (injected faults) — one unexplained Interrupted and the search
+    /// unwinds instead of trusting later models.
     [[nodiscard]] bool stopRaised() const {
-        return opts.stop && opts.stop->load(std::memory_order_relaxed);
+        return interruptedSeen || (opts.stop && opts.stop->load(std::memory_order_relaxed)) ||
+               (opts.watchdog && opts.watchdog->load(std::memory_order_relaxed));
     }
 
     /// Perturbation-fuzz hook: shuffles a sequence that is canonicalized
@@ -115,7 +128,7 @@ struct PdrSearch {
 
     FrameSolver& frameSolver(size_t i) {
         while (solvers.size() <= i) {
-            auto fs = std::make_unique<FrameSolver>(aig, opts.stop);
+            auto fs = std::make_unique<FrameSolver>(aig, opts.stop, opts.watchdog);
             ++stats.framesOpened;
             // Constraints hold in the current state of every frame.
             for (AigLit c : constraints) fs->solver->addUnit(fs->now(c));
@@ -203,6 +216,7 @@ struct PdrSearch {
             assumptions.push_back(primedLits.back());
         }
         SatResult r = fs.solver->solve(assumptions);
+        if (r == SatResult::Interrupted) interruptedSeen = true;
         bool unsat = r == SatResult::Unsat;
         if (!unsat && predecessor) {
             predecessor->clear();
@@ -246,6 +260,7 @@ struct PdrSearch {
         FrameSolver& fs = frameSolver(frameIdx);
         SatLit b = fs.now(bad);
         SatResult r = fs.solver->solve({b});
+        if (r == SatResult::Interrupted) interruptedSeen = true;
         if (r != SatResult::Sat) return false;
         state->clear();
         for (uint32_t lv : aig.latches()) {
@@ -304,6 +319,7 @@ struct PdrSearch {
         // leave the premise.
         SatSolver solver;
         if (opts.stop) solver.bindStop(opts.stop);
+        if (opts.watchdog) solver.bindWatchdog(opts.watchdog);
         Unroller un(aig, solver, Unroller::Init::Free);
         for (AigLit c : constraints) {
             solver.addUnit(un.lit(0, c));
@@ -336,7 +352,9 @@ struct PdrSearch {
                     SatLit l = un.lit(1, aigMkLit(var));
                     assumptions.push_back(val ? l : satNeg(l));
                 }
-                if (solver.solve(assumptions) != SatResult::Unsat) {
+                SatResult sr = solver.solve(assumptions);
+                if (sr == SatResult::Interrupted) return; // Cancelled: use none.
+                if (sr != SatResult::Unsat) {
                     alive[i] = 0;
                     changed = true;
                 }
@@ -448,6 +466,9 @@ struct PdrSearch {
     PdrResult run() {
         PdrResult result;
         stoppedOnBudget = false;
+        // Query-level interruption is per-search(): a resumed search starts
+        // clean (its owner cleared or re-armed the tokens).
+        interruptedSeen = false;
         if (stopRaised()) return interruptedResult();
 
         // Level 0: is bad reachable in the initial state itself? (Once per
@@ -457,6 +478,7 @@ struct PdrSearch {
         if (!level0Checked) {
             SatSolver s0;
             if (opts.stop) s0.bindStop(opts.stop);
+            if (opts.watchdog) s0.bindWatchdog(opts.watchdog);
             Unroller u0(aig, s0, Unroller::Init::Reset);
             std::vector<SatLit> assumptions{u0.lit(0, bad)};
             for (AigLit c : constraints) s0.addUnit(u0.lit(0, c));
@@ -594,7 +616,16 @@ void PdrContext::rotateGeneralization() { ++impl_->dropRotation; }
 
 void PdrContext::clearStop() {
     impl_->opts.stop = nullptr;
-    for (auto& fs : impl_->solvers) fs->solver->bindStop(nullptr);
+    impl_->opts.watchdog = nullptr;
+    for (auto& fs : impl_->solvers) {
+        fs->solver->bindStop(nullptr);
+        fs->solver->bindWatchdog(nullptr);
+    }
+}
+
+void PdrContext::bindWatchdog(const std::atomic<bool>* token) {
+    impl_->opts.watchdog = token;
+    for (auto& fs : impl_->solvers) fs->solver->bindWatchdog(token);
 }
 
 const PdrStats& PdrContext::stats() const { return impl_->stats; }

@@ -66,6 +66,11 @@ struct PdrOptions {
     /// PdrResult::interrupted — never a fabricated verdict. Null = not
     /// cancellable.
     const std::atomic<bool>* stop = nullptr;
+    /// Second cancellation token, reserved for the wall-clock watchdog
+    /// (robust/watchdog.hpp): deadlines must compose with `stop`, which the
+    /// portfolio race owns. Either token raised interrupts the search; the
+    /// two have independent owners and are cleared independently.
+    const std::atomic<bool>* watchdog = nullptr;
 };
 
 /// Observability counters of one PDR search (aggregated into EngineStats
@@ -136,8 +141,15 @@ public:
     /// Detaches the external stop token (PdrOptions::stop) from this
     /// context and every frame solver bound so far. A context retained
     /// past the portfolio race must not keep reading a token whose owner
-    /// (the per-job race bookkeeping) is gone.
+    /// (the per-job race bookkeeping) is gone. Also detaches the watchdog
+    /// token (see bindWatchdog).
     void clearStop();
+    /// Attaches (or, with nullptr, detaches) a watchdog deadline token to
+    /// this context and every frame solver bound so far — how a budget
+    /// refill resumes a retained context under a fresh per-job deadline
+    /// guard. The pointee must outlive the next search() (clear before the
+    /// guard dies).
+    void bindWatchdog(const std::atomic<bool>* token);
 
     [[nodiscard]] const PdrStats& stats() const;
     [[nodiscard]] uint64_t queries() const;

@@ -4,6 +4,7 @@
 // depend on them without pulling in the engine facade.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,22 @@ enum class Status {
 
 [[nodiscard]] const char* statusName(Status s);
 
+/// Why an Unknown verdict is Unknown. None is the classic bounds-exhausted
+/// Unknown — a *deterministic* function of the workload and options, safe
+/// to cache and covered by the canonical-identity contract. Every other
+/// reason is wall-clock- or operator-dependent (the run was *degraded*):
+/// the verdict is still sound (never a wrong answer, only a withheld one)
+/// but is excluded from the identity contract and never stored in the
+/// proof cache — a timeout must not poison a later warm rerun.
+enum class UnknownReason : uint8_t {
+    None = 0,    ///< Bounds/budget exhausted deterministically.
+    Timeout,     ///< Per-obligation deadline hit (--obligation-timeout).
+    RunBudget,   ///< Whole-run deadline hit (--time-budget).
+    Interrupted, ///< Orderly external stop (SIGINT/SIGTERM).
+};
+
+[[nodiscard]] const char* unknownReasonName(UnknownReason r);
+
 struct PropertyResult {
     std::string name;
     ir::Obligation::Kind kind = ir::Obligation::Kind::SafetyBad;
@@ -44,6 +61,9 @@ struct PropertyResult {
     int depth = -1;      ///< CEX length / induction k / cover depth / bound.
     double seconds = 0.0;
     bool cached = false; ///< Served from the proof cache (no SAT work).
+    /// Set (non-None) only when status is Unknown because a deadline or
+    /// stop degraded this obligation; see UnknownReason.
+    UnknownReason unknownReason = UnknownReason::None;
     CexTrace trace;      ///< Valid when Failed or Covered.
     /// Provenance: the designer annotation (file:line) the property was
     /// generated from, threaded from GeneratedProperty::sourceLoc through
@@ -159,6 +179,23 @@ struct EngineOptions {
     /// field list), so attaching a recorder can never move a cache key.
     /// The recorder must outlive the run.
     obs::Recorder* trace = nullptr;
+    // -- Robustness (src/robust/) -------------------------------------------
+    // Wall-clock deadlines are *degradation* knobs, not verdict knobs: a
+    // run that finishes without hitting one reports exactly what it would
+    // have reported with no deadline set, so — like jobs/perturbSeed — all
+    // three fields below are deliberately absent from the cache options
+    // digest, and obligations that DO hit a deadline are reported
+    // Unknown(reason) and never cached.
+    /// Whole-run wall-clock budget in seconds (0 = unlimited). On expiry
+    /// every in-flight solve is cancelled and remaining obligations drain
+    /// as Unknown(run-budget); the run still reports every obligation.
+    double timeBudgetSeconds = 0.0;
+    /// Per-obligation wall-clock deadline in seconds (0 = unlimited),
+    /// cumulative across the obligation's pipeline stages.
+    double obligationTimeoutSeconds = 0.0;
+    /// External orderly-stop flag (the CLI's SIGINT/SIGTERM handler sets
+    /// it); polled by the watchdog. The pointee must outlive the run.
+    const std::atomic<bool>* stopFlag = nullptr;
 };
 
 struct EngineStats {
@@ -201,6 +238,16 @@ struct EngineStats {
     /// — the sequential chain, with its full strengthening power.
     uint64_t liveWaves = 0;
     uint64_t liveWaveWidest = 0;
+    /// Robustness observability (the --stats "robust:" line): obligations
+    /// degraded to Unknown by a deadline or stop, and why the run token
+    /// fired (0 = it didn't; else a formal::UnknownReason value).
+    uint64_t deadlineDegraded = 0;
+    uint64_t runStopCause = 0;
+    /// Proof-cache degradation: non-empty when the cache dropped to
+    /// memory-only (unwritable dir, failed append, injected fault) — the
+    /// `cache: disabled (reason)` --stats line and the one-shot stderr
+    /// warning carry it.
+    std::string cacheDegradedReason;
     double totalSeconds = 0.0;
 };
 

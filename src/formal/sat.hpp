@@ -132,9 +132,16 @@ public:
     /// creates without the canceller having to track them. The pointee must
     /// outlive the solver (or be unbound with nullptr first).
     void bindStop(const std::atomic<bool>* token) { externalStop_ = token; }
+    /// Second, independent external token slot reserved for the wall-clock
+    /// watchdog (robust/watchdog.hpp), so deadline cancellation composes
+    /// with the race-cancellation token already occupying bindStop (a PDR
+    /// race leg is stoppable by *either* a losing race or a deadline).
+    /// Same lifetime contract as bindStop.
+    void bindWatchdog(const std::atomic<bool>* token) { watchdogStop_ = token; }
     [[nodiscard]] bool stopRequested() const {
         return stopRequested_.load(std::memory_order_relaxed) ||
-               (externalStop_ && externalStop_->load(std::memory_order_relaxed));
+               (externalStop_ && externalStop_->load(std::memory_order_relaxed)) ||
+               (watchdogStop_ && watchdogStop_->load(std::memory_order_relaxed));
     }
 
 private:
@@ -212,6 +219,7 @@ private:
     size_t maxLearnts_ = 4000;
     std::atomic<bool> stopRequested_{false};
     const std::atomic<bool>* externalStop_ = nullptr;
+    const std::atomic<bool>* watchdogStop_ = nullptr;
 };
 
 inline bool modelBit(const SatSolver& solver, SatLit lit) {

@@ -11,6 +11,7 @@
 #include "cache/fingerprint.hpp"
 #include "cache/store.hpp"
 #include "obs/trace.hpp"
+#include "robust/faultinject.hpp"
 #include "sva/report.hpp"
 #include "util/stopwatch.hpp"
 
@@ -108,6 +109,10 @@ void parallelFor(int workers, size_t numTasks,
 void finalizeDepth(ObligationJob& job, const EngineOptions& opts) {
     if (job.result.status == Status::Unknown && job.result.depth < 0)
         job.result.depth = opts.bmcDepth;
+    // A stage may have tagged a degradation reason before a later stage
+    // (chain PDR, a cache hit, a budget refill) decided the job after all.
+    if (job.result.status != Status::Unknown)
+        job.result.unknownReason = UnknownReason::None;
 }
 
 /// Perturbation-fuzz hook: the processing order for `n` jobs — identity,
@@ -333,6 +338,43 @@ ObligationScheduler::ObligationScheduler(const ir::Design& design, EngineOptions
 
 ObligationScheduler::~ObligationScheduler() = default;
 
+void ObligationScheduler::settleDeadline(ObligationJob& job,
+                                         const robust::Watchdog::JobGuard& guard) const {
+    job.watchdogStop = nullptr;
+    if (job.result.status != Status::Unknown) {
+        job.result.unknownReason = UnknownReason::None;
+        return;
+    }
+    const robust::Watchdog::Cause cause = guard.cause();
+    if (cause == robust::Watchdog::Cause::None) return;
+    switch (cause) {
+    case robust::Watchdog::Cause::JobTimeout:
+        job.result.unknownReason = UnknownReason::Timeout;
+        break;
+    case robust::Watchdog::Cause::RunBudget:
+        job.result.unknownReason = UnknownReason::RunBudget;
+        break;
+    case robust::Watchdog::Cause::ExternalStop:
+    case robust::Watchdog::Cause::None:
+        job.result.unknownReason = UnknownReason::Interrupted;
+        break;
+    }
+    if (opts_.trace)
+        opts_.trace->instant("robust", "deadline", static_cast<int64_t>(job.index),
+                             {{"cause", static_cast<uint64_t>(cause)}});
+}
+
+bool ObligationScheduler::cacheStorable(const ObligationJob& job) {
+    if (job.result.unknownReason != UnknownReason::None) return false;
+    if (job.result.status == Status::Unknown) {
+        // An injected solver interrupt degrades a job to Unknown without a
+        // watchdog cause; keep those out of the cache too.
+        robust::FaultPlan* plan = robust::FaultPlan::active();
+        if (plan != nullptr && plan->fired(robust::FaultSite::SolverInterrupt)) return false;
+    }
+    return true;
+}
+
 void ObligationScheduler::seedFromNearMiss(ObligationJob& job, uint64_t structKey) const {
     if (!opts_.cacheLemmaSeeding || !opts_.usePdr) return;
     auto near = cache_->lookupNear(structKey);
@@ -370,14 +412,20 @@ void ObligationScheduler::discharge(const ProofContext& ctx, ObligationJob& job,
     uint64_t structKey = 0;
     if (cache_ && tryServeFromCache(ctx, job, stage, /*allowSeeding=*/withPdr, fp, structKey))
         return;
+    robust::Watchdog::JobGuard guard = guardJob(job);
+    job.watchdogStop = guard.token();
     if (job.result.status == Status::Unknown) bmc_->run(ctx, job);
     if (job.result.status == Status::Unknown) induction_->run(ctx, job);
     // Under the portfolio/budget-pool knobs the PDR stage (and with it the
     // cache store, which must record the post-refill verdict) runs
     // detached at the phase barrier — see runPdrLadderStage/refillPass.
-    if (withPdr && fancyPdr()) return;
+    if (withPdr && fancyPdr()) {
+        settleDeadline(job, guard);
+        return;
+    }
     if (withPdr && job.result.status == Status::Unknown) pdr_->run(ctx, job);
-    if (cache_) cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
+    settleDeadline(job, guard);
+    if (cache_ && cacheStorable(job)) cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
 }
 
 void ObligationScheduler::runPhaseBatched(const ProofContext& baseCtx,
@@ -449,11 +497,14 @@ void ObligationScheduler::runPhaseBatched(const ProofContext& baseCtx,
         ObligationJob& job = *toProve[t];
         ProofContext ctx = baseCtx;
         ctx.pool = &pools[static_cast<size_t>(w)];
+        robust::Watchdog::JobGuard guard = guardJob(job);
+        job.watchdogStop = guard.token();
         if (job.result.status == Status::Unknown) induction_->run(ctx, job);
         if (withPdr && job.result.status == Status::Unknown && !detachedPdr) pdr_->run(ctx, job);
+        settleDeadline(job, guard);
         // Detached-PDR phases store and publish at the barrier, after the
         // ladder stage and refill pass (run() epilogue).
-        if (cache_ && !detachedPdr)
+        if (cache_ && !detachedPdr && cacheStorable(job))
             cache_->store(fps[t], makeArtifact(structKeys[t], job, ctx.aig));
         if (sink) {
             finalizeDepth(job, opts_);
@@ -469,12 +520,16 @@ void ObligationScheduler::runChainPdr(const ProofContext& ctx, ObligationJob& jo
     if (cache_ && tryServeFromCache(ctx, job, cache::Stage::ChainPdr, /*allowSeeding=*/true,
                                     fp, structKey))
         return;
+    robust::Watchdog::JobGuard guard = guardJob(job);
+    job.watchdogStop = guard.token();
     pdr_->run(ctx, job);
-    if (cache_) cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
+    settleDeadline(job, guard);
+    if (cache_ && cacheStorable(job)) cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
 }
 
 void ObligationScheduler::storeJob(const ProofContext& ctx, ObligationJob& job,
                                    cache::Stage stage) const {
+    if (!cacheStorable(job)) return;
     cache::Fingerprint fp = jobFingerprint(ctx, job, stage);
     uint64_t structKey = cache::structKey(job.ob->name, job.ob->kind, stage, structSalt_);
     cache_->store(fp, makeArtifact(structKey, job, ctx.aig));
@@ -501,6 +556,8 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
         parallelFor(opts_.jobs, open.size(), [&](int w, size_t t) {
             obs::LaneScope lane(w);
             ObligationJob& job = *open[t];
+            robust::Watchdog::JobGuard guard = guardJob(job);
+            job.watchdogStop = guard.token();
             util::Stopwatch sw;
             PdrResult adopted;
             uint64_t used = 0, leg0Queries = 0, launched = 0;
@@ -508,7 +565,8 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
             for (size_t leg = 0; leg < numLegs; ++leg) {
                 PdrAttempt attempt =
                     runPdrLeg(baseCtx, job, legBudget, ladder[leg].genRotation,
-                              ladder[leg].retries, nullptr, retainLeg0 && leg == 0);
+                              ladder[leg].retries, nullptr, guard.token(),
+                              retainLeg0 && leg == 0);
                 ++launched;
                 used += attempt.result.queries;
                 if (leg == 0) leg0Queries = attempt.result.queries;
@@ -535,7 +593,13 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
                                  {{"granted", legBudget}, {"charged", charged}});
             }
             applyPdrOutcome(baseCtx, job, std::move(adopted));
+            settleDeadline(job, guard);
         });
+        // A retained warm context still holds this stage's guard token;
+        // its slot may be recycled for another job before the refill pass
+        // rebinds, so drop the binding at the stage boundary.
+        for (ObligationJob* jobPtr : open)
+            if (jobPtr->pdrCtx) jobPtr->pdrCtx->clearStop();
         return;
     }
 
@@ -556,6 +620,10 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
         util::Stopwatch sw;
         PdrResult legResult;
         bool ran = false;
+        // Race mode applies the obligation timeout per leg: concurrent legs
+        // of one job would multiply-count overlapped wall time on a shared
+        // clock, so each leg gets its own guard instead.
+        robust::Watchdog::JobGuard guard = guardJob(job);
         if (race.shouldRun(leg)) {
             ran = true;
             if (rec)
@@ -563,7 +631,8 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
                              {{"leg", leg}});
             PdrAttempt attempt =
                 runPdrLeg(baseCtx, job, legBudget, ladder[leg].genRotation,
-                          ladder[leg].retries, race.stopToken(leg), retainLeg0 && leg == 0);
+                          ladder[leg].retries, race.stopToken(leg), guard.token(),
+                          retainLeg0 && leg == 0);
             // Publish the warm context before the deposit: the final
             // depositor (maybe another worker) reads it via acq_rel.
             if (leg == 0) job.pdrCtx = std::move(attempt.ctx);
@@ -591,7 +660,11 @@ void ObligationScheduler::runPdrLadderStage(const ProofContext& baseCtx,
                     rec->instant("budget", "settle", static_cast<int64_t>(job.index),
                                  {{"granted", legBudget}, {"charged", charged}});
             }
+            // The adopting worker's guard covers the counterexample-replay
+            // solves inside applyPdrOutcome.
+            job.watchdogStop = guard.token();
             applyPdrOutcome(baseCtx, job, race.takeAdopted());
+            settleDeadline(job, guard);
         }
     });
     // The races (and the stop tokens their slots own) die with this scope;
@@ -612,6 +685,14 @@ void ObligationScheduler::refillPass(const ProofContext& baseCtx,
     // — hence every draw below — is deterministic for any worker count.
     for (ObligationJob* jobPtr : open) {
         ObligationJob& job = *jobPtr;
+        // The refill resumes on the job's cumulative deadline clock; the
+        // retained context's frame solvers rebind to the fresh guard.
+        robust::Watchdog::JobGuard guard;
+        if (watchdog_ && job.result.status == Status::Unknown && job.pdrCtx) {
+            guard = guardJob(job);
+            job.watchdogStop = guard.token();
+            job.pdrCtx->bindWatchdog(guard.token());
+        }
         while (job.result.status == Status::Unknown && job.pdrCtx &&
                job.pdrCtx->budgetExhausted() && budgetPool_->available() > 0) {
             const uint64_t drawn = budgetPool_->draw(grain);
@@ -657,6 +738,8 @@ void ObligationScheduler::refillPass(const ProofContext& baseCtx,
             job.result.seconds += sw.seconds();
             applyPdrOutcome(baseCtx, job, std::move(resumed));
         }
+        if (job.pdrCtx) job.pdrCtx->clearStop();
+        settleDeadline(job, guard);
     }
     passSpan.arg("refills", refills);
     // The warm contexts (frame solvers, learned frames) are only needed
@@ -666,6 +749,18 @@ void ObligationScheduler::refillPass(const ProofContext& baseCtx,
 
 std::vector<PropertyResult> ObligationScheduler::run() {
     util::Stopwatch total;
+    // Deadline enforcement: one scanner thread for the whole run. Created
+    // even for a pure external-stop configuration so SIGINT/SIGTERM drain
+    // through the same orderly cancellation path as a budget expiry.
+    watchdog_.reset();
+    if (opts_.timeBudgetSeconds > 0.0 || opts_.obligationTimeoutSeconds > 0.0 ||
+        opts_.stopFlag != nullptr) {
+        robust::Watchdog::Config wcfg;
+        wcfg.runBudgetSeconds = opts_.timeBudgetSeconds;
+        wcfg.obligationTimeoutSeconds = opts_.obligationTimeoutSeconds;
+        wcfg.externalStop = opts_.stopFlag;
+        watchdog_ = std::make_unique<robust::Watchdog>(wcfg);
+    }
     const auto& obligations = design_.obligations();
     obs::Recorder* rec = opts_.trace;
     if (rec) {
@@ -771,6 +866,7 @@ std::vector<PropertyResult> ObligationScheduler::run() {
     obs::Span phaseASpan(rec, "phase", "phase-a");
     phaseASpan.arg("jobs", phaseA.size());
     ProofContext baseCtx{design_, bb_, bb_.aig, constraints_, opts_, kAigFalse, &shared_};
+    if (watchdog_) baseCtx.runStop = watchdog_->runToken();
     if (useReuse) {
         runPhaseBatched(baseCtx, phaseA, /*withPdr=*/true, fancy ? nullptr : &sink);
     } else {
@@ -825,6 +921,7 @@ std::vector<PropertyResult> ObligationScheduler::run() {
         }
         ProofContext liveCtx{design_,  bb_,   live_->aig(), liveConstraints,
                              opts_,    live_->saveOracle(), &shared_};
+        if (watchdog_) liveCtx.runStop = watchdog_->runToken();
         // Phase B gets fresh batches/pools: the live AIG and the
         // strengthened constraint set invalidate phase A's encodings, and
         // the sequential lemma chain below mutates the live AIG — shared
@@ -1005,8 +1102,13 @@ std::vector<PropertyResult> ObligationScheduler::run() {
         stats_.cacheHits = cs.hits;
         stats_.cacheStores = cs.stores;
         stats_.cacheSeededLemmas = cs.seededLemmas;
+        stats_.cacheDegradedReason = cache_->degradedReason();
     }
-    return sink.drain();
+    if (watchdog_) stats_.runStopCause = static_cast<uint64_t>(watchdog_->runCause());
+    std::vector<PropertyResult> results = sink.drain();
+    for (const PropertyResult& r : results)
+        if (r.unknownReason != UnknownReason::None) ++stats_.deadlineDegraded;
+    return results;
 }
 
 } // namespace autosva::formal

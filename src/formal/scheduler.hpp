@@ -44,6 +44,7 @@
 #include "formal/portfolio.hpp"
 #include "formal/result.hpp"
 #include "formal/strategy.hpp"
+#include "robust/watchdog.hpp"
 #include "rtlir/design.hpp"
 
 namespace autosva::cache {
@@ -118,6 +119,21 @@ private:
     /// refill-improved verdict is what gets recorded).
     void storeJob(const ProofContext& ctx, ObligationJob& job, cache::Stage stage) const;
 
+    /// Registers one obligation-sized unit of work with the run's watchdog
+    /// (inert guard when no deadline is configured). The guard's token goes
+    /// into ObligationJob::watchdogStop for strategies to bind.
+    [[nodiscard]] robust::Watchdog::JobGuard guardJob(const ObligationJob& job) const {
+        return watchdog_ ? watchdog_->guardJob(job.index) : robust::Watchdog::JobGuard{};
+    }
+    /// End-of-guard bookkeeping: clears the job's token binding and, when
+    /// the guard fired and the job stayed Unknown, records the degradation
+    /// reason (timeout / run-budget / interrupt) on the result.
+    void settleDeadline(ObligationJob& job, const robust::Watchdog::JobGuard& guard) const;
+    /// True when the job's verdict may enter the proof cache. Deadline- or
+    /// fault-degraded Unknowns must not: a cached "Unknown" would poison
+    /// warm reruns that have the time to decide the obligation.
+    [[nodiscard]] static bool cacheStorable(const ObligationJob& job);
+
     const ir::Design& design_;
     EngineOptions opts_;
     BitBlast bb_;
@@ -132,6 +148,9 @@ private:
     std::unordered_map<std::string, uint32_t> baseLatchNames_;
     std::unordered_map<std::string, uint32_t> liveLatchNames_;
     std::unique_ptr<BudgetPool> budgetPool_; ///< Per-run; null unless opts ask for it.
+    /// Deadline/cancellation scanner; null unless a time budget, an
+    /// obligation timeout, or an external stop flag is configured.
+    std::unique_ptr<robust::Watchdog> watchdog_;
     SharedStats shared_;
     EngineStats stats_;
     uint64_t liveWaves_ = 0;       ///< Lemma-DAG shape of the last run().

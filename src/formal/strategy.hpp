@@ -220,6 +220,11 @@ struct ObligationJob {
     /// move-only; the scheduler's job vectors are reserved up front and
     /// never copy.)
     std::unique_ptr<PdrContext> pdrCtx;
+    /// Wall-clock deadline token of the watchdog guard currently covering
+    /// this job (null = no deadline). The scheduler sets it for exactly the
+    /// span of the owning guard; strategies bind it into every solver they
+    /// build for the job so a fired deadline interrupts in-flight solves.
+    const std::atomic<bool>* watchdogStop = nullptr;
     PropertyResult result;
 };
 
@@ -236,6 +241,11 @@ struct ProofContext {
     /// This worker's solver pool; null selects the legacy throwaway-solver
     /// path (the scheduler sets it per worker when opts.solverReuse holds).
     SolverPool* pool = nullptr;
+    /// Run-level deadline token (watchdog runToken): fires on --time-budget
+    /// expiry or an external stop, never on per-job timeouts. Solvers that
+    /// serve many jobs at once (the batched-BMC sweep solver) bind this
+    /// instead of a per-job token. Null = no run deadline.
+    const std::atomic<bool>* runStop = nullptr;
 };
 
 class ProofStrategy {
@@ -283,9 +293,13 @@ struct PdrAttempt {
 /// PdrResult::interrupted set and is never a verdict. PDR observability
 /// stats and query counts are folded into ctx.stats; job.result is NOT
 /// touched — callers adopt a leg's outcome via applyPdrOutcome.
+/// `watchdogStop` is the wall-clock deadline token covering the leg (null =
+/// no deadline) — independent of `stop`, because a race leg is stoppable by
+/// either a losing race or a deadline.
 [[nodiscard]] PdrAttempt runPdrLeg(const ProofContext& ctx, const ObligationJob& job,
                                    uint64_t maxQueries, uint64_t genRotation, int retries,
-                                   const std::atomic<bool>* stop, bool retainContext);
+                                   const std::atomic<bool>* stop,
+                                   const std::atomic<bool>* watchdogStop, bool retainContext);
 
 /// Maps an adopted PDR verdict onto the job: Proven/Unreachable status and
 /// invariant capture, or the targeted-BMC counterexample re-run (fresh

@@ -83,6 +83,7 @@ void runBmcFresh(const ProofContext& ctx, ObligationJob& job, int maxDepth) {
     uint64_t queries = 0;
     SatSolver solver;
     solver.setConflictBudget(ctx.opts.conflictBudget);
+    if (job.watchdogStop) solver.bindWatchdog(job.watchdogStop);
     Unroller un(ctx.aig, solver, Unroller::Init::Reset);
     int lastConstrained = -1;
     for (int k = 0; k <= maxDepth; ++k) {
@@ -136,6 +137,10 @@ void runBmcBatch(const ProofContext& ctx, const std::vector<ObligationJob*>& job
     // solver, so there is no per-job span to hang them on.
     std::unordered_map<const ObligationJob*, std::pair<uint64_t, uint64_t>> attribution;
     SatSolver solver;
+    // The sweep solver serves every job in the batch, so it answers to the
+    // run-level deadline only (per-job wall attribution inside a lockstep
+    // sweep would overcharge idle batch-mates — see robust/watchdog.hpp).
+    if (ctx.runStop) solver.bindWatchdog(ctx.runStop);
     Unroller un(ctx.aig, solver, Unroller::Init::Reset);
     int lastConstrained = -1;
     std::vector<ObligationJob*> open(jobs.begin(), jobs.end());

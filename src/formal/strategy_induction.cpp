@@ -27,6 +27,7 @@ void runInductionFresh(const ProofContext& ctx, ObligationJob& job) {
     for (int k = 1; k <= ctx.opts.maxInductionK; ++k) {
         SatSolver solver;
         solver.setConflictBudget(ctx.opts.conflictBudget);
+        if (job.watchdogStop) solver.bindWatchdog(job.watchdogStop);
         Unroller un(ctx.aig, solver, Unroller::Init::Free);
         encodeInductionFormula(un, solver, ctx.constraints, k);
         util::Stopwatch sw;
@@ -48,6 +49,9 @@ void runInductionFresh(const ProofContext& ctx, ObligationJob& job) {
             job.result.depth = k;
             break;
         }
+        // Deadline hit: deeper k would re-encode the whole lattice only to
+        // interrupt again at solve entry. Leave the job Unknown.
+        if (r == SatResult::Interrupted) break;
     }
     span.arg("queries", queries);
 }
@@ -56,7 +60,10 @@ void runInductionPooled(const ProofContext& ctx, ObligationJob& job) {
     obs::Span span(ctx.opts.trace, "strategy", "induction", static_cast<int64_t>(job.index));
     uint64_t queries = 0;
     std::vector<SatLit> assumptions;
-    for (int k = 1; k <= ctx.opts.maxInductionK; ++k) {
+    // An interrupted solve leaves the job Unknown; deeper k would only
+    // interrupt again, so unwind instead of burning the remaining ladder.
+    bool interrupted = false;
+    for (int k = 1; k <= ctx.opts.maxInductionK && !interrupted; ++k) {
         // One shared fixed-k context per worker: the legacy per-obligation
         // formula, encoded once. The per-obligation part is assumptions
         // only, so nothing needs releasing between jobs.
@@ -70,7 +77,12 @@ void runInductionPooled(const ProofContext& ctx, ObligationJob& job) {
         assumptions.clear();
         for (int f = 0; f < k; ++f) assumptions.push_back(satNeg(pc.un.lit(f, job.bad)));
         assumptions.push_back(pc.un.lit(k, job.bad));
+        // The pooled solver outlives this job: keep the job's deadline
+        // token bound only for the duration of its own solve.
+        if (job.watchdogStop) pc.solver.bindWatchdog(job.watchdogStop);
         SatResult r = pc.solver.solve(assumptions);
+        pc.solver.bindWatchdog(nullptr);
+        if (r == SatResult::Interrupted) interrupted = true;
         ++queries;
         if (ctx.stats) ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
         job.result.seconds += sw.seconds();

@@ -21,7 +21,8 @@ namespace autosva::formal {
 
 PdrAttempt runPdrLeg(const ProofContext& ctx, const ObligationJob& job,
                      uint64_t maxQueries, uint64_t genRotation, int retries,
-                     const std::atomic<bool>* stop, bool retainContext) {
+                     const std::atomic<bool>* stop, const std::atomic<bool>* watchdogStop,
+                     bool retainContext) {
     PdrOptions pdrOpts;
     pdrOpts.maxFrames = ctx.opts.pdrMaxFrames;
     pdrOpts.maxQueries = maxQueries;
@@ -29,6 +30,7 @@ PdrAttempt runPdrLeg(const ProofContext& ctx, const ObligationJob& job,
     pdrOpts.perturbSeed = ctx.opts.perturbSeed;
     pdrOpts.genRotation = genRotation;
     pdrOpts.stop = stop;
+    pdrOpts.watchdog = watchdogStop;
     if (!job.pdrSeeds.empty()) pdrOpts.seedCubes = &job.pdrSeeds;
     AigLit effectiveBad = job.pdrBad != kAigFalse ? job.pdrBad : job.bad;
 
@@ -95,13 +97,19 @@ void applyPdrOutcome(const ProofContext& ctx, ObligationJob& job, PdrResult&& pr
         obs::Span span(ctx.opts.trace, "strategy", "cex-replay",
                        static_cast<int64_t>(job.index));
         SatSolver solver;
+        if (job.watchdogStop) solver.bindWatchdog(job.watchdogStop);
         Unroller un(ctx.aig, solver, Unroller::Init::Reset);
         int lastConstrained = -1;
         bool found = false;
         for (int k = 0; k <= pr.depth + 2 && !found; ++k) {
             constrainFramesTo(un, solver, ctx.constraints, k, lastConstrained);
             SatLit bad = un.lit(k, job.bad);
-            if (solver.solve({bad}) == SatResult::Sat) {
+            SatResult sr = solver.solve({bad});
+            // A deadline mid-replay leaves the job Unknown — the "bad
+            // unreachable at k" strengthening below is only established by
+            // a real Unsat, so an Interrupted answer must not assert it.
+            if (sr == SatResult::Interrupted) break;
+            if (sr == SatResult::Sat) {
                 job.result.status = job.coverMode ? Status::Covered : Status::Failed;
                 job.result.depth = k;
                 job.result.trace = extractCexTrace(ctx, un, solver, k);
@@ -130,7 +138,8 @@ public:
         if (!ctx.opts.usePdr) return;
         util::Stopwatch sw;
         PdrAttempt attempt = runPdrLeg(ctx, job, ctx.opts.pdrMaxQueries, 0,
-                                       ctx.opts.pdrRetryReorders, nullptr, false);
+                                       ctx.opts.pdrRetryReorders, nullptr, job.watchdogStop,
+                                       false);
         job.result.seconds += sw.seconds();
         applyPdrOutcome(ctx, job, std::move(attempt.result));
     }

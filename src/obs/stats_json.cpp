@@ -66,7 +66,12 @@ void writeStatsJson(std::ostream& out, const sva::VerificationReport& report) {
         << ", \"cache_stores\": " << es.cacheStores
         << ", \"cache_seeded_lemmas\": " << es.cacheSeededLemmas
         << ", \"live_waves\": " << es.liveWaves
-        << ", \"live_wave_widest\": " << es.liveWaveWidest << "}";
+        << ", \"live_wave_widest\": " << es.liveWaveWidest
+        << ", \"deadline_degraded\": " << es.deadlineDegraded
+        << ", \"run_stop_cause\": " << es.runStopCause << ", \"cache_degraded\": \"";
+    escapeTo(out, es.cacheDegradedReason);
+    out << "\"}";
+    out << ", \"degraded\": " << (report.degraded() ? "true" : "false");
     const sva::FrontendStats& fe = report.frontend;
     out << ", \"frontend\": {\"sources_parsed\": " << fe.sourcesParsed
         << ", \"generated_reparses\": " << fe.generatedTextReparses
@@ -80,7 +85,8 @@ void writeStatsJson(std::ostream& out, const sva::VerificationReport& report) {
             << formal::statusName(r.status) << "\", \"depth\": " << r.depth
             << ", \"seconds\": ";
         emitDouble(out, r.seconds);
-        out << ", \"cached\": " << (r.cached ? "true" : "false") << "}";
+        out << ", \"cached\": " << (r.cached ? "true" : "false") << ", \"unknown_reason\": \""
+            << formal::unknownReasonName(r.unknownReason) << "\"}";
     }
     out << "]}\n";
 }

@@ -1,0 +1,108 @@
+#include "robust/faultinject.hpp"
+
+#include <sstream>
+
+namespace autosva::robust {
+
+namespace {
+
+std::atomic<FaultPlan*> gActivePlan{nullptr};
+
+constexpr const char* kSiteNames[kFaultSiteCount] = {
+    "cache-read", "cache-write", "solver-interrupt", "bitblast-alloc", "propgen-alloc",
+};
+
+} // namespace
+
+const char* faultSiteName(FaultSite site) {
+    return kSiteNames[static_cast<size_t>(site)];
+}
+
+void FaultPlan::arm(FaultSite site, uint64_t fireAtHit) {
+    Site& s = sites_[static_cast<size_t>(site)];
+    s.fireAt.store(fireAtHit, std::memory_order_relaxed);
+    s.hits.store(0, std::memory_order_relaxed);
+}
+
+bool FaultPlan::shouldFire(FaultSite site) {
+    Site& s = sites_[static_cast<size_t>(site)];
+    const uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    const uint64_t fireAt = s.fireAt.load(std::memory_order_relaxed);
+    return fireAt != 0 && hit == fireAt;
+}
+
+uint64_t FaultPlan::hits(FaultSite site) const {
+    return sites_[static_cast<size_t>(site)].hits.load(std::memory_order_relaxed);
+}
+
+bool FaultPlan::fired(FaultSite site) const {
+    const Site& s = sites_[static_cast<size_t>(site)];
+    const uint64_t fireAt = s.fireAt.load(std::memory_order_relaxed);
+    return fireAt != 0 && s.hits.load(std::memory_order_relaxed) >= fireAt;
+}
+
+bool FaultPlan::anyFired() const {
+    for (size_t i = 0; i < kFaultSiteCount; ++i)
+        if (fired(static_cast<FaultSite>(i))) return true;
+    return false;
+}
+
+std::string FaultPlan::summary() const {
+    std::ostringstream out;
+    for (size_t i = 0; i < kFaultSiteCount; ++i) {
+        const Site& s = sites_[i];
+        const uint64_t fireAt = s.fireAt.load(std::memory_order_relaxed);
+        if (fireAt == 0) continue;
+        out << kSiteNames[i] << ": armed@" << fireAt << " hits="
+            << s.hits.load(std::memory_order_relaxed)
+            << (fired(static_cast<FaultSite>(i)) ? " fired" : " not-fired") << '\n';
+    }
+    return out.str();
+}
+
+std::string FaultPlan::parseSpec(const std::string& spec, FaultPlan& out) {
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find(',', pos);
+        if (end == std::string::npos) end = spec.size();
+        const std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty()) continue;
+        const size_t colon = entry.find(':');
+        if (colon == std::string::npos)
+            return "fault spec entry '" + entry + "' is missing ':N'";
+        const std::string name = entry.substr(0, colon);
+        const std::string count = entry.substr(colon + 1);
+        int siteIndex = -1;
+        for (size_t i = 0; i < kFaultSiteCount; ++i)
+            if (name == kSiteNames[i]) siteIndex = static_cast<int>(i);
+        if (siteIndex < 0) {
+            std::string known;
+            for (size_t i = 0; i < kFaultSiteCount; ++i) {
+                if (i) known += ", ";
+                known += kSiteNames[i];
+            }
+            return "unknown fault site '" + name + "' (known: " + known + ")";
+        }
+        uint64_t n = 0;
+        if (count.empty()) return "fault spec entry '" + entry + "' has an empty hit count";
+        for (char c : count) {
+            if (c < '0' || c > '9')
+                return "fault spec entry '" + entry + "' has a non-numeric hit count";
+            n = n * 10 + static_cast<uint64_t>(c - '0');
+        }
+        if (n == 0) return "fault spec entry '" + entry + "' must fire at hit >= 1";
+        out.arm(static_cast<FaultSite>(siteIndex), n);
+    }
+    return {};
+}
+
+void FaultPlan::activate(FaultPlan* plan) {
+    gActivePlan.store(plan, std::memory_order_release);
+}
+
+FaultPlan* FaultPlan::active() {
+    return gActivePlan.load(std::memory_order_acquire);
+}
+
+} // namespace autosva::robust

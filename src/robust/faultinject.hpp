@@ -1,0 +1,104 @@
+// Deterministic fault injection: site-addressed failure points compiled
+// into the engine's I/O and solver edges, armed from one spec string
+// (`--fault-inject` / AUTOSVA_FAULT_INJECT) and replayable run-to-run.
+//
+// Contract — mirrors obs::Recorder: a *disarmed* plan costs one relaxed
+// atomic pointer load per site (the `active()` null test); no allocation,
+// no lock, no branch beyond the null check. An armed plan additionally
+// pays one fetch_add per hit on the armed site.
+//
+// Each site counts its "hits" (times execution reached the site) and
+// fires exactly once, at the N-th hit (1-based), making every fault
+// deterministic for a fixed workload and worker interleaving-independent
+// at sites driven by a single thread (cache I/O) and
+// schedule-dependent-but-bounded at multi-threaded sites (solver solves).
+// The *recovery behaviour* under an injected fault must be identical for
+// every interleaving: degrade, never crash, never flip a verdict.
+//
+// What a fired fault means at each site:
+//   CacheRead      ProofCache::load() behaves as if the log were
+//                  unreadable (degrades to memory-only).
+//   CacheWrite     ProofCache::store() behaves as if the append failed
+//                  (disk full): persistence drops, run continues.
+//   SolverInterrupt SatSolver::solve() returns Interrupted without
+//                  touching solver state — the cancellation-token result
+//                  minus the token, exercising every Interrupted branch.
+//   BitblastAlloc  bitblast() throws std::bad_alloc at entry.
+//   PropgenAlloc   generateProperties() throws std::bad_alloc at entry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace autosva::robust {
+
+enum class FaultSite : uint8_t {
+    CacheRead = 0,
+    CacheWrite,
+    SolverInterrupt,
+    BitblastAlloc,
+    PropgenAlloc,
+};
+constexpr size_t kFaultSiteCount = 5;
+
+/// Spec/reporting name of a site ("cache-read", "solver-interrupt", ...).
+[[nodiscard]] const char* faultSiteName(FaultSite site);
+
+/// One armed run's worth of fault sites. Arm sites, activate the plan,
+/// run, read back hit/fired counts. The plan must outlive its activation
+/// window (deactivate before destroying).
+class FaultPlan {
+public:
+    /// Arms `site` to fire at its `fireAtHit`-th hit (1-based). 0 disarms.
+    void arm(FaultSite site, uint64_t fireAtHit);
+
+    /// Counts a hit at `site`; true exactly when this hit is the armed
+    /// one. Called via the free function faultFire() below.
+    [[nodiscard]] bool shouldFire(FaultSite site);
+
+    [[nodiscard]] uint64_t hits(FaultSite site) const;
+    [[nodiscard]] bool fired(FaultSite site) const;
+    /// True when any armed site has fired.
+    [[nodiscard]] bool anyFired() const;
+
+    /// Human-readable per-site summary ("cache-write: armed@1 hits=3
+    /// fired" ...), one line per armed site; empty when nothing is armed.
+    [[nodiscard]] std::string summary() const;
+
+    /// Parses "site:N[,site:N...]" (e.g. "cache-write:1,solver-interrupt:40")
+    /// into `out`. Returns "" on success, else a diagnostic.
+    [[nodiscard]] static std::string parseSpec(const std::string& spec, FaultPlan& out);
+
+    /// Installs `plan` as the process-wide active plan (nullptr disarms).
+    /// Not reference-counted: the caller keeps ownership and must
+    /// deactivate before the plan dies.
+    static void activate(FaultPlan* plan);
+    [[nodiscard]] static FaultPlan* active();
+
+private:
+    struct Site {
+        std::atomic<uint64_t> hits{0};
+        std::atomic<uint64_t> fireAt{0}; ///< 0 = disarmed.
+    };
+    std::array<Site, kFaultSiteCount> sites_{};
+};
+
+/// The hot-path hook: one atomic pointer load when no plan is active.
+[[nodiscard]] inline bool faultFire(FaultSite site) {
+    FaultPlan* plan = FaultPlan::active();
+    return plan != nullptr && plan->shouldFire(site);
+}
+
+/// RAII activation for tests: activates at construction, deactivates at
+/// destruction (exception-safe around engine runs that may throw).
+class FaultScope {
+public:
+    explicit FaultScope(FaultPlan& plan) { FaultPlan::activate(&plan); }
+    ~FaultScope() { FaultPlan::activate(nullptr); }
+    FaultScope(const FaultScope&) = delete;
+    FaultScope& operator=(const FaultScope&) = delete;
+};
+
+} // namespace autosva::robust

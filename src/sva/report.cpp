@@ -88,6 +88,12 @@ bool VerificationReport::allProven() const {
     return true;
 }
 
+bool VerificationReport::degraded() const {
+    for (const auto& r : results)
+        if (r.unknownReason != formal::UnknownReason::None) return true;
+    return false;
+}
+
 const PropertyResult* VerificationReport::firstFailure() const {
     for (const auto& r : results)
         if (r.status == Status::Failed) return &r;
@@ -140,10 +146,16 @@ std::string VerificationReport::str() const {
         char buf[32];
         std::snprintf(buf, sizeof buf, "%.3f", r.seconds);
         const char* src = r.status == Status::Skipped ? "-" : (r.cached ? "cache" : "engine");
-        table.addRow({r.name, kindName(r.kind), formal::statusName(r.status),
+        std::string status = formal::statusName(r.status);
+        if (r.unknownReason != formal::UnknownReason::None)
+            status += std::string("(") + formal::unknownReasonName(r.unknownReason) + ")";
+        table.addRow({r.name, kindName(r.kind), std::move(status),
                       r.depth >= 0 ? std::to_string(r.depth) : "-", buf, src});
     }
     std::string out = "DUT: " + dutName + "\n" + table.str();
+    if (degraded())
+        out += "Degraded run: deadline or interruption left obligations Unknown; "
+               "rerun without a budget to decide them.\n";
     if (engineStats.cacheLookups > 0)
         out += "Proof cache: " + std::to_string(engineStats.cacheHits) + "/" +
                std::to_string(engineStats.cacheLookups) + " hits, " +

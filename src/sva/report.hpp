@@ -75,6 +75,12 @@ struct VerificationReport {
     [[nodiscard]] double proofRate() const;
     [[nodiscard]] bool allProven() const;
     [[nodiscard]] bool anyFailed() const { return numFailed() > 0; }
+    /// True when any result is a deadline/interruption-degraded Unknown
+    /// (PropertyResult::unknownReason set): the run terminated early, every
+    /// verdict present is sound, but the report is NOT covered by the
+    /// canonical-identity contract — a rerun with more time may decide
+    /// what this run left Unknown.
+    [[nodiscard]] bool degraded() const;
 
     /// First failing result, if any.
     [[nodiscard]] const formal::PropertyResult* firstFailure() const;

@@ -7,10 +7,15 @@
 //   autosva sim  <dut.sv> [--cycles N] [--seed N] [--vcd FILE]
 //   autosva list                     # registered paper designs
 //   autosva run-design <name> [...]  # verify a registered design
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <thread>
@@ -22,12 +27,23 @@
 #include "obs/profile.hpp"
 #include "obs/stats_json.hpp"
 #include "obs/trace.hpp"
+#include "robust/faultinject.hpp"
 #include "sim/vcd.hpp"
 
 namespace {
 
 using namespace autosva;
 namespace fs = std::filesystem;
+
+/// SIGINT/SIGTERM request an orderly stop: the engine's watchdog relays
+/// this flag into every in-flight solver, the run drains to a partial
+/// (degraded) report, and artifacts still flush. A second signal while the
+/// drain is in progress exits immediately.
+std::atomic<bool> gStopRequested{false};
+
+extern "C" void handleStopSignal(int) {
+    if (gStopRequested.exchange(true)) std::_Exit(130);
+}
 
 [[noreturn]] void usage() {
     std::cerr <<
@@ -39,21 +55,23 @@ usage:
   autosva run  <dut.sv> [extra.sv ...] [--param NAME=VALUE] [--depth N]
                [--jobs N] [--pdr-queries N] [--pdr-retries N]
                [--portfolio] [--portfolio-legs N] [--budget-pool N]
+               [--time-budget S] [--obligation-timeout S]
                [--no-liveness] [--no-covers]
                [--cache-dir DIR] [--no-cache] [--cache-stats] [--cache-compact]
                [--stats] [--no-solver-reuse] [--no-aig-rewrite]
                [--profile] [--trace-out FILE] [--events-out FILE]
-               [--stats-json FILE]
+               [--stats-json FILE] [--fault-inject SPEC]
   autosva sim  <dut.sv> [--cycles N] [--seed N] [--vcd FILE]
   autosva list
   autosva cache compact [--cache-dir DIR]
   autosva run-design <name> [--bug 0|1] [--depth N] [--jobs N]
                [--pdr-queries N] [--pdr-retries N]
                [--portfolio] [--portfolio-legs N] [--budget-pool N]
+               [--time-budget S] [--obligation-timeout S]
                [--cache-dir DIR] [--no-cache] [--cache-stats] [--cache-compact]
                [--stats] [--no-solver-reuse] [--no-aig-rewrite]
                [--profile] [--trace-out FILE] [--events-out FILE]
-               [--stats-json FILE]
+               [--stats-json FILE] [--fault-inject SPEC]
   autosva profile <dut.sv | design-name> [run options]
                # sugar for run/run-design with --profile
 
@@ -84,6 +102,28 @@ options:
                    unspent queries, and budget-edge Unknowns draw
                    deterministic refills at phase barriers until the pool
                    drains. Affects verdicts, hence cache keys.
+  --time-budget S  wall-clock budget for the whole run, in (fractional)
+                   seconds. On expiry every in-flight solve is cancelled
+                   and remaining obligations report unknown(run-budget);
+                   the run always terminates within the budget plus a
+                   small cancellation grace, with a well-formed (degraded)
+                   report covering every obligation. Verdicts present are
+                   sound, but a deadline run forfeits the byte-identical
+                   canonical-report contract.
+  --obligation-timeout S  per-obligation wall-clock deadline, cumulative
+                   across that obligation's pipeline stages; an expired
+                   obligation degrades to unknown(timeout) while the rest
+                   of the run proceeds normally. SIGINT/SIGTERM stop the
+                   run the same orderly way (partial report, artifacts
+                   flushed, exit 130); a second signal exits immediately.
+  --fault-inject SPEC  deterministic fault injection for robustness
+                   testing: SPEC is site:N[,site:N...] — fire the fault at
+                   the N-th (1-based) hit of the site. Sites: cache-read,
+                   cache-write, solver-interrupt, bitblast-alloc,
+                   propgen-alloc ($AUTOSVA_FAULT_INJECT is the env
+                   equivalent). Injected faults degrade (cache off,
+                   obligation unknown) — never crash, never flip a
+                   verdict; a summary of fired sites prints at exit.
   --cache-dir DIR  persistent proof-cache directory (default:
                    $AUTOSVA_CACHE_DIR, else $XDG_CACHE_HOME/autosva, else
                    ~/.cache/autosva). Reruns of unchanged obligations are
@@ -171,6 +211,36 @@ void writeFile(const fs::path& path, const std::string& content) {
     return value;
 }
 
+/// Fractional-seconds parser for the deadline flags: positive, finite,
+/// no trailing garbage.
+[[nodiscard]] double parseSeconds(const std::string& what, const std::string& text) {
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size() || !std::isfinite(value) ||
+        value <= 0.0) {
+        std::cerr << "error: " << what << " expects a positive number of seconds, got '"
+                  << text << "'\n";
+        std::exit(2);
+    }
+    return value;
+}
+
+/// Fails fast (exit 2) when an output-file flag points somewhere
+/// unwritable — before any verification work, not after hours of solving.
+/// The probe opens in append mode so a pre-existing file is untouched; a
+/// file the probe had to create is removed again.
+void requireWritablePath(const char* flag, const std::string& path) {
+    std::error_code ec;
+    const bool existed = fs::exists(path, ec);
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+        std::cerr << "error: " << flag << " path '" << path << "' is not writable\n";
+        std::exit(2);
+    }
+    probe.close();
+    if (!existed) fs::remove(path, ec);
+}
+
 struct Args {
     std::vector<std::string> positional;
     std::unordered_map<std::string, std::string> options;
@@ -202,6 +272,8 @@ Args parseArgs(int argc, char** argv, int start) {
                                       "--bug",    "--param", "--cache-dir",
                                       "--pdr-queries", "--pdr-retries",
                                       "--portfolio-legs", "--budget-pool",
+                                      "--time-budget", "--obligation-timeout",
+                                      "--fault-inject",
                                       "--trace-out", "--events-out", "--stats-json"};
     for (int i = start; i < argc; ++i) {
         std::string a = argv[i];
@@ -280,6 +352,21 @@ int runReport(const std::vector<std::string>& sources,
         vopts.engine.portfolioLegs = 2;
     vopts.engine.budgetPoolQueries =
         static_cast<uint64_t>(args.getInt("--budget-pool", 0, 1, 1000000000000ULL));
+    if (args.has("--time-budget"))
+        vopts.engine.timeBudgetSeconds =
+            parseSeconds("--time-budget", args.get("--time-budget", ""));
+    if (args.has("--obligation-timeout"))
+        vopts.engine.obligationTimeoutSeconds =
+            parseSeconds("--obligation-timeout", args.get("--obligation-timeout", ""));
+    // Always wired: SIGINT/SIGTERM degrade any CLI run to an orderly stop.
+    vopts.engine.stopFlag = &gStopRequested;
+    // Output-path preflight: reject unwritable destinations before solving.
+    if (args.has("--trace-out"))
+        requireWritablePath("--trace-out", args.get("--trace-out", ""));
+    if (args.has("--events-out"))
+        requireWritablePath("--events-out", args.get("--events-out", ""));
+    if (args.has("--stats-json"))
+        requireWritablePath("--stats-json", args.get("--stats-json", ""));
     vopts.engine.useLivenessToSafety = !args.has("--no-liveness");
     vopts.engine.checkCovers = !args.has("--no-covers");
     vopts.engine.solverReuse = !args.has("--no-solver-reuse");
@@ -334,6 +421,17 @@ int runReport(const std::vector<std::string>& sources,
                     static_cast<unsigned long long>(fs.sourcesParsed),
                     static_cast<unsigned long long>(fs.generatedTextReparses),
                     static_cast<unsigned long long>(fs.generatedAstReused));
+        const char* stopCause = "none";
+        switch (es.runStopCause) {
+        case 1: stopCause = "job-timeout"; break;
+        case 2: stopCause = "run-budget"; break;
+        case 3: stopCause = "external-stop"; break;
+        default: break;
+        }
+        std::printf("robust: deadline-degraded=%llu run-stop-cause=%s\n",
+                    static_cast<unsigned long long>(es.deadlineDegraded), stopCause);
+        if (!es.cacheDegradedReason.empty())
+            std::printf("cache: disabled (%s)\n", es.cacheDegradedReason.c_str());
     }
     if (args.has("--cache-stats")) {
         if (vopts.engine.cacheDir.empty()) {
@@ -404,6 +502,12 @@ int runReport(const std::vector<std::string>& sources,
         }
         std::cout << "\nFirst counterexample (" << failure->name << "):\n"
                   << formal::formatTrace(*design, failure->trace, signals);
+    }
+    // The conventional interrupted exit code, after the partial report and
+    // every requested artifact flushed above.
+    if (gStopRequested.load()) {
+        std::cerr << "autosva: interrupted — partial report is sound but degraded\n";
+        return 130;
     }
     return report.anyFailed() ? 1 : 0;
 }
@@ -520,18 +624,46 @@ int cmdRunDesign(const Args& args) {
 int main(int argc, char** argv) {
     if (argc < 2) usage();
     std::string cmd = argv[1];
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
     try {
         Args args = parseArgs(argc, argv, 2);
-        if (cmd == "gen") return cmdGen(args);
-        if (cmd == "run") return cmdRun(args);
-        if (cmd == "sim") return cmdSim(args);
-        if (cmd == "list") return cmdList();
-        if (cmd == "cache") return cmdCache(args);
-        if (cmd == "run-design") return cmdRunDesign(args);
-        if (cmd == "profile") return cmdProfile(args);
-        usage();
+        // Deterministic fault injection, armed for the whole command so
+        // generation-time sites (propgen-alloc) are covered too.
+        robust::FaultPlan faultPlan;
+        std::optional<robust::FaultScope> faultScope;
+        std::string faultSpec = args.get("--fault-inject", "");
+        if (faultSpec.empty())
+            if (const char* env = std::getenv("AUTOSVA_FAULT_INJECT"); env && *env)
+                faultSpec = env;
+        if (!faultSpec.empty()) {
+            std::string err = robust::FaultPlan::parseSpec(faultSpec, faultPlan);
+            if (!err.empty()) {
+                std::cerr << "error: --fault-inject: " << err << "\n";
+                return 2;
+            }
+            faultScope.emplace(faultPlan);
+        }
+        int rc = 2;
+        if (cmd == "gen") rc = cmdGen(args);
+        else if (cmd == "run") rc = cmdRun(args);
+        else if (cmd == "sim") rc = cmdSim(args);
+        else if (cmd == "list") rc = cmdList();
+        else if (cmd == "cache") rc = cmdCache(args);
+        else if (cmd == "run-design") rc = cmdRunDesign(args);
+        else if (cmd == "profile") rc = cmdProfile(args);
+        else usage();
+        if (faultScope && !faultPlan.summary().empty())
+            std::cerr << "fault-inject summary:\n" << faultPlan.summary();
+        return rc;
     } catch (const util::FrontendError& err) {
         std::cerr << err.what() << "\n";
+        return 1;
+    } catch (const std::bad_alloc&) {
+        // Graceful exhaustion (real or injected): a diagnostic and a clean
+        // nonzero exit, never a crash or a partial write presented as
+        // success.
+        std::cerr << "autosva: out of memory — no report produced\n";
         return 1;
     }
 }
