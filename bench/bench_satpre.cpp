@@ -1,0 +1,190 @@
+// Frozen-aware CNF preprocessing & inprocessing A/B (EngineOptions::satPre).
+//
+// Gates (exit non-zero on violation):
+//  (1) Identity: for EVERY registered design, the canonical verification
+//      report is byte-identical across {sat-pre on, off} x {jobs 1, 4}.
+//      The simplification layer is verdict-invariant by construction —
+//      bounded variable elimination, subsumption / self-subsuming
+//      resolution, vivification and failed-literal probing all preserve
+//      Sat/Unsat answers; only witness *values* may move, and those are
+//      canonicalized away. This is why satPre is excluded from the cache
+//      digest (cache/fingerprint.cpp) — this bench is the enforcement.
+//  (2) Reduction: bounded variable elimination on a 10-frame unrolling of
+//      the Ariane MMU bit-blast removes at least 30% of the CNF variables
+//      (the frame frontier frozen, as the strategies do it).
+//  (3) Wall clock: the MMU and LSU property sets end-to-end with sat-pre ON
+//      must be no slower than the --no-sat-pre leg (tolerance 1.25x + 0.1s,
+//      scaled by oversubscription; speedups land in the JSON rows).
+//
+// Run:  bench_satpre [rounds] [--json PATH]
+#include <algorithm>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "formal/bitblast.hpp"
+#include "formal/sat.hpp"
+#include "formal/unroll.hpp"
+#include "rtlir/elaborate.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace autosva;
+
+struct RunOut {
+    sva::VerificationReport report;
+    double wall = 0.0; ///< verify() only — FT generation excluded.
+};
+
+RunOut runConfig(const std::string& designName, const formal::EngineOptions& eng, int rounds) {
+    const auto& info = designs::design(designName);
+    util::DiagEngine diags;
+    core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+    core::VerifyOptions vopts;
+    vopts.engine = eng;
+    if (!info.extensionSva.empty()) vopts.extraSources.push_back(info.extensionSva);
+    RunOut out;
+    out.wall = 1e30;
+    for (int r = 0; r < rounds; ++r) {
+        util::Stopwatch sw;
+        out.report = core::verify(designs::rtlSources(info), ft, vopts, diags);
+        out.wall = std::min(out.wall, sw.seconds());
+    }
+    return out;
+}
+
+formal::EngineOptions preOpts(bool satPre, int jobs) {
+    formal::EngineOptions eng = bench::defaultBenchEngine();
+    eng.pdrMaxQueries = 30000; // Bound the tail like the other throughput benches.
+    eng.satPre = satPre;
+    eng.jobs = jobs;
+    return eng;
+}
+
+/// Gate 2: encode a `depth`-frame unrolling of the MMU transition relation
+/// (every latch cone materialized at the last frame, which drags in all
+/// frames below), freeze the frontier the way the strategies do, run a
+/// forced elimination pass, and report the fraction of variables removed.
+double mmuEliminationProbe(int depth, int& varsBefore, uint64_t& eliminated) {
+    const auto& info = designs::design("ariane_mmu");
+    util::DiagEngine diags;
+    core::FormalTestbench ft = core::generateFT(info.rtl, {}, diags);
+    core::VerifyOptions vopts;
+    vopts.engine = bench::defaultBenchEngine();
+    if (!info.extensionSva.empty()) vopts.extraSources.push_back(info.extensionSva);
+    auto design = core::elaborateWithFT(designs::rtlSources(info), ft, vopts, diags,
+                                        /*tieReset=*/true);
+    formal::BitBlast bb = formal::bitblast(*design, /*rewrite=*/true);
+
+    formal::SatSolver solver;
+    solver.setPreprocessing(true);
+    formal::Unroller un(bb.aig, solver, formal::Unroller::Init::Reset);
+    for (uint32_t v = 0; v < bb.aig.numVars(); ++v)
+        if (bb.aig.kind(v) == formal::Aig::VarKind::Latch)
+            (void)un.lit(depth, formal::aigMkLit(v));
+    un.freezeFrontier(depth);
+    varsBefore = solver.numVars();
+    solver.preprocess(/*force=*/true);
+    eliminated = solver.varsEliminated();
+    return varsBefore == 0 ? 0.0
+                           : static_cast<double>(eliminated) / static_cast<double>(varsBefore);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string jsonPath = bench::extractJsonPath(argc, argv);
+    int rounds = argc > 1 ? std::atoi(argv[1]) : 1;
+    if (rounds < 1) {
+        std::cerr << "usage: bench_satpre [rounds>=1] [--json PATH]\n";
+        return 2;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    double oversub = std::max(1.0, 4.0 / std::max(1u, hw));
+
+    bench::banner("Frozen-aware CNF preprocessing & inprocessing (sat-pre) A/B");
+    std::vector<bench::JsonRow> rows;
+    bool identical = true;
+
+    // --- Gate 1: canonical-report identity matrix over every design ------
+    struct Cfg {
+        const char* tag;
+        bool satPre;
+        int jobs;
+    };
+    const Cfg matrix[] = {{"pre-off-j1", false, 1},
+                          {"pre-off-j4", false, 4},
+                          {"pre-on-j1", true, 1},
+                          {"pre-on-j4", true, 4}};
+    double offWall[2] = {0, 0}, onWall[2] = {0, 0}; // [0]=mmu, [1]=lsu.
+    for (const auto& info : designs::allDesigns()) {
+        std::string baseline;
+        bool same = true;
+        std::printf("%-16s", info.name.c_str());
+        uint64_t elim = 0;
+        for (const Cfg& cfg : matrix) {
+            RunOut out = runConfig(info.name, preOpts(cfg.satPre, cfg.jobs), rounds);
+            std::string canon = out.report.canonical();
+            if (baseline.empty())
+                baseline = canon;
+            else
+                same = same && canon == baseline;
+            std::printf("  %s: %6.2fs", cfg.tag, out.wall);
+            if (cfg.satPre) elim = out.report.engineStats.satPreVarsEliminated;
+            int slot = info.name == "ariane_mmu" ? 0 : info.name == "ariane_lsu" ? 1 : -1;
+            if (slot >= 0 && cfg.jobs == 1) (cfg.satPre ? onWall : offWall)[slot] = out.wall;
+            rows.push_back(bench::reportRow(cfg.tag, info.name, out.report, out.wall));
+        }
+        std::printf("  elim: %llu  %s\n", static_cast<unsigned long long>(elim),
+                    same ? "identical" : "DIVERGED");
+        identical = identical && same;
+    }
+
+    // --- Gate 2: elimination strength on the MMU bit-blast ---------------
+    bench::banner("Bounded variable elimination on the MMU 10-frame unrolling");
+    int varsBefore = 0;
+    uint64_t eliminated = 0;
+    double reduction = mmuEliminationProbe(/*depth=*/10, varsBefore, eliminated);
+    std::printf("vars: %d   eliminated: %llu   reduction: %.0f%%   (gate: >=30%%)\n",
+                varsBefore, static_cast<unsigned long long>(eliminated), 100.0 * reduction);
+    {
+        bench::JsonRow row;
+        row.name = "mmu-elim-probe";
+        row.design = "ariane_mmu";
+        row.pre_vars_elim = eliminated;
+        row.props = static_cast<size_t>(varsBefore);
+        rows.push_back(row);
+    }
+
+    // --- Gate 3: end-to-end wall clock, pre on vs off --------------------
+    bench::banner("End-to-end wall clock (jobs=1, from the identity matrix)");
+    bool fastEnough = true;
+    const char* wallNames[2] = {"ariane_mmu", "ariane_lsu"};
+    for (int i = 0; i < 2; ++i) {
+        double bound = offWall[i] * 1.25 * oversub + 0.1;
+        bool okWall = onWall[i] <= bound;
+        fastEnough = fastEnough && okWall;
+        std::printf("%-12s off: %6.2fs   on: %6.2fs   bound: %6.2fs   speedup: %.2fx%s\n",
+                    wallNames[i], offWall[i], onWall[i], bound,
+                    onWall[i] > 0 ? offWall[i] / onWall[i] : 0.0, okWall ? "" : "   TOO SLOW");
+    }
+
+    bench::writeJson(jsonPath, "satpre", rows);
+
+    if (!identical) {
+        std::cout << "\nFAIL: canonical reports diverged across sat-pre/jobs configs\n";
+        return 1;
+    }
+    if (reduction < 0.30) {
+        std::cout << "\nFAIL: elimination removed <30% of the MMU unrolling's variables\n";
+        return 1;
+    }
+    if (!fastEnough) {
+        std::cout << "\nFAIL: sat-pre made the MMU/LSU end-to-end runs slower than the "
+                     "--no-sat-pre leg\n";
+        return 1;
+    }
+    std::cout << "\nOK: identity, elimination-strength, and wall-clock gates all hold\n";
+    return 0;
+}

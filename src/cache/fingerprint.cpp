@@ -73,6 +73,10 @@ uint64_t optionsDigest(const formal::EngineOptions& opts, Stage stage, bool cove
     h.mix(opts.budgetPoolQueries);
     h.mix(opts.conflictBudget);
     h.mix(opts.usePdr ? 1 : 0);
+    // opts.satPre is deliberately absent: CNF preprocessing is
+    // verdict-invariant (Sat/Unsat answers stay semantic; only witness
+    // values may move, which canonical() never hashes), so preprocessed and
+    // raw-CNF runs share the cache — bench_satpre hard-gates the identity.
     // Seeding can legitimately move PDR depths / budget-bound Unknowns, so
     // artifacts recorded by seeded runs must not serve as exact hits to
     // seeding-disabled ("strict identity") runs, and vice versa.

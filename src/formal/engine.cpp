@@ -14,6 +14,15 @@ bool defaultAigRewrite() {
     return enabled;
 }
 
+bool defaultSatPre() {
+    // Same once-only contract as defaultAigRewrite.
+    static const bool enabled = [] {
+        const char* env = std::getenv("AUTOSVA_NO_SAT_PRE");
+        return env == nullptr || *env == '\0';
+    }();
+    return enabled;
+}
+
 const char* statusName(Status s) {
     switch (s) {
     case Status::Proven: return "proven";

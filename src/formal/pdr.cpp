@@ -46,15 +46,30 @@ struct FrameSolver {
     uint32_t retiredGroups = 0;
 
     FrameSolver(const Aig& aig, const std::atomic<bool>* stop,
-                const std::atomic<bool>* watchdog) {
+                const std::atomic<bool>* watchdog, bool satPre) {
         solver = std::make_unique<SatSolver>();
         if (stop) solver->bindStop(stop);
         if (watchdog) solver->bindWatchdog(watchdog);
+        // Off in production (strategy_pdr.cpp passes false): even the
+        // elimination-free subsumption/inprocessing subset perturbs the
+        // models generalization consumes — see PdrOptions::satPre.
+        solver->setPreprocessing(satPre);
         un = std::make_unique<Unroller>(aig, *solver, Unroller::Init::Free);
     }
 
-    SatLit now(AigLit l) { return un->lit(0, l); }
-    SatLit next(uint32_t latchVar) { return un->lit(1, aigMkLit(latchVar)); }
+    /// Every literal handed out of the frame solver is externally visible —
+    /// consecution assumptions, blocked-clause literals, model reads during
+    /// generalization — so its variable is frozen on first materialization.
+    SatLit now(AigLit l) {
+        SatLit s = un->lit(0, l);
+        solver->freeze(satVar(s));
+        return s;
+    }
+    SatLit next(uint32_t latchVar) {
+        SatLit s = un->lit(1, aigMkLit(latchVar));
+        solver->freeze(satVar(s));
+        return s;
+    }
 
     /// Retires a consecution query's clause group and periodically purges
     /// the dead groups from the watch lists (SatSolver::simplify), so a
@@ -128,7 +143,8 @@ struct PdrSearch {
 
     FrameSolver& frameSolver(size_t i) {
         while (solvers.size() <= i) {
-            auto fs = std::make_unique<FrameSolver>(aig, opts.stop, opts.watchdog);
+            auto fs = std::make_unique<FrameSolver>(aig, opts.stop, opts.watchdog,
+                                                    opts.satPre);
             ++stats.framesOpened;
             // Constraints hold in the current state of every frame.
             for (AigLit c : constraints) fs->solver->addUnit(fs->now(c));
@@ -628,7 +644,22 @@ void PdrContext::bindWatchdog(const std::atomic<bool>* token) {
     for (auto& fs : impl_->solvers) fs->solver->bindWatchdog(token);
 }
 
-const PdrStats& PdrContext::stats() const { return impl_->stats; }
+const PdrStats& PdrContext::stats() const {
+    // The simplification counters live inside the long-lived frame
+    // solvers; re-gather the totals on every read.
+    uint64_t sub = 0, str = 0, viv = 0, inp = 0;
+    for (const auto& fs : impl_->solvers) {
+        sub += fs->solver->clausesSubsumed();
+        str += fs->solver->clausesStrengthened();
+        viv += fs->solver->clausesVivified();
+        inp += fs->solver->inprocessPasses();
+    }
+    impl_->stats.preClausesSubsumed = sub;
+    impl_->stats.preClausesStrengthened = str;
+    impl_->stats.preClausesVivified = viv;
+    impl_->stats.preInprocessPasses = inp;
+    return impl_->stats;
+}
 
 uint64_t PdrContext::queries() const { return impl_->queries; }
 

@@ -71,6 +71,18 @@ struct PdrOptions {
     /// portfolio race owns. Either token raised interrupts the search; the
     /// two have independent owners and are cleared independently.
     const std::atomic<bool>* watchdog = nullptr;
+    /// Enable the frame solvers' CNF simplification layer: subsumption at
+    /// the periodic retireGroup simplify() checkpoint and vivification /
+    /// failed-literal probing at restart boundaries. Frame solvers get no
+    /// variable-elimination passes either way — their encoding is lazy and
+    /// every latch variable is frozen at first touch (now()/next()), so BVE
+    /// would have nothing legal to chew on. Default OFF, and the engine
+    /// never turns it on (strategy_pdr.cpp): inprocessing changes which
+    /// model a Sat consecution query returns, PDR extracts predecessor /
+    /// state cubes from those models, and the perturbed cube trajectory
+    /// flips budget-edge verdicts — violating canonical identity across
+    /// the sat-pre A/B. Kept as an option for experiments only.
+    bool satPre = false;
 };
 
 /// Observability counters of one PDR search (aggregated into EngineStats
@@ -81,6 +93,12 @@ struct PdrStats {
     uint64_t genDropAttempts = 0;    ///< Literal-drop consecution probes.
     uint64_t retryActivations = 0;   ///< Budget-edge reordered retries taken.
     uint64_t seedCubesAdmitted = 0;  ///< Seed cubes surviving re-validation.
+    /// CNF simplification totals over the frame solvers (PdrOptions::satPre;
+    /// gathered from the live solvers each time stats() is read).
+    uint64_t preClausesSubsumed = 0;
+    uint64_t preClausesStrengthened = 0;
+    uint64_t preClausesVivified = 0;
+    uint64_t preInprocessPasses = 0;
 };
 
 struct PdrResult {

@@ -82,6 +82,14 @@ struct PropertyResult {
 /// legacy (unrewritten) graph without patching every test.
 [[nodiscard]] bool defaultAigRewrite();
 
+/// Default of EngineOptions::satPre: true — the strategy solvers run the
+/// frozen-aware CNF simplification layer (variable elimination, subsumption,
+/// restart-boundary inprocessing; see sat.hpp) — unless the environment
+/// variable AUTOSVA_NO_SAT_PRE is set to a non-empty value. Same shape as
+/// defaultAigRewrite: the env hook lets CI's A/B matrix run the whole tier-1
+/// suite with the layer off without patching every test.
+[[nodiscard]] bool defaultSatPre();
+
 struct EngineOptions {
     int bmcDepth = 25;          ///< Max BMC unrolling depth.
     int maxInductionK = 4;      ///< Max k for quick induction proofs (<= bmcDepth).
@@ -142,6 +150,19 @@ struct EngineOptions {
     /// AUTOSVA_NO_AIG_REWRITE environment variable, which moves the
     /// default) keeps the legacy graph for A/B comparison.
     bool aigRewrite = defaultAigRewrite();
+    /// Frozen-aware CNF preprocessing & inprocessing in the strategy-layer
+    /// SAT solvers (bounded variable elimination at encode checkpoints,
+    /// subsumption/self-subsuming resolution at simplify(), vivification +
+    /// failed-literal probing at restart boundaries — see sat.hpp). Sat and
+    /// Unsat answers stay semantic under every transformation, so verdicts,
+    /// depths, and trace shapes are byte-identical with it on or off (only
+    /// witness *values* may move, the tolerated contract since solver
+    /// reuse); being verdict-invariant it is deliberately excluded from the
+    /// cache options digest, like `jobs` and `trace`. `--no-sat-pre` (or
+    /// the AUTOSVA_NO_SAT_PRE environment variable, which moves the
+    /// default) keeps the raw-CNF path for A/B comparison (bench_satpre
+    /// hard-gates the identity).
+    bool satPre = defaultSatPre();
     /// Extra PDR race legs per obligation beyond the canonical attempt.
     /// Each extra leg is a single fresh-context search at a generalization
     /// rotation past the canonical retry schedule — a different (but fixed)
@@ -227,6 +248,18 @@ struct EngineStats {
     uint64_t portfolioLegsCancelled = 0; ///< Legs stopped by a lower rung's verdict.
     uint64_t budgetQueriesReturned = 0;  ///< Unspent grant queries returned to the pool.
     uint64_t budgetRefillsGranted = 0;   ///< Refill draws served to budget-edge Unknowns.
+    /// CNF simplification observability (the --stats "sat-pre:" line and
+    /// the bench --json rows; aggregated over every strategy solver).
+    uint64_t satPreVarsEliminated = 0;     ///< Variables eliminated (net of reactivations).
+    uint64_t satPreClausesSubsumed = 0;    ///< Clauses deleted by backward subsumption.
+    uint64_t satPreClausesStrengthened = 0;///< Literals removed by self-subsuming resolution.
+    uint64_t satPreClausesVivified = 0;    ///< Clauses shortened by vivification.
+    uint64_t satPreInprocessPasses = 0;    ///< Restart-boundary inprocessing passes.
+    uint64_t hygieneClausesDropped = 0;    ///< Clauses dropped whole at addClause entry.
+    /// Memory observability (the --stats "mem:" line and bench rows).
+    uint64_t solverLiveClauses = 0;  ///< Live problem+learnt clauses, summed at fold time.
+    uint64_t solverLearntClauses = 0;///< Live learnt clauses, summed at fold time.
+    uint64_t peakRssKb = 0;          ///< getrusage peak RSS of the run (KiB; 0 if unavailable).
     /// Wall clock of phase A (safety assertions + covers, full pipeline).
     double phaseASeconds = 0.0;
     /// Wall clock of the liveness phase (frontier + lemma-DAG PDR waves);

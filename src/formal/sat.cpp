@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "robust/faultinject.hpp"
 
 namespace autosva::formal {
@@ -12,6 +13,18 @@ namespace {
 constexpr double kVarDecay = 0.95;
 constexpr double kClauseDecay = 0.999;
 constexpr double kRescaleLimit = 1e100;
+
+// Preprocessing bounds. Elimination is NiVER-style: a variable goes only
+// when its non-tautological resolvents don't outnumber the clauses they
+// replace, with occurrence / resolvent-size caps bounding the quadratic
+// resolution work. Inprocessing rounds are budgeted per pass so a pass is
+// a bounded pause between restarts, never a second solver run.
+constexpr size_t kElimMaxOcc = 10;          ///< Per-polarity occurrence cap.
+constexpr size_t kElimMaxResolventLen = 32; ///< Resolvent literal cap.
+constexpr size_t kElimRounds = 4;           ///< Elimination sweeps per pass.
+constexpr uint64_t kInprocessInterval = 10000; ///< Conflicts between passes.
+constexpr size_t kVivifyClauses = 64;       ///< Vivification attempts per pass.
+constexpr size_t kProbeVars = 192;          ///< Probed variables per pass.
 } // namespace
 
 SatSolver::SatSolver() = default;
@@ -26,6 +39,10 @@ int SatSolver::newVar() {
     activity_.push_back(0.0);
     seen_.push_back(0);
     heapPos_.push_back(-1);
+    frozen_.push_back(0);
+    elim_.push_back(0);
+    groupVar_.push_back(0);
+    elimSlot_.push_back(-1);
     watches_.emplace_back();
     watches_.emplace_back();
     heapInsert(v);
@@ -43,35 +60,61 @@ void SatSolver::addClause(std::vector<SatLit> lits) {
     if (!ok_) return;
     assert(decisionLevel() == 0);
     ++clausesAdded_;
+    // Eliminated variables are a perf hint, not a contract: lazily encoded
+    // cones (the unroller materializes on demand) may reference a variable
+    // that elimination already resolved away. Reactivating restores the
+    // stored definition clauses, so the new clause lands in a consistent DB.
+    for (SatLit l : lits)
+        if (elim_[static_cast<size_t>(satVar(l))]) reactivate(satVar(l));
+    if (!ok_) return;
+    addClauseCore(std::move(lits), /*countHygiene=*/true);
+}
+
+SatSolver::CRef SatSolver::addClauseCore(std::vector<SatLit> lits, bool countHygiene) {
+    assert(decisionLevel() == 0);
     // Simplify under the level-0 assignment; remove duplicates & tautologies.
     std::sort(lits.begin(), lits.end());
     std::vector<SatLit> out;
     SatLit prev = -1;
     for (SatLit l : lits) {
-        if (l == prev) continue;
-        if (prev >= 0 && satVar(l) == satVar(prev)) return; // Tautology (l, ~l).
+        if (l == prev) {
+            if (countHygiene) ++hygieneLitsDropped_;
+            continue;
+        }
+        if (prev >= 0 && satVar(l) == satVar(prev)) { // Tautology (l, ~l).
+            if (countHygiene) ++hygieneDrops_;
+            return kCRefUndef;
+        }
         uint8_t v = litValue(l);
-        if (v == kTrue) return;      // Satisfied already.
-        if (v == kFalse) continue;   // Falsified literal dropped.
+        if (v == kTrue) { // Satisfied already.
+            if (countHygiene) ++hygieneDrops_;
+            return kCRefUndef;
+        }
+        if (v == kFalse) { // Falsified literal dropped.
+            if (countHygiene) ++hygieneLitsDropped_;
+            continue;
+        }
         out.push_back(l);
         prev = l;
     }
     if (out.empty()) {
         ok_ = false;
-        return;
+        return kCRefUndef;
     }
     if (out.size() == 1) {
         if (!enqueue(out[0], kCRefUndef)) {
             ok_ = false;
-            return;
+            return kCRefUndef;
         }
         if (propagate() != kCRefUndef) ok_ = false;
-        return;
+        return kCRefUndef;
     }
     Clause c;
     c.lits = std::move(out);
     clauses_.push_back(std::move(c));
-    attachClause(static_cast<CRef>(clauses_.size() - 1));
+    CRef cr = static_cast<CRef>(clauses_.size() - 1);
+    attachClause(cr);
+    return cr;
 }
 
 bool SatSolver::enqueue(SatLit l, CRef reason) {
@@ -336,7 +379,8 @@ void SatSolver::analyzeFinal(CRef conflict, SatLit failedAssumption) {
 SatLit SatSolver::pickBranchLit() {
     while (!heap_.empty()) {
         int var = heapPopMax();
-        if (assigns_[var] == kUndef) return mkSatLit(var, phase_[var] == kFalse);
+        if (assigns_[var] == kUndef && !elim_[static_cast<size_t>(var)])
+            return mkSatLit(var, phase_[var] == kFalse);
     }
     return -1;
 }
@@ -363,10 +407,23 @@ void SatSolver::resetSearchState() {
     heap_.clear();
     std::fill(heapPos_.begin(), heapPos_.end(), -1);
     for (int v = 0; v < static_cast<int>(assigns_.size()); ++v)
-        if (assigns_[v] == kUndef) heapInsert(v);
+        if (assigns_[v] == kUndef && !elim_[static_cast<size_t>(v)]) heapInsert(v);
 }
 
 void SatSolver::simplify() {
+    if (!ok_ || decisionLevel() != 0) return;
+    purgeSatisfied();
+    if (!preOn_ || !ok_) return;
+    // A bounded subsumption/SSR pass rides along on every simplify(): this
+    // is the "encode checkpoint" hook for callers that never run full
+    // preprocessing (PDR retires groups through here every few dozen cubes).
+    OccIndex idx;
+    buildOccIndex(idx);
+    subsumptionPass(idx);
+    compactLearnts();
+}
+
+void SatSolver::purgeSatisfied() {
     if (!ok_ || decisionLevel() != 0) return;
     auto isLockedReason = [&](CRef cr, const Clause& c) {
         for (SatLit l : c.lits)
@@ -454,6 +511,11 @@ SatResult SatSolver::solve(const std::vector<SatLit>& assumptions) {
     ++solves_;
     if (!ok_) return SatResult::Unsat;
     cancelUntil(0);
+    // Assumptions over eliminated variables (a caller forgot to freeze, or
+    // froze after a preprocessing pass) transparently reactivate them.
+    for (SatLit a : assumptions)
+        if (elim_[static_cast<size_t>(satVar(a))]) reactivate(satVar(a));
+    if (!ok_) return SatResult::Unsat;
     if (stopRequested()) return SatResult::Interrupted;
     // Fault injection: a spurious Interrupted with no token set, modelling
     // a cancelled-from-outside solve at an arbitrary point in the run.
@@ -560,6 +622,24 @@ SatResult SatSolver::solve(const std::vector<SatLit>& assumptions) {
                 // assumption-activated rather than level-0 units.
                 cancelUntil(std::min(decisionLevel(),
                                      static_cast<int>(assumptions.size())));
+                // Periodic inprocessing for long-lived solvers. Runs at
+                // level 0 — the main loop re-decides the assumption prefix
+                // afterwards — and is conflict-count scheduled, so it is
+                // deterministic across runs and thread interleavings.
+                if (preOn_ && conflicts_ - inprocessAt_ >= kInprocessInterval) {
+                    cancelUntil(0);
+                    inprocessStep();
+                    inprocessAt_ = conflicts_;
+                    if (!ok_) return SatResult::Unsat;
+                    if (stopRequested()) {
+                        cancelUntil(0);
+                        return SatResult::Interrupted;
+                    }
+                    if (propagate() != kCRefUndef) {
+                        ok_ = false;
+                        return SatResult::Unsat;
+                    }
+                }
             }
             continue;
         }
@@ -586,6 +666,7 @@ SatResult SatSolver::solve(const std::vector<SatLit>& assumptions) {
             if (next == -1) {
                 // Full model found.
                 model_.assign(assigns_.begin(), assigns_.end());
+                if (!elimStack_.empty()) extendModel();
                 cancelUntil(0);
                 return SatResult::Sat;
             }
@@ -593,6 +674,478 @@ SatResult SatSolver::solve(const std::vector<SatLit>& assumptions) {
         }
         trailLims_.push_back(static_cast<int>(trail_.size()));
         enqueue(next, kCRefUndef);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simplification layer: bounded variable elimination, subsumption /
+// self-subsuming resolution, and restart-boundary inprocessing.
+// ---------------------------------------------------------------------------
+
+void SatSolver::detachClause(CRef cref) {
+    const Clause& c = clauses_[static_cast<size_t>(cref)];
+    for (int w = 0; w < 2; ++w) {
+        auto& ws = watches_[satNeg(c.lits[static_cast<size_t>(w)])];
+        for (size_t k = 0; k < ws.size(); ++k) {
+            if (ws[k].cref == cref) {
+                ws[k] = ws.back();
+                ws.pop_back();
+                break;
+            }
+        }
+    }
+}
+
+void SatSolver::deleteClause(CRef cref) {
+    Clause& c = clauses_[static_cast<size_t>(cref)];
+    detachClause(cref);
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+}
+
+bool SatSolver::isReasonLocked(CRef cref) const {
+    // Level-0 propagations keep real reason crefs on the trail, so even at
+    // decision level 0 a clause can be load-bearing for analyzeFinal.
+    const Clause& c = clauses_[static_cast<size_t>(cref)];
+    for (SatLit l : c.lits)
+        if (reasons_[static_cast<size_t>(satVar(l))] == cref && litValue(l) == kTrue) return true;
+    return false;
+}
+
+uint64_t SatSolver::clauseSig(const std::vector<SatLit>& lits) {
+    // Variable-based (not literal-based) on purpose: self-subsuming
+    // resolution matches a clause containing one *flipped* literal, which a
+    // literal signature would always prune away.
+    uint64_t s = 0;
+    for (SatLit l : lits) s |= uint64_t{1} << (static_cast<uint32_t>(satVar(l)) & 63U);
+    return s;
+}
+
+void SatSolver::buildOccIndex(OccIndex& idx) {
+    idx.occ.assign(watches_.size(), {});
+    idx.sig.assign(clauses_.size(), 0);
+    for (CRef cr = 0; cr < static_cast<CRef>(clauses_.size()); ++cr) {
+        const Clause& c = clauses_[static_cast<size_t>(cr)];
+        if (c.deleted) continue;
+        idx.sig[static_cast<size_t>(cr)] = clauseSig(c.lits);
+        for (SatLit l : c.lits) idx.occ[static_cast<size_t>(l)].push_back(cr);
+    }
+}
+
+void SatSolver::strengthenClause(CRef cref, SatLit removeLit, OccIndex& idx) {
+    Clause& d = clauses_[static_cast<size_t>(cref)];
+    if (isReasonLocked(cref)) return;
+    detachClause(cref);
+    ++clausesStrengthened_;
+    // Drop removeLit, then re-apply level-0 hygiene: strengthening earlier
+    // clauses in the same pass may have propagated new units.
+    std::vector<SatLit> lits;
+    bool satisfied = false;
+    for (SatLit l : d.lits) {
+        if (l == removeLit) continue;
+        uint8_t v = litValue(l);
+        if (v == kTrue) {
+            satisfied = true;
+            break;
+        }
+        if (v == kFalse) continue;
+        lits.push_back(l);
+    }
+    if (satisfied) {
+        d.deleted = true;
+        d.lits.clear();
+        d.lits.shrink_to_fit();
+        return;
+    }
+    if (lits.empty()) {
+        ok_ = false;
+        d.deleted = true;
+        d.lits.clear();
+        return;
+    }
+    if (lits.size() == 1) {
+        d.deleted = true;
+        d.lits.clear();
+        d.lits.shrink_to_fit();
+        if (!enqueue(lits[0], kCRefUndef)) {
+            ok_ = false;
+            return;
+        }
+        if (propagate() != kCRefUndef) ok_ = false;
+        return;
+    }
+    d.lits = std::move(lits);
+    idx.sig[static_cast<size_t>(cref)] = clauseSig(d.lits);
+    attachClause(cref);
+}
+
+void SatSolver::subsumptionPass(OccIndex& idx) {
+    // Backward subsumption + self-subsuming resolution with 64-bit literal
+    // signatures. Subsumers are original clauses; subsumees may be learnt.
+    // Occurrence lists go stale as clauses shrink, but every conclusion is
+    // recomputed from the subsumee's actual literals, so staleness costs
+    // only wasted scans, never soundness.
+    std::vector<uint8_t> mark(watches_.size(), 0);
+    for (CRef cr = 0; cr < static_cast<CRef>(clauses_.size()) && ok_; ++cr) {
+        Clause& c = clauses_[static_cast<size_t>(cr)];
+        if (c.deleted || c.learnt || c.lits.size() < 2) continue;
+        bool satisfied = false;
+        for (SatLit l : c.lits)
+            if (litValue(l) == kTrue) {
+                satisfied = true;
+                break;
+            }
+        if (satisfied) continue;
+        for (SatLit l : c.lits) mark[static_cast<size_t>(l)] = 1;
+        SatLit best = c.lits[0];
+        for (SatLit l : c.lits)
+            if (idx.occ[static_cast<size_t>(l)].size() < idx.occ[static_cast<size_t>(best)].size())
+                best = l;
+        const size_t csize = c.lits.size();
+        const uint64_t csig = idx.sig[static_cast<size_t>(cr)];
+        // Candidates containing `best` can be subsumed or strengthened;
+        // candidates containing `~best` can only be strengthened (on best
+        // itself), but must be scanned too or SSR misses them entirely.
+        auto scan = [&](const std::vector<CRef>& cands) {
+            for (CRef dr : cands) {
+                if (dr == cr || !ok_) continue;
+                Clause& d = clauses_[static_cast<size_t>(dr)];
+                if (d.deleted || d.lits.size() < csize) continue;
+                if ((csig & ~idx.sig[static_cast<size_t>(dr)]) != 0) continue;
+                int found = 0;
+                SatLit flip = -1;
+                for (SatLit dl : d.lits) {
+                    if (mark[static_cast<size_t>(dl)])
+                        ++found;
+                    else if (mark[static_cast<size_t>(satNeg(dl))])
+                        flip = dl;
+                }
+                if (found == static_cast<int>(csize)) {
+                    // C ⊆ D: D is redundant.
+                    if (!isReasonLocked(dr)) {
+                        deleteClause(dr);
+                        ++clausesSubsumed_;
+                    }
+                } else if (found == static_cast<int>(csize) - 1 && flip != -1) {
+                    // C \ {~flip} ⊆ D and ~flip's negation ∈ C: resolving C
+                    // with D on var(flip) yields D \ {flip} — strengthen in
+                    // place.
+                    strengthenClause(dr, flip, idx);
+                }
+            }
+        };
+        scan(idx.occ[static_cast<size_t>(best)]);
+        scan(idx.occ[static_cast<size_t>(satNeg(best))]);
+        for (SatLit l : c.lits) mark[static_cast<size_t>(l)] = 0;
+    }
+}
+
+bool SatSolver::tryEliminate(int var, OccIndex& idx) {
+    const SatLit pl = mkSatLit(var);
+    const SatLit nl = mkSatLit(var, true);
+    std::vector<CRef> pos, neg, learntRefs;
+    bool blocked = false;
+    auto gather = [&](SatLit lit, std::vector<CRef>& out) {
+        for (CRef cr : idx.occ[static_cast<size_t>(lit)]) {
+            const Clause& c = clauses_[static_cast<size_t>(cr)];
+            if (c.deleted) continue;
+            bool has = false;
+            for (SatLit l : c.lits)
+                if (l == lit) {
+                    has = true;
+                    break;
+                }
+            if (!has) continue; // Stale occurrence entry.
+            if (c.learnt) {
+                learntRefs.push_back(cr);
+                continue;
+            }
+            if (isReasonLocked(cr)) {
+                blocked = true;
+                return;
+            }
+            out.push_back(cr);
+            if (out.size() > kElimMaxOcc) {
+                blocked = true;
+                return;
+            }
+        }
+    };
+    gather(pl, pos);
+    if (!blocked) gather(nl, neg);
+    if (blocked) return false;
+
+    // NiVER bound: eliminate only when the non-tautological resolvents do
+    // not outnumber the clauses they replace. Pure literals (one side
+    // empty) always pass — common for one-sided Tseitin cones.
+    std::vector<std::vector<SatLit>> resolvents;
+    const size_t budget = pos.size() + neg.size();
+    for (CRef pr : pos) {
+        for (CRef nr : neg) {
+            std::vector<SatLit> r;
+            for (SatLit l : clauses_[static_cast<size_t>(pr)].lits)
+                if (l != pl) r.push_back(l);
+            for (SatLit l : clauses_[static_cast<size_t>(nr)].lits)
+                if (l != nl) r.push_back(l);
+            std::sort(r.begin(), r.end());
+            r.erase(std::unique(r.begin(), r.end()), r.end());
+            bool taut = false;
+            for (size_t i = 0; i + 1 < r.size(); ++i)
+                if (satVar(r[i]) == satVar(r[i + 1])) {
+                    taut = true;
+                    break;
+                }
+            if (taut) continue;
+            if (r.size() > kElimMaxResolventLen) return false;
+            resolvents.push_back(std::move(r));
+            if (resolvents.size() > budget) return false;
+        }
+    }
+
+    // Commit. Original clauses go on the reconstruction stack (extendModel
+    // replays them newest-first); learnt clauses on the variable are merely
+    // implied, so they are deleted rather than stored or resolved.
+    ElimEntry entry;
+    entry.var = var;
+    for (CRef cr : pos) entry.clauses.push_back(clauses_[static_cast<size_t>(cr)].lits);
+    for (CRef cr : neg) entry.clauses.push_back(clauses_[static_cast<size_t>(cr)].lits);
+    for (CRef cr : pos) deleteClause(cr);
+    for (CRef cr : neg) deleteClause(cr);
+    for (CRef cr : learntRefs)
+        if (!isReasonLocked(cr)) deleteClause(cr);
+    elim_[static_cast<size_t>(var)] = 1;
+    elimSlot_[static_cast<size_t>(var)] = static_cast<int32_t>(elimStack_.size());
+    elimStack_.push_back(std::move(entry));
+    ++varsEliminated_;
+    for (auto& r : resolvents) {
+        CRef cr = addClauseCore(std::move(r), /*countHygiene=*/false);
+        if (!ok_) return true;
+        if (cr != kCRefUndef) {
+            idx.sig.resize(clauses_.size(), 0);
+            idx.sig[static_cast<size_t>(cr)] = clauseSig(clauses_[static_cast<size_t>(cr)].lits);
+            for (SatLit l : clauses_[static_cast<size_t>(cr)].lits)
+                idx.occ[static_cast<size_t>(l)].push_back(cr);
+        }
+    }
+    return true;
+}
+
+void SatSolver::eliminatePass(OccIndex& idx) {
+    // Cheapest-first sweep (occurrence product, ties by index) so easy
+    // eliminations expose further ones; repeated a bounded number of rounds.
+    struct Cand {
+        uint64_t cost;
+        int var;
+    };
+    std::vector<Cand> cands;
+    for (int v = 0; v < numVars(); ++v) {
+        if (frozen_[static_cast<size_t>(v)] || elim_[static_cast<size_t>(v)]) continue;
+        if (assigns_[static_cast<size_t>(v)] != kUndef) continue;
+        size_t p = idx.occ[static_cast<size_t>(mkSatLit(v))].size();
+        size_t n = idx.occ[static_cast<size_t>(mkSatLit(v, true))].size();
+        cands.push_back({static_cast<uint64_t>(p) * static_cast<uint64_t>(n), v});
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+        if (a.cost != b.cost) return a.cost < b.cost;
+        return a.var < b.var;
+    });
+    bool changed = true;
+    for (size_t round = 0; changed && ok_ && round < kElimRounds; ++round) {
+        changed = false;
+        for (const Cand& c : cands) {
+            if (!ok_) break;
+            int v = c.var;
+            if (frozen_[static_cast<size_t>(v)] || elim_[static_cast<size_t>(v)]) continue;
+            if (assigns_[static_cast<size_t>(v)] != kUndef) continue;
+            if (tryEliminate(v, idx)) changed = true;
+        }
+    }
+}
+
+void SatSolver::compactLearnts() {
+    size_t out = 0;
+    for (CRef cr : learnts_)
+        if (!clauses_[static_cast<size_t>(cr)].deleted) learnts_[out++] = cr;
+    learnts_.resize(out);
+}
+
+void SatSolver::reactivate(int var) {
+    // Worklist, not recursion: a stored definition clause may itself
+    // reference further eliminated variables (cascades from repeated
+    // preprocessing passes).
+    std::vector<std::vector<SatLit>> queue;
+    auto wake = [&](int v) {
+        int32_t slot = elimSlot_[static_cast<size_t>(v)];
+        if (slot < 0) return;
+        elimSlot_[static_cast<size_t>(v)] = -1;
+        elim_[static_cast<size_t>(v)] = 0;
+        ++varsReactivated_;
+        if (assigns_[static_cast<size_t>(v)] == kUndef) heapInsert(v);
+        ElimEntry& e = elimStack_[static_cast<size_t>(slot)];
+        for (auto& cl : e.clauses) queue.push_back(std::move(cl));
+        e.var = -1;
+        e.clauses.clear();
+        e.clauses.shrink_to_fit();
+    };
+    wake(var);
+    while (!queue.empty() && ok_) {
+        std::vector<SatLit> cl = std::move(queue.back());
+        queue.pop_back();
+        for (SatLit l : cl)
+            if (elim_[static_cast<size_t>(satVar(l))]) wake(satVar(l));
+        addClauseCore(std::move(cl), /*countHygiene=*/false);
+    }
+}
+
+void SatSolver::extendModel() {
+    // Replay eliminated definitions newest-first. Entry i's stored clauses
+    // only mention variables eliminated later (already replayed) or live
+    // ones, so each variable's value is determined by the time we reach it.
+    // The classic argument applies: with every resolvent satisfied, at most
+    // one polarity of the eliminated variable is forced by its clauses.
+    for (size_t i = elimStack_.size(); i-- > 0;) {
+        const ElimEntry& e = elimStack_[i];
+        if (e.var < 0) continue; // Reactivated; value came from the trail.
+        uint8_t val = kFalse;
+        for (const auto& cl : e.clauses) {
+            bool sat = false;
+            SatLit mine = -1;
+            for (SatLit l : cl) {
+                if (satVar(l) == e.var) {
+                    mine = l;
+                    continue;
+                }
+                uint8_t mv = model_[static_cast<size_t>(satVar(l))];
+                if (mv != kUndef && (mv == kTrue) != satSign(l)) {
+                    sat = true;
+                    break;
+                }
+            }
+            if (!sat && mine != -1) val = satSign(mine) ? kFalse : kTrue;
+        }
+        model_[static_cast<size_t>(e.var)] = val;
+    }
+}
+
+void SatSolver::preprocess(bool force) {
+    if (!preOn_ || !ok_ || decisionLevel() != 0) return;
+    // Growth threshold: per-frame / per-job checkpoint calls are cheap
+    // no-ops unless the clause DB grew enough to make a pass worthwhile.
+    uint64_t grown = clausesAdded_ - preprocessedAtClauses_;
+    if (!force && grown < 32 + liveClauses() / 8) return;
+    preprocessedAtClauses_ = clausesAdded_;
+    if (propagate() != kCRefUndef) {
+        ok_ = false;
+        return;
+    }
+    purgeSatisfied();
+    OccIndex idx;
+    buildOccIndex(idx);
+    subsumptionPass(idx);
+    if (ok_) eliminatePass(idx);
+    if (ok_) subsumptionPass(idx);
+    compactLearnts();
+    purgeSatisfied();
+}
+
+void SatSolver::inprocessStep() {
+    ++inprocessPasses_;
+    // Inprocessing spans deliberately carry no "queries" arg: they are not
+    // solver queries, so the per-obligation reconciliation stays intact.
+    obs::Span span(traceRec_, "solver", "inprocess", traceOb_);
+    uint64_t viv0 = clausesVivified_;
+    uint64_t fl0 = failedLiterals_;
+    vivifyRound(kVivifyClauses);
+    if (ok_ && !stopRequested()) probeRound(kProbeVars);
+    span.arg("vivified", clausesVivified_ - viv0);
+    span.arg("failed_lits", failedLiterals_ - fl0);
+}
+
+void SatSolver::vivifyRound(size_t budget) {
+    if (clauses_.empty()) return;
+    const size_t n = clauses_.size();
+    size_t attempts = 0;
+    for (size_t scanned = 0; scanned < n && attempts < budget && ok_; ++scanned) {
+        if ((scanned & 15U) == 0 && stopRequested()) return;
+        CRef cr = static_cast<CRef>(vivifyHead_ % n);
+        vivifyHead_ = (vivifyHead_ + 1) % n;
+        Clause& c = clauses_[static_cast<size_t>(cr)];
+        if (c.deleted || c.learnt || c.lits.size() < 3) continue;
+        bool skip = false;
+        for (SatLit l : c.lits) {
+            // Group-guarded clauses are left alone: vivifying one would bake
+            // the current activation state into a permanent strengthening.
+            if (groupVar_[static_cast<size_t>(satVar(l))] || litValue(l) == kTrue) {
+                skip = true;
+                break;
+            }
+        }
+        if (skip || isReasonLocked(cr)) continue;
+        ++attempts;
+        // Detach so the clause cannot propagate against itself, then walk
+        // its literals under the growing trial assignment.
+        detachClause(cr);
+        std::vector<SatLit> kept;
+        bool changed = false;
+        for (SatLit l : c.lits) {
+            uint8_t v = litValue(l);
+            if (v == kTrue) { // Prefix implies l: the tail is redundant.
+                kept.push_back(l);
+                changed = true;
+                break;
+            }
+            if (v == kFalse) { // Prefix falsifies l: l is redundant.
+                changed = true;
+                continue;
+            }
+            kept.push_back(l);
+            trailLims_.push_back(static_cast<int>(trail_.size()));
+            enqueue(satNeg(l), kCRefUndef);
+            if (propagate() != kCRefUndef) { // Prefix alone is a clause.
+                changed = true;
+                break;
+            }
+        }
+        cancelUntil(0);
+        if (changed && kept.size() < c.lits.size()) {
+            ++clausesVivified_;
+            c.deleted = true;
+            c.lits.clear();
+            c.lits.shrink_to_fit();
+            addClauseCore(std::move(kept), /*countHygiene=*/false);
+        } else {
+            attachClause(cr);
+        }
+    }
+}
+
+void SatSolver::probeRound(size_t budget) {
+    const int n = numVars();
+    if (n == 0) return;
+    size_t attempts = 0;
+    for (int scanned = 0; scanned < n && attempts < budget && ok_; ++scanned) {
+        if ((scanned & 15) == 0 && stopRequested()) return;
+        int v = probeHead_ % n;
+        probeHead_ = (probeHead_ + 1) % n;
+        if (assigns_[static_cast<size_t>(v)] != kUndef) continue;
+        if (frozen_[static_cast<size_t>(v)] || elim_[static_cast<size_t>(v)]) continue;
+        ++attempts;
+        for (int sign = 0; sign < 2 && ok_; ++sign) {
+            if (assigns_[static_cast<size_t>(v)] != kUndef) break; // First probe decided it.
+            SatLit l = mkSatLit(v, sign == 1);
+            trailLims_.push_back(static_cast<int>(trail_.size()));
+            enqueue(l, kCRefUndef);
+            CRef confl = propagate();
+            cancelUntil(0);
+            if (confl != kCRefUndef) {
+                ++failedLiterals_;
+                if (!enqueue(satNeg(l), kCRefUndef) || propagate() != kCRefUndef) {
+                    ok_ = false;
+                    return;
+                }
+            }
+        }
     }
 }
 

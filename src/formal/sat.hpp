@@ -2,12 +2,31 @@
 // learning, VSIDS decision heuristic with phase saving, Luby restarts and
 // LBD-based learnt-clause reduction. Supports incremental solving under
 // assumptions, which the BMC / k-induction engines rely on.
+//
+// On top of the search core sits a frozen-aware simplification layer
+// (SatELite-style) for circuit-derived CNF:
+//  - preprocess(): bounded variable elimination plus subsumption and
+//    self-subsuming resolution at encode checkpoints, with a
+//    model-reconstruction stack so modelValue() still answers on
+//    eliminated variables;
+//  - inprocessing: clause vivification and failed-literal probing at
+//    restart boundaries of long solves, polling the cancellation tokens.
+// Callers freeze() externally visible variables (assumption literals,
+// frame-frontier variables); clause-group activation literals are frozen
+// automatically. Freezing is a performance contract, not a soundness one:
+// a clause or assumption arriving on an eliminated variable transparently
+// reactivates it (its original clauses are re-added), so lazy encoders
+// like the Unroller can reference any variable at any time.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+namespace autosva::obs {
+class Recorder;
+}
 
 namespace autosva::formal {
 
@@ -55,8 +74,18 @@ public:
     // relation survive.
 
     /// Opens a clause group; returns its activation literal. Pass it as an
-    /// assumption to solve() while the group should be active.
-    [[nodiscard]] SatLit openClauseGroup() { return mkSatLit(newVar()); }
+    /// assumption to solve() while the group should be active. The
+    /// activation variable is frozen (never eliminated or probed) and
+    /// marked as a group guard: since its positive literal occurs in no
+    /// clause, every resolvent or strengthening derived from a guarded
+    /// clause keeps the guard negation — group-guarded facts are never
+    /// promoted into permanent ones by the simplification layer.
+    [[nodiscard]] SatLit openClauseGroup() {
+        int v = newVar();
+        frozen_[static_cast<size_t>(v)] = 1;
+        groupVar_[static_cast<size_t>(v)] = 1;
+        return mkSatLit(v);
+    }
     /// Adds a clause that only holds while `group` is assumed.
     void addClauseIn(SatLit group, std::vector<SatLit> lits) {
         lits.push_back(satNeg(group));
@@ -71,7 +100,50 @@ public:
     /// it reshuffles watch traversal order, which is safe for every caller
     /// now that PDR's generalization is ordering-insensitive — the PDR
     /// frame solvers run it periodically (pdr.cpp FrameSolver::retireGroup).
+    /// With preprocessing enabled it additionally runs one bounded
+    /// subsumption / self-subsuming-resolution pass over the clause DB.
     void simplify();
+
+    // -- Frozen-aware preprocessing & inprocessing --------------------------
+    // Off by default (EngineOptions::satPre gates it per strategy solver).
+    // Sat/Unsat answers stay semantic under every transformation here —
+    // only model *values* may move — so canonical engine reports are
+    // byte-identical with the layer on or off.
+
+    /// Master gate. When off, preprocess() and the restart-boundary
+    /// inprocessing are no-ops and the solver behaves exactly as before.
+    void setPreprocessing(bool on) { preOn_ = on; }
+    [[nodiscard]] bool preprocessing() const { return preOn_; }
+
+    /// Marks a variable as externally visible: never eliminated, never
+    /// probed. Callers freeze assumption literals and frame-frontier
+    /// variables (see strategy.hpp for the per-strategy contract). Freezing
+    /// is a churn optimization, not a soundness requirement — an eliminated
+    /// variable referenced by a later clause or assumption is reactivated
+    /// automatically.
+    void freeze(int var) { frozen_[static_cast<size_t>(var)] = 1; }
+    void melt(int var) { frozen_[static_cast<size_t>(var)] = 0; }
+    [[nodiscard]] bool isFrozen(int var) const {
+        return frozen_[static_cast<size_t>(var)] != 0;
+    }
+
+    /// Encode-checkpoint simplification at decision level 0: subsumption +
+    /// self-subsuming resolution over the clause DB, then bounded variable
+    /// elimination of unfrozen variables (eliminated definitions go onto
+    /// the model-reconstruction stack), then a final purge. Cheap to call
+    /// repeatedly: unless `force`, the pass only runs when the clause DB
+    /// grew meaningfully since the last one. No-op unless preprocessing is
+    /// enabled.
+    void preprocess(bool force = false);
+
+    /// Binds the structured-tracing recorder for inprocessing spans
+    /// (category "solver", name "inprocess"). The spans carry no "queries"
+    /// arg — inprocessing performs no SAT calls — which preserves the
+    /// query-attribution reconciliation invariant (obs/profile.hpp).
+    void bindTrace(obs::Recorder* rec, int64_t jobIndex) {
+        traceRec_ = rec;
+        traceOb_ = jobIndex;
+    }
 
     /// Resets the search heuristics (VSIDS activities, saved phases) to
     /// their initial state while keeping the clause database. A pooled
@@ -108,7 +180,32 @@ public:
             if (!c.deleted) ++n;
         return n;
     }
+    /// Live learnt clauses currently attached (memory observability).
+    [[nodiscard]] size_t liveLearnts() const {
+        size_t n = 0;
+        for (CRef cr : learnts_)
+            if (!clauses_[static_cast<size_t>(cr)].deleted) ++n;
+        return n;
+    }
     [[nodiscard]] uint64_t solves() const { return solves_; }
+
+    // Preprocessing / inprocessing counters (the --stats "sat-pre:" line).
+    /// Variables currently eliminated (gross eliminations minus
+    /// reactivations) — what the bench_satpre reduction gate measures.
+    [[nodiscard]] uint64_t varsEliminated() const {
+        return varsEliminated_ - varsReactivated_;
+    }
+    [[nodiscard]] uint64_t varsReactivated() const { return varsReactivated_; }
+    [[nodiscard]] uint64_t clausesSubsumed() const { return clausesSubsumed_; }
+    [[nodiscard]] uint64_t clausesStrengthened() const { return clausesStrengthened_; }
+    [[nodiscard]] uint64_t clausesVivified() const { return clausesVivified_; }
+    [[nodiscard]] uint64_t failedLiterals() const { return failedLiterals_; }
+    [[nodiscard]] uint64_t inprocessPasses() const { return inprocessPasses_; }
+    /// Clauses dropped whole at addClause() entry (tautologies and
+    /// level-0-satisfied clauses) — the clause-hygiene counter.
+    [[nodiscard]] uint64_t hygieneDrops() const { return hygieneDrops_; }
+    /// Duplicate / level-0-false literals stripped at addClause() entry.
+    [[nodiscard]] uint64_t hygieneLitsDropped() const { return hygieneLitsDropped_; }
 
     /// Optional conflict budget per solve() call (0 = unlimited).
     void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
@@ -145,6 +242,8 @@ public:
     }
 
 private:
+    friend struct SatSolverTestPeer; ///< White-box access for tests/test_sat.cpp.
+
     using CRef = int32_t;
     static constexpr CRef kCRefUndef = -1;
 
@@ -169,6 +268,22 @@ private:
         return satSign(l) ? (v ^ 1) : v;
     }
 
+    /// One eliminated variable's original clauses, for model
+    /// reconstruction (reverse replay after Sat) and reactivation. `var`
+    /// is -1 after reactivation: the entry is dead and replay skips it.
+    struct ElimEntry {
+        int var = -1;
+        std::vector<std::vector<SatLit>> clauses;
+    };
+
+    /// Occurrence index built per preprocessing pass: live clause refs per
+    /// literal plus a 64-bit literal signature per clause for fast
+    /// subsumption pruning. Transient — never kept across calls.
+    struct OccIndex {
+        std::vector<std::vector<CRef>> occ; ///< Indexed by literal.
+        std::vector<uint64_t> sig;          ///< Indexed by CRef.
+    };
+
     void attachClause(CRef cref);
     bool enqueue(SatLit l, CRef reason);
     CRef propagate();
@@ -182,6 +297,26 @@ private:
     void reduceDB();
     [[nodiscard]] int decisionLevel() const { return static_cast<int>(trailLims_.size()); }
     [[nodiscard]] static uint64_t luby(uint64_t i);
+
+    // Preprocessing / inprocessing internals (sat.cpp, see the file
+    // comment for the soundness contracts).
+    CRef addClauseCore(std::vector<SatLit> lits, bool countHygiene);
+    void detachClause(CRef cref);
+    void deleteClause(CRef cref);
+    [[nodiscard]] bool isReasonLocked(CRef cref) const;
+    void reactivate(int var);
+    void extendModel();
+    void purgeSatisfied();
+    [[nodiscard]] static uint64_t clauseSig(const std::vector<SatLit>& lits);
+    void buildOccIndex(OccIndex& idx);
+    void subsumptionPass(OccIndex& idx);
+    void strengthenClause(CRef cref, SatLit removeLit, OccIndex& idx);
+    [[nodiscard]] bool tryEliminate(int var, OccIndex& idx);
+    void eliminatePass(OccIndex& idx);
+    void compactLearnts();
+    void inprocessStep();
+    void vivifyRound(size_t budget);
+    void probeRound(size_t budget);
 
     bool ok_ = true;
     std::vector<Clause> clauses_;
@@ -220,6 +355,29 @@ private:
     std::atomic<bool> stopRequested_{false};
     const std::atomic<bool>* externalStop_ = nullptr;
     const std::atomic<bool>* watchdogStop_ = nullptr;
+
+    // Preprocessing / inprocessing state.
+    bool preOn_ = false;
+    std::vector<uint8_t> frozen_;   // Per var: never eliminate / probe.
+    std::vector<uint8_t> elim_;     // Per var: currently eliminated.
+    std::vector<uint8_t> groupVar_; // Per var: clause-group guard.
+    std::vector<ElimEntry> elimStack_;
+    std::vector<int32_t> elimSlot_; // var -> elimStack_ index, -1 if none.
+    uint64_t varsEliminated_ = 0;
+    uint64_t varsReactivated_ = 0;
+    uint64_t clausesSubsumed_ = 0;
+    uint64_t clausesStrengthened_ = 0;
+    uint64_t clausesVivified_ = 0;
+    uint64_t failedLiterals_ = 0;
+    uint64_t inprocessPasses_ = 0;
+    uint64_t hygieneDrops_ = 0;
+    uint64_t hygieneLitsDropped_ = 0;
+    uint64_t preprocessedAtClauses_ = 0; ///< clausesAdded_ at the last full pass.
+    uint64_t inprocessAt_ = 0;           ///< Conflict count that arms the next pass.
+    size_t vivifyHead_ = 0;              ///< Round-robin cursors so successive
+    int probeHead_ = 0;                  ///< bounded passes cover the whole DB.
+    obs::Recorder* traceRec_ = nullptr;
+    int64_t traceOb_ = -1;
 };
 
 inline bool modelBit(const SatSolver& solver, SatLit lit) {

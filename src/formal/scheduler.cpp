@@ -8,6 +8,10 @@
 #include <random>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "cache/fingerprint.hpp"
 #include "cache/store.hpp"
 #include "obs/trace.hpp"
@@ -18,6 +22,22 @@
 namespace autosva::formal {
 
 namespace {
+
+/// Peak RSS of the process in KiB (0 when the platform has no getrusage).
+/// macOS reports ru_maxrss in bytes; Linux in kilobytes.
+uint64_t peakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+    return static_cast<uint64_t>(ru.ru_maxrss) / 1024;
+#else
+    return static_cast<uint64_t>(ru.ru_maxrss);
+#endif
+#else
+    return 0;
+#endif
+}
 
 // ---------------------------------------------------------------------------
 // Work-stealing task queues
@@ -725,6 +745,11 @@ void ObligationScheduler::refillPass(const ProofContext& baseCtx,
             delta.cubesBlocked = after.cubesBlocked - before.cubesBlocked;
             delta.genDropAttempts = after.genDropAttempts - before.genDropAttempts;
             delta.seedCubesAdmitted = after.seedCubesAdmitted - before.seedCubesAdmitted;
+            delta.preClausesSubsumed = after.preClausesSubsumed - before.preClausesSubsumed;
+            delta.preClausesStrengthened =
+                after.preClausesStrengthened - before.preClausesStrengthened;
+            delta.preClausesVivified = after.preClausesVivified - before.preClausesVivified;
+            delta.preInprocessPasses = after.preInprocessPasses - before.preInprocessPasses;
             shared_.satCalls.fetch_add(spent, std::memory_order_relaxed);
             shared_.addPdr(delta);
             // Attribution mirror of the two fetch_adds above, so the
@@ -1090,6 +1115,7 @@ std::vector<PropertyResult> ObligationScheduler::run() {
     stats_ = shared_.snapshot(total.seconds());
     stats_.phaseASeconds = phaseASeconds;
     stats_.phaseBSeconds = phaseBSeconds;
+    stats_.peakRssKb = peakRssKb();
     stats_.liveWaves = liveWaves_;
     stats_.liveWaveWidest = liveWaveWidest_;
     if (budgetPool_) {

@@ -44,6 +44,14 @@ struct SharedStats {
     std::atomic<uint64_t> pdrSeedCubesAdmitted{0};
     std::atomic<uint64_t> portfolioLegsLaunched{0};
     std::atomic<uint64_t> portfolioLegsCancelled{0};
+    std::atomic<uint64_t> satPreVarsEliminated{0};
+    std::atomic<uint64_t> satPreClausesSubsumed{0};
+    std::atomic<uint64_t> satPreClausesStrengthened{0};
+    std::atomic<uint64_t> satPreClausesVivified{0};
+    std::atomic<uint64_t> satPreInprocessPasses{0};
+    std::atomic<uint64_t> hygieneClausesDropped{0};
+    std::atomic<uint64_t> solverLiveClauses{0};
+    std::atomic<uint64_t> solverLearntClauses{0};
 
     /// Folds one pdrCheck's observability counters into the run totals.
     void addPdr(const PdrStats& pdr) {
@@ -52,14 +60,29 @@ struct SharedStats {
         pdrGenDropAttempts.fetch_add(pdr.genDropAttempts, std::memory_order_relaxed);
         pdrRetryFallbacks.fetch_add(pdr.retryActivations, std::memory_order_relaxed);
         pdrSeedCubesAdmitted.fetch_add(pdr.seedCubesAdmitted, std::memory_order_relaxed);
+        satPreClausesSubsumed.fetch_add(pdr.preClausesSubsumed, std::memory_order_relaxed);
+        satPreClausesStrengthened.fetch_add(pdr.preClausesStrengthened,
+                                            std::memory_order_relaxed);
+        satPreClausesVivified.fetch_add(pdr.preClausesVivified, std::memory_order_relaxed);
+        satPreInprocessPasses.fetch_add(pdr.preInprocessPasses, std::memory_order_relaxed);
     }
 
-    /// Folds one strategy-layer solver's encoder cost into the counters.
+    /// Folds one strategy-layer solver's encoder cost, simplification
+    /// counters, and live clause footprint into the run totals.
     void addEncoder(const SatSolver& solver, const Unroller& un) {
         encoderVars.fetch_add(static_cast<uint64_t>(solver.numVars()),
                               std::memory_order_relaxed);
         encoderClauses.fetch_add(solver.clausesAdded(), std::memory_order_relaxed);
         conesMaterialized.fetch_add(un.conesMaterialized(), std::memory_order_relaxed);
+        satPreVarsEliminated.fetch_add(solver.varsEliminated(), std::memory_order_relaxed);
+        satPreClausesSubsumed.fetch_add(solver.clausesSubsumed(), std::memory_order_relaxed);
+        satPreClausesStrengthened.fetch_add(solver.clausesStrengthened(),
+                                            std::memory_order_relaxed);
+        satPreClausesVivified.fetch_add(solver.clausesVivified(), std::memory_order_relaxed);
+        satPreInprocessPasses.fetch_add(solver.inprocessPasses(), std::memory_order_relaxed);
+        hygieneClausesDropped.fetch_add(solver.hygieneDrops(), std::memory_order_relaxed);
+        solverLiveClauses.fetch_add(solver.liveClauses(), std::memory_order_relaxed);
+        solverLearntClauses.fetch_add(solver.liveLearnts(), std::memory_order_relaxed);
     }
 
     [[nodiscard]] EngineStats snapshot(double totalSeconds) const {
@@ -78,6 +101,15 @@ struct SharedStats {
         s.pdrSeedCubesAdmitted = pdrSeedCubesAdmitted.load(std::memory_order_relaxed);
         s.portfolioLegsLaunched = portfolioLegsLaunched.load(std::memory_order_relaxed);
         s.portfolioLegsCancelled = portfolioLegsCancelled.load(std::memory_order_relaxed);
+        s.satPreVarsEliminated = satPreVarsEliminated.load(std::memory_order_relaxed);
+        s.satPreClausesSubsumed = satPreClausesSubsumed.load(std::memory_order_relaxed);
+        s.satPreClausesStrengthened =
+            satPreClausesStrengthened.load(std::memory_order_relaxed);
+        s.satPreClausesVivified = satPreClausesVivified.load(std::memory_order_relaxed);
+        s.satPreInprocessPasses = satPreInprocessPasses.load(std::memory_order_relaxed);
+        s.hygieneClausesDropped = hygieneClausesDropped.load(std::memory_order_relaxed);
+        s.solverLiveClauses = solverLiveClauses.load(std::memory_order_relaxed);
+        s.solverLearntClauses = solverLearntClauses.load(std::memory_order_relaxed);
         s.totalSeconds = totalSeconds;
         return s;
     }
@@ -248,6 +280,31 @@ struct ProofContext {
     const std::atomic<bool>* runStop = nullptr;
 };
 
+// -- Freeze contract for ProofStrategy authors --------------------------------
+// When EngineOptions::satPre is on, strategies enable the solver's
+// simplification layer (SatSolver::setPreprocessing) and must freeze() every
+// variable the strategy touches from *outside* the clause database before
+// calling preprocess():
+//   - assumption literals (the bad literal per frame, induction's ¬bad@i /
+//     bad@k selectors, anything passed to solve());
+//   - model-extraction variables — whatever extractCexTrace will read via
+//     modelBit (eliminated vars still answer through the reconstruction
+//     stack, but witness values may differ from the raw-CNF run, which is
+//     fine: only trace *values* are outside the canonical contract);
+//   - the unroller's frame frontier (Unroller::freezeFrontier) so the next
+//     frame's transition encoding doesn't immediately reactivate the vars
+//     the last pass eliminated.
+// Clause-group activation literals freeze themselves (openClauseGroup).
+// Forgetting a freeze is a performance bug, never a soundness bug: solve()
+// and addClause() transparently reactivate eliminated variables they
+// encounter, restoring the stored definition clauses. Strategies whose
+// canonical report replays model-dependent values (the liveness lasso
+// re-run in runBmcFresh) must keep preprocessing OFF for that replay —
+// loopStart is part of canonical identity and witness values may move.
+// The same applies when the *search itself* consumes models: PDR builds
+// predecessor/state cubes from consecution models, so its frame solvers
+// keep the layer off (strategy_pdr.cpp) — perturbed models reroute the
+// obligation trajectory and flip budget-edge verdicts at pdrMaxQueries.
 class ProofStrategy {
 public:
     virtual ~ProofStrategy() = default;

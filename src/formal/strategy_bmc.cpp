@@ -84,12 +84,23 @@ void runBmcFresh(const ProofContext& ctx, ObligationJob& job, int maxDepth) {
     SatSolver solver;
     solver.setConflictBudget(ctx.opts.conflictBudget);
     if (job.watchdogStop) solver.bindWatchdog(job.watchdogStop);
+    // A liveness lasso's loop start is read from the model and is part of
+    // canonical identity, and this loop IS the deterministic replay that
+    // pins it — so preprocessing (which may move model values) stays off on
+    // the live AIG. Safety/cover traces expose values only as witnesses.
+    solver.setPreprocessing(ctx.opts.satPre && ctx.saveOracle == kAigFalse);
+    solver.bindTrace(ctx.opts.trace, static_cast<int64_t>(job.index));
     Unroller un(ctx.aig, solver, Unroller::Init::Reset);
     int lastConstrained = -1;
     for (int k = 0; k <= maxDepth; ++k) {
         constrainFramesTo(un, solver, ctx.constraints, k, lastConstrained);
         util::Stopwatch sw;
         SatLit bad = un.lit(k, job.bad);
+        if (solver.preprocessing()) {
+            solver.freeze(satVar(bad));
+            un.freezeFrontier(k);
+            solver.preprocess();
+        }
         SatResult r = solver.solve({bad});
         ++queries;
         if (ctx.stats) ctx.stats->satCalls.fetch_add(1, std::memory_order_relaxed);
@@ -141,11 +152,23 @@ void runBmcBatch(const ProofContext& ctx, const std::vector<ObligationJob*>& job
     // run-level deadline only (per-job wall attribution inside a lockstep
     // sweep would overcharge idle batch-mates — see robust/watchdog.hpp).
     if (ctx.runStop) solver.bindWatchdog(ctx.runStop);
+    // Batch answers are Sat/Unsat semantics only (lasso witnesses replay on
+    // a fresh legacy solver), so preprocessing is safe even on the live AIG.
+    solver.setPreprocessing(ctx.opts.satPre);
+    solver.bindTrace(rec, -1);
     Unroller un(ctx.aig, solver, Unroller::Init::Reset);
     int lastConstrained = -1;
     std::vector<ObligationJob*> open(jobs.begin(), jobs.end());
     for (int k = 0; k <= ctx.opts.bmcDepth && !open.empty(); ++k) {
         constrainFramesTo(un, solver, ctx.constraints, k, lastConstrained);
+        if (solver.preprocessing()) {
+            // Freeze this frame's query set and frontier, then take the
+            // (growth-thresholded) preprocessing checkpoint before the
+            // frame's sweep.
+            for (ObligationJob* job : open) solver.freeze(satVar(un.lit(k, job->bad)));
+            un.freezeFrontier(k);
+            solver.preprocess();
+        }
         // Fresh search heuristics at each frame boundary: within a frame
         // the batch hops between unrelated bad cones, and activity/phase
         // state tuned to one job's cone measurably degrades the next's

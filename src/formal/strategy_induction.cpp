@@ -28,12 +28,21 @@ void runInductionFresh(const ProofContext& ctx, ObligationJob& job) {
         SatSolver solver;
         solver.setConflictBudget(ctx.opts.conflictBudget);
         if (job.watchdogStop) solver.bindWatchdog(job.watchdogStop);
+        // Induction answers are pure Sat/Unsat — no model is ever read — so
+        // preprocessing is unconditionally safe here.
+        solver.setPreprocessing(ctx.opts.satPre);
+        solver.bindTrace(ctx.opts.trace, static_cast<int64_t>(job.index));
         Unroller un(ctx.aig, solver, Unroller::Init::Free);
         encodeInductionFormula(un, solver, ctx.constraints, k);
         util::Stopwatch sw;
         std::vector<SatLit> assumptions;
         for (int f = 0; f < k; ++f) assumptions.push_back(satNeg(un.lit(f, job.bad)));
         assumptions.push_back(un.lit(k, job.bad));
+        if (solver.preprocessing()) {
+            for (SatLit a : assumptions) solver.freeze(satVar(a));
+            for (int f = 0; f <= k; ++f) un.freezeFrontier(f);
+            solver.preprocess();
+        }
         SatResult r = solver.solve(assumptions);
         ++queries;
         if (ctx.stats) {
@@ -68,6 +77,8 @@ void runInductionPooled(const ProofContext& ctx, ObligationJob& job) {
         // formula, encoded once. The per-obligation part is assumptions
         // only, so nothing needs releasing between jobs.
         SolverPool::Context& pc = ctx.pool->acquire(ctx.aig, Unroller::Init::Free, k);
+        pc.solver.setPreprocessing(ctx.opts.satPre);
+        pc.solver.bindTrace(ctx.opts.trace, static_cast<int64_t>(job.index));
         pc.prepareInduction(k, ctx.constraints);
         // Fresh heuristics per obligation — consecutive jobs probe
         // unrelated cones; the shared encoding and learnt clauses stay.
@@ -77,6 +88,14 @@ void runInductionPooled(const ProofContext& ctx, ObligationJob& job) {
         assumptions.clear();
         for (int f = 0; f < k; ++f) assumptions.push_back(satNeg(pc.un.lit(f, job.bad)));
         assumptions.push_back(pc.un.lit(k, job.bad));
+        if (pc.solver.preprocessing()) {
+            // Each job adds its own bad cone to the shared context; the
+            // growth threshold makes this checkpoint a cheap no-op for the
+            // many jobs whose cone was already materialized.
+            for (SatLit a : assumptions) pc.solver.freeze(satVar(a));
+            for (int f = 0; f <= k; ++f) pc.un.freezeFrontier(f);
+            pc.solver.preprocess();
+        }
         // The pooled solver outlives this job: keep the job's deadline
         // token bound only for the duration of its own solve.
         if (job.watchdogStop) pc.solver.bindWatchdog(job.watchdogStop);

@@ -31,6 +31,14 @@ PdrAttempt runPdrLeg(const ProofContext& ctx, const ObligationJob& job,
     pdrOpts.genRotation = genRotation;
     pdrOpts.stop = stop;
     pdrOpts.watchdog = watchdogStop;
+    // Deliberately NOT ctx.opts.satPre: frame-solver inprocessing changes
+    // which model a Sat consecution query returns, and PDR builds its
+    // predecessor/state cubes from those models — a different cube order
+    // moves the whole obligation trajectory and flips budget-edge verdicts
+    // (Unknown vs Proven at maxQueries), breaking the canonical-identity
+    // contract. BMC/induction keep the layer: they consume only Sat/Unsat
+    // plus canonicalized witness values.
+    pdrOpts.satPre = false;
     if (!job.pdrSeeds.empty()) pdrOpts.seedCubes = &job.pdrSeeds;
     AigLit effectiveBad = job.pdrBad != kAigFalse ? job.pdrBad : job.bad;
 

@@ -40,6 +40,25 @@ public:
         return aigSign(l) ? satNeg(base) : base;
     }
 
+    /// Freezes the frame-frontier variables of `frame` against variable
+    /// elimination: every materialized latch slot plus the latch-next root
+    /// cones feeding frame+1. These are exactly the variables a later
+    /// ensureFrame / strengthening step will reference again, so melting
+    /// them into resolvents would only force reactivation churn. Strategies
+    /// call this for their deepest frame before SatSolver::preprocess().
+    void freezeFrontier(int frame) {
+        if (frame < 0 || frame >= static_cast<int>(map_.size())) return;
+        const auto& slots = map_[static_cast<size_t>(frame)];
+        for (uint32_t v = 0; v < aig_.numVars(); ++v) {
+            if (slots[v] == kUnset) continue;
+            if (aig_.kind(v) == Aig::VarKind::Latch) {
+                solver_.freeze(satVar(slots[v]));
+                SatLit nxt = map_[static_cast<size_t>(frame)][aigVar(aig_.latchNext(v))];
+                if (nxt != kUnset) solver_.freeze(satVar(nxt));
+            }
+        }
+    }
+
     [[nodiscard]] const Aig& aig() const { return aig_; }
     [[nodiscard]] int numFrames() const { return static_cast<int>(map_.size()); }
     /// Root cones that actually had to be encoded (lit() cache misses) —

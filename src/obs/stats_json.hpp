@@ -29,7 +29,16 @@ struct VerificationReport;
     X(legs_launched, portfolioLegsLaunched)                                                  \
     X(legs_cancelled, portfolioLegsCancelled)                                                \
     X(queries_returned, budgetQueriesReturned)                                               \
-    X(refills_granted, budgetRefillsGranted)
+    X(refills_granted, budgetRefillsGranted)                                                 \
+    X(pre_vars_elim, satPreVarsEliminated)                                                   \
+    X(pre_subsumed, satPreClausesSubsumed)                                                   \
+    X(pre_strengthened, satPreClausesStrengthened)                                           \
+    X(pre_vivified, satPreClausesVivified)                                                   \
+    X(pre_inprocess, satPreInprocessPasses)                                                  \
+    X(hygiene_drops, hygieneClausesDropped)                                                  \
+    X(live_clauses, solverLiveClauses)                                                       \
+    X(learnt_clauses, solverLearntClauses)                                                   \
+    X(peak_rss_kb, peakRssKb)
 
 /// EngineStats-derived wall-clock fields (emitted with %.6f formatting).
 #define AUTOSVA_ENGINE_JSON_DOUBLE_FIELDS(X)                                                 \

@@ -245,6 +245,28 @@ TEST(Sat, CrossThreadRequestStopInterruptsAndSolverStaysUsable) {
     EXPECT_EQ(s.solve(), SatResult::Unknown);
 }
 
+TEST(Sat, HygieneCountersAtAddClause) {
+    // Satellite of the preprocessing PR: addClause() entry hygiene
+    // (sort/dedupe, tautology and level-0 filtering) is observable through
+    // counters so --stats can report encoder waste.
+    SatSolver s;
+    int a = s.newVar(), b = s.newVar();
+    s.addClause({mkSatLit(a), mkSatLit(a), mkSatLit(b)}); // Duplicate literal.
+    EXPECT_GE(s.hygieneLitsDropped(), 1u);
+    s.addClause({mkSatLit(a), satNeg(mkSatLit(a))}); // Tautology: dropped whole.
+    EXPECT_GE(s.hygieneDrops(), 1u);
+    s.addUnit(mkSatLit(a));
+    const uint64_t dropsBefore = s.hygieneDrops();
+    s.addClause({mkSatLit(a), mkSatLit(b)}); // Satisfied at level 0: dropped.
+    EXPECT_EQ(s.hygieneDrops(), dropsBefore + 1);
+    const uint64_t litsBefore = s.hygieneLitsDropped();
+    s.addClause({satNeg(mkSatLit(a)), mkSatLit(b)}); // !a false at level 0: stripped.
+    EXPECT_EQ(s.hygieneLitsDropped(), litsBefore + 1);
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_TRUE(s.modelValue(a));
+    EXPECT_TRUE(s.modelValue(b));
+}
+
 TEST(Sat, ExternalStopTokenInterrupts) {
     // bindStop() shares one atomic across many solvers — the JobRace slot
     // token. A raised token interrupts at solve() entry; unbinding (or
@@ -260,6 +282,293 @@ TEST(Sat, ExternalStopTokenInterrupts) {
     EXPECT_EQ(s.solve(), SatResult::Sat);
     s.bindStop(nullptr);
     EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+} // namespace
+
+// White-box access to search internals, declared a friend by SatSolver.
+// Only the tests below use it; everything else stays black-box on purpose.
+namespace autosva::formal {
+struct SatSolverTestPeer {
+    using CRef = SatSolver::CRef;
+
+    static uint64_t luby(uint64_t i) { return SatSolver::luby(i); }
+
+    /// Plants an attached learnt clause (>= 2 literals) with the given LBD.
+    static CRef addLearnt(SatSolver& s, std::vector<SatLit> lits, int lbd) {
+        CRef cr = static_cast<CRef>(s.clauses_.size());
+        SatSolver::Clause c;
+        c.lits = std::move(lits);
+        c.lbd = lbd;
+        c.learnt = true;
+        s.clauses_.push_back(std::move(c));
+        s.attachClause(cr);
+        s.learnts_.push_back(cr);
+        return cr;
+    }
+
+    /// Assigns `l` at a fresh decision level with `reason` as its antecedent
+    /// — the state reduceDB's reason-lock check protects.
+    static void lockAsReason(SatSolver& s, SatLit l, CRef reason) {
+        s.trailLims_.push_back(static_cast<int>(s.trail_.size()));
+        s.enqueue(l, reason);
+    }
+
+    static void reduceDB(SatSolver& s) { s.reduceDB(); }
+    static void inprocess(SatSolver& s) { s.inprocessStep(); }
+    static bool isDeleted(const SatSolver& s, CRef cr) {
+        return s.clauses_[static_cast<size_t>(cr)].deleted;
+    }
+    static size_t clauseSize(const SatSolver& s, CRef cr) {
+        return s.clauses_[static_cast<size_t>(cr)].lits.size();
+    }
+    static void backtrackToRoot(SatSolver& s) { s.cancelUntil(0); }
+};
+} // namespace autosva::formal
+
+namespace {
+
+TEST(SatInternals, LubySequencePinned) {
+    // Pins the restart schedule: index 0 yields 1, then the tail runs at
+    // twice the textbook Luby values (1,2,2,4,2,2,4,8,...). The solver
+    // multiplies by 64, so restart limits grow 64,128,128,256,... — a valid
+    // universal schedule; this test exists so a refactor cannot silently
+    // change restart cadence (which would move witness values everywhere).
+    using Peer = SatSolverTestPeer;
+    const uint64_t expected[] = {1, 2, 2, 4, 2, 2, 4, 8, 2, 2, 4, 2, 2, 4, 8, 16};
+    for (uint64_t i = 0; i < 16; ++i) EXPECT_EQ(Peer::luby(i), expected[i]) << "i=" << i;
+}
+
+TEST(SatInternals, ReduceDbKeepsReasonLockedAndGlueClauses) {
+    using Peer = SatSolverTestPeer;
+    SatSolver s;
+    std::vector<int> v;
+    for (int i = 0; i < 16; ++i) v.push_back(s.newVar());
+
+    // Eight learnts: two high-LBD (sorted worst-first by reduceDB), six glue
+    // (LBD 2). Half the list is eviction-eligible; the high-LBD pair sits at
+    // the front of that half.
+    Peer::CRef lockedHighLbd =
+        Peer::addLearnt(s, {mkSatLit(v[0]), mkSatLit(v[1])}, /*lbd=*/8);
+    Peer::CRef evictableHighLbd =
+        Peer::addLearnt(s, {mkSatLit(v[2]), mkSatLit(v[3])}, /*lbd=*/8);
+    std::vector<SatSolverTestPeer::CRef> glue;
+    for (int i = 0; i < 6; ++i)
+        glue.push_back(
+            Peer::addLearnt(s, {mkSatLit(v[4 + 2 * i]), mkSatLit(v[5 + 2 * i])}, /*lbd=*/2));
+
+    // Make the first high-LBD clause the reason for a current assignment.
+    Peer::lockAsReason(s, mkSatLit(v[0]), lockedHighLbd);
+
+    Peer::reduceDB(s);
+
+    EXPECT_FALSE(Peer::isDeleted(s, lockedHighLbd)) << "reason-locked clause evicted";
+    for (Peer::CRef cr : glue) EXPECT_FALSE(Peer::isDeleted(s, cr)) << "glue clause evicted";
+    EXPECT_TRUE(Peer::isDeleted(s, evictableHighLbd))
+        << "eviction-eligible clause survived — the test lost its teeth";
+
+    Peer::backtrackToRoot(s);
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(SatInternals, ResetSearchStatePreservesModelAndRootUnits) {
+    SatSolver s;
+    int a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.addUnit(mkSatLit(a));                          // Root-level unit.
+    s.addBinary(satNeg(mkSatLit(a)), mkSatLit(b));   // a -> b.
+    s.addBinary(mkSatLit(b), mkSatLit(c));
+    ASSERT_EQ(s.solve(), SatResult::Sat);
+    const bool ma = s.modelValue(a), mb = s.modelValue(b), mc = s.modelValue(c);
+
+    s.resetSearchState();
+
+    // The last model stays readable — pooled strategies extract witnesses
+    // after the pool has already reset the solver for the next job.
+    EXPECT_EQ(s.modelValue(a), ma);
+    EXPECT_EQ(s.modelValue(b), mb);
+    EXPECT_EQ(s.modelValue(c), mc);
+
+    // Root-level units survive the reset: contradicting one is still UNSAT.
+    EXPECT_EQ(s.solve({satNeg(mkSatLit(a))}), SatResult::Unsat);
+    EXPECT_EQ(s.solve({satNeg(mkSatLit(b))}), SatResult::Unsat);
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+// -- Preprocessing / inprocessing -------------------------------------------
+
+TEST(SatPre, EliminationReconstructsModelOnEliminatedVars) {
+    // Tseitin AND gate t <-> x & y feeding an output clause. t is internal
+    // (unfrozen) and gets eliminated; modelBit() must still answer on it via
+    // the reconstruction stack, consistently with the original definition.
+    SatSolver s;
+    int x = s.newVar(), y = s.newVar(), t = s.newVar(), z = s.newVar();
+    s.addBinary(satNeg(mkSatLit(t)), mkSatLit(x));
+    s.addBinary(satNeg(mkSatLit(t)), mkSatLit(y));
+    s.addTernary(satNeg(mkSatLit(x)), satNeg(mkSatLit(y)), mkSatLit(t));
+    s.addBinary(mkSatLit(t), mkSatLit(z));
+    s.setPreprocessing(true);
+    s.freeze(x);
+    s.freeze(y);
+    s.freeze(z);
+    s.preprocess(/*force=*/true);
+    EXPECT_EQ(s.varsEliminated(), 1u);
+
+    ASSERT_EQ(s.solve({mkSatLit(x), mkSatLit(y), satNeg(mkSatLit(z))}), SatResult::Sat);
+    // x & y & !z forces t through the AND definition and the output clause;
+    // the reconstructed model must agree.
+    EXPECT_TRUE(modelBit(s, mkSatLit(t)));
+
+    ASSERT_EQ(s.solve({satNeg(mkSatLit(x)), mkSatLit(z)}), SatResult::Sat);
+    EXPECT_FALSE(modelBit(s, mkSatLit(t))); // !x forces !t through the definition.
+}
+
+TEST(SatPre, EliminationKeepsSemanticAnswers) {
+    SatSolver s;
+    int x = s.newVar(), y = s.newVar(), t = s.newVar(), z = s.newVar();
+    s.addBinary(satNeg(mkSatLit(t)), mkSatLit(x));
+    s.addBinary(satNeg(mkSatLit(t)), mkSatLit(y));
+    s.addTernary(satNeg(mkSatLit(x)), satNeg(mkSatLit(y)), mkSatLit(t));
+    s.addBinary(mkSatLit(t), mkSatLit(z));
+    s.setPreprocessing(true);
+    s.freeze(x);
+    s.freeze(y);
+    s.freeze(z);
+    s.preprocess(/*force=*/true);
+    ASSERT_EQ(s.varsEliminated(), 1u);
+    // !x forces !t (AND definition), and (t | z) then demands z: so
+    // {!x, !z} must be UNSAT even with t eliminated.
+    EXPECT_EQ(s.solve({satNeg(mkSatLit(x)), satNeg(mkSatLit(z))}), SatResult::Unsat);
+    EXPECT_EQ(s.solve({mkSatLit(x), mkSatLit(y)}), SatResult::Sat);
+}
+
+TEST(SatPre, FrozenVariablesAreNeverEliminated) {
+    SatSolver s;
+    int x = s.newVar(), y = s.newVar(), t = s.newVar();
+    s.addBinary(satNeg(mkSatLit(t)), mkSatLit(x));
+    s.addBinary(satNeg(mkSatLit(t)), mkSatLit(y));
+    s.addTernary(satNeg(mkSatLit(x)), satNeg(mkSatLit(y)), mkSatLit(t));
+    s.setPreprocessing(true);
+    for (int v : {x, y, t}) s.freeze(v);
+    s.preprocess(/*force=*/true);
+    EXPECT_EQ(s.varsEliminated(), 0u);
+    EXPECT_TRUE(s.isFrozen(t));
+    s.melt(t);
+    EXPECT_FALSE(s.isFrozen(t));
+    s.preprocess(/*force=*/true);
+    EXPECT_EQ(s.varsEliminated(), 1u);
+}
+
+TEST(SatPre, AddClauseReactivatesEliminatedVariable) {
+    SatSolver s;
+    int x = s.newVar(), y = s.newVar(), t = s.newVar();
+    s.addBinary(satNeg(mkSatLit(t)), mkSatLit(x));
+    s.addBinary(satNeg(mkSatLit(t)), mkSatLit(y));
+    s.addTernary(satNeg(mkSatLit(x)), satNeg(mkSatLit(y)), mkSatLit(t));
+    s.setPreprocessing(true);
+    s.freeze(x);
+    s.freeze(y);
+    s.preprocess(/*force=*/true);
+    ASSERT_EQ(s.varsEliminated(), 1u);
+
+    // A lazy encoder referencing t later is a perf hiccup, not an error:
+    // the original defining clauses come back before the new one lands.
+    s.addUnit(mkSatLit(t));
+    EXPECT_EQ(s.varsReactivated(), 1u);
+    EXPECT_EQ(s.varsEliminated(), 0u); // Net count.
+    ASSERT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_TRUE(s.modelValue(x)); // t forces x and y through the definition.
+    EXPECT_TRUE(s.modelValue(y));
+}
+
+TEST(SatPre, AssumptionReactivatesEliminatedVariable) {
+    SatSolver s;
+    int x = s.newVar(), y = s.newVar(), t = s.newVar();
+    s.addBinary(satNeg(mkSatLit(t)), mkSatLit(x));
+    s.addBinary(satNeg(mkSatLit(t)), mkSatLit(y));
+    s.addTernary(satNeg(mkSatLit(x)), satNeg(mkSatLit(y)), mkSatLit(t));
+    s.setPreprocessing(true);
+    s.freeze(x);
+    s.freeze(y);
+    s.preprocess(/*force=*/true);
+    ASSERT_EQ(s.varsEliminated(), 1u);
+
+    ASSERT_EQ(s.solve({mkSatLit(t)}), SatResult::Sat);
+    EXPECT_EQ(s.varsReactivated(), 1u);
+    EXPECT_TRUE(s.modelValue(x));
+    EXPECT_TRUE(s.modelValue(y));
+    EXPECT_EQ(s.solve({mkSatLit(t), satNeg(mkSatLit(x))}), SatResult::Unsat);
+}
+
+TEST(SatPre, SubsumptionAndSelfSubsumingResolution) {
+    SatSolver s;
+    int a = s.newVar(), b = s.newVar(), c = s.newVar(), d = s.newVar();
+    for (int v : {a, b, c, d}) s.freeze(v); // Isolate: no elimination.
+    s.addBinary(mkSatLit(a), mkSatLit(b));                               // C1.
+    s.addTernary(mkSatLit(a), mkSatLit(b), mkSatLit(c));                 // Subsumed by C1.
+    s.addTernary(satNeg(mkSatLit(a)), mkSatLit(b), mkSatLit(d));         // SSR vs C1: drop !a.
+    const size_t before = s.liveClauses();
+    s.setPreprocessing(true);
+    s.preprocess(/*force=*/true);
+    EXPECT_GE(s.clausesSubsumed(), 1u);
+    EXPECT_GE(s.clausesStrengthened(), 1u);
+    EXPECT_LT(s.liveClauses(), before);
+
+    // Strengthened DB is equivalent: !b forces a (C1) and d ({b,d}).
+    ASSERT_EQ(s.solve({satNeg(mkSatLit(b))}), SatResult::Sat);
+    EXPECT_TRUE(s.modelValue(a));
+    EXPECT_TRUE(s.modelValue(d));
+}
+
+TEST(SatPre, GroupGuardedFactsNeverLeakIntoPermanentClauses) {
+    SatSolver s;
+    int a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.setPreprocessing(true);
+    s.addTernary(mkSatLit(a), mkSatLit(b), mkSatLit(c)); // Persistent.
+    SatLit g = s.openClauseGroup();
+    s.addClauseIn(g, {mkSatLit(a), mkSatLit(b)});
+    s.addClauseIn(g, {satNeg(mkSatLit(a)), mkSatLit(c)});
+    s.preprocess(/*force=*/true);
+
+    // While assumed, the guarded facts bite...
+    EXPECT_EQ(s.solve({g, satNeg(mkSatLit(a)), satNeg(mkSatLit(b))}), SatResult::Unsat);
+    // ...but never escape the guard: without the assumption they are inert.
+    ASSERT_EQ(s.solve({satNeg(mkSatLit(a)), satNeg(mkSatLit(b))}), SatResult::Sat);
+    EXPECT_TRUE(s.modelValue(c));
+
+    s.closeClauseGroup(g);
+    s.simplify();
+    ASSERT_EQ(s.solve({satNeg(mkSatLit(a)), satNeg(mkSatLit(b))}), SatResult::Sat);
+    EXPECT_TRUE(s.modelValue(c));
+}
+
+TEST(SatPre, VivificationShortensClauses) {
+    using Peer = SatSolverTestPeer;
+    SatSolver s;
+    int x1 = s.newVar(), x2 = s.newVar(), x3 = s.newVar();
+    s.addTernary(mkSatLit(x1), mkSatLit(x2), mkSatLit(x3));
+    s.addBinary(mkSatLit(x2), satNeg(mkSatLit(x3)));
+    s.setPreprocessing(true);
+    // Under trial assignment !x1, !x2 the side clause forces !x3, so the
+    // ternary's x3 literal is redundant; vivification drops it.
+    Peer::inprocess(s);
+    EXPECT_GE(s.clausesVivified(), 1u);
+    EXPECT_GE(s.inprocessPasses(), 1u);
+    EXPECT_EQ(s.solve({satNeg(mkSatLit(x1)), satNeg(mkSatLit(x2))}), SatResult::Unsat);
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(SatPre, FailedLiteralProbingAssertsRootUnits) {
+    using Peer = SatSolverTestPeer;
+    SatSolver s;
+    int x = s.newVar(), y = s.newVar();
+    s.addBinary(satNeg(mkSatLit(x)), mkSatLit(y));
+    s.addBinary(satNeg(mkSatLit(x)), satNeg(mkSatLit(y)));
+    s.setPreprocessing(true);
+    Peer::inprocess(s);
+    EXPECT_GE(s.failedLiterals(), 1u);
+    ASSERT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_FALSE(s.modelValue(x)); // Probing x failed; !x is now a root unit.
+    EXPECT_EQ(s.solve({mkSatLit(x)}), SatResult::Unsat);
 }
 
 } // namespace

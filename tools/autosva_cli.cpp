@@ -58,7 +58,7 @@ usage:
                [--time-budget S] [--obligation-timeout S]
                [--no-liveness] [--no-covers]
                [--cache-dir DIR] [--no-cache] [--cache-stats] [--cache-compact]
-               [--stats] [--no-solver-reuse] [--no-aig-rewrite]
+               [--stats] [--no-solver-reuse] [--no-aig-rewrite] [--no-sat-pre]
                [--profile] [--trace-out FILE] [--events-out FILE]
                [--stats-json FILE] [--fault-inject SPEC]
   autosva sim  <dut.sv> [--cycles N] [--seed N] [--vcd FILE]
@@ -69,7 +69,7 @@ usage:
                [--portfolio] [--portfolio-legs N] [--budget-pool N]
                [--time-budget S] [--obligation-timeout S]
                [--cache-dir DIR] [--no-cache] [--cache-stats] [--cache-compact]
-               [--stats] [--no-solver-reuse] [--no-aig-rewrite]
+               [--stats] [--no-solver-reuse] [--no-aig-rewrite] [--no-sat-pre]
                [--profile] [--trace-out FILE] [--events-out FILE]
                [--stats-json FILE] [--fault-inject SPEC]
   autosva profile <dut.sv | design-name> [run options]
@@ -151,6 +151,14 @@ options:
                    semantics-preserving, and ON by default; canonical
                    verdicts are identical either way (A/B: CI's rewrite
                    matrix, bench_solver_reuse --no-aig-rewrite).
+  --no-sat-pre     disable the SAT solver's CNF simplification layer
+                   (frozen-aware bounded variable elimination, subsumption /
+                   self-subsuming resolution, and restart-boundary
+                   vivification + failed-literal probing) and solve the raw
+                   bit-blasted CNF. The layer is verdict-invariant and ON by
+                   default; canonical reports are byte-identical either way
+                   — only witness values may differ (A/B: CI's sat-pre
+                   matrix, bench_satpre).
   --profile        print the run profile after the report: top slowest
                    properties with per-stage time/query breakdowns, worker
                    utilization, the phase timeline, and cache
@@ -376,6 +384,11 @@ int runReport(const std::vector<std::string>& sources,
         vopts.engine.aigRewrite = false;
     else if (args.has("--aig-rewrite"))
         vopts.engine.aigRewrite = true;
+    // Same compatibility shape for the CNF simplification layer.
+    if (args.has("--no-sat-pre"))
+        vopts.engine.satPre = false;
+    else if (args.has("--sat-pre"))
+        vopts.engine.satPre = true;
     if (!args.has("--no-cache"))
         vopts.engine.cacheDir = args.get("--cache-dir", cache::ProofCache::defaultDir());
     for (const auto& [name, value] : args.params) vopts.paramOverrides[name] = value;
@@ -394,6 +407,9 @@ int runReport(const std::vector<std::string>& sources,
                     "retry-fallbacks=%llu seed-cubes-admitted=%llu\n"
                     "race: legs-launched=%llu legs-cancelled=%llu\n"
                     "budget: queries-returned=%llu refills-granted=%llu\n"
+                    "sat-pre: vars-eliminated=%llu subsumed=%llu strengthened=%llu "
+                    "vivified=%llu inprocess-passes=%llu hygiene-drops=%llu\n"
+                    "mem: peak-rss-kb=%llu live-clauses=%llu learnt-clauses=%llu\n"
                     "phase: a=%.3fs b=%.3fs\n"
                     "lemma-dag: waves=%llu widest=%llu\n",
                     static_cast<unsigned long long>(es.satCalls),
@@ -412,6 +428,15 @@ int runReport(const std::vector<std::string>& sources,
                     static_cast<unsigned long long>(es.portfolioLegsCancelled),
                     static_cast<unsigned long long>(es.budgetQueriesReturned),
                     static_cast<unsigned long long>(es.budgetRefillsGranted),
+                    static_cast<unsigned long long>(es.satPreVarsEliminated),
+                    static_cast<unsigned long long>(es.satPreClausesSubsumed),
+                    static_cast<unsigned long long>(es.satPreClausesStrengthened),
+                    static_cast<unsigned long long>(es.satPreClausesVivified),
+                    static_cast<unsigned long long>(es.satPreInprocessPasses),
+                    static_cast<unsigned long long>(es.hygieneClausesDropped),
+                    static_cast<unsigned long long>(es.peakRssKb),
+                    static_cast<unsigned long long>(es.solverLiveClauses),
+                    static_cast<unsigned long long>(es.solverLearntClauses),
                     es.phaseASeconds, es.phaseBSeconds,
                     static_cast<unsigned long long>(es.liveWaves),
                     static_cast<unsigned long long>(es.liveWaveWidest));

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a bench --json artifact against a checked-in baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json
+
+Rows are matched by (name, design). Two regression gates:
+
+  * sat_calls: strictly machine-independent, so the bound is tight —
+    a row fails when current > baseline * 1.10.
+  * wall_s: machine-dependent, so per-row times are first normalized by
+    the total-wall ratio (scale = sum(current) / sum(baseline)) to cancel
+    out host speed; a row then fails when
+    current > baseline * scale * 1.25. The normalization means the gate
+    catches *relative* shifts (one configuration regressing against the
+    others), not a slower CI machine.
+
+Rows present only in the current run are informational (new measurements
+are fine); rows present only in the baseline are reported as missing and
+fail the run (a silently dropped measurement would blind the gate).
+
+Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+SAT_CALLS_TOLERANCE = 1.10
+WALL_TOLERANCE = 1.25
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("rows", [])
+    return doc.get("bench", "?"), {(r.get("name"), r.get("design")): r for r in rows}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    bench_b, baseline = load_rows(sys.argv[1])
+    bench_c, current = load_rows(sys.argv[2])
+    if bench_b != bench_c:
+        print(f"error: comparing different benches: {bench_b!r} vs {bench_c!r}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    shared = [k for k in baseline if k in current]
+    missing = [k for k in baseline if k not in current]
+
+    base_total = sum(baseline[k].get("wall_s", 0.0) for k in shared)
+    cur_total = sum(current[k].get("wall_s", 0.0) for k in shared)
+    scale = (cur_total / base_total) if base_total > 0 else 1.0
+
+    failures = []
+    for key in shared:
+        b, c = baseline[key], current[key]
+        label = f"{key[0]} [{key[1]}]"
+
+        # A row that cancelled portfolio legs did timing-dependent partial
+        # work — its sat_calls legitimately move between hosts; the wall
+        # gate still covers it.
+        raced = b.get("legs_cancelled", 0) > 0 or c.get("legs_cancelled", 0) > 0
+        b_calls, c_calls = b.get("sat_calls", 0), c.get("sat_calls", 0)
+        if not raced and b_calls > 0 and c_calls > b_calls * SAT_CALLS_TOLERANCE:
+            failures.append(
+                f"{label}: sat_calls {b_calls} -> {c_calls} "
+                f"(+{100.0 * (c_calls / b_calls - 1):.0f}%, limit +10%)")
+
+        b_wall, c_wall = b.get("wall_s", 0.0), c.get("wall_s", 0.0)
+        bound = b_wall * scale * WALL_TOLERANCE
+        # Sub-100ms rows are dominated by noise; the sat_calls gate still
+        # covers them.
+        if b_wall >= 0.1 and c_wall > bound:
+            failures.append(
+                f"{label}: wall {b_wall:.2f}s -> {c_wall:.2f}s "
+                f"(normalized bound {bound:.2f}s at host scale {scale:.2f})")
+
+    for key in missing:
+        failures.append(f"{key[0]} [{key[1]}]: row missing from current run")
+
+    print(f"bench {bench_b}: {len(shared)} rows compared "
+          f"(host wall scale {scale:.2f}), {len(failures)} regression(s)")
+    for f in failures:
+        print(f"  REGRESSION: {f}")
+    new_rows = [k for k in current if k not in baseline]
+    for key in new_rows:
+        print(f"  note: new row {key[0]} [{key[1]}] (not in baseline)")
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()
